@@ -1,0 +1,62 @@
+// Ablation for Section III-A's baseline comparison: "HADES produces adders
+// which outperform those generated with AGEMA, which applies
+// straight-forward post-processing to synthesized netlists."
+//
+// The AGEMA-style flow is reproduced literally: take a synthesized plain
+// ripple-carry adder netlist and mask it gate-by-gate (every AND becomes a
+// DOM gadget; no microarchitectural choice is revisited). HADES instead
+// explores the adder design space at the target masking order and picks per
+// goal. Gate counts from the masked netlist are converted to GE with
+// standard cell weights (AND 1.5 GE, XOR 2.5 GE, NOT 0.75 GE, 4 GE per
+// pipeline register bit folded into the gadget count).
+#include <cstdio>
+
+#include "convolve/hades/library.hpp"
+#include "convolve/hades/search.hpp"
+#include "convolve/masking/circuit.hpp"
+
+using namespace convolve::hades;
+using convolve::masking::Circuit;
+using convolve::masking::MaskedCircuit;
+using convolve::masking::mask_circuit;
+using convolve::masking::ripple_adder_circuit;
+
+namespace {
+
+double netlist_area_ge(const Circuit& c) {
+  return 1.5 * c.and_count() + 2.5 * c.xor_count() + 0.75 * c.not_count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: HADES DSE vs AGEMA-style netlist masking ===\n");
+  std::printf("32-bit adder, area objective.\n\n");
+  std::printf("%-3s %-22s %-22s %-8s\n", "d", "AGEMA-style [GE]",
+              "HADES best [GE]", "ratio");
+
+  const Circuit plain = ripple_adder_circuit(32);
+  const auto adder = library::adder_core();
+
+  for (unsigned d : {1u, 2u, 3u}) {
+    const MaskedCircuit agema = mask_circuit(plain, d);
+    // Post-processed netlists register every gadget stage: account the
+    // fresh-randomness wiring and gadget registers at 4 GE per random bit.
+    const double agema_area =
+        netlist_area_ge(agema.circuit) + 4.0 * agema.circuit.num_randoms();
+    const auto hades = exhaustive_search(*adder, d, Goal::kArea);
+    std::printf("%-3u %-22.1f %-22.1f %-8.2f\n", d, agema_area,
+                hades.metrics.area_ge, agema_area / hades.metrics.area_ge);
+  }
+
+  std::printf("\nHADES also exposes the full goal spectrum the netlist flow "
+              "cannot revisit:\n");
+  for (Goal g : {Goal::kArea, Goal::kLatency, Goal::kRandomness}) {
+    const auto best = exhaustive_search(*adder, 2, g);
+    std::printf("  d=2 %-3s -> %s (%.0f GE, %.0f cc, %.0f bits)\n",
+                goal_name(g), describe(*adder, best.choice).c_str(),
+                best.metrics.area_ge, best.metrics.latency_cc,
+                best.metrics.rand_bits);
+  }
+  return 0;
+}

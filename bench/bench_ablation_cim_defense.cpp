@@ -1,0 +1,79 @@
+// Ablation for Section III-C's contribution statement: "side-channel
+// attacks and counter-measures must be meticulously analyzed and integrated
+// to enable adoption in industry."
+//
+// Sweeps the attack across measurement-noise levels (with and without trace
+// averaging) and against the two modeled countermeasures (row shuffling and
+// random dummy-row activation), reporting weight-recovery accuracy.
+#include <cstdio>
+
+#include "convolve/cim/attack.hpp"
+
+using namespace convolve::cim;
+
+namespace {
+
+double attack_accuracy(const MacroConfig& config, int traces,
+                       std::uint64_t weight_seed) {
+  CimMacro macro = random_macro(config, weight_seed);
+  AttackConfig attack;
+  attack.traces_per_measurement = traces;
+  auto result = run_attack(macro, attack);
+  evaluate_against_ground_truth(result, macro.secret_weights());
+  return result.accuracy;
+}
+
+double mean_accuracy(const MacroConfig& config, int traces) {
+  double sum = 0.0;
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    sum += attack_accuracy(config, traces, seed);
+  }
+  return sum / 3.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: CIM attack vs noise and countermeasures ===\n");
+
+  std::printf("\n--- noise sweep (64 weights, accuracy averaged over 3 "
+              "keys) ---\n");
+  std::printf("%-10s %-14s %-14s\n", "sigma", "1 trace", "100 traces");
+  for (double sigma : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    MacroConfig config;
+    config.noise_sigma = sigma;
+    std::printf("%-10.1f %-14.3f %-14.3f\n", sigma, mean_accuracy(config, 1),
+                mean_accuracy(config, 100));
+  }
+
+  std::printf("\n--- countermeasures (noise-free) ---\n");
+  std::printf("%-26s %-10s\n", "configuration", "accuracy");
+  {
+    MacroConfig base;
+    std::printf("%-26s %-10.3f\n", "unprotected", mean_accuracy(base, 1));
+  }
+  {
+    MacroConfig shuffled;
+    shuffled.shuffle_rows = true;
+    std::printf("%-26s %-10.3f\n", "row shuffling",
+                mean_accuracy(shuffled, 4));
+  }
+  for (int dummies : {8, 32}) {
+    MacroConfig dummy;
+    dummy.dummy_rows = dummies;
+    std::printf("dummy rows x%-13d %-10.3f\n", dummies,
+                mean_accuracy(dummy, 1));
+  }
+  {
+    MacroConfig both;
+    both.shuffle_rows = true;
+    both.dummy_rows = 32;
+    std::printf("%-26s %-10.3f\n", "shuffling + dummies",
+                mean_accuracy(both, 4));
+  }
+  std::printf("\nShape: noise-free unprotected recovery is total (paper's "
+              "headline);\naveraging defeats moderate noise; shuffling "
+              "destroys the position-based\nphase 2; dummies blind the "
+              "power model.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation for Section III-A's heuristic claim: "the accuracy of our
+// heuristic approach depends on how many starting points we choose. In
+// practice, we obtain perfect results for Kyber-CCA for as few as 50 random
+// performance base-lines" -- and "the heuristic strategy finds an optimized
+// Kyber in less than 200 s" against 36 h exhaustive.
+//
+// Sweeps the number of local-search restarts on the 1,148,364-point
+// Kyber-CCA space and reports the cost ratio to the exhaustive optimum and
+// the evaluation budget spent.
+#include <chrono>
+#include <cstdio>
+
+#include "convolve/hades/library.hpp"
+#include "convolve/hades/search.hpp"
+
+using namespace convolve::hades;
+
+int main() {
+  const auto cca = library::kyber_cca();
+  const Goal goal = Goal::kAreaLatencyProduct;
+  const unsigned d = 1;
+
+  std::printf("=== Ablation: local search vs exhaustive on Kyber-CCA ===\n");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto exact = exhaustive_search(*cca, d, goal);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double exhaustive_s = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("exhaustive: cost %.4g over %llu evaluations (%.3f s)\n\n",
+              exact.cost, static_cast<unsigned long long>(exact.evaluations),
+              exhaustive_s);
+
+  std::printf("%-8s %-14s %-12s %-12s %-10s\n", "starts", "cost", "ratio",
+              "evals", "time [s]");
+  bool fifty_is_perfect = false;
+  for (int starts : {1, 2, 5, 10, 20, 50, 100}) {
+    convolve::Xoshiro256 rng(777);
+    const auto s0 = std::chrono::steady_clock::now();
+    const auto heur = local_search(*cca, d, goal, starts, rng);
+    const auto s1 = std::chrono::steady_clock::now();
+    const double ratio = heur.cost / exact.cost;
+    std::printf("%-8d %-14.4g %-12.4f %-12llu %-10.3f\n", starts, heur.cost,
+                ratio, static_cast<unsigned long long>(heur.evaluations),
+                std::chrono::duration<double>(s1 - s0).count());
+    if (starts == 50 && ratio <= 1.0 + 1e-9) fifty_is_perfect = true;
+  }
+  std::printf("\npaper claim: perfect results for Kyber-CCA with as few as "
+              "50 baselines -> %s here\n",
+              fifty_is_perfect ? "reproduced" : "NOT reproduced");
+  return 0;
+}

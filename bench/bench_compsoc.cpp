@@ -1,0 +1,120 @@
+// Composability evaluation for Section III-E: the VEP isolation property
+// ("protects applications from interference from other applications on the
+// shared resources providing execution time guarantees") and its stated
+// drawback ("a drawback of composable execution [is] the additional
+// processing overhead").
+#include <cstdio>
+
+#include "convolve/compsoc/noc.hpp"
+#include "convolve/compsoc/platform.hpp"
+
+using namespace convolve::compsoc;
+
+namespace {
+
+CompletionRecord run_rt(ArbitrationPolicy policy, bool with_interference,
+                        double* idle_fraction = nullptr) {
+  PlatformConfig config;
+  config.policy = policy;
+  config.tdm_period = 8;
+  Platform p(config);
+  int rt;
+  if (policy == ArbitrationPolicy::kTdm) {
+    // Interferer occupies disjoint slots; created first so greedy ties
+    // would favour it.
+    if (with_interference) {
+      const int be = p.create_vep("be", {4, 5, 6}, {4, 5, 6}, {4, 5, 6});
+      rt = p.create_vep("rt", {0, 1, 2}, {0, 1, 2}, {0, 1, 2});
+      p.load_application(be, make_besteffort_app("be", 60));
+    } else {
+      rt = p.create_vep("rt", {0, 1, 2}, {0, 1, 2}, {0, 1, 2});
+    }
+  } else {
+    if (with_interference) {
+      const int be = p.create_vep("be", {}, {}, {});
+      rt = p.create_vep("rt", {}, {}, {});
+      p.load_application(be, make_besteffort_app("be", 60));
+    } else {
+      rt = p.create_vep("rt", {}, {}, {});
+    }
+  }
+  p.load_application(rt, make_realtime_app("rt", 8));
+  auto records = p.run(1000000);
+  if (idle_fraction) *idle_fraction = p.idle_slot_fraction();
+  return records[static_cast<std::size_t>(rt)];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CompSOC: composability and its overhead ===\n\n");
+  std::printf("%-28s %-14s %-14s %-12s\n", "configuration", "finish [cyc]",
+              "stalls", "trace equal");
+
+  double idle_tdm = 0.0;
+  const auto tdm_alone = run_rt(ArbitrationPolicy::kTdm, false);
+  const auto tdm_shared = run_rt(ArbitrationPolicy::kTdm, true, &idle_tdm);
+  const bool tdm_equal = tdm_alone.grant_trace == tdm_shared.grant_trace;
+  std::printf("%-28s %-14llu %-14llu %-12s\n", "TDM, alone",
+              static_cast<unsigned long long>(tdm_alone.finish_cycle),
+              static_cast<unsigned long long>(tdm_alone.stall_cycles), "-");
+  std::printf("%-28s %-14llu %-14llu %-12s\n", "TDM, with interference",
+              static_cast<unsigned long long>(tdm_shared.finish_cycle),
+              static_cast<unsigned long long>(tdm_shared.stall_cycles),
+              tdm_equal ? "yes (bit-exact)" : "NO");
+
+  const auto greedy_alone = run_rt(ArbitrationPolicy::kGreedy, false);
+  const auto greedy_shared = run_rt(ArbitrationPolicy::kGreedy, true);
+  const bool greedy_equal =
+      greedy_alone.grant_trace == greedy_shared.grant_trace;
+  std::printf("%-28s %-14llu %-14llu %-12s\n", "greedy, alone",
+              static_cast<unsigned long long>(greedy_alone.finish_cycle),
+              static_cast<unsigned long long>(greedy_alone.stall_cycles), "-");
+  std::printf("%-28s %-14llu %-14llu %-12s\n", "greedy, with interference",
+              static_cast<unsigned long long>(greedy_shared.finish_cycle),
+              static_cast<unsigned long long>(greedy_shared.stall_cycles),
+              greedy_equal ? "yes" : "no (not composable)");
+
+  const double overhead =
+      static_cast<double>(tdm_alone.finish_cycle) /
+      static_cast<double>(greedy_alone.finish_cycle);
+  std::printf("\ncomposability overhead (TDM vs greedy, in isolation): "
+              "%.2fx slower\n", overhead);
+  std::printf("TDM idle-slot fraction under load: %.2f\n", idle_tdm);
+  std::printf("\nVEP guarantee %s: the real-time app's grant trace is "
+              "unchanged by co-runners.\n",
+              tdm_equal ? "holds" : "VIOLATED");
+
+  // --- Interconnect composability: 4x4 NoC mesh -----------------------
+  auto noc_latency = [](bool with_interference) {
+    NocConfig nc;
+    NocMesh mesh(nc);
+    mesh.assign_slots(0, {0, 1});
+    mesh.assign_slots(1, {4, 5, 6, 7});
+    mesh.inject({1, 0, 15, 4, 0, 0});
+    if (with_interference) {
+      for (int i = 0; i < 25; ++i) {
+        mesh.inject({100 + i, i % 16, (i * 11 + 2) % 16, 8, 1,
+                     static_cast<std::uint64_t>(i % 5)});
+      }
+    }
+    return mesh.run(100000)[0].delivery_cycle;
+  };
+  const auto noc_alone = noc_latency(false);
+  const auto noc_loaded = noc_latency(true);
+  NocMesh bound_mesh{NocConfig{}};
+  const auto bound = bound_mesh.worst_case_latency(/*hops=*/6, /*flits=*/4,
+                                                   /*owned_slots=*/2);
+  std::printf("\nNoC (4x4 mesh, XY routing, per-link TDM): real-time "
+              "packet delivers at\ncycle %llu alone and cycle %llu under "
+              "saturating best-effort traffic\n(identical: %s); analytic "
+              "worst-case bound %llu holds.\n",
+              static_cast<unsigned long long>(noc_alone),
+              static_cast<unsigned long long>(noc_loaded),
+              noc_alone == noc_loaded ? "yes" : "NO",
+              static_cast<unsigned long long>(bound));
+  return (tdm_equal && !greedy_equal && noc_alone == noc_loaded &&
+          noc_loaded <= bound)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,44 @@
+// Reproduces Fig. 3: "Enhancing FreeRTOS Security on RISC-V Architecture
+// with Physical Memory Protection (PMP)."
+//
+// The figure's evaluation: "diverse attack scenarios utilized to evaluate
+// the system's capacity to endure and recuperate from these attacks." This
+// bench runs the five-scenario suite against the flat-memory FreeRTOS
+// baseline and the PMP-hardened kernel and prints the outcome matrix.
+#include <cstdio>
+
+#include "convolve/rtos/attacks.hpp"
+
+using namespace convolve::rtos;
+
+int main() {
+  std::printf("=== Fig. 3: FreeRTOS attack scenarios, flat vs PMP ===\n");
+  std::printf("%-20s | %-28s | %-28s\n", "scenario",
+              "flat memory (no PMP)", "PMP-hardened");
+  std::printf("%-20s | %-9s %-9s %-6s | %-9s %-9s %-6s\n", "", "attack",
+              "recovered", "traps", "attack", "recovered", "traps");
+
+  const auto flat = run_attack_suite(false);
+  const auto hardened = run_attack_suite(true);
+
+  bool all_contained = true;
+  bool flat_vulnerable = false;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const auto& f = flat[i];
+    const auto& h = hardened[i];
+    std::printf("%-20s | %-9s %-9s %-6d | %-9s %-9s %-6d\n", f.name.c_str(),
+                f.attack_succeeded ? "SUCCEEDS" : "fails",
+                f.system_recovered() ? "yes" : "NO", f.faults,
+                h.attack_succeeded ? "SUCCEEDS" : "fails",
+                h.system_recovered() ? "yes" : "NO", h.faults);
+    all_contained &= (!h.attack_succeeded && h.system_recovered());
+    flat_vulnerable |= f.attack_succeeded;
+  }
+
+  std::printf("\nhardened kernel: every attack contained, victims met their "
+              "deadlines, kernel integrity held: %s\n",
+              all_contained ? "yes" : "NO");
+  std::printf("flat baseline: memory attacks succeed silently: %s\n",
+              flat_vulnerable ? "yes" : "NO");
+  return (all_contained && flat_vulnerable) ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Modularity evaluation -- CONVOLVE objective 3: "a modular, long-term,
+// and compositional hardware security framework" where "end-users ...
+// shed any unnecessary overhead."
+//
+// Builds one edge device per use-case profile (Section I of the paper) and
+// prints what each pays for the security it actually needs.
+#include <cstdio>
+
+#include "convolve/framework/device.hpp"
+
+using namespace convolve;
+using namespace convolve::framework;
+
+int main() {
+  std::printf("=== Security profiles per CONVOLVE use-case ===\n\n");
+  std::printf("%-28s %4s %5s %5s %5s %5s | %12s %8s %10s %8s\n", "use-case",
+              "PQC", "mask", "TEE", "CIM-d", "comp", "AES [kGE]", "xArea",
+              "report[B]", "rom[KB]");
+
+  const Bytes entropy(32, 0x61);
+  for (const auto& profile :
+       {speech_quality_enhancement(), acoustic_scene_analysis(),
+        traffic_supervision(), satellite_imagery()}) {
+    const EdgeDevice device(profile, entropy);
+    const CostReport& cost = device.cost();
+    std::printf("%-28s %4s %5u %5s %5s %5s | %12.1f %8.2f %10zu %8.1f\n",
+                profile.name.c_str(),
+                profile.post_quantum_crypto ? "yes" : "no",
+                profile.masking_order, profile.tee_enclaves ? "yes" : "no",
+                profile.cim_countermeasures ? "yes" : "no",
+                profile.composable_execution ? "yes" : "no",
+                cost.aes_area_ge / 1000.0, cost.area_multiplier,
+                cost.attestation_report_bytes,
+                cost.bootrom_bytes / 1000.0);
+  }
+
+  std::printf(
+      "\nThe satellite sheds every side-channel defense (no physical access\n"
+      "after launch -- the paper's own example) and keeps only the\n"
+      "long-term-secure attestation chain; the certified roadside unit pays\n"
+      "for order-2 masking. Same framework, per-use-case cost.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Software masking overhead -- the paper's challenge #1 quantified:
+// "Protections against side-channels increase these requirements even
+// further." Measures the executable masked AES-256 against the plain
+// implementation across masking orders, reporting the cycle-cost factor
+// and the fresh-randomness appetite per block.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "convolve/crypto/aes.hpp"
+#include "convolve/masking/masked_aes.hpp"
+
+using namespace convolve;
+using namespace convolve::masking;
+
+namespace {
+
+double time_blocks(const std::function<void()>& fn, int iterations) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(stop - start).count() /
+         iterations;
+}
+
+}  // namespace
+
+int main() {
+  const Bytes key(32, 0x42);
+  std::uint8_t pt[16] = {0x11, 0x22, 0x33};
+  std::uint8_t ct[16];
+
+  const crypto::Aes plain(crypto::Aes::KeySize::k256, key);
+  const double plain_us =
+      time_blocks([&] { plain.encrypt_block(pt, ct); }, 2000);
+
+  std::printf("=== Masked AES-256 software overhead ===\n");
+  std::printf("%-8s %14s %10s %18s\n", "order", "us/block", "factor",
+              "rand bits/block");
+  std::printf("%-8s %14.2f %10s %18s\n", "plain", plain_us, "1.0", "0");
+
+  double d0_us = 0.0;
+  for (unsigned d : {0u, 1u, 2u, 3u}) {
+    RandomnessSource rnd(1);
+    const MaskedAes masked(MaskedAes::KeySize::k256, key, d, rnd);
+    const double us = time_blocks(
+        [&] { masked.encrypt_block(pt, ct, rnd); }, d >= 2 ? 50 : 200);
+    if (d == 0) d0_us = us;
+    std::printf("d=%-6u %14.2f %10.1f %18llu\n", d, us, us / d0_us,
+                static_cast<unsigned long long>(
+                    MaskedAes::block_random_bits(MaskedAes::KeySize::k256,
+                                                 d)));
+  }
+  std::printf(
+      "\n(\"factor\" is relative to the d=0 shared-datapath baseline; the\n"
+      "tower-field S-box itself costs ~2000x a table lookup in software,\n"
+      "which is precisely why the paper builds it in hardware.)\n"
+      "Randomness grows with d(d+1)/2 -- the same scaling the HADES\n"
+      "Table II hardware model charges.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// hades_explore: command-line design-space exploration.
+//
+//   ./build/examples/hades_explore                      # list algorithms
+//   ./build/examples/hades_explore aes 1                # per-goal optima
+//   ./build/examples/hades_explore keccak 2 --frontier  # Pareto frontier
+//   ./build/examples/hades_explore aes 1 --budget-area 50000
+//
+// The usage HADES is built for: pick the algorithm, state the masking
+// order your adversary model requires, add the budgets your SoC imposes,
+// and get evidence instead of intuition.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "convolve/hades/library.hpp"
+#include "convolve/hades/report.hpp"
+#include "convolve/hades/search.hpp"
+
+using namespace convolve::hades;
+
+namespace {
+
+ComponentPtr find_algorithm(const std::string& name) {
+  for (const auto& entry : library::table1_suite()) {
+    std::string lowered = entry.name;
+    for (auto& c : lowered) c = static_cast<char>(std::tolower(c));
+    if (lowered.find(name) != std::string::npos) return entry.factory();
+  }
+  if (name == "aes" || name == "aes256") return library::aes256();
+  return nullptr;
+}
+
+void list_algorithms() {
+  std::printf("algorithms (Table I suite):\n");
+  for (const auto& entry : library::table1_suite()) {
+    std::printf("  %-36s %10llu configurations\n", entry.name,
+                static_cast<unsigned long long>(entry.expected_configs));
+  }
+  std::printf("\nusage: hades_explore <algorithm> <masking-order> "
+              "[--frontier] [--budget-area GE] [--budget-latency CC] "
+              "[--budget-rand BITS]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    list_algorithms();
+    return argc == 1 ? 0 : 1;
+  }
+  std::string name = argv[1];
+  for (auto& c : name) c = static_cast<char>(std::tolower(c));
+  const ComponentPtr component = find_algorithm(name);
+  if (!component) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", argv[1]);
+    list_algorithms();
+    return 1;
+  }
+  const unsigned order = static_cast<unsigned>(std::atoi(argv[2]));
+
+  bool frontier = false;
+  Constraints budget;
+  bool constrained = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frontier") == 0) {
+      frontier = true;
+    } else if (std::strcmp(argv[i], "--budget-area") == 0 && i + 1 < argc) {
+      budget.max_area_ge = std::atof(argv[++i]);
+      constrained = true;
+    } else if (std::strcmp(argv[i], "--budget-latency") == 0 && i + 1 < argc) {
+      budget.max_latency_cc = std::atof(argv[++i]);
+      constrained = true;
+    } else if (std::strcmp(argv[i], "--budget-rand") == 0 && i + 1 < argc) {
+      budget.max_rand_bits = std::atof(argv[++i]);
+      constrained = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+
+  std::printf("%s: %llu configurations, masking order %u\n\n",
+              component->name().c_str(),
+              static_cast<unsigned long long>(component->config_count()),
+              order);
+
+  if (frontier) {
+    std::fputs(markdown_frontier(*component, order).c_str(), stdout);
+    return 0;
+  }
+
+  if (constrained) {
+    for (Goal goal : {Goal::kArea, Goal::kLatency, Goal::kRandomness}) {
+      const auto result = constrained_search(*component, order, goal, budget);
+      if (!feasible(result)) {
+        std::printf("%-4s: no design satisfies the budget\n",
+                    goal_name(goal));
+        continue;
+      }
+      std::printf("%-4s: %.1f GE, %.0f cc, %.0f rand bits\n      %s\n",
+                  goal_name(goal), result.metrics.area_ge,
+                  result.metrics.latency_cc, result.metrics.rand_bits,
+                  describe(*component, result.choice).c_str());
+    }
+    return 0;
+  }
+
+  const unsigned orders[] = {order};
+  const Goal goals[] = {Goal::kArea, Goal::kLatency, Goal::kRandomness,
+                        Goal::kAreaLatencyProduct};
+  std::fputs(markdown_goal_summary(*component, orders, goals).c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Mixed-criticality edge stack: a PMP-isolated RTOS for the control plane
+// and a composable CompSOC platform for the shared accelerator fabric.
+//
+// Section III-D + III-E of the paper in one scenario: a safety-critical
+// sensor loop and an untrusted third-party app share one SoC. The RTOS
+// contains the third-party task's memory-snooping attempt; the VEP keeps
+// the sensor loop's accelerator timing byte-identical no matter what the
+// co-runner does.
+//
+//   ./build/examples/realtime_mixed_criticality
+#include <cstdio>
+#include <memory>
+
+#include "convolve/compsoc/platform.hpp"
+#include "convolve/rtos/kernel.hpp"
+
+using namespace convolve;
+using namespace convolve::rtos;
+using namespace convolve::compsoc;
+
+int main() {
+  // ---------------- RTOS side: isolation under attack -------------------
+  Machine machine(1 << 20);
+  KernelConfig kcfg;
+  kcfg.use_pmp = true;
+  kcfg.restart_killed_tasks = true;  // recuperate, don't just endure
+  Kernel kernel(machine, kcfg);
+
+  auto sensor_readings = std::make_shared<int>(0);
+  auto sensor_base = std::make_shared<std::uint64_t>(0);
+  kernel.add_task("sensor-loop", /*priority=*/3, 8192, [=](TaskApi& api) {
+    *sensor_base = api.region_base();
+    api.write(api.region_base() + 64, Bytes{0x42});  // calibration secret
+    ++*sensor_readings;
+    return (*sensor_readings >= 10) ? StepResult::done()
+                                    : StepResult::delay(2);
+  });
+
+  auto snoop_attempts = std::make_shared<int>(0);
+  kernel.add_task("third-party-app", /*priority=*/1, 8192, [=](TaskApi& api) {
+    if (*sensor_base != 0 && *snoop_attempts < 3) {
+      ++*snoop_attempts;
+      api.read(*sensor_base + 64, 1);  // traps under PMP
+    }
+    return StepResult::yield();
+  });
+
+  kernel.run(64);
+  std::printf("=== RTOS (PMP isolation + restart policy) ===\n");
+  std::printf("sensor loop completed %d/10 iterations\n", *sensor_readings);
+  std::printf("snoop attempts: %d -> faults trapped: %d, restarts: %d, "
+              "kernel intact: %s\n\n",
+              *snoop_attempts, kernel.count_events(EventType::kFault),
+              kernel.count_events(EventType::kTaskRestarted),
+              kernel.kernel_integrity_ok() ? "yes" : "NO");
+
+  // ------------- CompSOC side: composable accelerator sharing ----------
+  PlatformConfig pcfg;
+  pcfg.policy = ArbitrationPolicy::kTdm;
+  pcfg.tdm_period = 8;
+
+  auto run_platform = [&](bool with_third_party) {
+    Platform platform(pcfg);
+    const int vep_rt =
+        platform.create_vep("sensor-dsp", {0, 1, 2}, {0, 1}, {0, 1});
+    platform.load_application(vep_rt, make_realtime_app("sensor-dsp", 10));
+    if (with_third_party) {
+      const int vep_be =
+          platform.create_vep("vision-app", {3, 4, 5, 6}, {2, 3, 4, 5},
+                              {2, 3, 4, 5});
+      platform.load_application(vep_be, make_besteffort_app("vision-app", 80));
+    }
+    return platform.run(1000000);
+  };
+
+  const auto solo = run_platform(false);
+  const auto shared = run_platform(true);
+  std::printf("=== CompSOC (VEP-composable accelerator fabric) ===\n");
+  std::printf("sensor DSP alone:            finishes at cycle %llu\n",
+              static_cast<unsigned long long>(solo[0].finish_cycle));
+  std::printf("sensor DSP + vision app:     finishes at cycle %llu\n",
+              static_cast<unsigned long long>(shared[0].finish_cycle));
+  std::printf("grant traces bit-identical:  %s\n",
+              (solo[0].grant_trace == shared[0].grant_trace) ? "yes" : "NO");
+  std::printf("\nThe third-party app can neither read the control task's "
+              "memory (PMP)\nnor perturb its accelerator timing (VEP) -- "
+              "the composable security\nframework the CONVOLVE paper "
+              "argues for.\n");
+  return 0;
+}

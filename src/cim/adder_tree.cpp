@@ -1,0 +1,112 @@
+#include "convolve/cim/adder_tree.hpp"
+
+#include <stdexcept>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::cim {
+
+namespace {
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+AdderTree::AdderTree(int n_leaves) : n_leaves_(n_leaves) {
+  if (!is_power_of_two(n_leaves)) {
+    throw std::invalid_argument("AdderTree: leaf count must be a power of 2");
+  }
+  depth_ = 0;
+  for (int n = n_leaves; n > 1; n /= 2) ++depth_;
+  levels_.resize(static_cast<std::size_t>(depth_) + 1);
+  int width = n_leaves;
+  for (auto& level : levels_) {
+    level.assign(static_cast<std::size_t>(width), 0);
+    width /= 2;
+  }
+}
+
+void AdderTree::reset() {
+  for (auto& level : levels_) {
+    for (auto& reg : level) reg = 0;
+  }
+}
+
+AdderTree::Result AdderTree::step(std::span<const int> leaf_values) {
+  if (static_cast<int>(leaf_values.size()) != n_leaves_) {
+    throw std::invalid_argument("AdderTree::step: wrong leaf count");
+  }
+  Result r;
+  // Level 0: leaf registers.
+  for (int i = 0; i < n_leaves_; ++i) {
+    const std::int64_t next = leaf_values[static_cast<std::size_t>(i)];
+    r.switching_energy += hamming_distance(
+        static_cast<std::uint64_t>(levels_[0][static_cast<std::size_t>(i)]),
+        static_cast<std::uint64_t>(next));
+    levels_[0][static_cast<std::size_t>(i)] = next;
+  }
+  // Adder levels.
+  for (int k = 1; k <= depth_; ++k) {
+    auto& prev = levels_[static_cast<std::size_t>(k - 1)];
+    auto& cur = levels_[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      const std::int64_t next = prev[2 * i] + prev[2 * i + 1];
+      r.switching_energy +=
+          hamming_distance(static_cast<std::uint64_t>(cur[i]),
+                           static_cast<std::uint64_t>(next));
+      cur[i] = next;
+    }
+  }
+  r.sum = levels_[static_cast<std::size_t>(depth_)][0];
+  return r;
+}
+
+int AdderTree::merge_level(int leaf_a, int leaf_b) const {
+  if (leaf_a < 0 || leaf_a >= n_leaves_ || leaf_b < 0 || leaf_b >= n_leaves_) {
+    throw std::out_of_range("AdderTree::merge_level: leaf out of range");
+  }
+  if (leaf_a == leaf_b) return 0;
+  int a = leaf_a, b = leaf_b, level = 0;
+  while (a != b) {
+    a /= 2;
+    b /= 2;
+    ++level;
+  }
+  return level;
+}
+
+double AdderTree::predict_from_reset(
+    const AdderTree& tree,
+    std::span<const std::pair<int, int>> active_leaves) {
+  // From an all-zero state, a register switching to value v costs HW(v).
+  // Each active value travels alone until its subtree merges with another
+  // active value's subtree. General exact computation: simulate the level
+  // sums sparsely.
+  std::vector<std::pair<int, std::int64_t>> cur;  // (position, value)
+  cur.reserve(active_leaves.size());
+  for (auto [idx, val] : active_leaves) cur.emplace_back(idx, val);
+  double energy = 0.0;
+  for (auto& [pos, val] : cur) {
+    energy += hamming_weight(static_cast<std::uint64_t>(val));
+  }
+  for (int k = 1; k <= tree.depth(); ++k) {
+    std::vector<std::pair<int, std::int64_t>> next;
+    for (auto& [pos, val] : cur) {
+      const int parent = pos / 2;
+      bool merged = false;
+      for (auto& [npos, nval] : next) {
+        if (npos == parent) {
+          nval += val;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) next.emplace_back(parent, val);
+    }
+    for (auto& [pos, val] : next) {
+      energy += hamming_weight(static_cast<std::uint64_t>(val));
+    }
+    cur = std::move(next);
+  }
+  return energy;
+}
+
+}  // namespace convolve::cim

@@ -1,0 +1,224 @@
+#include "convolve/cim/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "convolve/common/bytes.hpp"
+#include "convolve/common/stats.hpp"
+
+namespace convolve::cim {
+
+namespace {
+
+// Average power of the first MAC cycle after reset, with the given rows
+// active, over `traces` repetitions.
+double measure(CimMacro& macro, const std::vector<int>& active_rows,
+               int traces, int& measurement_counter) {
+  std::vector<std::uint8_t> inputs(static_cast<std::size_t>(macro.n_rows()),
+                                   0);
+  for (int row : active_rows) inputs[static_cast<std::size_t>(row)] = 1;
+  double sum = 0.0;
+  for (int t = 0; t < traces; ++t) {
+    macro.reset();
+    macro.clear_trace();
+    macro.mac_cycle(inputs);
+    sum += macro.trace().back();
+    ++measurement_counter;
+  }
+  return sum / traces;
+}
+
+// Attacker-side analytic template: expected power of a first cycle after
+// reset with the given (row, value) pairs active. Uses only public
+// information (tree netlist) plus the measured idle baseline.
+double predict(const CimMacro& macro, double baseline,
+               const std::vector<std::pair<int, int>>& active) {
+  double energy = AdderTree::predict_from_reset(macro.tree(), active);
+  // Accumulator register switches from 0 to the sum.
+  std::int64_t sum = 0;
+  for (auto [row, value] : active) sum += value;
+  energy += hamming_weight(static_cast<std::uint64_t>(sum));
+  return baseline + energy;
+}
+
+}  // namespace
+
+std::vector<int> hw_candidates(int hw, int bits) {
+  std::vector<int> out;
+  for (int v = 0; v < (1 << bits); ++v) {
+    if (hamming_weight(static_cast<std::uint64_t>(v)) == hw) out.push_back(v);
+  }
+  return out;
+}
+
+Phase1Result run_phase1(CimMacro& macro, const AttackConfig& config) {
+  Phase1Result r;
+  int counter = 0;
+  // Idle baseline (no weight activated).
+  const double baseline =
+      measure(macro, {}, config.traces_per_measurement, counter);
+
+  r.features.reserve(static_cast<std::size_t>(macro.n_rows()));
+  for (int i = 0; i < macro.n_rows(); ++i) {
+    r.features.push_back(
+        measure(macro, {i}, config.traces_per_measurement, counter));
+  }
+
+  // k-means clustering into the 5 HW groups (the paper's Fig. 1).
+  Xoshiro256 rng(config.seed);
+  r.clustering = kmeans_1d(r.features, 5, rng);
+  sort_clusters_by_centroid(r.clustering);
+
+  // Label each weight's HW. The one-hot energy model is
+  //   power = baseline + HW(w) * (tree depth + 2)
+  // (the value travels through depth+1 register levels plus the MAC
+  // accumulator), so the class is recoverable directly; k-means provides
+  // the unsupervised grouping evidence reported in Fig. 1.
+  const double per_hw = macro.tree().depth() + 2.0;
+  r.hw_class.reserve(r.features.size());
+  for (double f : r.features) {
+    const int hw = static_cast<int>(std::lround((f - baseline) / per_hw));
+    r.hw_class.push_back(std::clamp(hw, 0, 4));
+  }
+  return r;
+}
+
+AttackResult run_attack(CimMacro& macro, const AttackConfig& config) {
+  AttackResult result;
+  int counter = 0;
+  const double baseline =
+      measure(macro, {}, config.traces_per_measurement, counter);
+  result.phase1 = run_phase1(macro, config);
+  counter += (macro.n_rows() + 1) * config.traces_per_measurement;
+
+  const int n = macro.n_rows();
+  result.recovered.assign(static_cast<std::size_t>(n), -1);
+
+  // Phase 1 output: extreme clusters are immediately known.
+  for (int i = 0; i < n; ++i) {
+    const int hw = result.phase1.hw_class[static_cast<std::size_t>(i)];
+    if (hw == 0) result.recovered[static_cast<std::size_t>(i)] = 0;
+    if (hw == 4) result.recovered[static_cast<std::size_t>(i)] = 15;
+  }
+
+  // Phase 2: resolve classes 1, 2, 3, reusing freshly recovered weights as
+  // probe material for the later classes.
+  for (int hw = 1; hw <= 3; ++hw) {
+    const std::vector<int> candidates = hw_candidates(hw);
+    // Rows whose value is already known (probe material).
+    std::vector<int> known_rows;
+    for (int j = 0; j < n; ++j) {
+      if (result.recovered[static_cast<std::size_t>(j)] >= 0) {
+        known_rows.push_back(j);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if (result.phase1.hw_class[static_cast<std::size_t>(i)] != hw) continue;
+      if (result.recovered[static_cast<std::size_t>(i)] >= 0) continue;
+
+      // --- Exhaustive probe-set minimization -------------------------
+      // Find the smallest set of known rows whose joint co-activation
+      // signature separates all candidate values of this class.
+      std::vector<int> probe_set;
+      for (std::size_t set_size = 1;
+           set_size <= 3 && probe_set.empty() && set_size <= known_rows.size();
+           ++set_size) {
+        // Iterate over combinations of known rows of this size.
+        std::vector<std::size_t> idx(set_size);
+        for (std::size_t t = 0; t < set_size; ++t) idx[t] = t;
+        while (true) {
+          // Predicted signature per candidate: one prediction per probe.
+          bool separates = true;
+          std::vector<std::vector<double>> sig(candidates.size());
+          for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+            for (std::size_t t = 0; t < set_size; ++t) {
+              const int j = known_rows[idx[t]];
+              sig[ci].push_back(predict(
+                  macro, baseline,
+                  {{i, candidates[ci]},
+                   {j, result.recovered[static_cast<std::size_t>(j)]}}));
+            }
+          }
+          for (std::size_t a = 0; a < sig.size() && separates; ++a) {
+            for (std::size_t b = a + 1; b < sig.size(); ++b) {
+              double max_gap = 0.0;
+              for (std::size_t t = 0; t < set_size; ++t) {
+                max_gap = std::max(max_gap, std::abs(sig[a][t] - sig[b][t]));
+              }
+              if (max_gap <= 2.0 * config.match_tolerance) {
+                separates = false;
+                break;
+              }
+            }
+          }
+          if (separates) {
+            for (std::size_t t = 0; t < set_size; ++t) {
+              probe_set.push_back(known_rows[idx[t]]);
+            }
+            break;
+          }
+          // Next combination.
+          std::size_t pos = set_size;
+          while (pos > 0) {
+            --pos;
+            if (idx[pos] != known_rows.size() - set_size + pos) break;
+            if (pos == 0) {
+              pos = known_rows.size();  // exhausted marker
+              break;
+            }
+          }
+          if (pos >= known_rows.size()) break;
+          ++idx[pos];
+          for (std::size_t t = pos + 1; t < set_size; ++t) {
+            idx[t] = idx[t - 1] + 1;
+          }
+        }
+      }
+      if (probe_set.empty()) continue;  // cannot separate; leave unknown
+
+      // --- Measure and match ------------------------------------------
+      std::vector<double> measured;
+      for (int j : probe_set) {
+        measured.push_back(measure(macro, {i, j},
+                                   config.traces_per_measurement, counter));
+      }
+      double best_err = std::numeric_limits<double>::infinity();
+      int best_candidate = -1;
+      for (int c : candidates) {
+        double err = 0.0;
+        for (std::size_t t = 0; t < probe_set.size(); ++t) {
+          const int j = probe_set[t];
+          const double p = predict(
+              macro, baseline,
+              {{i, c}, {j, result.recovered[static_cast<std::size_t>(j)]}});
+          err += std::abs(measured[t] - p);
+        }
+        if (err < best_err) {
+          best_err = err;
+          best_candidate = c;
+        }
+      }
+      result.recovered[static_cast<std::size_t>(i)] = best_candidate;
+    }
+  }
+
+  result.measurements = counter;
+  return result;
+}
+
+void evaluate_against_ground_truth(AttackResult& result,
+                                   const std::vector<int>& true_weights) {
+  if (true_weights.size() != result.recovered.size()) {
+    throw std::invalid_argument("evaluate: size mismatch");
+  }
+  result.correct = 0;
+  for (std::size_t i = 0; i < true_weights.size(); ++i) {
+    if (result.recovered[i] == true_weights[i]) ++result.correct;
+  }
+  result.accuracy =
+      static_cast<double>(result.correct) / true_weights.size();
+}
+
+}  // namespace convolve::cim

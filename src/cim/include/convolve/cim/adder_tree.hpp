@@ -1,0 +1,63 @@
+// Gate-level-style adder tree with a Hamming-distance switching model.
+//
+// The digital CIM macro of the paper (Section III-C) multiplies binary
+// inputs with 4-bit SRAM weights and accumulates the products through a
+// pipelined adder tree into a MAC register. Its dynamic power is dominated
+// by register switching, which a Hamming-distance model captures: every
+// pipeline register contributes energy proportional to the number of bits
+// that flip. This is the signal the paper's attack exploits -- the authors
+// observe that "the switching activity of the accumulator can be confined
+// to the desired level through input manipulation".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace convolve::cim {
+
+/// Balanced binary adder tree over n_leaves inputs with per-level pipeline
+/// registers. Leaf count must be a power of two.
+class AdderTree {
+ public:
+  explicit AdderTree(int n_leaves);
+
+  struct Result {
+    std::int64_t sum = 0;
+    double switching_energy = 0.0;  // Hamming-distance units
+  };
+
+  /// Clock one accumulation of `leaf_values` through the tree; the energy
+  /// is the total Hamming distance between the previous and new register
+  /// contents at every level (plus the root register).
+  Result step(std::span<const int> leaf_values);
+
+  /// Reset all pipeline registers to zero (precharge), as the attack does
+  /// between measurements.
+  void reset();
+
+  int n_leaves() const { return n_leaves_; }
+  int depth() const { return depth_; }
+
+  /// Depth of the lowest-common-ancestor level of two leaves: the number
+  /// of levels in which their values travel separately. Exposed because
+  /// the attacker (who knows the netlist, not the weights) uses it to
+  /// predict co-activation signatures.
+  int merge_level(int leaf_a, int leaf_b) const;
+
+  /// Analytic prediction of the switching energy of one step from a reset
+  /// state with exactly the given leaf values (no noise). Used by the
+  /// attack's template dictionary.
+  static double predict_from_reset(const AdderTree& tree,
+                                   std::span<const std::pair<int, int>>
+                                       active_leaves /* (index, value) */);
+
+ private:
+  int n_leaves_;
+  int depth_;
+  // levels_[k] holds the register values after level k's adders;
+  // levels_[0] is the leaf register stage.
+  std::vector<std::vector<std::int64_t>> levels_;
+};
+
+}  // namespace convolve::cim

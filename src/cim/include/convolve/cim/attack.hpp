@@ -1,0 +1,59 @@
+// The two-phase weight-extraction attack of Section III-C.
+//
+// Phase 1: activate each weight alone, average T power traces, cluster the
+// per-weight features with k-means into five groups and label them HW 0..4
+// by centroid order (the paper's Fig. 1). Weights in the extreme clusters
+// are immediately known (HW 0 -> value 0, HW 4 -> value 15).
+//
+// Phase 2: for each remaining weight, co-activate it with already-known
+// weights and compare the measured power against an analytic template (the
+// attacker knows the netlist, not the weights) to single out the value
+// among the candidates of its HW class (the paper's Fig. 2 shows HW = 3:
+// values 7, 11, 13, 14 become distinguishable next to a known weight). The
+// probe set is minimized by exhaustive search over known-weight subsets,
+// "optimized through exhaustive search, minimizes additions".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "convolve/cim/kmeans.hpp"
+#include "convolve/cim/macro.hpp"
+
+namespace convolve::cim {
+
+struct AttackConfig {
+  int traces_per_measurement = 1;  // averaging factor (raise under noise)
+  std::uint64_t seed = 0xA77AC3;   // attacker-side randomness (k-means)
+  double match_tolerance = 0.4;    // template match threshold (HD units)
+};
+
+struct Phase1Result {
+  std::vector<double> features;  // mean power per weight, one-hot activated
+  std::vector<int> hw_class;     // inferred Hamming weight per weight
+  KMeansResult clustering;
+};
+
+struct AttackResult {
+  Phase1Result phase1;
+  std::vector<int> recovered;       // recovered weight values (-1 unknown)
+  int measurements = 0;             // total MAC measurements spent
+  int correct = 0;                  // vs ground truth (filled by evaluate)
+  double accuracy = 0.0;
+};
+
+/// Candidate 4-bit values for a Hamming-weight class.
+std::vector<int> hw_candidates(int hw, int bits = 4);
+
+/// Run phase 1 only.
+Phase1Result run_phase1(CimMacro& macro, const AttackConfig& config);
+
+/// Full two-phase attack. The attacker only uses macro.mac_cycle(),
+/// macro.reset(), the trace, and the public tree structure.
+AttackResult run_attack(CimMacro& macro, const AttackConfig& config);
+
+/// Fill in correctness fields against the ground-truth weights.
+void evaluate_against_ground_truth(AttackResult& result,
+                                   const std::vector<int>& true_weights);
+
+}  // namespace convolve::cim

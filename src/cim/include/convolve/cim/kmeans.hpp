@@ -1,0 +1,31 @@
+// k-means clustering (Lloyd's algorithm with k-means++ seeding),
+// implemented from scratch. Phase 1 of the CIM attack clusters per-weight
+// power features into Hamming-weight classes 0..4 (the paper's Fig. 1 used
+// scikit-learn; this is the equivalent primitive).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "convolve/common/rng.hpp"
+
+namespace convolve::cim {
+
+struct KMeansResult {
+  std::vector<double> centroids;        // k centroids (1-D features)
+  std::vector<int> assignment;          // cluster index per point
+  double inertia = 0.0;                 // sum of squared distances
+  int iterations = 0;
+};
+
+/// Cluster 1-D points into k clusters. Deterministic given the rng seed.
+/// Runs `restarts` k-means++ initializations and keeps the best inertia.
+KMeansResult kmeans_1d(const std::vector<double>& points, int k,
+                       Xoshiro256& rng, int restarts = 8,
+                       int max_iterations = 100);
+
+/// Relabel clusters so that centroid values are ascending (cluster 0 =
+/// smallest centroid). For the CIM attack this makes cluster index == HW.
+void sort_clusters_by_centroid(KMeansResult& result);
+
+}  // namespace convolve::cim

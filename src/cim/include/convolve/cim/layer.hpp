@@ -1,0 +1,52 @@
+// A dense NN layer on CIM macros.
+//
+// One macro column per output neuron (the usual digital-CIM floorplan):
+// forward() runs bit-serial MACs over shared activations, then applies
+// ReLU and a right-shift requantization. This is the deployment surface
+// the paper's Section III-C attack steals from -- and every column
+// inherits the macro's countermeasure configuration.
+#pragma once
+
+#include <vector>
+
+#include "convolve/cim/macro.hpp"
+
+namespace convolve::cim {
+
+struct LayerConfig {
+  int inputs = 64;        // rows per macro (power of two)
+  int outputs = 8;        // macro columns
+  int weight_bits = 4;
+  int activation_bits = 4;
+  int requant_shift = 4;  // output >>= shift after ReLU
+  MacroConfig macro;      // countermeasures/noise apply to every column
+};
+
+class DenseLayer {
+ public:
+  /// weights[o] is the 4-bit weight vector of output neuron o.
+  DenseLayer(const LayerConfig& config,
+             const std::vector<std::vector<int>>& weights);
+
+  /// Forward pass: y_o = relu(sum_i w_oi * x_i) >> requant_shift.
+  std::vector<std::int64_t> forward(const std::vector<int>& activations);
+
+  int inputs() const { return config_.inputs; }
+  int outputs() const { return config_.outputs; }
+
+  /// Column access for attacks/tests.
+  CimMacro& column(int o) { return columns_.at(static_cast<std::size_t>(o)); }
+  const std::vector<std::vector<int>>& secret_weights() const {
+    return weights_;
+  }
+
+ private:
+  LayerConfig config_;
+  std::vector<std::vector<int>> weights_;
+  std::vector<CimMacro> columns_;
+};
+
+/// Build a layer with deterministic pseudo-random weights.
+DenseLayer random_layer(const LayerConfig& config, std::uint64_t seed);
+
+}  // namespace convolve::cim

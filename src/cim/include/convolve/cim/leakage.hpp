@@ -1,0 +1,54 @@
+// Leakage assessment and regression-based power analysis for the CIM macro.
+//
+// Two industry-standard evaluations complementing the paper's chosen-input
+// attack:
+//  * TVLA (Welch t-test): fixed-vs-random weight-column comparison; |t| >
+//    4.5 flags exploitable first-order leakage. This is the methodology a
+//    CONVOLVE evaluation lab would apply to certify a hardened macro.
+//  * Known-input regression analysis (CPA/LRA): an attacker who cannot
+//    choose inputs (no one-hot probing), only observes random activations.
+//    Because the macro's leakage is linear in the Hamming weight, the
+//    Pearson distinguisher is scale-invariant across weight values of the
+//    same HW, so the attack estimates each row's HW via the OLS regression
+//    coefficient of power on the row's activation bit. It recovers HW
+//    classes only -- exact values need the paper's chosen-input phase 2,
+//    which quantifies how much stronger the chosen-input model is.
+#pragma once
+
+#include <vector>
+
+#include "convolve/cim/macro.hpp"
+
+namespace convolve::cim {
+
+struct TvlaResult {
+  double t_statistic = 0.0;  // Welch t between fixed and random sets
+  bool leaks = false;        // |t| > threshold
+  double threshold = 4.5;
+  int traces_per_set = 0;
+};
+
+/// Fixed-vs-random TVLA on the macro architecture: power traces from a
+/// macro programmed with a fixed weight column vs. macros with random
+/// columns, under identical random input sequences. `config` carries the
+/// countermeasure settings under evaluation.
+TvlaResult tvla_fixed_vs_random(const MacroConfig& config, int traces_per_set,
+                                std::uint64_t seed);
+
+struct CpaResult {
+  std::vector<int> recovered_hw;  // estimated Hamming weight per row
+  std::vector<double> coefficient;  // raw regression slope per row
+  int correct = 0;                // vs ground-truth HW
+  double accuracy = 0.0;
+};
+
+/// Known-input attack: apply `n_traces` uniformly random activation
+/// vectors, regress power on each row's activation bit, estimate HW.
+CpaResult cpa_known_input_attack(CimMacro& macro, int n_traces,
+                                 std::uint64_t seed);
+
+/// Fill correctness fields against the ground-truth weights (compares
+/// recovered HW to HW(w)).
+void evaluate_cpa(CpaResult& result, const std::vector<int>& true_weights);
+
+}  // namespace convolve::cim

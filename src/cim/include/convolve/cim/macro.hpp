@@ -1,0 +1,78 @@
+// Digital SRAM compute-in-memory macro with a power side channel.
+//
+// Models the macro of the paper's Section III-C: 4-bit weights in an SRAM
+// column, bit-wise multiplication with binary inputs (selective inclusion of
+// weights), an adder tree and a MAC accumulator register. Every MAC cycle
+// emits a power sample: adder-tree and accumulator switching (Hamming
+// distance) plus optional Gaussian measurement noise. Countermeasures
+// (random dummy rows, input shuffling) can be enabled to evaluate defenses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "convolve/cim/adder_tree.hpp"
+#include "convolve/common/rng.hpp"
+
+namespace convolve::cim {
+
+struct MacroConfig {
+  int n_rows = 64;            // weights per column (power of two)
+  int weight_bits = 4;        // 4-bit weights as in the paper
+  double noise_sigma = 0.0;   // Gaussian noise on each power sample
+  double static_power = 2.0;  // constant baseline per cycle
+  // Countermeasures -------------------------------------------------------
+  bool shuffle_rows = false;   // random row permutation per cycle
+  int dummy_rows = 0;          // extra rows with random weights activated
+                               // randomly each cycle (power blinding)
+  std::uint64_t seed = 0x51DE;  // noise / countermeasure randomness
+};
+
+class CimMacro {
+ public:
+  CimMacro(const MacroConfig& config, std::vector<int> weights);
+
+  /// One MAC cycle: inputs[i] in {0,1} selects whether weight i joins the
+  /// accumulation. Returns the MAC sum (architectural result). The power
+  /// sample is appended to the trace.
+  std::int64_t mac_cycle(const std::vector<std::uint8_t>& inputs);
+
+  /// Multi-bit activations, processed bit-serially (one adder-tree pass
+  /// per activation bit-plane, shift-accumulated) as in digital CIM
+  /// macros. Returns the dot product sum(w_i * x_i). Emits `act_bits`
+  /// power samples. Activations must fit in `act_bits` bits.
+  std::int64_t mac_multibit(const std::vector<int>& activations,
+                            int act_bits);
+
+  /// Precharge: reset adder tree registers and the accumulator.
+  void reset();
+
+  const std::vector<double>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  int n_rows() const { return config_.n_rows; }
+  int weight_bits() const { return config_.weight_bits; }
+  const MacroConfig& config() const { return config_; }
+
+  /// Ground truth for tests/benches (a real attacker cannot call this).
+  const std::vector<int>& secret_weights() const { return weights_; }
+
+  /// The attacker-visible netlist structure (positions, tree shape).
+  const AdderTree& tree() const { return tree_; }
+
+ private:
+  MacroConfig config_;
+  std::vector<int> weights_;
+  std::vector<int> dummy_weights_;
+  AdderTree tree_;
+  std::int64_t accumulator_ = 0;
+  std::int64_t dummy_total_ = 0;
+  std::vector<double> trace_;
+  Xoshiro256 rng_;
+};
+
+/// Convenience: build a macro with uniformly random weights.
+CimMacro random_macro(const MacroConfig& config, std::uint64_t weight_seed);
+
+}  // namespace convolve::cim

@@ -1,0 +1,142 @@
+#include "convolve/cim/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace convolve::cim {
+
+namespace {
+
+std::vector<double> kmeanspp_init(const std::vector<double>& points, int k,
+                                  Xoshiro256& rng) {
+  std::vector<double> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  centroids.push_back(points[rng.uniform(points.size())]);
+  std::vector<double> dist_sq(points.size());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double c : centroids) {
+        best = std::min(best, (points[i] - c) * (points[i] - c));
+      }
+      dist_sq[i] = best;
+      total += best;
+    }
+    if (total == 0.0) {
+      // All points coincide with existing centroids; fill arbitrarily.
+      centroids.push_back(points[rng.uniform(points.size())]);
+      continue;
+    }
+    double target = rng.uniform_real() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= dist_sq[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult lloyd(const std::vector<double>& points,
+                   std::vector<double> centroids, int max_iterations) {
+  const int k = static_cast<int>(centroids.size());
+  KMeansResult r;
+  r.centroids = std::move(centroids);
+  r.assignment.assign(points.size(), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d = (points[i] - r.centroids[static_cast<std::size_t>(c)]) *
+                         (points[i] - r.centroids[static_cast<std::size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (r.assignment[i] != best) {
+        r.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update step.
+    std::vector<double> sum(static_cast<std::size_t>(k), 0.0);
+    std::vector<int> count(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sum[static_cast<std::size_t>(r.assignment[i])] += points[i];
+      ++count[static_cast<std::size_t>(r.assignment[i])];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (count[static_cast<std::size_t>(c)] > 0) {
+        r.centroids[static_cast<std::size_t>(c)] =
+            sum[static_cast<std::size_t>(c)] /
+            count[static_cast<std::size_t>(c)];
+      }
+    }
+    r.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+  }
+  r.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d =
+        points[i] - r.centroids[static_cast<std::size_t>(r.assignment[i])];
+    r.inertia += d * d;
+  }
+  return r;
+}
+
+}  // namespace
+
+KMeansResult kmeans_1d(const std::vector<double>& points, int k,
+                       Xoshiro256& rng, int restarts, int max_iterations) {
+  if (k <= 0) throw std::invalid_argument("kmeans_1d: k <= 0");
+  if (points.empty()) throw std::invalid_argument("kmeans_1d: no points");
+  if (static_cast<std::size_t>(k) > points.size()) {
+    throw std::invalid_argument("kmeans_1d: k > number of points");
+  }
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < restarts; ++r) {
+    KMeansResult candidate =
+        lloyd(points, kmeanspp_init(points, k, rng), max_iterations);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+void sort_clusters_by_centroid(KMeansResult& result) {
+  const int k = static_cast<int>(result.centroids.size());
+  std::vector<int> order(static_cast<std::size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return result.centroids[static_cast<std::size_t>(a)] <
+           result.centroids[static_cast<std::size_t>(b)];
+  });
+  // rank[old] = new index
+  std::vector<int> rank(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    rank[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  }
+  std::vector<double> sorted(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    sorted[static_cast<std::size_t>(i)] =
+        result.centroids[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+  }
+  result.centroids = std::move(sorted);
+  for (auto& a : result.assignment) {
+    a = rank[static_cast<std::size_t>(a)];
+  }
+}
+
+}  // namespace convolve::cim

@@ -1,0 +1,54 @@
+#include "convolve/cim/layer.hpp"
+
+#include <stdexcept>
+
+namespace convolve::cim {
+
+DenseLayer::DenseLayer(const LayerConfig& config,
+                       const std::vector<std::vector<int>>& weights)
+    : config_(config), weights_(weights) {
+  if (static_cast<int>(weights.size()) != config.outputs) {
+    throw std::invalid_argument("DenseLayer: weight rows != outputs");
+  }
+  if (config.requant_shift < 0 || config.requant_shift > 31) {
+    throw std::invalid_argument("DenseLayer: bad requant shift");
+  }
+  columns_.reserve(weights.size());
+  for (int o = 0; o < config.outputs; ++o) {
+    MacroConfig mc = config.macro;
+    mc.n_rows = config.inputs;
+    mc.weight_bits = config.weight_bits;
+    mc.seed = config.macro.seed + static_cast<std::uint64_t>(o) * 0x9E37u;
+    columns_.emplace_back(mc, weights[static_cast<std::size_t>(o)]);
+  }
+}
+
+std::vector<std::int64_t> DenseLayer::forward(
+    const std::vector<int>& activations) {
+  std::vector<std::int64_t> out;
+  out.reserve(columns_.size());
+  for (auto& column : columns_) {
+    column.reset();
+    const std::int64_t mac =
+        column.mac_multibit(activations, config_.activation_bits);
+    const std::int64_t relu = mac > 0 ? mac : 0;
+    out.push_back(relu >> config_.requant_shift);
+  }
+  return out;
+}
+
+DenseLayer random_layer(const LayerConfig& config, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const int max_w = (1 << config.weight_bits) - 1;
+  std::vector<std::vector<int>> weights(
+      static_cast<std::size_t>(config.outputs));
+  for (auto& row : weights) {
+    row.resize(static_cast<std::size_t>(config.inputs));
+    for (auto& w : row) {
+      w = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(max_w) + 1));
+    }
+  }
+  return DenseLayer(config, weights);
+}
+
+}  // namespace convolve::cim

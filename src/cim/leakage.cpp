@@ -1,0 +1,173 @@
+#include "convolve/cim/leakage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "convolve/common/bytes.hpp"
+#include "convolve/common/stats.hpp"
+
+namespace convolve::cim {
+
+TvlaResult tvla_fixed_vs_random(const MacroConfig& config, int traces_per_set,
+                                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const int max_w = (1 << config.weight_bits) - 1;
+
+  // The fixed column: a constant vector whose Hamming-weight profile
+  // differs from the random-column expectation (mean HW 2), so any
+  // weight-dependence of the power shows up in the first-order statistic.
+  std::vector<int> fixed_weights(static_cast<std::size_t>(config.n_rows));
+  for (std::size_t i = 0; i < fixed_weights.size(); ++i) {
+    fixed_weights[i] = (i % 2 == 0) ? max_w : (max_w - 4);  // HW 4 / HW 3
+  }
+
+  std::vector<double> fixed_set, random_set;
+  fixed_set.reserve(static_cast<std::size_t>(traces_per_set));
+  random_set.reserve(static_cast<std::size_t>(traces_per_set));
+
+  for (int t = 0; t < traces_per_set; ++t) {
+    // Shared random input vector for this pair of measurements.
+    std::vector<std::uint8_t> inputs(static_cast<std::size_t>(config.n_rows));
+    for (auto& x : inputs) x = static_cast<std::uint8_t>(rng.next_bit());
+
+    MacroConfig cfg = config;
+    cfg.seed = rng.next_u64();  // countermeasure/noise randomness per run
+    CimMacro fixed(cfg, fixed_weights);
+    fixed.reset();
+    fixed.mac_cycle(inputs);
+    fixed_set.push_back(fixed.trace().back());
+
+    MacroConfig rcfg = config;
+    rcfg.seed = rng.next_u64();
+    CimMacro random = random_macro(rcfg, rng.next_u64());
+    random.reset();
+    random.mac_cycle(inputs);
+    random_set.push_back(random.trace().back());
+  }
+
+  TvlaResult result;
+  result.traces_per_set = traces_per_set;
+  result.t_statistic = welch_t(fixed_set, random_set);
+  result.leaks = std::abs(result.t_statistic) > result.threshold;
+  return result;
+}
+
+CpaResult cpa_known_input_attack(CimMacro& macro, int n_traces,
+                                 std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const int n = macro.n_rows();
+
+  std::vector<std::vector<std::uint8_t>> inputs;
+  std::vector<double> power;
+  inputs.reserve(static_cast<std::size_t>(n_traces));
+  power.reserve(static_cast<std::size_t>(n_traces));
+  // Low-duty-cycle activations (typical for event-driven edge workloads):
+  // sparse inputs keep adder-tree merges rare, so each row's marginal
+  // power effect stays close to its isolated switching cost.
+  auto draw_input = [&rng, n]() {
+    std::vector<std::uint8_t> x(static_cast<std::size_t>(n));
+    for (auto& b : x) b = static_cast<std::uint8_t>(rng.uniform(32) == 0);
+    return x;
+  };
+  for (int t = 0; t < n_traces; ++t) {
+    std::vector<std::uint8_t> x = draw_input();
+    macro.reset();
+    macro.clear_trace();
+    macro.mac_cycle(x);
+    inputs.push_back(std::move(x));
+    power.push_back(macro.trace().back());
+  }
+
+  // Per-row OLS slope: beta_i = cov(P, x_i) / var(x_i). With dense
+  // activations the adder tree merges partial sums, so the marginal effect
+  // of one row is sub-linear in depth; the mapping slope -> HW is learned
+  // on a profiling device with known weights (standard template-attack
+  // assumption, same as the paper's phase 2 predictions).
+  auto slopes_for = [n, n_traces](const std::vector<std::vector<std::uint8_t>>&
+                                      xs,
+                                  const std::vector<double>& ps) {
+    std::vector<double> betas(static_cast<std::size_t>(n));
+    const double p_mean = mean(ps);
+    for (int i = 0; i < n; ++i) {
+      double x_mean = 0.0;
+      for (const auto& x : xs) x_mean += x[static_cast<std::size_t>(i)];
+      x_mean /= n_traces;
+      double cov = 0.0, var = 0.0;
+      for (int t = 0; t < n_traces; ++t) {
+        const double dx =
+            xs[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] -
+            x_mean;
+        cov += dx * (ps[static_cast<std::size_t>(t)] - p_mean);
+        var += dx * dx;
+      }
+      betas[static_cast<std::size_t>(i)] = (var > 0.0) ? cov / var : 0.0;
+    }
+    return betas;
+  };
+
+  // --- Profiling phase: identical macro architecture, known weights ----
+  MacroConfig profile_config = macro.config();
+  profile_config.seed = seed ^ 0x9E3779B97F4A7C15ull;
+  CimMacro profiler = random_macro(profile_config, seed ^ 0xABCD);
+  std::vector<std::vector<std::uint8_t>> p_inputs;
+  std::vector<double> p_power;
+  p_inputs.reserve(static_cast<std::size_t>(n_traces));
+  p_power.reserve(static_cast<std::size_t>(n_traces));
+  for (int t = 0; t < n_traces; ++t) {
+    std::vector<std::uint8_t> x = draw_input();
+    profiler.reset();
+    profiler.clear_trace();
+    profiler.mac_cycle(x);
+    p_inputs.push_back(std::move(x));
+    p_power.push_back(profiler.trace().back());
+  }
+  const std::vector<double> profile_betas = slopes_for(p_inputs, p_power);
+  // Per-HW centroid slope from the profiler's known weights.
+  double centroid[5] = {0, 0, 0, 0, 0};
+  int count[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < n; ++i) {
+    const int hw = hamming_weight(static_cast<std::uint64_t>(
+        profiler.secret_weights()[static_cast<std::size_t>(i)]));
+    centroid[hw] += profile_betas[static_cast<std::size_t>(i)];
+    ++count[hw];
+  }
+  for (int hw = 0; hw < 5; ++hw) {
+    // Fall back to a linear grid when a class is absent in the profile.
+    centroid[hw] = (count[hw] > 0) ? centroid[hw] / count[hw]
+                                   : hw * (macro.tree().depth() + 2.0);
+  }
+
+  // --- Attack phase: nearest-centroid classification of target slopes --
+  const std::vector<double> betas = slopes_for(inputs, power);
+  CpaResult result;
+  result.recovered_hw.resize(static_cast<std::size_t>(n));
+  result.coefficient = betas;
+  for (int i = 0; i < n; ++i) {
+    int best_hw = 0;
+    double best_dist = std::abs(betas[static_cast<std::size_t>(i)] -
+                                centroid[0]);
+    for (int hw = 1; hw < 5; ++hw) {
+      const double dist =
+          std::abs(betas[static_cast<std::size_t>(i)] - centroid[hw]);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_hw = hw;
+      }
+    }
+    result.recovered_hw[static_cast<std::size_t>(i)] = best_hw;
+  }
+  return result;
+}
+
+void evaluate_cpa(CpaResult& result, const std::vector<int>& true_weights) {
+  result.correct = 0;
+  for (std::size_t i = 0; i < true_weights.size(); ++i) {
+    const int true_hw = hamming_weight(static_cast<std::uint64_t>(
+        true_weights[i]));
+    result.correct += (result.recovered_hw[i] == true_hw);
+  }
+  result.accuracy =
+      static_cast<double>(result.correct) / true_weights.size();
+}
+
+}  // namespace convolve::cim

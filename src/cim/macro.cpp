@@ -1,0 +1,137 @@
+#include "convolve/cim/macro.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::cim {
+
+namespace {
+int tree_size_for(const MacroConfig& config) {
+  // Dummy rows share the physical tree: round rows+dummies up to a power
+  // of two.
+  int needed = config.n_rows + config.dummy_rows;
+  int size = 1;
+  while (size < needed) size *= 2;
+  return size;
+}
+}  // namespace
+
+CimMacro::CimMacro(const MacroConfig& config, std::vector<int> weights)
+    : config_(config),
+      weights_(std::move(weights)),
+      tree_(tree_size_for(config)),
+      rng_(config.seed) {
+  if (static_cast<int>(weights_.size()) != config_.n_rows) {
+    throw std::invalid_argument("CimMacro: weight count != n_rows");
+  }
+  const int max_w = (1 << config_.weight_bits) - 1;
+  for (int w : weights_) {
+    if (w < 0 || w > max_w) {
+      throw std::invalid_argument("CimMacro: weight out of range");
+    }
+  }
+  dummy_weights_.resize(static_cast<std::size_t>(config_.dummy_rows));
+  for (auto& w : dummy_weights_) {
+    w = static_cast<int>(rng_.uniform(static_cast<std::uint64_t>(max_w) + 1));
+  }
+}
+
+void CimMacro::reset() {
+  tree_.reset();
+  accumulator_ = 0;
+  dummy_total_ = 0;
+}
+
+std::int64_t CimMacro::mac_cycle(const std::vector<std::uint8_t>& inputs) {
+  if (static_cast<int>(inputs.size()) != config_.n_rows) {
+    throw std::invalid_argument("CimMacro::mac_cycle: wrong input width");
+  }
+  // Bit-wise multiplication: product_i = w_i * x_i with x_i in {0,1}.
+  std::vector<int> leaves(static_cast<std::size_t>(tree_.n_leaves()), 0);
+
+  // Row shuffling countermeasure: permute which physical leaf each logical
+  // row drives this cycle.
+  std::vector<int> physical(static_cast<std::size_t>(config_.n_rows));
+  std::iota(physical.begin(), physical.end(), 0);
+  if (config_.shuffle_rows) {
+    std::shuffle(physical.begin(), physical.end(), rng_);
+  }
+  for (int i = 0; i < config_.n_rows; ++i) {
+    if (inputs[static_cast<std::size_t>(i)] != 0) {
+      leaves[static_cast<std::size_t>(physical[static_cast<std::size_t>(i)])] =
+          weights_[static_cast<std::size_t>(i)];
+    }
+  }
+  // Dummy-row countermeasure: random subset of dummies fire every cycle.
+  std::int64_t dummy_sum = 0;
+  for (int j = 0; j < config_.dummy_rows; ++j) {
+    if (rng_.next_bit()) {
+      leaves[static_cast<std::size_t>(config_.n_rows + j)] =
+          dummy_weights_[static_cast<std::size_t>(j)];
+      dummy_sum += dummy_weights_[static_cast<std::size_t>(j)];
+    }
+  }
+
+  const AdderTree::Result r = tree_.step(leaves);
+
+  // Accumulator register switching.
+  const std::int64_t next_acc = accumulator_ + r.sum;
+  const double acc_energy =
+      hamming_distance(static_cast<std::uint64_t>(accumulator_),
+                       static_cast<std::uint64_t>(next_acc));
+  accumulator_ = next_acc;
+
+  double power = config_.static_power + r.switching_energy + acc_energy;
+  if (config_.noise_sigma > 0.0) {
+    power += rng_.normal(0.0, config_.noise_sigma);
+  }
+  trace_.push_back(power);
+
+  // Architectural result excludes the dummies (they are subtracted by the
+  // digital backend before the result is consumed).
+  dummy_total_ += dummy_sum;
+  return accumulator_ - dummy_total_;
+}
+
+std::int64_t CimMacro::mac_multibit(const std::vector<int>& activations,
+                                    int act_bits) {
+  if (static_cast<int>(activations.size()) != config_.n_rows) {
+    throw std::invalid_argument("mac_multibit: wrong activation width");
+  }
+  if (act_bits < 1 || act_bits > 16) {
+    throw std::invalid_argument("mac_multibit: bits out of range");
+  }
+  for (int a : activations) {
+    if (a < 0 || a >= (1 << act_bits)) {
+      throw std::invalid_argument("mac_multibit: activation out of range");
+    }
+  }
+  std::int64_t result = 0;
+  std::int64_t prev_total = accumulator_ - dummy_total_;
+  for (int b = 0; b < act_bits; ++b) {
+    std::vector<std::uint8_t> plane(static_cast<std::size_t>(config_.n_rows));
+    for (int i = 0; i < config_.n_rows; ++i) {
+      plane[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+          (activations[static_cast<std::size_t>(i)] >> b) & 1);
+    }
+    const std::int64_t total = mac_cycle(plane);
+    result += (total - prev_total) << b;
+    prev_total = total;
+  }
+  return result;
+}
+
+CimMacro random_macro(const MacroConfig& config, std::uint64_t weight_seed) {
+  Xoshiro256 rng(weight_seed);
+  const int max_w = (1 << config.weight_bits) - 1;
+  std::vector<int> weights(static_cast<std::size_t>(config.n_rows));
+  for (auto& w : weights) {
+    w = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(max_w) + 1));
+  }
+  return CimMacro(config, std::move(weights));
+}
+
+}  // namespace convolve::cim

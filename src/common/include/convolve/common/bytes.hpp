@@ -1,0 +1,85 @@
+// Byte-buffer helpers shared by every CONVOLVE subsystem.
+//
+// All cryptographic and serialization code in this project passes data as
+// `Bytes` (a std::vector<std::uint8_t>) or views it through std::span. The
+// helpers here cover hex round-trips, little/big-endian integer packing and
+// constant-time comparison, which is required whenever a MAC or signature is
+// checked against attacker-controlled input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace convolve {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encode a byte sequence as lowercase hex.
+std::string to_hex(ByteView data);
+
+/// Decode a hex string (upper or lower case, even length). Throws
+/// std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// View the bytes of a std::string without copying.
+ByteView as_bytes(std::string_view s);
+
+/// Concatenate any number of byte sequences.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Constant-time equality: runtime depends only on the lengths, never on
+/// the contents. Returns false for mismatched lengths.
+bool ct_equal(ByteView a, ByteView b);
+
+/// Best-effort secure wipe (volatile writes so the compiler cannot elide).
+void secure_wipe(std::span<std::uint8_t> data);
+
+// Little-endian loads/stores --------------------------------------------
+
+std::uint32_t load_le32(const std::uint8_t* p);
+std::uint64_t load_le64(const std::uint8_t* p);
+void store_le32(std::uint8_t* p, std::uint32_t v);
+void store_le64(std::uint8_t* p, std::uint64_t v);
+
+// Big-endian loads/stores -----------------------------------------------
+
+std::uint32_t load_be32(const std::uint8_t* p);
+std::uint64_t load_be64(const std::uint8_t* p);
+void store_be32(std::uint8_t* p, std::uint32_t v);
+void store_be64(std::uint8_t* p, std::uint64_t v);
+
+/// Rotate-left / rotate-right for 32/64-bit words.
+constexpr std::uint32_t rotl32(std::uint32_t x, unsigned n) {
+  return (x << (n & 31u)) | (x >> ((32u - n) & 31u));
+}
+constexpr std::uint64_t rotl64(std::uint64_t x, unsigned n) {
+  return (x << (n & 63u)) | (x >> ((64u - n) & 63u));
+}
+constexpr std::uint32_t rotr32(std::uint32_t x, unsigned n) {
+  return (x >> (n & 31u)) | (x << ((32u - n) & 31u));
+}
+constexpr std::uint64_t rotr64(std::uint64_t x, unsigned n) {
+  return (x >> (n & 63u)) | (x << ((64u - n) & 63u));
+}
+
+/// Population count of a small unsigned value (used pervasively by the CIM
+/// side-channel model, where power correlates with Hamming weight).
+constexpr int hamming_weight(std::uint64_t x) {
+  int n = 0;
+  while (x != 0) {
+    n += static_cast<int>(x & 1u);
+    x >>= 1u;
+  }
+  return n;
+}
+
+/// Hamming distance between two values (bit flips between register states).
+constexpr int hamming_distance(std::uint64_t a, std::uint64_t b) {
+  return hamming_weight(a ^ b);
+}
+
+}  // namespace convolve

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the project (noise injection, local-search
+// restarts, masking randomness in simulations, workload generation) draws
+// from Xoshiro256** seeded explicitly, so that every experiment is exactly
+// reproducible from its seed. This generator is NOT cryptographically
+// secure; cryptographic key material is derived via SHAKE256 in
+// convolve::crypto instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace convolve {
+
+/// xoshiro256** by Blackman & Vigna; state seeded via SplitMix64.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0xC0111001DEu) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound) without modulo bias (rejection sampling).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform_real();
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Fill a span with uniform random bytes.
+  void fill_bytes(std::span<std::uint8_t> out);
+
+  /// Single random bit.
+  bool next_bit() { return (next_u64() & 1u) != 0; }
+
+  // Satisfy std::uniform_random_bit_generator so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t state_[4] = {};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace convolve

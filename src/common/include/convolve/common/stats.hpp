@@ -1,0 +1,30 @@
+// Small statistics helpers used by the power side-channel analysis and the
+// benchmark harnesses (trace averaging, separability measures, summaries).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace convolve {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double median(std::vector<double> xs);  // by value: sorts a copy
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Index of the smallest element; 0 for empty input is never returned
+/// (empty input is a precondition violation and asserts).
+std::size_t argmin(std::span<const double> xs);
+std::size_t argmax(std::span<const double> xs);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Welch's t-statistic between two samples (used for TVLA-style leakage
+/// assessment in the CIM module). Returns 0 if either sample has < 2 points.
+double welch_t(std::span<const double> a, std::span<const double> b);
+
+}  // namespace convolve

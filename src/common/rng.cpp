@@ -1,0 +1,81 @@
+#include "convolve/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Xoshiro256::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  have_cached_normal_ = false;
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl64(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::uniform(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+double Xoshiro256::uniform_real() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform_real();
+  while (u1 <= 0.0) u1 = uniform_real();
+  const double u2 = uniform_real();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+void Xoshiro256::fill_bytes(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    store_le64(out.data() + i, next_u64());
+    i += 8;
+  }
+  if (i < out.size()) {
+    std::uint64_t v = next_u64();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+}  // namespace convolve

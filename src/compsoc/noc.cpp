@@ -1,0 +1,162 @@
+#include "convolve/compsoc/noc.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+namespace convolve::compsoc {
+
+NocMesh::NocMesh(const NocConfig& config) : config_(config) {
+  if (config_.width <= 0 || config_.height <= 0 || config_.tdm_period <= 0) {
+    throw std::invalid_argument("NocMesh: bad dimensions/period");
+  }
+}
+
+void NocMesh::assign_slots(int vep, const std::vector<int>& slots) {
+  if (vep < 0) throw std::invalid_argument("assign_slots: bad vep");
+  for (int s : slots) {
+    if (s < 0 || s >= config_.tdm_period) {
+      throw std::invalid_argument("assign_slots: slot out of range");
+    }
+    for (const auto& other : vep_slots_) {
+      if (std::find(other.begin(), other.end(), s) != other.end()) {
+        throw std::invalid_argument("assign_slots: slot already owned");
+      }
+    }
+  }
+  if (vep >= static_cast<int>(vep_slots_.size())) {
+    vep_slots_.resize(static_cast<std::size_t>(vep) + 1);
+  }
+  vep_slots_[static_cast<std::size_t>(vep)] = slots;
+  std::sort(vep_slots_[static_cast<std::size_t>(vep)].begin(),
+            vep_slots_[static_cast<std::size_t>(vep)].end());
+}
+
+void NocMesh::inject(const NocPacket& packet) {
+  const int tiles = config_.width * config_.height;
+  if (packet.src_tile < 0 || packet.src_tile >= tiles ||
+      packet.dst_tile < 0 || packet.dst_tile >= tiles ||
+      packet.flits <= 0) {
+    throw std::invalid_argument("inject: malformed packet");
+  }
+  pending_.push_back(packet);
+}
+
+int NocMesh::hop_count(int src_tile, int dst_tile) const {
+  return std::abs(tile_x(src_tile) - tile_x(dst_tile)) +
+         std::abs(tile_y(src_tile) - tile_y(dst_tile));
+}
+
+int NocMesh::next_hop(int tile, int dst) const {
+  // XY routing: resolve the X dimension first.
+  const int x = tile_x(tile), y = tile_y(tile);
+  const int dx = tile_x(dst), dy = tile_y(dst);
+  if (x < dx) return tile + 1;
+  if (x > dx) return tile - 1;
+  if (y < dy) return tile + config_.width;
+  if (y > dy) return tile - config_.width;
+  return tile;
+}
+
+bool NocMesh::vep_owns_slot(int vep, int slot) const {
+  if (vep < 0 || vep >= static_cast<int>(vep_slots_.size())) return false;
+  const auto& slots = vep_slots_[static_cast<std::size_t>(vep)];
+  return std::binary_search(slots.begin(), slots.end(), slot);
+}
+
+std::vector<NocDelivery> NocMesh::run(std::uint64_t max_cycles) {
+  struct InFlight {
+    NocPacket packet;
+    int at_tile;
+    int flits_moved;  // flits already pushed across the current link
+    bool done = false;
+    NocDelivery record;
+  };
+  std::vector<InFlight> flights;
+  flights.reserve(pending_.size());
+  for (const auto& p : pending_) {
+    InFlight f;
+    f.packet = p;
+    f.at_tile = p.src_tile;
+    f.flits_moved = 0;
+    f.record.packet_id = p.id;
+    f.record.hops = hop_count(p.src_tile, p.dst_tile);
+    if (p.src_tile == p.dst_tile) {
+      f.done = true;
+      f.record.delivered = true;
+      f.record.delivery_cycle = p.inject_cycle;
+    }
+    flights.push_back(std::move(f));
+  }
+
+  for (std::uint64_t cycle = 0; cycle < max_cycles; ++cycle) {
+    bool all_done = true;
+    for (const auto& f : flights) all_done &= f.done;
+    if (all_done) break;
+
+    const int slot =
+        static_cast<int>(cycle % static_cast<std::uint64_t>(config_.tdm_period));
+
+    // One flit transfer per link per cycle. Collect, per directed link,
+    // the candidate packets that want it this cycle.
+    std::map<std::pair<int, int>, std::vector<std::size_t>> requests;
+    for (std::size_t i = 0; i < flights.size(); ++i) {
+      InFlight& f = flights[i];
+      if (f.done || f.packet.inject_cycle > cycle) continue;
+      const int next = next_hop(f.at_tile, f.packet.dst_tile);
+      requests[{f.at_tile, next}].push_back(i);
+    }
+    for (auto& [link, candidates] : requests) {
+      std::size_t winner = flights.size();
+      if (config_.policy == ArbitrationPolicy::kTdm) {
+        for (std::size_t i : candidates) {
+          if (vep_owns_slot(flights[i].packet.vep, slot)) {
+            winner = i;
+            break;  // deterministic: first (lowest index) owner packet
+          }
+        }
+      } else {
+        winner = candidates.front();  // greedy: lowest id
+      }
+      if (winner == flights.size()) continue;
+      InFlight& f = flights[winner];
+      if (++f.flits_moved >= f.packet.flits) {
+        // Whole packet arrived at the next router.
+        f.at_tile = next_hop(f.at_tile, f.packet.dst_tile);
+        f.flits_moved = 0;
+        if (f.at_tile == f.packet.dst_tile) {
+          f.done = true;
+          f.record.delivered = true;
+          f.record.delivery_cycle = cycle;
+        }
+      }
+    }
+  }
+
+  std::vector<NocDelivery> out;
+  out.reserve(flights.size());
+  for (auto& f : flights) out.push_back(f.record);
+  return out;
+}
+
+std::uint64_t NocMesh::worst_case_latency(int hops, int flits,
+                                          int owned_slots) const {
+  if (owned_slots <= 0) {
+    throw std::invalid_argument("worst_case_latency: no owned slots");
+  }
+  // Per hop: `flits` owned grants; each grant waits at most one full
+  // period; plus one period of initial alignment.
+  const std::uint64_t period =
+      static_cast<std::uint64_t>(config_.tdm_period);
+  const std::uint64_t grants_per_period =
+      static_cast<std::uint64_t>(owned_slots);
+  const std::uint64_t per_hop =
+      ((static_cast<std::uint64_t>(flits) + grants_per_period - 1) /
+           grants_per_period +
+       1) *
+      period;
+  return static_cast<std::uint64_t>(hops) * per_hop + period;
+}
+
+}  // namespace convolve::compsoc

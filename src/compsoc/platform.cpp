@@ -1,0 +1,209 @@
+#include "convolve/compsoc/platform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace convolve::compsoc {
+
+Platform::Platform(const PlatformConfig& config) : config_(config) {
+  if (config_.tdm_period <= 0) {
+    throw std::invalid_argument("Platform: tdm_period must be positive");
+  }
+}
+
+int Platform::create_vep(const std::string& name,
+                         const std::vector<int>& processor_slots,
+                         const std::vector<int>& noc_slots,
+                         const std::vector<int>& memory_slots) {
+  Vep vep;
+  vep.name = name;
+  vep.slots = {processor_slots, noc_slots, memory_slots};
+  for (auto& slots : vep.slots) {
+    std::sort(slots.begin(), slots.end());
+    for (int s : slots) {
+      if (s < 0 || s >= config_.tdm_period) {
+        throw std::invalid_argument("create_vep: slot out of range");
+      }
+    }
+    if (std::adjacent_find(slots.begin(), slots.end()) != slots.end()) {
+      throw std::invalid_argument("create_vep: duplicate slot");
+    }
+  }
+  // Collision check against existing VEPs (a VEP is a *partition*).
+  for (const auto& other : veps_) {
+    for (int kind = 0; kind < kResourceKinds; ++kind) {
+      for (int s : vep.slots[static_cast<std::size_t>(kind)]) {
+        if (owns_slot(other, static_cast<ResourceKind>(kind), s)) {
+          throw std::invalid_argument("create_vep: slot already owned by " +
+                                      other.name);
+        }
+      }
+    }
+  }
+  veps_.push_back(std::move(vep));
+  return static_cast<int>(veps_.size()) - 1;
+}
+
+void Platform::load_application(int vep, Application app) {
+  auto& v = veps_.at(static_cast<std::size_t>(vep));
+  if (v.has_app) throw std::logic_error("load_application: VEP occupied");
+  v.has_app = true;
+  v.app = std::move(app);
+}
+
+bool Platform::owns_slot(const Vep& vep, ResourceKind kind, int slot) const {
+  const auto& slots = vep.slots[static_cast<std::size_t>(kind)];
+  return std::binary_search(slots.begin(), slots.end(), slot);
+}
+
+std::vector<CompletionRecord> Platform::run(std::uint64_t max_cycles) {
+  struct AppState {
+    std::size_t pc = 0;        // index into the program
+    int remaining = 0;         // units left in the current item
+    CompletionRecord record;
+  };
+  std::vector<AppState> states(veps_.size());
+  for (std::size_t i = 0; i < veps_.size(); ++i) {
+    states[i].record.app = veps_[i].name;
+    states[i].record.grant_trace.resize(kResourceKinds);
+    if (veps_[i].has_app && !veps_[i].app.program.empty()) {
+      states[i].remaining = veps_[i].app.program[0].units;
+    } else {
+      states[i].record.finished = true;  // empty program finishes at once
+    }
+  }
+
+  granted_slots_ = 0;
+  total_slots_ = 0;
+
+  for (std::uint64_t cycle = 0; cycle < max_cycles; ++cycle) {
+    bool all_done = true;
+    for (const auto& s : states) all_done &= s.record.finished;
+    if (all_done) break;
+
+    const int slot = static_cast<int>(cycle % static_cast<std::uint64_t>(
+                                                  config_.tdm_period));
+    // Each resource kind grants at most one requester per cycle.
+    for (int kind = 0; kind < kResourceKinds; ++kind) {
+      ++total_slots_;
+      int grantee = -1;
+      if (config_.policy == ArbitrationPolicy::kTdm) {
+        // The slot's owner gets the grant iff it currently needs this
+        // resource.
+        for (std::size_t i = 0; i < veps_.size(); ++i) {
+          if (!owns_slot(veps_[i], static_cast<ResourceKind>(kind), slot)) {
+            continue;
+          }
+          const auto& st = states[i];
+          if (!st.record.finished && veps_[i].has_app &&
+              veps_[i].app.program[st.pc].resource ==
+                  static_cast<ResourceKind>(kind)) {
+            grantee = static_cast<int>(i);
+          }
+          break;  // exactly one owner per slot
+        }
+      } else {
+        // Greedy: the lowest-id requester wins; timing now depends on who
+        // else is on the chip.
+        for (std::size_t i = 0; i < veps_.size(); ++i) {
+          const auto& st = states[i];
+          if (!st.record.finished && veps_[i].has_app &&
+              veps_[i].app.program[st.pc].resource ==
+                  static_cast<ResourceKind>(kind)) {
+            grantee = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      if (grantee >= 0) {
+        ++granted_slots_;
+        AppState& st = states[static_cast<std::size_t>(grantee)];
+        st.record.grant_trace[static_cast<std::size_t>(kind)].push_back(cycle);
+        if (--st.remaining == 0) {
+          ++st.pc;
+          if (st.pc >= veps_[static_cast<std::size_t>(grantee)]
+                           .app.program.size()) {
+            st.record.finished = true;
+            st.record.finish_cycle = cycle;
+          } else {
+            st.remaining = veps_[static_cast<std::size_t>(grantee)]
+                               .app.program[st.pc]
+                               .units;
+          }
+        }
+      }
+    }
+    // Stall accounting: an unfinished app that got no grant this cycle.
+    for (auto& st : states) {
+      if (st.record.finished) continue;
+      bool granted_now = false;
+      for (const auto& trace : st.record.grant_trace) {
+        if (!trace.empty() && trace.back() == cycle) granted_now = true;
+      }
+      if (!granted_now) ++st.record.stall_cycles;
+    }
+  }
+
+  std::vector<CompletionRecord> out;
+  out.reserve(states.size());
+  for (auto& s : states) out.push_back(std::move(s.record));
+  return out;
+}
+
+std::uint64_t Platform::worst_case_completion_bound(int vep) const {
+  const Vep& v = veps_.at(static_cast<std::size_t>(vep));
+  if (!v.has_app) return 0;
+  if (config_.policy != ArbitrationPolicy::kTdm) {
+    throw std::logic_error(
+        "worst_case_completion_bound: only defined for TDM arbitration");
+  }
+  const std::uint64_t period =
+      static_cast<std::uint64_t>(config_.tdm_period);
+  // In any full TDM period the VEP is offered `owned` slots of each
+  // resource, so an item of `units` work finishes within
+  // ceil(units/owned) periods plus one period of alignment slack.
+  std::uint64_t bound = period;
+  for (const WorkItem& item : v.app.program) {
+    const std::uint64_t owned = static_cast<std::uint64_t>(
+        v.slots[static_cast<std::size_t>(item.resource)].size());
+    if (owned == 0) {
+      throw std::logic_error(
+          "worst_case_completion_bound: VEP owns no slot of a required "
+          "resource; the program can never finish");
+    }
+    const std::uint64_t units = static_cast<std::uint64_t>(item.units);
+    bound += ((units + owned - 1) / owned + 1) * period;
+  }
+  return bound;
+}
+
+double Platform::idle_slot_fraction() const {
+  if (total_slots_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(granted_slots_) /
+                   static_cast<double>(total_slots_);
+}
+
+Application make_realtime_app(const std::string& name, int iterations) {
+  Application app;
+  app.name = name;
+  for (int i = 0; i < iterations; ++i) {
+    app.program.push_back({ResourceKind::kProcessor, 3});
+    app.program.push_back({ResourceKind::kMemoryPort, 1});
+    app.program.push_back({ResourceKind::kProcessor, 2});
+    app.program.push_back({ResourceKind::kNocLink, 1});
+  }
+  return app;
+}
+
+Application make_besteffort_app(const std::string& name, int volume) {
+  Application app;
+  app.name = name;
+  for (int i = 0; i < volume; ++i) {
+    app.program.push_back({ResourceKind::kMemoryPort, 4});
+    app.program.push_back({ResourceKind::kNocLink, 2});
+    app.program.push_back({ResourceKind::kProcessor, 1});
+  }
+  return app;
+}
+
+}  // namespace convolve::compsoc

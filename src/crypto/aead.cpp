@@ -1,0 +1,79 @@
+#include "convolve/crypto/aead.hpp"
+
+#include <stdexcept>
+
+#include "convolve/crypto/aes.hpp"
+#include "convolve/crypto/hmac.hpp"
+
+namespace convolve::crypto {
+
+namespace {
+
+struct DerivedKeys {
+  Bytes enc;  // 32 bytes
+  Bytes mac;  // 32 bytes
+};
+
+DerivedKeys derive(ByteView key) {
+  const Bytes okm =
+      hkdf(as_bytes("convolve-aead-v1"), key, as_bytes("enc|mac"), 64);
+  DerivedKeys out;
+  out.enc.assign(okm.begin(), okm.begin() + 32);
+  out.mac.assign(okm.begin() + 32, okm.end());
+  return out;
+}
+
+Bytes compute_tag(ByteView mac_key, ByteView nonce, ByteView aad,
+                  ByteView ciphertext) {
+  // Unambiguous framing: lengths are included.
+  std::uint8_t lens[16];
+  store_le64(lens, aad.size());
+  store_le64(lens + 8, ciphertext.size());
+  const Bytes msg = concat({nonce, {lens, 16}, aad, ciphertext});
+  Bytes tag = hmac_sha512(mac_key, msg);
+  tag.resize(32);
+  return tag;
+}
+
+}  // namespace
+
+SealedBox aead_seal(ByteView key, ByteView nonce12, ByteView plaintext,
+                    ByteView associated_data) {
+  if (key.size() != 32) throw std::invalid_argument("aead_seal: key != 32B");
+  if (nonce12.size() != 12) {
+    throw std::invalid_argument("aead_seal: nonce != 12B");
+  }
+  const DerivedKeys keys = derive(key);
+  SealedBox box;
+  box.nonce.assign(nonce12.begin(), nonce12.end());
+  box.ciphertext = aes256_ctr(keys.enc, nonce12, 0, plaintext);
+  box.tag = compute_tag(keys.mac, box.nonce, associated_data, box.ciphertext);
+  return box;
+}
+
+std::optional<Bytes> aead_open(ByteView key, const SealedBox& box,
+                               ByteView associated_data) {
+  if (key.size() != 32 || box.nonce.size() != 12 || box.tag.size() != 32) {
+    return std::nullopt;
+  }
+  const DerivedKeys keys = derive(key);
+  const Bytes expected =
+      compute_tag(keys.mac, box.nonce, associated_data, box.ciphertext);
+  if (!ct_equal(expected, box.tag)) return std::nullopt;
+  return aes256_ctr(keys.enc, box.nonce, 0, box.ciphertext);
+}
+
+Bytes aead_serialize(const SealedBox& box) {
+  return concat({box.nonce, box.tag, box.ciphertext});
+}
+
+std::optional<SealedBox> aead_deserialize(ByteView data) {
+  if (data.size() < 44) return std::nullopt;
+  SealedBox box;
+  box.nonce.assign(data.begin(), data.begin() + 12);
+  box.tag.assign(data.begin() + 12, data.begin() + 44);
+  box.ciphertext.assign(data.begin() + 44, data.end());
+  return box;
+}
+
+}  // namespace convolve::crypto

@@ -1,0 +1,205 @@
+#include "convolve/crypto/aes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace convolve::crypto {
+
+namespace {
+
+// GF(2^8) helpers with the AES polynomial x^8 + x^4 + x^3 + x + 1.
+constexpr std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t r = 0;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return r;
+}
+
+struct SboxTables {
+  std::array<std::uint8_t, 256> sbox{};
+  std::array<std::uint8_t, 256> inv_sbox{};
+
+  constexpr SboxTables() {
+    // Build the multiplicative inverse table by brute force (256^2 checks,
+    // done once at static init), then apply the affine transform.
+    std::array<std::uint8_t, 256> inv{};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (gf_mul(static_cast<std::uint8_t>(a),
+                   static_cast<std::uint8_t>(b)) == 1) {
+          inv[static_cast<std::size_t>(a)] = static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    for (int i = 0; i < 256; ++i) {
+      const std::uint8_t x = inv[static_cast<std::size_t>(i)];
+      std::uint8_t y = x;
+      std::uint8_t s = x;
+      for (int k = 0; k < 4; ++k) {
+        y = static_cast<std::uint8_t>((y << 1) | (y >> 7));
+        s ^= y;
+      }
+      s ^= 0x63;
+      sbox[static_cast<std::size_t>(i)] = s;
+      inv_sbox[s] = static_cast<std::uint8_t>(i);
+    }
+  }
+};
+
+const SboxTables kTables{};
+
+constexpr std::uint8_t kRcon[15] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c,
+                                    0xd8, 0xab, 0x4d};
+
+void sub_bytes(std::uint8_t s[16]) {
+  for (int i = 0; i < 16; ++i) s[i] = kTables.sbox[s[i]];
+}
+
+void inv_sub_bytes(std::uint8_t s[16]) {
+  for (int i = 0; i < 16; ++i) s[i] = kTables.inv_sbox[s[i]];
+}
+
+// State is column-major: s[4*c + r] is row r, column c.
+void shift_rows(std::uint8_t s[16]) {
+  std::uint8_t t[16];
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 4; ++r) t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+  }
+  std::memcpy(s, t, 16);
+}
+
+void inv_shift_rows(std::uint8_t s[16]) {
+  std::uint8_t t[16];
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 4; ++r) t[4 * ((c + r) % 4) + r] = s[4 * c + r];
+  }
+  std::memcpy(s, t, 16);
+}
+
+void mix_columns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
+    col[3] = static_cast<std::uint8_t>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
+  }
+}
+
+void inv_mix_columns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gf_mul(a0, 14) ^ gf_mul(a1, 11) ^
+                                       gf_mul(a2, 13) ^ gf_mul(a3, 9));
+    col[1] = static_cast<std::uint8_t>(gf_mul(a0, 9) ^ gf_mul(a1, 14) ^
+                                       gf_mul(a2, 11) ^ gf_mul(a3, 13));
+    col[2] = static_cast<std::uint8_t>(gf_mul(a0, 13) ^ gf_mul(a1, 9) ^
+                                       gf_mul(a2, 14) ^ gf_mul(a3, 11));
+    col[3] = static_cast<std::uint8_t>(gf_mul(a0, 11) ^ gf_mul(a1, 13) ^
+                                       gf_mul(a2, 9) ^ gf_mul(a3, 14));
+  }
+}
+
+void add_round_key(std::uint8_t s[16], const std::uint8_t* rk) {
+  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+}  // namespace
+
+Aes::Aes(KeySize size, ByteView key) {
+  const std::size_t nk = (size == KeySize::k128) ? 4 : 8;  // words in key
+  rounds_ = (size == KeySize::k128) ? 10 : 14;
+  if (key.size() != nk * 4) {
+    throw std::invalid_argument("Aes: key length does not match key size");
+  }
+  const std::size_t total_words = 4u * static_cast<std::size_t>(rounds_ + 1);
+  // Word-oriented key expansion (FIPS 197 section 5.2).
+  std::array<std::uint8_t, 15 * 16> w{};
+  std::memcpy(w.data(), key.data(), key.size());
+  for (std::size_t i = nk; i < total_words; ++i) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, w.data() + 4 * (i - 1), 4);
+    if (i % nk == 0) {
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kTables.sbox[temp[1]] ^
+                                          kRcon[i / nk]);
+      temp[1] = kTables.sbox[temp[2]];
+      temp[2] = kTables.sbox[temp[3]];
+      temp[3] = kTables.sbox[t0];
+    } else if (nk > 6 && i % nk == 4) {
+      for (auto& b : temp) b = kTables.sbox[b];
+    }
+    for (int j = 0; j < 4; ++j) {
+      w[4 * i + static_cast<std::size_t>(j)] =
+          w[4 * (i - nk) + static_cast<std::size_t>(j)] ^ temp[j];
+    }
+  }
+  round_keys_ = w;
+}
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  add_round_key(s, round_keys_.data());
+  for (int round = 1; round < rounds_; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, round_keys_.data() + 16 * round);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, round_keys_.data() + 16 * rounds_);
+  std::memcpy(out, s, 16);
+}
+
+void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  add_round_key(s, round_keys_.data() + 16 * rounds_);
+  for (int round = rounds_ - 1; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, round_keys_.data() + 16 * round);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, round_keys_.data());
+  std::memcpy(out, s, 16);
+}
+
+Bytes aes256_ctr(ByteView key, ByteView nonce, std::uint32_t initial_counter,
+                 ByteView data) {
+  if (nonce.size() != 12) {
+    throw std::invalid_argument("aes256_ctr: nonce must be 12 bytes");
+  }
+  const Aes aes(Aes::KeySize::k256, key);
+  Bytes out(data.begin(), data.end());
+  std::uint8_t counter_block[16];
+  std::memcpy(counter_block, nonce.data(), 12);
+  std::uint32_t ctr = initial_counter;
+  std::size_t off = 0;
+  while (off < out.size()) {
+    store_be32(counter_block + 12, ctr++);
+    std::uint8_t keystream[16];
+    aes.encrypt_block(counter_block, keystream);
+    const std::size_t n = std::min<std::size_t>(16, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+    off += n;
+  }
+  return out;
+}
+
+}  // namespace convolve::crypto

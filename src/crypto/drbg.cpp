@@ -1,0 +1,47 @@
+#include "convolve/crypto/drbg.hpp"
+
+#include <stdexcept>
+
+#include "convolve/crypto/keccak.hpp"
+
+namespace convolve::crypto {
+
+ShakeDrbg::ShakeDrbg(ByteView seed, ByteView personalization) {
+  if (seed.size() < 16) {
+    throw std::invalid_argument("ShakeDrbg: seed must be >= 16 bytes");
+  }
+  Shake x(Shake::Variant::k256);
+  x.absorb(as_bytes("convolve-drbg-init-v1"));
+  x.absorb(seed);
+  x.absorb(personalization);
+  state_ = x.squeeze(64);
+}
+
+Bytes ShakeDrbg::generate(std::size_t n) {
+  Shake x(Shake::Variant::k256);
+  std::uint8_t counter_le[8];
+  store_le64(counter_le, counter_++);
+  x.absorb(as_bytes("convolve-drbg-gen-v1"));
+  x.absorb(state_);
+  x.absorb({counter_le, 8});
+  // First 64 bytes ratchet the state (forward security), the rest is
+  // output.
+  Bytes block = x.squeeze(64 + n);
+  secure_wipe(state_);
+  state_.assign(block.begin(), block.begin() + 64);
+  Bytes out(block.begin() + 64, block.end());
+  generated_ += n;
+  return out;
+}
+
+void ShakeDrbg::reseed(ByteView entropy) {
+  Shake x(Shake::Variant::k256);
+  x.absorb(as_bytes("convolve-drbg-reseed-v1"));
+  x.absorb(state_);
+  x.absorb(entropy);
+  Bytes next = x.squeeze(64);
+  secure_wipe(state_);
+  state_ = std::move(next);
+}
+
+}  // namespace convolve::crypto

@@ -1,0 +1,62 @@
+#include "convolve/crypto/hmac.hpp"
+
+#include <stdexcept>
+
+#include "convolve/crypto/sha512.hpp"
+
+namespace convolve::crypto {
+
+Bytes hmac_sha512(ByteView key, ByteView message) {
+  constexpr std::size_t kBlock = Sha512::kBlockSize;
+  Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    const auto kh = Sha512::hash(key);
+    std::copy(kh.begin(), kh.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha512 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.digest();
+  Sha512 outer;
+  outer.update(opad);
+  outer.update({inner_digest.data(), inner_digest.size()});
+  const auto d = outer.digest();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes hkdf_extract(ByteView salt, ByteView ikm) {
+  return hmac_sha512(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t out_len) {
+  constexpr std::size_t kHash = Sha512::kDigestSize;
+  if (out_len > 255 * kHash) {
+    throw std::invalid_argument("hkdf_expand: output too long");
+  }
+  Bytes out;
+  out.reserve(out_len);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    t = hmac_sha512(prk, input);
+    const std::size_t take = std::min(kHash, out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t out_len) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, out_len);
+}
+
+}  // namespace convolve::crypto

@@ -1,0 +1,33 @@
+// Authenticated encryption for TEE data sealing.
+//
+// Encrypt-then-MAC: AES-256-CTR for confidentiality, HMAC-SHA-512/256 for
+// integrity, with independent keys derived from the sealing key via HKDF.
+// The MAC covers nonce || associated data || ciphertext, so sealed blobs are
+// bound to their enclave context (passed as associated data).
+#pragma once
+
+#include <optional>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::crypto {
+
+struct SealedBox {
+  Bytes nonce;       // 12 bytes
+  Bytes ciphertext;  // same length as the plaintext
+  Bytes tag;         // 32 bytes (HMAC-SHA-512 truncated)
+};
+
+/// Encrypt and authenticate. `key` is 32 bytes of sealing-key material.
+SealedBox aead_seal(ByteView key, ByteView nonce12, ByteView plaintext,
+                    ByteView associated_data);
+
+/// Verify and decrypt; std::nullopt on any authentication failure.
+std::optional<Bytes> aead_open(ByteView key, const SealedBox& box,
+                               ByteView associated_data);
+
+/// Flat serialization (nonce || tag || ciphertext) for storage.
+Bytes aead_serialize(const SealedBox& box);
+std::optional<SealedBox> aead_deserialize(ByteView data);
+
+}  // namespace convolve::crypto

@@ -1,0 +1,41 @@
+// AES-128/AES-256 block cipher (FIPS 197) plus a CTR-mode stream helper.
+//
+// CONVOLVE uses AES-256 for payload encryption (the HADES case study in
+// Table II of the paper targets exactly this algorithm); the TEE's data
+// sealing builds an encrypt-then-MAC AEAD on top of AES-256-CTR. The S-box
+// is computed at static-init time from the GF(2^8) inverse so the table is
+// derived, not transcribed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::crypto {
+
+/// AES with a 128- or 256-bit key. Encrypt and decrypt single 16-byte blocks.
+class Aes {
+ public:
+  enum class KeySize { k128, k256 };
+
+  Aes(KeySize size, ByteView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  int rounds_ = 0;
+  // Round keys as bytes: (rounds+1) * 16.
+  std::array<std::uint8_t, 15 * 16> round_keys_{};
+};
+
+/// AES-256-CTR keystream XOR. `nonce` is 12 bytes; the 4-byte big-endian
+/// block counter starts at `initial_counter`. Encryption and decryption are
+/// the same operation.
+Bytes aes256_ctr(ByteView key, ByteView nonce, std::uint32_t initial_counter,
+                 ByteView data);
+
+}  // namespace convolve::crypto

@@ -1,0 +1,22 @@
+// ChaCha20 stream cipher (RFC 8439). One of the HADES template library's
+// case-study algorithms (Table I) and an alternative payload cipher for
+// constrained cores without an AES accelerator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::crypto {
+
+/// The ChaCha20 block function: 32-byte key, 12-byte nonce, 32-bit counter
+/// -> 64 bytes of keystream.
+std::array<std::uint8_t, 64> chacha20_block(ByteView key, ByteView nonce,
+                                            std::uint32_t counter);
+
+/// XOR `data` with the ChaCha20 keystream starting at block `initial_counter`.
+Bytes chacha20_xor(ByteView key, ByteView nonce, std::uint32_t initial_counter,
+                   ByteView data);
+
+}  // namespace convolve::crypto

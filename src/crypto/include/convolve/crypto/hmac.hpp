@@ -1,0 +1,21 @@
+// HMAC-SHA-512 and HKDF (RFC 2104 / RFC 5869). The TEE derives its entire
+// key hierarchy through HKDF with explicit domain-separation labels, and the
+// sealing AEAD uses HMAC as its authenticator.
+#pragma once
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::crypto {
+
+Bytes hmac_sha512(ByteView key, ByteView message);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand to `out_len` bytes (out_len <= 255 * 64).
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t out_len);
+
+/// Convenience: extract-then-expand.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t out_len);
+
+}  // namespace convolve::crypto

@@ -1,0 +1,40 @@
+// SHA-512 (FIPS 180-4). Required by Ed25519 and by the HMAC/HKDF key
+// derivation used in the TEE's sealing-key hierarchy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  Sha512();
+
+  void update(ByteView data);
+  /// Produce the digest; the object must not be used afterwards.
+  std::array<std::uint8_t, kDigestSize> digest();
+
+  static std::array<std::uint8_t, kDigestSize> hash(ByteView data) {
+    Sha512 h;
+    h.update(data);
+    return h.digest();
+  }
+
+ private:
+  std::array<std::uint64_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> block_{};
+  std::size_t block_fill_ = 0;
+  std::uint64_t total_len_ = 0;  // bytes processed (fits every realistic input)
+
+  void process_block(const std::uint8_t* p);
+};
+
+Bytes sha512(ByteView data);
+
+}  // namespace convolve::crypto

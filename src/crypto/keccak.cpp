@@ -1,0 +1,137 @@
+#include "convolve/crypto/keccak.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace convolve::crypto {
+
+namespace {
+
+constexpr int kRounds = 24;
+
+constexpr std::uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull,
+    0x8000000080008000ull, 0x000000000000808bull, 0x0000000080000001ull,
+    0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008aull,
+    0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
+    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull,
+    0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
+    0x000000000000800aull, 0x800000008000000aull, 0x8000000080008081ull,
+    0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
+};
+
+constexpr unsigned kRho[25] = {
+    0,  1,  62, 28, 27,  // x = 0..4, y = 0
+    36, 44, 6,  55, 20,  // y = 1
+    3,  10, 43, 25, 39,  // y = 2
+    41, 45, 15, 21, 8,   // y = 3
+    18, 2,  61, 56, 14,  // y = 4
+};
+
+}  // namespace
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    std::uint64_t d[5];
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+    }
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) a[x + 5 * y] ^= d[x];
+    }
+    // Rho + Pi
+    std::uint64_t b[25];
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = rotl64(a[x + 5 * y], kRho[x + 5 * y]);
+      }
+    }
+    // Chi
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        a[x + 5 * y] =
+            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+KeccakSponge::KeccakSponge(std::size_t rate_bytes, std::uint8_t domain_suffix)
+    : rate_(rate_bytes), suffix_(domain_suffix) {
+  if (rate_bytes == 0 || rate_bytes >= 200 || rate_bytes % 8 != 0) {
+    throw std::invalid_argument("KeccakSponge: invalid rate");
+  }
+}
+
+void KeccakSponge::xor_byte_into_state(std::size_t pos, std::uint8_t b) {
+  state_[pos / 8] ^= static_cast<std::uint64_t>(b) << (8 * (pos % 8));
+}
+
+std::uint8_t KeccakSponge::state_byte(std::size_t pos) const {
+  return static_cast<std::uint8_t>(state_[pos / 8] >> (8 * (pos % 8)));
+}
+
+void KeccakSponge::absorb(ByteView data) {
+  if (squeezing_) throw std::logic_error("KeccakSponge: absorb after squeeze");
+  for (std::uint8_t byte : data) {
+    xor_byte_into_state(offset_++, byte);
+    if (offset_ == rate_) {
+      keccak_f1600(state_);
+      offset_ = 0;
+    }
+  }
+}
+
+void KeccakSponge::finalize() {
+  if (squeezing_) return;
+  xor_byte_into_state(offset_, suffix_);
+  xor_byte_into_state(rate_ - 1, 0x80);
+  keccak_f1600(state_);
+  offset_ = 0;
+  squeezing_ = true;
+}
+
+void KeccakSponge::squeeze(std::span<std::uint8_t> out) {
+  finalize();
+  for (auto& byte : out) {
+    if (offset_ == rate_) {
+      keccak_f1600(state_);
+      offset_ = 0;
+    }
+    byte = state_byte(offset_++);
+  }
+}
+
+namespace {
+Bytes fixed_hash(ByteView data, std::size_t digest_len) {
+  KeccakSponge sponge(200 - 2 * digest_len, 0x06);
+  sponge.absorb(data);
+  Bytes out(digest_len);
+  sponge.squeeze(out);
+  return out;
+}
+}  // namespace
+
+Bytes sha3_256(ByteView data) { return fixed_hash(data, 32); }
+Bytes sha3_512(ByteView data) { return fixed_hash(data, 64); }
+
+Bytes shake128(ByteView data, std::size_t out_len) {
+  Shake x(Shake::Variant::k128);
+  x.absorb(data);
+  return x.squeeze(out_len);
+}
+
+Bytes shake256(ByteView data, std::size_t out_len) {
+  Shake x(Shake::Variant::k256);
+  x.absorb(data);
+  return x.squeeze(out_len);
+}
+
+}  // namespace convolve::crypto

@@ -1,0 +1,66 @@
+#include "convolve/framework/device.hpp"
+
+#include <stdexcept>
+
+#include "convolve/hades/library.hpp"
+#include "convolve/hades/search.hpp"
+
+namespace convolve::framework {
+
+EdgeDevice::EdgeDevice(const SecurityProfile& profile,
+                       ByteView device_entropy32)
+    : profile_(profile) {
+  const std::string violation = profile_.validate();
+  if (!violation.empty()) throw std::invalid_argument(violation);
+
+  // --- Attestation chain -------------------------------------------------
+  const tee::Bootrom bootrom({profile_.post_quantum_crypto},
+                             tee::DeviceKeys::from_entropy(device_entropy32));
+  const Bytes sm_image(8192, 0x5C);
+  boot_ = bootrom.boot(sm_image);
+  cost_.bootrom_bytes = bootrom.size_bytes();
+  cost_.attestation_report_bytes = profile_.post_quantum_crypto
+                                       ? tee::kPqReportSize
+                                       : tee::kClassicalReportSize;
+  cost_.sm_stack_bytes =
+      profile_.post_quantum_crypto ? 128 * 1024 : 8 * 1024;
+
+  if (profile_.tee_enclaves) {
+    machine_ = std::make_unique<tee::Machine>(1 << 20);
+    tee::SmConfig sm_config;
+    sm_config.stack_bytes = cost_.sm_stack_bytes;
+    sm_ = std::make_unique<tee::SecurityMonitor>(*machine_, boot_, sm_config);
+  }
+
+  // --- Payload-encryption core: HADES area optimum at the profile order --
+  const auto aes = hades::library::aes256();
+  const auto best = hades::exhaustive_search(*aes, profile_.masking_order,
+                                             hades::Goal::kArea);
+  cost_.aes_area_ge = best.metrics.area_ge;
+  cost_.aes_latency_cc = best.metrics.latency_cc;
+  cost_.aes_rand_bits_per_cycle = best.metrics.rand_bits;
+
+  const auto baseline =
+      hades::exhaustive_search(*aes, 0, hades::Goal::kArea);
+  cost_.area_multiplier = best.metrics.area_ge / baseline.metrics.area_ge;
+}
+
+tee::SecurityMonitor& EdgeDevice::security_monitor() {
+  if (!sm_) {
+    throw std::logic_error("EdgeDevice: profile '" + profile_.name +
+                           "' did not select TEE enclaves");
+  }
+  return *sm_;
+}
+
+cim::CimMacro EdgeDevice::make_cim_macro(std::vector<int> weights) const {
+  cim::MacroConfig config;
+  config.n_rows = static_cast<int>(weights.size());
+  if (profile_.cim_countermeasures) {
+    config.shuffle_rows = true;
+    config.dummy_rows = 32;
+  }
+  return cim::CimMacro(config, std::move(weights));
+}
+
+}  // namespace convolve::framework

@@ -1,0 +1,65 @@
+// Edge-device assembly from a security profile.
+//
+// Ties the subsystems together: given a SecurityProfile, the builder
+// provisions device keys, runs the measured boot (classical or hybrid),
+// stands up the security monitor when TEE support is selected, queries
+// HADES for the AES-256 payload-encryption core that satisfies the
+// profile's masking order, and configures the CIM macro countermeasures.
+// The resulting CostReport quantifies exactly what each shed or added
+// feature costs -- the "100x energy / modular security" trade the paper
+// is about, made queryable.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "convolve/cim/macro.hpp"
+#include "convolve/framework/profile.hpp"
+#include "convolve/hades/metrics.hpp"
+#include "convolve/tee/security_monitor.hpp"
+
+namespace convolve::framework {
+
+/// What the selected profile costs, per mechanism.
+struct CostReport {
+  // Payload-crypto core (HADES area-optimal AES-256 at the profile order).
+  double aes_area_ge = 0.0;
+  double aes_latency_cc = 0.0;
+  double aes_rand_bits_per_cycle = 0.0;
+
+  // Attestation chain.
+  std::size_t bootrom_bytes = 0;
+  std::size_t attestation_report_bytes = 0;
+  std::size_t sm_stack_bytes = 0;
+
+  // Relative multipliers vs. the all-features-off baseline.
+  double area_multiplier = 1.0;
+};
+
+class EdgeDevice {
+ public:
+  /// Build a device for the profile. Throws std::invalid_argument when
+  /// the profile fails validation (inconsistent with its adversary).
+  EdgeDevice(const SecurityProfile& profile, ByteView device_entropy32);
+
+  const SecurityProfile& profile() const { return profile_; }
+  const CostReport& cost() const { return cost_; }
+
+  /// TEE access (only when the profile selected enclaves).
+  bool has_tee() const { return sm_ != nullptr; }
+  tee::SecurityMonitor& security_monitor();
+  const tee::BootRecord& boot_record() const { return boot_; }
+
+  /// A CIM macro configured per the profile's countermeasure selection,
+  /// loaded with the given model weights.
+  cim::CimMacro make_cim_macro(std::vector<int> weights) const;
+
+ private:
+  SecurityProfile profile_;
+  tee::BootRecord boot_;
+  std::unique_ptr<tee::Machine> machine_;
+  std::unique_ptr<tee::SecurityMonitor> sm_;
+  CostReport cost_;
+};
+
+}  // namespace convolve::framework

@@ -1,0 +1,56 @@
+// Modular security profiles -- CONVOLVE core objective 3.
+//
+// "End-users must be able to adapt the security framework to their
+// individual use-case and requirements and shed any unnecessary overhead."
+// A SecurityProfile selects which defenses a deployment pays for; the four
+// presets correspond to the project's use-cases (Section I) and encode the
+// paper's own reasoning, e.g. "chips deployed to space are not susceptible
+// to side-channel based IP theft, but have a strong need for long-term
+// secure communication channels with a remote controller."
+#pragma once
+
+#include <string>
+
+namespace convolve::framework {
+
+struct SecurityProfile {
+  std::string name;
+
+  // Adversary assumptions this deployment defends against.
+  bool physical_access = true;    // side-channel attacker at the device
+  bool quantum_adversary = true;  // harvest-now-decrypt-later horizon
+
+  // Selected mechanisms (each costs area/latency/energy).
+  bool post_quantum_crypto = true;   // hybrid Ed25519 + ML-DSA chain
+  unsigned masking_order = 1;        // 0 = unmasked crypto cores
+  bool tee_enclaves = true;          // PMP-isolated enclaves + attestation
+  bool cim_countermeasures = true;   // shuffling + dummy rows on CIM macros
+  bool composable_execution = false; // VEP/TDM fabric for real-time apps
+  bool realtime_kernel = false;      // PMP-hardened RTOS
+
+  /// Consistency rules: a physical-access adversary requires masking
+  /// order >= 1 and CIM countermeasures; a quantum adversary requires PQC.
+  /// Returns an explanation of the first violation, or empty if coherent.
+  std::string validate() const;
+};
+
+// The four CONVOLVE use-case presets ------------------------------------
+
+/// Hearing-aid style speech enhancement: worn device (physical access),
+/// hard real-time audio path, battery-critical.
+SecurityProfile speech_quality_enhancement();
+
+/// Acoustic scene analysis: mains-powered smart sensor; physical access
+/// plausible; online learning on private audio.
+SecurityProfile acoustic_scene_analysis();
+
+/// Traffic supervision: roadside unit, tamper-resistant housing but
+/// long service life and certified real-time guarantees.
+SecurityProfile traffic_supervision();
+
+/// Satellite imagery: no physical access after launch (no side-channel IP
+/// theft -- the paper's own example), but decades-long secure channel to
+/// the remote controller.
+SecurityProfile satellite_imagery();
+
+}  // namespace convolve::framework

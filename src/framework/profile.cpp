@@ -1,0 +1,78 @@
+#include "convolve/framework/profile.hpp"
+
+namespace convolve::framework {
+
+std::string SecurityProfile::validate() const {
+  if (physical_access && masking_order == 0) {
+    return "profile '" + name +
+           "': a physical-access adversary requires masking order >= 1";
+  }
+  if (physical_access && !cim_countermeasures) {
+    return "profile '" + name +
+           "': a physical-access adversary requires CIM countermeasures";
+  }
+  if (quantum_adversary && !post_quantum_crypto) {
+    return "profile '" + name +
+           "': a quantum adversary requires post-quantum crypto";
+  }
+  return {};
+}
+
+SecurityProfile speech_quality_enhancement() {
+  SecurityProfile p;
+  p.name = "speech-quality-enhancement";
+  p.physical_access = true;     // worn device
+  p.quantum_adversary = false;  // short data lifetime (live audio)
+  p.post_quantum_crypto = false;
+  p.masking_order = 1;
+  p.tee_enclaves = true;           // protect the vendor's model
+  p.cim_countermeasures = true;
+  p.composable_execution = false;  // single audio pipeline
+  p.realtime_kernel = true;        // hard audio deadlines
+  return p;
+}
+
+SecurityProfile acoustic_scene_analysis() {
+  SecurityProfile p;
+  p.name = "acoustic-scene-analysis";
+  p.physical_access = true;
+  p.quantum_adversary = true;  // recorded scenes stay sensitive for years
+  p.post_quantum_crypto = true;
+  p.masking_order = 1;
+  p.tee_enclaves = true;  // online learning on private audio
+  p.cim_countermeasures = true;
+  p.composable_execution = true;  // analysis + comms share the SoC
+  p.realtime_kernel = false;
+  return p;
+}
+
+SecurityProfile traffic_supervision() {
+  SecurityProfile p;
+  p.name = "traffic-supervision";
+  p.physical_access = true;   // roadside, reachable
+  p.quantum_adversary = true; // 15+ year service life
+  p.post_quantum_crypto = true;
+  p.masking_order = 2;        // certified against DPA: higher order
+  p.tee_enclaves = true;
+  p.cim_countermeasures = true;
+  p.composable_execution = true;  // mixed-criticality: detection + logging
+  p.realtime_kernel = true;
+  return p;
+}
+
+SecurityProfile satellite_imagery() {
+  SecurityProfile p;
+  p.name = "satellite-imagery";
+  // The paper's example: no physical access after launch.
+  p.physical_access = false;
+  p.quantum_adversary = true;  // long-term secure channel to the controller
+  p.post_quantum_crypto = true;
+  p.masking_order = 0;          // shed the masking overhead entirely
+  p.tee_enclaves = true;        // remote attestation of the payload software
+  p.cim_countermeasures = false;
+  p.composable_execution = false;
+  p.realtime_kernel = true;     // attitude-control style deadlines
+  return p;
+}
+
+}  // namespace convolve::framework

@@ -1,0 +1,110 @@
+#include "convolve/hades/component.hpp"
+
+#include <stdexcept>
+
+namespace convolve::hades {
+
+Component::Component(std::string name, std::vector<Variant> variants)
+    : name_(std::move(name)), variants_(std::move(variants)) {
+  if (variants_.empty()) {
+    throw std::invalid_argument("Component '" + name_ + "' has no variants");
+  }
+  for (const auto& v : variants_) {
+    if (!v.combine) {
+      throw std::invalid_argument("Component '" + name_ + "' variant '" +
+                                  v.name + "' lacks a combine function");
+    }
+  }
+}
+
+std::uint64_t Component::config_count() const {
+  std::uint64_t total = 0;
+  for (const auto& v : variants_) {
+    std::uint64_t prod = 1;
+    for (const auto& child : v.children) prod *= child->config_count();
+    total += prod;
+  }
+  return total;
+}
+
+ComponentPtr make_component(std::string name, std::vector<Variant> variants) {
+  return std::make_shared<const Component>(std::move(name),
+                                           std::move(variants));
+}
+
+Variant leaf(std::string name, std::function<Metrics(unsigned d)> cost) {
+  return Variant{
+      std::move(name),
+      {},
+      [cost = std::move(cost)](const std::vector<ChildEval>&, unsigned d) {
+        return cost(d);
+      }};
+}
+
+Choice default_choice(const Component& c) {
+  Choice choice;
+  choice.variant = 0;
+  for (const auto& child : c.variants()[0].children) {
+    choice.children.push_back(default_choice(*child));
+  }
+  return choice;
+}
+
+Metrics evaluate(const Component& c, const Choice& choice, unsigned d) {
+  const auto& variants = c.variants();
+  if (choice.variant < 0 ||
+      choice.variant >= static_cast<int>(variants.size())) {
+    throw std::out_of_range("evaluate: bad variant in '" + c.name() + "'");
+  }
+  const Variant& v = variants[static_cast<std::size_t>(choice.variant)];
+  if (choice.children.size() != v.children.size()) {
+    throw std::invalid_argument("evaluate: child arity mismatch in '" +
+                                c.name() + "'");
+  }
+  std::vector<ChildEval> children;
+  children.reserve(v.children.size());
+  for (std::size_t i = 0; i < v.children.size(); ++i) {
+    children.push_back(ChildEval{
+        evaluate(*v.children[i], choice.children[i], d),
+        choice.children[i].variant});
+  }
+  return v.combine(children, d);
+}
+
+namespace {
+void describe_rec(const Component& c, const Choice& choice, std::string& out) {
+  const Variant& v = c.variants()[static_cast<std::size_t>(choice.variant)];
+  out += c.name();
+  out += '=';
+  out += v.name;
+  if (!v.children.empty()) {
+    out += '[';
+    for (std::size_t i = 0; i < v.children.size(); ++i) {
+      if (i > 0) out += ", ";
+      describe_rec(*v.children[i], choice.children[i], out);
+    }
+    out += ']';
+  }
+}
+}  // namespace
+
+std::string describe(const Component& c, const Choice& choice) {
+  std::string out;
+  describe_rec(c, choice, out);
+  return out;
+}
+
+bool valid_choice(const Component& c, const Choice& choice) {
+  if (choice.variant < 0 ||
+      choice.variant >= static_cast<int>(c.variants().size())) {
+    return false;
+  }
+  const Variant& v = c.variants()[static_cast<std::size_t>(choice.variant)];
+  if (choice.children.size() != v.children.size()) return false;
+  for (std::size_t i = 0; i < v.children.size(); ++i) {
+    if (!valid_choice(*v.children[i], choice.children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace convolve::hades

@@ -1,0 +1,88 @@
+// The HADES template model.
+//
+// A hardware design is described by a tree of *components*. Each component
+// offers one or more *variants* (implementation alternatives); a variant may
+// have child components (slots for nested subcomponents, e.g. the adder
+// inside a multiplier) and supplies a *combine* function that predicts the
+// variant's metrics from its children's metrics at a given masking order.
+// A full *configuration* picks a variant at every node; the design space of
+// a component is the set of all configurations, whose size is
+//   count(C) = sum over variants v of  prod over children of count(child).
+// This mirrors the paper's template/DSE structure: "each template must
+// provide a customized performance prediction which may depend on the
+// performance of sub-templates" and "the individual performance predictions
+// in the tree can be folded bottom-up".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convolve/hades/metrics.hpp"
+
+namespace convolve::hades {
+
+class Component;
+using ComponentPtr = std::shared_ptr<const Component>;
+
+/// Evaluated child handed to a combine function: the folded metrics plus
+/// which top-level variant the child chose (so a parent can model
+/// interactions that depend on the child's structure).
+struct ChildEval {
+  Metrics metrics;
+  int variant = 0;
+};
+
+/// Predicts a variant's metrics from its children at masking order `d`.
+using CombineFn =
+    std::function<Metrics(const std::vector<ChildEval>&, unsigned d)>;
+
+struct Variant {
+  std::string name;
+  std::vector<ComponentPtr> children;
+  CombineFn combine;
+};
+
+class Component {
+ public:
+  Component(std::string name, std::vector<Variant> variants);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Variant>& variants() const { return variants_; }
+
+  /// Total number of distinct configurations of this component.
+  std::uint64_t config_count() const;
+
+ private:
+  std::string name_;
+  std::vector<Variant> variants_;
+};
+
+/// Helper to build a component.
+ComponentPtr make_component(std::string name, std::vector<Variant> variants);
+
+/// Helper for leaf variants with constant-shape cost models.
+Variant leaf(std::string name, std::function<Metrics(unsigned d)> cost);
+
+/// A configuration: the chosen variant at this node plus configurations of
+/// the chosen variant's children.
+struct Choice {
+  int variant = 0;
+  std::vector<Choice> children;
+};
+
+/// Default configuration: variant 0 everywhere.
+Choice default_choice(const Component& c);
+
+/// Fold metrics bottom-up for one configuration at masking order `d`.
+Metrics evaluate(const Component& c, const Choice& choice, unsigned d);
+
+/// Human-readable instantiation, e.g. "aes256[sbox=canright-dom, ...]".
+std::string describe(const Component& c, const Choice& choice);
+
+/// Validity check: every variant index within range, child counts match.
+bool valid_choice(const Component& c, const Choice& choice);
+
+}  // namespace convolve::hades

@@ -1,0 +1,75 @@
+// Performance metrics and optimization goals for hardware design points.
+//
+// HADES ranks candidate implementations of cryptographic hardware by
+// predicted cost. Following the paper (Table II), the primary metrics are
+// silicon area in kilo-gate-equivalents, latency in clock cycles, and fresh
+// masking randomness in bits per operation; combined goals (area-latency
+// product, area-latency-randomness product) capture common trade-offs.
+#pragma once
+
+#include <string>
+
+namespace convolve::hades {
+
+struct Metrics {
+  double area_ge = 0.0;     // gate equivalents (NAND2-equivalent units)
+  double latency_cc = 0.0;  // clock cycles per operation
+  double rand_bits = 0.0;   // fresh random bits per operation
+
+  Metrics& operator+=(const Metrics& o) {
+    area_ge += o.area_ge;
+    latency_cc += o.latency_cc;
+    rand_bits += o.rand_bits;
+    return *this;
+  }
+  friend Metrics operator+(Metrics a, const Metrics& b) { return a += b; }
+  friend bool operator==(const Metrics&, const Metrics&) = default;
+};
+
+/// Weak Pareto dominance: a is at least as good on every metric.
+inline bool dominates(const Metrics& a, const Metrics& b) {
+  return a.area_ge <= b.area_ge && a.latency_cc <= b.latency_cc &&
+         a.rand_bits <= b.rand_bits;
+}
+
+/// Optimization goals, matching the paper's Table II column labels:
+/// L (latency), A (area), R (randomness), ALP (area-latency product),
+/// ALRP (area-latency-randomness product).
+enum class Goal {
+  kLatency,
+  kArea,
+  kRandomness,
+  kAreaLatencyProduct,
+  kAreaLatencyRandProduct,
+};
+
+/// Scalar cost under a goal; lower is better.
+inline double score(const Metrics& m, Goal goal) {
+  switch (goal) {
+    case Goal::kLatency:
+      return m.latency_cc;
+    case Goal::kArea:
+      return m.area_ge;
+    case Goal::kRandomness:
+      return m.rand_bits;
+    case Goal::kAreaLatencyProduct:
+      return m.area_ge * m.latency_cc;
+    case Goal::kAreaLatencyRandProduct:
+      // +1 keeps unmasked designs (0 random bits) comparable.
+      return m.area_ge * m.latency_cc * (m.rand_bits + 1.0);
+  }
+  return 0.0;
+}
+
+inline const char* goal_name(Goal goal) {
+  switch (goal) {
+    case Goal::kLatency: return "L";
+    case Goal::kArea: return "A";
+    case Goal::kRandomness: return "R";
+    case Goal::kAreaLatencyProduct: return "ALP";
+    case Goal::kAreaLatencyRandProduct: return "ALRP";
+  }
+  return "?";
+}
+
+}  // namespace convolve::hades

@@ -1,0 +1,27 @@
+// Human-readable exploration reports.
+//
+// HADES' purpose is to replace "intuitive, but arbitrary" implementation
+// choices with evidence; these helpers render that evidence: the Pareto
+// frontier of a design space and a per-goal optimum summary, as Markdown
+// tables ready for a design review or paper appendix.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "convolve/hades/search.hpp"
+
+namespace convolve::hades {
+
+/// Markdown table of the design space's Pareto frontier at order `d`
+/// (deduplicated across variants, sorted by area; at most `max_rows`).
+std::string markdown_frontier(const Component& c, unsigned d,
+                              std::size_t max_rows = 32);
+
+/// Markdown table with one row per (masking order, goal): the exhaustive
+/// optimum's metrics and its instantiation string.
+std::string markdown_goal_summary(const Component& c,
+                                  std::span<const unsigned> orders,
+                                  std::span<const Goal> goals);
+
+}  // namespace convolve::hades

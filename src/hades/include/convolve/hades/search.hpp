@@ -1,0 +1,96 @@
+// Design-space exploration strategies.
+//
+// Three strategies, mirroring the paper's Section III-A:
+//  * exhaustive enumeration -- provably optimal, cost linear in the number
+//    of configurations (Table I measures exactly this);
+//  * bottom-up Pareto folding -- also exact for monotone combine functions,
+//    but prunes dominated subdesigns at every template boundary ("the
+//    individual performance predictions in the tree can be folded
+//    bottom-up");
+//  * heuristic local search -- start from random baselines and vary one
+//    template parameter at a time until a local optimum is reached ("all
+//    parameters are varied individually instead of jointly").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "convolve/common/rng.hpp"
+#include "convolve/hades/component.hpp"
+
+namespace convolve::hades {
+
+struct SearchResult {
+  Choice choice;
+  Metrics metrics;
+  double cost = 0.0;              // score under the requested goal
+  std::uint64_t evaluations = 0;  // design points evaluated
+};
+
+/// Visit every configuration of `c`; the callback receives the current
+/// choice and its folded metrics. Returns the number of configurations.
+std::uint64_t for_each_config(
+    const Component& c, unsigned d,
+    const std::function<void(const Choice&, const Metrics&)>& fn);
+
+/// Exhaustive search for a single goal.
+SearchResult exhaustive_search(const Component& c, unsigned d, Goal goal);
+
+/// Exhaustive search for several goals in a single pass over the space.
+std::vector<SearchResult> exhaustive_search_multi(const Component& c,
+                                                  unsigned d,
+                                                  std::span<const Goal> goals);
+
+/// Uniformly random configuration (used for local-search baselines).
+Choice random_choice(const Component& c, Xoshiro256& rng);
+
+/// Hill-climbing local search from `n_starts` random baselines. Each step
+/// evaluates all single-node variant changes and moves to the best
+/// improvement; terminates at a local optimum.
+SearchResult local_search(const Component& c, unsigned d, Goal goal,
+                          int n_starts, Xoshiro256& rng);
+
+/// Resource budgets for constrained exploration. The paper's modularity
+/// story: "end-users must be able to adapt the security framework to their
+/// individual use-case and requirements and shed any unnecessary
+/// overhead" -- a budget turns that into a query: optimize `goal` subject
+/// to area/latency/randomness ceilings.
+struct Constraints {
+  double max_area_ge = std::numeric_limits<double>::infinity();
+  double max_latency_cc = std::numeric_limits<double>::infinity();
+  double max_rand_bits = std::numeric_limits<double>::infinity();
+};
+
+inline bool satisfies(const Metrics& m, const Constraints& c) {
+  return m.area_ge <= c.max_area_ge && m.latency_cc <= c.max_latency_cc &&
+         m.rand_bits <= c.max_rand_bits;
+}
+
+/// Exhaustive search restricted to designs within the budget. When no
+/// configuration is feasible, the returned result has
+/// cost == +infinity and `feasible(result)` is false.
+SearchResult constrained_search(const Component& c, unsigned d, Goal goal,
+                                const Constraints& budget);
+
+inline bool feasible(const SearchResult& r) {
+  return r.cost != std::numeric_limits<double>::infinity();
+}
+
+/// A Pareto-frontier entry produced by bottom-up folding.
+struct ParetoEntry {
+  int variant = 0;  // top-level variant this entry instantiates
+  Metrics metrics;
+};
+
+/// Fold the full Pareto frontier bottom-up. Exact for monotone combine
+/// functions (all library cost models are monotone). Entries are pruned
+/// within each top-level variant so parents that branch on the child's
+/// variant still see every reachable structure.
+std::vector<ParetoEntry> pareto_fold(const Component& c, unsigned d);
+
+/// Optimal cost under `goal` obtained from the folded frontier.
+double pareto_optimal_cost(const Component& c, unsigned d, Goal goal);
+
+}  // namespace convolve::hades

@@ -1,0 +1,207 @@
+// Arithmetic templates: adders, modular multipliers, polynomial multipliers.
+//
+// Cost conventions (per operation on ~32-bit / degree-256 data):
+//  * area_ge   -- silicon area in gate equivalents;
+//  * latency_cc-- clock cycles for one operation;
+//  * rand_bits -- fresh masking randomness per operation.
+// Masking scaling: linear logic ~ (d+1); AND-dominated logic adds d(d+1)
+// terms; each AND layer consumes d(d+1)/2 random bits per bit of datapath
+// (the DOM gadget cost validated in convolve::masking).
+#include <cmath>
+
+#include "convolve/hades/library.hpp"
+
+namespace convolve::hades::library {
+
+namespace {
+
+double dpairs(unsigned d) { return static_cast<double>(d) * (d + 1) / 2.0; }
+double lin(unsigned d) { return static_cast<double>(d + 1); }
+double nl(unsigned d) { return static_cast<double>(d) * (d + 1); }
+
+// A leaf whose metrics follow the standard masking growth pattern:
+//   area  = a_lin*(d+1) + a_nl*d(d+1)
+//   lat   = l0 + l_mask (only when d > 0; masked gadgets add register stages)
+//   rand  = r0 * d(d+1)/2
+Variant scaled_leaf(std::string name, double a_lin, double a_nl, double l0,
+                    double l_mask, double r0) {
+  return leaf(std::move(name), [=](unsigned d) {
+    Metrics m;
+    m.area_ge = a_lin * lin(d) + a_nl * nl(d);
+    m.latency_cc = l0 + (d > 0 ? l_mask : 0.0);
+    m.rand_bits = r0 * dpairs(d);
+    return m;
+  });
+}
+
+}  // namespace
+
+ComponentPtr adder_core() {
+  // 32-bit adder microarchitectures. Carry chains are AND-heavy, so masked
+  // orders hit the fast parallel-prefix adders hardest; the bit-serial
+  // design trades 32x latency for minimal area and randomness.
+  static const ComponentPtr c = make_component(
+      "adder",
+      {
+          //           name          a_lin  a_nl   l0  l_mask  r0
+          scaled_leaf("ripple",       230,   310,  8,   24,    64),
+          scaled_leaf("cla4",         340,   520,  4,   12,   104),
+          scaled_leaf("cla8",         420,   700,  3,    9,   136),
+          scaled_leaf("kogge-stone",  980,  1450,  1,    5,   320),
+          scaled_leaf("sklansky",     760,  1180,  1,    6,   264),
+          scaled_leaf("brent-kung",   560,   860,  2,    8,   180),
+          scaled_leaf("bit-serial",    90,   120, 32,   96,    12),
+      });
+  return c;
+}
+
+ComponentPtr adder_mod_q() {
+  // Modular adder: core adder + reduction strategy + optional pipelining.
+  static const ComponentPtr c = [] {
+    const ComponentPtr reduction = make_component(
+        "reduction",
+        {
+            scaled_leaf("cond-subtract", 180, 260, 1, 3, 48),
+            scaled_leaf("barrett",       450, 640, 2, 4, 96),
+            scaled_leaf("montgomery",    380, 560, 2, 5, 80),
+        });
+    const ComponentPtr pipeline = make_component(
+        "pipe",
+        {
+            leaf("none", [](unsigned) { return Metrics{0, 0, 0}; }),
+            // A pipeline register: area per share, one extra cycle.
+            leaf("one-stage",
+                 [](unsigned d) {
+                   return Metrics{140 * lin(d), 1, 0};
+                 }),
+        });
+    Variant v;
+    v.name = "modq-adder";
+    v.children = {adder_core(), reduction, pipeline};
+    v.combine = [](const std::vector<ChildEval>& ch, unsigned) {
+      Metrics m = ch[0].metrics + ch[1].metrics + ch[2].metrics;
+      return m;
+    };
+    return make_component("adder-mod-q", {v});
+  }();
+  return c;
+}
+
+ComponentPtr mod_mul_core() {
+  // 31 modular-multiplier microarchitectures: 24 leaves plus a Karatsuba
+  // variant whose inner adder is itself explored (7 nested choices).
+  static const ComponentPtr c = [] {
+    std::vector<Variant> variants = {
+        //           name                a_lin  a_nl    l0 l_mask   r0
+        scaled_leaf("schoolbook-d1",       600,   900, 1024, 2048,   40),
+        scaled_leaf("schoolbook-d2",       950,  1500,  512, 1024,   72),
+        scaled_leaf("schoolbook-d4",      1600,  2600,  256,  512,  136),
+        scaled_leaf("schoolbook-d8",      2800,  4700,  128,  256,  264),
+        scaled_leaf("schoolbook-d16",     5100,  8800,   64,  128,  520),
+        scaled_leaf("schoolbook-d32",     9500, 16800,   32,   64, 1032),
+        scaled_leaf("booth-r2",           1900,  3100,  192,  380,  210),
+        scaled_leaf("booth-r4",           2600,  4400,   96,  190,  300),
+        scaled_leaf("booth-r8",           3600,  6300,   48,   95,  430),
+        scaled_leaf("wallace-3:2",        7200, 12600,    6,   18,  900),
+        scaled_leaf("wallace-4:2",        8100, 14500,    5,   15, 1040),
+        scaled_leaf("dadda",              6900, 12100,    6,   17,  860),
+        scaled_leaf("bit-serial",          310,   420, 4096, 8192,   16),
+        scaled_leaf("pipe-school-2",      2100,  3500,  130,  260,  280),
+        scaled_leaf("pipe-school-3",      2400,  4000,   92,  184,  330),
+        scaled_leaf("pipe-school-4",      2700,  4500,   72,  144,  380),
+        scaled_leaf("pipe-school-5",      3000,  5000,   60,  120,  430),
+        scaled_leaf("interleaved-1",      1200,  2000,  520, 1040,  120),
+        scaled_leaf("interleaved-2",      1900,  3200,  260,  520,  220),
+        scaled_leaf("interleaved-4",      3200,  5400,  130,  260,  400),
+        scaled_leaf("shift-add-lsb",       800,  1250,  768, 1536,   64),
+        scaled_leaf("shift-add-msb",       820,  1280,  768, 1536,   66),
+        scaled_leaf("fios",               4400,  7600,   40,   80,  560),
+        scaled_leaf("cios",               4200,  7200,   44,   88,  530),
+    };
+    // Karatsuba: three half-width multiplies are folded into the constants;
+    // the recombination adder is an explored subcomponent.
+    Variant karatsuba;
+    karatsuba.name = "karatsuba";
+    karatsuba.children = {adder_core()};
+    karatsuba.combine = [](const std::vector<ChildEval>& ch, unsigned d) {
+      const Metrics& add = ch[0].metrics;
+      Metrics m;
+      m.area_ge = 5200 * lin(d) + 8400 * nl(d) + 4.0 * add.area_ge;
+      m.latency_cc = 24 + (d > 0 ? 48 : 0) + 2.0 * add.latency_cc;
+      m.rand_bits = 640 * dpairs(d) + 4.0 * add.rand_bits;
+      return m;
+    };
+    variants.push_back(std::move(karatsuba));
+    return make_component("modmul", std::move(variants));
+  }();
+  return c;
+}
+
+ComponentPtr sparse_poly_mul() {
+  // Multiplication by a sparse polynomial (BIKE-style): a multiplier core,
+  // an accumulation strategy and a sparsity encoding.
+  static const ComponentPtr c = [] {
+    const ComponentPtr accumulator = make_component(
+        "accumulator",
+        {
+            scaled_leaf("rotate-buffer", 2100, 3300, 64, 128, 120),
+            scaled_leaf("index-list",    1500, 2400, 96, 192,  90),
+            scaled_leaf("coalesced",     2800, 4400, 48,  96, 160),
+            scaled_leaf("double-buffer", 3600, 5600, 32,  64, 210),
+        });
+    const ComponentPtr encoding = make_component(
+        "encoding",
+        {
+            scaled_leaf("bitmap",     900, 1200, 16, 32, 40),
+            scaled_leaf("run-length", 700,  950, 24, 48, 30),
+            scaled_leaf("coordinate", 500,  700, 32, 64, 20),
+        });
+    Variant v;
+    v.name = "sparse-polymul";
+    v.children = {mod_mul_core(), accumulator, encoding};
+    v.combine = [](const std::vector<ChildEval>& ch, unsigned) {
+      // 64 nonzero coefficients stream through the multiplier; the
+      // accumulator and encoding pipeline overlaps half the multiplies.
+      Metrics m;
+      m.area_ge = ch[0].metrics.area_ge + ch[1].metrics.area_ge +
+                  ch[2].metrics.area_ge;
+      m.latency_cc = 64.0 * ch[0].metrics.latency_cc * 0.5 +
+                     ch[1].metrics.latency_cc + ch[2].metrics.latency_cc;
+      m.rand_bits = 64.0 * ch[0].metrics.rand_bits +
+                    ch[1].metrics.rand_bits + ch[2].metrics.rand_bits;
+      return m;
+    };
+    return make_component("sparse-poly-mul", {v});
+  }();
+  return c;
+}
+
+ComponentPtr poly_mul() {
+  // NTT-based degree-256 polynomial multiplication: the butterfly datapath
+  // is one explored modular adder plus one explored modular multiplier;
+  // log2(256) = 8 stages of 128 butterflies each.
+  static const ComponentPtr c = [] {
+    Variant v;
+    v.name = "ntt-polymul";
+    v.children = {adder_mod_q(), mod_mul_core()};
+    v.combine = [](const std::vector<ChildEval>& ch, unsigned d) {
+      const Metrics& add = ch[0].metrics;
+      const Metrics& mul = ch[1].metrics;
+      Metrics m;
+      // One butterfly unit, twiddle ROM and sequencing control.
+      m.area_ge = add.area_ge + mul.area_ge + 2600 * lin(d);
+      // 3 NTT passes (2 forward, 1 inverse) x 8 stages x 128 butterflies,
+      // each butterfly bound by the slower of adder/multiplier.
+      const double butterfly =
+          std::max(add.latency_cc, mul.latency_cc) + 1.0;
+      m.latency_cc = 3.0 * 8.0 * 128.0 * butterfly / 4.0;  // 4-lane datapath
+      m.rand_bits =
+          3.0 * 8.0 * 128.0 * (add.rand_bits + mul.rand_bits) / 4.0;
+      return m;
+    };
+    return make_component("poly-mul", {v});
+  }();
+  return c;
+}
+
+}  // namespace convolve::hades::library

@@ -1,0 +1,141 @@
+// Kyber templates: the CPA PKE core and the CCA KEM (Fujisaki-Okamoto)
+// on top of it, matching the paper's Table I configuration counts.
+#include "convolve/hades/library.hpp"
+
+namespace convolve::hades::library {
+
+namespace {
+double dpairs(unsigned d) { return static_cast<double>(d) * (d + 1) / 2.0; }
+double lin(unsigned d) { return static_cast<double>(d + 1); }
+double nl(unsigned d) { return static_cast<double>(d) * (d + 1); }
+}  // namespace
+
+ComponentPtr sampler_bank() {
+  // CBD noise-sampler bank: implementation style x parallel samples x
+  // rejection buffer. 3 x 7 x 3 = 63 configurations.
+  static const ComponentPtr c = [] {
+    const ComponentPtr impl = make_component(
+        "cbd-impl",
+        {
+            leaf("lut",
+                 [](unsigned d) {
+                   return Metrics{900 * lin(d) + 500 * nl(d), 2,
+                                  24 * dpairs(d)};
+                 }),
+            leaf("popcount",
+                 [](unsigned d) {
+                   return Metrics{640 * lin(d) + 420 * nl(d), 3,
+                                  18 * dpairs(d)};
+                 }),
+            leaf("adder-tree",
+                 [](unsigned d) {
+                   return Metrics{760 * lin(d) + 460 * nl(d), 2,
+                                  20 * dpairs(d)};
+                 }),
+        });
+    const ComponentPtr par = make_component(
+        "samples-per-cycle",
+        {
+            leaf("x1", [](unsigned) { return Metrics{0, 256, 0}; }),
+            leaf("x2", [](unsigned) { return Metrics{0, 128, 0}; }),
+            leaf("x4", [](unsigned) { return Metrics{0, 64, 0}; }),
+            leaf("x8", [](unsigned) { return Metrics{0, 32, 0}; }),
+            leaf("x16", [](unsigned) { return Metrics{0, 16, 0}; }),
+            leaf("x32", [](unsigned) { return Metrics{0, 8, 0}; }),
+            leaf("x64", [](unsigned) { return Metrics{0, 4, 0}; }),
+        });
+    const ComponentPtr buffer = make_component(
+        "buffer",
+        {
+            leaf("fifo",
+                 [](unsigned d) { return Metrics{700 * lin(d), 4, 0}; }),
+            leaf("ping-pong",
+                 [](unsigned d) { return Metrics{1100 * lin(d), 2, 0}; }),
+            leaf("stream",
+                 [](unsigned d) { return Metrics{350 * lin(d), 8, 0}; }),
+        });
+    Variant v;
+    v.name = "cbd-sampler-bank";
+    v.children = {impl, par, buffer};
+    v.combine = [](const std::vector<ChildEval>& ch, unsigned) {
+      const double parallel = 256.0 / ch[1].metrics.latency_cc;
+      Metrics m;
+      m.area_ge = ch[0].metrics.area_ge * parallel + ch[2].metrics.area_ge;
+      m.latency_cc = ch[1].metrics.latency_cc * ch[0].metrics.latency_cc /
+                         ch[0].metrics.latency_cc +
+                     ch[2].metrics.latency_cc;
+      m.rand_bits = ch[0].metrics.rand_bits * 256.0;
+      return m;
+    };
+    return make_component("sampler-bank", {v});
+  }();
+  return c;
+}
+
+ComponentPtr kyber_cpa() {
+  // Kyber CPA PKE: the polynomial datapath plus a compress/scale unit
+  // (reusing the modular-multiplier template as its core, as the same
+  // microarchitectural choices apply). 1302 x 31 = 40362.
+  static const ComponentPtr c = [] {
+    Variant v;
+    v.name = "kyber-cpa";
+    v.children = {poly_mul(), mod_mul_core()};
+    v.combine = [](const std::vector<ChildEval>& ch, unsigned d) {
+      const Metrics& pm = ch[0].metrics;
+      const Metrics& scale = ch[1].metrics;
+      Metrics m;
+      m.area_ge = pm.area_ge + scale.area_ge + 5400.0 * lin(d);
+      // k^2 + k = 6 polynomial products for k = 2, plus compression of
+      // k+1 = 3 polynomials (256 coefficients each through the scaler).
+      m.latency_cc = 6.0 * pm.latency_cc + 3.0 * 256.0 *
+                                               scale.latency_cc / 64.0;
+      m.rand_bits = 6.0 * pm.rand_bits + 3.0 * scale.rand_bits;
+      return m;
+    };
+    return make_component("kyber-cpa", {v});
+  }();
+  return c;
+}
+
+ComponentPtr kyber_cca() {
+  // Kyber CCA KEM: FO transform = CPA datapath + Keccak (G/H/KDF) +
+  // noise sampler bank. The compress unit is tied to the polynomial
+  // datapath's multiplier here, so the explored slots are polymul x
+  // keccak x sampler: 1302 x 14 x 63 = 1148364.
+  static const ComponentPtr c = [] {
+    Variant v;
+    v.name = "kyber-cca";
+    v.children = {poly_mul(), keccak(), sampler_bank()};
+    v.combine = [](const std::vector<ChildEval>& ch, unsigned d) {
+      const Metrics& pm = ch[0].metrics;
+      const Metrics& kec = ch[1].metrics;
+      const Metrics& smp = ch[2].metrics;
+      Metrics m;
+      m.area_ge = pm.area_ge + kec.area_ge + smp.area_ge + 9200.0 * lin(d);
+      // Decapsulation: decrypt (6 products) + re-encrypt (6 products) +
+      // 3 Keccak permutations (G, H, KDF) + fresh noise sampling.
+      m.latency_cc = 12.0 * pm.latency_cc + 3.0 * kec.latency_cc +
+                     smp.latency_cc + 64.0;
+      m.rand_bits = 12.0 * pm.rand_bits + 3.0 * kec.rand_bits +
+                    smp.rand_bits;
+      return m;
+    };
+    return make_component("kyber-cca", {v});
+  }();
+  return c;
+}
+
+std::vector<AlgorithmEntry> table1_suite() {
+  return {
+      {"Keccak", &keccak, 14},
+      {"AdderModQ", &adder_mod_q, 42},
+      {"Sparse Polynomial Multiplication", &sparse_poly_mul, 372},
+      {"ChaCha20", &chacha20, 1080},
+      {"AES", &aes256, 1440},
+      {"Polynomial Multiplication", &poly_mul, 1302},
+      {"Kyber-CPA", &kyber_cpa, 40362},
+      {"Kyber-CCA", &kyber_cca, 1148364},
+  };
+}
+
+}  // namespace convolve::hades::library

@@ -1,0 +1,352 @@
+// Symmetric-crypto templates: Keccak-f[1600], ChaCha20 and the calibrated
+// AES-256 model behind the paper's Table II.
+#include <cmath>
+
+#include "convolve/hades/library.hpp"
+
+namespace convolve::hades::library {
+
+namespace {
+
+double dpairs(unsigned d) { return static_cast<double>(d) * (d + 1) / 2.0; }
+double lin(unsigned d) { return static_cast<double>(d + 1); }
+double nl(unsigned d) { return static_cast<double>(d) * (d + 1); }
+
+}  // namespace
+
+ComponentPtr keccak() {
+  // Keccak-f[1600]: rounds-per-cycle (7 divisors of 24 short of full
+  // unrolling) x theta-network style. Chi is the only nonlinear layer:
+  // 1600 AND gates per round drive the masked area and randomness.
+  static const ComponentPtr c = [] {
+    const ComponentPtr rpc = make_component(
+        "rounds-per-cycle",
+        {
+            leaf("x1", [](unsigned) { return Metrics{0, 24, 0}; }),
+            leaf("x2", [](unsigned) { return Metrics{0, 12, 0}; }),
+            leaf("x3", [](unsigned) { return Metrics{0, 8, 0}; }),
+            leaf("x4", [](unsigned) { return Metrics{0, 6, 0}; }),
+            leaf("x6", [](unsigned) { return Metrics{0, 4, 0}; }),
+            leaf("x8", [](unsigned) { return Metrics{0, 3, 0}; }),
+            leaf("x12", [](unsigned) { return Metrics{0, 2, 0}; }),
+        });
+    const ComponentPtr theta = make_component(
+        "theta",
+        {
+            // XOR tree: fast, bigger; cascade: slim, one extra cycle per
+            // permutation due to the longer critical path forcing a slower
+            // two-phase round.
+            leaf("xor-tree",
+                 [](unsigned d) { return Metrics{5200 * lin(d), 0, 0}; }),
+            leaf("cascade",
+                 [](unsigned d) { return Metrics{3400 * lin(d), 2, 0}; }),
+        });
+    Variant v;
+    v.name = "keccak-f1600";
+    v.children = {rpc, theta};
+    v.combine = [](const std::vector<ChildEval>& ch, unsigned d) {
+      const double rounds_per_cycle = 24.0 / ch[0].metrics.latency_cc;
+      Metrics m;
+      // Per-round logic: 1600 masked AND (chi) + linear rho/pi/iota.
+      const double round_area =
+          1600.0 * (1.6 * lin(d) + 2.1 * nl(d)) + 3100.0 * lin(d);
+      m.area_ge = round_area * rounds_per_cycle + ch[1].metrics.area_ge +
+                  1600.0 * lin(d);  // state registers
+      m.latency_cc = ch[0].metrics.latency_cc + ch[1].metrics.latency_cc +
+                     (d > 0 ? ch[0].metrics.latency_cc : 0.0);  // gadget regs
+      // chi: 1600 AND gadgets per round, 24 rounds -- matches the
+      // executable masked Keccak in convolve::masking bit for bit.
+      m.rand_bits = 1600.0 * 24.0 * dpairs(d);
+      return m;
+    };
+    return make_component("keccak", {v});
+  }();
+  return c;
+}
+
+ComponentPtr chacha20() {
+  // ChaCha20: ARX core. Adders dominate masked cost (boolean-masked
+  // addition needs a carry ripple of AND gadgets); rotations are free.
+  static const ComponentPtr c = [] {
+    const ComponentPtr adder32 = make_component(
+        "adder32",
+        {
+            leaf("ripple",
+                 [](unsigned d) {
+                   return Metrics{230 * lin(d) + 310 * nl(d),
+                                  d > 0 ? 32.0 : 1.0, 64 * dpairs(d)};
+                 }),
+            leaf("cla",
+                 [](unsigned d) {
+                   return Metrics{420 * lin(d) + 700 * nl(d),
+                                  d > 0 ? 12.0 : 1.0, 136 * dpairs(d)};
+                 }),
+            leaf("kogge-stone",
+                 [](unsigned d) {
+                   return Metrics{980 * lin(d) + 1450 * nl(d),
+                                  d > 0 ? 5.0 : 1.0, 320 * dpairs(d)};
+                 }),
+            leaf("sklansky",
+                 [](unsigned d) {
+                   return Metrics{760 * lin(d) + 1180 * nl(d),
+                                  d > 0 ? 6.0 : 1.0, 264 * dpairs(d)};
+                 }),
+            leaf("carry-select",
+                 [](unsigned d) {
+                   return Metrics{640 * lin(d) + 940 * nl(d),
+                                  d > 0 ? 8.0 : 1.0, 190 * dpairs(d)};
+                 }),
+        });
+    const ComponentPtr rot = make_component(
+        "rotate",
+        {
+            leaf("barrel",
+                 [](unsigned d) { return Metrics{980 * lin(d), 0, 0}; }),
+            leaf("fixed-mux",
+                 [](unsigned d) { return Metrics{420 * lin(d), 0, 0}; }),
+            leaf("lut",
+                 [](unsigned d) { return Metrics{660 * lin(d), 0, 0}; }),
+        });
+    const ComponentPtr qr_par = make_component(
+        "qr-parallel",
+        {
+            leaf("x1", [](unsigned) { return Metrics{0, 4, 0}; }),
+            leaf("x2", [](unsigned) { return Metrics{0, 2, 0}; }),
+            leaf("x4", [](unsigned) { return Metrics{0, 1, 0}; }),
+        });
+    const ComponentPtr unroll = make_component(
+        "rounds-unrolled",
+        {
+            leaf("x1", [](unsigned) { return Metrics{0, 20, 0}; }),
+            leaf("x2", [](unsigned) { return Metrics{0, 10, 0}; }),
+            leaf("x5", [](unsigned) { return Metrics{0, 4, 0}; }),
+            leaf("x10", [](unsigned) { return Metrics{0, 2, 0}; }),
+        });
+    const ComponentPtr storage = make_component(
+        "state-storage",
+        {
+            leaf("registers",
+                 [](unsigned d) { return Metrics{512 * 6.0 * lin(d), 0, 0}; }),
+            leaf("ram",
+                 [](unsigned d) {
+                   return Metrics{512 * 2.2 * lin(d), 4, 0};
+                 }),
+        });
+    const ComponentPtr order = make_component(
+        "schedule",
+        {
+            leaf("row-major", [](unsigned) { return Metrics{420, 0, 0}; }),
+            leaf("column-major", [](unsigned) { return Metrics{380, 0, 0}; }),
+            leaf("diagonal-fused",
+                 [](unsigned) { return Metrics{510, 0, 0}; }),
+        });
+    Variant v;
+    v.name = "chacha20-core";
+    v.children = {adder32, rot, qr_par, unroll, storage, order};
+    v.combine = [](const std::vector<ChildEval>& ch, unsigned d) {
+      const Metrics& add = ch[0].metrics;
+      const Metrics& rotm = ch[1].metrics;
+      const double qr_units = 4.0 / ch[2].metrics.latency_cc;
+      const double unrolled = 20.0 / ch[3].metrics.latency_cc;
+      Metrics m;
+      // One quarter-round = 4 adds + 4 xors + 4 rotates.
+      const double qr_area =
+          4.0 * add.area_ge + 4.0 * rotm.area_ge + 4.0 * 96.0 * lin(d);
+      m.area_ge = qr_area * qr_units * unrolled + ch[4].metrics.area_ge +
+                  ch[5].metrics.area_ge;
+      // 20 rounds x 4 quarter-rounds, divided over parallel units and
+      // unrolled stages; each QR costs the adder latency.
+      m.latency_cc = 20.0 * 4.0 * add.latency_cc /
+                         (qr_units * unrolled) +
+                     ch[4].metrics.latency_cc + 4.0;
+      m.rand_bits = 20.0 * 4.0 * 4.0 * add.rand_bits;
+      return m;
+    };
+    return make_component("chacha20", {v});
+  }();
+  return c;
+}
+
+ComponentPtr aes256() {
+  // AES-256. The knobs and the cost model are calibrated so that the
+  // per-goal DSE optima at d = 0, 1, 2 reproduce the paper's Table II; see
+  // DESIGN.md for the calibration ledger. Structure (5*3*3*2*4*2*2 = 1440):
+  //   sbox(5) x width(3) x mixcol(3) x keysched(2) x unroll(4) x sharing(2)
+  //   x rcon(2)
+  static const ComponentPtr c = [] {
+    // S-box leaf metrics: area per instance, latency = pipeline stages,
+    // rand = fresh bits per evaluation. Variant order matters: the combine
+    // function uses the index to pick the serialized-datapath stall count.
+    const ComponentPtr sbox = make_component(
+        "sbox",
+        {
+            // LUT: cheap unmasked; masked table recomputation is
+            // prohibitive (explored, never optimal).
+            leaf("lut",
+                 [](unsigned d) {
+                   // Masked table recomputation: enormous area, deep
+                   // recomputation pipeline. Explored but never optimal.
+                   return Metrics{d == 0 ? 400.0 : 400.0 * 25.0 * lin(d) * lin(d),
+                                  d == 0 ? 1.0 : 6.0,
+                                  d == 0 ? 0.0 : 1200.0 * dpairs(d)};
+                 }),
+            // Canright decomposition with DOM gadgets: 5-stage pipeline,
+            // 58 fresh bits per evaluation per d(d+1)/2.
+            leaf("canright-dom",
+                 [](unsigned d) {
+                   return Metrics{d == 0 ? 100.0 : 1494.0 * lin(d) + 611.0 * nl(d),
+                                  d == 0 ? 1.0 : 5.0, 58.0 * dpairs(d)};
+                 }),
+            // Canright with low-randomness HPC-style gadgets: deeper
+            // pipeline (8 stages), quadratic area, 34 bits per evaluation.
+            leaf("canright-hpc",
+                 [](unsigned d) {
+                   return Metrics{d == 0 ? 120.0 : 3300.0 * nl(d),
+                                  d == 0 ? 1.0 : 8.0, 34.0 * dpairs(d)};
+                 }),
+            // Boyar-Peralta gate-minimal circuit, DOM-masked.
+            leaf("boyar-peralta-dom",
+                 [](unsigned d) {
+                   return Metrics{d == 0 ? 105.0 : 1700.0 * lin(d) + 700.0 * nl(d),
+                                  d == 0 ? 1.0 : 6.0, 66.0 * dpairs(d)};
+                 }),
+            // Generic tower-field decomposition.
+            leaf("tower-field-dom",
+                 [](unsigned d) {
+                   return Metrics{d == 0 ? 110.0 : 1600.0 * lin(d) + 660.0 * nl(d),
+                                  d == 0 ? 1.0 : 5.0, 62.0 * dpairs(d)};
+                 }),
+        });
+    // Datapath width: latency_cc = S-box passes per round (128/width).
+    const ComponentPtr width = make_component(
+        "width",
+        {
+            leaf("w8", [](unsigned) { return Metrics{0, 16, 0}; }),
+            leaf("w32", [](unsigned) { return Metrics{0, 4, 0}; }),
+            leaf("w128", [](unsigned) { return Metrics{0, 1, 0}; }),
+        });
+    const ComponentPtr mixcol = make_component(
+        "mixcol",
+        {
+            leaf("xtime-chain", [](unsigned) { return Metrics{0, 0, 0}; }),
+            leaf("matrix",
+                 [](unsigned d) { return Metrics{400.0 * lin(d), 0, 0}; }),
+            leaf("tbox",
+                 [](unsigned d) { return Metrics{1500.0 * lin(d), 0, 0}; }),
+        });
+    const ComponentPtr keysched = make_component(
+        "keysched",
+        {
+            leaf("on-the-fly", [](unsigned) { return Metrics{0, 0, 0}; }),
+            leaf("precomputed",
+                 [](unsigned d) { return Metrics{3000.0 * lin(d), 0, 0}; }),
+        });
+    const ComponentPtr unroll = make_component(
+        "unroll",
+        {
+            leaf("x1", [](unsigned) { return Metrics{0, 14, 0}; }),
+            leaf("x2", [](unsigned) { return Metrics{0, 7, 0}; }),
+            leaf("x7", [](unsigned) { return Metrics{0, 2, 0}; }),
+            leaf("x14", [](unsigned) { return Metrics{0, 1, 0}; }),
+        });
+    const ComponentPtr sharing = make_component(
+        "sbox-sharing",
+        {
+            // Dedicated key-schedule S-boxes; or shared with the datapath
+            // (mux overhead, plus a refresh gadget between the two uses).
+            leaf("dedicated", [](unsigned) { return Metrics{0, 0, 0}; }),
+            leaf("shared",
+                 [](unsigned d) {
+                   return Metrics{2150.0 * lin(d), 0, 34.0 * dpairs(d)};
+                 }),
+        });
+    const ComponentPtr rcon = make_component(
+        "rcon",
+        {
+            leaf("lfsr", [](unsigned) { return Metrics{0, 0, 0}; }),
+            leaf("lut", [](unsigned) { return Metrics{110, 0, 0}; }),
+        });
+
+    Variant v;
+    v.name = "aes256-core";
+    v.children = {sbox, width, mixcol, keysched, unroll, sharing, rcon};
+    v.combine = [](const std::vector<ChildEval>& ch, unsigned d) {
+      const Metrics& sb = ch[0].metrics;
+      const double passes = ch[1].metrics.latency_cc;     // 16 / 4 / 1
+      const double dp_width = 128.0 / passes;             // 8 / 32 / 128
+      const double round_instances = 14.0 / ch[4].metrics.latency_cc;
+      const bool fully_unrolled = round_instances == 14.0;
+      const bool shared = ch[5].variant == 1;
+
+      // Per-S-box-variant serialized stall cycles (extra cycles per byte in
+      // narrow datapaths where the masked pipeline cannot stay filled).
+      static constexpr double kSerialExtra[5] = {16.0, 7.0, 14.0, 9.0, 8.0};
+      const double serial_extra =
+          d == 0 ? 0.0
+                 : kSerialExtra[static_cast<std::size_t>(ch[0].variant)];
+
+      // --- S-box instance count -------------------------------------
+      const double data_sboxes = round_instances * dp_width / 8.0;
+      // Narrow datapaths time-multiplex one key S-box; the full-width
+      // datapath needs four per round instance.
+      const double key_sboxes =
+          shared ? 0.0
+                 : (dp_width < 128.0 ? 1.0 : round_instances * 4.0);
+      const double n_sboxes = data_sboxes + key_sboxes;
+
+      // --- Latency ----------------------------------------------------
+      double round_cc;
+      if (dp_width == 128.0) {
+        round_cc = (d == 0) ? (fully_unrolled ? 1.0 : 2.0) : sb.latency_cc;
+        // Sharing the S-boxes with the key schedule on a full-width
+        // datapath interleaves key expansion into every round.
+        if (shared) round_cc += 1.0;
+      } else {
+        const double base = (dp_width == 8.0) ? 82.0 : 16.0;
+        round_cc = passes * (1.0 + serial_extra) + base;
+      }
+      const double io =
+          (fully_unrolled && d > 0 && dp_width == 128.0)
+              ? 1.0
+              : (dp_width == 8.0 ? 6.0 : 5.0);
+      Metrics m;
+      m.latency_cc = 14.0 * round_cc + io;
+
+      // --- Area ---------------------------------------------------------
+      double linear_base;
+      if (dp_width == 128.0) {
+        linear_base = fully_unrolled ? 13400.0 : 29300.0;
+      } else if (dp_width == 32.0) {
+        linear_base = 15600.0;
+      } else {
+        linear_base = 10700.0;
+      }
+      m.area_ge = n_sboxes * sb.area_ge +
+                  linear_base * static_cast<double>(d + 1) +
+                  ch[2].metrics.area_ge + ch[3].metrics.area_ge +
+                  ch[5].metrics.area_ge + ch[6].metrics.area_ge;
+
+      // --- Randomness (fresh bits per cycle at full activity) -----------
+      const double active_sboxes =
+          shared ? data_sboxes : data_sboxes + key_sboxes;
+      // DOM-style gadgets are not composable without refreshing; narrow
+      // datapaths that iterate state through the same gadget re-randomize
+      // the state each round (28 bits per order). HPC-style gadgets are
+      // PINI-composable and need no such refresh.
+      static constexpr bool kNeedsRefresh[5] = {true, true, false, true,
+                                                true};
+      const double state_refresh =
+          (dp_width < 128.0 &&
+           kNeedsRefresh[static_cast<std::size_t>(ch[0].variant)])
+              ? 28.0 * static_cast<double>(d)
+              : 0.0;
+      m.rand_bits = active_sboxes * sb.rand_bits + ch[5].metrics.rand_bits +
+                    state_refresh;
+      return m;
+    };
+    return make_component("aes256", {v});
+  }();
+  return c;
+}
+
+}  // namespace convolve::hades::library

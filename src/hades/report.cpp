@@ -1,0 +1,79 @@
+#include "convolve/hades/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace convolve::hades {
+
+namespace {
+
+std::string format_row(double area, double latency, double rand) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "| %.1f | %.0f | %.0f |", area, latency,
+                rand);
+  return buf;
+}
+
+}  // namespace
+
+std::string markdown_frontier(const Component& c, unsigned d,
+                              std::size_t max_rows) {
+  auto frontier = pareto_fold(c, d);
+  // Collapse across variants: global non-dominated set.
+  std::vector<Metrics> global;
+  for (const auto& entry : frontier) {
+    bool dominated = false;
+    for (const auto& other : frontier) {
+      if (&other == &entry) continue;
+      if (dominates(other.metrics, entry.metrics) &&
+          !(other.metrics == entry.metrics)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      if (std::find(global.begin(), global.end(), entry.metrics) ==
+          global.end()) {
+        global.push_back(entry.metrics);
+      }
+    }
+  }
+  std::sort(global.begin(), global.end(),
+            [](const Metrics& a, const Metrics& b) {
+              return a.area_ge < b.area_ge;
+            });
+  if (global.size() > max_rows) global.resize(max_rows);
+
+  std::string out = "# Pareto frontier: " + c.name() + " (d = " +
+                    std::to_string(d) + ")\n\n";
+  out += "| area [GE] | latency [cc] | randomness [bits] |\n";
+  out += "|---|---|---|\n";
+  for (const auto& m : global) {
+    out += format_row(m.area_ge, m.latency_cc, m.rand_bits) + "\n";
+  }
+  return out;
+}
+
+std::string markdown_goal_summary(const Component& c,
+                                  std::span<const unsigned> orders,
+                                  std::span<const Goal> goals) {
+  std::string out = "# Per-goal optima: " + c.name() + "\n\n";
+  out += "| d | goal | area [GE] | latency [cc] | randomness [bits] | "
+         "design |\n";
+  out += "|---|---|---|---|---|---|\n";
+  for (unsigned d : orders) {
+    const auto results = exhaustive_search_multi(c, d, goals);
+    for (std::size_t g = 0; g < goals.size(); ++g) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "| %u | %s | %.1f | %.0f | %.0f | ",
+                    d, goal_name(goals[g]), results[g].metrics.area_ge,
+                    results[g].metrics.latency_cc,
+                    results[g].metrics.rand_bits);
+      out += buf;
+      out += describe(c, results[g].choice) + " |\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace convolve::hades

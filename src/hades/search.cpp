@@ -1,0 +1,297 @@
+#include "convolve/hades/search.hpp"
+
+#include <limits>
+#include <tuple>
+#include <stdexcept>
+
+namespace convolve::hades {
+
+namespace {
+
+// Mixed-radix odometer over the configuration tree. Children are the least
+// significant digits; when all children wrap, the variant advances (and the
+// children are rebuilt for the new variant). Returns false when the whole
+// subtree wrapped back to its first configuration.
+bool advance(const Component& c, Choice& ch) {
+  const Variant& v = c.variants()[static_cast<std::size_t>(ch.variant)];
+  for (std::size_t i = 0; i < v.children.size(); ++i) {
+    if (advance(*v.children[i], ch.children[i])) return true;
+    // Child i wrapped; it is already reset. Carry into the next child.
+  }
+  // All children wrapped: advance our own variant.
+  ++ch.variant;
+  if (ch.variant >= static_cast<int>(c.variants().size())) {
+    ch.variant = 0;
+  }
+  const Variant& nv = c.variants()[static_cast<std::size_t>(ch.variant)];
+  ch.children.clear();
+  for (const auto& child : nv.children) {
+    ch.children.push_back(default_choice(*child));
+  }
+  return ch.variant != 0;
+}
+
+// Paths to every node in the current choice tree (sequence of child
+// indices from the root).
+void collect_paths(const Component& c, const Choice& ch, std::vector<int>& cur,
+                   std::vector<std::vector<int>>& out) {
+  out.push_back(cur);
+  const Variant& v = c.variants()[static_cast<std::size_t>(ch.variant)];
+  for (std::size_t i = 0; i < v.children.size(); ++i) {
+    cur.push_back(static_cast<int>(i));
+    collect_paths(*v.children[i], ch.children[i], cur, out);
+    cur.pop_back();
+  }
+}
+
+struct NodeRef {
+  const Component* component;
+  Choice* choice;
+};
+
+NodeRef locate(const Component& root, Choice& ch,
+               std::span<const int> path) {
+  const Component* c = &root;
+  Choice* cur = &ch;
+  for (int step : path) {
+    const Variant& v = c->variants()[static_cast<std::size_t>(cur->variant)];
+    c = v.children[static_cast<std::size_t>(step)].get();
+    cur = &cur->children[static_cast<std::size_t>(step)];
+  }
+  return {c, cur};
+}
+
+}  // namespace
+
+std::uint64_t for_each_config(
+    const Component& c, unsigned d,
+    const std::function<void(const Choice&, const Metrics&)>& fn) {
+  Choice ch = default_choice(c);
+  std::uint64_t n = 0;
+  do {
+    fn(ch, evaluate(c, ch, d));
+    ++n;
+  } while (advance(c, ch));
+  return n;
+}
+
+std::vector<SearchResult> exhaustive_search_multi(
+    const Component& c, unsigned d, std::span<const Goal> goals) {
+  std::vector<SearchResult> best(goals.size());
+  for (auto& b : best) b.cost = std::numeric_limits<double>::infinity();
+
+  Choice ch = default_choice(c);
+  std::uint64_t n = 0;
+  do {
+    const Metrics m = evaluate(c, ch, d);
+    ++n;
+    for (std::size_t g = 0; g < goals.size(); ++g) {
+      const double s = score(m, goals[g]);
+      // Deterministic tie-break: on equal score prefer the design with
+      // smaller (area, latency, randomness), lexicographically.
+      const auto key = [](const Metrics& x) {
+        return std::tuple{x.area_ge, x.latency_cc, x.rand_bits};
+      };
+      if (s < best[g].cost ||
+          (s == best[g].cost && key(m) < key(best[g].metrics))) {
+        best[g].cost = s;
+        best[g].metrics = m;
+        best[g].choice = ch;
+      }
+    }
+  } while (advance(c, ch));
+
+  for (auto& b : best) b.evaluations = n;
+  return best;
+}
+
+SearchResult exhaustive_search(const Component& c, unsigned d, Goal goal) {
+  const Goal goals[1] = {goal};
+  return exhaustive_search_multi(c, d, goals)[0];
+}
+
+SearchResult constrained_search(const Component& c, unsigned d, Goal goal,
+                                const Constraints& budget) {
+  SearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  Choice ch = default_choice(c);
+  std::uint64_t n = 0;
+  do {
+    const Metrics m = evaluate(c, ch, d);
+    ++n;
+    if (!satisfies(m, budget)) continue;
+    const double s = score(m, goal);
+    if (s < best.cost) {
+      best.cost = s;
+      best.metrics = m;
+      best.choice = ch;
+    }
+  } while (advance(c, ch));
+  best.evaluations = n;
+  return best;
+}
+
+Choice random_choice(const Component& c, Xoshiro256& rng) {
+  Choice ch;
+  ch.variant = static_cast<int>(rng.uniform(c.variants().size()));
+  const Variant& v = c.variants()[static_cast<std::size_t>(ch.variant)];
+  for (const auto& child : v.children) {
+    ch.children.push_back(random_choice(*child, rng));
+  }
+  return ch;
+}
+
+SearchResult local_search(const Component& c, unsigned d, Goal goal,
+                          int n_starts, Xoshiro256& rng) {
+  if (n_starts <= 0) throw std::invalid_argument("local_search: n_starts<=0");
+
+  SearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::uint64_t evals = 0;
+
+  for (int start = 0; start < n_starts; ++start) {
+    Choice current = random_choice(c, rng);
+    Metrics current_metrics = evaluate(c, current, d);
+    double current_cost = score(current_metrics, goal);
+    ++evals;
+
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      std::vector<std::vector<int>> paths;
+      std::vector<int> scratch;
+      collect_paths(c, current, scratch, paths);
+
+      Choice best_neighbor;
+      Metrics best_neighbor_metrics;
+      double best_neighbor_cost = current_cost;
+
+      for (const auto& path : paths) {
+        // Number of variants at this node.
+        Choice probe = current;
+        const NodeRef node = locate(c, probe, path);
+        const int n_variants =
+            static_cast<int>(node.component->variants().size());
+        const int original = node.choice->variant;
+        for (int alt = 0; alt < n_variants; ++alt) {
+          if (alt == original) continue;
+          Choice neighbor = current;
+          const NodeRef nref = locate(c, neighbor, path);
+          nref.choice->variant = alt;
+          // Re-shape children for the new variant.
+          const Variant& nv = nref.component
+                                  ->variants()[static_cast<std::size_t>(alt)];
+          nref.choice->children.clear();
+          for (const auto& child : nv.children) {
+            nref.choice->children.push_back(default_choice(*child));
+          }
+          const Metrics m = evaluate(c, neighbor, d);
+          ++evals;
+          const double s = score(m, goal);
+          if (s < best_neighbor_cost) {
+            best_neighbor_cost = s;
+            best_neighbor = std::move(neighbor);
+            best_neighbor_metrics = m;
+          }
+        }
+      }
+
+      if (best_neighbor_cost < current_cost) {
+        current = std::move(best_neighbor);
+        current_metrics = best_neighbor_metrics;
+        current_cost = best_neighbor_cost;
+        improved = true;
+      }
+    }
+
+    if (current_cost < best.cost) {
+      best.cost = current_cost;
+      best.metrics = current_metrics;
+      best.choice = std::move(current);
+    }
+  }
+
+  best.evaluations = evals;
+  return best;
+}
+
+namespace {
+
+void prune_within_variant(std::vector<ParetoEntry>& entries) {
+  std::vector<ParetoEntry> kept;
+  for (const auto& e : entries) {
+    bool dominated = false;
+    for (const auto& other : entries) {
+      if (&other == &e || other.variant != e.variant) continue;
+      if (dominates(other.metrics, e.metrics) &&
+          !(other.metrics == e.metrics)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      // Deduplicate exact ties.
+      bool duplicate = false;
+      for (const auto& k : kept) {
+        if (k.variant == e.variant && k.metrics == e.metrics) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) kept.push_back(e);
+    }
+  }
+  entries = std::move(kept);
+}
+
+}  // namespace
+
+std::vector<ParetoEntry> pareto_fold(const Component& c, unsigned d) {
+  std::vector<ParetoEntry> result;
+  const auto& variants = c.variants();
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    const Variant& v = variants[vi];
+    // Child frontiers.
+    std::vector<std::vector<ParetoEntry>> fronts;
+    fronts.reserve(v.children.size());
+    for (const auto& child : v.children) {
+      fronts.push_back(pareto_fold(*child, d));
+    }
+    // Cartesian product of child frontier entries.
+    std::vector<std::size_t> idx(fronts.size(), 0);
+    while (true) {
+      std::vector<ChildEval> evals;
+      evals.reserve(fronts.size());
+      for (std::size_t i = 0; i < fronts.size(); ++i) {
+        const ParetoEntry& e = fronts[i][idx[i]];
+        evals.push_back(ChildEval{e.metrics, e.variant});
+      }
+      result.push_back(
+          ParetoEntry{static_cast<int>(vi), v.combine(evals, d)});
+      // Advance product index.
+      std::size_t pos = 0;
+      while (pos < fronts.size()) {
+        if (++idx[pos] < fronts[pos].size()) break;
+        idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == fronts.size()) break;
+      if (fronts.empty()) break;
+    }
+    if (fronts.empty()) {
+      // No children: single entry already added by the loop above? No --
+      // the while(true) body runs once with empty product, so nothing to do.
+    }
+  }
+  prune_within_variant(result);
+  return result;
+}
+
+double pareto_optimal_cost(const Component& c, unsigned d, Goal goal) {
+  const auto frontier = pareto_fold(c, d);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& e : frontier) best = std::min(best, score(e.metrics, goal));
+  return best;
+}
+
+}  // namespace convolve::hades

@@ -1,0 +1,256 @@
+#include "convolve/masking/circuit.hpp"
+
+#include <stdexcept>
+
+namespace convolve::masking {
+
+int Circuit::check(int g) const {
+  if (g < 0 || g >= static_cast<int>(gates_.size())) {
+    throw std::out_of_range("Circuit: gate index out of range");
+  }
+  return g;
+}
+
+int Circuit::add_input() {
+  gates_.push_back({GateKind::kInput, -1, -1, num_inputs_});
+  ++num_inputs_;
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Circuit::add_random() {
+  gates_.push_back({GateKind::kRandom, -1, -1, num_randoms_});
+  ++num_randoms_;
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Circuit::add_const(int value) {
+  gates_.push_back({GateKind::kConst, -1, -1, value & 1});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Circuit::add_and(int a, int b) {
+  gates_.push_back({GateKind::kAnd, check(a), check(b), 0});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Circuit::add_xor(int a, int b) {
+  gates_.push_back({GateKind::kXor, check(a), check(b), 0});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Circuit::add_not(int a) {
+  gates_.push_back({GateKind::kNot, check(a), -1, 0});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+void Circuit::mark_output(int gate) { outputs_.push_back(check(gate)); }
+
+int Circuit::and_count() const {
+  int n = 0;
+  for (const auto& g : gates_) n += (g.kind == GateKind::kAnd);
+  return n;
+}
+
+int Circuit::xor_count() const {
+  int n = 0;
+  for (const auto& g : gates_) n += (g.kind == GateKind::kXor);
+  return n;
+}
+
+int Circuit::not_count() const {
+  int n = 0;
+  for (const auto& g : gates_) n += (g.kind == GateKind::kNot);
+  return n;
+}
+
+std::vector<std::uint8_t> Circuit::evaluate_all(
+    const std::vector<std::uint8_t>& inputs,
+    const std::vector<std::uint8_t>& randoms) const {
+  if (static_cast<int>(inputs.size()) != num_inputs_) {
+    throw std::invalid_argument("Circuit::evaluate: wrong input count");
+  }
+  if (static_cast<int>(randoms.size()) != num_randoms_) {
+    throw std::invalid_argument("Circuit::evaluate: wrong randomness count");
+  }
+  std::vector<std::uint8_t> wire(gates_.size(), 0);
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::kInput:
+        wire[i] = inputs[static_cast<std::size_t>(g.aux)] & 1;
+        break;
+      case GateKind::kRandom:
+        wire[i] = randoms[static_cast<std::size_t>(g.aux)] & 1;
+        break;
+      case GateKind::kConst:
+        wire[i] = static_cast<std::uint8_t>(g.aux & 1);
+        break;
+      case GateKind::kAnd:
+        wire[i] = wire[static_cast<std::size_t>(g.a)] &
+                  wire[static_cast<std::size_t>(g.b)];
+        break;
+      case GateKind::kXor:
+        wire[i] = wire[static_cast<std::size_t>(g.a)] ^
+                  wire[static_cast<std::size_t>(g.b)];
+        break;
+      case GateKind::kNot:
+        wire[i] = wire[static_cast<std::size_t>(g.a)] ^ 1;
+        break;
+    }
+  }
+  return wire;
+}
+
+std::vector<std::uint8_t> Circuit::evaluate(
+    const std::vector<std::uint8_t>& inputs,
+    const std::vector<std::uint8_t>& randoms) const {
+  const auto wire = evaluate_all(inputs, randoms);
+  std::vector<std::uint8_t> out;
+  out.reserve(outputs_.size());
+  for (int o : outputs_) out.push_back(wire[static_cast<std::size_t>(o)]);
+  return out;
+}
+
+MaskedCircuit mask_circuit(const Circuit& plain, unsigned order) {
+  const unsigned n_shares = order + 1;
+  MaskedCircuit result;
+  result.order = order;
+
+  Circuit& mc = result.circuit;
+  // share_of[g][s]: masked-circuit gate index carrying share s of plain
+  // wire g.
+  std::vector<std::vector<int>> share_of(plain.num_gates());
+
+  for (std::size_t gi = 0; gi < plain.num_gates(); ++gi) {
+    const Gate& g = plain.gates()[gi];
+    auto& sh = share_of[gi];
+    sh.resize(n_shares);
+    switch (g.kind) {
+      case GateKind::kInput: {
+        result.input_share_base.push_back(mc.num_inputs());
+        for (unsigned s = 0; s < n_shares; ++s) sh[s] = mc.add_input();
+        break;
+      }
+      case GateKind::kRandom: {
+        // A random wire is already uniform; share 0 carries it.
+        sh[0] = mc.add_random();
+        for (unsigned s = 1; s < n_shares; ++s) sh[s] = mc.add_const(0);
+        break;
+      }
+      case GateKind::kConst: {
+        sh[0] = mc.add_const(g.aux);
+        for (unsigned s = 1; s < n_shares; ++s) sh[s] = mc.add_const(0);
+        break;
+      }
+      case GateKind::kXor: {
+        const auto& a = share_of[static_cast<std::size_t>(g.a)];
+        const auto& b = share_of[static_cast<std::size_t>(g.b)];
+        for (unsigned s = 0; s < n_shares; ++s) {
+          sh[s] = mc.add_xor(a[s], b[s]);
+        }
+        break;
+      }
+      case GateKind::kNot: {
+        const auto& a = share_of[static_cast<std::size_t>(g.a)];
+        sh[0] = mc.add_not(a[0]);
+        for (unsigned s = 1; s < n_shares; ++s) sh[s] = a[s];
+        break;
+      }
+      case GateKind::kAnd: {
+        // DOM-independent gadget.
+        const auto& a = share_of[static_cast<std::size_t>(g.a)];
+        const auto& b = share_of[static_cast<std::size_t>(g.b)];
+        std::vector<int> acc(n_shares);
+        for (unsigned i = 0; i < n_shares; ++i) {
+          acc[i] = mc.add_and(a[i], b[i]);
+        }
+        for (unsigned i = 0; i < n_shares; ++i) {
+          for (unsigned j = i + 1; j < n_shares; ++j) {
+            const int fresh = mc.add_random();
+            const int pij = mc.add_and(a[i], b[j]);
+            const int pji = mc.add_and(a[j], b[i]);
+            // Blind each cross term before folding it into the domain
+            // accumulator (register boundary in hardware).
+            acc[i] = mc.add_xor(acc[i], mc.add_xor(pij, fresh));
+            acc[j] = mc.add_xor(acc[j], mc.add_xor(pji, fresh));
+          }
+        }
+        sh = acc;
+        break;
+      }
+    }
+  }
+
+  for (int o : plain.outputs()) {
+    for (unsigned s = 0; s < n_shares; ++s) {
+      mc.mark_output(share_of[static_cast<std::size_t>(o)][s]);
+    }
+  }
+  return result;
+}
+
+Circuit single_and_circuit() {
+  Circuit c;
+  const int a = c.add_input();
+  const int b = c.add_input();
+  c.mark_output(c.add_and(a, b));
+  return c;
+}
+
+Circuit full_adder_circuit() {
+  Circuit c;
+  const int a = c.add_input();
+  const int b = c.add_input();
+  const int cin = c.add_input();
+  const int axb = c.add_xor(a, b);
+  const int sum = c.add_xor(axb, cin);
+  const int ab = c.add_and(a, b);
+  const int axb_cin = c.add_and(axb, cin);
+  const int cout = c.add_xor(ab, axb_cin);
+  c.mark_output(sum);
+  c.mark_output(cout);
+  return c;
+}
+
+Circuit ripple_adder_circuit(int width) {
+  if (width <= 0) throw std::invalid_argument("ripple_adder: width <= 0");
+  Circuit c;
+  std::vector<int> a(static_cast<std::size_t>(width));
+  std::vector<int> b(static_cast<std::size_t>(width));
+  for (auto& g : a) g = c.add_input();
+  for (auto& g : b) g = c.add_input();
+  int carry = c.add_const(0);
+  for (int i = 0; i < width; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    const int axb = c.add_xor(a[idx], b[idx]);
+    const int sum = c.add_xor(axb, carry);
+    const int ab = c.add_and(a[idx], b[idx]);
+    const int axb_c = c.add_and(axb, carry);
+    carry = c.add_xor(ab, axb_c);
+    c.mark_output(sum);
+  }
+  c.mark_output(carry);
+  return c;
+}
+
+Circuit toy_sbox_circuit() {
+  // A small 4-bit nonlinear permutation-like layer with AND depth 3.
+  Circuit c;
+  const int x0 = c.add_input();
+  const int x1 = c.add_input();
+  const int x2 = c.add_input();
+  const int x3 = c.add_input();
+  const int t0 = c.add_and(x0, x1);
+  const int t1 = c.add_xor(t0, x2);
+  const int t2 = c.add_and(t1, x3);
+  const int t3 = c.add_xor(t2, x0);
+  const int t4 = c.add_and(t3, t1);
+  const int t5 = c.add_xor(t4, x1);
+  c.mark_output(t1);
+  c.mark_output(t3);
+  c.mark_output(t5);
+  c.mark_output(c.add_not(t2));
+  return c;
+}
+
+}  // namespace convolve::masking

@@ -1,0 +1,151 @@
+#include "convolve/masking/gf256.hpp"
+
+#include <array>
+
+namespace convolve::masking {
+
+namespace {
+
+// Reduction masks: the GF(2^8) value of x^k for k = 8..14 under the AES
+// polynomial, computed once.
+std::array<std::uint8_t, 7> reduction_masks() {
+  std::array<std::uint8_t, 7> red{};
+  unsigned value = 0x1b;  // x^8 = x^4 + x^3 + x + 1
+  for (int k = 0; k < 7; ++k) {
+    red[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(value);
+    value <<= 1;
+    if (value & 0x100) value = (value & 0xff) ^ 0x1b;
+  }
+  return red;
+}
+
+const std::array<std::uint8_t, 7> kRed = reduction_masks();
+
+}  // namespace
+
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t r = 0;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    const bool high = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (high) a ^= 0x1b;
+    b >>= 1;
+  }
+  return r;
+}
+
+std::uint8_t aes_sbox(std::uint8_t x) {
+  // Inverse by exhaustive search (reference code; performance irrelevant).
+  std::uint8_t inv = 0;
+  if (x != 0) {
+    for (int c = 1; c < 256; ++c) {
+      if (gf256_mul(x, static_cast<std::uint8_t>(c)) == 1) {
+        inv = static_cast<std::uint8_t>(c);
+        break;
+      }
+    }
+  }
+  std::uint8_t s = inv, y = inv;
+  for (int k = 0; k < 4; ++k) {
+    y = static_cast<std::uint8_t>((y << 1) | (y >> 7));
+    s ^= y;
+  }
+  return s ^ 0x63;
+}
+
+Circuit gf256_mul_circuit() {
+  Circuit c;
+  int a[8], b[8];
+  for (auto& g : a) g = c.add_input();
+  for (auto& g : b) g = c.add_input();
+
+  // Partial-product columns: bit position i+j collects a_i AND b_j.
+  std::array<std::vector<int>, 15> columns;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      columns[static_cast<std::size_t>(i + j)].push_back(c.add_and(a[i], b[j]));
+    }
+  }
+  // Result columns 0..7 then reduction of columns 8..14.
+  std::array<std::vector<int>, 8> out_terms;
+  for (int k = 0; k < 8; ++k) {
+    out_terms[static_cast<std::size_t>(k)] = columns[static_cast<std::size_t>(k)];
+  }
+  for (int k = 8; k < 15; ++k) {
+    const std::uint8_t mask = kRed[static_cast<std::size_t>(k - 8)];
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((mask >> bit) & 1) {
+        for (int gate : columns[static_cast<std::size_t>(k)]) {
+          out_terms[static_cast<std::size_t>(bit)].push_back(gate);
+        }
+      }
+    }
+  }
+  for (int bit = 0; bit < 8; ++bit) {
+    auto& terms = out_terms[static_cast<std::size_t>(bit)];
+    int acc = terms[0];
+    for (std::size_t t = 1; t < terms.size(); ++t) {
+      acc = c.add_xor(acc, terms[t]);
+    }
+    c.mark_output(acc);
+  }
+  return c;
+}
+
+MaskedWord masked_gf256_mul(const MaskedWord& a, const MaskedWord& b,
+                            RandomnessSource& rnd) {
+  // Schoolbook: acc(16 bits) = XOR_j (a AND repl(b_j)) << j, then reduce.
+  MaskedWord acc = MaskedWord::zero(a.order(), 16);
+  for (unsigned j = 0; j < 8; ++j) {
+    const MaskedWord repl = b.replicate_bit(j, 8);
+    const MaskedWord pp = MaskedWord::dom_and(a, repl, rnd);
+    acc = acc ^ pp.shifted_left(j, 16);
+  }
+  // Linear reduction of bits 8..14.
+  MaskedWord result = acc.truncated(8);
+  for (unsigned k = 8; k < 15; ++k) {
+    const MaskedWord bit = acc.replicate_bit(k, 8);
+    result = result ^ bit.and_mask(kRed[static_cast<std::size_t>(k - 8)]);
+  }
+  return result;
+}
+
+MaskedWord masked_gf256_square(const MaskedWord& a) {
+  // Squaring is GF(2)-linear ((s0 ^ s1 ^ ...)^2 = s0^2 ^ s1^2 ^ ... in
+  // GF(2^8)), so it applies share-wise and needs no randomness.
+  std::vector<std::uint64_t> shares = a.shares();
+  for (auto& s : shares) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(s);
+    s = gf256_mul(byte, byte);
+  }
+  return MaskedWord::from_shares(std::move(shares), 8);
+}
+
+MaskedWord masked_gf256_inverse(const MaskedWord& a, RandomnessSource& rnd) {
+  // x^254 addition chain: 4 multiplications, 7 squarings.
+  const MaskedWord x2 = masked_gf256_square(a);
+  const MaskedWord x3 = masked_gf256_mul(x2, a, rnd);
+  MaskedWord x12 = masked_gf256_square(x3);
+  x12 = masked_gf256_square(x12);
+  const MaskedWord x15 = masked_gf256_mul(x12, x3, rnd);
+  MaskedWord x240 = x15;
+  for (int i = 0; i < 4; ++i) x240 = masked_gf256_square(x240);
+  const MaskedWord x252 = masked_gf256_mul(x240, x12, rnd);
+  return masked_gf256_mul(x252, x2, rnd);
+}
+
+MaskedWord masked_aes_sbox(const MaskedWord& x, RandomnessSource& rnd) {
+  const MaskedWord inv = masked_gf256_inverse(x, rnd);
+  // Affine layer: y = inv ^ rotl1 ^ rotl2 ^ rotl3 ^ rotl4 ^ 0x63 (linear).
+  MaskedWord y = inv;
+  for (unsigned r = 1; r <= 4; ++r) y = y ^ inv.rotl(r);
+  return y.xor_const(0x63);
+}
+
+std::uint64_t masked_sbox_random_bits(unsigned order) {
+  // 4 GF multiplications, each 8 bit-level DOM-ANDs over 8-bit words.
+  return 4ull * 8ull * MaskedWord::dom_and_random_bits(order, 8);
+}
+
+}  // namespace convolve::masking

@@ -1,0 +1,110 @@
+// Gate-level combinational circuit IR.
+//
+// This is the representation on which the AGEMA-style automated masking
+// baseline operates (the paper contrasts HADES against AGEMA, which applies
+// "straight-forward post-processing to synthesized netlists"): a plain
+// netlist of AND/XOR/NOT gates is transformed gate-by-gate into a masked
+// netlist at order d, with each AND replaced by a DOM gadget subcircuit. The
+// same IR feeds the probing-security checker and the CIM adder-tree power
+// model's gate-count estimates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "convolve/common/rng.hpp"
+
+namespace convolve::masking {
+
+enum class GateKind : std::uint8_t {
+  kInput,   // primary input
+  kRandom,  // fresh uniform random bit (masking randomness)
+  kConst,   // constant 0/1 (payload in `aux`)
+  kAnd,
+  kXor,
+  kNot,
+};
+
+struct Gate {
+  GateKind kind = GateKind::kConst;
+  int a = -1;  // fan-in 0 (gate index)
+  int b = -1;  // fan-in 1 (gate index; unused for NOT/inputs)
+  int aux = 0; // constant value, or input ordinal
+};
+
+/// A combinational circuit in topological order (gates only reference
+/// earlier gates).
+class Circuit {
+ public:
+  /// Append gates; return the gate index.
+  int add_input();
+  int add_random();
+  int add_const(int value);
+  int add_and(int a, int b);
+  int add_xor(int a, int b);
+  int add_not(int a);
+  void mark_output(int gate);
+
+  int num_inputs() const { return num_inputs_; }
+  int num_randoms() const { return num_randoms_; }
+  std::size_t num_gates() const { return gates_.size(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<int>& outputs() const { return outputs_; }
+
+  int and_count() const;
+  int xor_count() const;
+  int not_count() const;
+
+  /// Evaluate with explicit input and randomness bit assignments; returns
+  /// the value of every gate (wire), so probes can inspect internal wires.
+  std::vector<std::uint8_t> evaluate_all(
+      const std::vector<std::uint8_t>& inputs,
+      const std::vector<std::uint8_t>& randoms) const;
+
+  /// Evaluate and return only the outputs.
+  std::vector<std::uint8_t> evaluate(
+      const std::vector<std::uint8_t>& inputs,
+      const std::vector<std::uint8_t>& randoms = {}) const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<int> outputs_;
+  int num_inputs_ = 0;
+  int num_randoms_ = 0;
+
+  int check(int g) const;
+};
+
+/// Result of the automated masking transform.
+struct MaskedCircuit {
+  Circuit circuit;
+  unsigned order = 0;
+  // Input i of the original circuit maps to shares
+  // [input_shares[i], input_shares[i] + order] (ordinals of masked inputs).
+  std::vector<int> input_share_base;
+  // Output j of the original circuit maps to order+1 output wires
+  // [j*(order+1), (j+1)*(order+1)) of the masked circuit.
+};
+
+/// AGEMA-style gate-by-gate masking: every wire becomes order+1 shares,
+/// XOR/NOT act share-wise, AND becomes a DOM-independent gadget with
+/// order*(order+1)/2 fresh random bits. No cross-gate optimization is
+/// attempted -- that is exactly the baseline HADES outperforms.
+MaskedCircuit mask_circuit(const Circuit& plain, unsigned order);
+
+// Reference circuits used by tests, the probing checker and benchmarks ----
+
+/// c = a AND b (single gate).
+Circuit single_and_circuit();
+
+/// Full adder: inputs a, b, cin; outputs sum, cout.
+Circuit full_adder_circuit();
+
+/// Ripple-carry adder over `width`-bit operands; outputs width+1 bits.
+Circuit ripple_adder_circuit(int width);
+
+/// 4-bit S-box-like nonlinear layer (3 AND levels) for gadget stress tests.
+Circuit toy_sbox_circuit();
+
+}  // namespace convolve::masking

@@ -1,0 +1,46 @@
+// Boolean-masked AES-128/AES-256 block encryption.
+//
+// The software twin of the masked hardware designs HADES explores in
+// Table II: the key and state live as boolean shares end to end; ShiftRows,
+// MixColumns (multiplication by the constants 2 and 3 is GF(2)-linear) and
+// AddRoundKey act share-wise; SubBytes is the only nonlinear layer and uses
+// the masked tower-field S-box from gf256.hpp (4 masked GF(2^8)
+// multiplications each). Randomness per block therefore follows exactly
+// the cost model's S-box counting, which tests verify along with FIPS-197
+// test vectors at masking orders 0..2.
+#pragma once
+
+#include <array>
+
+#include "convolve/common/bytes.hpp"
+#include "convolve/masking/gf256.hpp"
+
+namespace convolve::masking {
+
+class MaskedAes {
+ public:
+  enum class KeySize { k128, k256 };
+
+  /// Expand the key *in shares*: the round keys never exist unmasked.
+  MaskedAes(KeySize size, ByteView key, unsigned order,
+            RandomnessSource& rnd);
+
+  /// Encrypt one block; plaintext/ciphertext are public, the key is masked.
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16],
+                     RandomnessSource& rnd) const;
+
+  int rounds() const { return rounds_; }
+  unsigned order() const { return order_; }
+
+  /// Fresh random bits one block encryption consumes (S-box evaluations
+  /// in the data path only; the key schedule's are drawn at construction).
+  static std::uint64_t block_random_bits(KeySize size, unsigned order);
+
+ private:
+  int rounds_;
+  unsigned order_;
+  // Round keys as masked bytes: (rounds+1) * 16.
+  std::vector<MaskedWord> round_keys_;
+};
+
+}  // namespace convolve::masking

@@ -1,0 +1,37 @@
+// Boolean-masked Keccak-f[1600].
+//
+// The paper realizes Keccak in hardware "as it is an important subroutine
+// of BIKE, CRYSTALs-Dilithium and can be used by the TEE for signing", and
+// the HADES Keccak template assumes chi -- the only nonlinear layer -- is
+// the sole consumer of masking randomness (1600 AND gadgets per round).
+// This is the concrete software realization of that design: theta/rho/pi/
+// iota act share-wise, chi uses one 64-bit DOM-AND per lane pair, and a
+// full permutation at order d draws exactly
+//   24 rounds x 25 lanes x 64 bits x d(d+1)/2
+// fresh random bits, which tests check against the cost model's formula.
+#pragma once
+
+#include <array>
+
+#include "convolve/masking/shares.hpp"
+
+namespace convolve::masking {
+
+using MaskedKeccakState = std::array<MaskedWord, 25>;
+
+/// Encode a plain 5x5-lane state into shares at the given order.
+MaskedKeccakState masked_keccak_encode(
+    const std::array<std::uint64_t, 25>& plain, unsigned order,
+    RandomnessSource& rnd);
+
+/// Recombine shares into the plain state.
+std::array<std::uint64_t, 25> masked_keccak_decode(
+    const MaskedKeccakState& state);
+
+/// The full masked permutation (24 rounds).
+void masked_keccak_f1600(MaskedKeccakState& state, RandomnessSource& rnd);
+
+/// Fresh random bits one masked permutation consumes at order d.
+std::uint64_t masked_keccak_random_bits(unsigned order);
+
+}  // namespace convolve::masking

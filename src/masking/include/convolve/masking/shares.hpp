@@ -1,0 +1,111 @@
+// Boolean masking at arbitrary order.
+//
+// A secret word x is split into d+1 shares with x = x_0 ^ ... ^ x_d; any d
+// shares are uniformly random and independent of x. Linear operations (XOR,
+// NOT, rotations) act share-wise; the nonlinear AND uses the DOM-independent
+// gadget, which consumes d(d+1)/2 fresh random words per operation. The
+// randomness source counts every bit drawn, which is exactly the
+// "randomness" cost metric the HADES design-space exploration optimizes
+// (Table II of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "convolve/common/rng.hpp"
+
+namespace convolve::masking {
+
+/// Source of fresh masking randomness; counts bits for cost accounting.
+class RandomnessSource {
+ public:
+  explicit RandomnessSource(std::uint64_t seed) : rng_(seed) {}
+
+  /// Draw `width` fresh random bits packed into a word (width <= 64).
+  std::uint64_t draw(unsigned width);
+
+  /// Total number of fresh random bits drawn so far.
+  std::uint64_t bits_drawn() const { return bits_drawn_; }
+
+  void reset_counter() { bits_drawn_ = 0; }
+
+ private:
+  Xoshiro256 rng_;
+  std::uint64_t bits_drawn_ = 0;
+};
+
+/// A `width`-bit word split into order+1 boolean shares.
+class MaskedWord {
+ public:
+  MaskedWord() = default;
+
+  /// Encode `value` at masking order `order` (order >= 0).
+  static MaskedWord encode(std::uint64_t value, unsigned order, unsigned width,
+                           RandomnessSource& rnd);
+
+  /// Recombine the shares.
+  std::uint64_t decode() const;
+
+  unsigned order() const {
+    return static_cast<unsigned>(shares_.size()) - 1;
+  }
+  unsigned width() const { return width_; }
+  const std::vector<std::uint64_t>& shares() const { return shares_; }
+
+  /// Share-wise XOR (linear, needs no randomness).
+  friend MaskedWord operator^(const MaskedWord& a, const MaskedWord& b);
+
+  /// NOT: complement share 0 only.
+  MaskedWord operator~() const;
+
+  /// Share-wise rotate left (linear).
+  MaskedWord rotl(unsigned n) const;
+
+  // Further linear (share-wise, randomness-free) operations ------------
+
+  /// All-zero sharing of zero (no randomness needed).
+  static MaskedWord zero(unsigned order, unsigned width);
+
+  /// Rebuild a masked word from explicit shares (e.g. read back from
+  /// hardware share registers).
+  static MaskedWord from_shares(std::vector<std::uint64_t> shares,
+                                unsigned width);
+
+  /// AND with a public constant.
+  MaskedWord and_mask(std::uint64_t mask) const;
+
+  /// XOR with a public constant (flips share 0 only).
+  MaskedWord xor_const(std::uint64_t value) const;
+
+  /// Shift left by n bits into a word of `new_width` bits.
+  MaskedWord shifted_left(unsigned n, unsigned new_width) const;
+
+  /// Truncate to the low `new_width` bits.
+  MaskedWord truncated(unsigned new_width) const;
+
+  /// Replicate bit `bit` across a `width`-bit word (fan-out wiring).
+  MaskedWord replicate_bit(unsigned bit, unsigned out_width) const;
+
+  /// DOM-independent masked AND; draws d(d+1)/2 fresh random words.
+  static MaskedWord dom_and(const MaskedWord& a, const MaskedWord& b,
+                            RandomnessSource& rnd);
+
+  /// Re-randomize the sharing of the same secret (refresh gadget);
+  /// draws d fresh random words.
+  MaskedWord refresh(RandomnessSource& rnd) const;
+
+  /// Number of fresh random bits one DOM-AND consumes at this order/width.
+  static std::uint64_t dom_and_random_bits(unsigned order, unsigned width) {
+    return static_cast<std::uint64_t>(order) * (order + 1) / 2 * width;
+  }
+
+ private:
+  std::vector<std::uint64_t> shares_;
+  unsigned width_ = 0;
+
+  std::uint64_t mask() const {
+    return (width_ >= 64) ? ~0ull : ((1ull << width_) - 1);
+  }
+};
+
+}  // namespace convolve::masking

@@ -1,0 +1,133 @@
+#include "convolve/masking/masked_aes.hpp"
+
+#include <stdexcept>
+
+namespace convolve::masking {
+
+namespace {
+
+constexpr std::uint8_t kRcon[15] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c,
+                                    0xd8, 0xab, 0x4d};
+
+// Multiplication by the public constant 2 (xtime) is GF(2)-linear, so it
+// applies share-wise.
+MaskedWord xtime(const MaskedWord& a) {
+  std::vector<std::uint64_t> shares = a.shares();
+  for (auto& s : shares) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(s);
+    s = static_cast<std::uint8_t>((byte << 1) ^ ((byte & 0x80) ? 0x1b : 0));
+  }
+  return MaskedWord::from_shares(std::move(shares), 8);
+}
+
+}  // namespace
+
+MaskedAes::MaskedAes(KeySize size, ByteView key, unsigned order,
+                     RandomnessSource& rnd)
+    : rounds_(size == KeySize::k128 ? 10 : 14), order_(order) {
+  const std::size_t nk = (size == KeySize::k128) ? 4 : 8;
+  if (key.size() != nk * 4) {
+    throw std::invalid_argument("MaskedAes: key length mismatch");
+  }
+  const std::size_t total_words = 4u * static_cast<std::size_t>(rounds_ + 1);
+
+  // w[i] = 4 masked bytes per word.
+  std::vector<std::array<MaskedWord, 4>> w(total_words);
+  for (std::size_t i = 0; i < nk; ++i) {
+    for (int b = 0; b < 4; ++b) {
+      w[i][static_cast<std::size_t>(b)] = MaskedWord::encode(
+          key[4 * i + static_cast<std::size_t>(b)], order, 8, rnd);
+    }
+  }
+  for (std::size_t i = nk; i < total_words; ++i) {
+    std::array<MaskedWord, 4> temp = w[i - 1];
+    if (i % nk == 0) {
+      // RotWord + SubWord + Rcon, all on shares.
+      std::array<MaskedWord, 4> rotated = {temp[1], temp[2], temp[3],
+                                           temp[0]};
+      for (auto& byte : rotated) byte = masked_aes_sbox(byte, rnd);
+      rotated[0] = rotated[0].xor_const(kRcon[i / nk]);
+      temp = rotated;
+    } else if (nk > 6 && i % nk == 4) {
+      for (auto& byte : temp) byte = masked_aes_sbox(byte, rnd);
+    }
+    for (int b = 0; b < 4; ++b) {
+      w[i][static_cast<std::size_t>(b)] =
+          w[i - nk][static_cast<std::size_t>(b)] ^
+          temp[static_cast<std::size_t>(b)];
+    }
+  }
+  round_keys_.reserve(total_words * 4);
+  for (const auto& word : w) {
+    for (const auto& byte : word) round_keys_.push_back(byte);
+  }
+}
+
+void MaskedAes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16],
+                              RandomnessSource& rnd) const {
+  // State as 16 masked bytes, column-major like the plain implementation.
+  std::vector<MaskedWord> s;
+  s.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    s.push_back(MaskedWord::encode(in[i], order_, 8, rnd));
+  }
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) {
+      s[static_cast<std::size_t>(i)] =
+          s[static_cast<std::size_t>(i)] ^
+          round_keys_[static_cast<std::size_t>(16 * round + i)];
+    }
+  };
+  auto sub_bytes = [&] {
+    for (auto& byte : s) byte = masked_aes_sbox(byte, rnd);
+  };
+  auto shift_rows = [&] {
+    std::vector<MaskedWord> t(16, MaskedWord::zero(order_, 8));
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) {
+        t[static_cast<std::size_t>(4 * c + r)] =
+            s[static_cast<std::size_t>(4 * ((c + r) % 4) + r)];
+      }
+    }
+    s = std::move(t);
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      MaskedWord* col = &s[static_cast<std::size_t>(4 * c)];
+      const MaskedWord a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      // 3x = 2x ^ x; all linear in the shares.
+      col[0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+      col[1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+      col[2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+      col[3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round < rounds_; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(rounds_);
+
+  for (int i = 0; i < 16; ++i) {
+    out[i] = static_cast<std::uint8_t>(s[static_cast<std::size_t>(i)].decode());
+  }
+}
+
+std::uint64_t MaskedAes::block_random_bits(KeySize size, unsigned order) {
+  const int rounds = (size == KeySize::k128) ? 10 : 14;
+  // 16 state encodings + 16 S-boxes per round (every round incl. final).
+  const std::uint64_t encode_bits = 16ull * order * 8;
+  const std::uint64_t sbox_bits =
+      16ull * static_cast<std::uint64_t>(rounds) *
+      masked_sbox_random_bits(order);
+  return encode_bits + sbox_bits;
+}
+
+}  // namespace convolve::masking

@@ -1,0 +1,106 @@
+#include "convolve/masking/masked_keccak.hpp"
+
+namespace convolve::masking {
+
+namespace {
+
+// FIPS 202 constants (duplicated from convolve::crypto's private tables;
+// the masked/plain cross-check test would catch any transcription error).
+constexpr int kRounds = 24;
+
+constexpr std::uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull,
+    0x8000000080008000ull, 0x000000000000808bull, 0x0000000080000001ull,
+    0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008aull,
+    0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
+    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull,
+    0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
+    0x000000000000800aull, 0x800000008000000aull, 0x8000000080008081ull,
+    0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
+};
+
+constexpr unsigned kRho[25] = {
+    0,  1,  62, 28, 27,  //
+    36, 44, 6,  55, 20,  //
+    3,  10, 43, 25, 39,  //
+    41, 45, 15, 21, 8,   //
+    18, 2,  61, 56, 14,  //
+};
+
+}  // namespace
+
+MaskedKeccakState masked_keccak_encode(
+    const std::array<std::uint64_t, 25>& plain, unsigned order,
+    RandomnessSource& rnd) {
+  MaskedKeccakState state;
+  for (int i = 0; i < 25; ++i) {
+    state[static_cast<std::size_t>(i)] =
+        MaskedWord::encode(plain[static_cast<std::size_t>(i)], order, 64, rnd);
+  }
+  return state;
+}
+
+std::array<std::uint64_t, 25> masked_keccak_decode(
+    const MaskedKeccakState& state) {
+  std::array<std::uint64_t, 25> plain{};
+  for (int i = 0; i < 25; ++i) {
+    plain[static_cast<std::size_t>(i)] =
+        state[static_cast<std::size_t>(i)].decode();
+  }
+  return plain;
+}
+
+void masked_keccak_f1600(MaskedKeccakState& a, RandomnessSource& rnd) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta (linear: XOR and rotations act share-wise).
+    std::array<MaskedWord, 5> c;
+    for (int x = 0; x < 5; ++x) {
+      c[static_cast<std::size_t>(x)] =
+          a[static_cast<std::size_t>(x)] ^ a[static_cast<std::size_t>(x + 5)] ^
+          a[static_cast<std::size_t>(x + 10)] ^
+          a[static_cast<std::size_t>(x + 15)] ^
+          a[static_cast<std::size_t>(x + 20)];
+    }
+    std::array<MaskedWord, 5> d;
+    for (int x = 0; x < 5; ++x) {
+      d[static_cast<std::size_t>(x)] =
+          c[static_cast<std::size_t>((x + 4) % 5)] ^
+          c[static_cast<std::size_t>((x + 1) % 5)].rotl(1);
+    }
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        a[static_cast<std::size_t>(x + 5 * y)] =
+            a[static_cast<std::size_t>(x + 5 * y)] ^
+            d[static_cast<std::size_t>(x)];
+      }
+    }
+    // Rho + Pi (linear).
+    MaskedKeccakState b;
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        b[static_cast<std::size_t>(y + 5 * ((2 * x + 3 * y) % 5))] =
+            a[static_cast<std::size_t>(x + 5 * y)].rotl(
+                kRho[static_cast<std::size_t>(x + 5 * y)]);
+      }
+    }
+    // Chi (nonlinear): a = b ^ (~b' & b''). One 64-bit DOM-AND per lane.
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        const MaskedWord not_b1 =
+            ~b[static_cast<std::size_t>((x + 1) % 5 + 5 * y)];
+        const MaskedWord and_term = MaskedWord::dom_and(
+            not_b1, b[static_cast<std::size_t>((x + 2) % 5 + 5 * y)], rnd);
+        a[static_cast<std::size_t>(x + 5 * y)] =
+            b[static_cast<std::size_t>(x + 5 * y)] ^ and_term;
+      }
+    }
+    // Iota (public constant: flips share 0 only).
+    a[0] = a[0].xor_const(kRoundConstants[round]);
+  }
+}
+
+std::uint64_t masked_keccak_random_bits(unsigned order) {
+  return 24ull * 25ull * MaskedWord::dom_and_random_bits(order, 64);
+}
+
+}  // namespace convolve::masking

@@ -1,0 +1,137 @@
+#include "convolve/masking/probing.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace convolve::masking {
+
+namespace {
+
+// Distribution over probe-value tuples, keyed by the packed tuple bits.
+using Distribution = std::map<std::uint64_t, std::uint64_t>;
+
+Distribution probe_distribution(const Circuit& c,
+                                const std::vector<std::uint8_t>& plain_secret,
+                                const std::vector<int>& input_share_base,
+                                unsigned n_shares,
+                                const std::vector<int>& probes) {
+  const int n_random = c.num_randoms();
+  // Free bits: for every plain input, n_shares-1 mask bits; plus circuit
+  // randomness.
+  const int n_plain = static_cast<int>(plain_secret.size());
+  const int mask_bits = n_plain * static_cast<int>(n_shares - 1);
+  const int free_bits = mask_bits + n_random;
+  if (free_bits > 26) {
+    throw std::invalid_argument(
+        "probing check: circuit too large for exhaustive enumeration");
+  }
+
+  Distribution dist;
+  std::vector<std::uint8_t> inputs(
+      static_cast<std::size_t>(c.num_inputs()), 0);
+  std::vector<std::uint8_t> randoms(static_cast<std::size_t>(n_random), 0);
+
+  for (std::uint64_t assignment = 0; assignment < (1ull << free_bits);
+       ++assignment) {
+    std::uint64_t bits = assignment;
+    // Build input shares: shares 1..d are free mask bits; share 0 makes the
+    // XOR equal the secret.
+    for (int i = 0; i < n_plain; ++i) {
+      std::uint8_t acc = plain_secret[static_cast<std::size_t>(i)] & 1;
+      const int base = input_share_base[static_cast<std::size_t>(i)];
+      for (unsigned s = 1; s < n_shares; ++s) {
+        const std::uint8_t m = static_cast<std::uint8_t>(bits & 1);
+        bits >>= 1;
+        inputs[static_cast<std::size_t>(base) + s] = m;
+        acc ^= m;
+      }
+      inputs[static_cast<std::size_t>(base)] = acc;
+    }
+    for (int r = 0; r < n_random; ++r) {
+      randoms[static_cast<std::size_t>(r)] =
+          static_cast<std::uint8_t>(bits & 1);
+      bits >>= 1;
+    }
+
+    const auto wires = c.evaluate_all(inputs, randoms);
+    std::uint64_t key = 0;
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      key |= static_cast<std::uint64_t>(
+                 wires[static_cast<std::size_t>(probes[p])])
+             << p;
+    }
+    ++dist[key];
+  }
+  return dist;
+}
+
+// Enumerate all probe sets of size exactly `k` from `universe` and invoke fn.
+template <typename Fn>
+bool for_each_combination(int universe, int k, Fn&& fn) {
+  std::vector<int> idx(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+  if (k > universe) return true;
+  while (true) {
+    if (!fn(idx)) return false;
+    int pos = k - 1;
+    while (pos >= 0 &&
+           idx[static_cast<std::size_t>(pos)] == universe - k + pos) {
+      --pos;
+    }
+    if (pos < 0) return true;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (int j = pos + 1; j < k; ++j) {
+      idx[static_cast<std::size_t>(j)] =
+          idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+ProbingReport check_probing_security(const MaskedCircuit& masked,
+                                     int plain_inputs, unsigned probe_order) {
+  const Circuit& c = masked.circuit;
+  const unsigned n_shares = masked.order + 1;
+  const int n_gates = static_cast<int>(c.num_gates());
+
+  ProbingReport report;
+
+  // All secret assignments for the plain inputs.
+  std::vector<std::vector<std::uint8_t>> secrets;
+  for (std::uint64_t s = 0; s < (1ull << plain_inputs); ++s) {
+    std::vector<std::uint8_t> v(static_cast<std::size_t>(plain_inputs));
+    for (int i = 0; i < plain_inputs; ++i) {
+      v[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((s >> i) & 1);
+    }
+    secrets.push_back(std::move(v));
+  }
+
+  for (unsigned k = 1; k <= probe_order; ++k) {
+    const bool ok = for_each_combination(
+        n_gates, static_cast<int>(k), [&](const std::vector<int>& probes) {
+          ++report.probe_sets_checked;
+          std::optional<Distribution> reference;
+          std::size_t ref_idx = 0;
+          for (std::size_t si = 0; si < secrets.size(); ++si) {
+            Distribution d = probe_distribution(
+                c, secrets[si], masked.input_share_base, n_shares, probes);
+            if (!reference) {
+              reference = std::move(d);
+              ref_idx = si;
+            } else if (d != *reference) {
+              report.secure = false;
+              report.probes = probes;
+              report.secret_a = secrets[ref_idx];
+              report.secret_b = secrets[si];
+              return false;
+            }
+          }
+          return true;
+        });
+    if (!ok) break;
+  }
+  return report;
+}
+
+}  // namespace convolve::masking

@@ -1,0 +1,223 @@
+#include "convolve/rtos/attacks.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "convolve/rtos/kernel.hpp"
+
+namespace convolve::rtos {
+
+namespace {
+
+constexpr std::uint8_t kSecret = 0x5E;
+
+struct World {
+  Machine machine{1 << 20};
+  KernelConfig config;
+  std::unique_ptr<Kernel> kernel;
+
+  explicit World(bool use_pmp) {
+    config.use_pmp = use_pmp;
+    kernel = std::make_unique<Kernel>(machine, config);
+  }
+};
+
+ScenarioResult finish(const std::string& name, bool use_pmp, World& w,
+                      bool attack_succeeded, bool victim_completed) {
+  ScenarioResult r;
+  r.name = name;
+  r.pmp_enabled = use_pmp;
+  r.attack_succeeded = attack_succeeded;
+  r.victim_completed = victim_completed;
+  r.kernel_intact = w.kernel->kernel_integrity_ok();
+  r.faults = w.kernel->count_events(EventType::kFault);
+  r.kills = w.kernel->count_events(EventType::kTaskKilled);
+  return r;
+}
+
+}  // namespace
+
+ScenarioResult scenario_stack_snoop(bool use_pmp) {
+  World w(use_pmp);
+  auto victim_done = std::make_shared<bool>(false);
+  auto leaked = std::make_shared<bool>(false);
+  auto victim_base = std::make_shared<std::uint64_t>(0);
+
+  auto victim_steps = std::make_shared<int>(0);
+  const int victim = w.kernel->add_task(
+      "victim", /*priority=*/1, 8192, [=](TaskApi& api) {
+        *victim_base = api.region_base();
+        // Place a "key" on the task stack, then do 5 ticks of work.
+        api.write(api.region_base() + 128, Bytes(16, kSecret));
+        if (++*victim_steps >= 5) {
+          *victim_done = true;
+          return StepResult::done();
+        }
+        return StepResult::yield();
+      });
+  (void)victim;
+
+  w.kernel->add_task("attacker", /*priority=*/1, 8192, [=](TaskApi& api) {
+    if (*victim_base == 0) return StepResult::yield();  // victim not yet run
+    const Bytes stolen = api.read(*victim_base + 128, 16);  // may trap
+    *leaked = std::all_of(stolen.begin(), stolen.end(),
+                          [](std::uint8_t b) { return b == kSecret; });
+    return StepResult::done();
+  });
+
+  w.kernel->run(64);
+  return finish("stack-snoop", use_pmp, w, *leaked, *victim_done);
+}
+
+ScenarioResult scenario_kernel_tamper(bool use_pmp) {
+  World w(use_pmp);
+  auto victim_done = std::make_shared<bool>(false);
+  auto victim_steps = std::make_shared<int>(0);
+  w.kernel->add_task("victim", 1, 8192, [=](TaskApi&) {
+    if (++*victim_steps >= 5) {
+      *victim_done = true;
+      return StepResult::done();
+    }
+    return StepResult::yield();
+  });
+
+  const std::uint64_t target = w.kernel->kernel_data_addr();
+  w.kernel->add_task("attacker", 1, 8192, [=](TaskApi& api) {
+    api.write(target, Bytes(16, 0xBD));  // scribble over kernel data
+    return StepResult::done();
+  });
+
+  w.kernel->run(64);
+  const bool tampered = !w.kernel->kernel_integrity_ok();
+  return finish("kernel-tamper", use_pmp, w, tampered, *victim_done);
+}
+
+ScenarioResult scenario_cross_task_inject(bool use_pmp) {
+  World w(use_pmp);
+  auto victim_done = std::make_shared<bool>(false);
+  auto corrupted = std::make_shared<bool>(false);
+  auto victim_base = std::make_shared<std::uint64_t>(0);
+  auto victim_steps = std::make_shared<int>(0);
+
+  w.kernel->add_task("victim", 1, 8192, [=](TaskApi& api) {
+    *victim_base = api.region_base();
+    if (*victim_steps == 0) {
+      api.write(api.region_base() + 256, Bytes(4, 0x11));  // control data
+    }
+    // Check our own control data each tick.
+    const Bytes mine = api.read(api.region_base() + 256, 4);
+    if (mine != Bytes(4, 0x11)) *corrupted = true;
+    if (++*victim_steps >= 6) {
+      *victim_done = true;
+      return StepResult::done();
+    }
+    return StepResult::yield();
+  });
+
+  w.kernel->add_task("attacker", 1, 8192, [=](TaskApi& api) {
+    if (*victim_base == 0) return StepResult::yield();
+    api.write(*victim_base + 256, Bytes(4, 0x99));  // inject
+    return StepResult::done();
+  });
+
+  w.kernel->run(64);
+  // The attack "succeeds" if the victim observed corrupted control data.
+  return finish("cross-task-inject", use_pmp, w, *corrupted,
+                *victim_done && !*corrupted);
+}
+
+ScenarioResult scenario_peripheral_dos(bool use_pmp) {
+  World w(use_pmp);
+  const int dma = w.kernel->create_peripheral("dma");
+  auto victim_done = std::make_shared<bool>(false);
+  auto victim_got_dma = std::make_shared<int>(0);
+
+  // Attacker has higher priority and grabs the peripheral forever.
+  w.kernel->add_task("hog", 2, 8192, [=](TaskApi& api) {
+    api.peripheral_acquire(dma);
+    // Sleep between re-arms so lower-priority tasks get the CPU; the lock
+    // is never released voluntarily.
+    return StepResult::delay(2);
+  });
+
+  w.kernel->add_task("victim", 1, 8192, [=](TaskApi& api) {
+    if (api.peripheral_acquire(dma)) {
+      ++*victim_got_dma;
+      api.peripheral_release(dma);
+      if (*victim_got_dma >= 3) {
+        *victim_done = true;
+        return StepResult::done();
+      }
+    }
+    return StepResult::yield();
+  });
+
+  w.kernel->run(256);
+  // The DoS "succeeds" if the victim never completed its DMA work; the
+  // watchdog is the recovery mechanism (independent of PMP).
+  return finish("peripheral-dos", use_pmp, w, !*victim_done, *victim_done);
+}
+
+ScenarioResult scenario_queue_flood(bool use_pmp) {
+  World w(use_pmp);
+  // The hardened configuration pairs PMP with kernel resource quotas
+  // (2 in-flight messages per sender); the flat build has neither.
+  const int queue = w.kernel->create_queue(8, use_pmp ? 2 : 0);
+  auto victim_done = std::make_shared<bool>(false);
+  auto delivered = std::make_shared<int>(0);
+  auto victim_rejected = std::make_shared<int>(0);
+
+  // Flooder at equal priority keeps the queue full.
+  w.kernel->add_task("flooder", 1, 8192, [=](TaskApi& api) {
+    for (int i = 0; i < 8; ++i) {
+      api.queue_send(queue, as_bytes("junk"));
+    }
+    return StepResult::yield();
+  });
+
+  // Producer victim needs to deliver 3 messages to the consumer.
+  auto sent = std::make_shared<int>(0);
+  w.kernel->add_task("producer", 1, 8192, [=](TaskApi& api) {
+    if (*sent >= 3) return StepResult::done();
+    if (!api.queue_send(queue, as_bytes("real"))) {
+      ++*victim_rejected;
+      return StepResult::yield();
+    }
+    ++*sent;
+    return StepResult::yield();
+  });
+
+  // Consumer drains everything, counting real messages.
+  w.kernel->add_task("consumer", 1, 8192, [=](TaskApi& api) {
+    while (auto msg = api.queue_receive(queue)) {
+      const auto real = as_bytes("real");
+      if (msg->size() == real.size() &&
+          std::equal(msg->begin(), msg->end(), real.begin())) {
+        ++*delivered;
+      }
+    }
+    if (*delivered >= 3) {
+      *victim_done = true;
+      return StepResult::done();
+    }
+    return StepResult::yield();
+  });
+
+  w.kernel->run(256);
+  // Attack succeeded if the victim was ever rejected; bounded queues +
+  // round-robin guarantee eventual delivery (recovery by design).
+  return finish("queue-flood", use_pmp, w, *victim_rejected > 0,
+                *victim_done);
+}
+
+std::vector<ScenarioResult> run_attack_suite(bool use_pmp) {
+  return {
+      scenario_stack_snoop(use_pmp),
+      scenario_kernel_tamper(use_pmp),
+      scenario_cross_task_inject(use_pmp),
+      scenario_peripheral_dos(use_pmp),
+      scenario_queue_flood(use_pmp),
+  };
+}
+
+}  // namespace convolve::rtos

@@ -1,0 +1,39 @@
+// The attack-scenario suite behind the paper's Fig. 3 evaluation:
+// "diverse attack scenarios utilized to evaluate the system's capacity to
+// endure and recuperate from these attacks."
+//
+// Each scenario runs a victim task with a real-time deadline next to a
+// malicious task, once with PMP isolation and once without, and reports
+// (a) whether the attack reached its goal and (b) whether the system
+// endured: the victim met its workload and kernel integrity held.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace convolve::rtos {
+
+struct ScenarioResult {
+  std::string name;
+  bool pmp_enabled = false;
+  bool attack_succeeded = false;   // attacker reached its goal
+  bool victim_completed = false;   // victim finished its workload
+  bool kernel_intact = false;      // kernel canary unmodified
+  int faults = 0;                  // PMP traps taken
+  int kills = 0;                   // tasks killed by the kernel
+  bool system_recovered() const {
+    return victim_completed && kernel_intact;
+  }
+};
+
+/// Individual scenarios.
+ScenarioResult scenario_stack_snoop(bool use_pmp);
+ScenarioResult scenario_kernel_tamper(bool use_pmp);
+ScenarioResult scenario_cross_task_inject(bool use_pmp);
+ScenarioResult scenario_peripheral_dos(bool use_pmp);
+ScenarioResult scenario_queue_flood(bool use_pmp);
+
+/// All five, in a stable order.
+std::vector<ScenarioResult> run_attack_suite(bool use_pmp);
+
+}  // namespace convolve::rtos

@@ -1,0 +1,206 @@
+// A FreeRTOS-style real-time kernel with PMP-backed task isolation.
+//
+// Models the paper's Section III-D system: a preemptive priority scheduler
+// (round-robin within a priority level), queues and a peripheral lock with
+// a watchdog, running on the convolve::tee machine model. When PMP
+// isolation is enabled, every context switch reprograms the PMP so the
+// running task sees only its own region; kernel data and other tasks'
+// stacks are unreachable, and a violating access traps into the kernel,
+// which kills (and can restart) the offender -- the "endure and recuperate"
+// behaviour evaluated in the paper's Fig. 3. With PMP disabled the same
+// attacks succeed silently, which is the baseline the figure contrasts.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "convolve/tee/machine.hpp"
+#include "convolve/tee/rv32.hpp"
+
+namespace convolve::rtos {
+
+using tee::AccessFault;
+using tee::Machine;
+using tee::PrivMode;
+
+/// What a task's step function asks the kernel to do next.
+enum class StepAction {
+  kYield,      // done for this tick, stay ready
+  kBlock,      // wait on a queue (the kernel knows which from the API call)
+  kDelay,      // sleep for `arg` ticks
+  kDone,       // task finished
+};
+
+struct StepResult {
+  StepAction action = StepAction::kYield;
+  int arg = 0;
+  static StepResult yield() { return {StepAction::kYield, 0}; }
+  static StepResult delay(int ticks) { return {StepAction::kDelay, ticks}; }
+  static StepResult done() { return {StepAction::kDone, 0}; }
+};
+
+enum class TaskState { kReady, kDelayed, kBlocked, kKilled, kDone };
+
+/// Kernel events, for the attack-scenario evaluation.
+enum class EventType {
+  kFault,           // PMP trap while the task ran
+  kTaskKilled,
+  kTaskRestarted,
+  kWatchdogRevoke,  // peripheral lock forcibly released
+  kQueueRejected,   // send on a full queue
+};
+
+struct Event {
+  std::uint64_t tick;
+  int task;
+  EventType type;
+  std::string detail;
+};
+
+class Kernel;
+
+/// The system-call surface a task sees. All memory access goes through the
+/// machine at U-mode privilege, so it is subject to whatever PMP view the
+/// kernel programmed for this task.
+class TaskApi {
+ public:
+  TaskApi(Kernel& kernel, int task_id) : kernel_(kernel), task_(task_id) {}
+
+  Bytes read(std::uint64_t addr, std::size_t len);
+  void write(std::uint64_t addr, ByteView data);
+
+  /// This task's own region.
+  std::uint64_t region_base() const;
+  std::uint64_t region_size() const;
+
+  /// Bounded FIFO queues (returns false when full / empty).
+  bool queue_send(int queue, ByteView message);
+  std::optional<Bytes> queue_receive(int queue);
+
+  /// Peripheral lock (e.g. a DMA engine). Returns false if held by
+  /// another task.
+  bool peripheral_acquire(int peripheral);
+  void peripheral_release(int peripheral);
+
+  /// Mutex with priority inheritance: while a lower-priority task holds a
+  /// mutex a higher-priority task wants, the holder runs at the waiter's
+  /// priority, bounding priority inversion.
+  bool mutex_lock(int mutex);    // false = held by someone else (record
+                                 // this task as a waiter)
+  void mutex_unlock(int mutex);
+
+  std::uint64_t now() const;
+  int self() const { return task_; }
+
+ private:
+  Kernel& kernel_;
+  int task_;
+};
+
+using TaskStep = std::function<StepResult(TaskApi&)>;
+
+struct KernelConfig {
+  bool use_pmp = true;
+  std::uint64_t kernel_region_size = 64 * 1024;  // kernel data at address 0
+  int watchdog_ticks = 16;  // max ticks a peripheral lock may be held
+  bool restart_killed_tasks = false;
+};
+
+class Kernel {
+ public:
+  Kernel(Machine& machine, const KernelConfig& config = {});
+
+  /// Create a task with its own memory region (rounded to a power of two).
+  int add_task(std::string name, int priority, std::uint64_t region_size,
+               TaskStep step);
+
+  /// Create a task whose body is an RV32IM binary executed in U-mode under
+  /// the task's PMP view, `slice_instructions` per tick. The task finishes
+  /// on ecall/ebreak; a PMP violation kills it like any other fault.
+  int add_machine_task(std::string name, int priority,
+                       std::uint64_t region_size, ByteView binary,
+                       std::uint64_t slice_instructions = 64);
+
+  /// `per_task_quota` caps how many undelivered messages one sender may
+  /// hold in the queue (0 = unlimited); the anti-flooding defense of the
+  /// hardened configuration.
+  int create_queue(std::size_t depth, std::size_t per_task_quota = 0);
+  int create_peripheral(std::string name);
+  int create_mutex(std::string name);
+
+  /// Run the scheduler for `max_ticks` ticks (or until all tasks done).
+  void run(std::uint64_t max_ticks);
+
+  TaskState task_state(int id) const;
+  const std::string& task_name(int id) const;
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t now() const { return tick_; }
+
+  /// Count events of one type (bench/reporting helper).
+  int count_events(EventType type) const;
+
+  /// Kernel-owned scratch area tasks may legitimately never touch; used by
+  /// attack scenarios as the target of kernel-tampering attempts.
+  std::uint64_t kernel_data_addr() const { return 0x100; }
+
+  /// Ground-truth check used by benches: has the kernel region been
+  /// corrupted by a task? (Reads a canary in M-mode.)
+  bool kernel_integrity_ok() const;
+
+ private:
+  friend class TaskApi;
+
+  struct Task {
+    std::string name;
+    int priority = 0;        // base priority
+    int active_priority = 0; // >= priority while inheriting
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+    TaskStep step;
+    TaskState state = TaskState::kReady;
+    std::uint64_t wake_tick = 0;
+    int blocked_on_queue = -1;
+    int kills = 0;
+  };
+
+  struct Queue {
+    std::size_t depth;
+    std::size_t per_task_quota;  // 0 = unlimited
+    std::vector<std::pair<int, Bytes>> items;  // (sender, payload)
+  };
+
+  struct Peripheral {
+    std::string name;
+    int owner = -1;
+    std::uint64_t acquired_tick = 0;
+  };
+
+  struct Mutex {
+    std::string name;
+    int owner = -1;
+    std::vector<int> waiters;
+  };
+
+  Machine& machine_;
+  KernelConfig config_;
+  std::vector<Task> tasks_;
+  std::vector<Queue> queues_;
+  std::vector<Peripheral> peripherals_;
+  std::vector<Mutex> mutexes_;
+  std::vector<Event> events_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t next_free_ = 0;
+  std::size_t rr_cursor_ = 0;  // round-robin position within a priority
+
+  void configure_pmp_for(int task_id);
+  void recompute_inherited_priorities();
+  void kill_task(int task_id, const std::string& reason);
+  void wake_tasks();
+  void watchdog_check();
+  int pick_next();
+  void release_peripherals_of(int task_id);
+};
+
+}  // namespace convolve::rtos

@@ -1,0 +1,402 @@
+#include "convolve/rtos/kernel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace convolve::rtos {
+
+namespace {
+
+std::uint64_t next_power_of_two(std::uint64_t x) {
+  std::uint64_t p = 4096;
+  while (p < x) p *= 2;
+  return p;
+}
+
+std::uint64_t align_up(std::uint64_t x, std::uint64_t alignment) {
+  return (x + alignment - 1) / alignment * alignment;
+}
+
+constexpr std::uint8_t kKernelCanary = 0xC5;
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// TaskApi
+// ---------------------------------------------------------------------
+
+Bytes TaskApi::read(std::uint64_t addr, std::size_t len) {
+  return kernel_.machine_.load(addr, len, PrivMode::kUser);
+}
+
+void TaskApi::write(std::uint64_t addr, ByteView data) {
+  kernel_.machine_.store(addr, data, PrivMode::kUser);
+}
+
+std::uint64_t TaskApi::region_base() const {
+  return kernel_.tasks_[static_cast<std::size_t>(task_)].base;
+}
+
+std::uint64_t TaskApi::region_size() const {
+  return kernel_.tasks_[static_cast<std::size_t>(task_)].size;
+}
+
+bool TaskApi::queue_send(int queue, ByteView message) {
+  auto& q = kernel_.queues_.at(static_cast<std::size_t>(queue));
+  if (q.items.size() >= q.depth) {
+    kernel_.events_.push_back(
+        {kernel_.tick_, task_, EventType::kQueueRejected, "queue full"});
+    return false;
+  }
+  if (q.per_task_quota > 0) {
+    std::size_t mine = 0;
+    for (const auto& [sender, payload] : q.items) mine += (sender == task_);
+    if (mine >= q.per_task_quota) {
+      kernel_.events_.push_back(
+          {kernel_.tick_, task_, EventType::kQueueRejected, "quota"});
+      return false;
+    }
+  }
+  q.items.emplace_back(task_, Bytes(message.begin(), message.end()));
+  // Wake tasks blocked on this queue.
+  for (auto& t : kernel_.tasks_) {
+    if (t.state == TaskState::kBlocked && t.blocked_on_queue == queue) {
+      t.state = TaskState::kReady;
+      t.blocked_on_queue = -1;
+    }
+  }
+  return true;
+}
+
+std::optional<Bytes> TaskApi::queue_receive(int queue) {
+  auto& q = kernel_.queues_.at(static_cast<std::size_t>(queue));
+  if (q.items.empty()) return std::nullopt;
+  Bytes front = std::move(q.items.front().second);
+  q.items.erase(q.items.begin());
+  return front;
+}
+
+bool TaskApi::peripheral_acquire(int peripheral) {
+  auto& p = kernel_.peripherals_.at(static_cast<std::size_t>(peripheral));
+  if (p.owner != -1 && p.owner != task_) return false;
+  if (p.owner == -1) {
+    p.owner = task_;
+    p.acquired_tick = kernel_.tick_;
+  }
+  return true;
+}
+
+void TaskApi::peripheral_release(int peripheral) {
+  auto& p = kernel_.peripherals_.at(static_cast<std::size_t>(peripheral));
+  if (p.owner == task_) p.owner = -1;
+}
+
+bool TaskApi::mutex_lock(int mutex) {
+  auto& m = kernel_.mutexes_.at(static_cast<std::size_t>(mutex));
+  if (m.owner == -1 || m.owner == task_) {
+    m.owner = task_;
+    // No longer a waiter, if we were one.
+    std::erase(m.waiters, task_);
+    kernel_.recompute_inherited_priorities();
+    return true;
+  }
+  if (std::find(m.waiters.begin(), m.waiters.end(), task_) ==
+      m.waiters.end()) {
+    m.waiters.push_back(task_);
+  }
+  kernel_.recompute_inherited_priorities();
+  return false;
+}
+
+void TaskApi::mutex_unlock(int mutex) {
+  auto& m = kernel_.mutexes_.at(static_cast<std::size_t>(mutex));
+  if (m.owner == task_) {
+    m.owner = -1;
+    kernel_.recompute_inherited_priorities();
+  }
+}
+
+std::uint64_t TaskApi::now() const { return kernel_.tick_; }
+
+// ---------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------
+
+Kernel::Kernel(Machine& machine, const KernelConfig& config)
+    : machine_(machine), config_(config) {
+  if (config_.kernel_region_size == 0 ||
+      (config_.kernel_region_size & (config_.kernel_region_size - 1)) != 0) {
+    throw std::invalid_argument("Kernel: kernel region must be 2^k");
+  }
+  next_free_ = config_.kernel_region_size;
+  // Kernel canary for integrity ground truth.
+  machine_.store(kernel_data_addr(), Bytes(16, kKernelCanary),
+                 PrivMode::kMachine);
+  if (config_.use_pmp) {
+    // Entry 0: kernel region invisible to U-mode (M passes, unmatched for
+    // the rest handled per-task below).
+    tee::PmpEntry e;
+    e.mode = tee::PmpAddressMode::kNapot;
+    e.address = tee::PmpUnit::encode_napot(0, config_.kernel_region_size);
+    machine_.pmp().set_entry(0, e);
+  } else {
+    // Flat memory model: everything open to every task.
+    tee::PmpEntry open;
+    open.mode = tee::PmpAddressMode::kTor;
+    open.address = machine_.memory_size() >> 2;
+    open.read = open.write = open.execute = true;
+    machine_.pmp().set_entry(15, open);
+  }
+}
+
+int Kernel::add_task(std::string name, int priority,
+                     std::uint64_t region_size, TaskStep step) {
+  if (tasks_.size() >= 13) {
+    throw std::runtime_error("Kernel: out of PMP entries for tasks");
+  }
+  Task t;
+  t.name = std::move(name);
+  t.priority = priority;
+  t.active_priority = priority;
+  t.size = next_power_of_two(region_size);
+  t.base = align_up(next_free_, t.size);
+  if (t.base + t.size > machine_.memory_size()) {
+    throw std::runtime_error("Kernel: out of memory");
+  }
+  next_free_ = t.base + t.size;
+  t.step = std::move(step);
+  tasks_.push_back(std::move(t));
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+int Kernel::add_machine_task(std::string name, int priority,
+                             std::uint64_t region_size, ByteView binary,
+                             std::uint64_t slice_instructions) {
+  // Reserve the region first so we know where to load the binary.
+  const int id = add_task(std::move(name), priority, region_size,
+                          TaskStep{});  // placeholder step, installed below
+  Task& t = tasks_[static_cast<std::size_t>(id)];
+  if (binary.size() > t.size) {
+    throw std::runtime_error("add_machine_task: binary larger than region");
+  }
+  machine_.store(t.base, binary, tee::PrivMode::kMachine);
+  auto cpu = std::make_shared<tee::Rv32Cpu>(
+      machine_, static_cast<std::uint32_t>(t.base), tee::PrivMode::kUser);
+  t.step = [cpu, slice_instructions](TaskApi&) -> StepResult {
+    const auto result = cpu->run(slice_instructions);
+    if (!result.trap) return StepResult::yield();  // slice exhausted
+    switch (result.trap->cause) {
+      case tee::TrapCause::kEcall:
+      case tee::TrapCause::kEbreak:
+        return StepResult::done();
+      default:
+        // Re-throw as an access fault so the kernel's fault handling
+        // (kill/restart, event log) applies uniformly.
+        throw AccessFault(result.trap->tval,
+                          result.trap->cause ==
+                                  tee::TrapCause::kStoreAccessFault
+                              ? tee::AccessType::kWrite
+                              : tee::AccessType::kRead);
+    }
+  };
+  return id;
+}
+
+int Kernel::create_queue(std::size_t depth, std::size_t per_task_quota) {
+  queues_.push_back(Queue{depth, per_task_quota, {}});
+  return static_cast<int>(queues_.size()) - 1;
+}
+
+int Kernel::create_peripheral(std::string name) {
+  peripherals_.push_back(Peripheral{std::move(name), -1, 0});
+  return static_cast<int>(peripherals_.size()) - 1;
+}
+
+int Kernel::create_mutex(std::string name) {
+  mutexes_.push_back(Mutex{std::move(name), -1, {}});
+  return static_cast<int>(mutexes_.size()) - 1;
+}
+
+void Kernel::recompute_inherited_priorities() {
+  // Reset to base, then propagate: a mutex owner runs at least at the
+  // highest active priority among its waiters. Iterate to a fixpoint to
+  // handle chained inheritance.
+  for (auto& t : tasks_) t.active_priority = t.priority;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& m : mutexes_) {
+      if (m.owner < 0) continue;
+      Task& owner = tasks_[static_cast<std::size_t>(m.owner)];
+      for (int w : m.waiters) {
+        const Task& waiter = tasks_[static_cast<std::size_t>(w)];
+        if (waiter.active_priority > owner.active_priority) {
+          owner.active_priority = waiter.active_priority;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+void Kernel::configure_pmp_for(int task_id) {
+  if (!config_.use_pmp) return;
+  // Entries 1..13: one per task; the running task gets RWX on its region,
+  // all other regions are unmatched (and therefore denied to U-mode).
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    tee::PmpEntry e;
+    if (static_cast<int>(i) == task_id) {
+      e.mode = tee::PmpAddressMode::kNapot;
+      e.address = tee::PmpUnit::encode_napot(tasks_[i].base, tasks_[i].size);
+      e.read = e.write = e.execute = true;
+    }
+    machine_.pmp().set_entry(1 + static_cast<int>(i), e);
+  }
+}
+
+void Kernel::release_peripherals_of(int task_id) {
+  for (auto& p : peripherals_) {
+    if (p.owner == task_id) p.owner = -1;
+  }
+  bool touched = false;
+  for (auto& m : mutexes_) {
+    if (m.owner == task_id) {
+      m.owner = -1;
+      touched = true;
+    }
+    touched |= (std::erase(m.waiters, task_id) > 0);
+  }
+  if (touched) recompute_inherited_priorities();
+}
+
+void Kernel::kill_task(int task_id, const std::string& reason) {
+  Task& t = tasks_[static_cast<std::size_t>(task_id)];
+  t.state = TaskState::kKilled;
+  ++t.kills;
+  release_peripherals_of(task_id);
+  events_.push_back({tick_, task_id, EventType::kTaskKilled, reason});
+  if (config_.restart_killed_tasks) {
+    // Wipe the task's region and make it ready again.
+    machine_.store(t.base, Bytes(t.size, 0), PrivMode::kMachine);
+    t.state = TaskState::kReady;
+    events_.push_back({tick_, task_id, EventType::kTaskRestarted, ""});
+  }
+}
+
+void Kernel::wake_tasks() {
+  for (auto& t : tasks_) {
+    if (t.state == TaskState::kDelayed && t.wake_tick <= tick_) {
+      t.state = TaskState::kReady;
+    }
+  }
+}
+
+void Kernel::watchdog_check() {
+  for (std::size_t i = 0; i < peripherals_.size(); ++i) {
+    Peripheral& p = peripherals_[i];
+    if (p.owner != -1 &&
+        tick_ - p.acquired_tick >
+            static_cast<std::uint64_t>(config_.watchdog_ticks)) {
+      events_.push_back({tick_, p.owner, EventType::kWatchdogRevoke,
+                         p.name + " lock revoked"});
+      p.owner = -1;
+    }
+  }
+}
+
+int Kernel::pick_next() {
+  int best = -1;
+  int best_priority = std::numeric_limits<int>::min();
+  // Find the highest ready priority.
+  for (const auto& t : tasks_) {
+    if (t.state == TaskState::kReady && t.active_priority > best_priority) {
+      best_priority = t.active_priority;
+    }
+  }
+  if (best_priority == std::numeric_limits<int>::min()) return -1;
+  // Round-robin within that priority level.
+  const std::size_t n = tasks_.size();
+  for (std::size_t off = 1; off <= n; ++off) {
+    const std::size_t idx = (rr_cursor_ + off) % n;
+    if (tasks_[idx].state == TaskState::kReady &&
+        tasks_[idx].active_priority == best_priority) {
+      best = static_cast<int>(idx);
+      rr_cursor_ = idx;
+      break;
+    }
+  }
+  return best;
+}
+
+void Kernel::run(std::uint64_t max_ticks) {
+  const std::uint64_t end = tick_ + max_ticks;
+  while (tick_ < end) {
+    wake_tasks();
+    watchdog_check();
+    const int next = pick_next();
+    if (next == -1) {
+      // Idle tick: nothing ready. Stop early if nothing can ever wake.
+      bool any_pending = false;
+      for (const auto& t : tasks_) {
+        if (t.state == TaskState::kDelayed || t.state == TaskState::kBlocked) {
+          any_pending = true;
+        }
+      }
+      if (!any_pending) break;
+      ++tick_;
+      continue;
+    }
+    configure_pmp_for(next);
+    Task& t = tasks_[static_cast<std::size_t>(next)];
+    TaskApi api(*this, next);
+    try {
+      const StepResult r = t.step(api);
+      switch (r.action) {
+        case StepAction::kYield:
+          break;
+        case StepAction::kDelay:
+          t.state = TaskState::kDelayed;
+          t.wake_tick = tick_ + static_cast<std::uint64_t>(r.arg);
+          break;
+        case StepAction::kBlock:
+          t.state = TaskState::kBlocked;
+          t.blocked_on_queue = r.arg;
+          break;
+        case StepAction::kDone:
+          t.state = TaskState::kDone;
+          release_peripherals_of(next);
+          break;
+      }
+    } catch (const AccessFault& fault) {
+      events_.push_back({tick_, next, EventType::kFault,
+                         "access fault at 0x" + std::to_string(fault.address)});
+      kill_task(next, "PMP violation");
+    }
+    ++tick_;
+  }
+}
+
+TaskState Kernel::task_state(int id) const {
+  return tasks_.at(static_cast<std::size_t>(id)).state;
+}
+
+const std::string& Kernel::task_name(int id) const {
+  return tasks_.at(static_cast<std::size_t>(id)).name;
+}
+
+int Kernel::count_events(EventType type) const {
+  int n = 0;
+  for (const auto& e : events_) n += (e.type == type);
+  return n;
+}
+
+bool Kernel::kernel_integrity_ok() const {
+  const Bytes canary =
+      machine_.load(kernel_data_addr(), 16, PrivMode::kMachine);
+  return std::all_of(canary.begin(), canary.end(),
+                     [](std::uint8_t b) { return b == kKernelCanary; });
+}
+
+}  // namespace convolve::rtos

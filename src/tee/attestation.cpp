@@ -1,0 +1,149 @@
+#include "convolve/tee/attestation.hpp"
+
+#include <cstring>
+
+#include "convolve/crypto/dilithium.hpp"
+#include "convolve/crypto/ed25519.hpp"
+
+namespace convolve::tee {
+
+namespace {
+
+Bytes sm_signing_payload(const AttestationReport& r) {
+  Bytes payload = r.sm_measurement;
+  payload.insert(payload.end(), r.sm_ed25519_pk.begin(),
+                 r.sm_ed25519_pk.end());
+  if (r.pq_enabled) {
+    payload.insert(payload.end(), r.sm_mldsa_pk.begin(), r.sm_mldsa_pk.end());
+  }
+  return payload;
+}
+
+Bytes enclave_signing_payload(const AttestationReport& r) {
+  Bytes payload = r.enclave_measurement;
+  std::uint8_t len_le[8];
+  store_le64(len_le, r.enclave_data.size());
+  payload.insert(payload.end(), len_le, len_le + 8);
+  Bytes padded = r.enclave_data;
+  padded.resize(kEnclaveDataMax, 0);
+  payload.insert(payload.end(), padded.begin(), padded.end());
+  return payload;
+}
+
+}  // namespace
+
+Bytes AttestationReport::serialize() const {
+  Bytes out;
+  out.reserve(pq_enabled ? kPqReportSize : kClassicalReportSize);
+  out.insert(out.end(), device_ed25519_pk.begin(), device_ed25519_pk.end());
+  out.insert(out.end(), sm_measurement.begin(), sm_measurement.end());
+  out.insert(out.end(), sm_ed25519_pk.begin(), sm_ed25519_pk.end());
+  out.insert(out.end(), device_sig_ed25519.begin(), device_sig_ed25519.end());
+  out.insert(out.end(), enclave_measurement.begin(),
+             enclave_measurement.end());
+  std::uint8_t len_le[8];
+  store_le64(len_le, enclave_data.size());
+  out.insert(out.end(), len_le, len_le + 8);
+  Bytes padded = enclave_data;
+  padded.resize(kEnclaveDataMax, 0);
+  out.insert(out.end(), padded.begin(), padded.end());
+  out.insert(out.end(), sm_sig_ed25519.begin(), sm_sig_ed25519.end());
+  if (pq_enabled) {
+    out.insert(out.end(), sm_mldsa_pk.begin(), sm_mldsa_pk.end());
+    out.insert(out.end(), device_sig_mldsa.begin(), device_sig_mldsa.end());
+    out.insert(out.end(), sm_sig_mldsa.begin(), sm_sig_mldsa.end());
+  }
+  return out;
+}
+
+std::optional<AttestationReport> AttestationReport::deserialize(
+    ByteView data) {
+  if (data.size() != kClassicalReportSize && data.size() != kPqReportSize) {
+    return std::nullopt;
+  }
+  AttestationReport r;
+  r.pq_enabled = (data.size() == kPqReportSize);
+  const std::uint8_t* p = data.data();
+  auto take = [&p](std::size_t n) {
+    const std::uint8_t* start = p;
+    p += n;
+    return Bytes(start, start + n);
+  };
+  std::memcpy(r.device_ed25519_pk.data(), p, 32);
+  p += 32;
+  r.sm_measurement = take(64);
+  std::memcpy(r.sm_ed25519_pk.data(), p, 32);
+  p += 32;
+  std::memcpy(r.device_sig_ed25519.data(), p, 64);
+  p += 64;
+  r.enclave_measurement = take(64);
+  std::uint64_t data_len = load_le64(p);
+  p += 8;
+  if (data_len > kEnclaveDataMax) return std::nullopt;
+  const Bytes padded = take(kEnclaveDataMax);
+  r.enclave_data.assign(padded.begin(),
+                        padded.begin() + static_cast<std::ptrdiff_t>(data_len));
+  // Padding must be zero.
+  for (std::size_t i = data_len; i < kEnclaveDataMax; ++i) {
+    if (padded[i] != 0) return std::nullopt;
+  }
+  std::memcpy(r.sm_sig_ed25519.data(), p, 64);
+  p += 64;
+  if (r.pq_enabled) {
+    r.sm_mldsa_pk = take(1312);
+    r.device_sig_mldsa = take(2420);
+    r.sm_sig_mldsa = take(2420);
+  }
+  return r;
+}
+
+bool verify_report(const AttestationReport& report,
+                   const VerifierTrustAnchor& anchor,
+                   const Bytes* expected_sm_measurement,
+                   const Bytes* expected_enclave_measurement) {
+  if (report.sm_measurement.size() != 64 ||
+      report.enclave_measurement.size() != 64 ||
+      report.enclave_data.size() > kEnclaveDataMax) {
+    return false;
+  }
+  // The report must carry the device identity the verifier expects.
+  if (!ct_equal({report.device_ed25519_pk.data(), 32},
+                {anchor.device_ed25519_pk.data(), 32})) {
+    return false;
+  }
+  if (expected_sm_measurement &&
+      !ct_equal(report.sm_measurement, *expected_sm_measurement)) {
+    return false;
+  }
+  if (expected_enclave_measurement &&
+      !ct_equal(report.enclave_measurement, *expected_enclave_measurement)) {
+    return false;
+  }
+
+  const Bytes sm_payload = sm_signing_payload(report);
+  if (!crypto::ed25519_verify({anchor.device_ed25519_pk.data(), 32},
+                              sm_payload,
+                              {report.device_sig_ed25519.data(), 64})) {
+    return false;
+  }
+  const Bytes enclave_payload = enclave_signing_payload(report);
+  if (!crypto::ed25519_verify({report.sm_ed25519_pk.data(), 32},
+                              enclave_payload,
+                              {report.sm_sig_ed25519.data(), 64})) {
+    return false;
+  }
+  if (report.pq_enabled) {
+    if (anchor.device_mldsa_pk.empty()) return false;
+    if (!crypto::dilithium::verify(anchor.device_mldsa_pk, sm_payload,
+                                   report.device_sig_mldsa)) {
+      return false;
+    }
+    if (!crypto::dilithium::verify(report.sm_mldsa_pk, enclave_payload,
+                                   report.sm_sig_mldsa)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace convolve::tee

@@ -1,0 +1,106 @@
+#include "convolve/tee/bootrom.hpp"
+
+#include <stdexcept>
+
+#include "convolve/crypto/hmac.hpp"
+#include "convolve/crypto/keccak.hpp"
+
+namespace convolve::tee {
+
+DeviceKeys DeviceKeys::from_entropy(ByteView entropy32) {
+  if (entropy32.size() != 32) {
+    throw std::invalid_argument("DeviceKeys: entropy must be 32 bytes");
+  }
+  DeviceKeys keys;
+  const Bytes okm = crypto::hkdf(as_bytes("convolve-device-keys-v1"),
+                                 entropy32, as_bytes("ed25519|mldsa"), 64);
+  std::copy(okm.begin(), okm.begin() + 32, keys.ed25519_seed.begin());
+  std::copy(okm.begin() + 32, okm.end(), keys.mldsa_seed.begin());
+  return keys;
+}
+
+Bootrom::Bootrom(const BootromConfig& config, const DeviceKeys& keys)
+    : config_(config), keys_(keys) {}
+
+std::size_t Bootrom::size_bytes() const {
+  std::size_t size = kBaseBootCode + kSha3Code + kEd25519Code + kKeyManifest;
+  if (config_.pq_enabled) size += kMlDsaCode + kMlDsaSeed + kHybridGlue;
+  return size;
+}
+
+BootRecord Bootrom::boot(ByteView sm_image) const {
+  BootRecord record;
+  record.pq_enabled = config_.pq_enabled;
+  record.sm_measurement = crypto::sha3_512(sm_image);
+
+  // Device identity (ML-DSA key regenerated from its stored seed).
+  const auto device_ed = crypto::ed25519_keypair(
+      {keys_.ed25519_seed.data(), keys_.ed25519_seed.size()});
+  record.device_ed25519_pk = device_ed.public_key;
+
+  crypto::dilithium::KeyPair device_mldsa;
+  if (config_.pq_enabled) {
+    device_mldsa = crypto::dilithium::keygen(
+        {keys_.mldsa_seed.data(), keys_.mldsa_seed.size()});
+    record.device_mldsa_pk = device_mldsa.pk;
+  }
+
+  // Derive SM keys from (device secret, SM measurement).
+  const Bytes sm_ed_seed =
+      crypto::hkdf({keys_.ed25519_seed.data(), 32}, record.sm_measurement,
+                   as_bytes("sm-ed25519"), 32);
+  record.sm_ed25519 = crypto::ed25519_keypair(sm_ed_seed);
+  if (config_.pq_enabled) {
+    const Bytes sm_mldsa_seed =
+        crypto::hkdf({keys_.mldsa_seed.data(), 32}, record.sm_measurement,
+                     as_bytes("sm-mldsa"), 32);
+    record.sm_mldsa = crypto::dilithium::keygen(sm_mldsa_seed);
+  }
+
+  // Sign (measurement || SM pks) with the device keys.
+  Bytes payload = record.sm_measurement;
+  payload.insert(payload.end(), record.sm_ed25519.public_key.begin(),
+                 record.sm_ed25519.public_key.end());
+  if (config_.pq_enabled) {
+    payload.insert(payload.end(), record.sm_mldsa.pk.begin(),
+                   record.sm_mldsa.pk.end());
+  }
+  record.device_sig_ed25519 = crypto::ed25519_sign(device_ed, payload);
+  if (config_.pq_enabled) {
+    record.device_sig_mldsa = crypto::dilithium::sign(device_mldsa.sk, payload);
+  }
+
+  // Sealing root: bound to BOTH device secrets in PQ mode.
+  Bytes ikm(keys_.ed25519_seed.begin(), keys_.ed25519_seed.end());
+  if (config_.pq_enabled) {
+    ikm.insert(ikm.end(), keys_.mldsa_seed.begin(), keys_.mldsa_seed.end());
+  }
+  record.sealing_root = crypto::hkdf(as_bytes("convolve-sealing-root-v1"),
+                                     ikm, record.sm_measurement, 32);
+  return record;
+}
+
+bool Bootrom::verify_boot_record(const BootRecord& record) {
+  Bytes payload = record.sm_measurement;
+  payload.insert(payload.end(), record.sm_ed25519.public_key.begin(),
+                 record.sm_ed25519.public_key.end());
+  if (record.pq_enabled) {
+    payload.insert(payload.end(), record.sm_mldsa.pk.begin(),
+                   record.sm_mldsa.pk.end());
+  }
+  if (!crypto::ed25519_verify(
+          {record.device_ed25519_pk.data(), 32}, payload,
+          {record.device_sig_ed25519.data(), 64})) {
+    return false;
+  }
+  if (record.pq_enabled) {
+    // Hybrid rule: both signatures must verify.
+    if (!crypto::dilithium::verify(record.device_mldsa_pk, payload,
+                                   record.device_sig_mldsa)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace convolve::tee

@@ -1,0 +1,67 @@
+// Attestation reports, classical and hybrid post-quantum.
+//
+// The serialized report sizes reproduce the paper's Table III exactly:
+//   classical: 1320 bytes
+//     device Ed25519 pk (32) + SM block (measurement 64 + pk 32 + device
+//     sig 64 = 160) + enclave block (measurement 64 + data_len 8 + data 992
+//     + SM sig 64 = 1128)
+//   PQ-enabled: 7472 bytes = 1320 + SM ML-DSA pk (1312) + device ML-DSA
+//     sig (2420) + SM ML-DSA sig (2420)
+// In PQ mode the hybrid rule applies: a report verifies only if BOTH the
+// classical and the ML-DSA signatures verify, so security never drops
+// below the Ed25519 baseline.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "convolve/common/bytes.hpp"
+#include "convolve/tee/bootrom.hpp"
+
+namespace convolve::tee {
+
+inline constexpr std::size_t kEnclaveDataMax = 992;
+inline constexpr std::size_t kClassicalReportSize = 1320;
+inline constexpr std::size_t kPqReportSize =
+    kClassicalReportSize + 1312 + 2420 + 2420;  // 7472
+
+struct AttestationReport {
+  bool pq_enabled = false;
+
+  std::array<std::uint8_t, 32> device_ed25519_pk{};
+
+  // SM block.
+  Bytes sm_measurement;                       // 64
+  std::array<std::uint8_t, 32> sm_ed25519_pk{};
+  std::array<std::uint8_t, 64> device_sig_ed25519{};
+
+  // Enclave block.
+  Bytes enclave_measurement;                  // 64
+  Bytes enclave_data;                         // <= kEnclaveDataMax
+  std::array<std::uint8_t, 64> sm_sig_ed25519{};
+
+  // PQ extension.
+  Bytes sm_mldsa_pk;       // 1312
+  Bytes device_sig_mldsa;  // 2420
+  Bytes sm_sig_mldsa;      // 2420
+
+  /// Flat wire format; size is kClassicalReportSize or kPqReportSize.
+  Bytes serialize() const;
+  static std::optional<AttestationReport> deserialize(ByteView data);
+};
+
+/// Trust anchors a remote verifier holds for one device.
+struct VerifierTrustAnchor {
+  std::array<std::uint8_t, 32> device_ed25519_pk{};
+  Bytes device_mldsa_pk;  // empty for classical-only devices
+};
+
+/// Full chain verification: device sig over (SM measurement || SM pks),
+/// SM sig over (enclave measurement || data). Optionally pin the expected
+/// SM and enclave measurements.
+bool verify_report(const AttestationReport& report,
+                   const VerifierTrustAnchor& anchor,
+                   const Bytes* expected_sm_measurement = nullptr,
+                   const Bytes* expected_enclave_measurement = nullptr);
+
+}  // namespace convolve::tee

@@ -1,0 +1,101 @@
+// Minimal machine model: physical memory fronted by the PMP unit, plus a
+// simulated call stack with high-watermark tracking.
+//
+// We do not model an instruction set; "software" is C++ code that performs
+// its loads and stores through Machine::load/store under an explicit
+// privilege mode, which is exactly the level at which PMP-based isolation
+// operates. The SimStack reproduces the paper's SM stack-size finding: the
+// ML-DSA signing working set overflows Keystone's default 8 KB per-core
+// stack, which the authors fixed by raising it to 128 KB.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "convolve/common/bytes.hpp"
+#include "convolve/tee/pmp.hpp"
+
+namespace convolve::tee {
+
+/// Thrown on a PMP access fault (hardware would raise a trap).
+class AccessFault : public std::runtime_error {
+ public:
+  AccessFault(std::uint64_t addr, AccessType type);
+  std::uint64_t address;
+  AccessType access;
+};
+
+/// Thrown when a SimStack allocation exceeds its capacity.
+class StackOverflow : public std::runtime_error {
+ public:
+  explicit StackOverflow(std::size_t requested, std::size_t capacity);
+};
+
+/// A bounded call stack with watermarking. Frames are pushed/popped by the
+/// RAII guard StackFrame.
+class SimStack {
+ public:
+  explicit SimStack(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t high_watermark() const { return watermark_; }
+
+  void push(std::size_t bytes);
+  void pop(std::size_t bytes);
+  void reset_watermark() { watermark_ = used_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t watermark_ = 0;
+};
+
+/// RAII stack frame.
+class StackFrame {
+ public:
+  StackFrame(SimStack& stack, std::size_t bytes)
+      : stack_(stack), bytes_(bytes) {
+    stack_.push(bytes_);
+  }
+  ~StackFrame() { stack_.pop(bytes_); }
+  StackFrame(const StackFrame&) = delete;
+  StackFrame& operator=(const StackFrame&) = delete;
+
+ private:
+  SimStack& stack_;
+  std::size_t bytes_;
+};
+
+class Machine {
+ public:
+  explicit Machine(std::size_t memory_bytes);
+
+  PmpUnit& pmp() { return pmp_; }
+  const PmpUnit& pmp() const { return pmp_; }
+  std::size_t memory_size() const { return memory_.size(); }
+
+  /// PMP-checked accesses. Throw AccessFault on denial or out-of-range.
+  void store(std::uint64_t addr, ByteView data, PrivMode mode);
+  Bytes load(std::uint64_t addr, std::size_t len, PrivMode mode) const;
+  std::uint8_t load_byte(std::uint64_t addr, PrivMode mode) const;
+
+  /// Fetch check (execution permission on a region).
+  bool can_execute(std::uint64_t addr, std::size_t len, PrivMode mode) const;
+
+  /// Instruction fetch: PMP execute permission, 32-bit little-endian.
+  std::uint32_t fetch32(std::uint64_t addr, PrivMode mode) const;
+
+  /// Unchecked debug access for test setup/inspection only.
+  std::span<std::uint8_t> raw_memory() { return memory_; }
+
+ private:
+  std::vector<std::uint8_t> memory_;
+  PmpUnit pmp_;
+
+  void bounds_check(std::uint64_t addr, std::size_t len) const;
+};
+
+}  // namespace convolve::tee

@@ -1,0 +1,78 @@
+// RISC-V Physical Memory Protection (privileged spec v1.12 semantics).
+//
+// PMP is the only hardware primitive Keystone's isolation relies on
+// (Section III-B of the paper): the security monitor in M-mode programs the
+// entries to wall off itself and each enclave from the OS and from other
+// enclaves. This model implements the architectural check: entries are
+// matched in ascending priority order; the first matching entry decides;
+// M-mode accesses pass unless a matching entry is locked; S/U accesses with
+// no matching entry are denied.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace convolve::tee {
+
+enum class PrivMode : std::uint8_t { kUser = 0, kSupervisor = 1, kMachine = 3 };
+
+enum class AccessType : std::uint8_t { kRead, kWrite, kExecute };
+
+enum class PmpAddressMode : std::uint8_t {
+  kOff = 0,
+  kTor = 1,    // top-of-range: [previous entry's address, this address)
+  kNa4 = 2,    // naturally aligned 4-byte region
+  kNapot = 3,  // naturally aligned power-of-two region
+};
+
+struct PmpEntry {
+  PmpAddressMode mode = PmpAddressMode::kOff;
+  bool read = false;
+  bool write = false;
+  bool execute = false;
+  bool locked = false;  // applies to M-mode as well; immutable until reset
+  // Encoded address register (word address, as in the spec: addr >> 2).
+  std::uint64_t address = 0;
+};
+
+/// The PMP unit: 16 entries as configured in the paper's Rocket SoC.
+class PmpUnit {
+ public:
+  static constexpr int kEntries = 16;
+
+  /// Program entry `index`. Throws std::logic_error if the entry (or, for
+  /// TOR, the next entry) is locked, mirroring WARL lock behaviour.
+  void set_entry(int index, const PmpEntry& entry);
+
+  const PmpEntry& entry(int index) const;
+
+  /// Architectural access check for [addr, addr+len).
+  bool check(std::uint64_t addr, std::uint64_t len, PrivMode mode,
+             AccessType type) const;
+
+  /// Clear all non-locked entries (what an OS could attempt); locked
+  /// entries survive until hardware reset.
+  void clear_unlocked();
+
+  /// Full reset (power cycle): clears everything including locks.
+  void reset();
+
+  /// Convenience: encode a NAPOT region. `size` must be a power of two
+  /// >= 8 and `base` must be size-aligned. Returns the address-register
+  /// encoding.
+  static std::uint64_t encode_napot(std::uint64_t base, std::uint64_t size);
+
+ private:
+  std::array<PmpEntry, kEntries> entries_{};
+
+  // Does entry i match every byte of [addr, addr+len)?
+  // Returns nullopt when the entry does not fully cover the range but
+  // overlaps it partially (treated as a non-match that still blocks
+  // according to the matching rules -- we conservatively require full
+  // coverage for a match and treat partial overlap as a fault).
+  enum class Match { kNone, kFull, kPartial };
+  Match match(int index, std::uint64_t addr, std::uint64_t len) const;
+};
+
+}  // namespace convolve::tee

@@ -1,0 +1,131 @@
+// RV32IM instruction-set simulator over the PMP-checked machine model.
+//
+// The paper's platform is a Rocket (RV64GC) SoC; for the isolation
+// semantics under study, a clean RV32IM core is the faithful scale model:
+// every fetch, load and store goes through the Machine's PMP unit at the
+// hart's privilege level, so enclave/OS/task isolation applies to *real
+// executing code*, not just to API calls. The base integer ISA plus the
+// M extension is enough to run the loop/branch/memcpy-style payloads the
+// tests and examples use.
+//
+// Traps (PMP faults, illegal instructions, ecall/ebreak) stop execution
+// and are reported to the embedder -- the security monitor or kernel
+// decides whether to kill, restart or service the hart.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "convolve/tee/machine.hpp"
+
+namespace convolve::tee {
+
+enum class TrapCause : std::uint8_t {
+  kIllegalInstruction,
+  kInstructionAccessFault,
+  kLoadAccessFault,
+  kStoreAccessFault,
+  kMisalignedFetch,
+  kEcall,
+  kEbreak,
+};
+
+struct Trap {
+  TrapCause cause;
+  std::uint32_t pc;    // pc of the trapping instruction
+  std::uint32_t tval;  // faulting address or raw instruction
+};
+
+class Rv32Cpu {
+ public:
+  Rv32Cpu(Machine& machine, std::uint32_t entry_pc, PrivMode mode);
+
+  /// Execute one instruction. Returns a trap (pc NOT advanced past the
+  /// trapping instruction, except for ecall/ebreak where it is) or
+  /// nullopt on normal completion.
+  std::optional<Trap> step();
+
+  struct RunResult {
+    std::uint64_t steps = 0;
+    std::optional<Trap> trap;  // set when stopped by a trap
+  };
+
+  /// Run until a trap or `max_steps` instructions.
+  RunResult run(std::uint64_t max_steps);
+
+  std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+  std::uint32_t reg(int index) const;
+  void set_reg(int index, std::uint32_t value);
+  PrivMode privilege() const { return mode_; }
+  void set_privilege(PrivMode mode) { mode_ = mode; }
+  std::uint64_t instructions_retired() const { return retired_; }
+
+ private:
+  Machine& machine_;
+  std::uint32_t pc_;
+  PrivMode mode_;
+  std::array<std::uint32_t, 32> x_{};
+  std::uint64_t retired_ = 0;
+};
+
+/// Instruction encoders for building test/demo programs without an
+/// external assembler. Register arguments are x0..x31 indices.
+namespace rv32asm {
+
+std::uint32_t lui(int rd, std::uint32_t imm20);
+std::uint32_t auipc(int rd, std::uint32_t imm20);
+std::uint32_t jal(int rd, std::int32_t offset);
+std::uint32_t jalr(int rd, int rs1, std::int32_t offset);
+std::uint32_t beq(int rs1, int rs2, std::int32_t offset);
+std::uint32_t bne(int rs1, int rs2, std::int32_t offset);
+std::uint32_t blt(int rs1, int rs2, std::int32_t offset);
+std::uint32_t bge(int rs1, int rs2, std::int32_t offset);
+std::uint32_t bltu(int rs1, int rs2, std::int32_t offset);
+std::uint32_t bgeu(int rs1, int rs2, std::int32_t offset);
+std::uint32_t lb(int rd, int rs1, std::int32_t offset);
+std::uint32_t lh(int rd, int rs1, std::int32_t offset);
+std::uint32_t lw(int rd, int rs1, std::int32_t offset);
+std::uint32_t lbu(int rd, int rs1, std::int32_t offset);
+std::uint32_t lhu(int rd, int rs1, std::int32_t offset);
+std::uint32_t sb(int rs2, int rs1, std::int32_t offset);
+std::uint32_t sh(int rs2, int rs1, std::int32_t offset);
+std::uint32_t sw(int rs2, int rs1, std::int32_t offset);
+std::uint32_t addi(int rd, int rs1, std::int32_t imm);
+std::uint32_t slti(int rd, int rs1, std::int32_t imm);
+std::uint32_t sltiu(int rd, int rs1, std::int32_t imm);
+std::uint32_t xori(int rd, int rs1, std::int32_t imm);
+std::uint32_t ori(int rd, int rs1, std::int32_t imm);
+std::uint32_t andi(int rd, int rs1, std::int32_t imm);
+std::uint32_t slli(int rd, int rs1, int shamt);
+std::uint32_t srli(int rd, int rs1, int shamt);
+std::uint32_t srai(int rd, int rs1, int shamt);
+std::uint32_t add(int rd, int rs1, int rs2);
+std::uint32_t sub(int rd, int rs1, int rs2);
+std::uint32_t sll(int rd, int rs1, int rs2);
+std::uint32_t slt(int rd, int rs1, int rs2);
+std::uint32_t sltu(int rd, int rs1, int rs2);
+std::uint32_t xor_(int rd, int rs1, int rs2);
+std::uint32_t srl(int rd, int rs1, int rs2);
+std::uint32_t sra(int rd, int rs1, int rs2);
+std::uint32_t or_(int rd, int rs1, int rs2);
+std::uint32_t and_(int rd, int rs1, int rs2);
+std::uint32_t mul(int rd, int rs1, int rs2);
+std::uint32_t mulh(int rd, int rs1, int rs2);
+std::uint32_t mulhsu(int rd, int rs1, int rs2);
+std::uint32_t mulhu(int rd, int rs1, int rs2);
+std::uint32_t div(int rd, int rs1, int rs2);
+std::uint32_t divu(int rd, int rs1, int rs2);
+std::uint32_t rem(int rd, int rs1, int rs2);
+std::uint32_t remu(int rd, int rs1, int rs2);
+std::uint32_t ecall();
+std::uint32_t ebreak();
+std::uint32_t nop();
+
+/// Serialize a program (one word per instruction, little-endian).
+Bytes assemble(const std::vector<std::uint32_t>& words);
+
+}  // namespace rv32asm
+
+}  // namespace convolve::tee

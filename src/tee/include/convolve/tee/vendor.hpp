@@ -1,0 +1,63 @@
+// Vendor certificate authority for device identities.
+//
+// Completes the attestation trust chain the paper's remote-attestation
+// story needs in the field: a verifier does not hold per-device keys, it
+// holds the *vendor's* root keys and checks a device certificate issued at
+// manufacturing. Hybrid rule throughout: certificates carry Ed25519 and
+// (when PQ-enabled) ML-DSA signatures, and verification requires both.
+//
+//   vendor root --signs--> device certificate (device pks)
+//   device keys --sign---> SM measurement + SM pks      (bootrom)
+//   SM keys ----sign----> enclave measurement + data    (attest)
+#pragma once
+
+#include <optional>
+
+#include "convolve/tee/attestation.hpp"
+#include "convolve/tee/bootrom.hpp"
+
+namespace convolve::tee {
+
+struct DeviceCertificate {
+  Bytes device_id;  // vendor-assigned serial (opaque)
+  bool pq_enabled = false;
+  std::array<std::uint8_t, 32> device_ed25519_pk{};
+  Bytes device_mldsa_pk;  // empty when !pq_enabled
+
+  std::array<std::uint8_t, 64> vendor_sig_ed25519{};
+  Bytes vendor_sig_mldsa;  // empty when !pq_enabled
+
+  Bytes serialize() const;
+};
+
+/// The manufacturer's signing root. In production this lives in an HSM;
+/// here it is deterministic from a seed for reproducible tests.
+class VendorCa {
+ public:
+  VendorCa(ByteView seed32, bool pq_enabled);
+
+  /// Issue a certificate binding `device_id` to the device public keys
+  /// found in a boot record.
+  DeviceCertificate issue(ByteView device_id, const BootRecord& boot) const;
+
+  /// The vendor's public keys -- the ONLY thing a remote verifier needs
+  /// to pin.
+  std::array<std::uint8_t, 32> root_ed25519_pk() const;
+  const Bytes& root_mldsa_pk() const { return mldsa_.pk; }
+  bool pq_enabled() const { return pq_; }
+
+ private:
+  bool pq_;
+  crypto::Ed25519KeyPair ed25519_;
+  crypto::dilithium::KeyPair mldsa_;
+};
+
+/// Verifier-side: check the vendor signature(s) on a certificate against
+/// the pinned vendor roots, and produce the trust anchor for
+/// verify_report(). Returns nullopt when the certificate does not verify.
+std::optional<VerifierTrustAnchor> verify_certificate(
+    const DeviceCertificate& cert,
+    const std::array<std::uint8_t, 32>& vendor_ed25519_pk,
+    const Bytes& vendor_mldsa_pk);
+
+}  // namespace convolve::tee

@@ -1,0 +1,87 @@
+#include "convolve/tee/machine.hpp"
+
+#include <string>
+
+namespace convolve::tee {
+
+namespace {
+const char* access_name(AccessType t) {
+  switch (t) {
+    case AccessType::kRead: return "read";
+    case AccessType::kWrite: return "write";
+    case AccessType::kExecute: return "execute";
+  }
+  return "?";
+}
+}  // namespace
+
+AccessFault::AccessFault(std::uint64_t addr, AccessType type)
+    : std::runtime_error("PMP access fault: " + std::string(access_name(type)) +
+                         " at 0x" + std::to_string(addr)),
+      address(addr),
+      access(type) {}
+
+StackOverflow::StackOverflow(std::size_t requested, std::size_t capacity)
+    : std::runtime_error("stack overflow: need " + std::to_string(requested) +
+                         " bytes, capacity " + std::to_string(capacity)) {}
+
+void SimStack::push(std::size_t bytes) {
+  if (used_ + bytes > capacity_) {
+    throw StackOverflow(used_ + bytes, capacity_);
+  }
+  used_ += bytes;
+  if (used_ > watermark_) watermark_ = used_;
+}
+
+void SimStack::pop(std::size_t bytes) {
+  used_ = (bytes > used_) ? 0 : used_ - bytes;
+}
+
+Machine::Machine(std::size_t memory_bytes) : memory_(memory_bytes, 0) {}
+
+void Machine::bounds_check(std::uint64_t addr, std::size_t len) const {
+  if (addr + len > memory_.size() || addr + len < addr) {
+    throw AccessFault(addr, AccessType::kRead);
+  }
+}
+
+void Machine::store(std::uint64_t addr, ByteView data, PrivMode mode) {
+  bounds_check(addr, data.size());
+  if (!pmp_.check(addr, data.size(), mode, AccessType::kWrite)) {
+    throw AccessFault(addr, AccessType::kWrite);
+  }
+  std::copy(data.begin(), data.end(),
+            memory_.begin() + static_cast<std::ptrdiff_t>(addr));
+}
+
+Bytes Machine::load(std::uint64_t addr, std::size_t len, PrivMode mode) const {
+  bounds_check(addr, len);
+  if (!pmp_.check(addr, len, mode, AccessType::kRead)) {
+    throw AccessFault(addr, AccessType::kRead);
+  }
+  return Bytes(memory_.begin() + static_cast<std::ptrdiff_t>(addr),
+               memory_.begin() + static_cast<std::ptrdiff_t>(addr + len));
+}
+
+std::uint8_t Machine::load_byte(std::uint64_t addr, PrivMode mode) const {
+  return load(addr, 1, mode)[0];
+}
+
+std::uint32_t Machine::fetch32(std::uint64_t addr, PrivMode mode) const {
+  bounds_check(addr, 4);
+  if (!pmp_.check(addr, 4, mode, AccessType::kExecute)) {
+    throw AccessFault(addr, AccessType::kExecute);
+  }
+  return static_cast<std::uint32_t>(memory_[addr]) |
+         (static_cast<std::uint32_t>(memory_[addr + 1]) << 8) |
+         (static_cast<std::uint32_t>(memory_[addr + 2]) << 16) |
+         (static_cast<std::uint32_t>(memory_[addr + 3]) << 24);
+}
+
+bool Machine::can_execute(std::uint64_t addr, std::size_t len,
+                          PrivMode mode) const {
+  if (addr + len > memory_.size()) return false;
+  return pmp_.check(addr, len, mode, AccessType::kExecute);
+}
+
+}  // namespace convolve::tee

@@ -1,0 +1,116 @@
+#include "convolve/tee/pmp.hpp"
+
+#include <stdexcept>
+
+namespace convolve::tee {
+
+void PmpUnit::set_entry(int index, const PmpEntry& entry) {
+  if (index < 0 || index >= kEntries) {
+    throw std::out_of_range("PmpUnit::set_entry: index");
+  }
+  if (entries_[static_cast<std::size_t>(index)].locked) {
+    throw std::logic_error("PmpUnit::set_entry: entry is locked");
+  }
+  // A locked TOR entry also locks the previous entry's address register.
+  if (index + 1 < kEntries) {
+    const PmpEntry& next = entries_[static_cast<std::size_t>(index) + 1];
+    if (next.locked && next.mode == PmpAddressMode::kTor) {
+      throw std::logic_error(
+          "PmpUnit::set_entry: address is locked by the next TOR entry");
+    }
+  }
+  entries_[static_cast<std::size_t>(index)] = entry;
+}
+
+const PmpEntry& PmpUnit::entry(int index) const {
+  if (index < 0 || index >= kEntries) {
+    throw std::out_of_range("PmpUnit::entry: index");
+  }
+  return entries_[static_cast<std::size_t>(index)];
+}
+
+std::uint64_t PmpUnit::encode_napot(std::uint64_t base, std::uint64_t size) {
+  if (size < 8 || (size & (size - 1)) != 0) {
+    throw std::invalid_argument("encode_napot: size must be a power of 2 >= 8");
+  }
+  if (base % size != 0) {
+    throw std::invalid_argument("encode_napot: base not aligned to size");
+  }
+  // addr = (base >> 2) | ((size/2 - 1) >> 2)  -- the trailing-ones pattern.
+  return (base >> 2) | ((size / 2 - 1) >> 2);
+}
+
+PmpUnit::Match PmpUnit::match(int index, std::uint64_t addr,
+                              std::uint64_t len) const {
+  const PmpEntry& e = entries_[static_cast<std::size_t>(index)];
+  std::uint64_t lo = 0, hi = 0;  // [lo, hi)
+  switch (e.mode) {
+    case PmpAddressMode::kOff:
+      return Match::kNone;
+    case PmpAddressMode::kTor: {
+      lo = (index == 0)
+               ? 0
+               : entries_[static_cast<std::size_t>(index) - 1].address << 2;
+      hi = e.address << 2;
+      break;
+    }
+    case PmpAddressMode::kNa4: {
+      lo = e.address << 2;
+      hi = lo + 4;
+      break;
+    }
+    case PmpAddressMode::kNapot: {
+      // Count trailing ones of the encoded address.
+      std::uint64_t a = e.address;
+      int trailing_ones = 0;
+      while (a & 1) {
+        ++trailing_ones;
+        a >>= 1;
+      }
+      const std::uint64_t size = 8ull << trailing_ones;
+      lo = (e.address & ~((1ull << trailing_ones) - 1)) << 2;
+      hi = lo + size;
+      break;
+    }
+  }
+  if (hi <= lo) return Match::kNone;
+  const std::uint64_t end = addr + len;
+  if (end <= lo || addr >= hi) return Match::kNone;
+  if (addr >= lo && end <= hi) return Match::kFull;
+  return Match::kPartial;
+}
+
+bool PmpUnit::check(std::uint64_t addr, std::uint64_t len, PrivMode mode,
+                    AccessType type) const {
+  if (len == 0) return true;
+  for (int i = 0; i < kEntries; ++i) {
+    const Match m = match(i, addr, len);
+    if (m == Match::kNone) continue;
+    // Partially matching accesses fault regardless of permissions.
+    if (m == Match::kPartial) return false;
+    const PmpEntry& e = entries_[static_cast<std::size_t>(i)];
+    if (mode == PrivMode::kMachine && !e.locked) return true;
+    switch (type) {
+      case AccessType::kRead:
+        return e.read;
+      case AccessType::kWrite:
+        return e.write;
+      case AccessType::kExecute:
+        return e.execute;
+    }
+  }
+  // No matching entry: M-mode succeeds, S/U fail.
+  return mode == PrivMode::kMachine;
+}
+
+void PmpUnit::clear_unlocked() {
+  for (auto& e : entries_) {
+    if (!e.locked) e = PmpEntry{};
+  }
+}
+
+void PmpUnit::reset() {
+  for (auto& e : entries_) e = PmpEntry{};
+}
+
+}  // namespace convolve::tee

@@ -1,0 +1,392 @@
+#include "convolve/tee/rv32.hpp"
+
+#include <stdexcept>
+
+namespace convolve::tee {
+
+namespace {
+
+std::int32_t sign_extend(std::uint32_t value, int bits) {
+  const std::uint32_t mask = 1u << (bits - 1);
+  return static_cast<std::int32_t>((value ^ mask) - mask);
+}
+
+}  // namespace
+
+Rv32Cpu::Rv32Cpu(Machine& machine, std::uint32_t entry_pc, PrivMode mode)
+    : machine_(machine), pc_(entry_pc), mode_(mode) {}
+
+std::uint32_t Rv32Cpu::reg(int index) const {
+  if (index < 0 || index > 31) throw std::out_of_range("Rv32Cpu::reg");
+  return x_[static_cast<std::size_t>(index)];
+}
+
+void Rv32Cpu::set_reg(int index, std::uint32_t value) {
+  if (index < 0 || index > 31) throw std::out_of_range("Rv32Cpu::set_reg");
+  if (index != 0) x_[static_cast<std::size_t>(index)] = value;
+}
+
+std::optional<Trap> Rv32Cpu::step() {
+  if (pc_ % 4 != 0) {
+    return Trap{TrapCause::kMisalignedFetch, pc_, pc_};
+  }
+  std::uint32_t inst;
+  try {
+    inst = machine_.fetch32(pc_, mode_);
+  } catch (const AccessFault&) {
+    return Trap{TrapCause::kInstructionAccessFault, pc_, pc_};
+  }
+
+  const std::uint32_t opcode = inst & 0x7f;
+  const int rd = static_cast<int>((inst >> 7) & 0x1f);
+  const int rs1 = static_cast<int>((inst >> 15) & 0x1f);
+  const int rs2 = static_cast<int>((inst >> 20) & 0x1f);
+  const std::uint32_t funct3 = (inst >> 12) & 0x7;
+  const std::uint32_t funct7 = inst >> 25;
+  const std::uint32_t a = reg(rs1);
+  const std::uint32_t b = reg(rs2);
+
+  std::uint32_t next_pc = pc_ + 4;
+
+  switch (opcode) {
+    case 0x37:  // LUI
+      set_reg(rd, inst & 0xfffff000u);
+      break;
+    case 0x17:  // AUIPC
+      set_reg(rd, pc_ + (inst & 0xfffff000u));
+      break;
+    case 0x6f: {  // JAL
+      const std::uint32_t imm = ((inst >> 31) << 20) |
+                                (((inst >> 12) & 0xff) << 12) |
+                                (((inst >> 20) & 1) << 11) |
+                                (((inst >> 21) & 0x3ff) << 1);
+      set_reg(rd, pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint32_t>(sign_extend(imm, 21));
+      break;
+    }
+    case 0x67: {  // JALR
+      const std::int32_t imm = sign_extend(inst >> 20, 12);
+      const std::uint32_t target =
+          (a + static_cast<std::uint32_t>(imm)) & ~1u;
+      set_reg(rd, pc_ + 4);
+      next_pc = target;
+      break;
+    }
+    case 0x63: {  // BRANCH
+      const std::uint32_t imm = ((inst >> 31) << 12) |
+                                (((inst >> 7) & 1) << 11) |
+                                (((inst >> 25) & 0x3f) << 5) |
+                                (((inst >> 8) & 0xf) << 1);
+      const std::int32_t offset = sign_extend(imm, 13);
+      bool taken = false;
+      switch (funct3) {
+        case 0: taken = (a == b); break;
+        case 1: taken = (a != b); break;
+        case 4: taken = (static_cast<std::int32_t>(a) <
+                         static_cast<std::int32_t>(b)); break;
+        case 5: taken = (static_cast<std::int32_t>(a) >=
+                         static_cast<std::int32_t>(b)); break;
+        case 6: taken = (a < b); break;
+        case 7: taken = (a >= b); break;
+        default:
+          return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+      }
+      if (taken) next_pc = pc_ + static_cast<std::uint32_t>(offset);
+      break;
+    }
+    case 0x03: {  // LOAD
+      const std::int32_t imm = sign_extend(inst >> 20, 12);
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+      std::size_t len;
+      switch (funct3) {
+        case 0: case 4: len = 1; break;
+        case 1: case 5: len = 2; break;
+        case 2: len = 4; break;
+        default:
+          return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+      }
+      Bytes data;
+      try {
+        data = machine_.load(addr, len, mode_);
+      } catch (const AccessFault&) {
+        return Trap{TrapCause::kLoadAccessFault, pc_, addr};
+      }
+      std::uint32_t value = 0;
+      for (std::size_t i = 0; i < len; ++i) {
+        value |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+      }
+      if (funct3 == 0) value = static_cast<std::uint32_t>(
+          sign_extend(value, 8));
+      if (funct3 == 1) value = static_cast<std::uint32_t>(
+          sign_extend(value, 16));
+      set_reg(rd, value);
+      break;
+    }
+    case 0x23: {  // STORE
+      const std::uint32_t imm = ((inst >> 25) << 5) | ((inst >> 7) & 0x1f);
+      const std::uint32_t addr =
+          a + static_cast<std::uint32_t>(sign_extend(imm, 12));
+      std::size_t len;
+      switch (funct3) {
+        case 0: len = 1; break;
+        case 1: len = 2; break;
+        case 2: len = 4; break;
+        default:
+          return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+      }
+      Bytes data(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        data[i] = static_cast<std::uint8_t>(b >> (8 * i));
+      }
+      try {
+        machine_.store(addr, data, mode_);
+      } catch (const AccessFault&) {
+        return Trap{TrapCause::kStoreAccessFault, pc_, addr};
+      }
+      break;
+    }
+    case 0x13: {  // OP-IMM
+      const std::int32_t imm = sign_extend(inst >> 20, 12);
+      const std::uint32_t ui = static_cast<std::uint32_t>(imm);
+      const int shamt = static_cast<int>((inst >> 20) & 0x1f);
+      switch (funct3) {
+        case 0: set_reg(rd, a + ui); break;
+        case 2: set_reg(rd, static_cast<std::int32_t>(a) < imm ? 1 : 0);
+                break;
+        case 3: set_reg(rd, a < ui ? 1 : 0); break;
+        case 4: set_reg(rd, a ^ ui); break;
+        case 6: set_reg(rd, a | ui); break;
+        case 7: set_reg(rd, a & ui); break;
+        case 1:
+          if (funct7 != 0) {
+            return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+          }
+          set_reg(rd, a << shamt);
+          break;
+        case 5:
+          if (funct7 == 0) {
+            set_reg(rd, a >> shamt);
+          } else if (funct7 == 0x20) {
+            set_reg(rd, static_cast<std::uint32_t>(
+                            static_cast<std::int32_t>(a) >> shamt));
+          } else {
+            return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+          }
+          break;
+        default:
+          return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+      }
+      break;
+    }
+    case 0x33: {  // OP (incl. M extension)
+      if (funct7 == 0x01) {
+        const std::int64_t sa = static_cast<std::int32_t>(a);
+        const std::int64_t sb = static_cast<std::int32_t>(b);
+        const std::uint64_t ua = a, ub = b;
+        switch (funct3) {
+          case 0: set_reg(rd, static_cast<std::uint32_t>(sa * sb)); break;
+          case 1: set_reg(rd, static_cast<std::uint32_t>(
+                              (sa * sb) >> 32)); break;
+          case 2: set_reg(rd, static_cast<std::uint32_t>(
+                              (sa * static_cast<std::int64_t>(ub)) >> 32));
+                  break;
+          case 3: set_reg(rd, static_cast<std::uint32_t>(
+                              (ua * ub) >> 32)); break;
+          case 4:  // DIV
+            if (b == 0) {
+              set_reg(rd, 0xffffffffu);
+            } else if (a == 0x80000000u && b == 0xffffffffu) {
+              set_reg(rd, 0x80000000u);  // overflow
+            } else {
+              set_reg(rd, static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(a) /
+                              static_cast<std::int32_t>(b)));
+            }
+            break;
+          case 5: set_reg(rd, b == 0 ? 0xffffffffu : a / b); break;
+          case 6:  // REM
+            if (b == 0) {
+              set_reg(rd, a);
+            } else if (a == 0x80000000u && b == 0xffffffffu) {
+              set_reg(rd, 0);
+            } else {
+              set_reg(rd, static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(a) %
+                              static_cast<std::int32_t>(b)));
+            }
+            break;
+          case 7: set_reg(rd, b == 0 ? a : a % b); break;
+          default:
+            return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+        }
+      } else if (funct7 == 0x00 || funct7 == 0x20) {
+        switch (funct3) {
+          case 0: set_reg(rd, funct7 == 0x20 ? a - b : a + b); break;
+          case 1: set_reg(rd, a << (b & 31)); break;
+          case 2: set_reg(rd, static_cast<std::int32_t>(a) <
+                                      static_cast<std::int32_t>(b)
+                                  ? 1 : 0); break;
+          case 3: set_reg(rd, a < b ? 1 : 0); break;
+          case 4: set_reg(rd, a ^ b); break;
+          case 5:
+            set_reg(rd, funct7 == 0x20
+                            ? static_cast<std::uint32_t>(
+                                  static_cast<std::int32_t>(a) >> (b & 31))
+                            : a >> (b & 31));
+            break;
+          case 6: set_reg(rd, a | b); break;
+          case 7: set_reg(rd, a & b); break;
+          default:
+            return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+        }
+      } else {
+        return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+      }
+      break;
+    }
+    case 0x0f:  // FENCE: no-op in this memory model
+      break;
+    case 0x73: {  // SYSTEM
+      const std::uint32_t imm = inst >> 20;
+      pc_ += 4;
+      ++retired_;
+      if (imm == 0) return Trap{TrapCause::kEcall, pc_ - 4, 0};
+      if (imm == 1) return Trap{TrapCause::kEbreak, pc_ - 4, 0};
+      return Trap{TrapCause::kIllegalInstruction, pc_ - 4, inst};
+    }
+    default:
+      return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+  }
+
+  pc_ = next_pc;
+  ++retired_;
+  return std::nullopt;
+}
+
+Rv32Cpu::RunResult Rv32Cpu::run(std::uint64_t max_steps) {
+  RunResult result;
+  while (result.steps < max_steps) {
+    auto trap = step();
+    ++result.steps;
+    if (trap) {
+      result.trap = trap;
+      break;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Encoders
+// ---------------------------------------------------------------------
+
+namespace rv32asm {
+
+namespace {
+
+std::uint32_t r_type(std::uint32_t funct7, int rs2, int rs1,
+                     std::uint32_t funct3, int rd, std::uint32_t opcode) {
+  return (funct7 << 25) | (static_cast<std::uint32_t>(rs2) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+         (static_cast<std::uint32_t>(rd) << 7) | opcode;
+}
+
+std::uint32_t i_type(std::int32_t imm, int rs1, std::uint32_t funct3, int rd,
+                     std::uint32_t opcode) {
+  return (static_cast<std::uint32_t>(imm & 0xfff) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+         (static_cast<std::uint32_t>(rd) << 7) | opcode;
+}
+
+std::uint32_t s_type(std::int32_t imm, int rs2, int rs1,
+                     std::uint32_t funct3) {
+  const std::uint32_t u = static_cast<std::uint32_t>(imm) & 0xfff;
+  return ((u >> 5) << 25) | (static_cast<std::uint32_t>(rs2) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+         ((u & 0x1f) << 7) | 0x23;
+}
+
+std::uint32_t b_type(std::int32_t offset, int rs1, int rs2,
+                     std::uint32_t funct3) {
+  const std::uint32_t u = static_cast<std::uint32_t>(offset);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+         (static_cast<std::uint32_t>(rs2) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+         (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | 0x63;
+}
+
+}  // namespace
+
+std::uint32_t lui(int rd, std::uint32_t imm20) {
+  return (imm20 << 12) | (static_cast<std::uint32_t>(rd) << 7) | 0x37;
+}
+std::uint32_t auipc(int rd, std::uint32_t imm20) {
+  return (imm20 << 12) | (static_cast<std::uint32_t>(rd) << 7) | 0x17;
+}
+std::uint32_t jal(int rd, std::int32_t offset) {
+  const std::uint32_t u = static_cast<std::uint32_t>(offset);
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+         (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) |
+         (static_cast<std::uint32_t>(rd) << 7) | 0x6f;
+}
+std::uint32_t jalr(int rd, int rs1, std::int32_t offset) {
+  return i_type(offset, rs1, 0, rd, 0x67);
+}
+std::uint32_t beq(int rs1, int rs2, std::int32_t o) { return b_type(o, rs1, rs2, 0); }
+std::uint32_t bne(int rs1, int rs2, std::int32_t o) { return b_type(o, rs1, rs2, 1); }
+std::uint32_t blt(int rs1, int rs2, std::int32_t o) { return b_type(o, rs1, rs2, 4); }
+std::uint32_t bge(int rs1, int rs2, std::int32_t o) { return b_type(o, rs1, rs2, 5); }
+std::uint32_t bltu(int rs1, int rs2, std::int32_t o) { return b_type(o, rs1, rs2, 6); }
+std::uint32_t bgeu(int rs1, int rs2, std::int32_t o) { return b_type(o, rs1, rs2, 7); }
+std::uint32_t lb(int rd, int rs1, std::int32_t o) { return i_type(o, rs1, 0, rd, 0x03); }
+std::uint32_t lh(int rd, int rs1, std::int32_t o) { return i_type(o, rs1, 1, rd, 0x03); }
+std::uint32_t lw(int rd, int rs1, std::int32_t o) { return i_type(o, rs1, 2, rd, 0x03); }
+std::uint32_t lbu(int rd, int rs1, std::int32_t o) { return i_type(o, rs1, 4, rd, 0x03); }
+std::uint32_t lhu(int rd, int rs1, std::int32_t o) { return i_type(o, rs1, 5, rd, 0x03); }
+std::uint32_t sb(int rs2, int rs1, std::int32_t o) { return s_type(o, rs2, rs1, 0); }
+std::uint32_t sh(int rs2, int rs1, std::int32_t o) { return s_type(o, rs2, rs1, 1); }
+std::uint32_t sw(int rs2, int rs1, std::int32_t o) { return s_type(o, rs2, rs1, 2); }
+std::uint32_t addi(int rd, int rs1, std::int32_t imm) { return i_type(imm, rs1, 0, rd, 0x13); }
+std::uint32_t slti(int rd, int rs1, std::int32_t imm) { return i_type(imm, rs1, 2, rd, 0x13); }
+std::uint32_t sltiu(int rd, int rs1, std::int32_t imm) { return i_type(imm, rs1, 3, rd, 0x13); }
+std::uint32_t xori(int rd, int rs1, std::int32_t imm) { return i_type(imm, rs1, 4, rd, 0x13); }
+std::uint32_t ori(int rd, int rs1, std::int32_t imm) { return i_type(imm, rs1, 6, rd, 0x13); }
+std::uint32_t andi(int rd, int rs1, std::int32_t imm) { return i_type(imm, rs1, 7, rd, 0x13); }
+std::uint32_t slli(int rd, int rs1, int shamt) { return i_type(shamt, rs1, 1, rd, 0x13); }
+std::uint32_t srli(int rd, int rs1, int shamt) { return i_type(shamt, rs1, 5, rd, 0x13); }
+std::uint32_t srai(int rd, int rs1, int shamt) {
+  return i_type(shamt | 0x400, rs1, 5, rd, 0x13);
+}
+std::uint32_t add(int rd, int rs1, int rs2) { return r_type(0, rs2, rs1, 0, rd, 0x33); }
+std::uint32_t sub(int rd, int rs1, int rs2) { return r_type(0x20, rs2, rs1, 0, rd, 0x33); }
+std::uint32_t sll(int rd, int rs1, int rs2) { return r_type(0, rs2, rs1, 1, rd, 0x33); }
+std::uint32_t slt(int rd, int rs1, int rs2) { return r_type(0, rs2, rs1, 2, rd, 0x33); }
+std::uint32_t sltu(int rd, int rs1, int rs2) { return r_type(0, rs2, rs1, 3, rd, 0x33); }
+std::uint32_t xor_(int rd, int rs1, int rs2) { return r_type(0, rs2, rs1, 4, rd, 0x33); }
+std::uint32_t srl(int rd, int rs1, int rs2) { return r_type(0, rs2, rs1, 5, rd, 0x33); }
+std::uint32_t sra(int rd, int rs1, int rs2) { return r_type(0x20, rs2, rs1, 5, rd, 0x33); }
+std::uint32_t or_(int rd, int rs1, int rs2) { return r_type(0, rs2, rs1, 6, rd, 0x33); }
+std::uint32_t and_(int rd, int rs1, int rs2) { return r_type(0, rs2, rs1, 7, rd, 0x33); }
+std::uint32_t mul(int rd, int rs1, int rs2) { return r_type(1, rs2, rs1, 0, rd, 0x33); }
+std::uint32_t mulh(int rd, int rs1, int rs2) { return r_type(1, rs2, rs1, 1, rd, 0x33); }
+std::uint32_t mulhsu(int rd, int rs1, int rs2) { return r_type(1, rs2, rs1, 2, rd, 0x33); }
+std::uint32_t mulhu(int rd, int rs1, int rs2) { return r_type(1, rs2, rs1, 3, rd, 0x33); }
+std::uint32_t div(int rd, int rs1, int rs2) { return r_type(1, rs2, rs1, 4, rd, 0x33); }
+std::uint32_t divu(int rd, int rs1, int rs2) { return r_type(1, rs2, rs1, 5, rd, 0x33); }
+std::uint32_t rem(int rd, int rs1, int rs2) { return r_type(1, rs2, rs1, 6, rd, 0x33); }
+std::uint32_t remu(int rd, int rs1, int rs2) { return r_type(1, rs2, rs1, 7, rd, 0x33); }
+std::uint32_t ecall() { return 0x73; }
+std::uint32_t ebreak() { return 0x00100073; }
+std::uint32_t nop() { return addi(0, 0, 0); }
+
+Bytes assemble(const std::vector<std::uint32_t>& words) {
+  Bytes out(words.size() * 4);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    store_le32(out.data() + 4 * i, words[i]);
+  }
+  return out;
+}
+
+}  // namespace rv32asm
+
+}  // namespace convolve::tee

@@ -1,0 +1,278 @@
+#include "convolve/tee/security_monitor.hpp"
+
+#include <stdexcept>
+
+#include "convolve/crypto/aead.hpp"
+#include "convolve/crypto/hmac.hpp"
+#include "convolve/crypto/keccak.hpp"
+
+namespace convolve::tee {
+
+namespace {
+
+std::uint64_t next_power_of_two(std::uint64_t x) {
+  std::uint64_t p = 8;
+  while (p < x) p *= 2;
+  return p;
+}
+
+std::uint64_t align_up(std::uint64_t x, std::uint64_t alignment) {
+  return (x + alignment - 1) / alignment * alignment;
+}
+
+// PMP entry plan: 0 = SM region, 1..14 = enclaves, 15 = OS allow-all.
+constexpr int kSmEntry = 0;
+constexpr int kFirstEnclaveEntry = 1;
+constexpr int kLastEnclaveEntry = 14;
+constexpr int kOsEntry = 15;
+
+}  // namespace
+
+SecurityMonitor::SecurityMonitor(Machine& machine, const BootRecord& boot,
+                                 const SmConfig& config)
+    : machine_(machine),
+      boot_(boot),
+      config_(config),
+      stack_(config.stack_bytes) {
+  if (config_.sm_region_size == 0 ||
+      (config_.sm_region_size & (config_.sm_region_size - 1)) != 0) {
+    throw std::invalid_argument("SecurityMonitor: SM region must be 2^k");
+  }
+  // Wall off the SM's own memory: a permission-less entry denies S/U while
+  // M-mode (the SM itself) passes because the entry is not locked.
+  PmpEntry sm_entry;
+  sm_entry.mode = PmpAddressMode::kNapot;
+  sm_entry.address = PmpUnit::encode_napot(0, config_.sm_region_size);
+  machine_.pmp().set_entry(kSmEntry, sm_entry);
+
+  next_free_ = config_.sm_region_size;
+  enter_os();
+}
+
+int SecurityMonitor::create_enclave(ByteView binary,
+                                    std::uint64_t region_size) {
+  const int entry_index =
+      kFirstEnclaveEntry + static_cast<int>(enclaves_.size());
+  if (entry_index > kLastEnclaveEntry) {
+    throw std::runtime_error("create_enclave: out of PMP entries");
+  }
+  const std::uint64_t size =
+      next_power_of_two(std::max<std::uint64_t>(region_size, 4096));
+  const std::uint64_t base = align_up(next_free_, size);
+  if (base + size > machine_.memory_size()) {
+    throw std::runtime_error("create_enclave: out of memory");
+  }
+  if (binary.size() > size) {
+    throw std::runtime_error("create_enclave: binary larger than region");
+  }
+  next_free_ = base + size;
+
+  // Load and measure (M-mode: the SM performs the copy).
+  machine_.store(base, binary, PrivMode::kMachine);
+
+  Enclave e;
+  e.id = static_cast<int>(enclaves_.size());
+  e.base = base;
+  e.size = size;
+  e.measurement = crypto::sha3_512(binary);
+  enclaves_.push_back(std::move(e));
+
+  enter_os();  // refresh the PMP view with the new region blanked out
+  return enclaves_.back().id;
+}
+
+SecurityMonitor::Enclave& SecurityMonitor::enclave_mut(int id) {
+  if (id < 0 || id >= static_cast<int>(enclaves_.size())) {
+    throw std::out_of_range("enclave id");
+  }
+  return enclaves_[static_cast<std::size_t>(id)];
+}
+
+const SecurityMonitor::Enclave& SecurityMonitor::enclave(int id) const {
+  if (id < 0 || id >= static_cast<int>(enclaves_.size())) {
+    throw std::out_of_range("enclave id");
+  }
+  return enclaves_[static_cast<std::size_t>(id)];
+}
+
+void SecurityMonitor::destroy_enclave(int id) {
+  Enclave& e = enclave_mut(id);
+  if (!e.alive) return;
+  // Wipe the enclave's memory before releasing it to the OS.
+  const Bytes zeros(e.size, 0);
+  machine_.store(e.base, zeros, PrivMode::kMachine);
+  e.alive = false;
+  enter_os();
+}
+
+void SecurityMonitor::enter_os() {
+  PmpUnit& pmp = machine_.pmp();
+  // Blank out every live enclave for S/U.
+  for (const Enclave& e : enclaves_) {
+    PmpEntry entry;
+    if (e.alive) {
+      entry.mode = PmpAddressMode::kNapot;
+      entry.address = PmpUnit::encode_napot(e.base, e.size);
+      // No permissions: S/U denied.
+    }
+    pmp.set_entry(kFirstEnclaveEntry + e.id, entry);
+  }
+  // OS gets the rest of DRAM.
+  PmpEntry os_entry;
+  os_entry.mode = PmpAddressMode::kTor;
+  os_entry.address = machine_.memory_size() >> 2;
+  os_entry.read = os_entry.write = os_entry.execute = true;
+  pmp.set_entry(kOsEntry, os_entry);
+}
+
+void SecurityMonitor::enter_enclave(int id) {
+  const Enclave& target = enclave(id);
+  if (!target.alive) throw std::runtime_error("enter_enclave: destroyed");
+  PmpUnit& pmp = machine_.pmp();
+  for (const Enclave& e : enclaves_) {
+    PmpEntry entry;
+    if (e.alive) {
+      entry.mode = PmpAddressMode::kNapot;
+      entry.address = PmpUnit::encode_napot(e.base, e.size);
+      if (e.id == id) {
+        entry.read = entry.write = entry.execute = true;
+      }
+    }
+    pmp.set_entry(kFirstEnclaveEntry + e.id, entry);
+  }
+  // No allow-all while an enclave runs: everything outside the enclave is
+  // unmatched and therefore denied to U-mode.
+  pmp.set_entry(kOsEntry, PmpEntry{});
+}
+
+void SecurityMonitor::run_enclave(int id, const std::function<void()>& body) {
+  enter_enclave(id);
+  try {
+    body();
+  } catch (...) {
+    enter_os();
+    throw;
+  }
+  enter_os();
+}
+
+Rv32Cpu::RunResult SecurityMonitor::run_enclave_program(
+    int id, std::uint64_t max_steps, std::uint32_t entry_offset) {
+  const Enclave& e = enclave(id);
+  if (!e.alive) throw std::runtime_error("run_enclave_program: destroyed");
+  enter_enclave(id);
+  Rv32Cpu cpu(machine_,
+              static_cast<std::uint32_t>(e.base) + entry_offset,
+              PrivMode::kUser);
+  Rv32Cpu::RunResult result = cpu.run(max_steps);
+  enter_os();
+  return result;
+}
+
+AttestationReport SecurityMonitor::attest(int id, ByteView user_data) {
+  const Enclave& e = enclave(id);
+  if (user_data.size() > kEnclaveDataMax) {
+    throw std::invalid_argument("attest: user data too large");
+  }
+  AttestationReport report;
+  report.pq_enabled = boot_.pq_enabled;
+  report.device_ed25519_pk = boot_.device_ed25519_pk;
+  report.sm_measurement = boot_.sm_measurement;
+  report.sm_ed25519_pk = boot_.sm_ed25519.public_key;
+  report.device_sig_ed25519 = boot_.device_sig_ed25519;
+  report.enclave_measurement = e.measurement;
+  report.enclave_data.assign(user_data.begin(), user_data.end());
+  if (boot_.pq_enabled) {
+    report.sm_mldsa_pk = boot_.sm_mldsa.pk;
+    report.device_sig_mldsa = boot_.device_sig_mldsa;
+  }
+
+  // Enclave payload: measurement || data_len || padded data.
+  Bytes payload = e.measurement;
+  std::uint8_t len_le[8];
+  store_le64(len_le, user_data.size());
+  payload.insert(payload.end(), len_le, len_le + 8);
+  Bytes padded(user_data.begin(), user_data.end());
+  padded.resize(kEnclaveDataMax, 0);
+  payload.insert(payload.end(), padded.begin(), padded.end());
+
+  // Sign on the SM stack: this is where the paper's default 8 KB stack
+  // breaks for ML-DSA.
+  StackFrame assembly(stack_, kReportAssemblyStack);
+  {
+    StackFrame ed_frame(stack_, kEd25519SignStack);
+    report.sm_sig_ed25519 = crypto::ed25519_sign(boot_.sm_ed25519, payload);
+  }
+  if (boot_.pq_enabled) {
+    StackFrame mldsa_frame(stack_, kMlDsaSignStack);
+    report.sm_sig_mldsa = crypto::dilithium::sign(boot_.sm_mldsa.sk, payload);
+  }
+  return report;
+}
+
+Bytes SecurityMonitor::sealing_key(const Enclave& e) const {
+  return crypto::hkdf(boot_.sealing_root, e.measurement,
+                      as_bytes("convolve-sealing-key-v1"), 32);
+}
+
+Bytes SecurityMonitor::seal(int id, ByteView plaintext) {
+  const Enclave& e = enclave(id);
+  Bytes nonce(12, 0);
+  store_le64(nonce.data(), ++seal_nonce_counter_);
+  const auto box =
+      crypto::aead_seal(sealing_key(e), nonce, plaintext, e.measurement);
+  return crypto::aead_serialize(box);
+}
+
+std::optional<Bytes> SecurityMonitor::unseal(int id, ByteView sealed_blob) {
+  const Enclave& e = enclave(id);
+  const auto box = crypto::aead_deserialize(sealed_blob);
+  if (!box) return std::nullopt;
+  return crypto::aead_open(sealing_key(e), *box, e.measurement);
+}
+
+SecurityMonitor::LocalAttestation SecurityMonitor::local_attest(int target) {
+  const Enclave& e = enclave(target);
+  if (!e.alive) throw std::runtime_error("local_attest: destroyed");
+  LocalAttestation token;
+  token.target = target;
+  token.target_measurement = e.measurement;
+  const Bytes key = crypto::hkdf(boot_.sealing_root, {},
+                                 as_bytes("convolve-local-attest-v1"), 32);
+  Bytes msg;
+  std::uint8_t id_le[4];
+  store_le32(id_le, static_cast<std::uint32_t>(target));
+  msg.insert(msg.end(), id_le, id_le + 4);
+  msg.insert(msg.end(), e.measurement.begin(), e.measurement.end());
+  Bytes mac = crypto::hmac_sha512(key, msg);
+  mac.resize(32);
+  token.mac = std::move(mac);
+  return token;
+}
+
+bool SecurityMonitor::verify_local_attestation(
+    const LocalAttestation& token) const {
+  if (token.target_measurement.size() != 64 || token.mac.size() != 32) {
+    return false;
+  }
+  const Bytes key = crypto::hkdf(boot_.sealing_root, {},
+                                 as_bytes("convolve-local-attest-v1"), 32);
+  Bytes msg;
+  std::uint8_t id_le[4];
+  store_le32(id_le, static_cast<std::uint32_t>(token.target));
+  msg.insert(msg.end(), id_le, id_le + 4);
+  msg.insert(msg.end(), token.target_measurement.begin(),
+             token.target_measurement.end());
+  Bytes mac = crypto::hmac_sha512(key, msg);
+  mac.resize(32);
+  return ct_equal(mac, token.mac);
+}
+
+VerifierTrustAnchor SecurityMonitor::trust_anchor() const {
+  VerifierTrustAnchor anchor;
+  anchor.device_ed25519_pk = boot_.device_ed25519_pk;
+  anchor.device_mldsa_pk = boot_.device_mldsa_pk;
+  return anchor;
+}
+
+}  // namespace convolve::tee

@@ -1,0 +1,87 @@
+#include "convolve/tee/vendor.hpp"
+
+#include "convolve/crypto/hmac.hpp"
+
+namespace convolve::tee {
+
+namespace {
+
+Bytes signing_payload(const DeviceCertificate& cert) {
+  Bytes payload;
+  std::uint8_t len_le[8];
+  store_le64(len_le, cert.device_id.size());
+  payload.insert(payload.end(), len_le, len_le + 8);
+  payload.insert(payload.end(), cert.device_id.begin(),
+                 cert.device_id.end());
+  payload.push_back(cert.pq_enabled ? 1 : 0);
+  payload.insert(payload.end(), cert.device_ed25519_pk.begin(),
+                 cert.device_ed25519_pk.end());
+  payload.insert(payload.end(), cert.device_mldsa_pk.begin(),
+                 cert.device_mldsa_pk.end());
+  return payload;
+}
+
+}  // namespace
+
+Bytes DeviceCertificate::serialize() const {
+  Bytes out = signing_payload(*this);
+  out.insert(out.end(), vendor_sig_ed25519.begin(),
+             vendor_sig_ed25519.end());
+  out.insert(out.end(), vendor_sig_mldsa.begin(), vendor_sig_mldsa.end());
+  return out;
+}
+
+VendorCa::VendorCa(ByteView seed32, bool pq_enabled) : pq_(pq_enabled) {
+  const Bytes ed_seed = crypto::hkdf(as_bytes("convolve-vendor-ca-v1"),
+                                     seed32, as_bytes("ed25519"), 32);
+  ed25519_ = crypto::ed25519_keypair(ed_seed);
+  if (pq_) {
+    const Bytes mldsa_seed = crypto::hkdf(as_bytes("convolve-vendor-ca-v1"),
+                                          seed32, as_bytes("mldsa"), 32);
+    mldsa_ = crypto::dilithium::keygen(mldsa_seed);
+  }
+}
+
+std::array<std::uint8_t, 32> VendorCa::root_ed25519_pk() const {
+  return ed25519_.public_key;
+}
+
+DeviceCertificate VendorCa::issue(ByteView device_id,
+                                  const BootRecord& boot) const {
+  DeviceCertificate cert;
+  cert.device_id.assign(device_id.begin(), device_id.end());
+  cert.pq_enabled = pq_ && boot.pq_enabled;
+  cert.device_ed25519_pk = boot.device_ed25519_pk;
+  cert.device_mldsa_pk = boot.device_mldsa_pk;
+
+  const Bytes payload = signing_payload(cert);
+  cert.vendor_sig_ed25519 = crypto::ed25519_sign(ed25519_, payload);
+  if (cert.pq_enabled) {
+    cert.vendor_sig_mldsa = crypto::dilithium::sign(mldsa_.sk, payload);
+  }
+  return cert;
+}
+
+std::optional<VerifierTrustAnchor> verify_certificate(
+    const DeviceCertificate& cert,
+    const std::array<std::uint8_t, 32>& vendor_ed25519_pk,
+    const Bytes& vendor_mldsa_pk) {
+  const Bytes payload = signing_payload(cert);
+  if (!crypto::ed25519_verify({vendor_ed25519_pk.data(), 32}, payload,
+                              {cert.vendor_sig_ed25519.data(), 64})) {
+    return std::nullopt;
+  }
+  if (cert.pq_enabled) {
+    if (vendor_mldsa_pk.empty()) return std::nullopt;
+    if (!crypto::dilithium::verify(vendor_mldsa_pk, payload,
+                                   cert.vendor_sig_mldsa)) {
+      return std::nullopt;
+    }
+  }
+  VerifierTrustAnchor anchor;
+  anchor.device_ed25519_pk = cert.device_ed25519_pk;
+  anchor.device_mldsa_pk = cert.device_mldsa_pk;
+  return anchor;
+}
+
+}  // namespace convolve::tee

@@ -1,0 +1,145 @@
+#include "convolve/cim/adder_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "convolve/common/bytes.hpp"
+#include "convolve/common/rng.hpp"
+
+namespace convolve::cim {
+namespace {
+
+TEST(AdderTree, SumsLeaves) {
+  AdderTree tree(8);
+  std::vector<int> leaves = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto r = tree.step(leaves);
+  EXPECT_EQ(r.sum, 36);
+}
+
+TEST(AdderTree, RandomSumsMatch) {
+  AdderTree tree(64);
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> leaves(64);
+    for (auto& v : leaves) v = static_cast<int>(rng.uniform(16));
+    const auto r = tree.step(leaves);
+    EXPECT_EQ(r.sum, std::accumulate(leaves.begin(), leaves.end(), 0));
+  }
+}
+
+TEST(AdderTree, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(AdderTree(0), std::invalid_argument);
+  EXPECT_THROW(AdderTree(3), std::invalid_argument);
+  EXPECT_THROW(AdderTree(63), std::invalid_argument);
+}
+
+TEST(AdderTree, RejectsWrongLeafCount) {
+  AdderTree tree(8);
+  std::vector<int> leaves(7, 0);
+  EXPECT_THROW(tree.step(leaves), std::invalid_argument);
+}
+
+TEST(AdderTree, DepthIsLog2) {
+  EXPECT_EQ(AdderTree(1).depth(), 0);
+  EXPECT_EQ(AdderTree(2).depth(), 1);
+  EXPECT_EQ(AdderTree(64).depth(), 6);
+}
+
+TEST(AdderTree, OneHotEnergyProportionalToHammingWeight) {
+  // A single value w travels through depth+1 register levels, each
+  // switching HW(w) bits from the reset state.
+  AdderTree tree(64);
+  for (int w = 0; w < 16; ++w) {
+    tree.reset();
+    std::vector<int> leaves(64, 0);
+    leaves[17] = w;
+    const auto r = tree.step(leaves);
+    const int hw = hamming_weight(static_cast<std::uint64_t>(w));
+    EXPECT_DOUBLE_EQ(r.switching_energy, hw * (tree.depth() + 1.0)) << w;
+  }
+}
+
+TEST(AdderTree, SecondIdenticalStepCostsNothing) {
+  AdderTree tree(16);
+  std::vector<int> leaves(16, 5);
+  tree.step(leaves);
+  const auto r = tree.step(leaves);  // registers unchanged
+  EXPECT_DOUBLE_EQ(r.switching_energy, 0.0);
+}
+
+TEST(AdderTree, ResetRestoresPrechargeState) {
+  AdderTree tree(16);
+  std::vector<int> leaves(16, 3);
+  const auto first = tree.step(leaves);
+  tree.reset();
+  const auto again = tree.step(leaves);
+  EXPECT_DOUBLE_EQ(first.switching_energy, again.switching_energy);
+}
+
+TEST(AdderTree, MergeLevelMatchesTreeStructure) {
+  AdderTree tree(8);
+  EXPECT_EQ(tree.merge_level(0, 1), 1);
+  EXPECT_EQ(tree.merge_level(0, 2), 2);
+  EXPECT_EQ(tree.merge_level(0, 4), 3);
+  EXPECT_EQ(tree.merge_level(6, 7), 1);
+  EXPECT_EQ(tree.merge_level(3, 3), 0);
+  EXPECT_THROW(tree.merge_level(0, 8), std::out_of_range);
+}
+
+TEST(AdderTree, PredictMatchesSimulationOneHot) {
+  AdderTree tree(64);
+  for (int w : {0, 1, 7, 15}) {
+    tree.reset();
+    std::vector<int> leaves(64, 0);
+    leaves[5] = w;
+    const auto r = tree.step(leaves);
+    const std::vector<std::pair<int, int>> active = {{5, w}};
+    EXPECT_DOUBLE_EQ(AdderTree::predict_from_reset(tree, active),
+                     r.switching_energy);
+  }
+}
+
+TEST(AdderTree, PredictMatchesSimulationPairs) {
+  AdderTree tree(64);
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int i = static_cast<int>(rng.uniform(64));
+    int j = static_cast<int>(rng.uniform(64));
+    if (j == i) j = (j + 1) % 64;
+    const int a = static_cast<int>(rng.uniform(16));
+    const int b = static_cast<int>(rng.uniform(16));
+    tree.reset();
+    std::vector<int> leaves(64, 0);
+    leaves[static_cast<std::size_t>(i)] = a;
+    leaves[static_cast<std::size_t>(j)] = b;
+    const auto r = tree.step(leaves);
+    const std::vector<std::pair<int, int>> active = {{i, a}, {j, b}};
+    EXPECT_DOUBLE_EQ(AdderTree::predict_from_reset(tree, active),
+                     r.switching_energy)
+        << i << "," << j << " " << a << "+" << b;
+  }
+}
+
+TEST(AdderTree, PredictMatchesSimulationManyActive) {
+  AdderTree tree(32);
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> leaves(32, 0);
+    std::vector<std::pair<int, int>> active;
+    for (int i = 0; i < 32; ++i) {
+      if (rng.next_bit()) {
+        const int v = static_cast<int>(rng.uniform(16));
+        leaves[static_cast<std::size_t>(i)] = v;
+        if (v != 0) active.emplace_back(i, v);
+      }
+    }
+    tree.reset();
+    const auto r = tree.step(leaves);
+    EXPECT_DOUBLE_EQ(AdderTree::predict_from_reset(tree, active),
+                     r.switching_energy);
+  }
+}
+
+}  // namespace
+}  // namespace convolve::cim

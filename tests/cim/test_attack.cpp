@@ -1,0 +1,241 @@
+#include "convolve/cim/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::cim {
+namespace {
+
+MacroConfig noise_free() {
+  MacroConfig config;
+  config.n_rows = 64;
+  config.noise_sigma = 0.0;
+  return config;
+}
+
+TEST(CimMacro, MacComputesDotProduct) {
+  std::vector<int> weights(64);
+  for (int i = 0; i < 64; ++i) weights[static_cast<std::size_t>(i)] = i % 16;
+  CimMacro macro(noise_free(), weights);
+  std::vector<std::uint8_t> inputs(64, 0);
+  inputs[3] = 1;
+  inputs[10] = 1;
+  inputs[63] = 1;
+  macro.reset();
+  EXPECT_EQ(macro.mac_cycle(inputs), 3 + 10 + 15);
+}
+
+TEST(CimMacro, AccumulatesOverCycles) {
+  std::vector<int> weights(64, 1);
+  CimMacro macro(noise_free(), weights);
+  std::vector<std::uint8_t> inputs(64, 1);
+  macro.reset();
+  macro.mac_cycle(inputs);
+  EXPECT_EQ(macro.mac_cycle(inputs), 128);
+}
+
+TEST(CimMacro, DummyRowsPreserveArchitecturalResult) {
+  MacroConfig config = noise_free();
+  config.dummy_rows = 8;
+  std::vector<int> weights(64, 2);
+  CimMacro macro(config, weights);
+  std::vector<std::uint8_t> inputs(64, 1);
+  macro.reset();
+  EXPECT_EQ(macro.mac_cycle(inputs), 128);
+  EXPECT_EQ(macro.mac_cycle(inputs), 256);
+}
+
+TEST(CimMacro, ShuffleLeavesResultIntact) {
+  MacroConfig config = noise_free();
+  config.shuffle_rows = true;
+  std::vector<int> weights(64);
+  for (int i = 0; i < 64; ++i) weights[static_cast<std::size_t>(i)] = i % 16;
+  CimMacro macro(config, weights);
+  std::vector<std::uint8_t> inputs(64, 1);
+  macro.reset();
+  EXPECT_EQ(macro.mac_cycle(inputs), 64 / 16 * (0 + 1 + 2 + 3 + 4 + 5 + 6 +
+                                                7 + 8 + 9 + 10 + 11 + 12 +
+                                                13 + 14 + 15));
+}
+
+TEST(CimMacro, ValidatesConstruction) {
+  EXPECT_THROW(CimMacro(noise_free(), std::vector<int>(63, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(CimMacro(noise_free(), std::vector<int>(64, 16)),
+               std::invalid_argument);
+  EXPECT_THROW(CimMacro(noise_free(), std::vector<int>(64, -1)),
+               std::invalid_argument);
+}
+
+TEST(CimMacro, TraceRecordsPowerSamples) {
+  CimMacro macro = random_macro(noise_free(), 42);
+  std::vector<std::uint8_t> inputs(64, 0);
+  macro.reset();
+  macro.clear_trace();
+  macro.mac_cycle(inputs);
+  macro.mac_cycle(inputs);
+  EXPECT_EQ(macro.trace().size(), 2u);
+}
+
+
+TEST(CimMacro, MultibitDotProductMatchesReference) {
+  std::vector<int> weights(64);
+  Xoshiro256 rng(51);
+  for (auto& w : weights) w = static_cast<int>(rng.uniform(16));
+  CimMacro macro(noise_free(), weights);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> acts(64);
+    std::int64_t expected = 0;
+    for (int i = 0; i < 64; ++i) {
+      acts[static_cast<std::size_t>(i)] = static_cast<int>(rng.uniform(16));
+      expected += static_cast<std::int64_t>(
+                      weights[static_cast<std::size_t>(i)]) *
+                  acts[static_cast<std::size_t>(i)];
+    }
+    macro.reset();
+    EXPECT_EQ(macro.mac_multibit(acts, 4), expected);
+  }
+}
+
+TEST(CimMacro, MultibitEmitsOneSamplePerBitPlane) {
+  CimMacro macro = random_macro(noise_free(), 52);
+  std::vector<int> acts(64, 5);
+  macro.reset();
+  macro.clear_trace();
+  macro.mac_multibit(acts, 4);
+  EXPECT_EQ(macro.trace().size(), 4u);
+}
+
+TEST(CimMacro, MultibitWorksWithDummyRows) {
+  MacroConfig config = noise_free();
+  config.dummy_rows = 16;
+  std::vector<int> weights(64, 3);
+  CimMacro macro(config, weights);
+  std::vector<int> acts(64, 7);
+  macro.reset();
+  EXPECT_EQ(macro.mac_multibit(acts, 3), 64ll * 3 * 7);
+}
+
+TEST(CimMacro, MultibitValidatesInputs) {
+  CimMacro macro = random_macro(noise_free(), 53);
+  std::vector<int> acts(64, 0);
+  EXPECT_THROW(macro.mac_multibit(std::vector<int>(63, 0), 4),
+               std::invalid_argument);
+  EXPECT_THROW(macro.mac_multibit(acts, 0), std::invalid_argument);
+  acts[0] = 16;
+  EXPECT_THROW(macro.mac_multibit(acts, 4), std::invalid_argument);
+}
+
+TEST(Phase1, HammingWeightClassesRecoveredNoiseFree) {
+  CimMacro macro = random_macro(noise_free(), 7);
+  AttackConfig config;
+  const auto p1 = run_phase1(macro, config);
+  for (int i = 0; i < macro.n_rows(); ++i) {
+    const int true_hw = hamming_weight(static_cast<std::uint64_t>(
+        macro.secret_weights()[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(p1.hw_class[static_cast<std::size_t>(i)], true_hw) << i;
+  }
+}
+
+TEST(Phase1, KMeansClustersAlignWithHammingWeight) {
+  CimMacro macro = random_macro(noise_free(), 8);
+  AttackConfig config;
+  const auto p1 = run_phase1(macro, config);
+  // Noise-free: every member of cluster c must have true HW == c (sorted
+  // centroid order). Clusters present depend on the weight distribution.
+  for (int i = 0; i < macro.n_rows(); ++i) {
+    const int cluster = p1.clustering.assignment[static_cast<std::size_t>(i)];
+    const int true_hw = hamming_weight(static_cast<std::uint64_t>(
+        macro.secret_weights()[static_cast<std::size_t>(i)]));
+    // With all 5 classes present (true for this seed), labels align.
+    EXPECT_EQ(cluster, true_hw) << i;
+  }
+}
+
+TEST(Phase1, HwCandidatesAreCorrect) {
+  EXPECT_EQ(hw_candidates(0), (std::vector<int>{0}));
+  EXPECT_EQ(hw_candidates(1), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(hw_candidates(2), (std::vector<int>{3, 5, 6, 9, 10, 12}));
+  EXPECT_EQ(hw_candidates(3), (std::vector<int>{7, 11, 13, 14}));
+  EXPECT_EQ(hw_candidates(4), (std::vector<int>{15}));
+}
+
+TEST(Attack, FullRecoveryNoiseFree) {
+  // The paper's headline result: in a noise-free environment the attack
+  // recovers every weight.
+  CimMacro macro = random_macro(noise_free(), 21);
+  AttackConfig config;
+  auto result = run_attack(macro, config);
+  evaluate_against_ground_truth(result, macro.secret_weights());
+  EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+  EXPECT_EQ(result.correct, 64);
+}
+
+TEST(Attack, FullRecoveryAcrossSeeds) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    CimMacro macro = random_macro(noise_free(), seed);
+    AttackConfig config;
+    auto result = run_attack(macro, config);
+    evaluate_against_ground_truth(result, macro.secret_weights());
+    EXPECT_DOUBLE_EQ(result.accuracy, 1.0) << "seed " << seed;
+  }
+}
+
+TEST(Attack, SurvivesModerateNoiseWithAveraging) {
+  MacroConfig config = noise_free();
+  config.noise_sigma = 1.0;
+  CimMacro macro = random_macro(config, 31);
+  AttackConfig attack;
+  attack.traces_per_measurement = 200;
+  auto result = run_attack(macro, attack);
+  evaluate_against_ground_truth(result, macro.secret_weights());
+  EXPECT_GT(result.accuracy, 0.9);
+}
+
+TEST(Attack, DegradesUnderHeavyNoiseWithoutAveraging) {
+  MacroConfig config = noise_free();
+  config.noise_sigma = 6.0;
+  CimMacro macro = random_macro(config, 33);
+  AttackConfig attack;
+  attack.traces_per_measurement = 1;
+  auto result = run_attack(macro, attack);
+  evaluate_against_ground_truth(result, macro.secret_weights());
+  EXPECT_LT(result.accuracy, 0.9);
+}
+
+TEST(Attack, ShufflingCountermeasureBreaksPhase2) {
+  MacroConfig config = noise_free();
+  config.shuffle_rows = true;
+  CimMacro macro = random_macro(config, 35);
+  AttackConfig attack;
+  attack.traces_per_measurement = 4;
+  auto result = run_attack(macro, attack);
+  evaluate_against_ground_truth(result, macro.secret_weights());
+  // Phase 1 (one-hot, position-independent) still classifies HW, so the
+  // extreme classes (0 and 15) remain recoverable, but interior classes
+  // are protected; overall accuracy collapses well below full recovery.
+  EXPECT_LT(result.accuracy, 0.75);
+}
+
+TEST(Attack, DummyRowCountermeasureDegradesAccuracy) {
+  MacroConfig config = noise_free();
+  config.dummy_rows = 32;
+  CimMacro macro = random_macro(config, 37);
+  AttackConfig attack;
+  attack.traces_per_measurement = 1;
+  auto result = run_attack(macro, attack);
+  evaluate_against_ground_truth(result, macro.secret_weights());
+  EXPECT_LT(result.accuracy, 0.9);
+}
+
+TEST(Attack, MeasurementBudgetIsCounted) {
+  CimMacro macro = random_macro(noise_free(), 41);
+  AttackConfig config;
+  const auto result = run_attack(macro, config);
+  EXPECT_GT(result.measurements, 64);      // at least one per weight
+  EXPECT_LT(result.measurements, 64 * 50);  // far from brute force
+}
+
+}  // namespace
+}  // namespace convolve::cim

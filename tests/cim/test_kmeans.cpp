@@ -1,0 +1,82 @@
+#include "convolve/cim/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::cim {
+namespace {
+
+TEST(KMeans, SeparatesWellSeparatedClusters) {
+  std::vector<double> points;
+  for (double center : {0.0, 10.0, 20.0}) {
+    for (int i = 0; i < 20; ++i) points.push_back(center + 0.1 * i / 20.0);
+  }
+  Xoshiro256 rng(1);
+  auto r = kmeans_1d(points, 3, rng);
+  sort_clusters_by_centroid(r);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(r.assignment[static_cast<std::size_t>(i)], i / 20);
+  }
+  EXPECT_NEAR(r.centroids[0], 0.05, 0.1);
+  EXPECT_NEAR(r.centroids[1], 10.05, 0.1);
+  EXPECT_NEAR(r.centroids[2], 20.05, 0.1);
+}
+
+TEST(KMeans, HandlesNoisyClusters) {
+  Xoshiro256 noise(2);
+  std::vector<double> points;
+  for (double center : {0.0, 8.0, 16.0, 24.0, 32.0}) {
+    for (int i = 0; i < 40; ++i) points.push_back(noise.normal(center, 0.8));
+  }
+  Xoshiro256 rng(3);
+  auto r = kmeans_1d(points, 5, rng);
+  sort_clusters_by_centroid(r);
+  int errors = 0;
+  for (int i = 0; i < 200; ++i) {
+    errors += (r.assignment[static_cast<std::size_t>(i)] != i / 40);
+  }
+  EXPECT_LT(errors, 4);
+}
+
+TEST(KMeans, SingleCluster) {
+  std::vector<double> points(10, 5.0);
+  Xoshiro256 rng(4);
+  const auto r = kmeans_1d(points, 1, rng);
+  EXPECT_DOUBLE_EQ(r.centroids[0], 5.0);
+  EXPECT_DOUBLE_EQ(r.inertia, 0.0);
+}
+
+TEST(KMeans, KEqualsN) {
+  std::vector<double> points = {1.0, 2.0, 3.0};
+  Xoshiro256 rng(5);
+  const auto r = kmeans_1d(points, 3, rng);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, RejectsBadArguments) {
+  Xoshiro256 rng(6);
+  EXPECT_THROW(kmeans_1d({}, 2, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans_1d({1.0}, 0, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans_1d({1.0}, 2, rng), std::invalid_argument);
+}
+
+TEST(KMeans, SortRelabelsAssignments) {
+  KMeansResult r;
+  r.centroids = {30.0, 10.0, 20.0};
+  r.assignment = {0, 1, 2, 0};
+  sort_clusters_by_centroid(r);
+  EXPECT_EQ(r.centroids, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_EQ(r.assignment, (std::vector<int>{2, 0, 1, 2}));
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Xoshiro256 noise(7);
+  std::vector<double> points;
+  for (int i = 0; i < 100; ++i) points.push_back(noise.normal(0.0, 10.0));
+  Xoshiro256 rng(8);
+  const auto r2 = kmeans_1d(points, 2, rng);
+  const auto r5 = kmeans_1d(points, 5, rng);
+  EXPECT_LT(r5.inertia, r2.inertia);
+}
+
+}  // namespace
+}  // namespace convolve::cim

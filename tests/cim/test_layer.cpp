@@ -1,0 +1,86 @@
+#include "convolve/cim/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/cim/attack.hpp"
+
+namespace convolve::cim {
+namespace {
+
+LayerConfig small_layer() {
+  LayerConfig c;
+  c.inputs = 16;
+  c.outputs = 4;
+  c.requant_shift = 2;
+  return c;
+}
+
+TEST(DenseLayer, ForwardMatchesReferenceMath) {
+  const LayerConfig config = small_layer();
+  DenseLayer layer = random_layer(config, 9);
+  Xoshiro256 rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> acts(16);
+    for (auto& a : acts) a = static_cast<int>(rng.uniform(16));
+    const auto out = layer.forward(acts);
+    ASSERT_EQ(out.size(), 4u);
+    for (int o = 0; o < 4; ++o) {
+      std::int64_t mac = 0;
+      for (int i = 0; i < 16; ++i) {
+        mac += static_cast<std::int64_t>(
+                   layer.secret_weights()[static_cast<std::size_t>(o)]
+                                         [static_cast<std::size_t>(i)]) *
+               acts[static_cast<std::size_t>(i)];
+      }
+      const std::int64_t expected = (mac > 0 ? mac : 0) >> 2;
+      EXPECT_EQ(out[static_cast<std::size_t>(o)], expected);
+    }
+  }
+}
+
+TEST(DenseLayer, CountermeasuresDoNotChangeResults) {
+  LayerConfig plain = small_layer();
+  LayerConfig hardened = small_layer();
+  hardened.macro.shuffle_rows = true;
+  hardened.macro.dummy_rows = 8;
+  // Same weights via the same seed.
+  DenseLayer a = random_layer(plain, 11);
+  DenseLayer b = random_layer(hardened, 11);
+  std::vector<int> acts(16, 9);
+  EXPECT_EQ(a.forward(acts), b.forward(acts));
+}
+
+TEST(DenseLayer, AttackStealsEveryColumnOfUnprotectedLayer) {
+  LayerConfig config;
+  config.inputs = 64;
+  config.outputs = 3;
+  DenseLayer layer = random_layer(config, 12);
+  AttackConfig attack;
+  for (int o = 0; o < 3; ++o) {
+    auto result = run_attack(layer.column(o), attack);
+    evaluate_against_ground_truth(
+        result, layer.secret_weights()[static_cast<std::size_t>(o)]);
+    EXPECT_DOUBLE_EQ(result.accuracy, 1.0) << "column " << o;
+  }
+}
+
+TEST(DenseLayer, ValidatesConfiguration) {
+  LayerConfig config = small_layer();
+  EXPECT_THROW(DenseLayer(config, {{1, 2}}), std::invalid_argument);
+  config.requant_shift = 40;
+  EXPECT_THROW(random_layer(config, 1), std::invalid_argument);
+}
+
+TEST(DenseLayer, ReluClampsNegativePreactivations) {
+  // All-zero weights => mac 0 => relu 0.
+  LayerConfig config = small_layer();
+  std::vector<std::vector<int>> weights(
+      4, std::vector<int>(16, 0));
+  DenseLayer layer(config, weights);
+  std::vector<int> acts(16, 15);
+  const auto out = layer.forward(acts);
+  for (auto v : out) EXPECT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace convolve::cim

@@ -1,0 +1,91 @@
+#include "convolve/cim/leakage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::cim {
+namespace {
+
+TEST(Tvla, UnprotectedMacroLeaksStrongly) {
+  MacroConfig config;
+  config.noise_sigma = 0.5;
+  const auto result = tvla_fixed_vs_random(config, 400, 1);
+  EXPECT_TRUE(result.leaks);
+  EXPECT_GT(std::abs(result.t_statistic), 4.5);
+}
+
+TEST(Tvla, CountermeasuresReduceTStatistic) {
+  MacroConfig plain;
+  plain.noise_sigma = 0.5;
+  MacroConfig hardened = plain;
+  hardened.shuffle_rows = true;
+  hardened.dummy_rows = 32;
+  const auto exposed = tvla_fixed_vs_random(plain, 400, 2);
+  const auto protected_result = tvla_fixed_vs_random(hardened, 400, 2);
+  EXPECT_LT(std::abs(protected_result.t_statistic),
+            std::abs(exposed.t_statistic));
+}
+
+TEST(Tvla, ReportsTraceCount) {
+  MacroConfig config;
+  const auto result = tvla_fixed_vs_random(config, 50, 3);
+  EXPECT_EQ(result.traces_per_set, 50);
+}
+
+TEST(Cpa, RecoversHammingWeightsNoiseFree) {
+  MacroConfig config;
+  CimMacro macro = random_macro(config, 77);
+  auto result = cpa_known_input_attack(macro, 10000, 5);
+  evaluate_cpa(result, macro.secret_weights());
+  EXPECT_GT(result.accuracy, 0.9);
+}
+
+TEST(Cpa, MoreTracesImproveAccuracy) {
+  MacroConfig config;
+  config.noise_sigma = 2.0;
+  CimMacro macro_few = random_macro(config, 78);
+  auto few = cpa_known_input_attack(macro_few, 100, 6);
+  evaluate_cpa(few, macro_few.secret_weights());
+  CimMacro macro_many = random_macro(config, 78);
+  auto many = cpa_known_input_attack(macro_many, 10000, 6);
+  evaluate_cpa(many, macro_many.secret_weights());
+  EXPECT_GE(many.accuracy, few.accuracy);
+}
+
+TEST(Cpa, RecoversClassesNotValues) {
+  // The known-input attack cannot beat the HW-class granularity: two
+  // different values with the same HW have identical regression slopes in
+  // expectation. This is why the paper's chosen-input phase 2 matters.
+  MacroConfig config;
+  config.n_rows = 8;
+  CimMacro macro(config, {7, 11, 13, 14, 1, 0, 15, 2});
+  auto result = cpa_known_input_attack(macro, 10000, 7);
+  evaluate_cpa(result, macro.secret_weights());
+  // All four HW=3 rows map to the same class...
+  EXPECT_EQ(result.recovered_hw[0], 3);
+  EXPECT_EQ(result.recovered_hw[1], 3);
+  EXPECT_EQ(result.recovered_hw[2], 3);
+  EXPECT_EQ(result.recovered_hw[3], 3);
+  // ...which is full class accuracy but zero value resolution inside it.
+  EXPECT_GT(result.accuracy, 0.9);
+}
+
+TEST(Cpa, DummiesDegradeRecovery) {
+  MacroConfig plain;
+  CimMacro a = random_macro(plain, 79);
+  auto base = cpa_known_input_attack(a, 4000, 8);
+  evaluate_cpa(base, a.secret_weights());
+
+  MacroConfig noisy = plain;
+  noisy.dummy_rows = 48;
+  CimMacro b = random_macro(noisy, 79);
+  auto blinded = cpa_known_input_attack(b, 4000, 8);
+  evaluate_cpa(blinded, b.secret_weights());
+  EXPECT_LT(blinded.accuracy, base.accuracy);
+}
+
+}  // namespace
+}  // namespace convolve::cim

@@ -1,0 +1,93 @@
+#include "convolve/common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = concat({ByteView{a}, ByteView{b}, ByteView{a}});
+  EXPECT_EQ(c, (Bytes{1, 2, 3, 1, 2}));
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+}
+
+TEST(Bytes, SecureWipe) {
+  Bytes a = {1, 2, 3, 4};
+  secure_wipe(a);
+  EXPECT_EQ(a, (Bytes{0, 0, 0, 0}));
+}
+
+TEST(Bytes, LittleEndianRoundTrip) {
+  std::uint8_t buf[8];
+  store_le32(buf, 0xdeadbeefu);
+  EXPECT_EQ(load_le32(buf), 0xdeadbeefu);
+  EXPECT_EQ(buf[0], 0xef);
+  store_le64(buf, 0x0123456789abcdefull);
+  EXPECT_EQ(load_le64(buf), 0x0123456789abcdefull);
+  EXPECT_EQ(buf[0], 0xef);
+}
+
+TEST(Bytes, BigEndianRoundTrip) {
+  std::uint8_t buf[8];
+  store_be32(buf, 0xdeadbeefu);
+  EXPECT_EQ(load_be32(buf), 0xdeadbeefu);
+  EXPECT_EQ(buf[0], 0xde);
+  store_be64(buf, 0x0123456789abcdefull);
+  EXPECT_EQ(load_be64(buf), 0x0123456789abcdefull);
+  EXPECT_EQ(buf[0], 0x01);
+}
+
+TEST(Bytes, Rotations) {
+  EXPECT_EQ(rotl32(0x80000000u, 1), 1u);
+  EXPECT_EQ(rotr32(1u, 1), 0x80000000u);
+  EXPECT_EQ(rotl64(0x8000000000000000ull, 1), 1ull);
+  EXPECT_EQ(rotr64(1ull, 1), 0x8000000000000000ull);
+  EXPECT_EQ(rotl32(0x12345678u, 0), 0x12345678u);
+}
+
+TEST(Bytes, HammingWeight) {
+  EXPECT_EQ(hamming_weight(0), 0);
+  EXPECT_EQ(hamming_weight(0xf), 4);
+  EXPECT_EQ(hamming_weight(0xffffffffffffffffull), 64);
+  EXPECT_EQ(hamming_weight(0b1010101), 4);
+}
+
+TEST(Bytes, HammingDistance) {
+  EXPECT_EQ(hamming_distance(0, 0), 0);
+  EXPECT_EQ(hamming_distance(0xff, 0x0f), 4);
+  EXPECT_EQ(hamming_distance(5, 6), 2);
+}
+
+}  // namespace
+}  // namespace convolve

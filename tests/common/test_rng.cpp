@@ -1,0 +1,101 @@
+#include "convolve/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace convolve {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResets) {
+  Xoshiro256 a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformWithinBound) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Xoshiro256 rng(5);
+  std::array<int, 8> histogram{};
+  for (int i = 0; i < 8000; ++i) ++histogram[rng.uniform(8)];
+  for (int count : histogram) {
+    EXPECT_GT(count, 800);  // expect ~1000 each; catastrophic skew fails
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256 rng(11);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Xoshiro256 rng(13);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, FillBytesDeterministic) {
+  Xoshiro256 a(21), b(21);
+  std::vector<std::uint8_t> x(37), y(37);
+  a.fill_bytes(x);
+  b.fill_bytes(y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Rng, FillBytesCoversValues) {
+  Xoshiro256 rng(23);
+  std::vector<std::uint8_t> x(4096);
+  rng.fill_bytes(x);
+  std::array<bool, 256> seen{};
+  for (auto b : x) seen[b] = true;
+  int distinct = 0;
+  for (bool s : seen) distinct += s;
+  EXPECT_GT(distinct, 240);
+}
+
+}  // namespace
+}  // namespace convolve

@@ -1,0 +1,69 @@
+#include "convolve/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace convolve {
+namespace {
+
+TEST(Stats, Mean) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, MedianOdd) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+}
+
+TEST(Stats, MedianEven) {
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(Stats, ArgminArgmax) {
+  const std::vector<double> xs = {3, -1, 7, 2};
+  EXPECT_EQ(argmin(xs), 1u);
+  EXPECT_EQ(argmax(xs), 2u);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs = {1, 1, 1, 1};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, WelchTSeparatedSamples) {
+  const std::vector<double> a = {10.0, 10.1, 9.9, 10.05, 9.95};
+  const std::vector<double> b = {20.0, 20.1, 19.9, 20.05, 19.95};
+  EXPECT_LT(welch_t(a, b), -50.0);
+  EXPECT_GT(welch_t(b, a), 50.0);
+}
+
+TEST(Stats, WelchTIdenticalSamplesNearZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(welch_t(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace convolve

@@ -1,0 +1,152 @@
+#include "convolve/compsoc/noc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::compsoc {
+namespace {
+
+NocConfig tdm_noc() {
+  NocConfig c;
+  c.width = 4;
+  c.height = 4;
+  c.tdm_period = 8;
+  c.policy = ArbitrationPolicy::kTdm;
+  return c;
+}
+
+TEST(Noc, PacketReachesDestination) {
+  NocMesh mesh(tdm_noc());
+  mesh.assign_slots(0, {0, 1, 2, 3});
+  mesh.inject({/*id=*/1, /*src=*/0, /*dst=*/15, /*flits=*/4, /*vep=*/0, 0});
+  const auto deliveries = mesh.run(10000);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_TRUE(deliveries[0].delivered);
+  EXPECT_EQ(deliveries[0].hops, 6);  // 3 in X + 3 in Y
+}
+
+TEST(Noc, HopCountIsManhattanDistance) {
+  NocMesh mesh(tdm_noc());
+  EXPECT_EQ(mesh.hop_count(0, 0), 0);
+  EXPECT_EQ(mesh.hop_count(0, 3), 3);
+  EXPECT_EQ(mesh.hop_count(0, 12), 3);
+  EXPECT_EQ(mesh.hop_count(5, 10), 2);
+}
+
+TEST(Noc, SameTileDeliversImmediately) {
+  NocMesh mesh(tdm_noc());
+  mesh.assign_slots(0, {0});
+  mesh.inject({7, 5, 5, 3, 0, 42});
+  const auto deliveries = mesh.run(100);
+  EXPECT_TRUE(deliveries[0].delivered);
+  EXPECT_EQ(deliveries[0].delivery_cycle, 42u);
+}
+
+TEST(Noc, TdmLatencyIndependentOfCrossTraffic) {
+  // The interconnect composability property: the real-time VEP's packet
+  // latencies do not change when a best-effort VEP floods the mesh.
+  auto run_rt = [&](bool with_interference) {
+    NocMesh mesh(tdm_noc());
+    mesh.assign_slots(0, {0, 1});   // real-time VEP
+    mesh.assign_slots(1, {4, 5, 6, 7});  // best-effort VEP
+    mesh.inject({1, 0, 15, 4, 0, 0});
+    mesh.inject({2, 12, 3, 2, 0, 10});
+    if (with_interference) {
+      for (int i = 0; i < 30; ++i) {
+        mesh.inject({100 + i, i % 16, (i * 7) % 16, 8, 1,
+                     static_cast<std::uint64_t>(i)});
+      }
+    }
+    return mesh.run(100000);
+  };
+  const auto solo = run_rt(false);
+  const auto shared = run_rt(true);
+  ASSERT_TRUE(solo[0].delivered && solo[1].delivered);
+  EXPECT_EQ(solo[0].delivery_cycle, shared[0].delivery_cycle);
+  EXPECT_EQ(solo[1].delivery_cycle, shared[1].delivery_cycle);
+}
+
+TEST(Noc, GreedyLatencyDependsOnCrossTraffic) {
+  auto run_rt = [&](bool with_interference) {
+    NocConfig c = tdm_noc();
+    c.policy = ArbitrationPolicy::kGreedy;
+    NocMesh mesh(c);
+    // Interfering packets injected FIRST get lower flight indices and win
+    // greedy arbitration.
+    if (with_interference) {
+      for (int i = 0; i < 10; ++i) {
+        mesh.inject({100 + i, 0, 15, 8, 1, 0});
+      }
+    }
+    mesh.inject({1, 0, 15, 4, 0, 0});
+    return mesh.run(100000);
+  };
+  const auto solo = run_rt(false);
+  const auto shared = run_rt(true);
+  const auto& rt_solo = solo.back();
+  const auto& rt_shared = shared.back();
+  ASSERT_TRUE(rt_solo.delivered && rt_shared.delivered);
+  EXPECT_GT(rt_shared.delivery_cycle, rt_solo.delivery_cycle);
+}
+
+TEST(Noc, WorstCaseLatencyBoundHolds) {
+  NocMesh mesh(tdm_noc());
+  mesh.assign_slots(0, {0, 3});
+  mesh.assign_slots(1, {1, 2, 4, 5, 6, 7});
+  // Saturate with interference; the bound must still hold for VEP 0.
+  for (int i = 0; i < 40; ++i) {
+    mesh.inject({200 + i, (3 * i) % 16, (5 * i + 1) % 16, 6, 1,
+                 static_cast<std::uint64_t>(i % 7)});
+  }
+  mesh.inject({1, 0, 15, 4, 0, 0});
+  const auto deliveries = mesh.run(100000);
+  const auto& rt = deliveries.back();
+  ASSERT_TRUE(rt.delivered);
+  const auto bound = mesh.worst_case_latency(rt.hops, 4, 2);
+  EXPECT_LE(rt.delivery_cycle, bound);
+}
+
+TEST(Noc, MoreSlotsDeliverFaster) {
+  auto latency_with_slots = [&](const std::vector<int>& slots) {
+    NocMesh mesh(tdm_noc());
+    mesh.assign_slots(0, slots);
+    mesh.inject({1, 0, 15, 8, 0, 0});
+    return mesh.run(100000)[0].delivery_cycle;
+  };
+  EXPECT_LT(latency_with_slots({0, 1, 2, 3}), latency_with_slots({0}));
+}
+
+TEST(Noc, SlotPartitioningEnforced) {
+  NocMesh mesh(tdm_noc());
+  mesh.assign_slots(0, {0, 1});
+  EXPECT_THROW(mesh.assign_slots(1, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(mesh.assign_slots(1, {8}), std::invalid_argument);
+  EXPECT_NO_THROW(mesh.assign_slots(1, {2, 3}));
+}
+
+TEST(Noc, ValidatesPackets) {
+  NocMesh mesh(tdm_noc());
+  EXPECT_THROW(mesh.inject({1, -1, 0, 1, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(mesh.inject({1, 0, 16, 1, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(mesh.inject({1, 0, 1, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Noc, UnownedVepNeverDeliversUnderTdm) {
+  NocMesh mesh(tdm_noc());
+  mesh.assign_slots(0, {0});
+  mesh.inject({1, 0, 1, 1, /*vep=*/5, 0});  // VEP 5 owns nothing
+  const auto deliveries = mesh.run(1000);
+  EXPECT_FALSE(deliveries[0].delivered);
+}
+
+TEST(Noc, VepPacketsDeliveredInInjectionOrderPerLink) {
+  NocMesh mesh(tdm_noc());
+  mesh.assign_slots(0, {0});
+  mesh.inject({1, 0, 3, 2, 0, 0});
+  mesh.inject({2, 0, 3, 2, 0, 0});
+  const auto deliveries = mesh.run(10000);
+  ASSERT_TRUE(deliveries[0].delivered && deliveries[1].delivered);
+  EXPECT_LT(deliveries[0].delivery_cycle, deliveries[1].delivery_cycle);
+}
+
+}  // namespace
+}  // namespace convolve::compsoc

@@ -1,0 +1,207 @@
+#include "convolve/compsoc/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::compsoc {
+namespace {
+
+PlatformConfig tdm_config() {
+  PlatformConfig c;
+  c.policy = ArbitrationPolicy::kTdm;
+  c.tdm_period = 8;
+  return c;
+}
+
+// Build the canonical platform: a real-time VEP with slots {0,1,2} on every
+// resource and a best-effort VEP with slots {4,5,6}.
+int add_rt_vep(Platform& p) {
+  return p.create_vep("rt", {0, 1, 2}, {0, 1, 2}, {0, 1, 2});
+}
+int add_be_vep(Platform& p) {
+  return p.create_vep("be", {4, 5, 6}, {4, 5, 6}, {4, 5, 6});
+}
+
+TEST(Platform, AppRunsToCompletionAlone) {
+  Platform p(tdm_config());
+  const int rt = add_rt_vep(p);
+  p.load_application(rt, make_realtime_app("rt", 4));
+  const auto records = p.run(10000);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].finished);
+  EXPECT_GT(records[0].finish_cycle, 0u);
+}
+
+TEST(Platform, ComposabilityGrantTraceIdenticalUnderInterference) {
+  // The defining CompSOC property: the real-time app's cycle-exact grant
+  // trace must not change when a best-effort app is added.
+  Platform alone(tdm_config());
+  const int rt1 = add_rt_vep(alone);
+  alone.load_application(rt1, make_realtime_app("rt", 6));
+  const auto solo = alone.run(100000);
+
+  Platform shared(tdm_config());
+  const int rt2 = add_rt_vep(shared);
+  const int be = add_be_vep(shared);
+  shared.load_application(rt2, make_realtime_app("rt", 6));
+  shared.load_application(be, make_besteffort_app("be", 50));
+  const auto both = shared.run(100000);
+
+  ASSERT_TRUE(solo[0].finished);
+  ASSERT_TRUE(both[0].finished);
+  EXPECT_EQ(solo[0].finish_cycle, both[0].finish_cycle);
+  EXPECT_EQ(solo[0].stall_cycles, both[0].stall_cycles);
+  EXPECT_EQ(solo[0].grant_trace, both[0].grant_trace);  // bit-exact
+}
+
+TEST(Platform, GreedyArbitrationBreaksComposability) {
+  PlatformConfig greedy;
+  greedy.policy = ArbitrationPolicy::kGreedy;
+  greedy.tdm_period = 8;
+
+  Platform alone(greedy);
+  const int rt1 = alone.create_vep("rt", {}, {}, {});
+  alone.load_application(rt1, make_realtime_app("rt", 6));
+  const auto solo = alone.run(100000);
+
+  Platform shared(greedy);
+  // The interferer is created FIRST, so it wins ties in the greedy arbiter.
+  const int be = shared.create_vep("be", {}, {}, {});
+  const int rt2 = shared.create_vep("rt", {}, {}, {});
+  shared.load_application(be, make_besteffort_app("be", 50));
+  shared.load_application(rt2, make_realtime_app("rt", 6));
+  const auto both = shared.run(100000);
+
+  ASSERT_TRUE(solo[0].finished);
+  const auto& rt_shared = both[1];
+  ASSERT_TRUE(rt_shared.finished);
+  // The co-runner changes the real-time app's timing: not composable.
+  EXPECT_NE(solo[0].finish_cycle, rt_shared.finish_cycle);
+  EXPECT_GT(rt_shared.finish_cycle, solo[0].finish_cycle);
+}
+
+TEST(Platform, GreedyIsFasterInIsolationTdmPaysOverhead) {
+  // The paper's stated drawback of composable execution: overhead.
+  PlatformConfig greedy;
+  greedy.policy = ArbitrationPolicy::kGreedy;
+  Platform g(greedy);
+  const int vg = g.create_vep("app", {}, {}, {});
+  g.load_application(vg, make_realtime_app("app", 6));
+  const auto greedy_run = g.run(100000);
+
+  Platform t(tdm_config());
+  const int vt = add_rt_vep(t);
+  t.load_application(vt, make_realtime_app("app", 6));
+  const auto tdm_run = t.run(100000);
+
+  EXPECT_LT(greedy_run[0].finish_cycle, tdm_run[0].finish_cycle);
+}
+
+TEST(Platform, SlotPartitioningEnforced) {
+  Platform p(tdm_config());
+  p.create_vep("a", {0, 1}, {0}, {0});
+  EXPECT_THROW(p.create_vep("b", {1, 2}, {1}, {1}), std::invalid_argument);
+  EXPECT_NO_THROW(p.create_vep("c", {2, 3}, {1}, {1}));
+}
+
+TEST(Platform, SlotValidation) {
+  Platform p(tdm_config());
+  EXPECT_THROW(p.create_vep("bad", {8}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(p.create_vep("bad", {-1}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(p.create_vep("bad", {1, 1}, {}, {}), std::invalid_argument);
+}
+
+TEST(Platform, OneAppPerVep) {
+  Platform p(tdm_config());
+  const int v = add_rt_vep(p);
+  p.load_application(v, make_realtime_app("a", 1));
+  EXPECT_THROW(p.load_application(v, make_realtime_app("b", 1)),
+               std::logic_error);
+}
+
+TEST(Platform, MoreSlotsFinishFaster) {
+  Platform narrow(tdm_config());
+  const int v1 = narrow.create_vep("app", {0}, {0}, {0});
+  narrow.load_application(v1, make_realtime_app("app", 6));
+  const auto slow = narrow.run(100000);
+
+  Platform wide(tdm_config());
+  const int v2 = wide.create_vep("app", {0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4, 5},
+                                 {0, 1, 2, 3, 4, 5});
+  wide.load_application(v2, make_realtime_app("app", 6));
+  const auto fast = wide.run(100000);
+
+  EXPECT_LT(fast[0].finish_cycle, slow[0].finish_cycle);
+}
+
+TEST(Platform, IdleSlotFractionReflectsUnderuse) {
+  Platform p(tdm_config());
+  const int v = p.create_vep("tiny", {0}, {0}, {0});
+  p.load_application(v, make_realtime_app("tiny", 1));
+  p.run(100000);
+  // Only 1 of 8 slots per resource is even owned; most slots idle.
+  EXPECT_GT(p.idle_slot_fraction(), 0.5);
+}
+
+TEST(Platform, EmptyProgramFinishesImmediately) {
+  Platform p(tdm_config());
+  const int v = add_rt_vep(p);
+  p.load_application(v, Application{"empty", {}});
+  const auto records = p.run(100);
+  EXPECT_TRUE(records[0].finished);
+}
+
+TEST(Platform, WcrtBoundHoldsAloneAndUnderInterference) {
+  // The real-time guarantee: measured completion never exceeds the
+  // analytic worst-case bound, with or without co-runners.
+  for (bool interference : {false, true}) {
+    Platform p(tdm_config());
+    const int rt = add_rt_vep(p);
+    p.load_application(rt, make_realtime_app("rt", 6));
+    if (interference) {
+      const int be = add_be_vep(p);
+      p.load_application(be, make_besteffort_app("be", 50));
+    }
+    const auto bound = p.worst_case_completion_bound(rt);
+    const auto records = p.run(1000000);
+    ASSERT_TRUE(records[static_cast<std::size_t>(rt)].finished);
+    EXPECT_LE(records[static_cast<std::size_t>(rt)].finish_cycle, bound)
+        << "interference=" << interference;
+  }
+}
+
+TEST(Platform, WcrtBoundShrinksWithMoreSlots) {
+  Platform narrow(tdm_config());
+  const int v1 = narrow.create_vep("a", {0}, {0}, {0});
+  narrow.load_application(v1, make_realtime_app("a", 4));
+  Platform wide(tdm_config());
+  const int v2 = wide.create_vep("a", {0, 1, 2, 3}, {0, 1, 2, 3},
+                                 {0, 1, 2, 3});
+  wide.load_application(v2, make_realtime_app("a", 4));
+  EXPECT_LT(wide.worst_case_completion_bound(v2),
+            narrow.worst_case_completion_bound(v1));
+}
+
+TEST(Platform, WcrtBoundRejectsMissingResource) {
+  Platform p(tdm_config());
+  const int v = p.create_vep("a", {0}, {}, {0});  // no NoC slots
+  p.load_application(v, make_realtime_app("a", 1));  // needs the NoC
+  EXPECT_THROW(p.worst_case_completion_bound(v), std::logic_error);
+}
+
+TEST(Platform, WcrtBoundUndefinedForGreedy) {
+  PlatformConfig c;
+  c.policy = ArbitrationPolicy::kGreedy;
+  Platform p(c);
+  const int v = p.create_vep("a", {}, {}, {});
+  p.load_application(v, make_realtime_app("a", 1));
+  EXPECT_THROW(p.worst_case_completion_bound(v), std::logic_error);
+}
+
+TEST(Platform, RejectsBadPeriod) {
+  PlatformConfig c;
+  c.tdm_period = 0;
+  EXPECT_THROW(Platform{c}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace convolve::compsoc

@@ -1,0 +1,87 @@
+#include "convolve/crypto/aead.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::crypto {
+namespace {
+
+Bytes key32() { return Bytes(32, 0x77); }
+Bytes nonce12() { return Bytes(12, 0x01); }
+
+TEST(Aead, SealOpenRoundTrip) {
+  const auto pt_view = as_bytes("model weights v1.3");
+  const Bytes pt(pt_view.begin(), pt_view.end());
+  const auto box = aead_seal(key32(), nonce12(), pt, as_bytes("enclave-A"));
+  const auto opened = aead_open(key32(), box, as_bytes("enclave-A"));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(Aead, WrongKeyFails) {
+  const auto box = aead_seal(key32(), nonce12(), Bytes(10, 1), {});
+  Bytes other(32, 0x78);
+  EXPECT_FALSE(aead_open(other, box, {}).has_value());
+}
+
+TEST(Aead, WrongAadFails) {
+  const auto box = aead_seal(key32(), nonce12(), Bytes(10, 1), as_bytes("a"));
+  EXPECT_FALSE(aead_open(key32(), box, as_bytes("b")).has_value());
+}
+
+TEST(Aead, TamperedCiphertextFails) {
+  auto box = aead_seal(key32(), nonce12(), Bytes(10, 1), {});
+  box.ciphertext[3] ^= 0x01;
+  EXPECT_FALSE(aead_open(key32(), box, {}).has_value());
+}
+
+TEST(Aead, TamperedTagFails) {
+  auto box = aead_seal(key32(), nonce12(), Bytes(10, 1), {});
+  box.tag[0] ^= 0x80;
+  EXPECT_FALSE(aead_open(key32(), box, {}).has_value());
+}
+
+TEST(Aead, TamperedNonceFails) {
+  auto box = aead_seal(key32(), nonce12(), Bytes(10, 1), {});
+  box.nonce[0] ^= 0x01;
+  EXPECT_FALSE(aead_open(key32(), box, {}).has_value());
+}
+
+TEST(Aead, EmptyPlaintextAllowed) {
+  const auto box = aead_seal(key32(), nonce12(), {}, as_bytes("meta"));
+  const auto opened = aead_open(key32(), box, as_bytes("meta"));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(Aead, SerializeRoundTrip) {
+  const Bytes pt(33, 0xcd);
+  const auto box = aead_seal(key32(), nonce12(), pt, as_bytes("ctx"));
+  const Bytes flat = aead_serialize(box);
+  const auto parsed = aead_deserialize(flat);
+  ASSERT_TRUE(parsed.has_value());
+  const auto opened = aead_open(key32(), *parsed, as_bytes("ctx"));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(Aead, DeserializeRejectsShortInput) {
+  EXPECT_FALSE(aead_deserialize(Bytes(43, 0)).has_value());
+}
+
+TEST(Aead, RejectsBadKeyOrNonceSizes) {
+  EXPECT_THROW(aead_seal(Bytes(16, 0), nonce12(), Bytes(1, 0), {}),
+               std::invalid_argument);
+  EXPECT_THROW(aead_seal(key32(), Bytes(8, 0), Bytes(1, 0), {}),
+               std::invalid_argument);
+}
+
+TEST(Aead, AadLengthConfusionResistant) {
+  // Moving a byte between AAD and ciphertext boundary must not verify.
+  const Bytes pt = {1, 2, 3, 4};
+  const auto box = aead_seal(key32(), nonce12(), pt, as_bytes("AB"));
+  EXPECT_FALSE(aead_open(key32(), box, as_bytes("A")).has_value());
+  EXPECT_FALSE(aead_open(key32(), box, as_bytes("ABC")).has_value());
+}
+
+}  // namespace
+}  // namespace convolve::crypto

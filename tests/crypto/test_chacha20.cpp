@@ -1,0 +1,68 @@
+#include "convolve/crypto/chacha20.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::crypto {
+namespace {
+
+// RFC 8439 section 2.3.2: key 00..1f, nonce 000000090000004a00000000, ctr 1.
+TEST(ChaCha20, Rfc8439BlockFunction) {
+  Bytes key(32);
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const Bytes nonce = from_hex("000000090000004a00000000");
+  const auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(to_hex({block.data(), block.size()}),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 section 2.4.2: the "sunscreen" message.
+TEST(ChaCha20, Rfc8439Encryption) {
+  Bytes key(32);
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  const auto pt_view = as_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  const Bytes pt(pt_view.begin(), pt_view.end());
+  const Bytes ct = chacha20_xor(key, nonce, 1, pt);
+  EXPECT_EQ(to_hex(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, XorRoundTrip) {
+  const Bytes key(32, 0x42);
+  const Bytes nonce(12, 0x24);
+  const Bytes pt(300, 0x7f);
+  EXPECT_EQ(chacha20_xor(key, nonce, 5, chacha20_xor(key, nonce, 5, pt)), pt);
+}
+
+TEST(ChaCha20, DistinctNoncesDistinctStreams) {
+  const Bytes key(32, 1);
+  Bytes n1(12, 0), n2(12, 0);
+  n2[0] = 1;
+  const Bytes zeros(64, 0);
+  EXPECT_NE(chacha20_xor(key, n1, 0, zeros), chacha20_xor(key, n2, 0, zeros));
+}
+
+TEST(ChaCha20, CounterContinuity) {
+  const Bytes key(32, 9);
+  const Bytes nonce(12, 3);
+  const Bytes zeros(128, 0);
+  const Bytes both = chacha20_xor(key, nonce, 0, zeros);
+  const Bytes second = chacha20_xor(key, nonce, 1, Bytes(64, 0));
+  EXPECT_EQ(Bytes(both.begin() + 64, both.end()), second);
+}
+
+TEST(ChaCha20, RejectsBadKeyOrNonce) {
+  EXPECT_THROW(chacha20_block(Bytes(31, 0), Bytes(12, 0), 0),
+               std::invalid_argument);
+  EXPECT_THROW(chacha20_block(Bytes(32, 0), Bytes(8, 0), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace convolve::crypto

@@ -1,0 +1,100 @@
+#include "convolve/crypto/dilithium.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/common/rng.hpp"
+
+namespace convolve::crypto::dilithium {
+namespace {
+
+TEST(Dilithium, ObjectSizesMatchMlDsa44) {
+  // These sizes drive the attestation-report delta in the paper's Table III.
+  EXPECT_EQ(kPkBytes, 1312u);
+  EXPECT_EQ(kSkBytes, 2560u);
+  EXPECT_EQ(kSigBytes, 2420u);
+  const auto kp = keygen(Bytes(32, 1));
+  EXPECT_EQ(kp.pk.size(), kPkBytes);
+  EXPECT_EQ(kp.sk.size(), kSkBytes);
+  const Bytes sig = sign(kp.sk, as_bytes("m"));
+  EXPECT_EQ(sig.size(), kSigBytes);
+}
+
+TEST(Dilithium, SignVerifyRoundTrip) {
+  const auto kp = keygen(Bytes(32, 2));
+  const auto msg = as_bytes("enclave measurement report");
+  const Bytes sig = sign(kp.sk, msg);
+  EXPECT_TRUE(verify(kp.pk, msg, sig));
+}
+
+TEST(Dilithium, DeterministicSignature) {
+  const auto kp = keygen(Bytes(32, 3));
+  EXPECT_EQ(sign(kp.sk, as_bytes("x")), sign(kp.sk, as_bytes("x")));
+}
+
+TEST(Dilithium, KeygenDeterministic) {
+  EXPECT_EQ(keygen(Bytes(32, 4)).pk, keygen(Bytes(32, 4)).pk);
+  EXPECT_NE(keygen(Bytes(32, 4)).pk, keygen(Bytes(32, 5)).pk);
+}
+
+TEST(Dilithium, TamperedMessageRejected) {
+  const auto kp = keygen(Bytes(32, 6));
+  const Bytes sig = sign(kp.sk, as_bytes("abc"));
+  EXPECT_FALSE(verify(kp.pk, as_bytes("abd"), sig));
+}
+
+TEST(Dilithium, TamperedSignatureRejected) {
+  const auto kp = keygen(Bytes(32, 7));
+  Bytes sig = sign(kp.sk, as_bytes("abc"));
+  for (std::size_t pos : {0u, 40u, 1000u, 2400u}) {
+    Bytes bad = sig;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(verify(kp.pk, as_bytes("abc"), bad)) << "pos " << pos;
+  }
+}
+
+TEST(Dilithium, WrongKeyRejected) {
+  const auto kp1 = keygen(Bytes(32, 8));
+  const auto kp2 = keygen(Bytes(32, 9));
+  const Bytes sig = sign(kp1.sk, as_bytes("abc"));
+  EXPECT_FALSE(verify(kp2.pk, as_bytes("abc"), sig));
+}
+
+TEST(Dilithium, MalformedInputsRejected) {
+  const auto kp = keygen(Bytes(32, 10));
+  const Bytes sig = sign(kp.sk, as_bytes("m"));
+  EXPECT_FALSE(verify(Bytes(100, 0), as_bytes("m"), sig));
+  EXPECT_FALSE(verify(kp.pk, as_bytes("m"), Bytes(100, 0)));
+  // Corrupt hint encoding: non-monotone positions.
+  Bytes bad = sig;
+  const std::size_t hint_off = 32 + 576 * kL;
+  bad[hint_off + kOmega] = kOmega;  // claim many hints in poly 0
+  EXPECT_FALSE(verify(kp.pk, as_bytes("m"), bad));
+}
+
+TEST(Dilithium, RandomSeedsRoundTrip) {
+  Xoshiro256 rng(4242);
+  for (int i = 0; i < 5; ++i) {
+    Bytes seed(32);
+    rng.fill_bytes(seed);
+    const auto kp = keygen(seed);
+    Bytes msg(50 + i * 13);
+    rng.fill_bytes(msg);
+    const Bytes sig = sign(kp.sk, msg);
+    EXPECT_TRUE(verify(kp.pk, msg, sig)) << "iteration " << i;
+  }
+}
+
+TEST(Dilithium, EmptyMessageSupported) {
+  const auto kp = keygen(Bytes(32, 11));
+  const Bytes sig = sign(kp.sk, {});
+  EXPECT_TRUE(verify(kp.pk, {}, sig));
+  EXPECT_FALSE(verify(kp.pk, as_bytes("x"), sig));
+}
+
+TEST(Dilithium, RejectsBadSeed) {
+  EXPECT_THROW(keygen(Bytes(31, 0)), std::invalid_argument);
+  EXPECT_THROW(sign(Bytes(100, 0), as_bytes("m")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace convolve::crypto::dilithium

@@ -1,0 +1,124 @@
+#include "convolve/crypto/ed25519.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::crypto {
+namespace {
+
+Bytes arr_to_bytes(ByteView v) { return Bytes(v.begin(), v.end()); }
+
+// RFC 8032 section 7.1, TEST 1 (empty message).
+TEST(Ed25519, Rfc8032Test1) {
+  const Bytes seed = from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto kp = ed25519_keypair(seed);
+  EXPECT_EQ(to_hex({kp.public_key.data(), 32}),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  const auto sig = ed25519_sign(kp, {});
+  EXPECT_EQ(to_hex({sig.data(), 64}),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(ed25519_verify({kp.public_key.data(), 32}, {}, {sig.data(), 64}));
+}
+
+// RFC 8032 TEST 2 (one-byte message 0x72).
+TEST(Ed25519, Rfc8032Test2) {
+  const Bytes seed = from_hex(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const auto kp = ed25519_keypair(seed);
+  EXPECT_EQ(to_hex({kp.public_key.data(), 32}),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  const Bytes msg = {0x72};
+  const auto sig = ed25519_sign(kp, msg);
+  EXPECT_EQ(to_hex({sig.data(), 64}),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+}
+
+// RFC 8032 TEST 3 (two-byte message af82).
+TEST(Ed25519, Rfc8032Test3) {
+  const Bytes seed = from_hex(
+      "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7");
+  const auto kp = ed25519_keypair(seed);
+  EXPECT_EQ(to_hex({kp.public_key.data(), 32}),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025");
+  const Bytes msg = from_hex("af82");
+  const auto sig = ed25519_sign(kp, msg);
+  EXPECT_EQ(to_hex({sig.data(), 64}),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a");
+  EXPECT_TRUE(
+      ed25519_verify({kp.public_key.data(), 32}, msg, {sig.data(), 64}));
+}
+
+TEST(Ed25519, TamperedMessageRejected) {
+  const Bytes seed(32, 0x42);
+  const auto kp = ed25519_keypair(seed);
+  const auto msg_view = as_bytes("attestation report");
+  const Bytes msg(msg_view.begin(), msg_view.end());
+  const auto sig = ed25519_sign(kp, msg);
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(
+      ed25519_verify({kp.public_key.data(), 32}, tampered, {sig.data(), 64}));
+}
+
+TEST(Ed25519, TamperedSignatureRejected) {
+  const Bytes seed(32, 0x43);
+  const auto kp = ed25519_keypair(seed);
+  const Bytes msg = {1, 2, 3};
+  auto sig = ed25519_sign(kp, msg);
+  sig[10] ^= 0x20;
+  EXPECT_FALSE(
+      ed25519_verify({kp.public_key.data(), 32}, msg, {sig.data(), 64}));
+}
+
+TEST(Ed25519, WrongKeyRejected) {
+  const auto kp1 = ed25519_keypair(Bytes(32, 1));
+  const auto kp2 = ed25519_keypair(Bytes(32, 2));
+  const Bytes msg = {9};
+  const auto sig = ed25519_sign(kp1, msg);
+  EXPECT_FALSE(
+      ed25519_verify({kp2.public_key.data(), 32}, msg, {sig.data(), 64}));
+}
+
+TEST(Ed25519, MalformedInputsRejected) {
+  const auto kp = ed25519_keypair(Bytes(32, 3));
+  const Bytes msg = {1};
+  const auto sig = ed25519_sign(kp, msg);
+  EXPECT_FALSE(ed25519_verify(Bytes(31, 0), msg, {sig.data(), 64}));
+  EXPECT_FALSE(ed25519_verify({kp.public_key.data(), 32}, msg, Bytes(63, 0)));
+  // Non-canonical S (>= L): set high bits of S.
+  auto bad = sig;
+  for (int i = 32; i < 64; ++i) bad[i] = 0xff;
+  EXPECT_FALSE(
+      ed25519_verify({kp.public_key.data(), 32}, msg, {bad.data(), 64}));
+}
+
+TEST(Ed25519, SignatureIsDeterministic) {
+  const auto kp = ed25519_keypair(Bytes(32, 7));
+  const Bytes msg = {5, 5, 5};
+  EXPECT_EQ(arr_to_bytes({ed25519_sign(kp, msg).data(), 64}),
+            arr_to_bytes({ed25519_sign(kp, msg).data(), 64}));
+}
+
+TEST(Ed25519, RejectsBadSeedLength) {
+  EXPECT_THROW(ed25519_keypair(Bytes(16, 0)), std::invalid_argument);
+}
+
+TEST(Ed25519, ManySeedsRoundTrip) {
+  for (int i = 0; i < 8; ++i) {
+    Bytes seed(32, 0);
+    seed[0] = static_cast<std::uint8_t>(i * 37 + 1);
+    seed[31] = static_cast<std::uint8_t>(i);
+    const auto kp = ed25519_keypair(seed);
+    Bytes msg(i + 1, static_cast<std::uint8_t>(i));
+    const auto sig = ed25519_sign(kp, msg);
+    EXPECT_TRUE(
+        ed25519_verify({kp.public_key.data(), 32}, msg, {sig.data(), 64}))
+        << "seed " << i;
+  }
+}
+
+}  // namespace
+}  // namespace convolve::crypto

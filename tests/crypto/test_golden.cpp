@@ -1,0 +1,38 @@
+// Golden regression vectors for the lattice schemes.
+//
+// Kyber and Dilithium here are self-consistent rather than KAT-validated
+// (see DESIGN.md); these pinned digests of deterministic outputs protect
+// against *silent* algorithm drift: any change to the NTT, samplers,
+// packing or transforms changes these values and must be a conscious
+// decision.
+#include <gtest/gtest.h>
+
+#include "convolve/crypto/dilithium.hpp"
+#include "convolve/crypto/keccak.hpp"
+#include "convolve/crypto/kyber.hpp"
+
+namespace convolve::crypto {
+namespace {
+
+TEST(Golden, KyberKeygenEncaps) {
+  const auto kp = kyber::keygen(Bytes(64, 0x31));
+  EXPECT_EQ(to_hex(sha3_256(kp.ek)),
+            "f9e4bbe6d3d4705ad12d055d8354b0b267a1d6e5b4b54991bee7ee767d2f8fee");
+  const auto enc = kyber::encaps(kp.ek, Bytes(32, 0x32));
+  EXPECT_EQ(to_hex(sha3_256(enc.ciphertext)),
+            "54f939a38a323586afc2f23959eeaa2d64a510cef4312b7a254743ff55bb09a4");
+  EXPECT_EQ(to_hex({enc.shared_secret.data(), 32}),
+            "319222e8a2aac79c8296135025ec789514f8cb5c0ef2120689511bed283f7318");
+}
+
+TEST(Golden, DilithiumKeygenSign) {
+  const auto kp = dilithium::keygen(Bytes(32, 0x33));
+  EXPECT_EQ(to_hex(sha3_256(kp.pk)),
+            "64905e653edf16a54bddc2cba954c7d8c0ef61bffde277eaf3b7e7ba8c51c328");
+  const Bytes sig = dilithium::sign(kp.sk, as_bytes("golden"));
+  EXPECT_EQ(to_hex(sha3_256(sig)),
+            "6b232df6750e13a595e2cbba2878b2a29f61445097d475c1b0c00e93ac2623e0");
+}
+
+}  // namespace
+}  // namespace convolve::crypto

@@ -1,0 +1,71 @@
+#include "convolve/crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/crypto/sha512.hpp"
+
+namespace convolve::crypto {
+namespace {
+
+// RFC 4231 test case 1 (HMAC-SHA-512).
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha512(key, as_bytes("Hi There"))),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde"
+            "daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854");
+}
+
+// RFC 4231 test case 2: key shorter than block, text "what do ya want...".
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      to_hex(hmac_sha512(as_bytes("Jefe"),
+                         as_bytes("what do ya want for nothing?"))),
+      "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554"
+      "9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737");
+}
+
+// Keys longer than the block size must be hashed first.
+TEST(Hmac, LongKeyMatchesHashedKey) {
+  const Bytes long_key(200, 0xaa);
+  const auto hashed = Sha512::hash(long_key);
+  EXPECT_EQ(hmac_sha512(long_key, as_bytes("msg")),
+            hmac_sha512({hashed.data(), hashed.size()}, as_bytes("msg")));
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+  EXPECT_NE(hmac_sha512(as_bytes("k1"), as_bytes("m")),
+            hmac_sha512(as_bytes("k2"), as_bytes("m")));
+}
+
+TEST(Hkdf, DeterministicAndLengthExact) {
+  const Bytes out1 = hkdf(as_bytes("salt"), as_bytes("ikm"), as_bytes("info"), 42);
+  const Bytes out2 = hkdf(as_bytes("salt"), as_bytes("ikm"), as_bytes("info"), 42);
+  EXPECT_EQ(out1.size(), 42u);
+  EXPECT_EQ(out1, out2);
+}
+
+TEST(Hkdf, LongOutputIsPrefixConsistent) {
+  const Bytes long_out =
+      hkdf(as_bytes("s"), as_bytes("i"), as_bytes("x"), 200);
+  const Bytes short_out =
+      hkdf(as_bytes("s"), as_bytes("i"), as_bytes("x"), 64);
+  EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 64), short_out);
+}
+
+TEST(Hkdf, InfoSeparatesOutputs) {
+  EXPECT_NE(hkdf(as_bytes("s"), as_bytes("i"), as_bytes("a"), 32),
+            hkdf(as_bytes("s"), as_bytes("i"), as_bytes("b"), 32));
+}
+
+TEST(Hkdf, SaltSeparatesOutputs) {
+  EXPECT_NE(hkdf(as_bytes("s1"), as_bytes("i"), as_bytes("a"), 32),
+            hkdf(as_bytes("s2"), as_bytes("i"), as_bytes("a"), 32));
+}
+
+TEST(Hkdf, RejectsOversizeOutput) {
+  EXPECT_THROW(hkdf_expand(Bytes(64, 1), as_bytes("x"), 255 * 64 + 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace convolve::crypto

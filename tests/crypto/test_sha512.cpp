@@ -1,0 +1,60 @@
+#include "convolve/crypto/sha512.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::crypto {
+namespace {
+
+TEST(Sha512, Empty) {
+  EXPECT_EQ(to_hex(sha512({})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(to_hex(sha512(as_bytes("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot) {
+  Sha512 h;
+  h.update(as_bytes("a"));
+  h.update(as_bytes("b"));
+  h.update(as_bytes("c"));
+  const auto d = h.digest();
+  EXPECT_EQ(Bytes(d.begin(), d.end()), sha512(as_bytes("abc")));
+}
+
+TEST(Sha512, ExactBlockBoundary) {
+  // 128-byte message: padding requires a full extra block.
+  const Bytes msg(128, 0x61);
+  Sha512 whole;
+  whole.update(msg);
+  Sha512 split;
+  split.update({msg.data(), 64});
+  split.update({msg.data() + 64, 64});
+  EXPECT_EQ(whole.digest(), split.digest());
+}
+
+TEST(Sha512, MessageJustUnderPadBoundary) {
+  // 111 and 112 bytes straddle the single-vs-double padding block case.
+  const Bytes m111(111, 0x42);
+  const Bytes m112(112, 0x42);
+  EXPECT_NE(sha512(m111), sha512(m112));
+  // Determinism.
+  EXPECT_EQ(sha512(m111), sha512(m111));
+}
+
+TEST(Sha512, LargeInput) {
+  Bytes big(100000, 0x7e);
+  Sha512 h;
+  for (std::size_t i = 0; i < big.size(); i += 999) {
+    h.update({big.data() + i, std::min<std::size_t>(999, big.size() - i)});
+  }
+  const auto d1 = h.digest();
+  EXPECT_EQ(Bytes(d1.begin(), d1.end()), sha512(big));
+}
+
+}  // namespace
+}  // namespace convolve::crypto

@@ -1,0 +1,122 @@
+#include "convolve/framework/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/cim/attack.hpp"
+
+namespace convolve::framework {
+namespace {
+
+Bytes entropy() { return Bytes(32, 0x61); }
+
+TEST(Profile, PresetsAreSelfConsistent) {
+  for (const auto& p :
+       {speech_quality_enhancement(), acoustic_scene_analysis(),
+        traffic_supervision(), satellite_imagery()}) {
+    EXPECT_TRUE(p.validate().empty()) << p.name << ": " << p.validate();
+  }
+}
+
+TEST(Profile, ValidationCatchesIncoherentChoices) {
+  SecurityProfile p = speech_quality_enhancement();
+  p.masking_order = 0;  // physical access without masking
+  EXPECT_FALSE(p.validate().empty());
+
+  SecurityProfile q = satellite_imagery();
+  q.post_quantum_crypto = false;  // quantum adversary without PQC
+  EXPECT_FALSE(q.validate().empty());
+
+  SecurityProfile r = acoustic_scene_analysis();
+  r.cim_countermeasures = false;
+  EXPECT_FALSE(r.validate().empty());
+}
+
+TEST(Profile, SatelliteShedsSideChannelOverhead) {
+  // The paper's own modularity example.
+  const auto sat = satellite_imagery();
+  EXPECT_FALSE(sat.physical_access);
+  EXPECT_EQ(sat.masking_order, 0u);
+  EXPECT_FALSE(sat.cim_countermeasures);
+  EXPECT_TRUE(sat.post_quantum_crypto);
+}
+
+TEST(Device, RejectsInvalidProfile) {
+  SecurityProfile bad = speech_quality_enhancement();
+  bad.masking_order = 0;
+  EXPECT_THROW(EdgeDevice(bad, entropy()), std::invalid_argument);
+}
+
+TEST(Device, SatelliteCheaperCryptoCoreThanTraffic) {
+  const EdgeDevice sat(satellite_imagery(), entropy());
+  const EdgeDevice traffic(traffic_supervision(), entropy());
+  // Order-0 vs order-2 AES: the satellite sheds the masking overhead.
+  EXPECT_LT(sat.cost().aes_area_ge, traffic.cost().aes_area_ge);
+  EXPECT_DOUBLE_EQ(sat.cost().area_multiplier, 1.0);
+  EXPECT_GT(traffic.cost().area_multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(sat.cost().aes_rand_bits_per_cycle, 0.0);
+}
+
+TEST(Device, PqSelectionDrivesAttestationCosts) {
+  const EdgeDevice speech(speech_quality_enhancement(), entropy());
+  const EdgeDevice sat(satellite_imagery(), entropy());
+  EXPECT_EQ(speech.cost().attestation_report_bytes, 1320u);
+  EXPECT_EQ(sat.cost().attestation_report_bytes, 7472u);
+  EXPECT_LT(speech.cost().bootrom_bytes, sat.cost().bootrom_bytes);
+  EXPECT_EQ(speech.cost().sm_stack_bytes, 8u * 1024);
+  EXPECT_EQ(sat.cost().sm_stack_bytes, 128u * 1024);
+}
+
+TEST(Device, TeeWorksEndToEndWhenSelected) {
+  EdgeDevice device(acoustic_scene_analysis(), entropy());
+  ASSERT_TRUE(device.has_tee());
+  auto& sm = device.security_monitor();
+  const int enclave = sm.create_enclave(Bytes(128, 0xE2), 8192);
+  const auto report = sm.attest(enclave, as_bytes("scene-model-v1"));
+  EXPECT_TRUE(tee::verify_report(report, sm.trust_anchor()));
+  EXPECT_EQ(report.serialize().size(), tee::kPqReportSize);
+}
+
+TEST(Device, TeeAbsentWhenNotSelected) {
+  SecurityProfile p = satellite_imagery();
+  p.tee_enclaves = false;
+  EdgeDevice device(p, entropy());
+  EXPECT_FALSE(device.has_tee());
+  EXPECT_THROW(device.security_monitor(), std::logic_error);
+}
+
+TEST(Device, CimCountermeasuresFollowProfile) {
+  const EdgeDevice speech(speech_quality_enhancement(), entropy());
+  std::vector<int> weights(64, 9);
+  auto hardened = speech.make_cim_macro(weights);
+  EXPECT_TRUE(hardened.config().shuffle_rows);
+  EXPECT_GT(hardened.config().dummy_rows, 0);
+
+  const EdgeDevice sat(satellite_imagery(), entropy());
+  auto bare = sat.make_cim_macro(weights);
+  EXPECT_FALSE(bare.config().shuffle_rows);
+  EXPECT_EQ(bare.config().dummy_rows, 0);
+}
+
+TEST(Device, ProfileCountermeasuresActuallyStopTheAttack) {
+  // End-to-end: the speech profile's macro resists the paper's attack;
+  // the satellite profile's macro (no physical access assumed) does not.
+  std::vector<int> weights(64);
+  Xoshiro256 rng(4);
+  for (auto& w : weights) w = static_cast<int>(rng.uniform(16));
+
+  const EdgeDevice speech(speech_quality_enhancement(), entropy());
+  auto protected_macro = speech.make_cim_macro(weights);
+  cim::AttackConfig attack;
+  auto protected_result = cim::run_attack(protected_macro, attack);
+  cim::evaluate_against_ground_truth(protected_result, weights);
+  EXPECT_LT(protected_result.accuracy, 0.5);
+
+  const EdgeDevice sat(satellite_imagery(), entropy());
+  auto exposed_macro = sat.make_cim_macro(weights);
+  auto exposed_result = cim::run_attack(exposed_macro, attack);
+  cim::evaluate_against_ground_truth(exposed_result, weights);
+  EXPECT_DOUBLE_EQ(exposed_result.accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace convolve::framework

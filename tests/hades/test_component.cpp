@@ -1,0 +1,149 @@
+#include "convolve/hades/component.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/hades/library.hpp"
+
+namespace convolve::hades {
+namespace {
+
+ComponentPtr tiny_component() {
+  // Two variants: a leaf and a variant with one child of 3 leaves -> 1+3=4.
+  const ComponentPtr child = make_component(
+      "child",
+      {
+          leaf("c0", [](unsigned) { return Metrics{1, 1, 0}; }),
+          leaf("c1", [](unsigned) { return Metrics{2, 2, 0}; }),
+          leaf("c2", [](unsigned) { return Metrics{3, 3, 0}; }),
+      });
+  Variant nested;
+  nested.name = "nested";
+  nested.children = {child};
+  nested.combine = [](const std::vector<ChildEval>& ch, unsigned) {
+    Metrics m = ch[0].metrics;
+    m.area_ge += 10;
+    return m;
+  };
+  return make_component(
+      "tiny", {leaf("solo", [](unsigned) { return Metrics{5, 5, 5}; }),
+               std::move(nested)});
+}
+
+TEST(Component, ConfigCountSumsOverVariantsMultipliesChildren) {
+  EXPECT_EQ(tiny_component()->config_count(), 4u);
+}
+
+TEST(Component, DefaultChoiceIsValid) {
+  const auto c = tiny_component();
+  const Choice ch = default_choice(*c);
+  EXPECT_TRUE(valid_choice(*c, ch));
+  EXPECT_EQ(ch.variant, 0);
+}
+
+TEST(Component, EvaluateFoldsChildMetrics) {
+  const auto c = tiny_component();
+  Choice ch;
+  ch.variant = 1;
+  ch.children.push_back(Choice{2, {}});
+  EXPECT_TRUE(valid_choice(*c, ch));
+  const Metrics m = evaluate(*c, ch, 0);
+  EXPECT_DOUBLE_EQ(m.area_ge, 13.0);  // child c2 area 3 + 10
+  EXPECT_DOUBLE_EQ(m.latency_cc, 3.0);
+}
+
+TEST(Component, EvaluateRejectsBadChoice) {
+  const auto c = tiny_component();
+  Choice bad;
+  bad.variant = 7;
+  EXPECT_THROW(evaluate(*c, bad, 0), std::out_of_range);
+  Choice arity;
+  arity.variant = 1;  // needs one child
+  EXPECT_THROW(evaluate(*c, arity, 0), std::invalid_argument);
+}
+
+TEST(Component, DescribeNamesVariants) {
+  const auto c = tiny_component();
+  Choice ch;
+  ch.variant = 1;
+  ch.children.push_back(Choice{0, {}});
+  EXPECT_EQ(describe(*c, ch), "tiny=nested[child=c0]");
+}
+
+TEST(Component, EmptyVariantListRejected) {
+  EXPECT_THROW(Component("bad", {}), std::invalid_argument);
+}
+
+TEST(Component, MetricsArithmetic) {
+  const Metrics a{1, 2, 3};
+  const Metrics b{10, 20, 30};
+  const Metrics s = a + b;
+  EXPECT_DOUBLE_EQ(s.area_ge, 11.0);
+  EXPECT_DOUBLE_EQ(s.latency_cc, 22.0);
+  EXPECT_DOUBLE_EQ(s.rand_bits, 33.0);
+}
+
+TEST(Component, DominanceIsPartialOrder) {
+  const Metrics small{1, 1, 1};
+  const Metrics big{2, 2, 2};
+  const Metrics mixed{0.5, 3, 1};
+  EXPECT_TRUE(dominates(small, big));
+  EXPECT_FALSE(dominates(big, small));
+  EXPECT_FALSE(dominates(small, mixed));
+  EXPECT_FALSE(dominates(mixed, small));
+  EXPECT_TRUE(dominates(small, small));
+}
+
+TEST(Component, ScoreMatchesGoals) {
+  const Metrics m{10, 5, 2};
+  EXPECT_DOUBLE_EQ(score(m, Goal::kArea), 10.0);
+  EXPECT_DOUBLE_EQ(score(m, Goal::kLatency), 5.0);
+  EXPECT_DOUBLE_EQ(score(m, Goal::kRandomness), 2.0);
+  EXPECT_DOUBLE_EQ(score(m, Goal::kAreaLatencyProduct), 50.0);
+  EXPECT_DOUBLE_EQ(score(m, Goal::kAreaLatencyRandProduct), 150.0);
+}
+
+// --- Library configuration counts: the paper's Table I, column 2 -------
+
+struct CountCase {
+  const char* name;
+  std::uint64_t expected;
+};
+
+class LibraryCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LibraryCountTest, ConfigCountMatchesPaper) {
+  const auto suite = library::table1_suite();
+  const auto& entry = suite[GetParam()];
+  EXPECT_EQ(entry.factory()->config_count(), entry.expected_configs)
+      << entry.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, LibraryCountTest,
+                         ::testing::Range<std::size_t>(0, 8));
+
+TEST(Library, MaskedCostsGrowWithOrder) {
+  // Property: for every algorithm, the default configuration's area and
+  // randomness are non-decreasing in the masking order.
+  for (const auto& entry : library::table1_suite()) {
+    const auto c = entry.factory();
+    const Choice ch = default_choice(*c);
+    Metrics prev = evaluate(*c, ch, 0);
+    for (unsigned d = 1; d <= 3; ++d) {
+      const Metrics cur = evaluate(*c, ch, d);
+      EXPECT_GE(cur.area_ge, prev.area_ge) << entry.name << " d=" << d;
+      EXPECT_GE(cur.rand_bits, prev.rand_bits) << entry.name << " d=" << d;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Library, UnmaskedNeedsNoRandomness) {
+  for (const auto& entry : library::table1_suite()) {
+    const auto c = entry.factory();
+    const Choice ch = default_choice(*c);
+    EXPECT_DOUBLE_EQ(evaluate(*c, ch, 0).rand_bits, 0.0) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace convolve::hades

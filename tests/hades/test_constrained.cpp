@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "convolve/hades/library.hpp"
+#include "convolve/hades/search.hpp"
+
+namespace convolve::hades {
+namespace {
+
+TEST(Constrained, UnconstrainedMatchesExhaustive) {
+  const auto c = library::aes256();
+  const auto plain = exhaustive_search(*c, 1, Goal::kLatency);
+  const auto budgeted = constrained_search(*c, 1, Goal::kLatency, {});
+  EXPECT_DOUBLE_EQ(plain.cost, budgeted.cost);
+}
+
+TEST(Constrained, AreaBudgetForcesSlowerDesign) {
+  // The paper's Table II in reverse: the fastest masked AES costs 1.2 MGE;
+  // under a 150 kGE area budget the explorer must settle for the
+  // iterative design (75 cc), and under 50 kGE for the serial one.
+  const auto c = library::aes256();
+  Constraints mid;
+  mid.max_area_ge = 150'000;
+  const auto r_mid = constrained_search(*c, 1, Goal::kLatency, mid);
+  ASSERT_TRUE(feasible(r_mid));
+  EXPECT_DOUBLE_EQ(r_mid.metrics.latency_cc, 75.0);
+  EXPECT_LE(r_mid.metrics.area_ge, 150'000);
+
+  Constraints tight;
+  tight.max_area_ge = 50'000;
+  const auto r_tight = constrained_search(*c, 1, Goal::kLatency, tight);
+  ASSERT_TRUE(feasible(r_tight));
+  EXPECT_GT(r_tight.metrics.latency_cc, 1000.0);
+}
+
+TEST(Constrained, RandomnessBudgetSelectsHpcGadgets) {
+  // A TRNG limited to 100 fresh bits/cycle cannot feed the DOM designs.
+  const auto c = library::aes256();
+  Constraints trng;
+  trng.max_rand_bits = 100;
+  const auto r = constrained_search(*c, 1, Goal::kLatency, trng);
+  ASSERT_TRUE(feasible(r));
+  EXPECT_LE(r.metrics.rand_bits, 100);
+  EXPECT_DOUBLE_EQ(r.metrics.rand_bits, 68.0);  // the HPC shared design
+}
+
+TEST(Constrained, InfeasibleBudgetReported) {
+  const auto c = library::aes256();
+  Constraints impossible;
+  impossible.max_area_ge = 1000;  // no masked AES fits in 1 kGE
+  const auto r = constrained_search(*c, 1, Goal::kLatency, impossible);
+  EXPECT_FALSE(feasible(r));
+}
+
+TEST(Constrained, SatisfiesChecksEveryAxis) {
+  const Metrics m{100, 10, 5};
+  EXPECT_TRUE(satisfies(m, {}));
+  EXPECT_TRUE(satisfies(m, {100, 10, 5}));
+  EXPECT_FALSE(satisfies(m, {99, 10, 5}));
+  EXPECT_FALSE(satisfies(m, {100, 9, 5}));
+  EXPECT_FALSE(satisfies(m, {100, 10, 4}));
+}
+
+TEST(Constrained, LatencyBudgetWithAreaGoal) {
+  // "Fastest design that fits" vs "smallest design that is fast enough".
+  const auto c = library::chacha20();
+  Constraints deadline;
+  deadline.max_latency_cc = 200;
+  const auto r = constrained_search(*c, 1, Goal::kArea, deadline);
+  ASSERT_TRUE(feasible(r));
+  EXPECT_LE(r.metrics.latency_cc, 200);
+  // The unconstrained area optimum is slower than the deadline.
+  const auto unconstrained = exhaustive_search(*c, 1, Goal::kArea);
+  EXPECT_GT(unconstrained.metrics.latency_cc, 200);
+  EXPECT_GE(r.metrics.area_ge, unconstrained.metrics.area_ge);
+}
+
+}  // namespace
+}  // namespace convolve::hades

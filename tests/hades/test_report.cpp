@@ -1,0 +1,69 @@
+#include "convolve/hades/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/hades/library.hpp"
+
+namespace convolve::hades {
+namespace {
+
+TEST(Report, FrontierTableHasHeaderAndRows) {
+  const auto c = library::adder_mod_q();
+  const std::string md = markdown_frontier(*c, 1);
+  EXPECT_NE(md.find("# Pareto frontier: adder-mod-q (d = 1)"),
+            std::string::npos);
+  EXPECT_NE(md.find("| area [GE] | latency [cc] | randomness [bits] |"),
+            std::string::npos);
+  // At least two designs on the frontier (area/latency trade-off exists).
+  const std::size_t rows = std::count(md.begin(), md.end(), '\n');
+  EXPECT_GT(rows, 5u);
+}
+
+TEST(Report, FrontierRespectsRowCap) {
+  const auto c = library::chacha20();
+  const std::string md = markdown_frontier(*c, 1, 3);
+  // Header (4 lines incl. blank) + at most 3 data rows.
+  const std::size_t rows = std::count(md.begin(), md.end(), '\n');
+  EXPECT_LE(rows, 4u + 3u);
+}
+
+TEST(Report, FrontierRowsAreSortedByArea) {
+  const auto c = library::adder_core();
+  const std::string md = markdown_frontier(*c, 2);
+  // Extract the area column.
+  std::vector<double> areas;
+  std::size_t pos = 0;
+  while ((pos = md.find("\n| ", pos)) != std::string::npos) {
+    pos += 3;
+    if (!isdigit(md[pos])) continue;
+    areas.push_back(std::stod(md.substr(pos)));
+  }
+  ASSERT_GE(areas.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(areas.begin(), areas.end()));
+}
+
+TEST(Report, GoalSummaryContainsAllRequestedCells) {
+  const auto c = library::keccak();
+  const unsigned orders[] = {0u, 1u};
+  const Goal goals[] = {Goal::kArea, Goal::kLatency};
+  const std::string md = markdown_goal_summary(*c, orders, goals);
+  EXPECT_NE(md.find("| 0 | A |"), std::string::npos);
+  EXPECT_NE(md.find("| 0 | L |"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | A |"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | L |"), std::string::npos);
+  EXPECT_NE(md.find("keccak="), std::string::npos);  // design description
+}
+
+TEST(Report, GoalSummaryMatchesSearchResults) {
+  const auto c = library::adder_core();
+  const unsigned orders[] = {1u};
+  const Goal goals[] = {Goal::kArea};
+  const std::string md = markdown_goal_summary(*c, orders, goals);
+  const auto best = exhaustive_search(*c, 1, Goal::kArea);
+  char expect[64];
+  std::snprintf(expect, sizeof(expect), "| %.1f |", best.metrics.area_ge);
+  EXPECT_NE(md.find(expect), std::string::npos);
+}
+
+}  // namespace
+}  // namespace convolve::hades

@@ -1,0 +1,153 @@
+#include "convolve/hades/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/hades/library.hpp"
+
+namespace convolve::hades {
+namespace {
+
+TEST(Search, ForEachVisitsEveryConfiguration) {
+  const auto c = library::adder_mod_q();
+  std::uint64_t n = for_each_config(*c, 0, [](const Choice&, const Metrics&) {});
+  EXPECT_EQ(n, 42u);
+  EXPECT_EQ(n, c->config_count());
+}
+
+TEST(Search, ForEachVisitsDistinctConfigurations) {
+  const auto c = library::keccak();
+  std::vector<std::string> seen;
+  for_each_config(*c, 0, [&](const Choice& ch, const Metrics&) {
+    seen.push_back(describe(*c, ch));
+  });
+  EXPECT_EQ(seen.size(), 14u);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Search, ExhaustiveFindsMinimum) {
+  const auto c = library::adder_core();
+  const auto r = exhaustive_search(*c, 0, Goal::kLatency);
+  // The fastest unmasked 32-bit adders are single-cycle prefix adders.
+  EXPECT_DOUBLE_EQ(r.metrics.latency_cc, 1.0);
+  EXPECT_EQ(r.evaluations, 7u);
+  // Verify optimality directly against the full enumeration.
+  for_each_config(*c, 0, [&](const Choice&, const Metrics& m) {
+    EXPECT_GE(m.latency_cc, r.metrics.latency_cc);
+  });
+}
+
+TEST(Search, ExhaustiveMultiGoalSinglePass) {
+  const auto c = library::adder_mod_q();
+  const Goal goals[] = {Goal::kArea, Goal::kLatency,
+                        Goal::kAreaLatencyProduct};
+  const auto results = exhaustive_search_multi(*c, 1, goals);
+  ASSERT_EQ(results.size(), 3u);
+  // Each single-goal search must agree.
+  for (std::size_t g = 0; g < 3; ++g) {
+    const auto single = exhaustive_search(*c, 1, goals[g]);
+    EXPECT_DOUBLE_EQ(results[g].cost, single.cost);
+  }
+  // Area-optimal is never faster than latency-optimal.
+  EXPECT_LE(results[1].metrics.latency_cc, results[0].metrics.latency_cc);
+}
+
+TEST(Search, RandomChoiceIsValid) {
+  Xoshiro256 rng(1);
+  const auto c = library::aes256();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(valid_choice(*c, random_choice(*c, rng)));
+  }
+}
+
+class LocalSearchTest : public ::testing::TestWithParam<Goal> {};
+
+TEST_P(LocalSearchTest, NeverBeatsExhaustiveAndConvergesWithRestarts) {
+  const Goal goal = GetParam();
+  const auto c = library::chacha20();
+  const auto exact = exhaustive_search(*c, 1, goal);
+  Xoshiro256 rng(7);
+  const auto heur = local_search(*c, 1, goal, 20, rng);
+  EXPECT_GE(heur.cost, exact.cost);                    // cannot beat optimum
+  EXPECT_LE(heur.cost, exact.cost * 1.5 + 1e-9);       // and lands close
+  EXPECT_LT(heur.evaluations, c->config_count() * 2);  // without full sweep
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Goals, LocalSearchTest,
+    ::testing::Values(Goal::kArea, Goal::kLatency, Goal::kRandomness,
+                      Goal::kAreaLatencyProduct,
+                      Goal::kAreaLatencyRandProduct),
+    [](const auto& info) { return goal_name(info.param); });
+
+TEST(Search, LocalSearchMoreStartsNeverWorse) {
+  const auto c = library::kyber_cpa();
+  Xoshiro256 rng1(11), rng2(11);
+  const auto few = local_search(*c, 1, Goal::kAreaLatencyProduct, 2, rng1);
+  const auto many = local_search(*c, 1, Goal::kAreaLatencyProduct, 25, rng2);
+  EXPECT_LE(many.cost, few.cost);
+}
+
+TEST(Search, LocalSearchRejectsBadStartCount) {
+  const auto c = library::adder_core();
+  Xoshiro256 rng(3);
+  EXPECT_THROW(local_search(*c, 0, Goal::kArea, 0, rng),
+               std::invalid_argument);
+}
+
+// --- Pareto folding ------------------------------------------------------
+
+class ParetoTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParetoTest, FoldingMatchesExhaustiveOptimaOnEveryGoal) {
+  const unsigned d = GetParam();
+  // Mid-size spaces where exhaustive is still fast.
+  for (auto factory : {&library::adder_mod_q, &library::sparse_poly_mul,
+                       &library::keccak, &library::chacha20}) {
+    const auto c = factory();
+    for (Goal goal : {Goal::kArea, Goal::kLatency, Goal::kRandomness,
+                      Goal::kAreaLatencyProduct}) {
+      const auto exact = exhaustive_search(*c, d, goal);
+      const double folded = pareto_optimal_cost(*c, d, goal);
+      EXPECT_NEAR(folded, exact.cost, 1e-9 * (1.0 + exact.cost))
+          << c->name() << " goal " << goal_name(goal) << " d " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ParetoTest, ::testing::Values(0u, 1u, 2u),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(Search, ParetoFrontierEntriesAreMutuallyNonDominated) {
+  const auto c = library::chacha20();
+  const auto frontier = pareto_fold(*c, 1);
+  ASSERT_FALSE(frontier.empty());
+  for (const auto& a : frontier) {
+    for (const auto& b : frontier) {
+      if (&a == &b || a.variant != b.variant) continue;
+      if (a.metrics == b.metrics) continue;
+      EXPECT_FALSE(dominates(a.metrics, b.metrics) &&
+                   dominates(b.metrics, a.metrics));
+    }
+  }
+}
+
+TEST(Search, ParetoFoldPrunesSpace) {
+  // The frontier must be far smaller than the full space.
+  const auto c = library::kyber_cpa();  // 40362 configurations
+  const auto frontier = pareto_fold(*c, 1);
+  EXPECT_LT(frontier.size(), 2000u);
+  EXPECT_GE(frontier.size(), 1u);
+}
+
+TEST(Search, ParetoFoldMatchesExhaustiveOnKyberCpa) {
+  const auto c = library::kyber_cpa();
+  const auto exact = exhaustive_search(*c, 1, Goal::kAreaLatencyProduct);
+  EXPECT_NEAR(pareto_optimal_cost(*c, 1, Goal::kAreaLatencyProduct),
+              exact.cost, 1e-6 * exact.cost);
+}
+
+}  // namespace
+}  // namespace convolve::hades

@@ -1,0 +1,193 @@
+#include "convolve/masking/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/common/rng.hpp"
+
+namespace convolve::masking {
+namespace {
+
+TEST(Circuit, SingleAndTruthTable) {
+  const Circuit c = single_and_circuit();
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const auto out = c.evaluate({static_cast<std::uint8_t>(a),
+                                   static_cast<std::uint8_t>(b)});
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0], a & b);
+    }
+  }
+}
+
+TEST(Circuit, FullAdderTruthTable) {
+  const Circuit c = full_adder_circuit();
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int cin = 0; cin < 2; ++cin) {
+        const auto out = c.evaluate({static_cast<std::uint8_t>(a),
+                                     static_cast<std::uint8_t>(b),
+                                     static_cast<std::uint8_t>(cin)});
+        const int total = a + b + cin;
+        EXPECT_EQ(out[0], total & 1);
+        EXPECT_EQ(out[1], (total >> 1) & 1);
+      }
+    }
+  }
+}
+
+TEST(Circuit, RippleAdderAddsCorrectly) {
+  const int width = 8;
+  const Circuit c = ripple_adder_circuit(width);
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.uniform(256));
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.uniform(256));
+    std::vector<std::uint8_t> in;
+    for (int i = 0; i < width; ++i) {
+      in.push_back(static_cast<std::uint8_t>((a >> i) & 1));
+    }
+    for (int i = 0; i < width; ++i) {
+      in.push_back(static_cast<std::uint8_t>((b >> i) & 1));
+    }
+    const auto out = c.evaluate(in);
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      sum |= static_cast<std::uint32_t>(out[i]) << i;
+    }
+    EXPECT_EQ(sum, a + b);
+  }
+}
+
+TEST(Circuit, GateCounts) {
+  const Circuit c = full_adder_circuit();
+  EXPECT_EQ(c.and_count(), 2);
+  EXPECT_EQ(c.xor_count(), 3);
+  EXPECT_EQ(c.not_count(), 0);
+  EXPECT_EQ(c.num_inputs(), 3);
+}
+
+TEST(Circuit, InvalidReferencesThrow) {
+  Circuit c;
+  const int a = c.add_input();
+  EXPECT_THROW(c.add_and(a, 99), std::out_of_range);
+  EXPECT_THROW(c.add_not(-1), std::out_of_range);
+  EXPECT_THROW(c.mark_output(5), std::out_of_range);
+}
+
+TEST(Circuit, EvaluateChecksArity) {
+  const Circuit c = single_and_circuit();
+  EXPECT_THROW(c.evaluate({1}), std::invalid_argument);
+  EXPECT_THROW(c.evaluate({1, 0}, {1}), std::invalid_argument);
+}
+
+class MaskedCircuitTest : public ::testing::TestWithParam<unsigned> {};
+
+// The masked circuit must compute the same function for every masking of
+// the inputs and every gadget randomness.
+TEST_P(MaskedCircuitTest, MaskedSingleAndIsCorrect) {
+  const unsigned order = GetParam();
+  const Circuit plain = single_and_circuit();
+  const MaskedCircuit mc = mask_circuit(plain, order);
+  Xoshiro256 rng(5);
+  const unsigned n_shares = order + 1;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint8_t a = static_cast<std::uint8_t>(rng.next_bit());
+    const std::uint8_t b = static_cast<std::uint8_t>(rng.next_bit());
+    // Random sharing of a and b.
+    std::vector<std::uint8_t> in(
+        static_cast<std::size_t>(mc.circuit.num_inputs()));
+    std::uint8_t acc_a = a, acc_b = b;
+    for (unsigned s = 1; s < n_shares; ++s) {
+      const std::uint8_t ma = static_cast<std::uint8_t>(rng.next_bit());
+      const std::uint8_t mb = static_cast<std::uint8_t>(rng.next_bit());
+      in[static_cast<std::size_t>(mc.input_share_base[0]) + s] = ma;
+      in[static_cast<std::size_t>(mc.input_share_base[1]) + s] = mb;
+      acc_a ^= ma;
+      acc_b ^= mb;
+    }
+    in[static_cast<std::size_t>(mc.input_share_base[0])] = acc_a;
+    in[static_cast<std::size_t>(mc.input_share_base[1])] = acc_b;
+    std::vector<std::uint8_t> rnd(
+        static_cast<std::size_t>(mc.circuit.num_randoms()));
+    for (auto& r : rnd) r = static_cast<std::uint8_t>(rng.next_bit());
+
+    const auto out = mc.circuit.evaluate(in, rnd);
+    std::uint8_t result = 0;
+    for (unsigned s = 0; s < n_shares; ++s) result ^= out[s];
+    EXPECT_EQ(result, a & b);
+  }
+}
+
+TEST_P(MaskedCircuitTest, MaskedAdderIsCorrect) {
+  const unsigned order = GetParam();
+  const Circuit plain = ripple_adder_circuit(4);
+  const MaskedCircuit mc = mask_circuit(plain, order);
+  Xoshiro256 rng(6);
+  const unsigned n_shares = order + 1;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.uniform(16));
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.uniform(16));
+    std::vector<std::uint8_t> plain_bits;
+    for (int i = 0; i < 4; ++i) {
+      plain_bits.push_back(static_cast<std::uint8_t>((a >> i) & 1));
+    }
+    for (int i = 0; i < 4; ++i) {
+      plain_bits.push_back(static_cast<std::uint8_t>((b >> i) & 1));
+    }
+    std::vector<std::uint8_t> in(
+        static_cast<std::size_t>(mc.circuit.num_inputs()));
+    for (std::size_t pi = 0; pi < plain_bits.size(); ++pi) {
+      std::uint8_t acc = plain_bits[pi];
+      const int base = mc.input_share_base[pi];
+      for (unsigned s = 1; s < n_shares; ++s) {
+        const std::uint8_t m = static_cast<std::uint8_t>(rng.next_bit());
+        in[static_cast<std::size_t>(base) + s] = m;
+        acc ^= m;
+      }
+      in[static_cast<std::size_t>(base)] = acc;
+    }
+    std::vector<std::uint8_t> rnd(
+        static_cast<std::size_t>(mc.circuit.num_randoms()));
+    for (auto& r : rnd) r = static_cast<std::uint8_t>(rng.next_bit());
+
+    const auto out = mc.circuit.evaluate(in, rnd);
+    std::uint32_t sum = 0;
+    for (std::size_t o = 0; o < plain.outputs().size(); ++o) {
+      std::uint8_t bit = 0;
+      for (unsigned s = 0; s < n_shares; ++s) {
+        bit ^= out[o * n_shares + s];
+      }
+      sum |= static_cast<std::uint32_t>(bit) << o;
+    }
+    EXPECT_EQ(sum, a + b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MaskedCircuitTest,
+                         ::testing::Values(0u, 1u, 2u),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(MaskedCircuit, RandomnessCountMatchesDomFormula) {
+  // Masking a circuit with A ANDs at order d adds A*d(d+1)/2 random bits.
+  const Circuit plain = toy_sbox_circuit();
+  const int ands = plain.and_count();
+  for (unsigned d : {0u, 1u, 2u, 3u}) {
+    const MaskedCircuit mc = mask_circuit(plain, d);
+    EXPECT_EQ(mc.circuit.num_randoms(),
+              ands * static_cast<int>(d * (d + 1) / 2))
+        << "order " << d;
+  }
+}
+
+TEST(MaskedCircuit, GateBlowupIsQuadraticInOrder) {
+  const Circuit plain = toy_sbox_circuit();
+  const MaskedCircuit d1 = mask_circuit(plain, 1);
+  const MaskedCircuit d3 = mask_circuit(plain, 3);
+  // AND gadget gates grow ~ (d+1)^2; d=3 must cost well over 2x d=1.
+  EXPECT_GT(d3.circuit.num_gates(), 2 * d1.circuit.num_gates());
+}
+
+}  // namespace
+}  // namespace convolve::masking

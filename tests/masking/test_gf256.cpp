@@ -1,0 +1,145 @@
+#include "convolve/masking/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/common/rng.hpp"
+
+namespace convolve::masking {
+namespace {
+
+TEST(Gf256, MultiplicationBasics) {
+  EXPECT_EQ(gf256_mul(0, 0x57), 0);
+  EXPECT_EQ(gf256_mul(1, 0x57), 0x57);
+  // FIPS-197 worked example: {57} x {83} = {c1}.
+  EXPECT_EQ(gf256_mul(0x57, 0x83), 0xc1);
+  // {57} x {13} = {fe} (another FIPS-197 example).
+  EXPECT_EQ(gf256_mul(0x57, 0x13), 0xfe);
+}
+
+TEST(Gf256, MultiplicationCommutes) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_EQ(gf256_mul(a, b), gf256_mul(b, a));
+  }
+}
+
+TEST(Gf256, SboxMatchesKnownValues) {
+  // Spot values of the AES S-box.
+  EXPECT_EQ(aes_sbox(0x00), 0x63);
+  EXPECT_EQ(aes_sbox(0x01), 0x7c);
+  EXPECT_EQ(aes_sbox(0x53), 0xed);
+  EXPECT_EQ(aes_sbox(0xff), 0x16);
+}
+
+TEST(Gf256, MulCircuitMatchesReference) {
+  const Circuit c = gf256_mul_circuit();
+  EXPECT_EQ(c.and_count(), 64);  // 8x8 partial products
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    std::vector<std::uint8_t> in(16);
+    for (int bit = 0; bit < 8; ++bit) {
+      in[static_cast<std::size_t>(bit)] =
+          static_cast<std::uint8_t>((a >> bit) & 1);
+      in[static_cast<std::size_t>(8 + bit)] =
+          static_cast<std::uint8_t>((b >> bit) & 1);
+    }
+    const auto out = c.evaluate(in);
+    std::uint8_t result = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      result |= static_cast<std::uint8_t>(out[static_cast<std::size_t>(bit)]
+                                          << bit);
+    }
+    EXPECT_EQ(result, gf256_mul(a, b)) << int(a) << " * " << int(b);
+  }
+}
+
+class MaskedGf256Test : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MaskedGf256Test, MaskedMulIsCorrect) {
+  const unsigned d = GetParam();
+  RandomnessSource rnd(3);
+  Xoshiro256 values(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = static_cast<std::uint8_t>(values.uniform(256));
+    const auto b = static_cast<std::uint8_t>(values.uniform(256));
+    const auto ma = MaskedWord::encode(a, d, 8, rnd);
+    const auto mb = MaskedWord::encode(b, d, 8, rnd);
+    EXPECT_EQ(masked_gf256_mul(ma, mb, rnd).decode(), gf256_mul(a, b));
+  }
+}
+
+TEST_P(MaskedGf256Test, MaskedSquareIsCorrect) {
+  const unsigned d = GetParam();
+  RandomnessSource rnd(5);
+  for (int a = 0; a < 256; ++a) {
+    const auto ma =
+        MaskedWord::encode(static_cast<std::uint64_t>(a), d, 8, rnd);
+    EXPECT_EQ(masked_gf256_square(ma).decode(),
+              gf256_mul(static_cast<std::uint8_t>(a),
+                        static_cast<std::uint8_t>(a)));
+  }
+}
+
+TEST_P(MaskedGf256Test, MaskedInverseIsCorrect) {
+  const unsigned d = GetParam();
+  RandomnessSource rnd(6);
+  for (int a = 0; a < 256; a += 7) {  // sampled sweep
+    const auto ma =
+        MaskedWord::encode(static_cast<std::uint64_t>(a), d, 8, rnd);
+    const std::uint8_t inv = masked_gf256_inverse(ma, rnd).decode();
+    if (a == 0) {
+      EXPECT_EQ(inv, 0);  // AES convention: inv(0) = 0
+    } else {
+      EXPECT_EQ(gf256_mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+    }
+  }
+}
+
+TEST_P(MaskedGf256Test, MaskedSboxMatchesPlainForAllInputs) {
+  const unsigned d = GetParam();
+  RandomnessSource rnd(7);
+  for (int x = 0; x < 256; ++x) {
+    const auto mx =
+        MaskedWord::encode(static_cast<std::uint64_t>(x), d, 8, rnd);
+    EXPECT_EQ(masked_aes_sbox(mx, rnd).decode(),
+              aes_sbox(static_cast<std::uint8_t>(x)))
+        << "x = " << x << " d = " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MaskedGf256Test,
+                         ::testing::Values(0u, 1u, 2u, 3u),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(MaskedGf256, SboxRandomnessMatchesFormula) {
+  for (unsigned d : {0u, 1u, 2u, 3u}) {
+    RandomnessSource rnd(8);
+    const auto mx = MaskedWord::encode(0xA5, d, 8, rnd);
+    rnd.reset_counter();
+    (void)masked_aes_sbox(mx, rnd);
+    EXPECT_EQ(rnd.bits_drawn(), masked_sbox_random_bits(d)) << d;
+    EXPECT_EQ(rnd.bits_drawn(), 4ull * 8 * 8 * d * (d + 1) / 2);
+  }
+}
+
+TEST(MaskedGf256, SharesDoNotRevealSecretTrivially) {
+  // At order 1 the two output shares individually must not equal the
+  // S-box output systematically.
+  RandomnessSource rnd(9);
+  int share_equals_output = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto mx = MaskedWord::encode(0x3c, 1, 8, rnd);
+    const auto out = masked_aes_sbox(mx, rnd);
+    share_equals_output += (out.shares()[0] == aes_sbox(0x3c));
+  }
+  EXPECT_LT(share_equals_output, 20);
+}
+
+}  // namespace
+}  // namespace convolve::masking

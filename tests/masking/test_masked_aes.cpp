@@ -1,0 +1,107 @@
+#include "convolve/masking/masked_aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/crypto/aes.hpp"
+
+namespace convolve::masking {
+namespace {
+
+class MaskedAesTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MaskedAesTest, Fips197Aes128Vector) {
+  const unsigned d = GetParam();
+  RandomnessSource rnd(1);
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  const MaskedAes aes(MaskedAes::KeySize::k128, key, d, rnd);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct, rnd);
+  EXPECT_EQ(to_hex({ct, 16}), "69c4e0d86a7b0430d8cdb78070b4c55a")
+      << "order " << d;
+}
+
+TEST_P(MaskedAesTest, Fips197Aes256Vector) {
+  const unsigned d = GetParam();
+  RandomnessSource rnd(2);
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  const MaskedAes aes(MaskedAes::KeySize::k256, key, d, rnd);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct, rnd);
+  EXPECT_EQ(to_hex({ct, 16}), "8ea2b7ca516745bfeafc49904b496089")
+      << "order " << d;
+}
+
+TEST_P(MaskedAesTest, MatchesPlainAesOnRandomBlocks) {
+  const unsigned d = GetParam();
+  RandomnessSource rnd(3);
+  Xoshiro256 values(4);
+  Bytes key(32);
+  values.fill_bytes(key);
+  const MaskedAes masked(MaskedAes::KeySize::k256, key, d, rnd);
+  const crypto::Aes plain(crypto::Aes::KeySize::k256, key);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::uint8_t pt[16], expected[16], actual[16];
+    for (auto& b : pt) b = static_cast<std::uint8_t>(values.uniform(256));
+    plain.encrypt_block(pt, expected);
+    masked.encrypt_block(pt, actual, rnd);
+    EXPECT_EQ(Bytes(actual, actual + 16), Bytes(expected, expected + 16));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MaskedAesTest, ::testing::Values(0u, 1u, 2u),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(MaskedAes, BlockRandomnessMatchesFormula) {
+  for (unsigned d : {0u, 1u, 2u}) {
+    RandomnessSource rnd(5);
+    const Bytes key(32, 0x42);
+    const MaskedAes aes(MaskedAes::KeySize::k256, key, d, rnd);
+    rnd.reset_counter();
+    std::uint8_t pt[16] = {}, ct[16];
+    aes.encrypt_block(pt, ct, rnd);
+    EXPECT_EQ(rnd.bits_drawn(),
+              MaskedAes::block_random_bits(MaskedAes::KeySize::k256, d))
+        << "order " << d;
+  }
+}
+
+TEST(MaskedAes, RandomnessScalesAsDPairs) {
+  // The Table II scaling law: fresh bits grow with d(d+1)/2.
+  const auto r1 =
+      MaskedAes::block_random_bits(MaskedAes::KeySize::k256, 1);
+  const auto r2 =
+      MaskedAes::block_random_bits(MaskedAes::KeySize::k256, 2);
+  // Encode bits grow linearly, S-box bits with d(d+1)/2; the S-box part
+  // dominates, so the ratio is close to (but below) 3.
+  EXPECT_GT(static_cast<double>(r2) / static_cast<double>(r1), 2.8);
+  EXPECT_LE(static_cast<double>(r2) / static_cast<double>(r1), 3.0);
+}
+
+TEST(MaskedAes, RejectsWrongKeyLength) {
+  RandomnessSource rnd(6);
+  EXPECT_THROW(MaskedAes(MaskedAes::KeySize::k128, Bytes(32, 0), 1, rnd),
+               std::invalid_argument);
+  EXPECT_THROW(MaskedAes(MaskedAes::KeySize::k256, Bytes(16, 0), 1, rnd),
+               std::invalid_argument);
+}
+
+TEST(MaskedAes, DifferentMaskingsSameCiphertext) {
+  // Two devices with different randomness streams must agree on the
+  // functional output.
+  const Bytes key(16, 0x24);
+  RandomnessSource rnd_a(7), rnd_b(8);
+  const MaskedAes a(MaskedAes::KeySize::k128, key, 2, rnd_a);
+  const MaskedAes b(MaskedAes::KeySize::k128, key, 2, rnd_b);
+  std::uint8_t pt[16] = {1, 2, 3}, ca[16], cb[16];
+  a.encrypt_block(pt, ca, rnd_a);
+  b.encrypt_block(pt, cb, rnd_b);
+  EXPECT_EQ(Bytes(ca, ca + 16), Bytes(cb, cb + 16));
+}
+
+}  // namespace
+}  // namespace convolve::masking

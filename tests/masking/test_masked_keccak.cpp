@@ -1,0 +1,88 @@
+#include "convolve/masking/masked_keccak.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/common/rng.hpp"
+#include "convolve/crypto/keccak.hpp"
+
+namespace convolve::masking {
+namespace {
+
+std::array<std::uint64_t, 25> random_state(Xoshiro256& rng) {
+  std::array<std::uint64_t, 25> s{};
+  for (auto& lane : s) lane = rng.next_u64();
+  return s;
+}
+
+class MaskedKeccakTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MaskedKeccakTest, MatchesPlainPermutation) {
+  const unsigned d = GetParam();
+  Xoshiro256 rng(100 + d);
+  RandomnessSource rnd(200 + d);
+  for (int trial = 0; trial < 3; ++trial) {
+    auto plain = random_state(rng);
+    auto expected = plain;
+    crypto::keccak_f1600(expected);
+
+    auto masked = masked_keccak_encode(plain, d, rnd);
+    masked_keccak_f1600(masked, rnd);
+    EXPECT_EQ(masked_keccak_decode(masked), expected)
+        << "order " << d << " trial " << trial;
+  }
+}
+
+TEST_P(MaskedKeccakTest, EncodeDecodeRoundTrip) {
+  const unsigned d = GetParam();
+  Xoshiro256 rng(300 + d);
+  RandomnessSource rnd(400 + d);
+  const auto plain = random_state(rng);
+  EXPECT_EQ(masked_keccak_decode(masked_keccak_encode(plain, d, rnd)), plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MaskedKeccakTest,
+                         ::testing::Values(0u, 1u, 2u),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(MaskedKeccak, RandomnessMatchesCostModelFormula) {
+  // This is the formula the HADES Keccak template charges per permutation:
+  // 24 rounds x 1600 chi AND gates x d(d+1)/2, drawn as 25 lane gadgets
+  // of 64 bits each.
+  for (unsigned d : {0u, 1u, 2u, 3u}) {
+    Xoshiro256 rng(1);
+    RandomnessSource rnd(2);
+    auto masked = masked_keccak_encode(random_state(rng), d, rnd);
+    rnd.reset_counter();
+    masked_keccak_f1600(masked, rnd);
+    EXPECT_EQ(rnd.bits_drawn(), masked_keccak_random_bits(d));
+    EXPECT_EQ(rnd.bits_drawn(), 24ull * 1600 * d * (d + 1) / 2);
+  }
+}
+
+TEST(MaskedKeccak, SharesAreRerandomizedAcrossRuns) {
+  Xoshiro256 rng(5);
+  RandomnessSource rnd(6);
+  const auto plain = random_state(rng);
+  auto a = masked_keccak_encode(plain, 1, rnd);
+  auto b = masked_keccak_encode(plain, 1, rnd);
+  masked_keccak_f1600(a, rnd);
+  masked_keccak_f1600(b, rnd);
+  // Same secret state, different shares.
+  EXPECT_EQ(masked_keccak_decode(a), masked_keccak_decode(b));
+  EXPECT_NE(a[0].shares(), b[0].shares());
+}
+
+TEST(MaskedKeccak, OrderZeroDegeneratesToPlain) {
+  Xoshiro256 rng(7);
+  RandomnessSource rnd(8);
+  const auto plain = random_state(rng);
+  auto masked = masked_keccak_encode(plain, 0, rnd);
+  rnd.reset_counter();
+  masked_keccak_f1600(masked, rnd);
+  EXPECT_EQ(rnd.bits_drawn(), 0u);  // no masking randomness at order 0
+}
+
+}  // namespace
+}  // namespace convolve::masking

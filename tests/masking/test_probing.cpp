@@ -1,0 +1,58 @@
+#include "convolve/masking/probing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::masking {
+namespace {
+
+TEST(Probing, UnmaskedAndIsInsecure) {
+  // Order 0 "masking" leaves wires carrying secrets: one probe breaks it.
+  const MaskedCircuit mc = mask_circuit(single_and_circuit(), 0);
+  const auto report = check_probing_security(mc, 2, 1);
+  EXPECT_FALSE(report.secure);
+  EXPECT_EQ(report.probes.size(), 1u);
+}
+
+TEST(Probing, DomAndOrder1SecureAgainstOneProbe) {
+  const MaskedCircuit mc = mask_circuit(single_and_circuit(), 1);
+  const auto report = check_probing_security(mc, 2, 1);
+  EXPECT_TRUE(report.secure);
+  EXPECT_GT(report.probe_sets_checked, 0u);
+}
+
+TEST(Probing, DomAndOrder1BrokenByTwoProbes) {
+  // Probing both shares of an input reconstructs it: order 1 cannot resist
+  // two probes.
+  const MaskedCircuit mc = mask_circuit(single_and_circuit(), 1);
+  const auto report = check_probing_security(mc, 2, 2);
+  EXPECT_FALSE(report.secure);
+  EXPECT_EQ(report.probes.size(), 2u);
+}
+
+TEST(Probing, DomAndOrder2SecureAgainstTwoProbes) {
+  const MaskedCircuit mc = mask_circuit(single_and_circuit(), 2);
+  const auto report = check_probing_security(mc, 2, 2);
+  EXPECT_TRUE(report.secure);
+}
+
+TEST(Probing, MaskedFullAdderOrder1Secure) {
+  const MaskedCircuit mc = mask_circuit(full_adder_circuit(), 1);
+  const auto report = check_probing_security(mc, 3, 1);
+  EXPECT_TRUE(report.secure);
+}
+
+TEST(Probing, ReportsCountOfCheckedSets) {
+  const MaskedCircuit mc = mask_circuit(single_and_circuit(), 1);
+  const auto report = check_probing_security(mc, 2, 1);
+  // One probe per gate.
+  EXPECT_EQ(report.probe_sets_checked, mc.circuit.num_gates());
+}
+
+TEST(Probing, OversizedCircuitRejected) {
+  // A masked 8-bit adder at order 2 has too much randomness to enumerate.
+  const MaskedCircuit mc = mask_circuit(ripple_adder_circuit(8), 2);
+  EXPECT_THROW(check_probing_security(mc, 16, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace convolve::masking

@@ -1,0 +1,66 @@
+#include "convolve/rtos/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::rtos {
+namespace {
+
+// Parameterized over the five scenarios: with PMP the attack must fail and
+// the system must recover; without it, the attack must succeed.
+class AttackSuite : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AttackSuite, PmpContainsAttack) {
+  const auto protected_run = run_attack_suite(true);
+  const auto& r = protected_run[GetParam()];
+  EXPECT_FALSE(r.attack_succeeded) << r.name;
+  EXPECT_TRUE(r.system_recovered()) << r.name;
+  EXPECT_TRUE(r.kernel_intact) << r.name;
+}
+
+TEST_P(AttackSuite, FlatMemoryModelIsVulnerable) {
+  const auto exposed_run = run_attack_suite(false);
+  const auto& r = exposed_run[GetParam()];
+  // Every memory-based attack succeeds without PMP. The peripheral-DoS
+  // scenario is contained by the watchdog regardless of PMP, so its
+  // "attack succeeded" flag is false in both configurations.
+  if (r.name == "peripheral-dos") {
+    EXPECT_FALSE(r.attack_succeeded) << r.name;
+  } else {
+    EXPECT_TRUE(r.attack_succeeded) << r.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, AttackSuite,
+                         ::testing::Range<std::size_t>(0, 5));
+
+TEST(AttackSuite, MemoryAttacksTrapUnderPmp) {
+  for (const auto& r : run_attack_suite(true)) {
+    if (r.name == "stack-snoop" || r.name == "kernel-tamper" ||
+        r.name == "cross-task-inject") {
+      EXPECT_GE(r.faults, 1) << r.name;
+      EXPECT_GE(r.kills, 1) << r.name;
+    }
+  }
+}
+
+TEST(AttackSuite, NoTrapsWithoutPmp) {
+  for (const auto& r : run_attack_suite(false)) {
+    EXPECT_EQ(r.faults, 0) << r.name;  // attacks proceed silently
+  }
+}
+
+TEST(AttackSuite, KernelTamperDetectedOnlyWhenUnprotected) {
+  const auto with = scenario_kernel_tamper(true);
+  const auto without = scenario_kernel_tamper(false);
+  EXPECT_TRUE(with.kernel_intact);
+  EXPECT_FALSE(without.kernel_intact);
+}
+
+TEST(AttackSuite, VictimDeadlinesMetUnderAllProtectedScenarios) {
+  for (const auto& r : run_attack_suite(true)) {
+    EXPECT_TRUE(r.victim_completed) << r.name;
+  }
+}
+
+}  // namespace
+}  // namespace convolve::rtos

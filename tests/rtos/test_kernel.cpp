@@ -1,0 +1,295 @@
+#include "convolve/rtos/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace convolve::rtos {
+namespace {
+
+struct World {
+  Machine machine{1 << 20};
+  std::unique_ptr<Kernel> kernel;
+  explicit World(KernelConfig config = {}) {
+    kernel = std::make_unique<Kernel>(machine, config);
+  }
+};
+
+TEST(Kernel, TaskRunsToCompletion) {
+  World w;
+  auto steps = std::make_shared<int>(0);
+  const int id = w.kernel->add_task("t", 1, 4096, [=](TaskApi&) {
+    return (++*steps == 3) ? StepResult::done() : StepResult::yield();
+  });
+  w.kernel->run(16);
+  EXPECT_EQ(*steps, 3);
+  EXPECT_EQ(w.kernel->task_state(id), TaskState::kDone);
+}
+
+TEST(Kernel, HigherPriorityPreempts) {
+  World w;
+  auto order = std::make_shared<std::vector<int>>();
+  w.kernel->add_task("low", 1, 4096, [=](TaskApi& api) {
+    order->push_back(api.self());
+    return StepResult::done();
+  });
+  w.kernel->add_task("high", 5, 4096, [=](TaskApi& api) {
+    order->push_back(api.self());
+    return StepResult::done();
+  });
+  w.kernel->run(8);
+  ASSERT_EQ(order->size(), 2u);
+  EXPECT_EQ((*order)[0], 1);  // high first
+  EXPECT_EQ((*order)[1], 0);
+}
+
+TEST(Kernel, RoundRobinWithinPriority) {
+  World w;
+  auto order = std::make_shared<std::vector<int>>();
+  for (int i = 0; i < 3; ++i) {
+    w.kernel->add_task("t" + std::to_string(i), 1, 4096, [=](TaskApi& api) {
+      order->push_back(api.self());
+      return order->size() >= 9 ? StepResult::done() : StepResult::yield();
+    });
+  }
+  w.kernel->run(9);
+  // Each task ran 3 times, interleaved.
+  ASSERT_EQ(order->size(), 9u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::count(order->begin(), order->end(), i), 3);
+  }
+  EXPECT_NE((*order)[0], (*order)[1]);
+}
+
+TEST(Kernel, DelayWakesAtRightTick) {
+  World w;
+  auto wake_times = std::make_shared<std::vector<std::uint64_t>>();
+  w.kernel->add_task("sleeper", 1, 4096, [=](TaskApi& api) {
+    wake_times->push_back(api.now());
+    if (wake_times->size() >= 3) return StepResult::done();
+    return StepResult::delay(5);
+  });
+  w.kernel->run(32);
+  ASSERT_EQ(wake_times->size(), 3u);
+  EXPECT_GE((*wake_times)[1] - (*wake_times)[0], 5u);
+  EXPECT_GE((*wake_times)[2] - (*wake_times)[1], 5u);
+}
+
+TEST(Kernel, TaskOwnsItsRegion) {
+  World w;
+  auto ok = std::make_shared<bool>(false);
+  w.kernel->add_task("t", 1, 4096, [=](TaskApi& api) {
+    api.write(api.region_base() + 16, Bytes{1, 2, 3});
+    *ok = (api.read(api.region_base() + 16, 3) == Bytes{1, 2, 3});
+    return StepResult::done();
+  });
+  w.kernel->run(4);
+  EXPECT_TRUE(*ok);
+}
+
+TEST(Kernel, PmpTrapsKillOffendingTask) {
+  World w;
+  const int id = w.kernel->add_task("rogue", 1, 4096, [](TaskApi& api) {
+    api.read(0x100, 4);  // kernel region
+    return StepResult::done();
+  });
+  w.kernel->run(4);
+  EXPECT_EQ(w.kernel->task_state(id), TaskState::kKilled);
+  EXPECT_EQ(w.kernel->count_events(EventType::kFault), 1);
+  EXPECT_EQ(w.kernel->count_events(EventType::kTaskKilled), 1);
+}
+
+TEST(Kernel, RestartPolicyRevivesKilledTask) {
+  KernelConfig config;
+  config.restart_killed_tasks = true;
+  World w(config);
+  auto attempts = std::make_shared<int>(0);
+  const int id = w.kernel->add_task("flaky", 1, 4096, [=](TaskApi& api) {
+    if (++*attempts == 1) {
+      api.read(0x100, 4);  // first run: violates, gets killed+restarted
+    }
+    return StepResult::done();  // second run: behaves
+  });
+  w.kernel->run(8);
+  EXPECT_EQ(*attempts, 2);
+  EXPECT_EQ(w.kernel->task_state(id), TaskState::kDone);
+  EXPECT_EQ(w.kernel->count_events(EventType::kTaskRestarted), 1);
+}
+
+TEST(Kernel, QueueFifoSemantics) {
+  World w;
+  const int q = w.kernel->create_queue(4);
+  auto received = std::make_shared<std::vector<Bytes>>();
+  w.kernel->add_task("producer", 1, 4096, [=](TaskApi& api) {
+    api.queue_send(q, Bytes{1});
+    api.queue_send(q, Bytes{2});
+    return StepResult::done();
+  });
+  w.kernel->add_task("consumer", 1, 4096, [=](TaskApi& api) {
+    while (auto m = api.queue_receive(q)) received->push_back(*m);
+    return received->size() >= 2 ? StepResult::done() : StepResult::yield();
+  });
+  w.kernel->run(16);
+  ASSERT_EQ(received->size(), 2u);
+  EXPECT_EQ((*received)[0], Bytes{1});
+  EXPECT_EQ((*received)[1], Bytes{2});
+}
+
+TEST(Kernel, QueueDepthEnforced) {
+  World w;
+  const int q = w.kernel->create_queue(2);
+  auto sends = std::make_shared<std::vector<bool>>();
+  w.kernel->add_task("p", 1, 4096, [=](TaskApi& api) {
+    for (int i = 0; i < 3; ++i) sends->push_back(api.queue_send(q, Bytes{0}));
+    return StepResult::done();
+  });
+  w.kernel->run(4);
+  ASSERT_EQ(sends->size(), 3u);
+  EXPECT_TRUE((*sends)[0]);
+  EXPECT_TRUE((*sends)[1]);
+  EXPECT_FALSE((*sends)[2]);
+  EXPECT_EQ(w.kernel->count_events(EventType::kQueueRejected), 1);
+}
+
+TEST(Kernel, QueueQuotaLimitsOneSender) {
+  World w;
+  const int q = w.kernel->create_queue(8, /*per_task_quota=*/2);
+  auto result = std::make_shared<std::vector<bool>>();
+  w.kernel->add_task("p", 1, 4096, [=](TaskApi& api) {
+    for (int i = 0; i < 4; ++i) result->push_back(api.queue_send(q, Bytes{0}));
+    return StepResult::done();
+  });
+  w.kernel->run(4);
+  EXPECT_EQ(*result, (std::vector<bool>{true, true, false, false}));
+}
+
+TEST(Kernel, PeripheralWatchdogRevokesStaleLock) {
+  KernelConfig config;
+  config.watchdog_ticks = 4;
+  World w(config);
+  const int p = w.kernel->create_peripheral("uart");
+  auto second_task_got_it = std::make_shared<bool>(false);
+  w.kernel->add_task("holder", 1, 4096, [=](TaskApi& api) {
+    api.peripheral_acquire(p);
+    return StepResult::yield();  // holds forever
+  });
+  w.kernel->add_task("waiter", 1, 4096, [=](TaskApi& api) {
+    if (api.peripheral_acquire(p)) {
+      *second_task_got_it = true;
+      return StepResult::done();
+    }
+    return StepResult::yield();
+  });
+  w.kernel->run(64);
+  EXPECT_TRUE(*second_task_got_it);
+  EXPECT_GE(w.kernel->count_events(EventType::kWatchdogRevoke), 1);
+}
+
+TEST(Kernel, KilledTaskReleasesPeripherals) {
+  World w;
+  const int p = w.kernel->create_peripheral("dma");
+  auto got = std::make_shared<bool>(false);
+  w.kernel->add_task("rogue", 2, 4096, [=](TaskApi& api) {
+    api.peripheral_acquire(p);
+    api.write(0x100, Bytes{9});  // violates -> killed
+    return StepResult::yield();
+  });
+  w.kernel->add_task("next", 1, 4096, [=](TaskApi& api) {
+    if (api.peripheral_acquire(p)) {
+      *got = true;
+      return StepResult::done();
+    }
+    return StepResult::yield();
+  });
+  w.kernel->run(16);
+  EXPECT_TRUE(*got);
+}
+
+
+TEST(Kernel, MachineTaskRunsToCompletion) {
+  namespace rv = tee::rv32asm;
+  World w;
+  // Program: write 0xAB to offset 0x100 of its own region, then ecall.
+  const Bytes binary = rv::assemble({
+      rv::auipc(1, 0),         // x1 = region base (entry pc)
+      rv::addi(2, 0, 0xAB),
+      rv::sb(2, 1, 0x100),
+      rv::ecall(),
+  });
+  const int id = w.kernel->add_machine_task("mc", 1, 8192, binary);
+  w.kernel->run(16);
+  EXPECT_EQ(w.kernel->task_state(id), TaskState::kDone);
+}
+
+TEST(Kernel, MachineTaskTimeSlicesAcrossTicks) {
+  namespace rv = tee::rv32asm;
+  World w;
+  // Long loop: 1000 iterations of 2 instructions >> one 64-instruction
+  // slice, so the task must yield and resume across ticks.
+  const Bytes binary = rv::assemble({
+      rv::addi(1, 0, 1000),
+      // loop:
+      rv::addi(1, 1, -1),
+      rv::bne(1, 0, -4),
+      rv::ecall(),
+  });
+  const int id = w.kernel->add_machine_task("loop", 1, 8192, binary, 64);
+  w.kernel->run(4);
+  EXPECT_EQ(w.kernel->task_state(id), TaskState::kReady);  // still going
+  w.kernel->run(64);
+  EXPECT_EQ(w.kernel->task_state(id), TaskState::kDone);
+}
+
+TEST(Kernel, RogueMachineTaskKilledByPmp) {
+  namespace rv = tee::rv32asm;
+  World w;
+  // Read the kernel's canary at 0x100: PMP violation in machine code.
+  const Bytes binary = rv::assemble({
+      rv::addi(1, 0, 0x100),
+      rv::lw(2, 1, 0),
+      rv::ecall(),
+  });
+  const int id = w.kernel->add_machine_task("rogue", 1, 8192, binary);
+  w.kernel->run(8);
+  EXPECT_EQ(w.kernel->task_state(id), TaskState::kKilled);
+  EXPECT_EQ(w.kernel->count_events(EventType::kFault), 1);
+  EXPECT_TRUE(w.kernel->kernel_integrity_ok());
+}
+
+TEST(Kernel, MachineAndLambdaTasksCoexist) {
+  namespace rv = tee::rv32asm;
+  World w;
+  const Bytes binary = rv::assemble({
+      rv::addi(1, 0, 5),
+      rv::addi(1, 1, 5),
+      rv::ecall(),
+  });
+  const int mc = w.kernel->add_machine_task("mc", 1, 8192, binary);
+  auto ran = std::make_shared<int>(0);
+  const int soft = w.kernel->add_task("soft", 1, 4096, [=](TaskApi&) {
+    return (++*ran >= 2) ? StepResult::done() : StepResult::yield();
+  });
+  w.kernel->run(16);
+  EXPECT_EQ(w.kernel->task_state(mc), TaskState::kDone);
+  EXPECT_EQ(w.kernel->task_state(soft), TaskState::kDone);
+  EXPECT_EQ(*ran, 2);
+}
+
+TEST(Kernel, StopsEarlyWhenAllTasksDone) {
+  World w;
+  w.kernel->add_task("t", 1, 4096, [](TaskApi&) { return StepResult::done(); });
+  w.kernel->run(1000000);
+  EXPECT_LT(w.kernel->now(), 10u);
+}
+
+TEST(Kernel, IntegrityCanaryDetectsMachineModeTamper) {
+  World w;
+  EXPECT_TRUE(w.kernel->kernel_integrity_ok());
+  // Simulate a successful kernel-data attack (M-mode write for test setup).
+  w.machine.store(w.kernel->kernel_data_addr(), Bytes{0xBD},
+                  PrivMode::kMachine);
+  EXPECT_FALSE(w.kernel->kernel_integrity_ok());
+}
+
+}  // namespace
+}  // namespace convolve::rtos

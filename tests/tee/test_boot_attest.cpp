@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "convolve/tee/attestation.hpp"
+#include "convolve/tee/bootrom.hpp"
+
+namespace convolve::tee {
+namespace {
+
+DeviceKeys test_keys() { return DeviceKeys::from_entropy(Bytes(32, 0x5a)); }
+
+Bytes sm_image() { return Bytes(4096, 0x11); }
+
+TEST(Bootrom, SizeMatchesTable3) {
+  // Table III row 1: 50.7 KB default, 60.2 KB PQ-enabled.
+  EXPECT_EQ(Bootrom({false}, test_keys()).size_bytes(), 50700u);
+  EXPECT_EQ(Bootrom({true}, test_keys()).size_bytes(), 60200u);
+}
+
+TEST(Bootrom, BootRecordVerifies) {
+  for (bool pq : {false, true}) {
+    const Bootrom rom({pq}, test_keys());
+    const BootRecord record = rom.boot(sm_image());
+    EXPECT_TRUE(Bootrom::verify_boot_record(record)) << "pq=" << pq;
+    EXPECT_EQ(record.pq_enabled, pq);
+    EXPECT_EQ(record.sm_measurement.size(), 64u);
+    EXPECT_EQ(record.device_mldsa_pk.size(), pq ? 1312u : 0u);
+  }
+}
+
+TEST(Bootrom, TamperedSmImageChangesMeasurementAndKeys) {
+  const Bootrom rom({true}, test_keys());
+  const BootRecord good = rom.boot(sm_image());
+  Bytes evil = sm_image();
+  evil[100] ^= 1;
+  const BootRecord bad = rom.boot(evil);
+  EXPECT_NE(good.sm_measurement, bad.sm_measurement);
+  // Key derivation is measurement-bound: a tampered SM gets different keys.
+  EXPECT_NE(Bytes(good.sm_ed25519.public_key.begin(),
+                  good.sm_ed25519.public_key.end()),
+            Bytes(bad.sm_ed25519.public_key.begin(),
+                  bad.sm_ed25519.public_key.end()));
+  EXPECT_NE(good.sm_mldsa.pk, bad.sm_mldsa.pk);
+  EXPECT_NE(good.sealing_root, bad.sealing_root);
+}
+
+TEST(Bootrom, ForgedRecordFailsVerification) {
+  const Bootrom rom({true}, test_keys());
+  BootRecord record = rom.boot(sm_image());
+  record.sm_measurement[0] ^= 1;
+  EXPECT_FALSE(Bootrom::verify_boot_record(record));
+}
+
+TEST(Bootrom, DeterministicAcrossBoots) {
+  const Bootrom rom({true}, test_keys());
+  const BootRecord a = rom.boot(sm_image());
+  const BootRecord b = rom.boot(sm_image());
+  EXPECT_EQ(a.sm_mldsa.pk, b.sm_mldsa.pk);
+  EXPECT_EQ(a.device_sig_mldsa, b.device_sig_mldsa);
+  EXPECT_EQ(a.sealing_root, b.sealing_root);
+}
+
+TEST(Bootrom, DeviceKeysValidation) {
+  EXPECT_THROW(DeviceKeys::from_entropy(Bytes(31, 0)), std::invalid_argument);
+}
+
+TEST(Attestation, SerializedSizesMatchTable3) {
+  EXPECT_EQ(kClassicalReportSize, 1320u);
+  EXPECT_EQ(kPqReportSize, 7472u);
+}
+
+TEST(Attestation, DeserializeRejectsOtherSizes) {
+  EXPECT_FALSE(AttestationReport::deserialize(Bytes(1319, 0)).has_value());
+  EXPECT_FALSE(AttestationReport::deserialize(Bytes(1321, 0)).has_value());
+  EXPECT_FALSE(AttestationReport::deserialize(Bytes(7473, 0)).has_value());
+}
+
+TEST(Attestation, PaddingMustBeZero) {
+  // An all-zero classical-size blob parses (zero padding, zero length).
+  Bytes blob(kClassicalReportSize, 0);
+  EXPECT_TRUE(AttestationReport::deserialize(blob).has_value());
+  // Nonzero byte inside the declared-empty data region must be rejected.
+  blob[32 + 160 + 64 + 8 + 100] = 1;
+  EXPECT_FALSE(AttestationReport::deserialize(blob).has_value());
+}
+
+}  // namespace
+}  // namespace convolve::tee

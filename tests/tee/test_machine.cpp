@@ -1,0 +1,98 @@
+#include "convolve/tee/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::tee {
+namespace {
+
+TEST(Machine, MachineModeCanReadWrite) {
+  Machine m(64 * 1024);
+  const Bytes data = {1, 2, 3, 4};
+  m.store(0x100, data, PrivMode::kMachine);
+  EXPECT_EQ(m.load(0x100, 4, PrivMode::kMachine), data);
+}
+
+TEST(Machine, SupervisorDeniedWithoutPmpEntry) {
+  Machine m(64 * 1024);
+  EXPECT_THROW(m.load(0x100, 4, PrivMode::kSupervisor), AccessFault);
+  EXPECT_THROW(m.store(0x100, Bytes{1}, PrivMode::kUser), AccessFault);
+}
+
+TEST(Machine, SupervisorAllowedThroughPmpEntry) {
+  Machine m(64 * 1024);
+  PmpEntry e;
+  e.mode = PmpAddressMode::kNapot;
+  e.address = PmpUnit::encode_napot(0x1000, 0x1000);
+  e.read = true;
+  e.write = true;
+  m.pmp().set_entry(0, e);
+  m.store(0x1000, Bytes{9}, PrivMode::kSupervisor);
+  EXPECT_EQ(m.load_byte(0x1000, PrivMode::kSupervisor), 9);
+}
+
+TEST(Machine, OutOfBoundsFaults) {
+  Machine m(4096);
+  EXPECT_THROW(m.load(4095, 2, PrivMode::kMachine), AccessFault);
+  EXPECT_THROW(m.store(4096, Bytes{1}, PrivMode::kMachine), AccessFault);
+}
+
+TEST(Machine, AccessFaultCarriesDetails) {
+  Machine m(4096);
+  try {
+    m.load(0x20, 4, PrivMode::kUser);
+    FAIL() << "expected AccessFault";
+  } catch (const AccessFault& fault) {
+    EXPECT_EQ(fault.address, 0x20u);
+    EXPECT_EQ(fault.access, AccessType::kRead);
+  }
+}
+
+TEST(Machine, ExecutePermissionIsSeparate) {
+  Machine m(64 * 1024);
+  PmpEntry e;
+  e.mode = PmpAddressMode::kNapot;
+  e.address = PmpUnit::encode_napot(0x2000, 0x1000);
+  e.read = true;  // readable but not executable
+  m.pmp().set_entry(0, e);
+  EXPECT_FALSE(m.can_execute(0x2000, 16, PrivMode::kUser));
+  PmpEntry ex = e;
+  ex.execute = true;
+  m.pmp().set_entry(0, ex);
+  EXPECT_TRUE(m.can_execute(0x2000, 16, PrivMode::kUser));
+}
+
+TEST(SimStack, TracksUsageAndWatermark) {
+  SimStack stack(1000);
+  EXPECT_EQ(stack.used(), 0u);
+  {
+    StackFrame a(stack, 400);
+    EXPECT_EQ(stack.used(), 400u);
+    {
+      StackFrame b(stack, 500);
+      EXPECT_EQ(stack.used(), 900u);
+    }
+    EXPECT_EQ(stack.used(), 400u);
+  }
+  EXPECT_EQ(stack.used(), 0u);
+  EXPECT_EQ(stack.high_watermark(), 900u);
+}
+
+TEST(SimStack, OverflowThrows) {
+  SimStack stack(100);
+  StackFrame a(stack, 60);
+  EXPECT_THROW(StackFrame(stack, 50), StackOverflow);
+  // State unchanged after the failed push.
+  EXPECT_EQ(stack.used(), 60u);
+}
+
+TEST(SimStack, WatermarkSurvivesPop) {
+  SimStack stack(1 << 20);
+  stack.push(5000);
+  stack.pop(5000);
+  EXPECT_EQ(stack.high_watermark(), 5000u);
+  stack.reset_watermark();
+  EXPECT_EQ(stack.high_watermark(), 0u);
+}
+
+}  // namespace
+}  // namespace convolve::tee

@@ -1,0 +1,159 @@
+#include "convolve/tee/pmp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::tee {
+namespace {
+
+PmpEntry napot(std::uint64_t base, std::uint64_t size, bool r, bool w, bool x,
+               bool locked = false) {
+  PmpEntry e;
+  e.mode = PmpAddressMode::kNapot;
+  e.address = PmpUnit::encode_napot(base, size);
+  e.read = r;
+  e.write = w;
+  e.execute = x;
+  e.locked = locked;
+  return e;
+}
+
+TEST(Pmp, UnmatchedMachinePassesSupervisorFails) {
+  PmpUnit pmp;
+  EXPECT_TRUE(pmp.check(0x1000, 4, PrivMode::kMachine, AccessType::kRead));
+  EXPECT_FALSE(pmp.check(0x1000, 4, PrivMode::kSupervisor, AccessType::kRead));
+  EXPECT_FALSE(pmp.check(0x1000, 4, PrivMode::kUser, AccessType::kWrite));
+}
+
+TEST(Pmp, NapotRegionGrantsConfiguredPermissions) {
+  PmpUnit pmp;
+  pmp.set_entry(0, napot(0x4000, 0x1000, true, false, false));
+  EXPECT_TRUE(pmp.check(0x4000, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_TRUE(pmp.check(0x4ffc, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_FALSE(pmp.check(0x4000, 4, PrivMode::kUser, AccessType::kWrite));
+  EXPECT_FALSE(pmp.check(0x4000, 4, PrivMode::kUser, AccessType::kExecute));
+  // Outside the region: unmatched -> denied for U.
+  EXPECT_FALSE(pmp.check(0x5000, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_FALSE(pmp.check(0x3ffc, 4, PrivMode::kUser, AccessType::kRead));
+}
+
+TEST(Pmp, MachineModeIgnoresUnlockedEntries) {
+  PmpUnit pmp;
+  pmp.set_entry(0, napot(0x4000, 0x1000, false, false, false));
+  EXPECT_TRUE(pmp.check(0x4000, 4, PrivMode::kMachine, AccessType::kWrite));
+}
+
+TEST(Pmp, LockedEntryAppliesToMachineMode) {
+  PmpUnit pmp;
+  pmp.set_entry(0, napot(0x4000, 0x1000, true, false, false, true));
+  EXPECT_TRUE(pmp.check(0x4000, 4, PrivMode::kMachine, AccessType::kRead));
+  EXPECT_FALSE(pmp.check(0x4000, 4, PrivMode::kMachine, AccessType::kWrite));
+}
+
+TEST(Pmp, LockedEntryCannotBeReprogrammed) {
+  PmpUnit pmp;
+  pmp.set_entry(0, napot(0x4000, 0x1000, true, true, true, true));
+  EXPECT_THROW(pmp.set_entry(0, PmpEntry{}), std::logic_error);
+  // But survives clear_unlocked and dies on reset.
+  pmp.clear_unlocked();
+  EXPECT_TRUE(pmp.check(0x4000, 4, PrivMode::kUser, AccessType::kRead));
+  pmp.reset();
+  EXPECT_FALSE(pmp.check(0x4000, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_NO_THROW(pmp.set_entry(0, PmpEntry{}));
+}
+
+TEST(Pmp, FirstMatchingEntryWins) {
+  PmpUnit pmp;
+  // Entry 0 denies a subregion; entry 1 allows the enclosing region.
+  pmp.set_entry(0, napot(0x4000, 0x1000, false, false, false));
+  pmp.set_entry(1, napot(0x4000, 0x4000, true, true, true));
+  EXPECT_FALSE(pmp.check(0x4000, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_TRUE(pmp.check(0x5000, 4, PrivMode::kUser, AccessType::kRead));
+}
+
+TEST(Pmp, TorRangeUsesPreviousEntryAddress) {
+  PmpUnit pmp;
+  PmpEntry bound;  // entry 0 supplies the lower bound via its address
+  bound.mode = PmpAddressMode::kOff;
+  bound.address = 0x2000 >> 2;
+  pmp.set_entry(0, bound);
+  PmpEntry tor;
+  tor.mode = PmpAddressMode::kTor;
+  tor.address = 0x3000 >> 2;
+  tor.read = true;
+  pmp.set_entry(1, tor);
+  EXPECT_TRUE(pmp.check(0x2000, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_TRUE(pmp.check(0x2ffc, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_FALSE(pmp.check(0x1ffc, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_FALSE(pmp.check(0x3000, 4, PrivMode::kUser, AccessType::kRead));
+}
+
+TEST(Pmp, TorEntryZeroStartsAtAddressZero) {
+  PmpUnit pmp;
+  PmpEntry tor;
+  tor.mode = PmpAddressMode::kTor;
+  tor.address = 0x1000 >> 2;
+  tor.read = true;
+  pmp.set_entry(0, tor);
+  EXPECT_TRUE(pmp.check(0, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_FALSE(pmp.check(0x1000, 4, PrivMode::kUser, AccessType::kRead));
+}
+
+TEST(Pmp, Na4CoversExactlyFourBytes) {
+  PmpUnit pmp;
+  PmpEntry e;
+  e.mode = PmpAddressMode::kNa4;
+  e.address = 0x80 >> 2;
+  e.read = true;
+  pmp.set_entry(0, e);
+  EXPECT_TRUE(pmp.check(0x80, 4, PrivMode::kUser, AccessType::kRead));
+  EXPECT_FALSE(pmp.check(0x84, 4, PrivMode::kUser, AccessType::kRead));
+}
+
+TEST(Pmp, PartialOverlapFaults) {
+  PmpUnit pmp;
+  pmp.set_entry(0, napot(0x4000, 0x1000, true, true, true));
+  // Access straddling the region boundary faults even for M-mode reads
+  // through a permissive entry (matching is all-or-nothing).
+  EXPECT_FALSE(pmp.check(0x4ffc, 8, PrivMode::kUser, AccessType::kRead));
+}
+
+TEST(Pmp, NapotEncodingValidation) {
+  EXPECT_THROW(PmpUnit::encode_napot(0x4000, 6), std::invalid_argument);
+  EXPECT_THROW(PmpUnit::encode_napot(0x4000, 0x3000), std::invalid_argument);
+  EXPECT_THROW(PmpUnit::encode_napot(0x100, 0x200), std::invalid_argument);
+  EXPECT_NO_THROW(PmpUnit::encode_napot(0x400, 0x400));
+}
+
+TEST(Pmp, IndexValidation) {
+  PmpUnit pmp;
+  EXPECT_THROW(pmp.set_entry(-1, PmpEntry{}), std::out_of_range);
+  EXPECT_THROW(pmp.set_entry(16, PmpEntry{}), std::out_of_range);
+  EXPECT_THROW(pmp.entry(16), std::out_of_range);
+}
+
+TEST(Pmp, ZeroLengthAccessAllowed) {
+  PmpUnit pmp;
+  EXPECT_TRUE(pmp.check(0x1234, 0, PrivMode::kUser, AccessType::kRead));
+}
+
+// Property sweep: for a NAPOT region, check() must agree with the
+// mathematical definition across many addresses and sizes.
+class PmpNapotSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PmpNapotSweep, MatchesIntervalSemantics) {
+  const std::uint64_t size = GetParam();
+  const std::uint64_t base = 4 * size;  // aligned by construction
+  PmpUnit pmp;
+  pmp.set_entry(0, napot(base, size, true, false, false));
+  for (std::uint64_t addr = base - 16; addr < base + size + 16; addr += 4) {
+    const bool inside = addr >= base && addr + 4 <= base + size;
+    EXPECT_EQ(pmp.check(addr, 4, PrivMode::kUser, AccessType::kRead), inside)
+        << "size " << size << " addr " << addr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PmpNapotSweep,
+                         ::testing::Values(8u, 16u, 64u, 4096u, 65536u));
+
+}  // namespace
+}  // namespace convolve::tee

@@ -1,0 +1,338 @@
+#include "convolve/tee/rv32.hpp"
+
+#include <gtest/gtest.h>
+
+namespace convolve::tee {
+namespace {
+
+namespace rv = rv32asm;
+
+struct Cpu {
+  Machine machine{1 << 20};
+  std::unique_ptr<Rv32Cpu> cpu;
+
+  // Load a program at 0x1000 with an all-access PMP view (M-mode).
+  explicit Cpu(const std::vector<std::uint32_t>& program,
+               PrivMode mode = PrivMode::kMachine) {
+    machine.store(0x1000, rv::assemble(program), PrivMode::kMachine);
+    cpu = std::make_unique<Rv32Cpu>(machine, 0x1000, mode);
+  }
+};
+
+TEST(Rv32, ArithmeticImmediates) {
+  Cpu c({
+      rv::addi(1, 0, 42),      // x1 = 42
+      rv::addi(2, 1, -10),     // x2 = 32
+      rv::xori(3, 2, 0xff),    // x3 = 32 ^ 255 = 223
+      rv::andi(4, 3, 0x0f),    // x4 = 15
+      rv::ori(5, 4, 0x30),     // x5 = 63
+      rv::slli(6, 5, 2),       // x6 = 252
+      rv::srli(7, 6, 3),       // x7 = 31
+      rv::ebreak(),
+  });
+  const auto r = c.cpu->run(100);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(r.trap->cause, TrapCause::kEbreak);
+  EXPECT_EQ(c.cpu->reg(1), 42u);
+  EXPECT_EQ(c.cpu->reg(2), 32u);
+  EXPECT_EQ(c.cpu->reg(3), 223u);
+  EXPECT_EQ(c.cpu->reg(4), 15u);
+  EXPECT_EQ(c.cpu->reg(5), 63u);
+  EXPECT_EQ(c.cpu->reg(6), 252u);
+  EXPECT_EQ(c.cpu->reg(7), 31u);
+}
+
+TEST(Rv32, SignedArithmeticAndShifts) {
+  Cpu c({
+      rv::addi(1, 0, -1),   // x1 = 0xffffffff
+      rv::srai(2, 1, 4),    // x2 = 0xffffffff (arithmetic)
+      rv::srli(3, 1, 4),    // x3 = 0x0fffffff
+      rv::slti(4, 1, 0),    // x4 = 1 (-1 < 0)
+      rv::sltiu(5, 1, 0),   // x5 = 0 (0xffffffff not < 0)
+      rv::ebreak(),
+  });
+  c.cpu->run(100);
+  EXPECT_EQ(c.cpu->reg(2), 0xffffffffu);
+  EXPECT_EQ(c.cpu->reg(3), 0x0fffffffu);
+  EXPECT_EQ(c.cpu->reg(4), 1u);
+  EXPECT_EQ(c.cpu->reg(5), 0u);
+}
+
+TEST(Rv32, RegisterRegisterOps) {
+  Cpu c({
+      rv::addi(1, 0, 100),
+      rv::addi(2, 0, 7),
+      rv::add(3, 1, 2),   // 107
+      rv::sub(4, 1, 2),   // 93
+      rv::xor_(5, 1, 2),  // 99
+      rv::and_(6, 1, 2),  // 4
+      rv::or_(7, 1, 2),   // 103
+      rv::sltu(8, 2, 1),  // 1
+      rv::ebreak(),
+  });
+  c.cpu->run(100);
+  EXPECT_EQ(c.cpu->reg(3), 107u);
+  EXPECT_EQ(c.cpu->reg(4), 93u);
+  EXPECT_EQ(c.cpu->reg(5), 99u);
+  EXPECT_EQ(c.cpu->reg(6), 4u);
+  EXPECT_EQ(c.cpu->reg(7), 103u);
+  EXPECT_EQ(c.cpu->reg(8), 1u);
+}
+
+TEST(Rv32, MExtensionArithmetic) {
+  Cpu c({
+      rv::addi(1, 0, -6),
+      rv::addi(2, 0, 7),
+      rv::mul(3, 1, 2),   // -42
+      rv::mulh(4, 1, 2),  // -1 (sign extension of the 64-bit product)
+      rv::rem(5, 1, 2),   // -6 % 7 = -6
+      rv::addi(6, 0, 100),
+      rv::addi(7, 0, 9),
+      rv::divu(8, 6, 7),  // 11
+      rv::remu(9, 6, 7),  // 1
+      rv::ebreak(),
+  });
+  c.cpu->run(100);
+  EXPECT_EQ(static_cast<std::int32_t>(c.cpu->reg(3)), -42);
+  EXPECT_EQ(c.cpu->reg(4), 0xffffffffu);
+  EXPECT_EQ(static_cast<std::int32_t>(c.cpu->reg(5)), -6);
+  EXPECT_EQ(c.cpu->reg(8), 11u);
+  EXPECT_EQ(c.cpu->reg(9), 1u);
+}
+
+TEST(Rv32, DivisionEdgeCases) {
+  Cpu c({
+      rv::addi(1, 0, 5),
+      rv::addi(2, 0, 0),
+      rv32asm::div(3, 1, 2),  // div by zero -> -1
+      rv::remu(4, 1, 2),      // rem by zero -> dividend
+      rv::ebreak(),
+  });
+  c.cpu->run(100);
+  EXPECT_EQ(c.cpu->reg(3), 0xffffffffu);
+  EXPECT_EQ(c.cpu->reg(4), 5u);
+}
+
+TEST(Rv32, LoadsAndStores) {
+  Cpu c({
+      rv::lui(1, 0x2),          // x1 = 0x2000
+      rv::addi(2, 0, -2),       // x2 = 0xfffffffe
+      rv::sw(2, 1, 0),          // [0x2000] = fffffffe
+      rv::lw(3, 1, 0),          // x3 = fffffffe
+      rv::lb(4, 1, 0),          // x4 = sign-extended 0xfe = -2
+      rv::lbu(5, 1, 0),         // x5 = 0xfe
+      rv::lh(6, 1, 0),          // x6 = 0xfffffffe
+      rv::lhu(7, 1, 0),         // x7 = 0xfffe
+      rv::sb(2, 1, 8),          // [0x2008] = fe
+      rv::lbu(8, 1, 8),
+      rv::ebreak(),
+  });
+  c.cpu->run(100);
+  EXPECT_EQ(c.cpu->reg(3), 0xfffffffeu);
+  EXPECT_EQ(c.cpu->reg(4), 0xfffffffeu);
+  EXPECT_EQ(c.cpu->reg(5), 0xfeu);
+  EXPECT_EQ(c.cpu->reg(6), 0xfffffffeu);
+  EXPECT_EQ(c.cpu->reg(7), 0xfffeu);
+  EXPECT_EQ(c.cpu->reg(8), 0xfeu);
+}
+
+TEST(Rv32, BranchLoopComputesSum) {
+  // sum = 1 + 2 + ... + 10 via a branch loop.
+  Cpu c({
+      rv::addi(1, 0, 0),    // sum
+      rv::addi(2, 0, 1),    // i
+      rv::addi(3, 0, 11),   // limit
+      // loop:
+      rv::add(1, 1, 2),     // sum += i
+      rv::addi(2, 2, 1),    // ++i
+      rv::bne(2, 3, -8),    // while i != 11
+      rv::ebreak(),
+  });
+  const auto r = c.cpu->run(1000);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(c.cpu->reg(1), 55u);
+}
+
+TEST(Rv32, JalAndJalrFunctionCall) {
+  // x1 = f(5) where f doubles its argument; call via jal, return via jalr.
+  Cpu c({
+      rv::addi(10, 0, 5),    // a0 = 5
+      rv::jal(1, 8),         // call f (two instructions ahead), ra = x1
+      rv::ebreak(),          // after return
+      // f:
+      rv::add(10, 10, 10),   // a0 *= 2
+      rv::jalr(0, 1, 0),     // return
+  });
+  const auto r = c.cpu->run(100);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(r.trap->cause, TrapCause::kEbreak);
+  EXPECT_EQ(c.cpu->reg(10), 10u);
+}
+
+TEST(Rv32, FibonacciProgram) {
+  // Compute fib(15) = 610 iteratively.
+  Cpu c({
+      rv::addi(1, 0, 0),    // a = 0
+      rv::addi(2, 0, 1),    // b = 1
+      rv::addi(3, 0, 15),   // n
+      // loop:
+      rv::add(4, 1, 2),     // t = a + b
+      rv::addi(1, 2, 0),    // a = b
+      rv::addi(2, 4, 0),    // b = t
+      rv::addi(3, 3, -1),   // --n
+      rv::bne(3, 0, -16),
+      rv::ebreak(),
+  });
+  c.cpu->run(1000);
+  EXPECT_EQ(c.cpu->reg(1), 610u);
+}
+
+TEST(Rv32, X0IsHardwiredZero) {
+  Cpu c({
+      rv::addi(0, 0, 99),  // write to x0 is discarded
+      rv::addi(1, 0, 3),
+      rv::ebreak(),
+  });
+  c.cpu->run(10);
+  EXPECT_EQ(c.cpu->reg(0), 0u);
+  EXPECT_EQ(c.cpu->reg(1), 3u);
+}
+
+TEST(Rv32, EcallTrapsWithResumablePc) {
+  Cpu c({
+      rv::addi(17, 0, 93),  // a7 = syscall number
+      rv::ecall(),
+      rv::addi(1, 0, 7),    // resumed after the embedder services it
+      rv::ebreak(),
+  });
+  auto r = c.cpu->run(10);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(r.trap->cause, TrapCause::kEcall);
+  EXPECT_EQ(c.cpu->reg(17), 93u);
+  // pc already points past the ecall: resume directly.
+  r = c.cpu->run(10);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(r.trap->cause, TrapCause::kEbreak);
+  EXPECT_EQ(c.cpu->reg(1), 7u);
+}
+
+TEST(Rv32, IllegalInstructionTraps) {
+  Cpu c({0xffffffffu});
+  const auto r = c.cpu->run(10);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(r.trap->cause, TrapCause::kIllegalInstruction);
+}
+
+TEST(Rv32, MisalignedPcTraps) {
+  Cpu c({rv::nop()});
+  c.cpu->set_pc(0x1002);
+  const auto r = c.cpu->run(10);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(r.trap->cause, TrapCause::kMisalignedFetch);
+}
+
+TEST(Rv32, PmpBlocksUserLoads) {
+  // U-mode code in an executable region; loads outside it trap.
+  Machine machine(1 << 20);
+  const auto program = rv::assemble({
+      rv::lui(1, 0x80),   // x1 = 0x80000 (outside the enclave)
+      rv::lw(2, 1, 0),    // -> load fault
+      rv::ebreak(),
+  });
+  machine.store(0x4000, program, PrivMode::kMachine);
+  PmpEntry e;
+  e.mode = PmpAddressMode::kNapot;
+  e.address = PmpUnit::encode_napot(0x4000, 0x1000);
+  e.read = e.write = e.execute = true;
+  machine.pmp().set_entry(0, e);
+
+  Rv32Cpu cpu(machine, 0x4000, PrivMode::kUser);
+  const auto r = cpu.run(10);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(r.trap->cause, TrapCause::kLoadAccessFault);
+  EXPECT_EQ(r.trap->tval, 0x80000u);
+  EXPECT_EQ(r.trap->pc, 0x4004u);
+}
+
+TEST(Rv32, PmpBlocksUserFetchOutsideRegion) {
+  Machine machine(1 << 20);
+  const auto program = rv::assemble({
+      rv::lui(1, 0x80),
+      rv::jalr(0, 1, 0),  // jump to 0x80000: fetch fault there
+  });
+  machine.store(0x4000, program, PrivMode::kMachine);
+  PmpEntry e;
+  e.mode = PmpAddressMode::kNapot;
+  e.address = PmpUnit::encode_napot(0x4000, 0x1000);
+  e.read = e.write = e.execute = true;
+  machine.pmp().set_entry(0, e);
+
+  Rv32Cpu cpu(machine, 0x4000, PrivMode::kUser);
+  const auto r = cpu.run(10);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(r.trap->cause, TrapCause::kInstructionAccessFault);
+  EXPECT_EQ(r.trap->pc, 0x80000u);
+}
+
+TEST(Rv32, WriteExecuteSeparation) {
+  // Region is executable but not writable: code cannot patch itself.
+  Machine machine(1 << 20);
+  const auto program = rv::assemble({
+      rv::auipc(1, 0),    // x1 = pc
+      rv::sw(0, 1, 0),    // try to overwrite own code -> store fault
+      rv::ebreak(),
+  });
+  machine.store(0x4000, program, PrivMode::kMachine);
+  PmpEntry e;
+  e.mode = PmpAddressMode::kNapot;
+  e.address = PmpUnit::encode_napot(0x4000, 0x1000);
+  e.read = true;
+  e.execute = true;  // R-X, no W
+  machine.pmp().set_entry(0, e);
+
+  Rv32Cpu cpu(machine, 0x4000, PrivMode::kUser);
+  const auto r = cpu.run(10);
+  ASSERT_TRUE(r.trap.has_value());
+  EXPECT_EQ(r.trap->cause, TrapCause::kStoreAccessFault);
+}
+
+TEST(Rv32, MemcpyProgram) {
+  // Copy 16 bytes from 0x3000 to 0x3800 with a byte loop.
+  Cpu c({
+      rv::lui(1, 0x3),      // src = 0x3000
+      rv::lui(2, 0x3),      //
+      rv::addi(2, 2, 0x7ff),
+      rv::addi(2, 2, 1),    // dst = 0x3800
+      rv::addi(3, 0, 16),   // n
+      // loop:
+      rv::lbu(4, 1, 0),
+      rv::sb(4, 2, 0),
+      rv::addi(1, 1, 1),
+      rv::addi(2, 2, 1),
+      rv::addi(3, 3, -1),
+      rv::bne(3, 0, -20),
+      rv::ebreak(),
+  });
+  Bytes src(16);
+  for (int i = 0; i < 16; ++i) src[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i * 3 + 1);
+  c.machine.store(0x3000, src, PrivMode::kMachine);
+  c.cpu->run(1000);
+  EXPECT_EQ(c.machine.load(0x3800, 16, PrivMode::kMachine), src);
+}
+
+TEST(Rv32, RegisterIndexValidation) {
+  Machine machine(4096);
+  Rv32Cpu cpu(machine, 0, PrivMode::kMachine);
+  EXPECT_THROW(cpu.reg(32), std::out_of_range);
+  EXPECT_THROW(cpu.set_reg(-1, 0), std::out_of_range);
+}
+
+TEST(Rv32, CountsRetiredInstructions) {
+  Cpu c({rv::addi(1, 0, 1), rv::addi(2, 0, 2), rv::ebreak()});
+  c.cpu->run(10);
+  EXPECT_EQ(c.cpu->instructions_retired(), 3u);
+}
+
+}  // namespace
+}  // namespace convolve::tee

@@ -1,0 +1,117 @@
+#include "convolve/tee/vendor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convolve/tee/security_monitor.hpp"
+
+namespace convolve::tee {
+namespace {
+
+struct Chain {
+  VendorCa vendor{Bytes(32, 0xCA), /*pq=*/true};
+  Machine machine{1 << 20};
+  BootRecord boot;
+  std::unique_ptr<SecurityMonitor> sm;
+  DeviceCertificate cert;
+
+  Chain() {
+    const Bootrom rom({true}, DeviceKeys::from_entropy(Bytes(32, 0xD1)));
+    boot = rom.boot(Bytes(4096, 0xAB));
+    SmConfig config;
+    config.stack_bytes = 128 * 1024;
+    sm = std::make_unique<SecurityMonitor>(machine, boot, config);
+    cert = vendor.issue(as_bytes("SN-000123"), boot);
+  }
+};
+
+TEST(VendorCa, CertificateVerifiesAgainstRoots) {
+  Chain chain;
+  const auto anchor = verify_certificate(
+      chain.cert, chain.vendor.root_ed25519_pk(),
+      chain.vendor.root_mldsa_pk());
+  ASSERT_TRUE(anchor.has_value());
+  EXPECT_TRUE(ct_equal({anchor->device_ed25519_pk.data(), 32},
+                       {chain.boot.device_ed25519_pk.data(), 32}));
+  EXPECT_EQ(anchor->device_mldsa_pk, chain.boot.device_mldsa_pk);
+}
+
+TEST(VendorCa, FullChainVendorToEnclave) {
+  // The deployment path: verifier pins ONLY the vendor roots, derives the
+  // device anchor from the certificate, then verifies an enclave report.
+  Chain chain;
+  const int enclave = chain.sm->create_enclave(Bytes(256, 0x3D), 8192);
+  const auto report = chain.sm->attest(enclave, as_bytes("binding"));
+  const auto anchor = verify_certificate(
+      chain.cert, chain.vendor.root_ed25519_pk(),
+      chain.vendor.root_mldsa_pk());
+  ASSERT_TRUE(anchor.has_value());
+  EXPECT_TRUE(verify_report(report, *anchor));
+}
+
+TEST(VendorCa, TamperedCertificateRejected) {
+  Chain chain;
+  {
+    auto bad = chain.cert;
+    bad.device_ed25519_pk[0] ^= 1;
+    EXPECT_FALSE(verify_certificate(bad, chain.vendor.root_ed25519_pk(),
+                                    chain.vendor.root_mldsa_pk())
+                     .has_value());
+  }
+  {
+    auto bad = chain.cert;
+    bad.device_id.push_back('X');
+    EXPECT_FALSE(verify_certificate(bad, chain.vendor.root_ed25519_pk(),
+                                    chain.vendor.root_mldsa_pk())
+                     .has_value());
+  }
+  {
+    // Hybrid rule: corrupting only the ML-DSA signature must reject.
+    auto bad = chain.cert;
+    bad.vendor_sig_mldsa[77] ^= 1;
+    EXPECT_FALSE(verify_certificate(bad, chain.vendor.root_ed25519_pk(),
+                                    chain.vendor.root_mldsa_pk())
+                     .has_value());
+  }
+}
+
+TEST(VendorCa, WrongVendorRootsRejected) {
+  Chain chain;
+  const VendorCa other(Bytes(32, 0xCB), true);
+  EXPECT_FALSE(verify_certificate(chain.cert, other.root_ed25519_pk(),
+                                  other.root_mldsa_pk())
+                   .has_value());
+}
+
+TEST(VendorCa, RogueDeviceCannotForgeCertificate) {
+  // A device that self-issues a certificate (signing with its own keys
+  // instead of the vendor's) is rejected by the verifier.
+  Chain chain;
+  const Bootrom rogue_rom({true}, DeviceKeys::from_entropy(Bytes(32, 0xEE)));
+  const BootRecord rogue_boot = rogue_rom.boot(Bytes(4096, 0xAB));
+  const VendorCa fake_vendor(Bytes(32, 0xEF), true);  // attacker's "CA"
+  const auto forged = fake_vendor.issue(as_bytes("SN-000123"), rogue_boot);
+  EXPECT_FALSE(verify_certificate(forged, chain.vendor.root_ed25519_pk(),
+                                  chain.vendor.root_mldsa_pk())
+                   .has_value());
+}
+
+TEST(VendorCa, ClassicalOnlyChainWorks) {
+  const VendorCa vendor(Bytes(32, 0xCC), /*pq=*/false);
+  const Bootrom rom({false}, DeviceKeys::from_entropy(Bytes(32, 0xD2)));
+  const BootRecord boot = rom.boot(Bytes(4096, 0xAB));
+  const auto cert = vendor.issue(as_bytes("SN-9"), boot);
+  EXPECT_FALSE(cert.pq_enabled);
+  const auto anchor =
+      verify_certificate(cert, vendor.root_ed25519_pk(), {});
+  ASSERT_TRUE(anchor.has_value());
+}
+
+TEST(VendorCa, SerializationIsStable) {
+  Chain chain;
+  EXPECT_EQ(chain.cert.serialize(), chain.cert.serialize());
+  EXPECT_GT(chain.cert.serialize().size(),
+            32u + 64u);  // at least pk + classical sig
+}
+
+}  // namespace
+}  // namespace convolve::tee
