@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_agema"
+  "../bench/bench_ablation_agema.pdb"
+  "CMakeFiles/bench_ablation_agema.dir/bench_ablation_agema.cpp.o"
+  "CMakeFiles/bench_ablation_agema.dir/bench_ablation_agema.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_agema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

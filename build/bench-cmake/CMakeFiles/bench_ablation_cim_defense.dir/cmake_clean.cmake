@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cim_defense"
+  "../bench/bench_ablation_cim_defense.pdb"
+  "CMakeFiles/bench_ablation_cim_defense.dir/bench_ablation_cim_defense.cpp.o"
+  "CMakeFiles/bench_ablation_cim_defense.dir/bench_ablation_cim_defense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cim_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_localsearch"
+  "../bench/bench_ablation_localsearch.pdb"
+  "CMakeFiles/bench_ablation_localsearch.dir/bench_ablation_localsearch.cpp.o"
+  "CMakeFiles/bench_ablation_localsearch.dir/bench_ablation_localsearch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_localsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

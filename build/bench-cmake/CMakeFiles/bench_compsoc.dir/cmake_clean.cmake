@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_compsoc"
+  "../bench/bench_compsoc.pdb"
+  "CMakeFiles/bench_compsoc.dir/bench_compsoc.cpp.o"
+  "CMakeFiles/bench_compsoc.dir/bench_compsoc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compsoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_clustering"
+  "../bench/bench_fig1_clustering.pdb"
+  "CMakeFiles/bench_fig1_clustering.dir/bench_fig1_clustering.cpp.o"
+  "CMakeFiles/bench_fig1_clustering.dir/bench_fig1_clustering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_rtos_pmp"
+  "../bench/bench_fig3_rtos_pmp.pdb"
+  "CMakeFiles/bench_fig3_rtos_pmp.dir/bench_fig3_rtos_pmp.cpp.o"
+  "CMakeFiles/bench_fig3_rtos_pmp.dir/bench_fig3_rtos_pmp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rtos_pmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_framework_profiles"
+  "../bench/bench_framework_profiles.pdb"
+  "CMakeFiles/bench_framework_profiles.dir/bench_framework_profiles.cpp.o"
+  "CMakeFiles/bench_framework_profiles.dir/bench_framework_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_framework_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

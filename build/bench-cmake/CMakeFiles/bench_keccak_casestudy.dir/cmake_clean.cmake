@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_keccak_casestudy"
+  "../bench/bench_keccak_casestudy.pdb"
+  "CMakeFiles/bench_keccak_casestudy.dir/bench_keccak_casestudy.cpp.o"
+  "CMakeFiles/bench_keccak_casestudy.dir/bench_keccak_casestudy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keccak_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

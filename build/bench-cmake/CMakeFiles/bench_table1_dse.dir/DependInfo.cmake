@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_dse.cpp" "bench-cmake/CMakeFiles/bench_table1_dse.dir/bench_table1_dse.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_table1_dse.dir/bench_table1_dse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/masking/CMakeFiles/convolve_masking.dir/DependInfo.cmake"
+  "/root/repo/build/src/hades/CMakeFiles/convolve_hades.dir/DependInfo.cmake"
+  "/root/repo/build/src/cim/CMakeFiles/convolve_cim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/convolve_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/convolve_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/compsoc/CMakeFiles/convolve_compsoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/convolve_framework.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

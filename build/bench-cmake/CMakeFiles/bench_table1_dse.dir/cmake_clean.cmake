@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_dse"
+  "../bench/bench_table1_dse.pdb"
+  "CMakeFiles/bench_table1_dse.dir/bench_table1_dse.cpp.o"
+  "CMakeFiles/bench_table1_dse.dir/bench_table1_dse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_aes"
+  "../bench/bench_table2_aes.pdb"
+  "CMakeFiles/bench_table2_aes.dir/bench_table2_aes.cpp.o"
+  "CMakeFiles/bench_table2_aes.dir/bench_table2_aes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

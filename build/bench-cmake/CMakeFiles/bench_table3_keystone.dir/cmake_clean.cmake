@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_keystone"
+  "../bench/bench_table3_keystone.pdb"
+  "CMakeFiles/bench_table3_keystone.dir/bench_table3_keystone.cpp.o"
+  "CMakeFiles/bench_table3_keystone.dir/bench_table3_keystone.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_keystone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hades_explore.dir/hades_explore.cpp.o"
+  "CMakeFiles/hades_explore.dir/hades_explore.cpp.o.d"
+  "hades_explore"
+  "hades_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hades_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_ip_theft.dir/model_ip_theft.cpp.o"
+  "CMakeFiles/model_ip_theft.dir/model_ip_theft.cpp.o.d"
+  "model_ip_theft"
+  "model_ip_theft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_ip_theft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

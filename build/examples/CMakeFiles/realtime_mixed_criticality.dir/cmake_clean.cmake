@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_mixed_criticality.dir/realtime_mixed_criticality.cpp.o"
+  "CMakeFiles/realtime_mixed_criticality.dir/realtime_mixed_criticality.cpp.o.d"
+  "realtime_mixed_criticality"
+  "realtime_mixed_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_mixed_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

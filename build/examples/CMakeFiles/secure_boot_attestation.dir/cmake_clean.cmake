@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_boot_attestation.dir/secure_boot_attestation.cpp.o"
+  "CMakeFiles/secure_boot_attestation.dir/secure_boot_attestation.cpp.o.d"
+  "secure_boot_attestation"
+  "secure_boot_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_boot_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

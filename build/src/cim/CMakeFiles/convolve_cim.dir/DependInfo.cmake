@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cim/adder_tree.cpp" "src/cim/CMakeFiles/convolve_cim.dir/adder_tree.cpp.o" "gcc" "src/cim/CMakeFiles/convolve_cim.dir/adder_tree.cpp.o.d"
+  "/root/repo/src/cim/attack.cpp" "src/cim/CMakeFiles/convolve_cim.dir/attack.cpp.o" "gcc" "src/cim/CMakeFiles/convolve_cim.dir/attack.cpp.o.d"
+  "/root/repo/src/cim/kmeans.cpp" "src/cim/CMakeFiles/convolve_cim.dir/kmeans.cpp.o" "gcc" "src/cim/CMakeFiles/convolve_cim.dir/kmeans.cpp.o.d"
+  "/root/repo/src/cim/layer.cpp" "src/cim/CMakeFiles/convolve_cim.dir/layer.cpp.o" "gcc" "src/cim/CMakeFiles/convolve_cim.dir/layer.cpp.o.d"
+  "/root/repo/src/cim/leakage.cpp" "src/cim/CMakeFiles/convolve_cim.dir/leakage.cpp.o" "gcc" "src/cim/CMakeFiles/convolve_cim.dir/leakage.cpp.o.d"
+  "/root/repo/src/cim/macro.cpp" "src/cim/CMakeFiles/convolve_cim.dir/macro.cpp.o" "gcc" "src/cim/CMakeFiles/convolve_cim.dir/macro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolve_cim.dir/adder_tree.cpp.o"
+  "CMakeFiles/convolve_cim.dir/adder_tree.cpp.o.d"
+  "CMakeFiles/convolve_cim.dir/attack.cpp.o"
+  "CMakeFiles/convolve_cim.dir/attack.cpp.o.d"
+  "CMakeFiles/convolve_cim.dir/kmeans.cpp.o"
+  "CMakeFiles/convolve_cim.dir/kmeans.cpp.o.d"
+  "CMakeFiles/convolve_cim.dir/layer.cpp.o"
+  "CMakeFiles/convolve_cim.dir/layer.cpp.o.d"
+  "CMakeFiles/convolve_cim.dir/leakage.cpp.o"
+  "CMakeFiles/convolve_cim.dir/leakage.cpp.o.d"
+  "CMakeFiles/convolve_cim.dir/macro.cpp.o"
+  "CMakeFiles/convolve_cim.dir/macro.cpp.o.d"
+  "libconvolve_cim.a"
+  "libconvolve_cim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolve_cim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for convolve_cim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolve_common.dir/bytes.cpp.o"
+  "CMakeFiles/convolve_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/convolve_common.dir/rng.cpp.o"
+  "CMakeFiles/convolve_common.dir/rng.cpp.o.d"
+  "CMakeFiles/convolve_common.dir/stats.cpp.o"
+  "CMakeFiles/convolve_common.dir/stats.cpp.o.d"
+  "libconvolve_common.a"
+  "libconvolve_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolve_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconvolve_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolve_compsoc.dir/noc.cpp.o"
+  "CMakeFiles/convolve_compsoc.dir/noc.cpp.o.d"
+  "CMakeFiles/convolve_compsoc.dir/platform.cpp.o"
+  "CMakeFiles/convolve_compsoc.dir/platform.cpp.o.d"
+  "libconvolve_compsoc.a"
+  "libconvolve_compsoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolve_compsoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

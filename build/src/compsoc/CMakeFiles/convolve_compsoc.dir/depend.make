@@ -1,0 +1,2 @@
+# Empty dependencies file for convolve_compsoc.
+# This may be replaced when dependencies are built.

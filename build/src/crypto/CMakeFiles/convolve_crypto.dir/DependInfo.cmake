@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/aead.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/aead.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/dilithium.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/dilithium.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/dilithium.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/ed25519.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/ed25519.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keccak.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/keccak.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/keccak.cpp.o.d"
+  "/root/repo/src/crypto/kyber.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/kyber.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/kyber.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/crypto/CMakeFiles/convolve_crypto.dir/sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/convolve_crypto.dir/sha512.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolve_crypto.dir/aead.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/convolve_crypto.dir/aes.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/convolve_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/convolve_crypto.dir/dilithium.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/dilithium.cpp.o.d"
+  "CMakeFiles/convolve_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/convolve_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/convolve_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/convolve_crypto.dir/keccak.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/keccak.cpp.o.d"
+  "CMakeFiles/convolve_crypto.dir/kyber.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/kyber.cpp.o.d"
+  "CMakeFiles/convolve_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/convolve_crypto.dir/sha512.cpp.o.d"
+  "libconvolve_crypto.a"
+  "libconvolve_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolve_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolve_framework.dir/device.cpp.o"
+  "CMakeFiles/convolve_framework.dir/device.cpp.o.d"
+  "CMakeFiles/convolve_framework.dir/profile.cpp.o"
+  "CMakeFiles/convolve_framework.dir/profile.cpp.o.d"
+  "libconvolve_framework.a"
+  "libconvolve_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolve_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

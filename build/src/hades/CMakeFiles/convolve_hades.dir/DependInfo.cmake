@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hades/component.cpp" "src/hades/CMakeFiles/convolve_hades.dir/component.cpp.o" "gcc" "src/hades/CMakeFiles/convolve_hades.dir/component.cpp.o.d"
+  "/root/repo/src/hades/library_arith.cpp" "src/hades/CMakeFiles/convolve_hades.dir/library_arith.cpp.o" "gcc" "src/hades/CMakeFiles/convolve_hades.dir/library_arith.cpp.o.d"
+  "/root/repo/src/hades/library_kyber.cpp" "src/hades/CMakeFiles/convolve_hades.dir/library_kyber.cpp.o" "gcc" "src/hades/CMakeFiles/convolve_hades.dir/library_kyber.cpp.o.d"
+  "/root/repo/src/hades/library_symmetric.cpp" "src/hades/CMakeFiles/convolve_hades.dir/library_symmetric.cpp.o" "gcc" "src/hades/CMakeFiles/convolve_hades.dir/library_symmetric.cpp.o.d"
+  "/root/repo/src/hades/report.cpp" "src/hades/CMakeFiles/convolve_hades.dir/report.cpp.o" "gcc" "src/hades/CMakeFiles/convolve_hades.dir/report.cpp.o.d"
+  "/root/repo/src/hades/search.cpp" "src/hades/CMakeFiles/convolve_hades.dir/search.cpp.o" "gcc" "src/hades/CMakeFiles/convolve_hades.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/masking/CMakeFiles/convolve_masking.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolve_hades.dir/component.cpp.o"
+  "CMakeFiles/convolve_hades.dir/component.cpp.o.d"
+  "CMakeFiles/convolve_hades.dir/library_arith.cpp.o"
+  "CMakeFiles/convolve_hades.dir/library_arith.cpp.o.d"
+  "CMakeFiles/convolve_hades.dir/library_kyber.cpp.o"
+  "CMakeFiles/convolve_hades.dir/library_kyber.cpp.o.d"
+  "CMakeFiles/convolve_hades.dir/library_symmetric.cpp.o"
+  "CMakeFiles/convolve_hades.dir/library_symmetric.cpp.o.d"
+  "CMakeFiles/convolve_hades.dir/report.cpp.o"
+  "CMakeFiles/convolve_hades.dir/report.cpp.o.d"
+  "CMakeFiles/convolve_hades.dir/search.cpp.o"
+  "CMakeFiles/convolve_hades.dir/search.cpp.o.d"
+  "libconvolve_hades.a"
+  "libconvolve_hades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolve_hades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

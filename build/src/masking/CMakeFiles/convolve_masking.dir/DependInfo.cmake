@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/masking/circuit.cpp" "src/masking/CMakeFiles/convolve_masking.dir/circuit.cpp.o" "gcc" "src/masking/CMakeFiles/convolve_masking.dir/circuit.cpp.o.d"
+  "/root/repo/src/masking/gf256.cpp" "src/masking/CMakeFiles/convolve_masking.dir/gf256.cpp.o" "gcc" "src/masking/CMakeFiles/convolve_masking.dir/gf256.cpp.o.d"
+  "/root/repo/src/masking/masked_aes.cpp" "src/masking/CMakeFiles/convolve_masking.dir/masked_aes.cpp.o" "gcc" "src/masking/CMakeFiles/convolve_masking.dir/masked_aes.cpp.o.d"
+  "/root/repo/src/masking/masked_keccak.cpp" "src/masking/CMakeFiles/convolve_masking.dir/masked_keccak.cpp.o" "gcc" "src/masking/CMakeFiles/convolve_masking.dir/masked_keccak.cpp.o.d"
+  "/root/repo/src/masking/probing.cpp" "src/masking/CMakeFiles/convolve_masking.dir/probing.cpp.o" "gcc" "src/masking/CMakeFiles/convolve_masking.dir/probing.cpp.o.d"
+  "/root/repo/src/masking/shares.cpp" "src/masking/CMakeFiles/convolve_masking.dir/shares.cpp.o" "gcc" "src/masking/CMakeFiles/convolve_masking.dir/shares.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolve_masking.dir/circuit.cpp.o"
+  "CMakeFiles/convolve_masking.dir/circuit.cpp.o.d"
+  "CMakeFiles/convolve_masking.dir/gf256.cpp.o"
+  "CMakeFiles/convolve_masking.dir/gf256.cpp.o.d"
+  "CMakeFiles/convolve_masking.dir/masked_aes.cpp.o"
+  "CMakeFiles/convolve_masking.dir/masked_aes.cpp.o.d"
+  "CMakeFiles/convolve_masking.dir/masked_keccak.cpp.o"
+  "CMakeFiles/convolve_masking.dir/masked_keccak.cpp.o.d"
+  "CMakeFiles/convolve_masking.dir/probing.cpp.o"
+  "CMakeFiles/convolve_masking.dir/probing.cpp.o.d"
+  "CMakeFiles/convolve_masking.dir/shares.cpp.o"
+  "CMakeFiles/convolve_masking.dir/shares.cpp.o.d"
+  "libconvolve_masking.a"
+  "libconvolve_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolve_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolve_rtos.dir/attacks.cpp.o"
+  "CMakeFiles/convolve_rtos.dir/attacks.cpp.o.d"
+  "CMakeFiles/convolve_rtos.dir/kernel.cpp.o"
+  "CMakeFiles/convolve_rtos.dir/kernel.cpp.o.d"
+  "libconvolve_rtos.a"
+  "libconvolve_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolve_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/attestation.cpp" "src/tee/CMakeFiles/convolve_tee.dir/attestation.cpp.o" "gcc" "src/tee/CMakeFiles/convolve_tee.dir/attestation.cpp.o.d"
+  "/root/repo/src/tee/bootrom.cpp" "src/tee/CMakeFiles/convolve_tee.dir/bootrom.cpp.o" "gcc" "src/tee/CMakeFiles/convolve_tee.dir/bootrom.cpp.o.d"
+  "/root/repo/src/tee/machine.cpp" "src/tee/CMakeFiles/convolve_tee.dir/machine.cpp.o" "gcc" "src/tee/CMakeFiles/convolve_tee.dir/machine.cpp.o.d"
+  "/root/repo/src/tee/pmp.cpp" "src/tee/CMakeFiles/convolve_tee.dir/pmp.cpp.o" "gcc" "src/tee/CMakeFiles/convolve_tee.dir/pmp.cpp.o.d"
+  "/root/repo/src/tee/rv32.cpp" "src/tee/CMakeFiles/convolve_tee.dir/rv32.cpp.o" "gcc" "src/tee/CMakeFiles/convolve_tee.dir/rv32.cpp.o.d"
+  "/root/repo/src/tee/security_monitor.cpp" "src/tee/CMakeFiles/convolve_tee.dir/security_monitor.cpp.o" "gcc" "src/tee/CMakeFiles/convolve_tee.dir/security_monitor.cpp.o.d"
+  "/root/repo/src/tee/vendor.cpp" "src/tee/CMakeFiles/convolve_tee.dir/vendor.cpp.o" "gcc" "src/tee/CMakeFiles/convolve_tee.dir/vendor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolve_tee.dir/attestation.cpp.o"
+  "CMakeFiles/convolve_tee.dir/attestation.cpp.o.d"
+  "CMakeFiles/convolve_tee.dir/bootrom.cpp.o"
+  "CMakeFiles/convolve_tee.dir/bootrom.cpp.o.d"
+  "CMakeFiles/convolve_tee.dir/machine.cpp.o"
+  "CMakeFiles/convolve_tee.dir/machine.cpp.o.d"
+  "CMakeFiles/convolve_tee.dir/pmp.cpp.o"
+  "CMakeFiles/convolve_tee.dir/pmp.cpp.o.d"
+  "CMakeFiles/convolve_tee.dir/rv32.cpp.o"
+  "CMakeFiles/convolve_tee.dir/rv32.cpp.o.d"
+  "CMakeFiles/convolve_tee.dir/security_monitor.cpp.o"
+  "CMakeFiles/convolve_tee.dir/security_monitor.cpp.o.d"
+  "CMakeFiles/convolve_tee.dir/vendor.cpp.o"
+  "CMakeFiles/convolve_tee.dir/vendor.cpp.o.d"
+  "libconvolve_tee.a"
+  "libconvolve_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolve_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

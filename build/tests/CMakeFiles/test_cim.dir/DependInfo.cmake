@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cim/test_adder_tree.cpp" "tests/CMakeFiles/test_cim.dir/cim/test_adder_tree.cpp.o" "gcc" "tests/CMakeFiles/test_cim.dir/cim/test_adder_tree.cpp.o.d"
+  "/root/repo/tests/cim/test_attack.cpp" "tests/CMakeFiles/test_cim.dir/cim/test_attack.cpp.o" "gcc" "tests/CMakeFiles/test_cim.dir/cim/test_attack.cpp.o.d"
+  "/root/repo/tests/cim/test_kmeans.cpp" "tests/CMakeFiles/test_cim.dir/cim/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/test_cim.dir/cim/test_kmeans.cpp.o.d"
+  "/root/repo/tests/cim/test_layer.cpp" "tests/CMakeFiles/test_cim.dir/cim/test_layer.cpp.o" "gcc" "tests/CMakeFiles/test_cim.dir/cim/test_layer.cpp.o.d"
+  "/root/repo/tests/cim/test_leakage.cpp" "tests/CMakeFiles/test_cim.dir/cim/test_leakage.cpp.o" "gcc" "tests/CMakeFiles/test_cim.dir/cim/test_leakage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cim/CMakeFiles/convolve_cim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

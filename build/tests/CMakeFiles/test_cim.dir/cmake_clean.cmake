@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cim.dir/cim/test_adder_tree.cpp.o"
+  "CMakeFiles/test_cim.dir/cim/test_adder_tree.cpp.o.d"
+  "CMakeFiles/test_cim.dir/cim/test_attack.cpp.o"
+  "CMakeFiles/test_cim.dir/cim/test_attack.cpp.o.d"
+  "CMakeFiles/test_cim.dir/cim/test_kmeans.cpp.o"
+  "CMakeFiles/test_cim.dir/cim/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_cim.dir/cim/test_layer.cpp.o"
+  "CMakeFiles/test_cim.dir/cim/test_layer.cpp.o.d"
+  "CMakeFiles/test_cim.dir/cim/test_leakage.cpp.o"
+  "CMakeFiles/test_cim.dir/cim/test_leakage.cpp.o.d"
+  "test_cim"
+  "test_cim.pdb"
+  "test_cim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compsoc/test_noc.cpp" "tests/CMakeFiles/test_compsoc.dir/compsoc/test_noc.cpp.o" "gcc" "tests/CMakeFiles/test_compsoc.dir/compsoc/test_noc.cpp.o.d"
+  "/root/repo/tests/compsoc/test_platform.cpp" "tests/CMakeFiles/test_compsoc.dir/compsoc/test_platform.cpp.o" "gcc" "tests/CMakeFiles/test_compsoc.dir/compsoc/test_platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/compsoc/CMakeFiles/convolve_compsoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

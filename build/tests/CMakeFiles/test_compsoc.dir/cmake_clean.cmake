@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compsoc.dir/compsoc/test_noc.cpp.o"
+  "CMakeFiles/test_compsoc.dir/compsoc/test_noc.cpp.o.d"
+  "CMakeFiles/test_compsoc.dir/compsoc/test_platform.cpp.o"
+  "CMakeFiles/test_compsoc.dir/compsoc/test_platform.cpp.o.d"
+  "test_compsoc"
+  "test_compsoc.pdb"
+  "test_compsoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compsoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

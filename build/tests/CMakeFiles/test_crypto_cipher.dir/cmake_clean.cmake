@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_cipher.dir/crypto/test_aead.cpp.o"
+  "CMakeFiles/test_crypto_cipher.dir/crypto/test_aead.cpp.o.d"
+  "CMakeFiles/test_crypto_cipher.dir/crypto/test_aes.cpp.o"
+  "CMakeFiles/test_crypto_cipher.dir/crypto/test_aes.cpp.o.d"
+  "CMakeFiles/test_crypto_cipher.dir/crypto/test_chacha20.cpp.o"
+  "CMakeFiles/test_crypto_cipher.dir/crypto/test_chacha20.cpp.o.d"
+  "test_crypto_cipher"
+  "test_crypto_cipher.pdb"
+  "test_crypto_cipher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_cipher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_ed25519.dir/crypto/test_ed25519.cpp.o"
+  "CMakeFiles/test_crypto_ed25519.dir/crypto/test_ed25519.cpp.o.d"
+  "test_crypto_ed25519"
+  "test_crypto_ed25519.pdb"
+  "test_crypto_ed25519[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_ed25519.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_drbg.cpp" "tests/CMakeFiles/test_crypto_hash.dir/crypto/test_drbg.cpp.o" "gcc" "tests/CMakeFiles/test_crypto_hash.dir/crypto/test_drbg.cpp.o.d"
+  "/root/repo/tests/crypto/test_hmac.cpp" "tests/CMakeFiles/test_crypto_hash.dir/crypto/test_hmac.cpp.o" "gcc" "tests/CMakeFiles/test_crypto_hash.dir/crypto/test_hmac.cpp.o.d"
+  "/root/repo/tests/crypto/test_keccak.cpp" "tests/CMakeFiles/test_crypto_hash.dir/crypto/test_keccak.cpp.o" "gcc" "tests/CMakeFiles/test_crypto_hash.dir/crypto/test_keccak.cpp.o.d"
+  "/root/repo/tests/crypto/test_sha512.cpp" "tests/CMakeFiles/test_crypto_hash.dir/crypto/test_sha512.cpp.o" "gcc" "tests/CMakeFiles/test_crypto_hash.dir/crypto/test_sha512.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_hash.dir/crypto/test_drbg.cpp.o"
+  "CMakeFiles/test_crypto_hash.dir/crypto/test_drbg.cpp.o.d"
+  "CMakeFiles/test_crypto_hash.dir/crypto/test_hmac.cpp.o"
+  "CMakeFiles/test_crypto_hash.dir/crypto/test_hmac.cpp.o.d"
+  "CMakeFiles/test_crypto_hash.dir/crypto/test_keccak.cpp.o"
+  "CMakeFiles/test_crypto_hash.dir/crypto/test_keccak.cpp.o.d"
+  "CMakeFiles/test_crypto_hash.dir/crypto/test_sha512.cpp.o"
+  "CMakeFiles/test_crypto_hash.dir/crypto/test_sha512.cpp.o.d"
+  "test_crypto_hash"
+  "test_crypto_hash.pdb"
+  "test_crypto_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_pqc.dir/crypto/test_dilithium.cpp.o"
+  "CMakeFiles/test_crypto_pqc.dir/crypto/test_dilithium.cpp.o.d"
+  "CMakeFiles/test_crypto_pqc.dir/crypto/test_golden.cpp.o"
+  "CMakeFiles/test_crypto_pqc.dir/crypto/test_golden.cpp.o.d"
+  "CMakeFiles/test_crypto_pqc.dir/crypto/test_kyber.cpp.o"
+  "CMakeFiles/test_crypto_pqc.dir/crypto/test_kyber.cpp.o.d"
+  "test_crypto_pqc"
+  "test_crypto_pqc.pdb"
+  "test_crypto_pqc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_pqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

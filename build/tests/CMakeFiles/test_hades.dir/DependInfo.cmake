@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hades/test_component.cpp" "tests/CMakeFiles/test_hades.dir/hades/test_component.cpp.o" "gcc" "tests/CMakeFiles/test_hades.dir/hades/test_component.cpp.o.d"
+  "/root/repo/tests/hades/test_constrained.cpp" "tests/CMakeFiles/test_hades.dir/hades/test_constrained.cpp.o" "gcc" "tests/CMakeFiles/test_hades.dir/hades/test_constrained.cpp.o.d"
+  "/root/repo/tests/hades/test_report.cpp" "tests/CMakeFiles/test_hades.dir/hades/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_hades.dir/hades/test_report.cpp.o.d"
+  "/root/repo/tests/hades/test_search.cpp" "tests/CMakeFiles/test_hades.dir/hades/test_search.cpp.o" "gcc" "tests/CMakeFiles/test_hades.dir/hades/test_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hades/CMakeFiles/convolve_hades.dir/DependInfo.cmake"
+  "/root/repo/build/src/masking/CMakeFiles/convolve_masking.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

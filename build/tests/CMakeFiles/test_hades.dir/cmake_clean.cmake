@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hades.dir/hades/test_component.cpp.o"
+  "CMakeFiles/test_hades.dir/hades/test_component.cpp.o.d"
+  "CMakeFiles/test_hades.dir/hades/test_constrained.cpp.o"
+  "CMakeFiles/test_hades.dir/hades/test_constrained.cpp.o.d"
+  "CMakeFiles/test_hades.dir/hades/test_report.cpp.o"
+  "CMakeFiles/test_hades.dir/hades/test_report.cpp.o.d"
+  "CMakeFiles/test_hades.dir/hades/test_search.cpp.o"
+  "CMakeFiles/test_hades.dir/hades/test_search.cpp.o.d"
+  "test_hades"
+  "test_hades.pdb"
+  "test_hades[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_attested_provisioning.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_attested_provisioning.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_attested_provisioning.cpp.o.d"
+  "/root/repo/tests/integration/test_enclave_execution.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_enclave_execution.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_enclave_execution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/convolve_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

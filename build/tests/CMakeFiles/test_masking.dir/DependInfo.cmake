@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/masking/test_circuit.cpp" "tests/CMakeFiles/test_masking.dir/masking/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/test_masking.dir/masking/test_circuit.cpp.o.d"
+  "/root/repo/tests/masking/test_gf256.cpp" "tests/CMakeFiles/test_masking.dir/masking/test_gf256.cpp.o" "gcc" "tests/CMakeFiles/test_masking.dir/masking/test_gf256.cpp.o.d"
+  "/root/repo/tests/masking/test_masked_aes.cpp" "tests/CMakeFiles/test_masking.dir/masking/test_masked_aes.cpp.o" "gcc" "tests/CMakeFiles/test_masking.dir/masking/test_masked_aes.cpp.o.d"
+  "/root/repo/tests/masking/test_masked_keccak.cpp" "tests/CMakeFiles/test_masking.dir/masking/test_masked_keccak.cpp.o" "gcc" "tests/CMakeFiles/test_masking.dir/masking/test_masked_keccak.cpp.o.d"
+  "/root/repo/tests/masking/test_probing.cpp" "tests/CMakeFiles/test_masking.dir/masking/test_probing.cpp.o" "gcc" "tests/CMakeFiles/test_masking.dir/masking/test_probing.cpp.o.d"
+  "/root/repo/tests/masking/test_shares.cpp" "tests/CMakeFiles/test_masking.dir/masking/test_shares.cpp.o" "gcc" "tests/CMakeFiles/test_masking.dir/masking/test_shares.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/masking/CMakeFiles/convolve_masking.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

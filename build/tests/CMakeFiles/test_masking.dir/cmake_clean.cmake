@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masking.dir/masking/test_circuit.cpp.o"
+  "CMakeFiles/test_masking.dir/masking/test_circuit.cpp.o.d"
+  "CMakeFiles/test_masking.dir/masking/test_gf256.cpp.o"
+  "CMakeFiles/test_masking.dir/masking/test_gf256.cpp.o.d"
+  "CMakeFiles/test_masking.dir/masking/test_masked_aes.cpp.o"
+  "CMakeFiles/test_masking.dir/masking/test_masked_aes.cpp.o.d"
+  "CMakeFiles/test_masking.dir/masking/test_masked_keccak.cpp.o"
+  "CMakeFiles/test_masking.dir/masking/test_masked_keccak.cpp.o.d"
+  "CMakeFiles/test_masking.dir/masking/test_probing.cpp.o"
+  "CMakeFiles/test_masking.dir/masking/test_probing.cpp.o.d"
+  "CMakeFiles/test_masking.dir/masking/test_shares.cpp.o"
+  "CMakeFiles/test_masking.dir/masking/test_shares.cpp.o.d"
+  "test_masking"
+  "test_masking.pdb"
+  "test_masking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtos/test_attacks.cpp" "tests/CMakeFiles/test_rtos.dir/rtos/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/test_rtos.dir/rtos/test_attacks.cpp.o.d"
+  "/root/repo/tests/rtos/test_kernel.cpp" "tests/CMakeFiles/test_rtos.dir/rtos/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/test_rtos.dir/rtos/test_kernel.cpp.o.d"
+  "/root/repo/tests/rtos/test_mutex.cpp" "tests/CMakeFiles/test_rtos.dir/rtos/test_mutex.cpp.o" "gcc" "tests/CMakeFiles/test_rtos.dir/rtos/test_mutex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/convolve_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/convolve_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

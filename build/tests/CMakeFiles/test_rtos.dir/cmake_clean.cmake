@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtos.dir/rtos/test_attacks.cpp.o"
+  "CMakeFiles/test_rtos.dir/rtos/test_attacks.cpp.o.d"
+  "CMakeFiles/test_rtos.dir/rtos/test_kernel.cpp.o"
+  "CMakeFiles/test_rtos.dir/rtos/test_kernel.cpp.o.d"
+  "CMakeFiles/test_rtos.dir/rtos/test_mutex.cpp.o"
+  "CMakeFiles/test_rtos.dir/rtos/test_mutex.cpp.o.d"
+  "test_rtos"
+  "test_rtos.pdb"
+  "test_rtos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tee/test_boot_attest.cpp" "tests/CMakeFiles/test_tee.dir/tee/test_boot_attest.cpp.o" "gcc" "tests/CMakeFiles/test_tee.dir/tee/test_boot_attest.cpp.o.d"
+  "/root/repo/tests/tee/test_machine.cpp" "tests/CMakeFiles/test_tee.dir/tee/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_tee.dir/tee/test_machine.cpp.o.d"
+  "/root/repo/tests/tee/test_pmp.cpp" "tests/CMakeFiles/test_tee.dir/tee/test_pmp.cpp.o" "gcc" "tests/CMakeFiles/test_tee.dir/tee/test_pmp.cpp.o.d"
+  "/root/repo/tests/tee/test_pmp_fuzz.cpp" "tests/CMakeFiles/test_tee.dir/tee/test_pmp_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_tee.dir/tee/test_pmp_fuzz.cpp.o.d"
+  "/root/repo/tests/tee/test_rv32.cpp" "tests/CMakeFiles/test_tee.dir/tee/test_rv32.cpp.o" "gcc" "tests/CMakeFiles/test_tee.dir/tee/test_rv32.cpp.o.d"
+  "/root/repo/tests/tee/test_security_monitor.cpp" "tests/CMakeFiles/test_tee.dir/tee/test_security_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_tee.dir/tee/test_security_monitor.cpp.o.d"
+  "/root/repo/tests/tee/test_vendor.cpp" "tests/CMakeFiles/test_tee.dir/tee/test_vendor.cpp.o" "gcc" "tests/CMakeFiles/test_tee.dir/tee/test_vendor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convolve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/convolve_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/convolve_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

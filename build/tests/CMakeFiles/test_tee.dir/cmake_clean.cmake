@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tee.dir/tee/test_boot_attest.cpp.o"
+  "CMakeFiles/test_tee.dir/tee/test_boot_attest.cpp.o.d"
+  "CMakeFiles/test_tee.dir/tee/test_machine.cpp.o"
+  "CMakeFiles/test_tee.dir/tee/test_machine.cpp.o.d"
+  "CMakeFiles/test_tee.dir/tee/test_pmp.cpp.o"
+  "CMakeFiles/test_tee.dir/tee/test_pmp.cpp.o.d"
+  "CMakeFiles/test_tee.dir/tee/test_pmp_fuzz.cpp.o"
+  "CMakeFiles/test_tee.dir/tee/test_pmp_fuzz.cpp.o.d"
+  "CMakeFiles/test_tee.dir/tee/test_rv32.cpp.o"
+  "CMakeFiles/test_tee.dir/tee/test_rv32.cpp.o.d"
+  "CMakeFiles/test_tee.dir/tee/test_security_monitor.cpp.o"
+  "CMakeFiles/test_tee.dir/tee/test_security_monitor.cpp.o.d"
+  "CMakeFiles/test_tee.dir/tee/test_vendor.cpp.o"
+  "CMakeFiles/test_tee.dir/tee/test_vendor.cpp.o.d"
+  "test_tee"
+  "test_tee.pdb"
+  "test_tee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_cipher[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_ed25519[1]_include.cmake")
+include("/root/repo/build/tests/test_masking[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_pqc[1]_include.cmake")
+include("/root/repo/build/tests/test_hades[1]_include.cmake")
+include("/root/repo/build/tests/test_cim[1]_include.cmake")
+include("/root/repo/build/tests/test_tee[1]_include.cmake")
+include("/root/repo/build/tests/test_rtos[1]_include.cmake")
+include("/root/repo/build/tests/test_compsoc[1]_include.cmake")
+include("/root/repo/build/tests/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
