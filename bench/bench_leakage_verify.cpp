@@ -1,0 +1,75 @@
+// Throughput of the symbolic probing verifier: wall-clock to a verdict on
+// DOM-AND chains (orders 1-3) and the AGEMA-style masked AES S-box (orders
+// 1-2), with the per-stage discharge counters that explain where probe
+// sets die. The S-box rows are the ISSUE acceptance gate (< 60 s at
+// order 2).
+#include <chrono>
+#include <cstdio>
+
+#include "convolve/analysis/aes_sbox.hpp"
+#include "convolve/analysis/leakage_verify.hpp"
+#include "convolve/masking/circuit.hpp"
+
+using namespace convolve;
+using namespace convolve::analysis;
+
+namespace {
+
+// x = a&b, y = x&c, z = y&d -- the classic composition stress case: every
+// later AND reuses a shared, already-nonlinear operand.
+masking::Circuit dom_and_chain() {
+  masking::Circuit c;
+  const int a = c.add_input();
+  const int b = c.add_input();
+  const int d = c.add_input();
+  const int e = c.add_input();
+  const int x = c.add_and(a, b);
+  const int y = c.add_and(x, d);
+  c.mark_output(c.add_and(y, e));
+  return c;
+}
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kSecure:
+      return "secure";
+    case Verdict::kLeak:
+      return "LEAK";
+    case Verdict::kPotentialLeak:
+      return "potential";
+  }
+  return "?";
+}
+
+void run(const char* label, const masking::Circuit& plain, int plain_inputs,
+         unsigned order, unsigned probe_order) {
+  const auto masked = masking::mask_circuit(plain, order);
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = verify_probing_symbolic(masked, plain_inputs,
+                                              probe_order);
+  const auto stop = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  std::printf(
+      "%-14s d=%u p=%u %6zu gates %10.1f ms  %-9s sets=%llu cov=%llu "
+      "simp=%llu exact=%llu\n",
+      label, order, probe_order, masked.circuit.num_gates(), ms,
+      verdict_name(report.verdict),
+      static_cast<unsigned long long>(report.probe_sets_checked),
+      static_cast<unsigned long long>(report.coverage_rejected),
+      static_cast<unsigned long long>(report.simplified_away),
+      static_cast<unsigned long long>(report.fallback_checked));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Symbolic probing verifier throughput ===\n");
+  const auto chain = dom_and_chain();
+  for (unsigned d = 1; d <= 3; ++d) run("dom-and-chain", chain, 4, d, d);
+
+  const auto sbox = aes_sbox_circuit();
+  run("aes-sbox", sbox, 8, 1, 1);
+  run("aes-sbox", sbox, 8, 2, 2);
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "convolve/analysis/aes_sbox.hpp"
+
+#include <cstdint>
+
+#include "convolve/crypto/detail/aes_sbox_ct.hpp"
+
+namespace convolve::analysis {
+
+namespace {
+
+/// Word type that builds a netlist instead of computing: every operator
+/// appends a gate to the underlying circuit.
+struct WireRef {
+  masking::Circuit* c = nullptr;
+  int idx = -1;
+
+  friend WireRef operator^(WireRef a, WireRef b) {
+    return {a.c, a.c->add_xor(a.idx, b.idx)};
+  }
+  friend WireRef operator&(WireRef a, WireRef b) {
+    return {a.c, a.c->add_and(a.idx, b.idx)};
+  }
+  WireRef operator~() const { return {c, c->add_not(idx)}; }
+};
+
+}  // namespace
+
+masking::Circuit aes_sbox_circuit() {
+  masking::Circuit c;
+  WireRef u[8];
+  for (auto& w : u) w = {&c, c.add_input()};
+  crypto::detail::aes_sbox_planes(u);
+  for (const auto& w : u) c.mark_output(w.idx);
+  return c;
+}
+
+std::uint8_t aes_sbox_circuit_eval(const masking::Circuit& circuit,
+                                   std::uint8_t x) {
+  std::vector<std::uint8_t> inputs(8);
+  for (int i = 0; i < 8; ++i) {
+    inputs[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((x >> (7 - i)) & 1);
+  }
+  const auto out = circuit.evaluate(inputs);
+  std::uint8_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r = static_cast<std::uint8_t>(r |
+                                  (out[static_cast<std::size_t>(i)] & 1)
+                                      << (7 - i));
+  }
+  return r;
+}
+
+}  // namespace convolve::analysis

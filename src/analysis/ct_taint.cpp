@@ -1,0 +1,367 @@
+#include "convolve/analysis/ct_taint.hpp"
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "convolve/crypto/aes.hpp"
+#include "convolve/crypto/chacha20.hpp"
+#include "convolve/crypto/detail/aes_core.hpp"
+#include "convolve/crypto/detail/chacha_core.hpp"
+#include "convolve/crypto/detail/keccak_core.hpp"
+#include "convolve/crypto/detail/pqc_ntt.hpp"
+#include "convolve/crypto/detail/sha512_core.hpp"
+#include "convolve/crypto/hmac.hpp"
+#include "convolve/crypto/keccak.hpp"
+
+namespace convolve::analysis {
+
+namespace {
+
+thread_local TaintSink* g_sink = nullptr;
+
+}  // namespace
+
+const char* hazard_name(Hazard h) {
+  switch (h) {
+    case Hazard::kBranch:
+      return "secret-dependent branch";
+    case Hazard::kTableIndex:
+      return "secret-dependent table index";
+    case Hazard::kVariableShift:
+      return "secret-dependent shift amount";
+    case Hazard::kDivision:
+      return "division on secret operand";
+  }
+  return "unknown hazard";
+}
+
+TaintSink* TaintSink::current() { return g_sink; }
+
+void TaintSink::record(Hazard h) {
+  std::string path;
+  for (const char* c : context_) {
+    if (!path.empty()) path += '/';
+    path += c;
+  }
+  ++counts_[{h, std::move(path)}];
+  ++total_;
+}
+
+void TaintSink::push_context(const char* label) { context_.push_back(label); }
+
+void TaintSink::pop_context() {
+  if (!context_.empty()) context_.pop_back();
+}
+
+std::vector<TaintFinding> TaintSink::findings() const {
+  std::vector<TaintFinding> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    out.push_back(TaintFinding{key.first, key.second, count});
+  }
+  return out;
+}
+
+ScopedTaintSink::ScopedTaintSink() : prev_(g_sink) { g_sink = &sink_; }
+
+ScopedTaintSink::~ScopedTaintSink() { g_sink = prev_; }
+
+TaintScope::TaintScope(const char* label) {
+  if (g_sink != nullptr) g_sink->push_context(label);
+}
+
+TaintScope::~TaintScope() {
+  if (g_sink != nullptr) g_sink->pop_context();
+}
+
+namespace detail {
+
+void report_hazard(Hazard h) {
+  if (g_sink != nullptr) g_sink->record(h);
+}
+
+}  // namespace detail
+
+namespace {
+
+namespace cd = convolve::crypto::detail;
+
+using T8 = Tainted<std::uint8_t>;
+using T32 = Tainted<std::uint32_t>;
+using T64 = Tainted<std::uint64_t>;
+
+LintResult finish(const char* suite, const TaintSink& sink, bool matches) {
+  LintResult r;
+  r.suite = suite;
+  r.findings = sink.findings();
+  r.hazard_count = sink.total();
+  r.output_matches = matches;
+  return r;
+}
+
+/// Deterministic test-pattern byte (public; keeps lints self-contained).
+std::uint8_t pattern(std::size_t i, std::uint8_t salt) {
+  return static_cast<std::uint8_t>(0x61u + 0x45u * i + salt);
+}
+
+}  // namespace
+
+LintResult lint_aes256() {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 16> pt{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = pattern(i, 0x11);
+  for (std::size_t i = 0; i < pt.size(); ++i) pt[i] = pattern(i, 0x7f);
+
+  // Production reference.
+  const crypto::Aes aes(crypto::Aes::KeySize::k256, key);
+  std::array<std::uint8_t, 16> want_ct{};
+  aes.encrypt_block(pt.data(), want_ct.data());
+
+  ScopedTaintSink guard;
+  TaintScope scope("aes256");
+
+  std::array<T8, 32> tkey;
+  for (std::size_t i = 0; i < key.size(); ++i) tkey[i] = T8::secret(key[i]);
+  std::array<T8, 15 * 16> round_keys;
+  {
+    TaintScope s("key-expand");
+    cd::aes_key_expand(tkey.data(), std::size_t{8}, aes.rounds(),
+                       round_keys.data());
+  }
+
+  std::array<T8, 16> tpt;
+  for (std::size_t i = 0; i < pt.size(); ++i) tpt[i] = T8(pt[i]);
+  std::array<T8, 16> tct;
+  {
+    TaintScope s("encrypt");
+    cd::aes_encrypt_block(round_keys.data(), aes.rounds(), tpt.data(),
+                          tct.data());
+  }
+  std::array<T8, 16> tback;
+  {
+    TaintScope s("decrypt");
+    cd::aes_decrypt_block(round_keys.data(), aes.rounds(),
+                          crypto::aes_inv_sbox_table(), tct.data(),
+                          tback.data());
+  }
+
+  bool matches = true;
+  for (std::size_t i = 0; i < 16; ++i) {
+    matches = matches && tct[i].value() == want_ct[i] && tct[i].tainted();
+    matches = matches && tback[i].value() == pt[i];
+  }
+  return finish("aes256", guard.sink(), matches);
+}
+
+LintResult lint_chacha20() {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 12> nonce{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = pattern(i, 0x29);
+  for (std::size_t i = 0; i < nonce.size(); ++i) nonce[i] = pattern(i, 0x3d);
+  const std::uint32_t counter = 1;
+
+  const auto want = crypto::chacha20_block(key, nonce, counter);
+
+  ScopedTaintSink guard;
+  TaintScope scope("chacha20");
+
+  auto le32 = [](const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  };
+
+  T32 x[16];
+  x[0] = T32(0x61707865u);
+  x[1] = T32(0x3320646eu);
+  x[2] = T32(0x79622d32u);
+  x[3] = T32(0x6b206574u);
+  for (int i = 0; i < 8; ++i) x[4 + i] = T32::secret(le32(key.data() + 4 * i));
+  x[12] = T32(counter);
+  for (int i = 0; i < 3; ++i) x[13 + i] = T32(le32(nonce.data() + 4 * i));
+
+  {
+    TaintScope s("core");
+    cd::chacha20_core(x);
+  }
+
+  bool matches = true;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t w = le32(want.data() + 4 * i);
+    matches = matches && x[i].value() == w && x[i].tainted();
+  }
+  return finish("chacha20", guard.sink(), matches);
+}
+
+LintResult lint_keccak_f1600() {
+  std::array<std::uint64_t, 25> state{};
+  for (std::size_t i = 0; i < 25; ++i) {
+    state[i] = 0x0123456789abcdefull * (i + 1) + 0xf00du * i;
+  }
+  auto want = state;
+  crypto::keccak_f1600(want);
+
+  ScopedTaintSink guard;
+  TaintScope scope("keccak");
+
+  T64 a[25];
+  for (std::size_t i = 0; i < 25; ++i) a[i] = T64::secret(state[i]);
+  {
+    TaintScope s("permute");
+    cd::keccak_permute(a);
+  }
+
+  bool matches = true;
+  for (std::size_t i = 0; i < 25; ++i) {
+    matches = matches && a[i].value() == want[i] && a[i].tainted();
+  }
+  return finish("keccak", guard.sink(), matches);
+}
+
+LintResult lint_hmac_sha512() {
+  std::vector<std::uint8_t> key(40);
+  std::vector<std::uint8_t> msg(113);  // spans a block boundary with padding
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = pattern(i, 0x55);
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = pattern(i, 0xa3);
+
+  const auto want = crypto::hmac_sha512(key, msg);
+
+  ScopedTaintSink guard;
+  TaintScope scope("hmac-sha512");
+
+  std::vector<T8> tkey(key.size());
+  for (std::size_t i = 0; i < key.size(); ++i) tkey[i] = T8::secret(key[i]);
+  std::vector<T8> tmsg(msg.size());
+  for (std::size_t i = 0; i < msg.size(); ++i) tmsg[i] = T8(msg[i]);
+
+  std::array<T8, 64> mac;
+  {
+    TaintScope s("mac");
+    cd::hmac_sha512_ct<T64>(tkey.data(), tkey.size(), tmsg.data(), tmsg.size(),
+                            mac.data());
+  }
+
+  bool matches = want.size() == 64;
+  for (std::size_t i = 0; i < 64 && matches; ++i) {
+    matches = mac[i].value() == want[i] && mac[i].tainted();
+  }
+  return finish("hmac", guard.sink(), matches);
+}
+
+namespace {
+
+/// Little Fermat powering for re-deriving the public twiddle tables from
+/// the spec (the production tables live in anonymous namespaces).
+std::int64_t mod_pow(std::int64_t base, std::int64_t exp, std::int64_t q) {
+  std::int64_t r = 1;
+  std::int64_t b = base % q;
+  while (exp > 0) {
+    if (exp & 1) r = r * b % q;
+    b = b * b % q;
+    exp >>= 1;
+  }
+  return r;
+}
+
+int bitrev(int i, int bits) {
+  int r = 0;
+  for (int b = 0; b < bits; ++b) {
+    r = (r << 1) | ((i >> b) & 1);
+  }
+  return r;
+}
+
+/// Drive a secret polynomial through the shared NTT template with tainted
+/// coefficients and compare against the plain instantiation. The transform
+/// is *expected* to record hazards (`%` + sign test in ntt_mod); the lint
+/// documents them rather than asserting cleanliness.
+template <class TC, class TW, class Z>
+LintResult lint_ntt(const char* suite, int n, int min_len, std::int64_t q,
+                    const std::vector<Z>& zetas, const std::vector<Z>& inv_zetas,
+                    Z n_inv) {
+  std::vector<TC> poly(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    poly[static_cast<std::size_t>(i)] =
+        static_cast<TC>((i * 31 + 7) % static_cast<int>(q));
+  }
+
+  // Plain reference: forward, then inverse round-trips back.
+  auto plain = poly;
+  cd::ntt_forward<TC, TW>(plain.data(), n, min_len, zetas.data(), q);
+
+  ScopedTaintSink guard;
+  TaintScope scope(suite);
+
+  std::vector<Tainted<TC>> tpoly(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tpoly[static_cast<std::size_t>(i)] =
+        Tainted<TC>::secret(poly[static_cast<std::size_t>(i)]);
+  }
+  {
+    TaintScope s("forward");
+    cd::ntt_forward<Tainted<TC>, Tainted<TW>>(tpoly.data(), n, min_len,
+                                              zetas.data(), q);
+  }
+  bool matches = true;
+  for (int i = 0; i < n; ++i) {
+    matches = matches &&
+              tpoly[static_cast<std::size_t>(i)].value() ==
+                  plain[static_cast<std::size_t>(i)];
+  }
+  {
+    TaintScope s("inverse");
+    cd::ntt_inverse<Tainted<TC>, Tainted<TW>>(tpoly.data(), n, min_len,
+                                              inv_zetas.data(), q, n_inv);
+  }
+  for (int i = 0; i < n; ++i) {
+    matches = matches &&
+              tpoly[static_cast<std::size_t>(i)].value() ==
+                  poly[static_cast<std::size_t>(i)];
+  }
+  return finish(suite, guard.sink(), matches);
+}
+
+}  // namespace
+
+LintResult lint_kyber_ntt() {
+  constexpr int kN = 256;
+  constexpr std::int64_t kQ = 3329;
+  std::vector<std::int16_t> zetas(128), inv_zetas(128);
+  for (int i = 0; i < 128; ++i) {
+    zetas[static_cast<std::size_t>(i)] =
+        static_cast<std::int16_t>(mod_pow(17, bitrev(i, 7), kQ));
+    inv_zetas[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(
+        mod_pow(17, (256 - bitrev(i, 7)) % 256, kQ));
+  }
+  // 128^-1 mod q (the forward transform stops at len = 2, so 128 butterfly
+  // halvings are undone).
+  const auto n_inv = static_cast<std::int16_t>(mod_pow(128, kQ - 2, kQ));
+  return lint_ntt<std::int16_t, std::int32_t>("kyber-ntt", kN, 2, kQ, zetas,
+                                              inv_zetas, n_inv);
+}
+
+LintResult lint_dilithium_ntt() {
+  constexpr int kN = 256;
+  constexpr std::int64_t kQ = 8380417;
+  std::vector<std::int32_t> zetas(256), inv_zetas(256);
+  for (int i = 0; i < 256; ++i) {
+    zetas[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(mod_pow(1753, bitrev(i, 8), kQ));
+    inv_zetas[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+        mod_pow(zetas[static_cast<std::size_t>(i)], kQ - 2, kQ));
+  }
+  const auto n_inv = static_cast<std::int32_t>(mod_pow(kN, kQ - 2, kQ));
+  return lint_ntt<std::int32_t, std::int64_t>("dilithium-ntt", kN, 1, kQ,
+                                              zetas, inv_zetas, n_inv);
+}
+
+std::vector<LintResult> lint_all() {
+  return {lint_aes256(),       lint_chacha20(),  lint_keccak_f1600(),
+          lint_hmac_sha512(),  lint_kyber_ntt(), lint_dilithium_ntt()};
+}
+
+}  // namespace convolve::analysis

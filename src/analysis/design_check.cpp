@@ -1,0 +1,21 @@
+#include "convolve/analysis/design_check.hpp"
+
+namespace convolve::analysis {
+
+DesignCheckReport verify_explored_design(const masking::Circuit& plain,
+                                         const hades::SearchResult& result,
+                                         const SymbolicOptions& options,
+                                         unsigned probe_order) {
+  DesignCheckReport report;
+  report.order = result.order;
+  report.probe_order = probe_order == 0 ? result.order : probe_order;
+
+  const masking::MaskedCircuit masked =
+      masking::mask_circuit(plain, report.order);
+  report.masked_gates = masked.circuit.num_gates();
+  report.probing = verify_probing_symbolic(masked, plain.num_inputs(),
+                                           report.probe_order, options);
+  return report;
+}
+
+}  // namespace convolve::analysis

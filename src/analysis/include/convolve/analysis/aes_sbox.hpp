@@ -1,0 +1,23 @@
+// The production AES S-box program as a masking::Circuit netlist.
+//
+// detail::aes_sbox_planes is a template over the word type; instantiating
+// it with a wire-builder type that records every ^ / & / ~ as a gate turns
+// the exact straight-line program production AES executes into the IR the
+// probing verifier and the AGEMA-style masking transform consume. There is
+// no hand-transcribed second copy of the S-box to drift out of sync.
+#pragma once
+
+#include "convolve/masking/circuit.hpp"
+
+namespace convolve::analysis {
+
+/// Netlist of the bitsliced AES S-box (36 AND / 155 XOR / 4 NOT, plus the
+/// 8 inputs). Input gate i carries bit 7-i of the S-box input byte (MSB
+/// first); output j of the circuit is bit 7-j of S(x).
+masking::Circuit aes_sbox_circuit();
+
+/// Convenience for tests: evaluate the netlist on a byte.
+std::uint8_t aes_sbox_circuit_eval(const masking::Circuit& circuit,
+                                   std::uint8_t x);
+
+}  // namespace convolve::analysis

@@ -1,0 +1,38 @@
+// Post-search verification bridge between HADES exploration and the
+// symbolic probing verifier.
+//
+// HADES picks a design point (including a masking order) from cost-model
+// predictions; the cost model trusts that the masking transform delivers
+// the claimed order. This bridge closes the loop: take the explored
+// result, instantiate the AGEMA-style masked netlist at the chosen order,
+// and statically verify d-probing security of what would actually be
+// taped out.
+#pragma once
+
+#include "convolve/analysis/leakage_verify.hpp"
+#include "convolve/hades/search.hpp"
+#include "convolve/masking/circuit.hpp"
+
+namespace convolve::analysis {
+
+struct DesignCheckReport {
+  /// Masking order the design was instantiated at.
+  unsigned order = 0;
+  /// Number of simultaneous probes verified against.
+  unsigned probe_order = 0;
+  /// Gate count of the masked netlist that was checked.
+  std::size_t masked_gates = 0;
+  SymbolicReport probing;
+
+  bool verified() const { return probing.verdict == Verdict::kSecure; }
+};
+
+/// Mask `plain` at the order the search selected (result.order) and run
+/// the symbolic probing verifier. `probe_order` = 0 means "verify at the
+/// design's own order d".
+DesignCheckReport verify_explored_design(const masking::Circuit& plain,
+                                         const hades::SearchResult& result,
+                                         const SymbolicOptions& options = {},
+                                         unsigned probe_order = 0);
+
+}  // namespace convolve::analysis

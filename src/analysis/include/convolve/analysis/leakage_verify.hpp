@@ -1,0 +1,94 @@
+// Symbolic (static) probing-security verification.
+//
+// The exhaustive checker in convolve/masking/probing.hpp decides d-probing
+// security by enumerating every mask/randomness assignment -- exact but
+// exponential in the free bits. This verifier instead computes, per wire, a
+// symbolic *footprint*: the exact XOR-parity over input-share and random
+// atoms (so linear cancellation is tracked, maskVerif-style) plus the
+// symmetric-difference set of nonlinear AND terms. A probe set can then be
+// discharged without any simulation:
+//
+//  * coverage rejection -- if the union of footprints misses at least one
+//    share of every secret, the observation is a function of at most d
+//    shares of each independently-shared input and therefore simulatable
+//    without the secret;
+//  * blinding-random simplification -- an observation carrying a random
+//    linearly, where that random occurs in no other observation and not in
+//    the observation's own nonlinear core, is uniform and independent and
+//    can be dropped;
+//  * exact fallback -- anything still unresolved is decided by exhaustive
+//    enumeration restricted to the probe's fan-in cone, which is orders of
+//    magnitude smaller than the whole circuit.
+//
+// The glitch-extended (robust probing) mode models combinational glitches:
+// a probe observes every input/random/register atom in the transitive
+// fan-in up to the nearest register boundary (GateKind::kReg), each with
+// its full footprint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "convolve/masking/circuit.hpp"
+#include "convolve/masking/probing.hpp"
+
+namespace convolve::analysis {
+
+enum class Verdict {
+  kSecure,         // proven: every probe set discharged
+  kLeak,           // counterexample confirmed by exact cone enumeration
+  kPotentialLeak,  // a probe set survived all sound filters but its cone
+                   // exceeded the fallback budget -- unresolved, not proven
+};
+
+struct SymbolicOptions {
+  /// Model combinational glitches: probes observe all atoms up to the
+  /// nearest register boundary.
+  bool glitch_extended = false;
+  /// Confirm or refute unresolved probe sets by exhaustive enumeration of
+  /// the probe cone (exact); disable to get a pure-static over-approximate
+  /// answer.
+  bool exhaustive_fallback = true;
+  /// log2 of the maximum work one fallback may spend: secrets x mask/random
+  /// assignments x cone gates evaluated. Beyond this the set is left
+  /// unresolved and the verdict degrades to kPotentialLeak.
+  int fallback_budget_bits = 24;
+  /// log2 of the cumulative work budget across *all* fallbacks in one
+  /// verification. Bounds total runtime on large circuits: once spent,
+  /// remaining unresolved sets degrade to kPotentialLeak without
+  /// enumeration. Small circuits never come close, so differential tests
+  /// against the exhaustive checker stay exact.
+  int fallback_total_bits = 32;
+};
+
+struct SymbolicReport {
+  Verdict verdict = Verdict::kSecure;
+  bool secure = true;
+  /// The probe set that produced a kLeak / kPotentialLeak verdict.
+  std::vector<int> probes;
+  /// For kLeak: the two secret assignments the probes distinguish.
+  std::vector<std::uint8_t> secret_a;
+  std::vector<std::uint8_t> secret_b;
+  std::uint64_t probe_sets_checked = 0;
+  /// Probe sets discharged because they miss a share of every secret.
+  std::uint64_t coverage_rejected = 0;
+  /// Probe sets discharged by the blinding-random simplification.
+  std::uint64_t simplified_away = 0;
+  /// Probe sets decided by exact cone enumeration.
+  std::uint64_t fallback_checked = 0;
+
+  /// Counterexample-shaped view so tests can cross-check against (and
+  /// replay with) the exhaustive checker's machinery.
+  masking::ProbingReport to_probing_report() const;
+};
+
+/// Statically verify d-probing security of `masked` (as produced by
+/// mask_circuit or hpc2_and_gadget). `plain_inputs` is the number of
+/// original unmasked inputs; `probe_order` the number of simultaneous
+/// probes d. Sound: kSecure is never returned for a leaky circuit. Exact
+/// whenever every unresolved probe cone fits the fallback budget.
+SymbolicReport verify_probing_symbolic(const masking::MaskedCircuit& masked,
+                                       int plain_inputs, unsigned probe_order,
+                                       const SymbolicOptions& options = {});
+
+}  // namespace convolve::analysis

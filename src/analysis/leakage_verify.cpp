@@ -1,0 +1,509 @@
+#include "convolve/analysis/leakage_verify.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace convolve::analysis {
+
+namespace {
+
+using masking::Circuit;
+using masking::Gate;
+using masking::GateKind;
+using masking::MaskedCircuit;
+
+// Fixed-width bitset over the atom universe (input shares then randoms).
+class Bits {
+ public:
+  Bits() = default;
+  explicit Bits(int nbits) : w_(static_cast<std::size_t>((nbits + 63) / 64)) {}
+
+  void set(int i) { w_[static_cast<std::size_t>(i >> 6)] |= 1ull << (i & 63); }
+  bool test(int i) const {
+    return (w_[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+  void flip(int i) { w_[static_cast<std::size_t>(i >> 6)] ^= 1ull << (i & 63); }
+  void clear() { std::fill(w_.begin(), w_.end(), 0); }
+
+  void or_with(const Bits& o) {
+    for (std::size_t i = 0; i < w_.size(); ++i) w_[i] |= o.w_[i];
+  }
+  void xor_with(const Bits& o) {
+    for (std::size_t i = 0; i < w_.size(); ++i) w_[i] ^= o.w_[i];
+  }
+  bool contains_all(const Bits& mask) const {
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+      if ((w_[i] & mask.w_[i]) != mask.w_[i]) return false;
+    }
+    return true;
+  }
+  bool any() const {
+    for (const auto w : w_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  /// Invoke fn(bit_index) for every set bit.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+      std::uint64_t w = w_[i];
+      while (w) {
+        const int b = __builtin_ctzll(w);
+        fn(static_cast<int>(i) * 64 + b);
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> w_;
+};
+
+// Per-wire symbolic footprint. `lin` is the exact XOR parity over atoms
+// (input shares + randoms); `nl` the symmetric-difference set of AND-gate
+// terms; `support` / `nl_support` the union of atoms the value (resp. its
+// nonlinear core) can depend on.
+struct Footprint {
+  Bits lin;
+  std::vector<int> nl;  // sorted AND-gate indices
+  Bits support;
+  Bits nl_support;
+};
+
+std::vector<int> symdiff(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> r;
+  r.reserve(a.size() + b.size());
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(r));
+  return r;
+}
+
+// Enumerate all probe sets of size exactly `k` (mirrors the exhaustive
+// checker so probe_sets_checked counts line up).
+template <typename Fn>
+bool for_each_combination(int universe, int k, Fn&& fn) {
+  std::vector<int> idx(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+  if (k > universe) return true;
+  while (true) {
+    if (!fn(idx)) return false;
+    int pos = k - 1;
+    while (pos >= 0 &&
+           idx[static_cast<std::size_t>(pos)] == universe - k + pos) {
+      --pos;
+    }
+    if (pos < 0) return true;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (int j = pos + 1; j < k; ++j) {
+      idx[static_cast<std::size_t>(j)] =
+          idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+int ceil_log2(std::uint64_t n) {
+  int b = 0;
+  while ((1ull << b) < n) ++b;
+  return b;
+}
+
+}  // namespace
+
+masking::ProbingReport SymbolicReport::to_probing_report() const {
+  masking::ProbingReport r;
+  r.secure = secure;
+  r.probes = probes;
+  r.secret_a = secret_a;
+  r.secret_b = secret_b;
+  r.probe_sets_checked = probe_sets_checked;
+  return r;
+}
+
+SymbolicReport verify_probing_symbolic(const MaskedCircuit& masked,
+                                       int plain_inputs, unsigned probe_order,
+                                       const SymbolicOptions& options) {
+  const Circuit& c = masked.circuit;
+  const unsigned n_shares = masked.order + 1;
+  const int n_gates = static_cast<int>(c.num_gates());
+  const int n_inputs = c.num_inputs();
+  const int n_randoms = c.num_randoms();
+  const int n_atoms = n_inputs + n_randoms;
+  if (static_cast<int>(masked.input_share_base.size()) < plain_inputs) {
+    throw std::invalid_argument(
+        "verify_probing_symbolic: input_share_base shorter than plain_inputs");
+  }
+
+  SymbolicReport report;
+
+  // ---- Footprint computation (one topological pass) --------------------
+  std::vector<Footprint> fp(static_cast<std::size_t>(n_gates));
+  // and_support[g] is only populated for AND gates.
+  std::vector<Bits> and_support(static_cast<std::size_t>(n_gates));
+  for (int gi = 0; gi < n_gates; ++gi) {
+    const Gate& g = c.gates()[static_cast<std::size_t>(gi)];
+    Footprint& f = fp[static_cast<std::size_t>(gi)];
+    switch (g.kind) {
+      case GateKind::kInput:
+      case GateKind::kRandom: {
+        const int atom =
+            g.kind == GateKind::kInput ? g.aux : n_inputs + g.aux;
+        f.lin = Bits(n_atoms);
+        f.support = Bits(n_atoms);
+        f.nl_support = Bits(n_atoms);
+        f.lin.set(atom);
+        f.support.set(atom);
+        break;
+      }
+      case GateKind::kConst:
+        f.lin = Bits(n_atoms);
+        f.support = Bits(n_atoms);
+        f.nl_support = Bits(n_atoms);
+        break;
+      case GateKind::kNot:
+      case GateKind::kReg:
+        // NOT only flips a constant; REG is the identity on values.
+        f = fp[static_cast<std::size_t>(g.a)];
+        break;
+      case GateKind::kAnd: {
+        Bits sup = fp[static_cast<std::size_t>(g.a)].support;
+        sup.or_with(fp[static_cast<std::size_t>(g.b)].support);
+        and_support[static_cast<std::size_t>(gi)] = sup;
+        f.lin = Bits(n_atoms);
+        f.nl = {gi};
+        f.support = sup;
+        f.nl_support = std::move(sup);
+        break;
+      }
+      case GateKind::kXor: {
+        const Footprint& fa = fp[static_cast<std::size_t>(g.a)];
+        const Footprint& fb = fp[static_cast<std::size_t>(g.b)];
+        f.lin = fa.lin;
+        f.lin.xor_with(fb.lin);
+        f.nl = symdiff(fa.nl, fb.nl);
+        // Support from the *cancelled* footprint: identical linear or
+        // nonlinear terms on both sides vanish, shrinking the support.
+        f.nl_support = Bits(n_atoms);
+        for (const int t : f.nl) {
+          f.nl_support.or_with(and_support[static_cast<std::size_t>(t)]);
+        }
+        f.support = f.nl_support;
+        f.support.or_with(f.lin);
+        break;
+      }
+    }
+  }
+
+  // ---- Glitch-extended observation sets ---------------------------------
+  // boundary[g]: the atoms a glitch-extended probe on g observes -- the
+  // input/random/const/register wires reached by walking fan-in without
+  // crossing a register.
+  std::vector<std::vector<int>> boundary;
+  std::vector<Bits> glitch_support;
+  if (options.glitch_extended) {
+    boundary.resize(static_cast<std::size_t>(n_gates));
+    glitch_support.resize(static_cast<std::size_t>(n_gates));
+    for (int gi = 0; gi < n_gates; ++gi) {
+      const Gate& g = c.gates()[static_cast<std::size_t>(gi)];
+      std::vector<int>& b = boundary[static_cast<std::size_t>(gi)];
+      switch (g.kind) {
+        case GateKind::kInput:
+        case GateKind::kRandom:
+        case GateKind::kConst:
+        case GateKind::kReg:
+          b = {gi};
+          break;
+        case GateKind::kNot:
+          b = boundary[static_cast<std::size_t>(g.a)];
+          break;
+        case GateKind::kAnd:
+        case GateKind::kXor: {
+          const auto& ba = boundary[static_cast<std::size_t>(g.a)];
+          const auto& bb = boundary[static_cast<std::size_t>(g.b)];
+          b.reserve(ba.size() + bb.size());
+          std::set_union(ba.begin(), ba.end(), bb.begin(), bb.end(),
+                         std::back_inserter(b));
+          break;
+        }
+      }
+      Bits sup(n_atoms);
+      for (const int w : b) {
+        sup.or_with(fp[static_cast<std::size_t>(w)].support);
+      }
+      glitch_support[static_cast<std::size_t>(gi)] = std::move(sup);
+    }
+  }
+
+  // ---- Share masks per plain input --------------------------------------
+  std::vector<Bits> share_mask(static_cast<std::size_t>(plain_inputs));
+  for (int i = 0; i < plain_inputs; ++i) {
+    Bits m(n_atoms);
+    const int base = masked.input_share_base[static_cast<std::size_t>(i)];
+    for (unsigned s = 0; s < n_shares; ++s) {
+      m.set(base + static_cast<int>(s));
+    }
+    share_mask[static_cast<std::size_t>(i)] = std::move(m);
+  }
+  const auto covers_some_secret = [&](const Bits& s) {
+    for (int i = 0; i < plain_inputs; ++i) {
+      if (s.contains_all(share_mask[static_cast<std::size_t>(i)])) return true;
+    }
+    return false;
+  };
+
+  // ---- Per-probe-set decision -------------------------------------------
+  // Returns true to keep scanning, false on a confirmed kLeak. An
+  // over-budget set degrades the verdict to kPotentialLeak but scanning
+  // continues: a later, smaller-coned set may still confirm a real leak.
+  std::vector<int> obs;
+  Bits full_support(n_atoms);
+  Bits reduced(n_atoms);
+  std::vector<char> active;
+  std::vector<int> involved;
+  std::vector<int> cone_randoms;
+  std::vector<std::uint8_t> inputs(static_cast<std::size_t>(n_inputs), 0);
+  std::vector<std::uint8_t> randoms(static_cast<std::size_t>(n_randoms), 0);
+  // Epoch-stamped cone scratch: no per-set clearing of gate-sized arrays.
+  std::vector<int> cone_stamp(static_cast<std::size_t>(n_gates), 0);
+  int cone_epoch = 0;
+  std::vector<int> cone_order;
+  std::vector<int> dfs_stack;
+  std::vector<std::uint8_t> wire_val(static_cast<std::size_t>(n_gates), 0);
+  std::vector<std::uint64_t> dist_ref;
+  std::vector<std::uint64_t> dist_cur;
+  std::uint64_t fallback_work_spent = 0;
+  const auto check_set = [&](const std::vector<int>& probes) -> bool {
+    ++report.probe_sets_checked;
+
+    // Observation wires: the probes themselves, or (glitch mode) the union
+    // of their register-boundary atoms.
+    obs.clear();
+    full_support.clear();
+    if (options.glitch_extended) {
+      for (const int p : probes) {
+        const auto& b = boundary[static_cast<std::size_t>(p)];
+        obs.insert(obs.end(), b.begin(), b.end());
+        full_support.or_with(glitch_support[static_cast<std::size_t>(p)]);
+      }
+      std::sort(obs.begin(), obs.end());
+      obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+    } else {
+      obs = probes;
+      for (const int p : probes) {
+        full_support.or_with(fp[static_cast<std::size_t>(p)].support);
+      }
+    }
+
+    // 1. Coverage: a set that misses a share of every secret observes at
+    // most d shares of each independently-shared input -- simulatable.
+    if (!covers_some_secret(full_support)) {
+      ++report.coverage_rejected;
+      return true;
+    }
+
+    // 2. Blinding-random simplification to a fixpoint: drop observations
+    // made uniform-and-independent by a private linear random.
+    active.assign(obs.size(), 1);
+    std::size_t n_active = obs.size();
+    bool changed = true;
+    while (changed && n_active > 0) {
+      changed = false;
+      for (std::size_t oi = 0; oi < obs.size() && n_active > 0; ++oi) {
+        if (!active[oi]) continue;
+        const Footprint& f = fp[static_cast<std::size_t>(obs[oi])];
+        bool removed = false;
+        f.lin.for_each([&](int atom) {
+          if (removed || atom < n_inputs) return;      // randoms only
+          if (f.nl_support.test(atom)) return;         // in own nonlinear core
+          for (std::size_t oj = 0; oj < obs.size(); ++oj) {
+            if (oj == oi || !active[oj]) continue;
+            if (fp[static_cast<std::size_t>(obs[oj])].support.test(atom)) {
+              return;
+            }
+          }
+          removed = true;
+        });
+        if (removed) {
+          active[oi] = 0;
+          --n_active;
+          changed = true;
+        }
+      }
+    }
+    if (n_active == 0) {
+      ++report.simplified_away;
+      return true;
+    }
+    if (n_active < obs.size()) {
+      reduced.clear();
+      for (std::size_t oi = 0; oi < obs.size(); ++oi) {
+        if (active[oi]) {
+          reduced.or_with(fp[static_cast<std::size_t>(obs[oi])].support);
+        }
+      }
+      if (!covers_some_secret(reduced)) {
+        ++report.simplified_away;
+        return true;
+      }
+    }
+
+    // 3. Exact fallback on the cone of the full observation set. An
+    // unresolved set marks the verdict kPotentialLeak (recording the first
+    // such set) but does NOT stop the scan -- a later set may confirm.
+    const auto unresolved = [&]() -> bool {
+      if (report.verdict == Verdict::kSecure) {
+        report.verdict = Verdict::kPotentialLeak;
+        report.secure = false;
+        report.probes = probes;
+      }
+      return true;
+    };
+    if (!options.exhaustive_fallback || obs.size() > 20) return unresolved();
+    involved.clear();
+    for (int i = 0; i < plain_inputs; ++i) {
+      const int base = masked.input_share_base[static_cast<std::size_t>(i)];
+      for (unsigned s = 0; s < n_shares; ++s) {
+        if (full_support.test(base + static_cast<int>(s))) {
+          involved.push_back(i);
+          break;
+        }
+      }
+    }
+    cone_randoms.clear();
+    for (int r = 0; r < n_randoms; ++r) {
+      if (full_support.test(n_inputs + r)) cone_randoms.push_back(r);
+    }
+    const int free_bits =
+        static_cast<int>(involved.size()) * static_cast<int>(masked.order) +
+        static_cast<int>(cone_randoms.size());
+    if (free_bits + static_cast<int>(involved.size()) >
+        options.fallback_budget_bits) {
+      return unresolved();
+    }
+
+    // Fan-in cone of the observation set. Gate indices are already in
+    // topological order, so a sort of the visited set yields eval order.
+    ++cone_epoch;
+    cone_order.clear();
+    dfs_stack.assign(obs.begin(), obs.end());
+    while (!dfs_stack.empty()) {
+      const int g = dfs_stack.back();
+      dfs_stack.pop_back();
+      if (cone_stamp[static_cast<std::size_t>(g)] == cone_epoch) continue;
+      cone_stamp[static_cast<std::size_t>(g)] = cone_epoch;
+      cone_order.push_back(g);
+      const Gate& gate = c.gates()[static_cast<std::size_t>(g)];
+      if (gate.a >= 0) dfs_stack.push_back(gate.a);
+      if (gate.b >= 0) dfs_stack.push_back(gate.b);
+    }
+    std::sort(cone_order.begin(), cone_order.end());
+
+    // Total work = secrets x assignments x cone gates; budget is its log2.
+    const int work_bits = free_bits + static_cast<int>(involved.size()) +
+                          ceil_log2(cone_order.size());
+    if (work_bits > options.fallback_budget_bits) return unresolved();
+    const std::uint64_t work_bound =
+        cone_order.size() << (free_bits + static_cast<int>(involved.size()));
+    if (fallback_work_spent + work_bound >
+        (1ull << options.fallback_total_bits)) {
+      return unresolved();
+    }
+    fallback_work_spent += work_bound;
+    ++report.fallback_checked;
+
+    const auto run_cone = [&] {
+      for (const int gi : cone_order) {
+        const Gate& g = c.gates()[static_cast<std::size_t>(gi)];
+        std::uint8_t v = 0;
+        switch (g.kind) {
+          case GateKind::kInput:
+            v = inputs[static_cast<std::size_t>(g.aux)];
+            break;
+          case GateKind::kRandom:
+            v = randoms[static_cast<std::size_t>(g.aux)];
+            break;
+          case GateKind::kConst:
+            v = static_cast<std::uint8_t>(g.aux & 1);
+            break;
+          case GateKind::kAnd:
+            v = wire_val[static_cast<std::size_t>(g.a)] &
+                wire_val[static_cast<std::size_t>(g.b)];
+            break;
+          case GateKind::kXor:
+            v = wire_val[static_cast<std::size_t>(g.a)] ^
+                wire_val[static_cast<std::size_t>(g.b)];
+            break;
+          case GateKind::kNot:
+            v = wire_val[static_cast<std::size_t>(g.a)] ^ 1;
+            break;
+          case GateKind::kReg:
+            v = wire_val[static_cast<std::size_t>(g.a)];
+            break;
+        }
+        wire_val[static_cast<std::size_t>(gi)] = v;
+      }
+    };
+
+    // Exact distribution of the observation tuple: a flat histogram over
+    // the 2^|obs| outcome keys (obs.size() <= 20 guards the allocation).
+    const std::size_t n_keys = 1ull << obs.size();
+    const auto distribution_for = [&](std::uint64_t secret_bits,
+                                      std::vector<std::uint64_t>& dist) {
+      dist.assign(n_keys, 0);
+      for (std::uint64_t a = 0; a < (1ull << free_bits); ++a) {
+        std::uint64_t bits = a;
+        for (std::size_t ii = 0; ii < involved.size(); ++ii) {
+          const int base = masked.input_share_base[static_cast<std::size_t>(
+              involved[ii])];
+          std::uint8_t acc =
+              static_cast<std::uint8_t>((secret_bits >> ii) & 1);
+          for (unsigned s = 1; s < n_shares; ++s) {
+            const std::uint8_t m = static_cast<std::uint8_t>(bits & 1);
+            bits >>= 1;
+            inputs[static_cast<std::size_t>(base) + s] = m;
+            acc ^= m;
+          }
+          inputs[static_cast<std::size_t>(base)] = acc;
+        }
+        for (const int r : cone_randoms) {
+          randoms[static_cast<std::size_t>(r)] =
+              static_cast<std::uint8_t>(bits & 1);
+          bits >>= 1;
+        }
+        run_cone();
+        std::uint64_t key = 0;
+        for (std::size_t p = 0; p < obs.size(); ++p) {
+          key |= static_cast<std::uint64_t>(
+                     wire_val[static_cast<std::size_t>(obs[p])])
+                 << p;
+        }
+        ++dist[key];
+      }
+    };
+
+    distribution_for(0, dist_ref);
+    for (std::uint64_t s = 1; s < (1ull << involved.size()); ++s) {
+      distribution_for(s, dist_cur);
+      if (dist_cur != dist_ref) {
+        report.verdict = Verdict::kLeak;
+        report.secure = false;
+        report.probes = obs;
+        report.secret_a.assign(static_cast<std::size_t>(plain_inputs), 0);
+        report.secret_b.assign(static_cast<std::size_t>(plain_inputs), 0);
+        for (std::size_t ii = 0; ii < involved.size(); ++ii) {
+          report.secret_b[static_cast<std::size_t>(involved[ii])] =
+              static_cast<std::uint8_t>((s >> ii) & 1);
+        }
+        return false;
+      }
+    }
+    return true;  // exactly verified secure for this set
+  };
+
+  for (unsigned k = 1; k <= probe_order; ++k) {
+    if (!for_each_combination(n_gates, static_cast<int>(k), check_set)) break;
+  }
+  return report;
+}
+
+}  // namespace convolve::analysis

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "convolve/crypto/detail/aes_core.hpp"
+
 namespace convolve::crypto {
 
 namespace {
@@ -22,6 +24,10 @@ constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
   return r;
 }
 
+// The derived tables are kept for two reasons even though encryption now
+// runs the bitsliced Boyar-Peralta circuit: decryption does a
+// constant-time scan lookup of the inverse table, and the analysis tests
+// cross-check the circuit against this independently-derived table.
 struct SboxTables {
   std::array<std::uint8_t, 256> sbox{};
   std::array<std::uint8_t, 256> inv_sbox{};
@@ -56,66 +62,10 @@ struct SboxTables {
 
 const SboxTables kTables{};
 
-constexpr std::uint8_t kRcon[15] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
-                                    0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c,
-                                    0xd8, 0xab, 0x4d};
-
-void sub_bytes(std::uint8_t s[16]) {
-  for (int i = 0; i < 16; ++i) s[i] = kTables.sbox[s[i]];
-}
-
-void inv_sub_bytes(std::uint8_t s[16]) {
-  for (int i = 0; i < 16; ++i) s[i] = kTables.inv_sbox[s[i]];
-}
-
-// State is column-major: s[4*c + r] is row r, column c.
-void shift_rows(std::uint8_t s[16]) {
-  std::uint8_t t[16];
-  for (int c = 0; c < 4; ++c) {
-    for (int r = 0; r < 4; ++r) t[4 * c + r] = s[4 * ((c + r) % 4) + r];
-  }
-  std::memcpy(s, t, 16);
-}
-
-void inv_shift_rows(std::uint8_t s[16]) {
-  std::uint8_t t[16];
-  for (int c = 0; c < 4; ++c) {
-    for (int r = 0; r < 4; ++r) t[4 * ((c + r) % 4) + r] = s[4 * c + r];
-  }
-  std::memcpy(s, t, 16);
-}
-
-void mix_columns(std::uint8_t s[16]) {
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t* col = s + 4 * c;
-    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = static_cast<std::uint8_t>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
-    col[1] = static_cast<std::uint8_t>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
-    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
-    col[3] = static_cast<std::uint8_t>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
-  }
-}
-
-void inv_mix_columns(std::uint8_t s[16]) {
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t* col = s + 4 * c;
-    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = static_cast<std::uint8_t>(gf_mul(a0, 14) ^ gf_mul(a1, 11) ^
-                                       gf_mul(a2, 13) ^ gf_mul(a3, 9));
-    col[1] = static_cast<std::uint8_t>(gf_mul(a0, 9) ^ gf_mul(a1, 14) ^
-                                       gf_mul(a2, 11) ^ gf_mul(a3, 13));
-    col[2] = static_cast<std::uint8_t>(gf_mul(a0, 13) ^ gf_mul(a1, 9) ^
-                                       gf_mul(a2, 14) ^ gf_mul(a3, 11));
-    col[3] = static_cast<std::uint8_t>(gf_mul(a0, 11) ^ gf_mul(a1, 13) ^
-                                       gf_mul(a2, 9) ^ gf_mul(a3, 14));
-  }
-}
-
-void add_round_key(std::uint8_t s[16], const std::uint8_t* rk) {
-  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
-}
-
 }  // namespace
+
+const std::uint8_t* aes_sbox_table() { return kTables.sbox.data(); }
+const std::uint8_t* aes_inv_sbox_table() { return kTables.inv_sbox.data(); }
 
 Aes::Aes(KeySize size, ByteView key) {
   const std::size_t nk = (size == KeySize::k128) ? 4 : 8;  // words in key
@@ -123,61 +73,16 @@ Aes::Aes(KeySize size, ByteView key) {
   if (key.size() != nk * 4) {
     throw std::invalid_argument("Aes: key length does not match key size");
   }
-  const std::size_t total_words = 4u * static_cast<std::size_t>(rounds_ + 1);
-  // Word-oriented key expansion (FIPS 197 section 5.2).
-  std::array<std::uint8_t, 15 * 16> w{};
-  std::memcpy(w.data(), key.data(), key.size());
-  for (std::size_t i = nk; i < total_words; ++i) {
-    std::uint8_t temp[4];
-    std::memcpy(temp, w.data() + 4 * (i - 1), 4);
-    if (i % nk == 0) {
-      const std::uint8_t t0 = temp[0];
-      temp[0] = static_cast<std::uint8_t>(kTables.sbox[temp[1]] ^
-                                          kRcon[i / nk]);
-      temp[1] = kTables.sbox[temp[2]];
-      temp[2] = kTables.sbox[temp[3]];
-      temp[3] = kTables.sbox[t0];
-    } else if (nk > 6 && i % nk == 4) {
-      for (auto& b : temp) b = kTables.sbox[b];
-    }
-    for (int j = 0; j < 4; ++j) {
-      w[4 * i + static_cast<std::size_t>(j)] =
-          w[4 * (i - nk) + static_cast<std::size_t>(j)] ^ temp[j];
-    }
-  }
-  round_keys_ = w;
+  detail::aes_key_expand(key.data(), nk, rounds_, round_keys_.data());
 }
 
 void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
-  std::uint8_t s[16];
-  std::memcpy(s, in, 16);
-  add_round_key(s, round_keys_.data());
-  for (int round = 1; round < rounds_; ++round) {
-    sub_bytes(s);
-    shift_rows(s);
-    mix_columns(s);
-    add_round_key(s, round_keys_.data() + 16 * round);
-  }
-  sub_bytes(s);
-  shift_rows(s);
-  add_round_key(s, round_keys_.data() + 16 * rounds_);
-  std::memcpy(out, s, 16);
+  detail::aes_encrypt_block(round_keys_.data(), rounds_, in, out);
 }
 
 void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
-  std::uint8_t s[16];
-  std::memcpy(s, in, 16);
-  add_round_key(s, round_keys_.data() + 16 * rounds_);
-  for (int round = rounds_ - 1; round >= 1; --round) {
-    inv_shift_rows(s);
-    inv_sub_bytes(s);
-    add_round_key(s, round_keys_.data() + 16 * round);
-    inv_mix_columns(s);
-  }
-  inv_shift_rows(s);
-  inv_sub_bytes(s);
-  add_round_key(s, round_keys_.data());
-  std::memcpy(out, s, 16);
+  detail::aes_decrypt_block(round_keys_.data(), rounds_,
+                            kTables.inv_sbox.data(), in, out);
 }
 
 Bytes aes256_ctr(ByteView key, ByteView nonce, std::uint32_t initial_counter,

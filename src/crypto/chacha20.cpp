@@ -2,48 +2,28 @@
 
 #include <stdexcept>
 
+#include "convolve/crypto/detail/chacha_core.hpp"
+
 namespace convolve::crypto {
-
-namespace {
-
-void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
-                   std::uint32_t& d) {
-  a += b; d ^= a; d = rotl32(d, 16);
-  c += d; b ^= c; b = rotl32(b, 12);
-  a += b; d ^= a; d = rotl32(d, 8);
-  c += d; b ^= c; b = rotl32(b, 7);
-}
-
-}  // namespace
 
 std::array<std::uint8_t, 64> chacha20_block(ByteView key, ByteView nonce,
                                             std::uint32_t counter) {
   if (key.size() != 32) throw std::invalid_argument("chacha20: key != 32B");
   if (nonce.size() != 12) throw std::invalid_argument("chacha20: nonce != 12B");
 
-  std::uint32_t state[16];
-  state[0] = 0x61707865;
-  state[1] = 0x3320646e;
-  state[2] = 0x79622d32;
-  state[3] = 0x6b206574;
-  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
-  state[12] = counter;
-  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
-
   std::uint32_t x[16];
-  for (int i = 0; i < 16; ++i) x[i] = state[i];
-  for (int round = 0; round < 10; ++round) {
-    quarter_round(x[0], x[4], x[8], x[12]);
-    quarter_round(x[1], x[5], x[9], x[13]);
-    quarter_round(x[2], x[6], x[10], x[14]);
-    quarter_round(x[3], x[7], x[11], x[15]);
-    quarter_round(x[0], x[5], x[10], x[15]);
-    quarter_round(x[1], x[6], x[11], x[12]);
-    quarter_round(x[2], x[7], x[8], x[13]);
-    quarter_round(x[3], x[4], x[9], x[14]);
-  }
+  x[0] = 0x61707865;
+  x[1] = 0x3320646e;
+  x[2] = 0x79622d32;
+  x[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) x[4 + i] = load_le32(key.data() + 4 * i);
+  x[12] = counter;
+  for (int i = 0; i < 3; ++i) x[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  detail::chacha20_core(x);
+
   std::array<std::uint8_t, 64> out{};
-  for (int i = 0; i < 16; ++i) store_le32(out.data() + 4 * i, x[i] + state[i]);
+  for (int i = 0; i < 16; ++i) store_le32(out.data() + 4 * i, x[i]);
   return out;
 }
 

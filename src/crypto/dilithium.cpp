@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "convolve/crypto/detail/pqc_ntt.hpp"
 #include "convolve/crypto/keccak.hpp"
 
 namespace convolve::crypto::dilithium {
@@ -14,9 +15,7 @@ using Poly = std::array<std::int32_t, kN>;
 
 // Coefficients are kept in [0, q).
 std::int32_t mod_q(std::int64_t a) {
-  std::int64_t r = a % kQ;
-  if (r < 0) r += kQ;
-  return static_cast<std::int32_t>(r);
+  return detail::ntt_mod<std::int32_t, std::int64_t>(a, kQ);
 }
 
 std::int32_t mul_q(std::int64_t a, std::int64_t b) { return mod_q(a * b); }
@@ -65,36 +64,17 @@ const NttTables& tables() {
   return t;
 }
 
+// Dilithium splits fully down to degree-0 factors (min_len = 1); the
+// shared butterfly template is instantiated with 32-bit coefficients and
+// 64-bit intermediates since q is 23 bits.
 void ntt(Poly& f) {
-  int k = 0;
-  for (int len = 128; len >= 1; len /= 2) {
-    for (int start = 0; start < kN; start += 2 * len) {
-      const std::int32_t zeta = tables().zetas[++k];
-      for (int j = start; j < start + len; ++j) {
-        const std::int32_t t = mul_q(zeta, f[j + len]);
-        f[j + len] = mod_q(static_cast<std::int64_t>(f[j]) - t);
-        f[j] = mod_q(static_cast<std::int64_t>(f[j]) + t);
-      }
-    }
-  }
+  detail::ntt_forward<std::int32_t, std::int64_t>(f.data(), kN, 1,
+                                                  tables().zetas.data(), kQ);
 }
 
 void intt(Poly& f) {
-  for (int len = 1; len <= 128; len *= 2) {
-    // Forward layer with this `len` used zeta indices [128/len, 256/len)
-    // in block order; undo each block with the matching inverse twiddle.
-    for (int start = 0; start < kN; start += 2 * len) {
-      const int k = 128 / len + start / (2 * len);
-      const std::int32_t zeta_inv = tables().inv_zetas[k];
-      for (int j = start; j < start + len; ++j) {
-        const std::int32_t t = f[j];
-        f[j] = mod_q(static_cast<std::int64_t>(t) + f[j + len]);
-        f[j + len] =
-            mul_q(zeta_inv, static_cast<std::int64_t>(t) - f[j + len]);
-      }
-    }
-  }
-  for (auto& c : f) c = mul_q(c, tables().n_inv);
+  detail::ntt_inverse<std::int32_t, std::int64_t>(
+      f.data(), kN, 1, tables().inv_zetas.data(), kQ, tables().n_inv);
 }
 
 Poly pointwise(const Poly& a, const Poly& b) {

@@ -2,33 +2,16 @@
 
 #include <stdexcept>
 
+#include "convolve/crypto/detail/sha512_core.hpp"
 #include "convolve/crypto/sha512.hpp"
 
 namespace convolve::crypto {
 
 Bytes hmac_sha512(ByteView key, ByteView message) {
-  constexpr std::size_t kBlock = Sha512::kBlockSize;
-  Bytes k(kBlock, 0);
-  if (key.size() > kBlock) {
-    const auto kh = Sha512::hash(key);
-    std::copy(kh.begin(), kh.end(), k.begin());
-  } else {
-    std::copy(key.begin(), key.end(), k.begin());
-  }
-  Bytes ipad(kBlock), opad(kBlock);
-  for (std::size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
-  }
-  Sha512 inner;
-  inner.update(ipad);
-  inner.update(message);
-  const auto inner_digest = inner.digest();
-  Sha512 outer;
-  outer.update(opad);
-  outer.update({inner_digest.data(), inner_digest.size()});
-  const auto d = outer.digest();
-  return Bytes(d.begin(), d.end());
+  Bytes out(Sha512::kDigestSize);
+  detail::hmac_sha512_ct<std::uint64_t, std::uint8_t>(
+      key.data(), key.size(), message.data(), message.size(), out.data());
+  return out;
 }
 
 Bytes hkdf_extract(ByteView salt, ByteView ikm) {

@@ -3,8 +3,10 @@
 // CONVOLVE uses AES-256 for payload encryption (the HADES case study in
 // Table II of the paper targets exactly this algorithm); the TEE's data
 // sealing builds an encrypt-then-MAC AEAD on top of AES-256-CTR. The S-box
-// is computed at static-init time from the GF(2^8) inverse so the table is
-// derived, not transcribed.
+// table is computed at static-init time from the GF(2^8) inverse so it is
+// derived, not transcribed; the cipher itself is constant-time: SubBytes
+// runs the bitsliced Boyar-Peralta circuit and the inverse S-box uses a
+// full-table scan (detail/aes_core.hpp), so no secret ever indexes memory.
 #pragma once
 
 #include <array>
@@ -37,5 +39,11 @@ class Aes {
 /// the same operation.
 Bytes aes256_ctr(ByteView key, ByteView nonce, std::uint32_t initial_counter,
                  ByteView data);
+
+/// The derived (not transcribed) S-box tables, 256 bytes each. Exposed so
+/// the static analyzer can cross-check the bitsliced S-box circuit and so
+/// lint harnesses can demonstrate what a *naive* table lookup looks like.
+const std::uint8_t* aes_sbox_table();
+const std::uint8_t* aes_inv_sbox_table();
 
 }  // namespace convolve::crypto

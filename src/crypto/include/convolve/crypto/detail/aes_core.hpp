@@ -1,0 +1,154 @@
+// AES-128/256 block cipher core, generic over the byte type.
+//
+// Every step is branch-free and index-free with respect to the key and
+// state: SubBytes is the bitsliced Boyar-Peralta circuit, MixColumns uses a
+// branchless xtime, and ShiftRows/AddRoundKey touch bytes only at public
+// positions. Production code (aes.cpp) instantiates with std::uint8_t; the
+// constant-time lint instantiates with analysis::Tainted<std::uint8_t> and
+// asserts that no secret-dependent branch, table index or variable shift
+// was recorded -- over exactly this code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "convolve/crypto/detail/aes_sbox_ct.hpp"
+
+namespace convolve::crypto::detail {
+
+inline constexpr std::uint8_t kAesRcon[15] = {0x00, 0x01, 0x02, 0x04, 0x08,
+                                              0x10, 0x20, 0x40, 0x80, 0x1b,
+                                              0x36, 0x6c, 0xd8, 0xab, 0x4d};
+
+/// Multiply a state byte by a public GF(2^8) constant (AES polynomial),
+/// branchlessly: the conditional reduction becomes an arithmetic mask.
+template <class B>
+B gf_mul_const(B a, int c) {
+  B r(0);
+  while (c != 0) {
+    if (c & 1) r = r ^ a;  // public branch: c is a compile-time constant
+    const B hi = (a >> 7) & B(1);
+    a = B((a << 1) ^ ((B(0) - hi) & B(0x1b)));
+    c >>= 1;
+  }
+  return r;
+}
+
+// State is column-major: s[4*c + r] is row r, column c (FIPS 197).
+
+template <class B>
+void aes_shift_rows(B s[16]) {
+  B t[16];
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 4; ++r) t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+  }
+  for (int i = 0; i < 16; ++i) s[i] = t[i];
+}
+
+template <class B>
+void aes_inv_shift_rows(B s[16]) {
+  B t[16];
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 4; ++r) t[4 * ((c + r) % 4) + r] = s[4 * c + r];
+  }
+  for (int i = 0; i < 16; ++i) s[i] = t[i];
+}
+
+template <class B>
+void aes_mix_columns(B s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    B* col = s + 4 * c;
+    const B a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = gf_mul_const(a0, 2) ^ gf_mul_const(a1, 3) ^ a2 ^ a3;
+    col[1] = a0 ^ gf_mul_const(a1, 2) ^ gf_mul_const(a2, 3) ^ a3;
+    col[2] = a0 ^ a1 ^ gf_mul_const(a2, 2) ^ gf_mul_const(a3, 3);
+    col[3] = gf_mul_const(a0, 3) ^ a1 ^ a2 ^ gf_mul_const(a3, 2);
+  }
+}
+
+template <class B>
+void aes_inv_mix_columns(B s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    B* col = s + 4 * c;
+    const B a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = gf_mul_const(a0, 14) ^ gf_mul_const(a1, 11) ^
+             gf_mul_const(a2, 13) ^ gf_mul_const(a3, 9);
+    col[1] = gf_mul_const(a0, 9) ^ gf_mul_const(a1, 14) ^
+             gf_mul_const(a2, 11) ^ gf_mul_const(a3, 13);
+    col[2] = gf_mul_const(a0, 13) ^ gf_mul_const(a1, 9) ^
+             gf_mul_const(a2, 14) ^ gf_mul_const(a3, 11);
+    col[3] = gf_mul_const(a0, 11) ^ gf_mul_const(a1, 13) ^
+             gf_mul_const(a2, 9) ^ gf_mul_const(a3, 14);
+  }
+}
+
+template <class B>
+void aes_add_round_key(B s[16], const B* rk) {
+  for (int i = 0; i < 16; ++i) s[i] = s[i] ^ rk[i];
+}
+
+/// FIPS 197 key expansion. `key` has 4*nk bytes, `w` receives
+/// 16*(rounds+1) bytes of round keys.
+template <class B>
+void aes_key_expand(const B* key, std::size_t nk, int rounds, B* w) {
+  const std::size_t total_words = 4u * static_cast<std::size_t>(rounds + 1);
+  for (std::size_t i = 0; i < 4 * nk; ++i) w[i] = key[i];
+  for (std::size_t i = nk; i < total_words; ++i) {
+    B temp[4];
+    for (int j = 0; j < 4; ++j) temp[j] = w[4 * (i - 1) + std::size_t(j)];
+    if (i % nk == 0) {
+      // RotWord + SubWord + Rcon.
+      const B t0 = temp[0];
+      temp[0] = temp[1];
+      temp[1] = temp[2];
+      temp[2] = temp[3];
+      temp[3] = t0;
+      aes_sub_bytes_ct(temp, 4);
+      temp[0] = temp[0] ^ B(kAesRcon[i / nk]);
+    } else if (nk > 6 && i % nk == 4) {
+      aes_sub_bytes_ct(temp, 4);
+    }
+    for (int j = 0; j < 4; ++j) {
+      w[4 * i + std::size_t(j)] = w[4 * (i - nk) + std::size_t(j)] ^ temp[j];
+    }
+  }
+}
+
+template <class B>
+void aes_encrypt_block(const B* round_keys, int rounds, const B in[16],
+                       B out[16]) {
+  B s[16];
+  for (int i = 0; i < 16; ++i) s[i] = in[i];
+  aes_add_round_key(s, round_keys);
+  for (int round = 1; round < rounds; ++round) {
+    aes_sub_bytes_ct(s, 16);
+    aes_shift_rows(s);
+    aes_mix_columns(s);
+    aes_add_round_key(s, round_keys + 16 * round);
+  }
+  aes_sub_bytes_ct(s, 16);
+  aes_shift_rows(s);
+  aes_add_round_key(s, round_keys + 16 * rounds);
+  for (int i = 0; i < 16; ++i) out[i] = s[i];
+}
+
+template <class B>
+void aes_decrypt_block(const B* round_keys, int rounds,
+                       const std::uint8_t inv_sbox[256], const B in[16],
+                       B out[16]) {
+  B s[16];
+  for (int i = 0; i < 16; ++i) s[i] = in[i];
+  aes_add_round_key(s, round_keys + 16 * rounds);
+  for (int round = rounds - 1; round >= 1; --round) {
+    aes_inv_shift_rows(s);
+    for (int i = 0; i < 16; ++i) s[i] = ct_table_lookup256(inv_sbox, s[i]);
+    aes_add_round_key(s, round_keys + 16 * round);
+    aes_inv_mix_columns(s);
+  }
+  aes_inv_shift_rows(s);
+  for (int i = 0; i < 16; ++i) s[i] = ct_table_lookup256(inv_sbox, s[i]);
+  aes_add_round_key(s, round_keys);
+  for (int i = 0; i < 16; ++i) out[i] = s[i];
+}
+
+}  // namespace convolve::crypto::detail

@@ -1,0 +1,283 @@
+// Constant-time AES S-box as a bitsliced tower-field circuit.
+//
+// The forward S-box is evaluated as a fixed straight-line program of
+// XOR/AND/NOT over eight bit-planes (36 AND, 155 XOR, 4 NOT). The program
+// is machine-derived, Boyar-Peralta style, from the tower decomposition
+// GF(((2^2)^2)^2) -- GF(4) with z^2 = z + 1, GF(16) = GF(4)[y]/(y^2+y+z),
+// GF(256) = GF(16)[w]/(w^2+w+lambda) -- composed with a numerically solved
+// basis-change isomorphism from the AES polynomial basis, and verified by
+// the generator against the table S-box on all 256 inputs. There is no
+// table lookup and no branch, so the evaluation is constant-time for any
+// word type W that implements ^, & and ~ -- including the taint-tracking
+// types of the static analyzer and the wire-builder type that turns this
+// very program into the gate netlist the symbolic probing verifier checks.
+// Production AES instantiates it with plain integers; all instantiations
+// share one gate list, so verifying the netlist verifies the shipped code
+// path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace convolve::crypto::detail {
+
+/// Bit-plane word used when bitslicing `B`-typed bytes (16 lanes needed).
+/// Specialize for custom byte types (the taint tracker does).
+template <class B>
+struct PlaneWordFor;
+
+template <>
+struct PlaneWordFor<std::uint8_t> {
+  using type = std::uint16_t;
+};
+
+/// Forward S-box over bit planes. u[0] is the plane of the most
+/// significant input bit, u[7] the least significant; on return u[i]
+/// holds output bit 7-i for every lane. The body below is generated (see
+/// file header); edit the generator, not the gate list.
+template <class W>
+void aes_sbox_planes(W u[8]) {
+  const W x0 = u[7] ^ u[6];
+  const W x1 = u[5] ^ u[3];
+  const W x2 = x1 ^ u[2];
+  const W x3 = u[5] ^ u[4];
+  const W x4 = x3 ^ u[3];
+  const W x5 = x4 ^ u[0];
+  const W x6 = u[4] ^ u[2];
+  const W x7 = x6 ^ u[1];
+  const W x8 = u[3] ^ u[2];
+  const W x9 = x8 ^ u[1];
+  const W x10 = u[5] ^ u[4];
+  const W x11 = u[6] ^ u[5];
+  const W x12 = x11 ^ u[4];
+  const W x13 = x12 ^ u[3];
+  const W x14 = x13 ^ u[1];
+  const W x15 = x14 ^ u[0];
+  const W x16 = u[2] ^ u[0];
+  const W x17 = x5 ^ x7;
+  const W x18 = x7 ^ x17;
+  const W x19 = x0 ^ x2;
+  const W x20 = x2 ^ x18;
+  const W x21 = x19 ^ x7;
+  const W x22 = x7 ^ x5;
+  const W x23 = x16 ^ x15;
+  const W x24 = x23 & x22;
+  const W x25 = x16 & x7;
+  const W x26 = x15 & x5;
+  const W x27 = x24 ^ x26;
+  const W x28 = x26 ^ x25;
+  const W x29 = x2 ^ x0;
+  const W x30 = x10 ^ x9;
+  const W x31 = x30 & x29;
+  const W x32 = x10 & x2;
+  const W x33 = x9 & x0;
+  const W x34 = x31 ^ x33;
+  const W x35 = x33 ^ x32;
+  const W x36 = x7 ^ x2;
+  const W x37 = x5 ^ x0;
+  const W x38 = x16 ^ x10;
+  const W x39 = x15 ^ x9;
+  const W x40 = x36 ^ x37;
+  const W x41 = x38 ^ x39;
+  const W x42 = x41 & x40;
+  const W x43 = x38 & x36;
+  const W x44 = x39 & x37;
+  const W x45 = x42 ^ x44;
+  const W x46 = x44 ^ x43;
+  const W x47 = x45 ^ x34;
+  const W x48 = x46 ^ x35;
+  const W x49 = x27 ^ x28;
+  const W x50 = x34 ^ x49;
+  const W x51 = x35 ^ x27;
+  const W x52 = x15 ^ x16;
+  const W x53 = x16 ^ x52;
+  const W x54 = x9 ^ x10;
+  const W x55 = x10 ^ x53;
+  const W x56 = x54 ^ x16;
+  const W x57 = x16 ^ x52;
+  const W x58 = x57 ^ x55;
+  const W x59 = x58 ^ x56;
+  const W x60 = x16 ^ x55;
+  const W x61 = x16 ^ x52;
+  const W x62 = x59 ^ x47;
+  const W x63 = x60 ^ x48;
+  const W x64 = x52 ^ x50;
+  const W x65 = x61 ^ x51;
+  const W x66 = x62 ^ x7;
+  const W x67 = x63 ^ x17;
+  const W x68 = x64 ^ x20;
+  const W x69 = x65 ^ x21;
+  const W x70 = x69 ^ x68;
+  const W x71 = x68 ^ x69;
+  const W x72 = x66 ^ x67;
+  const W x73 = x72 & x71;
+  const W x74 = x66 & x68;
+  const W x75 = x67 & x69;
+  const W x76 = x73 ^ x75;
+  const W x77 = x75 ^ x74;
+  const W x78 = x67 ^ x66;
+  const W x79 = x66 ^ x78;
+  const W x80 = x79 ^ x76;
+  const W x81 = x66 ^ x77;
+  const W x82 = x80 ^ x68;
+  const W x83 = x81 ^ x70;
+  const W x84 = x83 ^ x82;
+  const W x85 = x82 ^ x84;
+  const W x86 = x66 ^ x67;
+  const W x87 = x86 & x85;
+  const W x88 = x66 & x82;
+  const W x89 = x67 & x84;
+  const W x90 = x87 ^ x89;
+  const W x91 = x89 ^ x88;
+  const W x92 = x66 ^ x68;
+  const W x93 = x67 ^ x69;
+  const W x94 = x82 ^ x84;
+  const W x95 = x92 ^ x93;
+  const W x96 = x95 & x94;
+  const W x97 = x92 & x82;
+  const W x98 = x93 & x84;
+  const W x99 = x96 ^ x98;
+  const W x100 = x98 ^ x97;
+  const W x101 = x90 ^ x91;
+  const W x102 = x16 ^ x15;
+  const W x103 = x102 & x101;
+  const W x104 = x16 & x90;
+  const W x105 = x15 & x91;
+  const W x106 = x103 ^ x105;
+  const W x107 = x105 ^ x104;
+  const W x108 = x99 ^ x100;
+  const W x109 = x10 ^ x9;
+  const W x110 = x109 & x108;
+  const W x111 = x10 & x99;
+  const W x112 = x9 & x100;
+  const W x113 = x110 ^ x112;
+  const W x114 = x112 ^ x111;
+  const W x115 = x90 ^ x99;
+  const W x116 = x91 ^ x100;
+  const W x117 = x16 ^ x10;
+  const W x118 = x15 ^ x9;
+  const W x119 = x115 ^ x116;
+  const W x120 = x117 ^ x118;
+  const W x121 = x120 & x119;
+  const W x122 = x117 & x115;
+  const W x123 = x118 & x116;
+  const W x124 = x121 ^ x123;
+  const W x125 = x123 ^ x122;
+  const W x126 = x124 ^ x113;
+  const W x127 = x125 ^ x114;
+  const W x128 = x106 ^ x107;
+  const W x129 = x113 ^ x128;
+  const W x130 = x114 ^ x106;
+  const W x131 = x16 ^ x7;
+  const W x132 = x15 ^ x5;
+  const W x133 = x10 ^ x2;
+  const W x134 = x9 ^ x0;
+  const W x135 = x90 ^ x91;
+  const W x136 = x131 ^ x132;
+  const W x137 = x136 & x135;
+  const W x138 = x131 & x90;
+  const W x139 = x132 & x91;
+  const W x140 = x137 ^ x139;
+  const W x141 = x139 ^ x138;
+  const W x142 = x99 ^ x100;
+  const W x143 = x133 ^ x134;
+  const W x144 = x143 & x142;
+  const W x145 = x133 & x99;
+  const W x146 = x134 & x100;
+  const W x147 = x144 ^ x146;
+  const W x148 = x146 ^ x145;
+  const W x149 = x90 ^ x99;
+  const W x150 = x91 ^ x100;
+  const W x151 = x131 ^ x133;
+  const W x152 = x132 ^ x134;
+  const W x153 = x149 ^ x150;
+  const W x154 = x151 ^ x152;
+  const W x155 = x154 & x153;
+  const W x156 = x151 & x149;
+  const W x157 = x152 & x150;
+  const W x158 = x155 ^ x157;
+  const W x159 = x157 ^ x156;
+  const W x160 = x158 ^ x147;
+  const W x161 = x159 ^ x148;
+  const W x162 = x140 ^ x141;
+  const W x163 = x147 ^ x162;
+  const W x164 = x148 ^ x140;
+  const W x165 = x161 ^ x160;
+  const W x166 = x165 ^ x129;
+  const W x167 = x130 ^ x129;
+  const W x168 = x161 ^ x130;
+  const W x169 = x168 ^ x129;
+  const W x170 = x169 ^ x127;
+  const W x171 = x164 ^ x163;
+  const W x172 = x171 ^ x161;
+  const W x173 = x172 ^ x160;
+  const W x174 = x173 ^ x130;
+  const W x175 = x174 ^ x129;
+  const W x176 = x175 ^ x126;
+  const W x177 = x164 ^ x163;
+  const W x178 = x177 ^ x160;
+  const W x179 = x178 ^ x130;
+  const W x180 = x179 ^ x126;
+  const W x181 = x164 ^ x160;
+  const W x182 = x181 ^ x129;
+  const W x183 = x182 ^ x126;
+  const W x184 = x164 ^ x161;
+  const W x185 = x184 ^ x130;
+  const W x186 = x185 ^ x129;
+  const W x187 = x164 ^ x163;
+  const W x188 = x187 ^ x160;
+  const W x189 = x188 ^ x130;
+  const W x190 = x189 ^ x127;
+  u[0] = x166;
+  u[1] = ~x167;
+  u[2] = ~x170;
+  u[3] = x176;
+  u[4] = x180;
+  u[5] = x183;
+  u[6] = ~x186;
+  u[7] = ~x190;
+}
+
+/// Constant-time SubBytes over `n` bytes (n <= 16): pack the bytes into
+/// bit planes, run the Boyar-Peralta program once, unpack. All indices and
+/// shift amounts are public loop counters.
+template <class B>
+void aes_sub_bytes_ct(B* s, int n) {
+  using W = typename PlaneWordFor<B>::type;
+  W u[8] = {W(0), W(0), W(0), W(0), W(0), W(0), W(0), W(0)};
+  for (int b = 0; b < 8; ++b) {
+    W plane(0);
+    for (int i = 0; i < n; ++i) {
+      plane = plane | (W((s[i] >> (7 - b)) & B(1)) << i);
+    }
+    u[b] = plane;
+  }
+  aes_sbox_planes(u);
+  for (int i = 0; i < n; ++i) {
+    B out(0);
+    for (int b = 0; b < 8; ++b) {
+      out = out | (B((u[b] >> i) & W(1)) << (7 - b));
+    }
+    s[i] = out;
+  }
+}
+
+/// Constant-time lookup in a public 256-entry table with a (possibly
+/// secret) byte index: scan every entry and select arithmetically. Used by
+/// the inverse S-box, where no published compact circuit is wired up.
+template <class B>
+B ct_table_lookup256(const std::uint8_t table[256], B x) {
+  B r(0);
+  for (int i = 0; i < 256; ++i) {
+    B t = x ^ B(static_cast<std::uint8_t>(i));
+    // Smear any set bit into bit 0, then turn "t == 0" into mask 0xff.
+    t = t | (t >> 4);
+    t = t | (t >> 2);
+    t = t | (t >> 1);
+    const B mask = (t & B(1)) - B(1);
+    r = r | (B(table[i]) & mask);
+  }
+  return r;
+}
+
+}  // namespace convolve::crypto::detail

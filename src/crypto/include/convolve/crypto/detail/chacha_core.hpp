@@ -1,0 +1,44 @@
+// ChaCha20 permutation core, generic over the 32-bit word type.
+//
+// Add/xor/rotate-by-constant only; instantiating with the taint tracker
+// proves the absence of secret-dependent branches, indices and shifts on
+// the exact code production chacha20.cpp runs.
+#pragma once
+
+#include <cstdint>
+
+namespace convolve::crypto::detail {
+
+template <class W>
+constexpr W chacha_rotl(W x, int n) {
+  return W((x << n) | (x >> (32 - n)));
+}
+
+template <class W>
+void chacha_quarter_round(W& a, W& b, W& c, W& d) {
+  a = W(a + b); d = d ^ a; d = chacha_rotl(d, 16);
+  c = W(c + d); b = b ^ c; b = chacha_rotl(b, 12);
+  a = W(a + b); d = d ^ a; d = chacha_rotl(d, 8);
+  c = W(c + d); b = b ^ c; b = chacha_rotl(b, 7);
+}
+
+/// The 20-round double-round schedule plus the feed-forward addition:
+/// x = initial state on entry, keystream words on return.
+template <class W>
+void chacha20_core(W x[16]) {
+  W in[16];
+  for (int i = 0; i < 16; ++i) in[i] = x[i];
+  for (int round = 0; round < 10; ++round) {
+    chacha_quarter_round(x[0], x[4], x[8], x[12]);
+    chacha_quarter_round(x[1], x[5], x[9], x[13]);
+    chacha_quarter_round(x[2], x[6], x[10], x[14]);
+    chacha_quarter_round(x[3], x[7], x[11], x[15]);
+    chacha_quarter_round(x[0], x[5], x[10], x[15]);
+    chacha_quarter_round(x[1], x[6], x[11], x[12]);
+    chacha_quarter_round(x[2], x[7], x[8], x[13]);
+    chacha_quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) x[i] = W(x[i] + in[i]);
+}
+
+}  // namespace convolve::crypto::detail

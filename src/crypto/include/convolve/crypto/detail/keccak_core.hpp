@@ -1,0 +1,76 @@
+// Keccak-f[1600] permutation, generic over the 64-bit lane type.
+//
+// Rotation offsets, lane indices and round constants are all public;
+// the only data-dependent operations are xor/and/not on whole lanes, so the
+// permutation is constant-time by construction. The taint-tracking
+// instantiation in the static analyzer certifies exactly that for the code
+// production keccak.cpp runs.
+#pragma once
+
+#include <cstdint>
+
+namespace convolve::crypto::detail {
+
+inline constexpr int kKeccakRounds = 24;
+
+inline constexpr std::uint64_t kKeccakRoundConstants[kKeccakRounds] = {
+    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull,
+    0x8000000080008000ull, 0x000000000000808bull, 0x0000000080000001ull,
+    0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008aull,
+    0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
+    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull,
+    0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
+    0x000000000000800aull, 0x800000008000000aull, 0x8000000080008081ull,
+    0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
+};
+
+inline constexpr unsigned kKeccakRho[25] = {
+    0,  1,  62, 28, 27,  // x = 0..4, y = 0
+    36, 44, 6,  55, 20,  // y = 1
+    3,  10, 43, 25, 39,  // y = 2
+    41, 45, 15, 21, 8,   // y = 3
+    18, 2,  61, 56, 14,  // y = 4
+};
+
+template <class W>
+constexpr W keccak_rotl(W x, unsigned n) {
+  if (n == 0) return x;
+  return W((x << static_cast<int>(n)) | (x >> static_cast<int>(64 - n)));
+}
+
+template <class W>
+void keccak_permute(W a[25]) {
+  for (int round = 0; round < kKeccakRounds; ++round) {
+    // Theta
+    W c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    W d[5];
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ keccak_rotl(c[(x + 1) % 5], 1);
+    }
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) a[x + 5 * y] = a[x + 5 * y] ^ d[x];
+    }
+    // Rho + Pi
+    W b[25];
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] =
+            keccak_rotl(a[x + 5 * y], kKeccakRho[x + 5 * y]);
+      }
+    }
+    // Chi
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        a[x + 5 * y] =
+            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota
+    a[0] = a[0] ^ W(kKeccakRoundConstants[round]);
+  }
+}
+
+}  // namespace convolve::crypto::detail

@@ -1,0 +1,70 @@
+// Number-theoretic transform shared by Kyber (q = 3329, int16 coefficients,
+// layers down to len = 2) and Dilithium (q = 8380417, int32 coefficients,
+// layers down to len = 1), generic over the coefficient type.
+//
+// NOTE: the modular reduction uses `%` and a sign test, i.e. it is NOT
+// constant-time -- division latency and the branch both depend on the
+// operand. The taint-tracking instantiation flags exactly these hazards
+// when the lint drives a secret polynomial through the transform; the
+// verdict documents a real property of this reference implementation.
+#pragma once
+
+#include <cstdint>
+
+namespace convolve::crypto::detail {
+
+/// Reduce into [0, q). TC = coefficient type, TW = widened type the
+/// arithmetic is done in.
+template <class TC, class TW>
+TC ntt_mod(TW a, std::int64_t q) {
+  TW r = TW(a % TW(q));
+  if (r < TW(0)) r = TW(r + TW(q));
+  return TC(r);
+}
+
+template <class TC, class TW>
+TC ntt_mul(TW a, TW b, std::int64_t q) {
+  return ntt_mod<TC, TW>(TW(a * b), q);
+}
+
+/// Cooley-Tukey forward NTT, consuming bit-reversed twiddles zetas[1..]
+/// in order. `min_len` is 2 for Kyber's 128 degree-1 factors, 1 for
+/// Dilithium's full splitting.
+template <class TC, class TW, class Z>
+void ntt_forward(TC* f, int n, int min_len, const Z* zetas, std::int64_t q) {
+  int k = 1;
+  for (int len = n / 2; len >= min_len; len /= 2) {
+    for (int start = 0; start < n; start += 2 * len) {
+      const Z zeta = zetas[k++];
+      for (int j = start; j < start + len; ++j) {
+        const TC t = ntt_mul<TC, TW>(TW(zeta), TW(f[j + len]), q);
+        f[j + len] = ntt_mod<TC, TW>(TW(f[j]) - TW(t), q);
+        f[j] = ntt_mod<TC, TW>(TW(f[j]) + TW(t), q);
+      }
+    }
+  }
+}
+
+/// Gentleman-Sande inverse, undoing ntt_forward layer by layer, then
+/// scaling by n_inv = (n / min_len ... ) -- the caller passes the exact
+/// inverse scale its parameter set requires.
+template <class TC, class TW, class Z>
+void ntt_inverse(TC* f, int n, int min_len, const Z* inv_zetas, std::int64_t q,
+                 Z n_inv) {
+  for (int len = min_len; len <= n / 2; len *= 2) {
+    for (int start = 0; start < n; start += 2 * len) {
+      const int k = (n / 2) / len + start / (2 * len);
+      const Z zeta_inv = inv_zetas[k];
+      for (int j = start; j < start + len; ++j) {
+        const TC t = f[j];
+        f[j] = ntt_mod<TC, TW>(TW(t) + TW(f[j + len]), q);
+        f[j + len] = ntt_mul<TC, TW>(TW(zeta_inv), TW(t) - TW(f[j + len]), q);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    f[i] = ntt_mul<TC, TW>(TW(n_inv), TW(f[i]), q);
+  }
+}
+
+}  // namespace convolve::crypto::detail

@@ -1,0 +1,158 @@
+// SHA-512 compression and one-shot hashing plus HMAC, generic over the
+// word/byte types.
+//
+// The compression function is pure 64-bit arithmetic with public rotation
+// amounts and public round-constant indices; padding depends only on the
+// message *length*. Production sha512.cpp/hmac.cpp instantiate with plain
+// integers; the constant-time lint instantiates with tainted types and a
+// secret key to certify the absence of timing hazards on this exact code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace convolve::crypto::detail {
+
+inline constexpr std::uint64_t kSha512Init[8] = {
+    0x6a09e667f3bcc908ull, 0xbb67ae8584caa73bull, 0x3c6ef372fe94f82bull,
+    0xa54ff53a5f1d36f1ull, 0x510e527fade682d1ull, 0x9b05688c2b3e6c1full,
+    0x1f83d9abfb41bd6bull, 0x5be0cd19137e2179ull,
+};
+
+inline constexpr std::uint64_t kSha512K[80] = {
+    0x428a2f98d728ae22ull, 0x7137449123ef65cdull, 0xb5c0fbcfec4d3b2full,
+    0xe9b5dba58189dbbcull, 0x3956c25bf348b538ull, 0x59f111f1b605d019ull,
+    0x923f82a4af194f9bull, 0xab1c5ed5da6d8118ull, 0xd807aa98a3030242ull,
+    0x12835b0145706fbeull, 0x243185be4ee4b28cull, 0x550c7dc3d5ffb4e2ull,
+    0x72be5d74f27b896full, 0x80deb1fe3b1696b1ull, 0x9bdc06a725c71235ull,
+    0xc19bf174cf692694ull, 0xe49b69c19ef14ad2ull, 0xefbe4786384f25e3ull,
+    0x0fc19dc68b8cd5b5ull, 0x240ca1cc77ac9c65ull, 0x2de92c6f592b0275ull,
+    0x4a7484aa6ea6e483ull, 0x5cb0a9dcbd41fbd4ull, 0x76f988da831153b5ull,
+    0x983e5152ee66dfabull, 0xa831c66d2db43210ull, 0xb00327c898fb213full,
+    0xbf597fc7beef0ee4ull, 0xc6e00bf33da88fc2ull, 0xd5a79147930aa725ull,
+    0x06ca6351e003826full, 0x142929670a0e6e70ull, 0x27b70a8546d22ffcull,
+    0x2e1b21385c26c926ull, 0x4d2c6dfc5ac42aedull, 0x53380d139d95b3dfull,
+    0x650a73548baf63deull, 0x766a0abb3c77b2a8ull, 0x81c2c92e47edaee6ull,
+    0x92722c851482353bull, 0xa2bfe8a14cf10364ull, 0xa81a664bbc423001ull,
+    0xc24b8b70d0f89791ull, 0xc76c51a30654be30ull, 0xd192e819d6ef5218ull,
+    0xd69906245565a910ull, 0xf40e35855771202aull, 0x106aa07032bbd1b8ull,
+    0x19a4c116b8d2d0c8ull, 0x1e376c085141ab53ull, 0x2748774cdf8eeb99ull,
+    0x34b0bcb5e19b48a8ull, 0x391c0cb3c5c95a63ull, 0x4ed8aa4ae3418acbull,
+    0x5b9cca4f7763e373ull, 0x682e6ff3d6b2b8a3ull, 0x748f82ee5defb2fcull,
+    0x78a5636f43172f60ull, 0x84c87814a1f0ab72ull, 0x8cc702081a6439ecull,
+    0x90befffa23631e28ull, 0xa4506cebde82bde9ull, 0xbef9a3f7b2c67915ull,
+    0xc67178f2e372532bull, 0xca273eceea26619cull, 0xd186b8c721c0c207ull,
+    0xeada7dd6cde0eb1eull, 0xf57d4f7fee6ed178ull, 0x06f067aa72176fbaull,
+    0x0a637dc5a2c898a6ull, 0x113f9804bef90daeull, 0x1b710b35131c471bull,
+    0x28db77f523047d84ull, 0x32caab7b40c72493ull, 0x3c9ebe0a15c9bebcull,
+    0x431d67c49c100d4cull, 0x4cc5d4becb3e42b6ull, 0x597f299cfc657e2aull,
+    0x5fcb6fab3ad6faecull, 0x6c44198c4a475817ull,
+};
+
+template <class W>
+constexpr W sha512_rotr(W x, int n) {
+  return W((x >> n) | (x << (64 - n)));
+}
+
+/// One SHA-512 compression round over a 128-byte block of `B`-typed bytes.
+template <class W, class B>
+void sha512_compress(W state[8], const B* block) {
+  W w[80];
+  for (int i = 0; i < 16; ++i) {
+    W v(0);
+    for (int k = 0; k < 8; ++k) v = W((v << 8) | W(block[8 * i + k]));
+    w[i] = v;
+  }
+  for (int i = 16; i < 80; ++i) {
+    const W s0 = sha512_rotr(w[i - 15], 1) ^ sha512_rotr(w[i - 15], 8) ^
+                 (w[i - 15] >> 7);
+    const W s1 = sha512_rotr(w[i - 2], 19) ^ sha512_rotr(w[i - 2], 61) ^
+                 (w[i - 2] >> 6);
+    w[i] = W(s1 + w[i - 7] + s0 + w[i - 16]);
+  }
+  W a = state[0], b = state[1], c = state[2], d = state[3];
+  W e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 80; ++i) {
+    const W big1 =
+        sha512_rotr(e, 14) ^ sha512_rotr(e, 18) ^ sha512_rotr(e, 41);
+    const W t1 = W(h + big1 + ((e & f) ^ (~e & g)) + W(kSha512K[i]) + w[i]);
+    const W big0 =
+        sha512_rotr(a, 28) ^ sha512_rotr(a, 34) ^ sha512_rotr(a, 39);
+    const W t2 = W(big0 + ((a & b) ^ (a & c) ^ (b & c)));
+    h = g;
+    g = f;
+    f = e;
+    e = W(d + t1);
+    d = c;
+    c = b;
+    b = a;
+    a = W(t1 + t2);
+  }
+  state[0] = W(state[0] + a);
+  state[1] = W(state[1] + b);
+  state[2] = W(state[2] + c);
+  state[3] = W(state[3] + d);
+  state[4] = W(state[4] + e);
+  state[5] = W(state[5] + f);
+  state[6] = W(state[6] + g);
+  state[7] = W(state[7] + h);
+}
+
+/// One-shot SHA-512 with standard Merkle-Damgard padding (the padding is a
+/// function of the public length only). Writes 64 bytes to `out`.
+template <class W, class B>
+void sha512_hash_ct(const B* data, std::size_t n, B out[64]) {
+  W state[8];
+  for (int i = 0; i < 8; ++i) state[i] = W(kSha512Init[i]);
+
+  std::size_t off = 0;
+  while (n - off >= 128) {
+    sha512_compress(state, data + off);
+    off += 128;
+  }
+  const std::size_t rem = n - off;
+  std::vector<B> last(rem < 112 ? 128 : 256, B(0));
+  for (std::size_t i = 0; i < rem; ++i) last[i] = data[off + i];
+  last[rem] = B(0x80);
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(n) * 8;
+  for (int i = 0; i < 8; ++i) {
+    last[last.size() - 8 + std::size_t(i)] =
+        B(static_cast<std::uint8_t>(bit_len >> (8 * (7 - i))));
+  }
+  for (std::size_t b = 0; b < last.size(); b += 128) {
+    sha512_compress(state, last.data() + b);
+  }
+  for (int i = 0; i < 8; ++i) {
+    for (int k = 0; k < 8; ++k) {
+      out[8 * i + k] = B((state[i] >> (8 * (7 - k))) & W(0xff));
+    }
+  }
+}
+
+/// HMAC-SHA-512 over `B`-typed bytes; the key-length test is public.
+template <class W, class B>
+void hmac_sha512_ct(const B* key, std::size_t klen, const B* msg,
+                    std::size_t mlen, B out[64]) {
+  constexpr std::size_t kBlock = 128;
+  std::vector<B> k(kBlock, B(0));
+  if (klen > kBlock) {
+    B kh[64];
+    sha512_hash_ct<W>(key, klen, kh);
+    for (int i = 0; i < 64; ++i) k[std::size_t(i)] = kh[i];
+  } else {
+    for (std::size_t i = 0; i < klen; ++i) k[i] = key[i];
+  }
+  std::vector<B> inner(kBlock + mlen, B(0));
+  for (std::size_t i = 0; i < kBlock; ++i) inner[i] = k[i] ^ B(0x36);
+  for (std::size_t i = 0; i < mlen; ++i) inner[kBlock + i] = msg[i];
+  B inner_digest[64];
+  sha512_hash_ct<W>(inner.data(), inner.size(), inner_digest);
+
+  std::vector<B> outer(kBlock + 64, B(0));
+  for (std::size_t i = 0; i < kBlock; ++i) outer[i] = k[i] ^ B(0x5c);
+  for (int i = 0; i < 64; ++i) outer[kBlock + std::size_t(i)] = inner_digest[i];
+  sha512_hash_ct<W>(outer.data(), outer.size(), out);
+}
+
+}  // namespace convolve::crypto::detail

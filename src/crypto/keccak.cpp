@@ -3,64 +3,12 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "convolve/crypto/detail/keccak_core.hpp"
+
 namespace convolve::crypto {
 
-namespace {
-
-constexpr int kRounds = 24;
-
-constexpr std::uint64_t kRoundConstants[kRounds] = {
-    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull,
-    0x8000000080008000ull, 0x000000000000808bull, 0x0000000080000001ull,
-    0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008aull,
-    0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
-    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull,
-    0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
-    0x000000000000800aull, 0x800000008000000aull, 0x8000000080008081ull,
-    0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
-};
-
-constexpr unsigned kRho[25] = {
-    0,  1,  62, 28, 27,  // x = 0..4, y = 0
-    36, 44, 6,  55, 20,  // y = 1
-    3,  10, 43, 25, 39,  // y = 2
-    41, 45, 15, 21, 8,   // y = 3
-    18, 2,  61, 56, 14,  // y = 4
-};
-
-}  // namespace
-
 void keccak_f1600(std::array<std::uint64_t, 25>& a) {
-  for (int round = 0; round < kRounds; ++round) {
-    // Theta
-    std::uint64_t c[5];
-    for (int x = 0; x < 5; ++x) {
-      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
-    }
-    std::uint64_t d[5];
-    for (int x = 0; x < 5; ++x) {
-      d[x] = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
-    }
-    for (int y = 0; y < 5; ++y) {
-      for (int x = 0; x < 5; ++x) a[x + 5 * y] ^= d[x];
-    }
-    // Rho + Pi
-    std::uint64_t b[25];
-    for (int y = 0; y < 5; ++y) {
-      for (int x = 0; x < 5; ++x) {
-        b[y + 5 * ((2 * x + 3 * y) % 5)] = rotl64(a[x + 5 * y], kRho[x + 5 * y]);
-      }
-    }
-    // Chi
-    for (int y = 0; y < 5; ++y) {
-      for (int x = 0; x < 5; ++x) {
-        a[x + 5 * y] =
-            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
-      }
-    }
-    // Iota
-    a[0] ^= kRoundConstants[round];
-  }
+  detail::keccak_permute(a.data());
 }
 
 KeccakSponge::KeccakSponge(std::size_t rate_bytes, std::uint8_t domain_suffix)

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "convolve/crypto/detail/pqc_ntt.hpp"
 #include "convolve/crypto/keccak.hpp"
 
 namespace convolve::crypto::kyber {
@@ -18,9 +19,7 @@ using PolyVec = std::array<Poly, kK>;
 // ---------------------------------------------------------------------
 
 std::int16_t mod_q(std::int32_t a) {
-  std::int32_t r = a % kQ;
-  if (r < 0) r += kQ;
-  return static_cast<std::int16_t>(r);
+  return detail::ntt_mod<std::int16_t, std::int32_t>(a, kQ);
 }
 
 std::int16_t mul_q(std::int32_t a, std::int32_t b) { return mod_q(a * b); }
@@ -66,37 +65,19 @@ const NttTables& tables() {
   return t;
 }
 
+// Kyber splits down to 128 degree-1 factors (min_len = 2); the shared
+// Cooley-Tukey / Gentleman-Sande template in detail/pqc_ntt.hpp does the
+// butterflies, parameterized here with 16-bit coefficients and 32-bit
+// intermediate arithmetic. 128^{-1} = 3303 mod q.
 void ntt(Poly& f) {
-  int k = 1;
-  for (int len = 128; len >= 2; len /= 2) {
-    for (int start = 0; start < kN; start += 2 * len) {
-      const std::int16_t zeta = tables().zetas[k++];
-      for (int j = start; j < start + len; ++j) {
-        const std::int16_t t = mul_q(zeta, f[j + len]);
-        f[j + len] = mod_q(f[j] - t);
-        f[j] = mod_q(f[j] + t);
-      }
-    }
-  }
+  detail::ntt_forward<std::int16_t, std::int32_t>(f.data(), kN, 2,
+                                                  tables().zetas.data(), kQ);
 }
 
 void intt(Poly& f) {
-  for (int len = 2; len <= 128; len *= 2) {
-    // The forward layer with this `len` used zeta indices
-    // [128/len, 2*128/len) in block order; undo with the same pairing.
-    for (int start = 0; start < kN; start += 2 * len) {
-      const int k = 128 / len + start / (2 * len);
-      // Gentleman-Sande butterfly: v' = zeta^{-1} (x - y).
-      const std::int16_t zeta_inv = tables().inv_zetas[k];
-      for (int j = start; j < start + len; ++j) {
-        const std::int16_t t = f[j];
-        f[j] = mod_q(t + f[j + len]);
-        f[j + len] = mul_q(zeta_inv, t - f[j + len]);
-      }
-    }
-  }
-  // Multiply by 128^{-1} = 3303 mod q.
-  for (auto& c : f) c = mul_q(c, 3303);
+  detail::ntt_inverse<std::int16_t, std::int32_t>(
+      f.data(), kN, 2, tables().inv_zetas.data(), kQ,
+      static_cast<std::int16_t>(3303));
 }
 
 // Pairwise multiplication in the NTT domain (128 degree-1 factors).

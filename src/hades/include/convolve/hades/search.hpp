@@ -25,6 +25,7 @@ namespace convolve::hades {
 struct SearchResult {
   Choice choice;
   Metrics metrics;
+  unsigned order = 0;             // masking order d the search was run at
   double cost = 0.0;              // score under the requested goal
   std::uint64_t evaluations = 0;  // design points evaluated
 };

@@ -101,7 +101,10 @@ std::vector<SearchResult> exhaustive_search_multi(
     }
   } while (advance(c, ch));
 
-  for (auto& b : best) b.evaluations = n;
+  for (auto& b : best) {
+    b.order = d;
+    b.evaluations = n;
+  }
   return best;
 }
 
@@ -127,6 +130,7 @@ SearchResult constrained_search(const Component& c, unsigned d, Goal goal,
       best.choice = ch;
     }
   } while (advance(c, ch));
+  best.order = d;
   best.evaluations = n;
   return best;
 }
@@ -146,6 +150,7 @@ SearchResult local_search(const Component& c, unsigned d, Goal goal,
   if (n_starts <= 0) throw std::invalid_argument("local_search: n_starts<=0");
 
   SearchResult best;
+  best.order = d;
   best.cost = std::numeric_limits<double>::infinity();
   std::uint64_t evals = 0;
 

@@ -43,6 +43,11 @@ int Circuit::add_not(int a) {
   return static_cast<int>(gates_.size()) - 1;
 }
 
+int Circuit::add_reg(int a) {
+  gates_.push_back({GateKind::kReg, check(a), -1, 0});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
 void Circuit::mark_output(int gate) { outputs_.push_back(check(gate)); }
 
 int Circuit::and_count() const {
@@ -60,6 +65,12 @@ int Circuit::xor_count() const {
 int Circuit::not_count() const {
   int n = 0;
   for (const auto& g : gates_) n += (g.kind == GateKind::kNot);
+  return n;
+}
+
+int Circuit::reg_count() const {
+  int n = 0;
+  for (const auto& g : gates_) n += (g.kind == GateKind::kReg);
   return n;
 }
 
@@ -95,6 +106,9 @@ std::vector<std::uint8_t> Circuit::evaluate_all(
         break;
       case GateKind::kNot:
         wire[i] = wire[static_cast<std::size_t>(g.a)] ^ 1;
+        break;
+      case GateKind::kReg:
+        wire[i] = wire[static_cast<std::size_t>(g.a)];
         break;
     }
   }
@@ -156,6 +170,11 @@ MaskedCircuit mask_circuit(const Circuit& plain, unsigned order) {
         for (unsigned s = 1; s < n_shares; ++s) sh[s] = a[s];
         break;
       }
+      case GateKind::kReg: {
+        const auto& a = share_of[static_cast<std::size_t>(g.a)];
+        for (unsigned s = 0; s < n_shares; ++s) sh[s] = mc.add_reg(a[s]);
+        break;
+      }
       case GateKind::kAnd: {
         // DOM-independent gadget.
         const auto& a = share_of[static_cast<std::size_t>(g.a)];
@@ -170,9 +189,10 @@ MaskedCircuit mask_circuit(const Circuit& plain, unsigned order) {
             const int pij = mc.add_and(a[i], b[j]);
             const int pji = mc.add_and(a[j], b[i]);
             // Blind each cross term before folding it into the domain
-            // accumulator (register boundary in hardware).
-            acc[i] = mc.add_xor(acc[i], mc.add_xor(pij, fresh));
-            acc[j] = mc.add_xor(acc[j], mc.add_xor(pji, fresh));
+            // accumulator; the explicit register boundary is what makes the
+            // gadget robust in the glitch-extended probing model.
+            acc[i] = mc.add_xor(acc[i], mc.add_reg(mc.add_xor(pij, fresh)));
+            acc[j] = mc.add_xor(acc[j], mc.add_reg(mc.add_xor(pji, fresh)));
           }
         }
         sh = acc;
@@ -231,6 +251,39 @@ Circuit ripple_adder_circuit(int width) {
   }
   c.mark_output(carry);
   return c;
+}
+
+MaskedCircuit hpc2_and_gadget(unsigned order) {
+  const unsigned n = order + 1;
+  MaskedCircuit result;
+  result.order = order;
+  Circuit& c = result.circuit;
+
+  std::vector<int> a(n), b(n);
+  result.input_share_base.push_back(0);
+  for (auto& g : a) g = c.add_input();
+  result.input_share_base.push_back(static_cast<int>(n));
+  for (auto& g : b) g = c.add_input();
+
+  // One random per unordered pair, shared between both directions.
+  std::vector<std::vector<int>> r(n, std::vector<int>(n, -1));
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; ++j) r[i][j] = r[j][i] = c.add_random();
+  }
+
+  for (unsigned i = 0; i < n; ++i) {
+    int acc = c.add_reg(c.add_and(a[i], b[i]));
+    const int not_ai = c.add_not(a[i]);
+    for (unsigned j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const int u = c.add_reg(c.add_and(not_ai, r[i][j]));
+      const int v =
+          c.add_reg(c.add_and(a[i], c.add_reg(c.add_xor(b[j], r[i][j]))));
+      acc = c.add_xor(acc, c.add_xor(u, v));
+    }
+    c.mark_output(acc);
+  }
+  return result;
 }
 
 Circuit toy_sbox_circuit() {

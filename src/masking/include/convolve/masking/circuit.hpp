@@ -24,6 +24,7 @@ enum class GateKind : std::uint8_t {
   kAnd,
   kXor,
   kNot,
+  kReg,     // register boundary: identity on values, stops glitch propagation
 };
 
 struct Gate {
@@ -44,6 +45,7 @@ class Circuit {
   int add_and(int a, int b);
   int add_xor(int a, int b);
   int add_not(int a);
+  int add_reg(int a);
   void mark_output(int gate);
 
   int num_inputs() const { return num_inputs_; }
@@ -55,6 +57,7 @@ class Circuit {
   int and_count() const;
   int xor_count() const;
   int not_count() const;
+  int reg_count() const;
 
   /// Evaluate with explicit input and randomness bit assignments; returns
   /// the value of every gate (wire), so probes can inspect internal wires.
@@ -106,5 +109,13 @@ Circuit ripple_adder_circuit(int width);
 
 /// 4-bit S-box-like nonlinear layer (3 AND levels) for gadget stress tests.
 Circuit toy_sbox_circuit();
+
+/// Hand-built HPC2 multiplication gadget at masking order `order`
+/// (Cassiers-Standaert PINI gadget): c_i = reg(a_i b_i) xor
+/// sum_{j != i} [reg(!a_i & r_ij) xor reg(a_i & reg(b_j xor r_ij))] with one
+/// fresh random bit r_ij = r_ji per unordered share pair. Unlike the DOM
+/// gadget emitted by mask_circuit, HPC2 stays secure under composition.
+/// Inputs are the 2*(order+1) shares of two plain bits a and b.
+MaskedCircuit hpc2_and_gadget(unsigned order);
 
 }  // namespace convolve::masking

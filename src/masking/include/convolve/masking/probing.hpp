@@ -11,12 +11,18 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
 #include "convolve/masking/circuit.hpp"
 
 namespace convolve::masking {
+
+/// Distribution over probed-value tuples: bit p of the key is the value of
+/// probe wire `probes[p]`; the mapped count is how many (mask, randomness)
+/// assignments produce that tuple.
+using ProbeDistribution = std::map<std::uint64_t, std::uint64_t>;
 
 struct ProbingReport {
   bool secure = true;
@@ -25,6 +31,10 @@ struct ProbingReport {
   std::vector<int> probes;
   std::vector<std::uint8_t> secret_a;
   std::vector<std::uint8_t> secret_b;
+  // The distinguishing witness: the probed tuples' distributions over the
+  // masking randomness under secret_a and secret_b (they differ somewhere).
+  ProbeDistribution witness_dist_a;
+  ProbeDistribution witness_dist_b;
   std::uint64_t probe_sets_checked = 0;
 };
 
@@ -33,5 +43,18 @@ struct ProbingReport {
 /// feasible when plain inputs + randomness <= ~20 bits.
 ProbingReport check_probing_security(const MaskedCircuit& masked,
                                      int plain_inputs, unsigned probe_order);
+
+/// Distribution of the probed tuple for one secret assignment, enumerating
+/// every input-mask and randomness assignment. Exposed so counterexamples
+/// can be replayed and so the symbolic verifier can be cross-checked.
+ProbeDistribution probe_value_distribution(
+    const MaskedCircuit& masked, const std::vector<std::uint8_t>& plain_secret,
+    const std::vector<int>& probes);
+
+/// Re-derive an insecurity witness from scratch: recompute the probe-tuple
+/// distributions under report.secret_a / report.secret_b and return true iff
+/// they actually differ (i.e. the reported leak is real, not an artifact).
+bool replay_counterexample(const MaskedCircuit& masked,
+                           const ProbingReport& report);
 
 }  // namespace convolve::masking

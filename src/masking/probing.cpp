@@ -8,7 +8,7 @@ namespace convolve::masking {
 namespace {
 
 // Distribution over probe-value tuples, keyed by the packed tuple bits.
-using Distribution = std::map<std::uint64_t, std::uint64_t>;
+using Distribution = ProbeDistribution;
 
 Distribution probe_distribution(const Circuit& c,
                                 const std::vector<std::uint8_t>& plain_secret,
@@ -124,6 +124,8 @@ ProbingReport check_probing_security(const MaskedCircuit& masked,
               report.probes = probes;
               report.secret_a = secrets[ref_idx];
               report.secret_b = secrets[si];
+              report.witness_dist_a = *reference;
+              report.witness_dist_b = std::move(d);
               return false;
             }
           }
@@ -132,6 +134,23 @@ ProbingReport check_probing_security(const MaskedCircuit& masked,
     if (!ok) break;
   }
   return report;
+}
+
+ProbeDistribution probe_value_distribution(
+    const MaskedCircuit& masked, const std::vector<std::uint8_t>& plain_secret,
+    const std::vector<int>& probes) {
+  return probe_distribution(masked.circuit, plain_secret,
+                            masked.input_share_base, masked.order + 1, probes);
+}
+
+bool replay_counterexample(const MaskedCircuit& masked,
+                           const ProbingReport& report) {
+  if (report.secure || report.probes.empty()) return false;
+  const Distribution da =
+      probe_value_distribution(masked, report.secret_a, report.probes);
+  const Distribution db =
+      probe_value_distribution(masked, report.secret_b, report.probes);
+  return da != db;
 }
 
 }  // namespace convolve::masking

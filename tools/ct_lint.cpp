@@ -1,0 +1,83 @@
+// Constant-time lint driver: runs every taint-tracking suite over the
+// production crypto templates and prints a verdict per algorithm.
+//
+// Usage: ct_lint [--strict] [suite...]
+//   --strict   exit nonzero if any *required-clean* suite (aes256,
+//              chacha20, keccak, hmac) records a hazard or an output
+//              mismatch. The NTT suites are reference implementations with
+//              documented hazards and never fail the run; they are printed
+//              for visibility.
+//   suite...   restrict to the named suites (default: all).
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "convolve/analysis/ct_taint.hpp"
+
+namespace {
+
+using convolve::analysis::LintResult;
+
+bool required_clean(const std::string& suite) {
+  return suite == "aes256" || suite == "chacha20" || suite == "keccak" ||
+         suite == "hmac";
+}
+
+void print_result(const LintResult& r) {
+  const bool clean = r.hazard_count == 0;
+  std::printf("%-14s %s  output=%s  hazards=%llu%s\n", r.suite.c_str(),
+              clean ? "CLEAN " : "HAZARD",
+              r.output_matches ? "match" : "MISMATCH",
+              static_cast<unsigned long long>(r.hazard_count),
+              required_clean(r.suite) ? "" : "  (reference impl, informational)");
+  for (const auto& f : r.findings) {
+    std::printf("    %-28s x%-8llu at %s\n",
+                convolve::analysis::hazard_name(f.kind),
+                static_cast<unsigned long long>(f.count), f.context.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  std::set<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "ct_lint: unknown option '%s'\n", argv[i]);
+      std::fprintf(stderr, "usage: ct_lint [--strict] [suite...]\n");
+      return 2;
+    } else {
+      only.insert(argv[i]);
+    }
+  }
+
+  const auto results = convolve::analysis::lint_all();
+  // A filter naming no real suite must not silently pass the gate.
+  for (const auto& name : only) {
+    bool known = false;
+    for (const auto& r : results) known = known || r.suite == name;
+    if (!known) {
+      std::fprintf(stderr, "ct_lint: unknown suite '%s'\n", name.c_str());
+      return 2;
+    }
+  }
+  int failures = 0;
+  for (const auto& r : results) {
+    if (!only.empty() && only.count(r.suite) == 0) continue;
+    print_result(r);
+    if (!r.output_matches) ++failures;
+    if (required_clean(r.suite) && r.hazard_count != 0) ++failures;
+  }
+
+  if (failures != 0) {
+    std::printf("ct_lint: %d suite(s) failed\n", failures);
+    return strict ? 1 : 0;
+  }
+  std::printf("ct_lint: all required suites constant-time\n");
+  return 0;
+}
