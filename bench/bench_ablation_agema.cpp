@@ -14,6 +14,7 @@
 #include "convolve/hades/library.hpp"
 #include "convolve/hades/search.hpp"
 #include "convolve/masking/circuit.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve::hades;
 using convolve::masking::Circuit;
@@ -29,7 +30,8 @@ double netlist_area_ge(const Circuit& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   std::printf("=== Ablation: HADES DSE vs AGEMA-style netlist masking ===\n");
   std::printf("32-bit adder, area objective.\n\n");
   std::printf("%-3s %-22s %-22s %-8s\n", "d", "AGEMA-style [GE]",

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "convolve/cim/attack.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve::cim;
 
@@ -33,7 +34,8 @@ double mean_accuracy(const MacroConfig& config, int traces) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   std::printf("=== Ablation: CIM attack vs noise and countermeasures ===\n");
 
   std::printf("\n--- noise sweep (64 weights, accuracy averaged over 3 "

@@ -12,10 +12,12 @@
 
 #include "convolve/hades/library.hpp"
 #include "convolve/hades/search.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve::hades;
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   const auto cca = library::kyber_cca();
   const Goal goal = Goal::kAreaLatencyProduct;
   const unsigned d = 1;

@@ -7,6 +7,7 @@
 
 #include "convolve/compsoc/noc.hpp"
 #include "convolve/compsoc/platform.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve::compsoc;
 
@@ -46,7 +47,8 @@ CompletionRecord run_rt(ArbitrationPolicy policy, bool with_interference,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   std::printf("=== CompSOC: composability and its overhead ===\n\n");
   std::printf("%-28s %-14s %-14s %-12s\n", "configuration", "finish [cyc]",
               "stalls", "trace equal");

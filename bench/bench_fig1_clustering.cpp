@@ -10,10 +10,12 @@
 
 #include "convolve/cim/attack.hpp"
 #include "convolve/common/bytes.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve::cim;
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   MacroConfig config;
   config.n_rows = 64;
   config.noise_sigma = 0.0;  // the paper's noise-free gate-level setting

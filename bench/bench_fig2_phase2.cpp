@@ -9,10 +9,12 @@
 
 #include "convolve/cim/attack.hpp"
 #include "convolve/common/bytes.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve::cim;
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   // Construct a macro whose secrets include the four HW=3 values plus a
   // known helper weight of value 1 (recovered in an earlier attack round;
   // here placed explicitly so the bench is self-contained, as in the

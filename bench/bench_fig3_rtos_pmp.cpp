@@ -8,10 +8,12 @@
 #include <cstdio>
 
 #include "convolve/rtos/attacks.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve::rtos;
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   std::printf("=== Fig. 3: FreeRTOS attack scenarios, flat vs PMP ===\n");
   std::printf("%-20s | %-28s | %-28s\n", "scenario",
               "flat memory (no PMP)", "PMP-hardened");

@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "convolve/framework/device.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve;
 using namespace convolve::framework;
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   std::printf("=== Security profiles per CONVOLVE use-case ===\n\n");
   std::printf("%-28s %4s %5s %5s %5s %5s | %12s %8s %10s %8s\n", "use-case",
               "PQC", "mask", "TEE", "CIM-d", "comp", "AES [kGE]", "xArea",

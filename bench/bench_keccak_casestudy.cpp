@@ -11,11 +11,13 @@
 #include "convolve/hades/library.hpp"
 #include "convolve/hades/search.hpp"
 #include "convolve/masking/masked_keccak.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve;
 using namespace convolve::hades;
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   const auto keccak = library::keccak();
   std::printf("=== Keccak-f[1600] case study (14 configurations) ===\n");
   std::printf("%2s %-5s %12s %12s %14s\n", "d", "goal", "area [kGE]",

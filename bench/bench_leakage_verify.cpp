@@ -9,6 +9,7 @@
 #include "convolve/analysis/aes_sbox.hpp"
 #include "convolve/analysis/leakage_verify.hpp"
 #include "convolve/masking/circuit.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve;
 using namespace convolve::analysis;
@@ -63,7 +64,8 @@ void run(const char* label, const masking::Circuit& plain, int plain_inputs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   std::printf("=== Symbolic probing verifier throughput ===\n");
   const auto chain = dom_and_chain();
   for (unsigned d = 1; d <= 3; ++d) run("dom-and-chain", chain, 4, d, d);

@@ -9,6 +9,7 @@
 
 #include "convolve/crypto/aes.hpp"
 #include "convolve/masking/masked_aes.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve;
 using namespace convolve::masking;
@@ -25,7 +26,8 @@ double time_blocks(const std::function<void()>& fn, int iterations) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   const Bytes key(32, 0x42);
   std::uint8_t pt[16] = {0x11, 0x22, 0x33};
   std::uint8_t ct[16];

@@ -13,10 +13,12 @@
 
 #include "convolve/hades/library.hpp"
 #include "convolve/hades/search.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve::hades;
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   std::printf("=== Table I: runtime of exhaustive DSE ===\n");
   std::printf("%-36s %14s %12s %12s\n", "Algorithm", "#Configurations",
               "Time [s]", "Paper");

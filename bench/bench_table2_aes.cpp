@@ -9,6 +9,7 @@
 
 #include "convolve/hades/library.hpp"
 #include "convolve/hades/search.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve::hades;
 
@@ -41,7 +42,8 @@ Goal goal_from_name(const char* name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   const auto aes = library::aes256();
   std::printf("=== Table II: AES-256 design points by goal and order ===\n");
   std::printf("%2s %-5s | %10s %12s %10s | %10s %12s %10s\n", "d", "Opt.",

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "convolve/tee/security_monitor.hpp"
+#include "convolve/common/parallel.hpp"
 
 using namespace convolve;
 using namespace convolve::tee;
@@ -61,7 +62,8 @@ ConfigResult run_config(bool pq) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   std::printf("=== Table III: Keystone default vs PQ-enabled ===\n");
   const ConfigResult classical = run_config(false);
   const ConfigResult pq = run_config(true);

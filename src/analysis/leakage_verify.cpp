@@ -1,7 +1,11 @@
 #include "convolve/analysis/leakage_verify.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <stdexcept>
+
+#include "convolve/common/parallel.hpp"
 
 namespace convolve::analysis {
 
@@ -79,34 +83,462 @@ std::vector<int> symdiff(const std::vector<int>& a, const std::vector<int>& b) {
   return r;
 }
 
-// Enumerate all probe sets of size exactly `k` (mirrors the exhaustive
-// checker so probe_sets_checked counts line up).
-template <typename Fn>
-bool for_each_combination(int universe, int k, Fn&& fn) {
-  std::vector<int> idx(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
-  if (k > universe) return true;
-  while (true) {
-    if (!fn(idx)) return false;
-    int pos = k - 1;
-    while (pos >= 0 &&
-           idx[static_cast<std::size_t>(pos)] == universe - k + pos) {
-      --pos;
-    }
-    if (pos < 0) return true;
-    ++idx[static_cast<std::size_t>(pos)];
-    for (int j = pos + 1; j < k; ++j) {
-      idx[static_cast<std::size_t>(j)] =
-          idx[static_cast<std::size_t>(j - 1)] + 1;
-    }
-  }
-}
-
 int ceil_log2(std::uint64_t n) {
   int b = 0;
   while ((1ull << b) < n) ++b;
   return b;
 }
+
+// Everything shared read-only across probe-set workers: one footprint /
+// boundary / share-mask computation serves every thread.
+struct VerifyContext {
+  const Circuit& c;
+  const MaskedCircuit& masked;
+  const SymbolicOptions& options;
+  int plain_inputs;
+  unsigned n_shares;
+  int n_gates;
+  int n_inputs;
+  int n_randoms;
+  int n_atoms;
+  std::vector<Footprint> fp;
+  std::vector<Bits> and_support;          // populated for AND gates only
+  std::vector<std::vector<int>> boundary;  // glitch mode only
+  std::vector<Bits> glitch_support;        // glitch mode only
+  std::vector<Bits> share_mask;            // per plain input
+
+  bool covers_some_secret(const Bits& s) const {
+    for (int i = 0; i < plain_inputs; ++i) {
+      if (s.contains_all(share_mask[static_cast<std::size_t>(i)])) return true;
+    }
+    return false;
+  }
+};
+
+VerifyContext build_context(const MaskedCircuit& masked, int plain_inputs,
+                            const SymbolicOptions& options) {
+  const Circuit& c = masked.circuit;
+  VerifyContext ctx{c,
+                    masked,
+                    options,
+                    plain_inputs,
+                    masked.order + 1,
+                    static_cast<int>(c.num_gates()),
+                    c.num_inputs(),
+                    c.num_randoms(),
+                    c.num_inputs() + c.num_randoms(),
+                    {},
+                    {},
+                    {},
+                    {},
+                    {}};
+
+  // ---- Footprint computation (one topological pass) --------------------
+  ctx.fp.resize(static_cast<std::size_t>(ctx.n_gates));
+  ctx.and_support.resize(static_cast<std::size_t>(ctx.n_gates));
+  for (int gi = 0; gi < ctx.n_gates; ++gi) {
+    const Gate& g = c.gates()[static_cast<std::size_t>(gi)];
+    Footprint& f = ctx.fp[static_cast<std::size_t>(gi)];
+    switch (g.kind) {
+      case GateKind::kInput:
+      case GateKind::kRandom: {
+        const int atom =
+            g.kind == GateKind::kInput ? g.aux : ctx.n_inputs + g.aux;
+        f.lin = Bits(ctx.n_atoms);
+        f.support = Bits(ctx.n_atoms);
+        f.nl_support = Bits(ctx.n_atoms);
+        f.lin.set(atom);
+        f.support.set(atom);
+        break;
+      }
+      case GateKind::kConst:
+        f.lin = Bits(ctx.n_atoms);
+        f.support = Bits(ctx.n_atoms);
+        f.nl_support = Bits(ctx.n_atoms);
+        break;
+      case GateKind::kNot:
+      case GateKind::kReg:
+        // NOT only flips a constant; REG is the identity on values.
+        f = ctx.fp[static_cast<std::size_t>(g.a)];
+        break;
+      case GateKind::kAnd: {
+        Bits sup = ctx.fp[static_cast<std::size_t>(g.a)].support;
+        sup.or_with(ctx.fp[static_cast<std::size_t>(g.b)].support);
+        ctx.and_support[static_cast<std::size_t>(gi)] = sup;
+        f.lin = Bits(ctx.n_atoms);
+        f.nl = {gi};
+        f.support = sup;
+        f.nl_support = std::move(sup);
+        break;
+      }
+      case GateKind::kXor: {
+        const Footprint& fa = ctx.fp[static_cast<std::size_t>(g.a)];
+        const Footprint& fb = ctx.fp[static_cast<std::size_t>(g.b)];
+        f.lin = fa.lin;
+        f.lin.xor_with(fb.lin);
+        f.nl = symdiff(fa.nl, fb.nl);
+        // Support from the *cancelled* footprint: identical linear or
+        // nonlinear terms on both sides vanish, shrinking the support.
+        f.nl_support = Bits(ctx.n_atoms);
+        for (const int t : f.nl) {
+          f.nl_support.or_with(ctx.and_support[static_cast<std::size_t>(t)]);
+        }
+        f.support = f.nl_support;
+        f.support.or_with(f.lin);
+        break;
+      }
+    }
+  }
+
+  // ---- Glitch-extended observation sets ---------------------------------
+  // boundary[g]: the atoms a glitch-extended probe on g observes -- the
+  // input/random/const/register wires reached by walking fan-in without
+  // crossing a register.
+  if (options.glitch_extended) {
+    ctx.boundary.resize(static_cast<std::size_t>(ctx.n_gates));
+    ctx.glitch_support.resize(static_cast<std::size_t>(ctx.n_gates));
+    for (int gi = 0; gi < ctx.n_gates; ++gi) {
+      const Gate& g = c.gates()[static_cast<std::size_t>(gi)];
+      std::vector<int>& b = ctx.boundary[static_cast<std::size_t>(gi)];
+      switch (g.kind) {
+        case GateKind::kInput:
+        case GateKind::kRandom:
+        case GateKind::kConst:
+        case GateKind::kReg:
+          b = {gi};
+          break;
+        case GateKind::kNot:
+          b = ctx.boundary[static_cast<std::size_t>(g.a)];
+          break;
+        case GateKind::kAnd:
+        case GateKind::kXor: {
+          const auto& ba = ctx.boundary[static_cast<std::size_t>(g.a)];
+          const auto& bb = ctx.boundary[static_cast<std::size_t>(g.b)];
+          b.reserve(ba.size() + bb.size());
+          std::set_union(ba.begin(), ba.end(), bb.begin(), bb.end(),
+                         std::back_inserter(b));
+          break;
+        }
+      }
+      Bits sup(ctx.n_atoms);
+      for (const int w : b) {
+        sup.or_with(ctx.fp[static_cast<std::size_t>(w)].support);
+      }
+      ctx.glitch_support[static_cast<std::size_t>(gi)] = std::move(sup);
+    }
+  }
+
+  // ---- Share masks per plain input --------------------------------------
+  ctx.share_mask.resize(static_cast<std::size_t>(plain_inputs));
+  for (int i = 0; i < plain_inputs; ++i) {
+    Bits m(ctx.n_atoms);
+    const int base = masked.input_share_base[static_cast<std::size_t>(i)];
+    for (unsigned s = 0; s < ctx.n_shares; ++s) {
+      m.set(base + static_cast<int>(s));
+    }
+    ctx.share_mask[static_cast<std::size_t>(i)] = std::move(m);
+  }
+  return ctx;
+}
+
+// Per-shard bookkeeping: counters plus the shard's first unresolved set and
+// first confirmed leak, in the shard's (lexicographic) scan order. Shards
+// are merged in rank order, so summing these in shard order reproduces the
+// serial scan's counters and witnesses exactly.
+struct BlockStats {
+  std::uint64_t probe_sets_checked = 0;
+  std::uint64_t coverage_rejected = 0;
+  std::uint64_t simplified_away = 0;
+  std::uint64_t fallback_checked = 0;
+  bool has_unresolved = false;
+  std::vector<int> unresolved_probes;
+  bool has_leak = false;
+  std::vector<int> leak_obs;
+  std::vector<std::uint8_t> leak_secret_a;
+  std::vector<std::uint8_t> leak_secret_b;
+};
+
+// One probe-set discharge engine with private scratch. The cumulative
+// fallback budget is shared across every worker through an atomic;
+// crossing it only ever degrades a set to unresolved (never to secure), so
+// exhaustion under concurrency stays sound even though *which* set trips
+// the limit can depend on scheduling.
+class Worker {
+ public:
+  Worker(const VerifyContext& ctx, std::atomic<std::uint64_t>& budget_spent)
+      : ctx_(ctx),
+        budget_spent_(budget_spent),
+        full_support_(ctx.n_atoms),
+        reduced_(ctx.n_atoms),
+        inputs_(static_cast<std::size_t>(ctx.n_inputs), 0),
+        randoms_(static_cast<std::size_t>(ctx.n_randoms), 0),
+        cone_stamp_(static_cast<std::size_t>(ctx.n_gates), 0),
+        wire_val_(static_cast<std::size_t>(ctx.n_gates), 0) {}
+
+  /// Decide one probe set; false stops the shard on a confirmed leak.
+  bool check_set(const std::vector<int>& probes, BlockStats& stats) {
+    ++stats.probe_sets_checked;
+
+    // Observation wires: the probes themselves, or (glitch mode) the union
+    // of their register-boundary atoms.
+    obs_.clear();
+    full_support_.clear();
+    if (ctx_.options.glitch_extended) {
+      for (const int p : probes) {
+        const auto& b = ctx_.boundary[static_cast<std::size_t>(p)];
+        obs_.insert(obs_.end(), b.begin(), b.end());
+        full_support_.or_with(ctx_.glitch_support[static_cast<std::size_t>(p)]);
+      }
+      std::sort(obs_.begin(), obs_.end());
+      obs_.erase(std::unique(obs_.begin(), obs_.end()), obs_.end());
+    } else {
+      obs_ = probes;
+      for (const int p : probes) {
+        full_support_.or_with(ctx_.fp[static_cast<std::size_t>(p)].support);
+      }
+    }
+
+    // 1. Coverage: a set that misses a share of every secret observes at
+    // most d shares of each independently-shared input -- simulatable.
+    if (!ctx_.covers_some_secret(full_support_)) {
+      ++stats.coverage_rejected;
+      return true;
+    }
+
+    // 2. Blinding-random simplification to a fixpoint: drop observations
+    // made uniform-and-independent by a private linear random.
+    active_.assign(obs_.size(), 1);
+    std::size_t n_active = obs_.size();
+    bool changed = true;
+    while (changed && n_active > 0) {
+      changed = false;
+      for (std::size_t oi = 0; oi < obs_.size() && n_active > 0; ++oi) {
+        if (!active_[oi]) continue;
+        const Footprint& f = ctx_.fp[static_cast<std::size_t>(obs_[oi])];
+        bool removed = false;
+        f.lin.for_each([&](int atom) {
+          if (removed || atom < ctx_.n_inputs) return;  // randoms only
+          if (f.nl_support.test(atom)) return;  // in own nonlinear core
+          for (std::size_t oj = 0; oj < obs_.size(); ++oj) {
+            if (oj == oi || !active_[oj]) continue;
+            if (ctx_.fp[static_cast<std::size_t>(obs_[oj])].support.test(
+                    atom)) {
+              return;
+            }
+          }
+          removed = true;
+        });
+        if (removed) {
+          active_[oi] = 0;
+          --n_active;
+          changed = true;
+        }
+      }
+    }
+    if (n_active == 0) {
+      ++stats.simplified_away;
+      return true;
+    }
+    if (n_active < obs_.size()) {
+      reduced_.clear();
+      for (std::size_t oi = 0; oi < obs_.size(); ++oi) {
+        if (active_[oi]) {
+          reduced_.or_with(ctx_.fp[static_cast<std::size_t>(obs_[oi])].support);
+        }
+      }
+      if (!ctx_.covers_some_secret(reduced_)) {
+        ++stats.simplified_away;
+        return true;
+      }
+    }
+
+    // 3. Exact fallback on the cone of the full observation set. An
+    // unresolved set is recorded (first per shard) but does NOT stop the
+    // scan -- a later, smaller-coned set may still confirm a real leak.
+    const auto unresolved = [&]() -> bool {
+      if (!stats.has_unresolved) {
+        stats.has_unresolved = true;
+        stats.unresolved_probes = probes;
+      }
+      return true;
+    };
+    if (!ctx_.options.exhaustive_fallback || obs_.size() > 20) {
+      return unresolved();
+    }
+    involved_.clear();
+    for (int i = 0; i < ctx_.plain_inputs; ++i) {
+      const int base =
+          ctx_.masked.input_share_base[static_cast<std::size_t>(i)];
+      for (unsigned s = 0; s < ctx_.n_shares; ++s) {
+        if (full_support_.test(base + static_cast<int>(s))) {
+          involved_.push_back(i);
+          break;
+        }
+      }
+    }
+    cone_randoms_.clear();
+    for (int r = 0; r < ctx_.n_randoms; ++r) {
+      if (full_support_.test(ctx_.n_inputs + r)) cone_randoms_.push_back(r);
+    }
+    const int free_bits =
+        static_cast<int>(involved_.size()) *
+            static_cast<int>(ctx_.masked.order) +
+        static_cast<int>(cone_randoms_.size());
+    if (free_bits + static_cast<int>(involved_.size()) >
+        ctx_.options.fallback_budget_bits) {
+      return unresolved();
+    }
+
+    // Fan-in cone of the observation set. Gate indices are already in
+    // topological order, so a sort of the visited set yields eval order.
+    ++cone_epoch_;
+    cone_order_.clear();
+    dfs_stack_.assign(obs_.begin(), obs_.end());
+    while (!dfs_stack_.empty()) {
+      const int g = dfs_stack_.back();
+      dfs_stack_.pop_back();
+      if (cone_stamp_[static_cast<std::size_t>(g)] == cone_epoch_) continue;
+      cone_stamp_[static_cast<std::size_t>(g)] = cone_epoch_;
+      cone_order_.push_back(g);
+      const Gate& gate = ctx_.c.gates()[static_cast<std::size_t>(g)];
+      if (gate.a >= 0) dfs_stack_.push_back(gate.a);
+      if (gate.b >= 0) dfs_stack_.push_back(gate.b);
+    }
+    std::sort(cone_order_.begin(), cone_order_.end());
+
+    // Total work = secrets x assignments x cone gates; budget is its log2.
+    const int work_bits = free_bits + static_cast<int>(involved_.size()) +
+                          ceil_log2(cone_order_.size());
+    if (work_bits > ctx_.options.fallback_budget_bits) return unresolved();
+    const std::uint64_t work_bound =
+        cone_order_.size()
+        << (free_bits + static_cast<int>(involved_.size()));
+    // Charge the shared cumulative budget; commit only while under the cap
+    // so a refused charge leaves headroom for other workers.
+    const std::uint64_t cap = 1ull << ctx_.options.fallback_total_bits;
+    std::uint64_t spent = budget_spent_.load(std::memory_order_relaxed);
+    do {
+      if (spent + work_bound > cap) return unresolved();
+    } while (!budget_spent_.compare_exchange_weak(
+        spent, spent + work_bound, std::memory_order_relaxed));
+    ++stats.fallback_checked;
+
+    // Exact distribution of the observation tuple: a flat histogram over
+    // the 2^|obs| outcome keys (obs.size() <= 20 guards the allocation).
+    const std::size_t n_keys = 1ull << obs_.size();
+    distribution_for(0, free_bits, n_keys, dist_ref_);
+    for (std::uint64_t s = 1; s < (1ull << involved_.size()); ++s) {
+      distribution_for(s, free_bits, n_keys, dist_cur_);
+      if (dist_cur_ != dist_ref_) {
+        stats.has_leak = true;
+        stats.leak_obs = obs_;
+        stats.leak_secret_a.assign(
+            static_cast<std::size_t>(ctx_.plain_inputs), 0);
+        stats.leak_secret_b.assign(
+            static_cast<std::size_t>(ctx_.plain_inputs), 0);
+        for (std::size_t ii = 0; ii < involved_.size(); ++ii) {
+          stats.leak_secret_b[static_cast<std::size_t>(involved_[ii])] =
+              static_cast<std::uint8_t>((s >> ii) & 1);
+        }
+        return false;
+      }
+    }
+    return true;  // exactly verified secure for this set
+  }
+
+ private:
+  void run_cone() {
+    for (const int gi : cone_order_) {
+      const Gate& g = ctx_.c.gates()[static_cast<std::size_t>(gi)];
+      std::uint8_t v = 0;
+      switch (g.kind) {
+        case GateKind::kInput:
+          v = inputs_[static_cast<std::size_t>(g.aux)];
+          break;
+        case GateKind::kRandom:
+          v = randoms_[static_cast<std::size_t>(g.aux)];
+          break;
+        case GateKind::kConst:
+          v = static_cast<std::uint8_t>(g.aux & 1);
+          break;
+        case GateKind::kAnd:
+          v = wire_val_[static_cast<std::size_t>(g.a)] &
+              wire_val_[static_cast<std::size_t>(g.b)];
+          break;
+        case GateKind::kXor:
+          v = wire_val_[static_cast<std::size_t>(g.a)] ^
+              wire_val_[static_cast<std::size_t>(g.b)];
+          break;
+        case GateKind::kNot:
+          v = wire_val_[static_cast<std::size_t>(g.a)] ^ 1;
+          break;
+        case GateKind::kReg:
+          v = wire_val_[static_cast<std::size_t>(g.a)];
+          break;
+      }
+      wire_val_[static_cast<std::size_t>(gi)] = v;
+    }
+  }
+
+  void distribution_for(std::uint64_t secret_bits, int free_bits,
+                        std::size_t n_keys,
+                        std::vector<std::uint64_t>& dist) {
+    dist.assign(n_keys, 0);
+    for (std::uint64_t a = 0; a < (1ull << free_bits); ++a) {
+      std::uint64_t bits = a;
+      for (std::size_t ii = 0; ii < involved_.size(); ++ii) {
+        const int base = ctx_.masked.input_share_base[static_cast<std::size_t>(
+            involved_[ii])];
+        std::uint8_t acc = static_cast<std::uint8_t>((secret_bits >> ii) & 1);
+        for (unsigned s = 1; s < ctx_.n_shares; ++s) {
+          const std::uint8_t m = static_cast<std::uint8_t>(bits & 1);
+          bits >>= 1;
+          inputs_[static_cast<std::size_t>(base) + s] = m;
+          acc ^= m;
+        }
+        inputs_[static_cast<std::size_t>(base)] = acc;
+      }
+      for (const int r : cone_randoms_) {
+        randoms_[static_cast<std::size_t>(r)] =
+            static_cast<std::uint8_t>(bits & 1);
+        bits >>= 1;
+      }
+      run_cone();
+      std::uint64_t key = 0;
+      for (std::size_t p = 0; p < obs_.size(); ++p) {
+        key |= static_cast<std::uint64_t>(
+                   wire_val_[static_cast<std::size_t>(obs_[p])])
+               << p;
+      }
+      ++dist[key];
+    }
+  }
+
+  const VerifyContext& ctx_;
+  std::atomic<std::uint64_t>& budget_spent_;
+  // Scratch, private per worker: no per-set clearing of gate-sized arrays.
+  std::vector<int> obs_;
+  Bits full_support_;
+  Bits reduced_;
+  std::vector<char> active_;
+  std::vector<int> involved_;
+  std::vector<int> cone_randoms_;
+  std::vector<std::uint8_t> inputs_;
+  std::vector<std::uint8_t> randoms_;
+  std::vector<int> cone_stamp_;
+  int cone_epoch_ = 0;
+  std::vector<int> cone_order_;
+  std::vector<int> dfs_stack_;
+  std::vector<std::uint8_t> wire_val_;
+  std::vector<std::uint64_t> dist_ref_;
+  std::vector<std::uint64_t> dist_cur_;
+};
+
+// Level accumulator for the rank-ordered shard merge.
+struct LevelAcc {
+  BlockStats merged;
+  bool leak_seen = false;
+};
 
 }  // namespace
 
@@ -123,385 +555,108 @@ masking::ProbingReport SymbolicReport::to_probing_report() const {
 SymbolicReport verify_probing_symbolic(const MaskedCircuit& masked,
                                        int plain_inputs, unsigned probe_order,
                                        const SymbolicOptions& options) {
-  const Circuit& c = masked.circuit;
-  const unsigned n_shares = masked.order + 1;
-  const int n_gates = static_cast<int>(c.num_gates());
-  const int n_inputs = c.num_inputs();
-  const int n_randoms = c.num_randoms();
-  const int n_atoms = n_inputs + n_randoms;
   if (static_cast<int>(masked.input_share_base.size()) < plain_inputs) {
     throw std::invalid_argument(
         "verify_probing_symbolic: input_share_base shorter than plain_inputs");
   }
+  const VerifyContext ctx = build_context(masked, plain_inputs, options);
 
   SymbolicReport report;
-
-  // ---- Footprint computation (one topological pass) --------------------
-  std::vector<Footprint> fp(static_cast<std::size_t>(n_gates));
-  // and_support[g] is only populated for AND gates.
-  std::vector<Bits> and_support(static_cast<std::size_t>(n_gates));
-  for (int gi = 0; gi < n_gates; ++gi) {
-    const Gate& g = c.gates()[static_cast<std::size_t>(gi)];
-    Footprint& f = fp[static_cast<std::size_t>(gi)];
-    switch (g.kind) {
-      case GateKind::kInput:
-      case GateKind::kRandom: {
-        const int atom =
-            g.kind == GateKind::kInput ? g.aux : n_inputs + g.aux;
-        f.lin = Bits(n_atoms);
-        f.support = Bits(n_atoms);
-        f.nl_support = Bits(n_atoms);
-        f.lin.set(atom);
-        f.support.set(atom);
-        break;
-      }
-      case GateKind::kConst:
-        f.lin = Bits(n_atoms);
-        f.support = Bits(n_atoms);
-        f.nl_support = Bits(n_atoms);
-        break;
-      case GateKind::kNot:
-      case GateKind::kReg:
-        // NOT only flips a constant; REG is the identity on values.
-        f = fp[static_cast<std::size_t>(g.a)];
-        break;
-      case GateKind::kAnd: {
-        Bits sup = fp[static_cast<std::size_t>(g.a)].support;
-        sup.or_with(fp[static_cast<std::size_t>(g.b)].support);
-        and_support[static_cast<std::size_t>(gi)] = sup;
-        f.lin = Bits(n_atoms);
-        f.nl = {gi};
-        f.support = sup;
-        f.nl_support = std::move(sup);
-        break;
-      }
-      case GateKind::kXor: {
-        const Footprint& fa = fp[static_cast<std::size_t>(g.a)];
-        const Footprint& fb = fp[static_cast<std::size_t>(g.b)];
-        f.lin = fa.lin;
-        f.lin.xor_with(fb.lin);
-        f.nl = symdiff(fa.nl, fb.nl);
-        // Support from the *cancelled* footprint: identical linear or
-        // nonlinear terms on both sides vanish, shrinking the support.
-        f.nl_support = Bits(n_atoms);
-        for (const int t : f.nl) {
-          f.nl_support.or_with(and_support[static_cast<std::size_t>(t)]);
-        }
-        f.support = f.nl_support;
-        f.support.or_with(f.lin);
-        break;
-      }
-    }
-  }
-
-  // ---- Glitch-extended observation sets ---------------------------------
-  // boundary[g]: the atoms a glitch-extended probe on g observes -- the
-  // input/random/const/register wires reached by walking fan-in without
-  // crossing a register.
-  std::vector<std::vector<int>> boundary;
-  std::vector<Bits> glitch_support;
-  if (options.glitch_extended) {
-    boundary.resize(static_cast<std::size_t>(n_gates));
-    glitch_support.resize(static_cast<std::size_t>(n_gates));
-    for (int gi = 0; gi < n_gates; ++gi) {
-      const Gate& g = c.gates()[static_cast<std::size_t>(gi)];
-      std::vector<int>& b = boundary[static_cast<std::size_t>(gi)];
-      switch (g.kind) {
-        case GateKind::kInput:
-        case GateKind::kRandom:
-        case GateKind::kConst:
-        case GateKind::kReg:
-          b = {gi};
-          break;
-        case GateKind::kNot:
-          b = boundary[static_cast<std::size_t>(g.a)];
-          break;
-        case GateKind::kAnd:
-        case GateKind::kXor: {
-          const auto& ba = boundary[static_cast<std::size_t>(g.a)];
-          const auto& bb = boundary[static_cast<std::size_t>(g.b)];
-          b.reserve(ba.size() + bb.size());
-          std::set_union(ba.begin(), ba.end(), bb.begin(), bb.end(),
-                         std::back_inserter(b));
-          break;
-        }
-      }
-      Bits sup(n_atoms);
-      for (const int w : b) {
-        sup.or_with(fp[static_cast<std::size_t>(w)].support);
-      }
-      glitch_support[static_cast<std::size_t>(gi)] = std::move(sup);
-    }
-  }
-
-  // ---- Share masks per plain input --------------------------------------
-  std::vector<Bits> share_mask(static_cast<std::size_t>(plain_inputs));
-  for (int i = 0; i < plain_inputs; ++i) {
-    Bits m(n_atoms);
-    const int base = masked.input_share_base[static_cast<std::size_t>(i)];
-    for (unsigned s = 0; s < n_shares; ++s) {
-      m.set(base + static_cast<int>(s));
-    }
-    share_mask[static_cast<std::size_t>(i)] = std::move(m);
-  }
-  const auto covers_some_secret = [&](const Bits& s) {
-    for (int i = 0; i < plain_inputs; ++i) {
-      if (s.contains_all(share_mask[static_cast<std::size_t>(i)])) return true;
-    }
-    return false;
-  };
+  std::atomic<std::uint64_t> budget_spent{0};
 
   // ---- Per-probe-set decision -------------------------------------------
-  // Returns true to keep scanning, false on a confirmed kLeak. An
-  // over-budget set degrades the verdict to kPotentialLeak but scanning
-  // continues: a later, smaller-coned set may still confirm a real leak.
-  std::vector<int> obs;
-  Bits full_support(n_atoms);
-  Bits reduced(n_atoms);
-  std::vector<char> active;
-  std::vector<int> involved;
-  std::vector<int> cone_randoms;
-  std::vector<std::uint8_t> inputs(static_cast<std::size_t>(n_inputs), 0);
-  std::vector<std::uint8_t> randoms(static_cast<std::size_t>(n_randoms), 0);
-  // Epoch-stamped cone scratch: no per-set clearing of gate-sized arrays.
-  std::vector<int> cone_stamp(static_cast<std::size_t>(n_gates), 0);
-  int cone_epoch = 0;
-  std::vector<int> cone_order;
-  std::vector<int> dfs_stack;
-  std::vector<std::uint8_t> wire_val(static_cast<std::size_t>(n_gates), 0);
-  std::vector<std::uint64_t> dist_ref;
-  std::vector<std::uint64_t> dist_cur;
-  std::uint64_t fallback_work_spent = 0;
-  const auto check_set = [&](const std::vector<int>& probes) -> bool {
-    ++report.probe_sets_checked;
+  // Level k enumerates all size-k probe sets in lexicographic order,
+  // sharded by contiguous ranges of the set's first (smallest) gate index.
+  // Shard boundaries depend only on the circuit, so any thread count scans
+  // the same sets; shard results merge in rank order, which reproduces the
+  // serial scan: counters sum shard by shard until the first confirmed
+  // leak, whose shard contributes its partial tally and later shards
+  // contribute nothing (a shared atomic lets them abort early, since their
+  // results are discarded anyway).
+  for (unsigned k = 1; k <= probe_order; ++k) {
+    const int n_first = ctx.n_gates - static_cast<int>(k) + 1;
+    if (n_first <= 0) break;
 
-    // Observation wires: the probes themselves, or (glitch mode) the union
-    // of their register-boundary atoms.
-    obs.clear();
-    full_support.clear();
-    if (options.glitch_extended) {
-      for (const int p : probes) {
-        const auto& b = boundary[static_cast<std::size_t>(p)];
-        obs.insert(obs.end(), b.begin(), b.end());
-        full_support.or_with(glitch_support[static_cast<std::size_t>(p)]);
-      }
-      std::sort(obs.begin(), obs.end());
-      obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
-    } else {
-      obs = probes;
-      for (const int p : probes) {
-        full_support.or_with(fp[static_cast<std::size_t>(p)].support);
-      }
-    }
+    std::atomic<std::uint64_t> min_leak_shard{
+        std::numeric_limits<std::uint64_t>::max()};
 
-    // 1. Coverage: a set that misses a share of every secret observes at
-    // most d shares of each independently-shared input -- simulatable.
-    if (!covers_some_secret(full_support)) {
-      ++report.coverage_rejected;
-      return true;
-    }
-
-    // 2. Blinding-random simplification to a fixpoint: drop observations
-    // made uniform-and-independent by a private linear random.
-    active.assign(obs.size(), 1);
-    std::size_t n_active = obs.size();
-    bool changed = true;
-    while (changed && n_active > 0) {
-      changed = false;
-      for (std::size_t oi = 0; oi < obs.size() && n_active > 0; ++oi) {
-        if (!active[oi]) continue;
-        const Footprint& f = fp[static_cast<std::size_t>(obs[oi])];
-        bool removed = false;
-        f.lin.for_each([&](int atom) {
-          if (removed || atom < n_inputs) return;      // randoms only
-          if (f.nl_support.test(atom)) return;         // in own nonlinear core
-          for (std::size_t oj = 0; oj < obs.size(); ++oj) {
-            if (oj == oi || !active[oj]) continue;
-            if (fp[static_cast<std::size_t>(obs[oj])].support.test(atom)) {
-              return;
+    LevelAcc level = par::parallel_reduce(
+        static_cast<std::uint64_t>(n_first), 1, LevelAcc{},
+        [&](std::uint64_t shard, par::Range r) {
+          BlockStats stats;
+          Worker worker(ctx, budget_spent);
+          std::vector<int> idx(static_cast<std::size_t>(k));
+          for (unsigned j = 0; j < k; ++j) {
+            idx[j] = static_cast<int>(r.begin) + static_cast<int>(j);
+          }
+          while (static_cast<std::uint64_t>(idx[0]) < r.end) {
+            if (shard > min_leak_shard.load(std::memory_order_relaxed)) {
+              break;  // an earlier shard already confirmed a leak
+            }
+            if (!worker.check_set(idx, stats)) {
+              // Confirmed leak: publish so later shards stop scanning.
+              std::uint64_t cur =
+                  min_leak_shard.load(std::memory_order_relaxed);
+              while (shard < cur &&
+                     !min_leak_shard.compare_exchange_weak(
+                         cur, shard, std::memory_order_relaxed)) {
+              }
+              break;
+            }
+            // Next combination (lexicographic successor).
+            int pos = static_cast<int>(k) - 1;
+            while (pos >= 0 && idx[static_cast<std::size_t>(pos)] ==
+                                   ctx.n_gates - static_cast<int>(k) + pos) {
+              --pos;
+            }
+            if (pos < 0) break;
+            ++idx[static_cast<std::size_t>(pos)];
+            for (int j = pos + 1; j < static_cast<int>(k); ++j) {
+              idx[static_cast<std::size_t>(j)] =
+                  idx[static_cast<std::size_t>(j - 1)] + 1;
             }
           }
-          removed = true;
-        });
-        if (removed) {
-          active[oi] = 0;
-          --n_active;
-          changed = true;
-        }
-      }
-    }
-    if (n_active == 0) {
-      ++report.simplified_away;
-      return true;
-    }
-    if (n_active < obs.size()) {
-      reduced.clear();
-      for (std::size_t oi = 0; oi < obs.size(); ++oi) {
-        if (active[oi]) {
-          reduced.or_with(fp[static_cast<std::size_t>(obs[oi])].support);
-        }
-      }
-      if (!covers_some_secret(reduced)) {
-        ++report.simplified_away;
-        return true;
-      }
-    }
-
-    // 3. Exact fallback on the cone of the full observation set. An
-    // unresolved set marks the verdict kPotentialLeak (recording the first
-    // such set) but does NOT stop the scan -- a later set may confirm.
-    const auto unresolved = [&]() -> bool {
-      if (report.verdict == Verdict::kSecure) {
-        report.verdict = Verdict::kPotentialLeak;
-        report.secure = false;
-        report.probes = probes;
-      }
-      return true;
-    };
-    if (!options.exhaustive_fallback || obs.size() > 20) return unresolved();
-    involved.clear();
-    for (int i = 0; i < plain_inputs; ++i) {
-      const int base = masked.input_share_base[static_cast<std::size_t>(i)];
-      for (unsigned s = 0; s < n_shares; ++s) {
-        if (full_support.test(base + static_cast<int>(s))) {
-          involved.push_back(i);
-          break;
-        }
-      }
-    }
-    cone_randoms.clear();
-    for (int r = 0; r < n_randoms; ++r) {
-      if (full_support.test(n_inputs + r)) cone_randoms.push_back(r);
-    }
-    const int free_bits =
-        static_cast<int>(involved.size()) * static_cast<int>(masked.order) +
-        static_cast<int>(cone_randoms.size());
-    if (free_bits + static_cast<int>(involved.size()) >
-        options.fallback_budget_bits) {
-      return unresolved();
-    }
-
-    // Fan-in cone of the observation set. Gate indices are already in
-    // topological order, so a sort of the visited set yields eval order.
-    ++cone_epoch;
-    cone_order.clear();
-    dfs_stack.assign(obs.begin(), obs.end());
-    while (!dfs_stack.empty()) {
-      const int g = dfs_stack.back();
-      dfs_stack.pop_back();
-      if (cone_stamp[static_cast<std::size_t>(g)] == cone_epoch) continue;
-      cone_stamp[static_cast<std::size_t>(g)] = cone_epoch;
-      cone_order.push_back(g);
-      const Gate& gate = c.gates()[static_cast<std::size_t>(g)];
-      if (gate.a >= 0) dfs_stack.push_back(gate.a);
-      if (gate.b >= 0) dfs_stack.push_back(gate.b);
-    }
-    std::sort(cone_order.begin(), cone_order.end());
-
-    // Total work = secrets x assignments x cone gates; budget is its log2.
-    const int work_bits = free_bits + static_cast<int>(involved.size()) +
-                          ceil_log2(cone_order.size());
-    if (work_bits > options.fallback_budget_bits) return unresolved();
-    const std::uint64_t work_bound =
-        cone_order.size() << (free_bits + static_cast<int>(involved.size()));
-    if (fallback_work_spent + work_bound >
-        (1ull << options.fallback_total_bits)) {
-      return unresolved();
-    }
-    fallback_work_spent += work_bound;
-    ++report.fallback_checked;
-
-    const auto run_cone = [&] {
-      for (const int gi : cone_order) {
-        const Gate& g = c.gates()[static_cast<std::size_t>(gi)];
-        std::uint8_t v = 0;
-        switch (g.kind) {
-          case GateKind::kInput:
-            v = inputs[static_cast<std::size_t>(g.aux)];
-            break;
-          case GateKind::kRandom:
-            v = randoms[static_cast<std::size_t>(g.aux)];
-            break;
-          case GateKind::kConst:
-            v = static_cast<std::uint8_t>(g.aux & 1);
-            break;
-          case GateKind::kAnd:
-            v = wire_val[static_cast<std::size_t>(g.a)] &
-                wire_val[static_cast<std::size_t>(g.b)];
-            break;
-          case GateKind::kXor:
-            v = wire_val[static_cast<std::size_t>(g.a)] ^
-                wire_val[static_cast<std::size_t>(g.b)];
-            break;
-          case GateKind::kNot:
-            v = wire_val[static_cast<std::size_t>(g.a)] ^ 1;
-            break;
-          case GateKind::kReg:
-            v = wire_val[static_cast<std::size_t>(g.a)];
-            break;
-        }
-        wire_val[static_cast<std::size_t>(gi)] = v;
-      }
-    };
-
-    // Exact distribution of the observation tuple: a flat histogram over
-    // the 2^|obs| outcome keys (obs.size() <= 20 guards the allocation).
-    const std::size_t n_keys = 1ull << obs.size();
-    const auto distribution_for = [&](std::uint64_t secret_bits,
-                                      std::vector<std::uint64_t>& dist) {
-      dist.assign(n_keys, 0);
-      for (std::uint64_t a = 0; a < (1ull << free_bits); ++a) {
-        std::uint64_t bits = a;
-        for (std::size_t ii = 0; ii < involved.size(); ++ii) {
-          const int base = masked.input_share_base[static_cast<std::size_t>(
-              involved[ii])];
-          std::uint8_t acc =
-              static_cast<std::uint8_t>((secret_bits >> ii) & 1);
-          for (unsigned s = 1; s < n_shares; ++s) {
-            const std::uint8_t m = static_cast<std::uint8_t>(bits & 1);
-            bits >>= 1;
-            inputs[static_cast<std::size_t>(base) + s] = m;
-            acc ^= m;
+          const bool leak = stats.has_leak;
+          return LevelAcc{std::move(stats), leak};
+        },
+        [](LevelAcc acc, LevelAcc right) {
+          if (acc.leak_seen) return acc;  // serial scan stopped before here
+          BlockStats& part = right.merged;
+          acc.merged.probe_sets_checked += part.probe_sets_checked;
+          acc.merged.coverage_rejected += part.coverage_rejected;
+          acc.merged.simplified_away += part.simplified_away;
+          acc.merged.fallback_checked += part.fallback_checked;
+          if (!acc.merged.has_unresolved && part.has_unresolved) {
+            acc.merged.has_unresolved = true;
+            acc.merged.unresolved_probes = std::move(part.unresolved_probes);
           }
-          inputs[static_cast<std::size_t>(base)] = acc;
-        }
-        for (const int r : cone_randoms) {
-          randoms[static_cast<std::size_t>(r)] =
-              static_cast<std::uint8_t>(bits & 1);
-          bits >>= 1;
-        }
-        run_cone();
-        std::uint64_t key = 0;
-        for (std::size_t p = 0; p < obs.size(); ++p) {
-          key |= static_cast<std::uint64_t>(
-                     wire_val[static_cast<std::size_t>(obs[p])])
-                 << p;
-        }
-        ++dist[key];
-      }
-    };
+          if (part.has_leak) {
+            acc.merged.has_leak = true;
+            acc.merged.leak_obs = std::move(part.leak_obs);
+            acc.merged.leak_secret_a = std::move(part.leak_secret_a);
+            acc.merged.leak_secret_b = std::move(part.leak_secret_b);
+            acc.leak_seen = true;
+          }
+          return acc;
+        });
 
-    distribution_for(0, dist_ref);
-    for (std::uint64_t s = 1; s < (1ull << involved.size()); ++s) {
-      distribution_for(s, dist_cur);
-      if (dist_cur != dist_ref) {
-        report.verdict = Verdict::kLeak;
-        report.secure = false;
-        report.probes = obs;
-        report.secret_a.assign(static_cast<std::size_t>(plain_inputs), 0);
-        report.secret_b.assign(static_cast<std::size_t>(plain_inputs), 0);
-        for (std::size_t ii = 0; ii < involved.size(); ++ii) {
-          report.secret_b[static_cast<std::size_t>(involved[ii])] =
-              static_cast<std::uint8_t>((s >> ii) & 1);
-        }
-        return false;
-      }
+    report.probe_sets_checked += level.merged.probe_sets_checked;
+    report.coverage_rejected += level.merged.coverage_rejected;
+    report.simplified_away += level.merged.simplified_away;
+    report.fallback_checked += level.merged.fallback_checked;
+    if (level.merged.has_unresolved && report.verdict == Verdict::kSecure) {
+      report.verdict = Verdict::kPotentialLeak;
+      report.secure = false;
+      report.probes = level.merged.unresolved_probes;
     }
-    return true;  // exactly verified secure for this set
-  };
-
-  for (unsigned k = 1; k <= probe_order; ++k) {
-    if (!for_each_combination(n_gates, static_cast<int>(k), check_set)) break;
+    if (level.leak_seen) {
+      report.verdict = Verdict::kLeak;
+      report.secure = false;
+      report.probes = level.merged.leak_obs;
+      report.secret_a = level.merged.leak_secret_a;
+      report.secret_b = level.merged.leak_secret_b;
+      break;
+    }
   }
   return report;
 }

@@ -6,16 +6,32 @@
 #include <stdexcept>
 
 #include "convolve/common/bytes.hpp"
+#include "convolve/common/parallel.hpp"
 #include "convolve/common/stats.hpp"
 
 namespace convolve::cim {
 
 namespace {
 
+// Measurement stream tags: every measurement runs on macro.fork(tag), so
+// the noise / countermeasure randomness it sees is a pure function of the
+// tag -- independent of measurement order and of the thread count.
+// Tag 0 is the idle baseline, 1..n the phase-1 one-hot activations, and
+// 1+n+i the phase-2 probes for row i (all probes of a row share one fork,
+// drawn sequentially).
+constexpr std::uint64_t kBaselineStream = 0;
+std::uint64_t phase1_stream(int row) {
+  return 1 + static_cast<std::uint64_t>(row);
+}
+std::uint64_t phase2_stream(int n_rows, int row) {
+  return 1 + static_cast<std::uint64_t>(n_rows) +
+         static_cast<std::uint64_t>(row);
+}
+
 // Average power of the first MAC cycle after reset, with the given rows
-// active, over `traces` repetitions.
-double measure(CimMacro& macro, const std::vector<int>& active_rows,
-               int traces, int& measurement_counter) {
+// active, over `traces` repetitions. Stateful: draws from `macro`'s rng.
+double measure_on(CimMacro& macro, const std::vector<int>& active_rows,
+                  int traces) {
   std::vector<std::uint8_t> inputs(static_cast<std::size_t>(macro.n_rows()),
                                    0);
   for (int row : active_rows) inputs[static_cast<std::size_t>(row)] = 1;
@@ -25,9 +41,16 @@ double measure(CimMacro& macro, const std::vector<int>& active_rows,
     macro.clear_trace();
     macro.mac_cycle(inputs);
     sum += macro.trace().back();
-    ++measurement_counter;
   }
   return sum / traces;
+}
+
+// Same measurement on a private fork: the result depends only on (macro
+// state, stream, active_rows, traces).
+double measure(const CimMacro& macro, std::uint64_t stream,
+               const std::vector<int>& active_rows, int traces) {
+  CimMacro fork = macro.fork(stream);
+  return measure_on(fork, active_rows, traces);
 }
 
 // Attacker-side analytic template: expected power of a first cycle after
@@ -55,16 +78,21 @@ std::vector<int> hw_candidates(int hw, int bits) {
 
 Phase1Result run_phase1(CimMacro& macro, const AttackConfig& config) {
   Phase1Result r;
-  int counter = 0;
   // Idle baseline (no weight activated).
-  const double baseline =
-      measure(macro, {}, config.traces_per_measurement, counter);
+  const double baseline = measure(macro, kBaselineStream, {},
+                                  config.traces_per_measurement);
 
-  r.features.reserve(static_cast<std::size_t>(macro.n_rows()));
-  for (int i = 0; i < macro.n_rows(); ++i) {
-    r.features.push_back(
-        measure(macro, {i}, config.traces_per_measurement, counter));
-  }
+  // One-hot features: row i's measurement lives on its own fork, so the
+  // rows can be measured concurrently with identical results.
+  r.features.assign(static_cast<std::size_t>(macro.n_rows()), 0.0);
+  par::parallel_for(
+      static_cast<std::uint64_t>(macro.n_rows()),
+      [&](std::uint64_t i) {
+        const int row = static_cast<int>(i);
+        r.features[i] = measure(macro, phase1_stream(row), {row},
+                                config.traces_per_measurement);
+      },
+      8);
 
   // k-means clustering into the 5 HW groups (the paper's Fig. 1).
   Xoshiro256 rng(config.seed);
@@ -88,8 +116,9 @@ Phase1Result run_phase1(CimMacro& macro, const AttackConfig& config) {
 AttackResult run_attack(CimMacro& macro, const AttackConfig& config) {
   AttackResult result;
   int counter = 0;
-  const double baseline =
-      measure(macro, {}, config.traces_per_measurement, counter);
+  const double baseline = measure(macro, kBaselineStream, {},
+                                  config.traces_per_measurement);
+  counter += config.traces_per_measurement;
   result.phase1 = run_phase1(macro, config);
   counter += (macro.n_rows() + 1) * config.traces_per_measurement;
 
@@ -104,7 +133,11 @@ AttackResult run_attack(CimMacro& macro, const AttackConfig& config) {
   }
 
   // Phase 2: resolve classes 1, 2, 3, reusing freshly recovered weights as
-  // probe material for the later classes.
+  // probe material for the later classes. Classes run in order (later
+  // classes need earlier recoveries), but within a class each target row
+  // only reads `known_rows` / `recovered` entries fixed at class start and
+  // writes its own slot, so the targets run in parallel; each row's
+  // measurements draw from its own fork.
   for (int hw = 1; hw <= 3; ++hw) {
     const std::vector<int> candidates = hw_candidates(hw);
     // Rows whose value is already known (probe material).
@@ -114,9 +147,15 @@ AttackResult run_attack(CimMacro& macro, const AttackConfig& config) {
         known_rows.push_back(j);
       }
     }
+    std::vector<int> targets;
     for (int i = 0; i < n; ++i) {
       if (result.phase1.hw_class[static_cast<std::size_t>(i)] != hw) continue;
       if (result.recovered[static_cast<std::size_t>(i)] >= 0) continue;
+      targets.push_back(i);
+    }
+    std::vector<int> traces_spent(targets.size(), 0);
+    par::parallel_for(targets.size(), [&](std::uint64_t ti) {
+      const int i = targets[static_cast<std::size_t>(ti)];
 
       // --- Exhaustive probe-set minimization -------------------------
       // Find the smallest set of known rows whose joint co-activation
@@ -176,13 +215,16 @@ AttackResult run_attack(CimMacro& macro, const AttackConfig& config) {
           }
         }
       }
-      if (probe_set.empty()) continue;  // cannot separate; leave unknown
+      if (probe_set.empty()) return;  // cannot separate; leave unknown
 
       // --- Measure and match ------------------------------------------
+      CimMacro row_macro = macro.fork(phase2_stream(n, i));
       std::vector<double> measured;
       for (int j : probe_set) {
-        measured.push_back(measure(macro, {i, j},
-                                   config.traces_per_measurement, counter));
+        measured.push_back(
+            measure_on(row_macro, {i, j}, config.traces_per_measurement));
+        traces_spent[static_cast<std::size_t>(ti)] +=
+            config.traces_per_measurement;
       }
       double best_err = std::numeric_limits<double>::infinity();
       int best_candidate = -1;
@@ -201,7 +243,8 @@ AttackResult run_attack(CimMacro& macro, const AttackConfig& config) {
         }
       }
       result.recovered[static_cast<std::size_t>(i)] = best_candidate;
-    }
+    });
+    for (const int spent : traces_spent) counter += spent;
   }
 
   result.measurements = counter;

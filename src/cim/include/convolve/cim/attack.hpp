@@ -45,11 +45,16 @@ struct AttackResult {
 /// Candidate 4-bit values for a Hamming-weight class.
 std::vector<int> hw_candidates(int hw, int bits = 4);
 
-/// Run phase 1 only.
+/// Run phase 1 only. Every measurement runs on a private macro fork (see
+/// CimMacro::fork) keyed by a fixed stream tag, so the result is a pure
+/// function of (macro state, config) -- identical for every thread count
+/// and measurement order; `macro` itself is not advanced.
 Phase1Result run_phase1(CimMacro& macro, const AttackConfig& config);
 
 /// Full two-phase attack. The attacker only uses macro.mac_cycle(),
-/// macro.reset(), the trace, and the public tree structure.
+/// macro.reset(), the trace, and the public tree structure. Same fork
+/// discipline as run_phase1: deterministic per (macro state, config),
+/// independent of the thread count.
 AttackResult run_attack(CimMacro& macro, const AttackConfig& config);
 
 /// Fill in correctness fields against the ground-truth weights.

@@ -61,6 +61,13 @@ class CimMacro {
   /// The attacker-visible netlist structure (positions, tree shape).
   const AdderTree& tree() const { return tree_; }
 
+  /// Copy of this macro whose noise / countermeasure randomness comes from
+  /// the private derived stream rng.split(stream) (trace cleared, *this
+  /// untouched). Measurements on fork(s) depend only on `stream` and the
+  /// macro state, never on how many other forks ran or on which thread --
+  /// this is what makes the extraction attack thread-count invariant.
+  CimMacro fork(std::uint64_t stream) const;
+
  private:
   MacroConfig config_;
   std::vector<int> weights_;

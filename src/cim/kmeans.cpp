@@ -1,10 +1,13 @@
 #include "convolve/cim/kmeans.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "convolve/common/parallel.hpp"
 
 namespace convolve::cim {
 
@@ -52,24 +55,30 @@ KMeansResult lloyd(const std::vector<double>& points,
   r.centroids = std::move(centroids);
   r.assignment.assign(points.size(), 0);
   for (int iter = 0; iter < max_iterations; ++iter) {
-    bool changed = false;
-    // Assignment step.
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      int best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (int c = 0; c < k; ++c) {
-        const double d = (points[i] - r.centroids[static_cast<std::size_t>(c)]) *
-                         (points[i] - r.centroids[static_cast<std::size_t>(c)]);
-        if (d < best_d) {
-          best_d = d;
-          best = c;
-        }
-      }
-      if (r.assignment[i] != best) {
-        r.assignment[i] = best;
-        changed = true;
-      }
-    }
+    // Assignment step: each point's nearest centroid is a pure function of
+    // (point, centroids), so points are assigned in parallel. The init and
+    // the update step stay serial (they are cheap and order-sensitive).
+    std::atomic<bool> changed{false};
+    par::parallel_for(
+        points.size(),
+        [&](std::uint64_t i) {
+          int best = 0;
+          double best_d = std::numeric_limits<double>::infinity();
+          for (int c = 0; c < k; ++c) {
+            const double d =
+                (points[i] - r.centroids[static_cast<std::size_t>(c)]) *
+                (points[i] - r.centroids[static_cast<std::size_t>(c)]);
+            if (d < best_d) {
+              best_d = d;
+              best = c;
+            }
+          }
+          if (r.assignment[i] != best) {
+            r.assignment[i] = best;
+            changed.store(true, std::memory_order_relaxed);
+          }
+        },
+        64);
     // Update step.
     std::vector<double> sum(static_cast<std::size_t>(k), 0.0);
     std::vector<int> count(static_cast<std::size_t>(k), 0);

@@ -124,6 +124,13 @@ std::int64_t CimMacro::mac_multibit(const std::vector<int>& activations,
   return result;
 }
 
+CimMacro CimMacro::fork(std::uint64_t stream) const {
+  CimMacro copy = *this;
+  copy.rng_ = rng_.split(stream);
+  copy.trace_.clear();
+  return copy;
+}
+
 CimMacro random_macro(const MacroConfig& config, std::uint64_t weight_seed) {
   Xoshiro256 rng(weight_seed);
   const int max_w = (1 << config.weight_bits) - 1;

@@ -40,6 +40,19 @@ class Xoshiro256 {
   /// Single random bit.
   bool next_bit() { return (next_u64() & 1u) != 0; }
 
+  /// Advance the state by 2^128 steps (the canonical xoshiro256 jump
+  /// polynomial): repeated jumps carve the period into 2^128 pairwise
+  /// non-overlapping segments.
+  void jump();
+
+  /// Deterministic derived stream for parallel chunk `i`: the state is
+  /// re-keyed by hashing (state, i) through SplitMix64, so split(i) is O(1)
+  /// in i, does not advance *this, and split(i) == split(i) across runs.
+  /// Distinct i give statistically independent, non-overlapping streams
+  /// (overlap within any realistic draw count has probability ~2^-192);
+  /// use jump() instead when an algebraic disjointness guarantee is needed.
+  Xoshiro256 split(std::uint64_t i) const;
+
   // Satisfy std::uniform_random_bit_generator so <algorithm> shuffles work.
   using result_type = std::uint64_t;
   static constexpr result_type min() { return 0; }

@@ -1,0 +1,306 @@
+#include "convolve/common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace convolve::par {
+
+namespace {
+
+// Set while a thread is executing chunks of a parallel region; nested
+// parallel regions then run inline on that thread instead of deadlocking on
+// the (single-job) pool.
+thread_local bool g_in_parallel_region = false;
+
+// A single parallel region: n_chunks tasks distributed round-robin over the
+// participants' deques. Owners pop from the back; thieves steal from the
+// front. `remaining` counts unfinished chunks; the caller spins on it via
+// the done condition variable.
+struct Job {
+  explicit Job(std::uint64_t n_chunks, int n_participants,
+               const std::function<void(std::uint64_t)>& body)
+      : fn(body), queues(static_cast<std::size_t>(n_participants)),
+        remaining(n_chunks) {
+    for (std::uint64_t c = 0; c < n_chunks; ++c) {
+      auto& q = queues[static_cast<std::size_t>(
+          c % static_cast<std::uint64_t>(n_participants))];
+      q.items.push_back(c);
+    }
+  }
+
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::uint64_t> items;
+  };
+
+  // Pop from the back of our own deque, else steal from the front of the
+  // first non-empty victim. Returns false when no work is left anywhere.
+  bool take(int self, std::uint64_t& out) {
+    auto& own = queues[static_cast<std::size_t>(self)];
+    {
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.items.empty()) {
+        out = own.items.back();
+        own.items.pop_back();
+        return true;
+      }
+    }
+    const int n = static_cast<int>(queues.size());
+    for (int delta = 1; delta < n; ++delta) {
+      auto& victim = queues[static_cast<std::size_t>((self + delta) % n)];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.items.empty()) {
+        out = victim.items.front();  // steal the oldest chunk
+        victim.items.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void work(int self) {
+    g_in_parallel_region = true;
+    std::uint64_t chunk = 0;
+    while (take(self, chunk)) {
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          fn(chunk);
+        } catch (...) {
+          bool expected = false;
+          if (failed.compare_exchange_strong(expected, true)) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            error = std::current_exception();
+          }
+        }
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+    g_in_parallel_region = false;
+  }
+
+  const std::function<void(std::uint64_t)>& fn;
+  std::vector<Queue> queues;
+  std::atomic<std::uint64_t> remaining;
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+// Persistent worker pool. One job runs at a time (parallel regions are
+// serialised by run_mu); workers sleep between jobs.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(std::uint64_t n_chunks, int total_threads,
+           const std::function<void(std::uint64_t)>& fn) {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    ensure_workers(total_threads - 1);
+    Job job(n_chunks, total_threads, fn);
+    {
+      std::lock_guard<std::mutex> lock(job_mu_);
+      job_ = &job;
+      ++job_epoch_;
+    }
+    job_cv_.notify_all();
+    // The caller is participant index total_threads-1 (workers are 0..n-2);
+    // it works the job like any other participant.
+    job.work(total_threads - 1);
+    {
+      std::unique_lock<std::mutex> lock(job.done_mu);
+      job.done_cv.wait(lock, [&] {
+        return job.remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(job_mu_);
+      job_ = nullptr;
+      ++job_epoch_;
+    }
+    // Wait until every worker has left the job before it goes out of scope.
+    {
+      std::unique_lock<std::mutex> lock(job_mu_);
+      idle_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  Pool() = default;
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(job_mu_);
+      shutdown_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void ensure_workers(int n_workers) {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    while (static_cast<int>(workers_.size()) < n_workers) {
+      const int index = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, index] { worker_loop(index); });
+    }
+    wanted_workers_ = n_workers;
+  }
+
+  void worker_loop(int index) {
+    std::uint64_t seen_epoch = 0;
+    while (true) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(job_mu_);
+        job_cv_.wait(lock, [&] {
+          return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch &&
+                               index < wanted_workers_);
+        });
+        if (shutdown_) return;
+        seen_epoch = job_epoch_;
+        job = job_;
+        ++active_workers_;
+      }
+      job->work(index);
+      {
+        std::lock_guard<std::mutex> lock(job_mu_);
+        --active_workers_;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  std::mutex run_mu_;  // one parallel region at a time
+
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable idle_cv_;
+  Job* job_ = nullptr;
+  std::uint64_t job_epoch_ = 0;
+  int wanted_workers_ = 0;
+  int active_workers_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+std::atomic<int> g_thread_count{0};  // 0 = not yet initialised
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int default_thread_count() {
+  if (const char* env = std::getenv("CONVOLVE_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<int>(v);
+    }
+  }
+  return hardware_threads();
+}
+
+int thread_count() {
+  int n = g_thread_count.load(std::memory_order_relaxed);
+  if (n == 0) {
+    n = default_thread_count();
+    g_thread_count.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void set_thread_count(int n) {
+  g_thread_count.store(n < 1 ? 1 : n, std::memory_order_relaxed);
+}
+
+int init_threads_from_cli(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n < 1) {
+        throw std::invalid_argument("--threads expects a positive integer");
+      }
+      set_thread_count(n);
+      for (int j = i + 2; j < argc; ++j) argv[j - 2] = argv[j];
+      argc -= 2;
+      return thread_count();
+    }
+    const char* prefix = "--threads=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      const int n = std::atoi(argv[i] + std::strlen(prefix));
+      if (n < 1) {
+        throw std::invalid_argument("--threads expects a positive integer");
+      }
+      set_thread_count(n);
+      for (int j = i + 1; j < argc; ++j) argv[j - 1] = argv[j];
+      --argc;
+      return thread_count();
+    }
+  }
+  set_thread_count(default_thread_count());
+  return thread_count();
+}
+
+void for_each_chunk(std::uint64_t n_chunks,
+                    const std::function<void(std::uint64_t)>& fn) {
+  if (n_chunks == 0) return;
+  const int threads = thread_count();
+  // Serial fallback: one thread, a nested region, or nothing to overlap.
+  if (threads <= 1 || n_chunks == 1 || g_in_parallel_region) {
+    for (std::uint64_t c = 0; c < n_chunks; ++c) fn(c);
+    return;
+  }
+  const int participants =
+      static_cast<int>(std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(threads), n_chunks));
+  Pool::instance().run(n_chunks, participants, fn);
+}
+
+std::uint64_t chunk_count(std::uint64_t n, std::uint64_t grain) {
+  if (n == 0) return 0;
+  if (grain < 1) grain = 1;
+  // Cap the chunk count so tiny grains on huge loops don't flood the pool;
+  // 256 chunks keep stealing effective at any plausible thread count while
+  // staying schedule-independent.
+  const std::uint64_t by_grain = (n + grain - 1) / grain;
+  return std::min<std::uint64_t>(by_grain, 256);
+}
+
+Range chunk_range(std::uint64_t n, std::uint64_t n_chunks, std::uint64_t c) {
+  const std::uint64_t base = n / n_chunks;
+  const std::uint64_t extra = n % n_chunks;
+  const std::uint64_t begin = c * base + std::min(c, extra);
+  const std::uint64_t size = base + (c < extra ? 1 : 0);
+  return Range{begin, begin + size};
+}
+
+void parallel_for(std::uint64_t n, const std::function<void(std::uint64_t)>& fn,
+                  std::uint64_t grain) {
+  const std::uint64_t n_chunks = chunk_count(n, grain);
+  if (n_chunks == 0) return;
+  for_each_chunk(n_chunks, [&](std::uint64_t c) {
+    const Range r = chunk_range(n, n_chunks, c);
+    for (std::uint64_t i = r.begin; i < r.end; ++i) fn(i);
+  });
+}
+
+}  // namespace convolve::par

@@ -63,6 +63,44 @@ double Xoshiro256::normal() {
   return r * std::cos(theta);
 }
 
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[4] = {
+      0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull, 0xA9582618E03FC9AAull,
+      0x39ABDC4529B1661Cull};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ull << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      next_u64();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+  have_cached_normal_ = false;
+}
+
+Xoshiro256 Xoshiro256::split(std::uint64_t i) const {
+  // Re-key through SplitMix64 over (state, stream index). The chain makes
+  // every output word depend on every state word and on i; a stream index
+  // is additionally domain-separated from plain seeds by the constant.
+  std::uint64_t x = 0x5EEDC0DE5EEDC0DEull ^ i;
+  for (const std::uint64_t word : state_) {
+    x ^= word;
+    (void)splitmix64(x);
+  }
+  Xoshiro256 child;
+  for (auto& word : child.state_) word = splitmix64(x);
+  child.have_cached_normal_ = false;
+  return child;
+}
+
 void Xoshiro256::fill_bytes(std::span<std::uint8_t> out) {
   std::size_t i = 0;
   while (i + 8 <= out.size()) {

@@ -28,13 +28,41 @@ struct SearchResult {
   unsigned order = 0;             // masking order d the search was run at
   double cost = 0.0;              // score under the requested goal
   std::uint64_t evaluations = 0;  // design points evaluated
+  /// Enumeration index of `choice` (see choice_for_index): explored-design
+  /// order metadata, and the explicit tie-break -- among equal-cost
+  /// equal-metrics designs the lowest configuration index wins, so sharded
+  /// parallel merges reproduce the serial representative exactly.
+  std::uint64_t config_index = 0;
 };
 
-/// Visit every configuration of `c`; the callback receives the current
-/// choice and its folded metrics. Returns the number of configurations.
+/// The canonical enumeration order: configuration `index` in [0,
+/// config_count) maps to a Choice with child 0 as the least-significant
+/// mixed-radix digit and the variant as the most significant -- exactly the
+/// order for_each_config visits. This is what lets the design space be
+/// sharded into contiguous index ranges whose concatenation is the serial
+/// visit order.
+Choice choice_for_index(const Component& c, std::uint64_t index);
+
+/// Inverse of choice_for_index.
+std::uint64_t config_index_of(const Component& c, const Choice& choice);
+
+/// Visit every configuration of `c` in enumeration order on the calling
+/// thread; the callback receives the current choice and its folded metrics.
+/// Returns the number of configurations.
 std::uint64_t for_each_config(
     const Component& c, unsigned d,
     const std::function<void(const Choice&, const Metrics&)>& fn);
+
+/// Parallel enumeration: the design space is sharded into contiguous index
+/// ranges (boundaries depend only on the space size, never the thread
+/// count) and `fn` receives (config_index, choice, metrics). `fn` must be
+/// safe to call concurrently for distinct indices; with one thread the
+/// calls happen in ascending index order on the caller. Returns the number
+/// of configurations.
+std::uint64_t for_each_config_indexed(
+    const Component& c, unsigned d,
+    const std::function<void(std::uint64_t, const Choice&, const Metrics&)>&
+        fn);
 
 /// Exhaustive search for a single goal.
 SearchResult exhaustive_search(const Component& c, unsigned d, Goal goal);
@@ -49,7 +77,11 @@ Choice random_choice(const Component& c, Xoshiro256& rng);
 
 /// Hill-climbing local search from `n_starts` random baselines. Each step
 /// evaluates all single-node variant changes and moves to the best
-/// improvement; terminates at a local optimum.
+/// improvement; terminates at a local optimum. Start `s` draws its baseline
+/// from the private stream rng.split(s) (the caller's generator is not
+/// advanced), so starts run in parallel and the result is identical for
+/// every thread count; ties between starts resolve to the lowest start
+/// index.
 SearchResult local_search(const Component& c, unsigned d, Goal goal,
                           int n_starts, Xoshiro256& rng);
 

@@ -1,8 +1,10 @@
 #include "convolve/hades/search.hpp"
 
 #include <limits>
-#include <tuple>
 #include <stdexcept>
+#include <tuple>
+
+#include "convolve/common/parallel.hpp"
 
 namespace convolve::hades {
 
@@ -61,7 +63,98 @@ NodeRef locate(const Component& root, Choice& ch,
   return {c, cur};
 }
 
+// Enumeration grain: big enough that chunk setup (choice_for_index decode)
+// is noise, small enough that work stealing balances uneven metric folds.
+constexpr std::uint64_t kEnumGrain = 1024;
+
+// Shared shard walker: decode the shard's first configuration, then step
+// the odometer, handing (global_index, choice, metrics) to `fn` in
+// ascending index order within the shard.
+template <typename Fn>
+void walk_shard(const Component& c, unsigned d, par::Range r, Fn&& fn) {
+  if (r.begin >= r.end) return;
+  Choice ch = choice_for_index(c, r.begin);
+  for (std::uint64_t i = r.begin; i < r.end; ++i) {
+    fn(i, ch, evaluate(c, ch, d));
+    advance(c, ch);
+  }
+}
+
+// Lexicographic metrics key used for deterministic tie-breaking among
+// equal-cost designs.
+std::tuple<double, double, double> metrics_key(const Metrics& m) {
+  return std::tuple{m.area_ge, m.latency_cc, m.rand_bits};
+}
+
+// The explicit accumulation rule (ISSUE 2 bugfix): a candidate replaces the
+// incumbent iff it has strictly lower cost, or equal cost and a strictly
+// smaller (area, latency, randomness) key, or equal cost and key and a
+// strictly lower configuration index. Serial accumulation in index order
+// and sharded merges in shard order both converge to the same
+// representative under this rule.
+bool better_design(double cost, const Metrics& m, std::uint64_t index,
+                   const SearchResult& incumbent) {
+  if (cost != incumbent.cost) return cost < incumbent.cost;
+  if (metrics_key(m) != metrics_key(incumbent.metrics)) {
+    return metrics_key(m) < metrics_key(incumbent.metrics);
+  }
+  return index < incumbent.config_index;
+}
+
+SearchResult unexplored_result() {
+  SearchResult r;
+  r.cost = std::numeric_limits<double>::infinity();
+  r.config_index = std::numeric_limits<std::uint64_t>::max();
+  return r;
+}
+
 }  // namespace
+
+Choice choice_for_index(const Component& c, std::uint64_t index) {
+  const auto& variants = c.variants();
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    const Variant& v = variants[vi];
+    std::uint64_t size = 1;
+    for (const auto& child : v.children) size *= child->config_count();
+    if (index < size) {
+      Choice ch;
+      ch.variant = static_cast<int>(vi);
+      for (const auto& child : v.children) {
+        const std::uint64_t count = child->config_count();
+        ch.children.push_back(choice_for_index(*child, index % count));
+        index /= count;
+      }
+      return ch;
+    }
+    index -= size;
+  }
+  throw std::out_of_range("choice_for_index: index beyond design space");
+}
+
+std::uint64_t config_index_of(const Component& c, const Choice& choice) {
+  const auto& variants = c.variants();
+  if (choice.variant < 0 ||
+      choice.variant >= static_cast<int>(variants.size())) {
+    throw std::out_of_range("config_index_of: bad variant");
+  }
+  std::uint64_t base = 0;
+  for (int vi = 0; vi < choice.variant; ++vi) {
+    std::uint64_t size = 1;
+    for (const auto& child :
+         variants[static_cast<std::size_t>(vi)].children) {
+      size *= child->config_count();
+    }
+    base += size;
+  }
+  const Variant& v = variants[static_cast<std::size_t>(choice.variant)];
+  std::uint64_t offset = 0;
+  std::uint64_t mult = 1;
+  for (std::size_t i = 0; i < v.children.size(); ++i) {
+    offset += config_index_of(*v.children[i], choice.children[i]) * mult;
+    mult *= v.children[i]->config_count();
+  }
+  return base + offset;
+}
 
 std::uint64_t for_each_config(
     const Component& c, unsigned d,
@@ -75,35 +168,59 @@ std::uint64_t for_each_config(
   return n;
 }
 
+std::uint64_t for_each_config_indexed(
+    const Component& c, unsigned d,
+    const std::function<void(std::uint64_t, const Choice&, const Metrics&)>&
+        fn) {
+  const std::uint64_t total = c.config_count();
+  const std::uint64_t n_chunks = par::chunk_count(total, kEnumGrain);
+  par::for_each_chunk(n_chunks, [&](std::uint64_t chunk) {
+    walk_shard(c, d, par::chunk_range(total, n_chunks, chunk), fn);
+  });
+  return total;
+}
+
 std::vector<SearchResult> exhaustive_search_multi(
     const Component& c, unsigned d, std::span<const Goal> goals) {
-  std::vector<SearchResult> best(goals.size());
-  for (auto& b : best) b.cost = std::numeric_limits<double>::infinity();
+  const std::uint64_t total = c.config_count();
 
-  Choice ch = default_choice(c);
-  std::uint64_t n = 0;
-  do {
-    const Metrics m = evaluate(c, ch, d);
-    ++n;
-    for (std::size_t g = 0; g < goals.size(); ++g) {
-      const double s = score(m, goals[g]);
-      // Deterministic tie-break: on equal score prefer the design with
-      // smaller (area, latency, randomness), lexicographically.
-      const auto key = [](const Metrics& x) {
-        return std::tuple{x.area_ge, x.latency_cc, x.rand_bits};
-      };
-      if (s < best[g].cost ||
-          (s == best[g].cost && key(m) < key(best[g].metrics))) {
-        best[g].cost = s;
-        best[g].metrics = m;
-        best[g].choice = ch;
-      }
-    }
-  } while (advance(c, ch));
+  using Frontier = std::vector<SearchResult>;
+  Frontier init(goals.size(), unexplored_result());
+
+  Frontier best = par::parallel_reduce(
+      total, kEnumGrain, std::move(init),
+      [&](std::uint64_t, par::Range r) {
+        Frontier local(goals.size(), unexplored_result());
+        walk_shard(c, d, r,
+                   [&](std::uint64_t index, const Choice& ch,
+                       const Metrics& m) {
+                     for (std::size_t g = 0; g < goals.size(); ++g) {
+                       const double s = score(m, goals[g]);
+                       if (better_design(s, m, index, local[g])) {
+                         local[g].cost = s;
+                         local[g].metrics = m;
+                         local[g].choice = ch;
+                         local[g].config_index = index;
+                       }
+                     }
+                   });
+        return local;
+      },
+      [&](Frontier acc, Frontier part) {
+        // Shards merge in ascending index order, so the incumbent always
+        // has the smaller config index on exact ties.
+        for (std::size_t g = 0; g < goals.size(); ++g) {
+          if (better_design(part[g].cost, part[g].metrics,
+                            part[g].config_index, acc[g])) {
+            acc[g] = std::move(part[g]);
+          }
+        }
+        return acc;
+      });
 
   for (auto& b : best) {
     b.order = d;
-    b.evaluations = n;
+    b.evaluations = total;
   }
   return best;
 }
@@ -115,23 +232,40 @@ SearchResult exhaustive_search(const Component& c, unsigned d, Goal goal) {
 
 SearchResult constrained_search(const Component& c, unsigned d, Goal goal,
                                 const Constraints& budget) {
-  SearchResult best;
-  best.cost = std::numeric_limits<double>::infinity();
-  Choice ch = default_choice(c);
-  std::uint64_t n = 0;
-  do {
-    const Metrics m = evaluate(c, ch, d);
-    ++n;
-    if (!satisfies(m, budget)) continue;
-    const double s = score(m, goal);
-    if (s < best.cost) {
-      best.cost = s;
-      best.metrics = m;
-      best.choice = ch;
-    }
-  } while (advance(c, ch));
+  const std::uint64_t total = c.config_count();
+
+  SearchResult best = par::parallel_reduce(
+      total, kEnumGrain, unexplored_result(),
+      [&](std::uint64_t, par::Range r) {
+        SearchResult local = unexplored_result();
+        walk_shard(c, d, r,
+                   [&](std::uint64_t index, const Choice& ch,
+                       const Metrics& m) {
+                     if (!satisfies(m, budget)) return;
+                     const double s = score(m, goal);
+                     // Feasible designs keep the legacy first-wins rule:
+                     // strictly better cost, or equal cost with a lower
+                     // configuration index.
+                     if (s < local.cost ||
+                         (s == local.cost && index < local.config_index)) {
+                       local.cost = s;
+                       local.metrics = m;
+                       local.choice = ch;
+                       local.config_index = index;
+                     }
+                   });
+        return local;
+      },
+      [](SearchResult acc, SearchResult part) {
+        if (part.cost < acc.cost ||
+            (part.cost == acc.cost && part.config_index < acc.config_index)) {
+          return part;
+        }
+        return acc;
+      });
+
   best.order = d;
-  best.evaluations = n;
+  best.evaluations = total;
   return best;
 }
 
@@ -145,78 +279,110 @@ Choice random_choice(const Component& c, Xoshiro256& rng) {
   return ch;
 }
 
+namespace {
+
+struct StartOutcome {
+  Choice choice;
+  Metrics metrics;
+  double cost = std::numeric_limits<double>::infinity();
+  std::uint64_t evaluations = 0;
+};
+
+// One hill-climbing descent from a random baseline drawn from `rng`.
+StartOutcome climb(const Component& c, unsigned d, Goal goal,
+                   Xoshiro256& rng) {
+  StartOutcome out;
+  Choice current = random_choice(c, rng);
+  Metrics current_metrics = evaluate(c, current, d);
+  double current_cost = score(current_metrics, goal);
+  ++out.evaluations;
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::vector<std::vector<int>> paths;
+    std::vector<int> scratch;
+    collect_paths(c, current, scratch, paths);
+
+    Choice best_neighbor;
+    Metrics best_neighbor_metrics;
+    double best_neighbor_cost = current_cost;
+
+    for (const auto& path : paths) {
+      // Number of variants at this node.
+      Choice probe = current;
+      const NodeRef node = locate(c, probe, path);
+      const int n_variants =
+          static_cast<int>(node.component->variants().size());
+      const int original = node.choice->variant;
+      for (int alt = 0; alt < n_variants; ++alt) {
+        if (alt == original) continue;
+        Choice neighbor = current;
+        const NodeRef nref = locate(c, neighbor, path);
+        nref.choice->variant = alt;
+        // Re-shape children for the new variant.
+        const Variant& nv =
+            nref.component->variants()[static_cast<std::size_t>(alt)];
+        nref.choice->children.clear();
+        for (const auto& child : nv.children) {
+          nref.choice->children.push_back(default_choice(*child));
+        }
+        const Metrics m = evaluate(c, neighbor, d);
+        ++out.evaluations;
+        const double s = score(m, goal);
+        if (s < best_neighbor_cost) {
+          best_neighbor_cost = s;
+          best_neighbor = std::move(neighbor);
+          best_neighbor_metrics = m;
+        }
+      }
+    }
+
+    if (best_neighbor_cost < current_cost) {
+      current = std::move(best_neighbor);
+      current_metrics = best_neighbor_metrics;
+      current_cost = best_neighbor_cost;
+      improved = true;
+    }
+  }
+
+  out.choice = std::move(current);
+  out.metrics = current_metrics;
+  out.cost = current_cost;
+  return out;
+}
+
+}  // namespace
+
 SearchResult local_search(const Component& c, unsigned d, Goal goal,
                           int n_starts, Xoshiro256& rng) {
   if (n_starts <= 0) throw std::invalid_argument("local_search: n_starts<=0");
 
+  // Each start climbs from its own rng.split(start) stream, so the starts
+  // are order- and thread-count-independent.
+  std::vector<StartOutcome> outcomes(static_cast<std::size_t>(n_starts));
+  par::parallel_for(
+      static_cast<std::uint64_t>(n_starts),
+      [&](std::uint64_t start) {
+        Xoshiro256 stream = rng.split(start);
+        outcomes[static_cast<std::size_t>(start)] = climb(c, d, goal, stream);
+      });
+
+  // Merge in start order: strict < keeps the lowest start index on ties.
   SearchResult best;
   best.order = d;
   best.cost = std::numeric_limits<double>::infinity();
   std::uint64_t evals = 0;
-
-  for (int start = 0; start < n_starts; ++start) {
-    Choice current = random_choice(c, rng);
-    Metrics current_metrics = evaluate(c, current, d);
-    double current_cost = score(current_metrics, goal);
-    ++evals;
-
-    bool improved = true;
-    while (improved) {
-      improved = false;
-      std::vector<std::vector<int>> paths;
-      std::vector<int> scratch;
-      collect_paths(c, current, scratch, paths);
-
-      Choice best_neighbor;
-      Metrics best_neighbor_metrics;
-      double best_neighbor_cost = current_cost;
-
-      for (const auto& path : paths) {
-        // Number of variants at this node.
-        Choice probe = current;
-        const NodeRef node = locate(c, probe, path);
-        const int n_variants =
-            static_cast<int>(node.component->variants().size());
-        const int original = node.choice->variant;
-        for (int alt = 0; alt < n_variants; ++alt) {
-          if (alt == original) continue;
-          Choice neighbor = current;
-          const NodeRef nref = locate(c, neighbor, path);
-          nref.choice->variant = alt;
-          // Re-shape children for the new variant.
-          const Variant& nv = nref.component
-                                  ->variants()[static_cast<std::size_t>(alt)];
-          nref.choice->children.clear();
-          for (const auto& child : nv.children) {
-            nref.choice->children.push_back(default_choice(*child));
-          }
-          const Metrics m = evaluate(c, neighbor, d);
-          ++evals;
-          const double s = score(m, goal);
-          if (s < best_neighbor_cost) {
-            best_neighbor_cost = s;
-            best_neighbor = std::move(neighbor);
-            best_neighbor_metrics = m;
-          }
-        }
-      }
-
-      if (best_neighbor_cost < current_cost) {
-        current = std::move(best_neighbor);
-        current_metrics = best_neighbor_metrics;
-        current_cost = best_neighbor_cost;
-        improved = true;
-      }
-    }
-
-    if (current_cost < best.cost) {
-      best.cost = current_cost;
-      best.metrics = current_metrics;
-      best.choice = std::move(current);
+  for (auto& out : outcomes) {
+    evals += out.evaluations;
+    if (out.cost < best.cost) {
+      best.cost = out.cost;
+      best.metrics = out.metrics;
+      best.choice = std::move(out.choice);
     }
   }
-
   best.evaluations = evals;
+  best.config_index = config_index_of(c, best.choice);
   return best;
 }
 
@@ -282,10 +448,6 @@ std::vector<ParetoEntry> pareto_fold(const Component& c, unsigned d) {
       }
       if (pos == fronts.size()) break;
       if (fronts.empty()) break;
-    }
-    if (fronts.empty()) {
-      // No children: single entry already added by the loop above? No --
-      // the while(true) body runs once with empty product, so nothing to do.
     }
   }
   prune_within_variant(result);

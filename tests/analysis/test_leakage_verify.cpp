@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "convolve/analysis/aes_sbox.hpp"
+#include "convolve/common/parallel.hpp"
 #include "convolve/analysis/design_check.hpp"
 #include "convolve/analysis/leakage_verify.hpp"
 #include "convolve/common/rng.hpp"
@@ -240,6 +242,157 @@ TEST(DesignCheck, VerifiesExploredDesignAtItsOrder) {
   EXPECT_EQ(report.probe_order, 1u);
   EXPECT_GT(report.masked_gates, 0u);
   EXPECT_TRUE(report.verified());
+}
+
+// Parallel discharge: determinism and soundness under concurrency ---------
+
+void expect_reports_identical(const SymbolicReport& a, const SymbolicReport& b,
+                              const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.secure, b.secure);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.secret_a, b.secret_a);
+  EXPECT_EQ(a.secret_b, b.secret_b);
+  EXPECT_EQ(a.probe_sets_checked, b.probe_sets_checked);
+  EXPECT_EQ(a.coverage_rejected, b.coverage_rejected);
+  EXPECT_EQ(a.simplified_away, b.simplified_away);
+  EXPECT_EQ(a.fallback_checked, b.fallback_checked);
+}
+
+/// The determinism contract: with ample budget, the sharded parallel scan
+/// must reproduce the serial report field for field (counters, witness
+/// probe set, secrets) at every thread count.
+TEST(LeakageVerifyParallel, ReportIdenticalAcrossThreadCounts) {
+  struct Case {
+    const char* name;
+    MaskedCircuit masked;
+    int plain_inputs;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"dom-and-d1",
+                   masking::mask_circuit(masking::single_and_circuit(), 1), 2});
+  cases.push_back({"dom-and-d2",
+                   masking::mask_circuit(masking::single_and_circuit(), 2), 2});
+  cases.push_back({"hpc2-d1", masking::hpc2_and_gadget(1), 2});
+  cases.push_back({"hpc2-d2", masking::hpc2_and_gadget(2), 2});
+  cases.push_back({"adder-d1",
+                   masking::mask_circuit(masking::full_adder_circuit(), 1), 3});
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    cases.push_back(
+        {"random", masking::mask_circuit(random_circuit(seed, 3, 6), 1), 3});
+  }
+
+  for (const auto& kase : cases) {
+    for (unsigned order = 1; order <= 2; ++order) {
+      for (const bool glitch : {false, true}) {
+        SymbolicOptions options;
+        options.glitch_extended = glitch;
+        SymbolicReport serial;
+        {
+          par::ScopedThreadCount t(1);
+          serial = verify_probing_symbolic(kase.masked, kase.plain_inputs,
+                                           order, options);
+        }
+        for (int threads : {2, 4, 7}) {
+          par::ScopedThreadCount t(threads);
+          const SymbolicReport parallel = verify_probing_symbolic(
+              kase.masked, kase.plain_inputs, order, options);
+          const std::string what = std::string(kase.name) + " order " +
+                                   std::to_string(order) +
+                                   (glitch ? " glitch" : "") + " threads " +
+                                   std::to_string(threads);
+          expect_reports_identical(serial, parallel, what.c_str());
+        }
+      }
+    }
+  }
+}
+
+/// Confirmed leaks found by the parallel scan must still replay through the
+/// exhaustive machinery (the witness is real, not a merge artifact).
+TEST(LeakageVerifyParallel, ParallelLeakWitnessesReplay) {
+  par::ScopedThreadCount t(4);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto masked = masking::mask_circuit(random_circuit(seed, 3, 6), 1);
+    for (unsigned order = 1; order <= 2; ++order) {
+      const auto report = verify_probing_symbolic(masked, 3, order);
+      if (report.verdict == Verdict::kLeak) {
+        EXPECT_TRUE(
+            masking::replay_counterexample(masked, report.to_probing_report()))
+            << "seed=" << seed << " order=" << order;
+      }
+    }
+  }
+}
+
+/// Soundness under budget exhaustion: once the cumulative fallback budget
+/// runs dry, sets degrade to kPotentialLeak -- the verdict may depend on
+/// the schedule, but it must NEVER be kSecure when the full-budget verdict
+/// was not, and never a confirmed kLeak on a circuit whose full-budget scan
+/// proves secure. Repeated runs stress different interleavings.
+TEST(LeakageVerifyParallel, BudgetExhaustionDegradesSoundly) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto masked = masking::mask_circuit(random_circuit(seed, 3, 6), 1);
+    SymbolicReport full;
+    {
+      par::ScopedThreadCount t(1);
+      full = verify_probing_symbolic(masked, 3, 2);
+    }
+    for (const int total_bits : {0, 4, 8}) {
+      SymbolicOptions starved;
+      starved.fallback_total_bits = total_bits;
+      for (const int threads : {1, 2, 7}) {
+        par::ScopedThreadCount t(threads);
+        for (int rep = 0; rep < 3; ++rep) {
+          const auto report = verify_probing_symbolic(masked, 3, 2, starved);
+          SCOPED_TRACE("seed=" + std::to_string(seed) + " bits=" +
+                       std::to_string(total_bits) + " threads=" +
+                       std::to_string(threads));
+          if (full.verdict != Verdict::kSecure) {
+            // A starved scan must not upgrade an insecure circuit.
+            EXPECT_NE(report.verdict, Verdict::kSecure);
+          }
+          if (full.verdict == Verdict::kSecure) {
+            // A starved scan cannot fabricate a counterexample.
+            EXPECT_NE(report.verdict, Verdict::kLeak);
+          }
+          if (report.verdict == Verdict::kLeak) {
+            EXPECT_TRUE(masking::replay_counterexample(
+                masked, report.to_probing_report()));
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The glitch recombiner leak (a confirmed, fallback-verified leak) must be
+/// found identically at every thread count.
+TEST(LeakageVerifyParallel, GlitchLeakStableAcrossThreadCounts) {
+  Circuit c;
+  const int a0 = c.add_input();
+  const int a1 = c.add_input();
+  const int r = c.add_random();
+  c.mark_output(c.add_xor(c.add_xor(a0, r), a1));
+  MaskedCircuit mc;
+  mc.circuit = c;
+  mc.order = 1;
+  mc.input_share_base = {0};
+  SymbolicOptions glitch;
+  glitch.glitch_extended = true;
+
+  SymbolicReport serial;
+  {
+    par::ScopedThreadCount t(1);
+    serial = verify_probing_symbolic(mc, 1, 1, glitch);
+  }
+  ASSERT_EQ(serial.verdict, Verdict::kLeak);
+  for (int threads : {2, 4, 7}) {
+    par::ScopedThreadCount t(threads);
+    const auto parallel = verify_probing_symbolic(mc, 1, 1, glitch);
+    expect_reports_identical(serial, parallel, "glitch recombiner");
+  }
 }
 
 }  // namespace

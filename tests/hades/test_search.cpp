@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+#include <tuple>
+
+#include "convolve/common/parallel.hpp"
 #include "convolve/hades/library.hpp"
 
 namespace convolve::hades {
@@ -147,6 +152,155 @@ TEST(Search, ParetoFoldMatchesExhaustiveOnKyberCpa) {
   const auto exact = exhaustive_search(*c, 1, Goal::kAreaLatencyProduct);
   EXPECT_NEAR(pareto_optimal_cost(*c, 1, Goal::kAreaLatencyProduct),
               exact.cost, 1e-6 * exact.cost);
+}
+
+// --- Enumeration index bijection -----------------------------------------
+
+TEST(Search, ConfigIndexMatchesEnumerationOrder) {
+  for (auto factory : {&library::adder_mod_q, &library::keccak,
+                       &library::chacha20, &library::kyber_cpa}) {
+    const auto c = factory();
+    std::uint64_t i = 0;
+    for_each_config(*c, 1, [&](const Choice& ch, const Metrics&) {
+      if (i < 64 || i % 97 == 0) {  // sample: full sweep is redundant
+        EXPECT_EQ(config_index_of(*c, ch), i) << c->name();
+        EXPECT_EQ(describe(*c, choice_for_index(*c, i)), describe(*c, ch));
+      }
+      ++i;
+    });
+    EXPECT_EQ(i, c->config_count());
+  }
+}
+
+TEST(Search, IndexedEnumerationCoversSpaceOnce) {
+  const auto c = library::chacha20();
+  for (int threads : {1, 4}) {
+    par::ScopedThreadCount t(threads);
+    std::vector<int> hits(c->config_count(), 0);
+    const std::uint64_t n = for_each_config_indexed(
+        *c, 1, [&](std::uint64_t index, const Choice& ch, const Metrics& m) {
+          ++hits[index];  // distinct index per call: no race
+          EXPECT_EQ(m, evaluate(*c, ch, 1));
+        });
+    EXPECT_EQ(n, c->config_count());
+    for (std::uint64_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1);
+  }
+}
+
+// --- Serial equivalence across thread counts -----------------------------
+// Table I row x thread count: the parallel sharded enumeration and the
+// split-stream local search must reproduce the serial results bit for bit,
+// including the explored-design order metadata (config_index).
+
+using EquivParam = std::tuple<int, int>;  // (table1 row, thread count)
+class ParallelSearchEquivTest : public ::testing::TestWithParam<EquivParam> {};
+
+TEST_P(ParallelSearchEquivTest, ExhaustiveFrontierMatchesSerial) {
+  const auto [row, threads] = GetParam();
+  const auto entry = library::table1_suite()[static_cast<std::size_t>(row)];
+  const auto c = entry.factory();
+  const Goal goals[] = {Goal::kArea, Goal::kLatency, Goal::kRandomness,
+                        Goal::kAreaLatencyProduct,
+                        Goal::kAreaLatencyRandProduct};
+  std::vector<SearchResult> serial, parallel;
+  {
+    par::ScopedThreadCount t(1);
+    serial = exhaustive_search_multi(*c, 1, goals);
+  }
+  {
+    par::ScopedThreadCount t(threads);
+    parallel = exhaustive_search_multi(*c, 1, goals);
+  }
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t g = 0; g < serial.size(); ++g) {
+    SCOPED_TRACE(goal_name(goals[g]));
+    EXPECT_EQ(parallel[g].cost, serial[g].cost);  // bit-identical doubles
+    EXPECT_EQ(parallel[g].metrics, serial[g].metrics);
+    EXPECT_EQ(parallel[g].config_index, serial[g].config_index);
+    EXPECT_EQ(parallel[g].evaluations, serial[g].evaluations);
+    EXPECT_EQ(parallel[g].evaluations, entry.expected_configs);
+    EXPECT_EQ(describe(*c, parallel[g].choice), describe(*c, serial[g].choice));
+  }
+}
+
+TEST_P(ParallelSearchEquivTest, LocalSearchMatchesSerial) {
+  const auto [row, threads] = GetParam();
+  const auto entry = library::table1_suite()[static_cast<std::size_t>(row)];
+  const auto c = entry.factory();
+  Xoshiro256 rng_serial(0xD5E), rng_parallel(0xD5E);
+  SearchResult serial, parallel;
+  {
+    par::ScopedThreadCount t(1);
+    serial = local_search(*c, 1, Goal::kAreaLatencyProduct, 6, rng_serial);
+  }
+  {
+    par::ScopedThreadCount t(threads);
+    parallel = local_search(*c, 1, Goal::kAreaLatencyProduct, 6, rng_parallel);
+  }
+  EXPECT_EQ(parallel.cost, serial.cost);
+  EXPECT_EQ(parallel.metrics, serial.metrics);
+  EXPECT_EQ(parallel.config_index, serial.config_index);
+  EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  EXPECT_EQ(describe(*c, parallel.choice), describe(*c, serial.choice));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, ParallelSearchEquivTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(1, 2, 4, 7)),
+    [](const auto& info) {
+      const auto entry = library::table1_suite()[static_cast<std::size_t>(
+          std::get<0>(info.param))];
+      std::string name;
+      for (const char* p = entry.name; *p; ++p) {
+        if (std::isalnum(static_cast<unsigned char>(*p))) name += *p;
+      }
+      return name + "x" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- Explicit tie-breaking ------------------------------------------------
+// Regression for the strict-< accumulation bug: among equal-cost designs
+// the representative is now defined (lowest config index), not an accident
+// of visit order -- and therefore stable under sharded parallel merges.
+
+ComponentPtr tied_space(double first_cost) {
+  // Six leaf variants; all but variant 0 share identical metrics, variant 0
+  // costs `first_cost` area. With first_cost equal to the tied value the
+  // whole space is one big tie.
+  std::vector<Variant> vs;
+  for (int i = 0; i < 6; ++i) {
+    const double area = i == 0 ? first_cost : 8.0;
+    vs.push_back(leaf("v" + std::to_string(i), [area](unsigned) {
+      Metrics m;
+      m.area_ge = area;
+      m.latency_cc = 2.0;
+      m.rand_bits = 4.0;
+      return m;
+    }));
+  }
+  return std::make_shared<Component>("tied_space", std::move(vs));
+}
+
+TEST(Search, FullyTiedSpaceResolvesToLowestConfigIndex) {
+  const auto c = tied_space(8.0);  // every design identical
+  for (int threads : {1, 2, 4, 7}) {
+    par::ScopedThreadCount t(threads);
+    const auto r = exhaustive_search(*c, 0, Goal::kAreaLatencyProduct);
+    EXPECT_EQ(r.config_index, 0u) << "threads=" << threads;
+    EXPECT_EQ(r.evaluations, 6u);
+  }
+}
+
+TEST(Search, TiedOptimaResolveToLowestConfigIndex) {
+  const auto c = tied_space(9.0);  // variant 0 worse; 1..5 tied optimal
+  for (int threads : {1, 2, 4, 7}) {
+    par::ScopedThreadCount t(threads);
+    const auto r = exhaustive_search(*c, 0, Goal::kArea);
+    EXPECT_EQ(r.config_index, 1u) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(r.cost, 8.0);
+    EXPECT_EQ(describe(*c, r.choice),
+              describe(*c, choice_for_index(*c, 1)));
+  }
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 //              documented hazards and never fail the run; they are printed
 //              for visibility.
 //   suite...   restrict to the named suites (default: all).
+//   --threads N  worker threads for the parallel suites (also settable via
+//              CONVOLVE_THREADS; default: hardware concurrency).
 #include <cstdio>
 #include <cstring>
 #include <set>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "convolve/analysis/ct_taint.hpp"
+#include "convolve/common/parallel.hpp"
 
 namespace {
 
@@ -42,6 +45,7 @@ void print_result(const LintResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  convolve::par::init_threads_from_cli(argc, argv);
   bool strict = false;
   std::set<std::string> only;
   for (int i = 1; i < argc; ++i) {
@@ -49,7 +53,7 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "ct_lint: unknown option '%s'\n", argv[i]);
-      std::fprintf(stderr, "usage: ct_lint [--strict] [suite...]\n");
+      std::fprintf(stderr, "usage: ct_lint [--strict] [--threads N] [suite...]\n");
       return 2;
     } else {
       only.insert(argv[i]);
