@@ -8,6 +8,7 @@
 // that explains why 8 KB fails and 128 KB suffices).
 #include <cstdio>
 
+#include "convolve/tee/rv32.hpp"
 #include "convolve/tee/security_monitor.hpp"
 #include "convolve/common/parallel.hpp"
 
@@ -60,6 +61,49 @@ ConfigResult run_config(bool pq) {
   return out;
 }
 
+// Enclave code execution through the SM: a U-mode RV32 workload runs on
+// the decode-cache engine inside the enclave's PMP window, exits with
+// ecall; a second program that dereferences OS memory must fault instead.
+struct EnclaveRunResult {
+  std::uint64_t retired = 0;
+  bool clean_exit = false;
+  bool escape_faulted = false;
+};
+
+EnclaveRunResult run_enclave_workload() {
+  namespace rv = rv32asm;
+  EnclaveRunResult out;
+  const Bootrom rom({false}, DeviceKeys::from_entropy(Bytes(32, 0x42)));
+  const BootRecord boot = rom.boot(Bytes(8192, 0xAB));
+  Machine machine(1 << 20);
+  SecurityMonitor sm(machine, boot, SmConfig{});
+
+  // 1000 iterations of a 4-instruction ALU loop, then ecall back to the SM.
+  const Bytes compute = rv::assemble({
+      rv::addi(1, 0, 1000),
+      rv::addi(2, 0, 0),
+      // loop:
+      rv::add(2, 2, 1),
+      rv::xori(2, 2, 0x15),
+      rv::addi(1, 1, -1),
+      rv::bne(1, 0, -12),
+      rv::ecall(),
+  });
+  const int id = sm.create_enclave(compute, 8192);
+  const auto r = sm.run_enclave_program(id, 100000);
+  out.retired = r.steps;
+  out.clean_exit =
+      r.trap.has_value() && r.trap->cause == TrapCause::kEcall;
+
+  // Escape attempt: load from address 0 (the SM region / OS world).
+  const Bytes escape = rv::assemble({rv::lw(1, 0, 0), rv::ecall()});
+  const int rogue = sm.create_enclave(escape, 8192);
+  const auto e = sm.run_enclave_program(rogue, 100);
+  out.escape_faulted =
+      e.trap.has_value() && e.trap->cause == TrapCause::kLoadAccessFault;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,8 +138,18 @@ int main(int argc, char** argv) {
   std::printf("Attestation verification: classical %s, PQ hybrid %s.\n",
               classical.attest_ok ? "ok" : "FAILED",
               pq.attest_ok ? "ok" : "FAILED");
+
+  const EnclaveRunResult enclave_run = run_enclave_workload();
+  std::printf("\nEnclave execution (U-mode RV32 under the enclave PMP "
+              "view): %llu instructions retired, %s; OS-memory escape "
+              "attempt %s.\n",
+              static_cast<unsigned long long>(enclave_run.retired),
+              enclave_run.clean_exit ? "clean ecall exit" : "DID NOT EXIT",
+              enclave_run.escape_faulted ? "faulted as required"
+                                         : "WAS NOT CAUGHT");
   return (classical.attest_ok && pq.attest_ok && pq.overflowed_at_8k &&
-          classical.report_bytes == 1320 && pq.report_bytes == 7472)
+          classical.report_bytes == 1320 && pq.report_bytes == 7472 &&
+          enclave_run.clean_exit && enclave_run.escape_faulted)
              ? 0
              : 1;
 }

@@ -278,8 +278,9 @@ void Kernel::kill_task(int task_id, const std::string& reason) {
   release_peripherals_of(task_id);
   events_.push_back({tick_, task_id, EventType::kTaskKilled, reason});
   if (config_.restart_killed_tasks) {
-    // Wipe the task's region and make it ready again.
-    machine_.store(t.base, Bytes(t.size, 0), PrivMode::kMachine);
+    // Wipe the task's region and make it ready again (allocation-free:
+    // no scratch zero-buffer the size of the region).
+    machine_.fill(t.base, t.size, 0, PrivMode::kMachine);
     t.state = TaskState::kReady;
     events_.push_back({tick_, task_id, EventType::kTaskRestarted, ""});
   }
@@ -393,10 +394,15 @@ int Kernel::count_events(EventType type) const {
 }
 
 bool Kernel::kernel_integrity_ok() const {
-  const Bytes canary =
-      machine_.load(kernel_data_addr(), 16, PrivMode::kMachine);
-  return std::all_of(canary.begin(), canary.end(),
-                     [](std::uint8_t b) { return b == kKernelCanary; });
+  // Allocation-free canary check through the machine's fast read path.
+  for (std::uint64_t off = 0; off < 16; ++off) {
+    std::uint8_t b = 0;
+    if (!machine_.read8(kernel_data_addr() + off, PrivMode::kMachine, b) ||
+        b != kKernelCanary) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace convolve::rtos

@@ -9,6 +9,7 @@
 // stack, which the authors fixed by raising it to 128 KB.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -71,6 +72,12 @@ class StackFrame {
 
 class Machine {
  public:
+  /// Memory page granule for decode-cache invalidation: every store bumps
+  /// the version counter of the page(s) it touches, so instruction caches
+  /// built over a page can be validated with one compare.
+  static constexpr std::uint64_t kPageShift = 12;
+  static constexpr std::uint64_t kPageBytes = 1ull << kPageShift;
+
   explicit Machine(std::size_t memory_bytes);
 
   PmpUnit& pmp() { return pmp_; }
@@ -82,20 +89,127 @@ class Machine {
   Bytes load(std::uint64_t addr, std::size_t len, PrivMode mode) const;
   std::uint8_t load_byte(std::uint64_t addr, PrivMode mode) const;
 
+  /// PMP-checked constant fill (`len` bytes of `value`), allocation-free
+  /// replacement for store(addr, Bytes(len, value), mode) used by the
+  /// region-wipe paths. Throws AccessFault like store.
+  void fill(std::uint64_t addr, std::size_t len, std::uint8_t value,
+            PrivMode mode);
+
   /// Fetch check (execution permission on a region).
   bool can_execute(std::uint64_t addr, std::size_t len, PrivMode mode) const;
 
   /// Instruction fetch: PMP execute permission, 32-bit little-endian.
   std::uint32_t fetch32(std::uint64_t addr, PrivMode mode) const;
 
-  /// Unchecked debug access for test setup/inspection only.
+  // Allocation-free fast path -------------------------------------------
+  //
+  // The hot interpreter loop uses these instead of load/store/fetch32:
+  // no Bytes allocation, no exception on the fault path (a bool status is
+  // returned and the caller raises the architectural trap), and the PMP
+  // decision is memoized per access type: the last allowed check caches
+  // the uniform-decision window from PmpUnit::check_region, so the common
+  // case (same region, same mode) is a few compares instead of a 16-entry
+  // scan. The memo is keyed by the PMP epoch and is therefore coherent
+  // across PMP reprogramming (enter_os/enter_enclave context switches).
+
+  bool read8(std::uint64_t addr, PrivMode mode, std::uint8_t& out) const {
+    if (!access_ok(addr, 1, mode, AccessType::kRead)) return false;
+    out = memory_[addr];
+    return true;
+  }
+  bool read16(std::uint64_t addr, PrivMode mode, std::uint16_t& out) const {
+    if (!access_ok(addr, 2, mode, AccessType::kRead)) return false;
+    out = static_cast<std::uint16_t>(
+        memory_[addr] | (static_cast<std::uint16_t>(memory_[addr + 1]) << 8));
+    return true;
+  }
+  bool read32(std::uint64_t addr, PrivMode mode, std::uint32_t& out) const {
+    if (!access_ok(addr, 4, mode, AccessType::kRead)) return false;
+    out = load_le32(memory_.data() + addr);
+    return true;
+  }
+  bool write8(std::uint64_t addr, std::uint8_t value, PrivMode mode) {
+    if (!access_ok(addr, 1, mode, AccessType::kWrite)) return false;
+    memory_[addr] = value;
+    touch_pages(addr, 1);
+    return true;
+  }
+  bool write16(std::uint64_t addr, std::uint16_t value, PrivMode mode) {
+    if (!access_ok(addr, 2, mode, AccessType::kWrite)) return false;
+    memory_[addr] = static_cast<std::uint8_t>(value);
+    memory_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    touch_pages(addr, 2);
+    return true;
+  }
+  bool write32(std::uint64_t addr, std::uint32_t value, PrivMode mode) {
+    if (!access_ok(addr, 4, mode, AccessType::kWrite)) return false;
+    store_le32(memory_.data() + addr, value);
+    touch_pages(addr, 4);
+    return true;
+  }
+  /// Non-throwing fetch: execute-permission check through the memo.
+  bool fetch32_fast(std::uint64_t addr, PrivMode mode,
+                    std::uint32_t& out) const {
+    if (!access_ok(addr, 4, mode, AccessType::kExecute)) return false;
+    out = load_le32(memory_.data() + addr);
+    return true;
+  }
+
+  /// Bounds + PMP decision for [addr, addr+len), memoized (see above).
+  bool access_ok(std::uint64_t addr, std::size_t len, PrivMode mode,
+                 AccessType type) const {
+    const std::uint64_t end = addr + len;
+    if (end > memory_.size() || end < addr) return false;
+    PmpMemo& m = memo_[static_cast<std::size_t>(type)];
+    if (m.epoch == pmp_.epoch() && m.mode == mode && addr >= m.lo &&
+        end <= m.hi) {
+      return true;
+    }
+    const auto r = pmp_.check_region(addr, len, mode, type, memory_.size());
+    if (!r.allowed) return false;
+    m.lo = r.lo;
+    m.hi = r.hi;
+    m.mode = mode;
+    m.epoch = pmp_.epoch();
+    return true;
+  }
+
+  /// Version counter of the page containing `addr` (bumped on stores).
+  std::uint32_t page_version(std::uint64_t addr) const {
+    return page_version_[addr >> kPageShift];
+  }
+
+  /// Direct read-only view of a page's bytes for decode caching; the
+  /// caller is responsible for the execute-permission check per fetch.
+  const std::uint8_t* page_data(std::uint64_t page_base) const {
+    return memory_.data() + page_base;
+  }
+
+  /// Unchecked debug access for test setup/inspection only. Writes made
+  /// through this span bypass page versioning and therefore do NOT
+  /// invalidate decoded-instruction caches.
   std::span<std::uint8_t> raw_memory() { return memory_; }
 
  private:
-  std::vector<std::uint8_t> memory_;
-  PmpUnit pmp_;
+  struct PmpMemo {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;  // lo == hi: empty (never matches)
+    PrivMode mode = PrivMode::kUser;
+    std::uint64_t epoch = ~0ull;  // never matches a real epoch initially
+  };
 
-  void bounds_check(std::uint64_t addr, std::size_t len) const;
+  std::vector<std::uint8_t> memory_;
+  std::vector<std::uint32_t> page_version_;
+  PmpUnit pmp_;
+  mutable std::array<PmpMemo, 3> memo_{};
+
+  void bounds_check(std::uint64_t addr, std::size_t len,
+                    AccessType type) const;
+  void touch_pages(std::uint64_t addr, std::size_t len) {
+    const std::uint64_t first = addr >> kPageShift;
+    const std::uint64_t last = (addr + len - 1) >> kPageShift;
+    for (std::uint64_t p = first; p <= last; ++p) ++page_version_[p];
+  }
 };
 
 }  // namespace convolve::tee

@@ -51,6 +51,29 @@ class PmpUnit {
   bool check(std::uint64_t addr, std::uint64_t len, PrivMode mode,
              AccessType type) const;
 
+  /// Result of check_region: the architectural decision for the access
+  /// plus, when `allowed`, the widest window [lo, hi) around the access
+  /// inside which every fully-contained access with the same privilege
+  /// mode and access type is decided identically (same matching entry, or
+  /// same M-mode default). Callers may cache the window until epoch()
+  /// changes; a denied access carries no reusable window.
+  struct RegionCheck {
+    bool allowed = false;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+
+  /// check() plus the uniform-decision window, used by Machine's
+  /// memoized fast path. `limit` caps the window (physical memory size).
+  RegionCheck check_region(std::uint64_t addr, std::uint64_t len,
+                           PrivMode mode, AccessType type,
+                           std::uint64_t limit) const;
+
+  /// Configuration generation counter: bumped by set_entry,
+  /// clear_unlocked and reset, so cached check_region windows can be
+  /// invalidated in O(1).
+  std::uint64_t epoch() const { return epoch_; }
+
   /// Clear all non-locked entries (what an OS could attempt); locked
   /// entries survive until hardware reset.
   void clear_unlocked();
@@ -65,6 +88,10 @@ class PmpUnit {
 
  private:
   std::array<PmpEntry, kEntries> entries_{};
+  std::uint64_t epoch_ = 0;
+
+  // Decoded address range [lo, hi) of entry i; hi <= lo means inactive.
+  void range_of(int index, std::uint64_t& lo, std::uint64_t& hi) const;
 
   // Does entry i match every byte of [addr, addr+len)?
   // Returns nullopt when the entry does not fully cover the range but

@@ -11,10 +11,17 @@
 // Traps (PMP faults, illegal instructions, ecall/ebreak) stop execution
 // and are reported to the embedder -- the security monitor or kernel
 // decides whether to kill, restart or service the hart.
+//
+// Two execution engines share the architectural state: step() is the
+// straightforward fetch-decode-execute reference interpreter, and run()
+// is a libriscv-style fast engine (per-page decoded-instruction cache +
+// allocation-free, exception-free memory path with memoized PMP lookups)
+// that is differentially tested to be bit-identical to the reference.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "convolve/tee/machine.hpp"
@@ -37,13 +44,45 @@ struct Trap {
   std::uint32_t tval;  // faulting address or raw instruction
 };
 
+/// Pre-decoded instruction: a flat handler index plus register/immediate
+/// operands, so the fast engine dispatches on one byte instead of
+/// re-extracting bit fields on every execution.
+enum class OpKind : std::uint8_t {
+  kIllegal = 0,
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kFence, kEcall, kEbreak,
+};
+
+struct DecodedInsn {
+  OpKind kind = OpKind::kIllegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  // Sign-extended immediate (I/S/B/J forms, pre-shifted for branches and
+  // jumps), upper immediate for LUI/AUIPC, shamt for immediate shifts, or
+  // the raw instruction word for kIllegal (trap tval).
+  std::int32_t imm = 0;
+};
+
+/// Decode one RV32IM instruction word. Strict: reserved funct7/funct3
+/// combinations (e.g. the SUB bit on AND, CSR-class SYSTEM encodings)
+/// decode to kIllegal rather than aliasing onto a nearby instruction.
+DecodedInsn decode_rv32(std::uint32_t inst);
+
 class Rv32Cpu {
  public:
   Rv32Cpu(Machine& machine, std::uint32_t entry_pc, PrivMode mode);
 
-  /// Execute one instruction. Returns a trap (pc NOT advanced past the
-  /// trapping instruction, except for ecall/ebreak where it is) or
-  /// nullopt on normal completion.
+  /// Execute one instruction via the reference interpreter. Returns a
+  /// trap (pc NOT advanced past the trapping instruction, except for
+  /// ecall/ebreak where it is) or nullopt on normal completion. This is
+  /// the oracle the fast engine is differentially tested against.
   std::optional<Trap> step();
 
   struct RunResult {
@@ -51,8 +90,17 @@ class Rv32Cpu {
     std::optional<Trap> trap;  // set when stopped by a trap
   };
 
-  /// Run until a trap or `max_steps` instructions.
+  /// Run until a trap or `max_steps` instructions on the fast engine:
+  /// decoded-instruction pages (validated against the machine's per-page
+  /// store versions, so self-modifying code re-decodes), allocation-free
+  /// memory accesses with memoized PMP windows, and no exceptions on the
+  /// per-instruction path. Architectural state (registers, pc, retired
+  /// count, trap cause/pc/tval) is bit-identical to run_interpreted.
   RunResult run(std::uint64_t max_steps);
+
+  /// Run the same contract on the legacy step() interpreter. Kept as the
+  /// reference implementation for differential testing and benchmarking.
+  RunResult run_interpreted(std::uint64_t max_steps);
 
   std::uint32_t pc() const { return pc_; }
   void set_pc(std::uint32_t pc) { pc_ = pc; }
@@ -63,11 +111,27 @@ class Rv32Cpu {
   std::uint64_t instructions_retired() const { return retired_; }
 
  private:
+  // Decoded-instruction cache: direct-mapped over PC pages. A slot holds
+  // one fully decoded 4 KB page; it is valid while the machine's store
+  // version of that page is unchanged (stores to executable regions bump
+  // it, invalidating stale decodes).
+  static constexpr std::size_t kPageInsts =
+      Machine::kPageBytes / 4;  // 32-bit instructions only
+  struct DecodedPage {
+    std::uint64_t base = ~0ull;  // page base address; all-ones = empty
+    std::uint32_t version = 0;   // Machine::page_version at decode time
+    std::array<DecodedInsn, kPageInsts> insts{};
+  };
+  static constexpr std::size_t kCacheSlots = 8;  // 8 x 4 KB of code
+
+  const DecodedPage* decoded_page(std::uint64_t page_base);
+
   Machine& machine_;
   std::uint32_t pc_;
   PrivMode mode_;
   std::array<std::uint32_t, 32> x_{};
   std::uint64_t retired_ = 0;
+  std::unique_ptr<std::array<DecodedPage, kCacheSlots>> dcache_;
 };
 
 /// Instruction encoders for building test/demo programs without an

@@ -1,5 +1,6 @@
 #include "convolve/tee/machine.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace convolve::tee {
@@ -37,25 +38,41 @@ void SimStack::pop(std::size_t bytes) {
   used_ = (bytes > used_) ? 0 : used_ - bytes;
 }
 
-Machine::Machine(std::size_t memory_bytes) : memory_(memory_bytes, 0) {}
+Machine::Machine(std::size_t memory_bytes)
+    : memory_(memory_bytes, 0),
+      page_version_((memory_bytes + kPageBytes - 1) >> kPageShift, 0) {}
 
-void Machine::bounds_check(std::uint64_t addr, std::size_t len) const {
+void Machine::bounds_check(std::uint64_t addr, std::size_t len,
+                           AccessType type) const {
   if (addr + len > memory_.size() || addr + len < addr) {
-    throw AccessFault(addr, AccessType::kRead);
+    throw AccessFault(addr, type);
   }
 }
 
 void Machine::store(std::uint64_t addr, ByteView data, PrivMode mode) {
-  bounds_check(addr, data.size());
+  bounds_check(addr, data.size(), AccessType::kWrite);
   if (!pmp_.check(addr, data.size(), mode, AccessType::kWrite)) {
     throw AccessFault(addr, AccessType::kWrite);
   }
   std::copy(data.begin(), data.end(),
             memory_.begin() + static_cast<std::ptrdiff_t>(addr));
+  if (!data.empty()) touch_pages(addr, data.size());
+}
+
+void Machine::fill(std::uint64_t addr, std::size_t len, std::uint8_t value,
+                   PrivMode mode) {
+  if (len == 0) return;
+  bounds_check(addr, len, AccessType::kWrite);
+  if (!pmp_.check(addr, len, mode, AccessType::kWrite)) {
+    throw AccessFault(addr, AccessType::kWrite);
+  }
+  std::fill(memory_.begin() + static_cast<std::ptrdiff_t>(addr),
+            memory_.begin() + static_cast<std::ptrdiff_t>(addr + len), value);
+  touch_pages(addr, len);
 }
 
 Bytes Machine::load(std::uint64_t addr, std::size_t len, PrivMode mode) const {
-  bounds_check(addr, len);
+  bounds_check(addr, len, AccessType::kRead);
   if (!pmp_.check(addr, len, mode, AccessType::kRead)) {
     throw AccessFault(addr, AccessType::kRead);
   }
@@ -68,7 +85,7 @@ std::uint8_t Machine::load_byte(std::uint64_t addr, PrivMode mode) const {
 }
 
 std::uint32_t Machine::fetch32(std::uint64_t addr, PrivMode mode) const {
-  bounds_check(addr, 4);
+  bounds_check(addr, 4, AccessType::kExecute);
   if (!pmp_.check(addr, 4, mode, AccessType::kExecute)) {
     throw AccessFault(addr, AccessType::kExecute);
   }

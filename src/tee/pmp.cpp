@@ -1,5 +1,6 @@
 #include "convolve/tee/pmp.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace convolve::tee {
@@ -20,6 +21,7 @@ void PmpUnit::set_entry(int index, const PmpEntry& entry) {
     }
   }
   entries_[static_cast<std::size_t>(index)] = entry;
+  ++epoch_;
 }
 
 const PmpEntry& PmpUnit::entry(int index) const {
@@ -40,24 +42,24 @@ std::uint64_t PmpUnit::encode_napot(std::uint64_t base, std::uint64_t size) {
   return (base >> 2) | ((size / 2 - 1) >> 2);
 }
 
-PmpUnit::Match PmpUnit::match(int index, std::uint64_t addr,
-                              std::uint64_t len) const {
+void PmpUnit::range_of(int index, std::uint64_t& lo, std::uint64_t& hi) const {
   const PmpEntry& e = entries_[static_cast<std::size_t>(index)];
-  std::uint64_t lo = 0, hi = 0;  // [lo, hi)
+  lo = 0;
+  hi = 0;
   switch (e.mode) {
     case PmpAddressMode::kOff:
-      return Match::kNone;
+      return;
     case PmpAddressMode::kTor: {
       lo = (index == 0)
                ? 0
                : entries_[static_cast<std::size_t>(index) - 1].address << 2;
       hi = e.address << 2;
-      break;
+      return;
     }
     case PmpAddressMode::kNa4: {
       lo = e.address << 2;
       hi = lo + 4;
-      break;
+      return;
     }
     case PmpAddressMode::kNapot: {
       // Count trailing ones of the encoded address.
@@ -70,9 +72,15 @@ PmpUnit::Match PmpUnit::match(int index, std::uint64_t addr,
       const std::uint64_t size = 8ull << trailing_ones;
       lo = (e.address & ~((1ull << trailing_ones) - 1)) << 2;
       hi = lo + size;
-      break;
+      return;
     }
   }
+}
+
+PmpUnit::Match PmpUnit::match(int index, std::uint64_t addr,
+                              std::uint64_t len) const {
+  std::uint64_t lo = 0, hi = 0;  // [lo, hi)
+  range_of(index, lo, hi);
   if (hi <= lo) return Match::kNone;
   const std::uint64_t end = addr + len;
   if (end <= lo || addr >= hi) return Match::kNone;
@@ -103,14 +111,98 @@ bool PmpUnit::check(std::uint64_t addr, std::uint64_t len, PrivMode mode,
   return mode == PrivMode::kMachine;
 }
 
+PmpUnit::RegionCheck PmpUnit::check_region(std::uint64_t addr,
+                                           std::uint64_t len, PrivMode mode,
+                                           AccessType type,
+                                           std::uint64_t limit) const {
+  RegionCheck out;
+  if (len == 0) {
+    out.allowed = true;
+    out.lo = addr;
+    out.hi = addr;
+    return out;
+  }
+  const std::uint64_t end = addr + len;
+
+  // Shrink [lo, hi) so it excludes the (access-disjoint) range [rlo, rhi).
+  // Disjointness from the access is guaranteed by the caller, so the range
+  // lies wholly on one side of it and the clip keeps the access inside.
+  const auto clip = [&](std::uint64_t& lo, std::uint64_t& hi,
+                        std::uint64_t rlo, std::uint64_t rhi) {
+    if (rhi <= rlo || rhi <= lo || rlo >= hi) return;
+    if (rhi <= addr) {
+      lo = std::max(lo, rhi);
+    } else {
+      hi = std::min(hi, rlo);
+    }
+  };
+
+  for (int i = 0; i < kEntries; ++i) {
+    const Match m = match(i, addr, len);
+    if (m == Match::kNone) continue;
+    if (m == Match::kPartial) {
+      // Partially matching accesses fault regardless of permissions, and
+      // the decision is specific to this exact range: no reusable window.
+      out.allowed = false;
+      return out;
+    }
+    const PmpEntry& e = entries_[static_cast<std::size_t>(i)];
+    bool allowed;
+    if (mode == PrivMode::kMachine && !e.locked) {
+      allowed = true;
+    } else {
+      switch (type) {
+        case AccessType::kRead: allowed = e.read; break;
+        case AccessType::kWrite: allowed = e.write; break;
+        case AccessType::kExecute: allowed = e.execute; break;
+        default: allowed = false; break;
+      }
+    }
+    if (!allowed) {
+      out.allowed = false;
+      return out;
+    }
+    // Window: this entry's range, minus every higher-priority entry's
+    // range (those are disjoint from the access, or match() above would
+    // have resolved against them first).
+    range_of(i, out.lo, out.hi);
+    out.hi = std::min(out.hi, limit);
+    for (int j = 0; j < i; ++j) {
+      std::uint64_t jlo = 0, jhi = 0;
+      range_of(j, jlo, jhi);
+      clip(out.lo, out.hi, jlo, jhi);
+    }
+    out.allowed = true;
+    return out;
+  }
+
+  // No matching entry: M-mode succeeds, S/U fail.
+  if (mode != PrivMode::kMachine) {
+    out.allowed = false;
+    return out;
+  }
+  // Window: the gap between entry ranges around the access.
+  out.lo = 0;
+  out.hi = limit == 0 ? end : limit;
+  for (int i = 0; i < kEntries; ++i) {
+    std::uint64_t ilo = 0, ihi = 0;
+    range_of(i, ilo, ihi);
+    clip(out.lo, out.hi, ilo, ihi);
+  }
+  out.allowed = true;
+  return out;
+}
+
 void PmpUnit::clear_unlocked() {
   for (auto& e : entries_) {
     if (!e.locked) e = PmpEntry{};
   }
+  ++epoch_;
 }
 
 void PmpUnit::reset() {
   for (auto& e : entries_) e = PmpEntry{};
+  ++epoch_;
 }
 
 }  // namespace convolve::tee

@@ -219,7 +219,12 @@ std::optional<Trap> Rv32Cpu::step() {
           default:
             return Trap{TrapCause::kIllegalInstruction, pc_, inst};
         }
-      } else if (funct7 == 0x00 || funct7 == 0x20) {
+      } else if (funct7 == 0x00 ||
+                 (funct7 == 0x20 && (funct3 == 0 || funct3 == 5))) {
+        // funct7=0x20 (the SUB/SRA bit) is only architecturally defined
+        // for funct3 0 and 5; on any other funct3 it is a reserved
+        // encoding and must trap instead of aliasing onto the funct7=0
+        // instruction.
         switch (funct3) {
           case 0: set_reg(rd, funct7 == 0x20 ? a - b : a + b); break;
           case 1: set_reg(rd, a << (b & 31)); break;
@@ -247,12 +252,20 @@ std::optional<Trap> Rv32Cpu::step() {
     case 0x0f:  // FENCE: no-op in this memory model
       break;
     case 0x73: {  // SYSTEM
+      // Only ECALL/EBREAK are implemented, and their encodings are exact:
+      // funct3, rd and rs1 must all be zero. CSR-class instructions
+      // (funct3 != 0) and other PRIV encodings trap as illegal with the
+      // same bookkeeping as every other trap path (pc and retired count
+      // NOT advanced); ecall/ebreak retire and advance so the embedder
+      // can resume past them.
       const std::uint32_t imm = inst >> 20;
+      if (funct3 != 0 || rd != 0 || rs1 != 0 || imm > 1) {
+        return Trap{TrapCause::kIllegalInstruction, pc_, inst};
+      }
       pc_ += 4;
       ++retired_;
-      if (imm == 0) return Trap{TrapCause::kEcall, pc_ - 4, 0};
-      if (imm == 1) return Trap{TrapCause::kEbreak, pc_ - 4, 0};
-      return Trap{TrapCause::kIllegalInstruction, pc_ - 4, inst};
+      return Trap{imm == 0 ? TrapCause::kEcall : TrapCause::kEbreak,
+                  pc_ - 4, 0};
     }
     default:
       return Trap{TrapCause::kIllegalInstruction, pc_, inst};
@@ -263,7 +276,7 @@ std::optional<Trap> Rv32Cpu::step() {
   return std::nullopt;
 }
 
-Rv32Cpu::RunResult Rv32Cpu::run(std::uint64_t max_steps) {
+Rv32Cpu::RunResult Rv32Cpu::run_interpreted(std::uint64_t max_steps) {
   RunResult result;
   while (result.steps < max_steps) {
     auto trap = step();
@@ -272,6 +285,394 @@ Rv32Cpu::RunResult Rv32Cpu::run(std::uint64_t max_steps) {
       result.trap = trap;
       break;
     }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Fast engine: decoded-instruction cache + allocation-free memory path
+// ---------------------------------------------------------------------
+
+DecodedInsn decode_rv32(std::uint32_t inst) {
+  DecodedInsn d;
+  d.kind = OpKind::kIllegal;
+  d.imm = static_cast<std::int32_t>(inst);  // trap tval for kIllegal
+
+  const std::uint32_t opcode = inst & 0x7f;
+  const auto rd = static_cast<std::uint8_t>((inst >> 7) & 0x1f);
+  const auto rs1 = static_cast<std::uint8_t>((inst >> 15) & 0x1f);
+  const auto rs2 = static_cast<std::uint8_t>((inst >> 20) & 0x1f);
+  const std::uint32_t funct3 = (inst >> 12) & 0x7;
+  const std::uint32_t funct7 = inst >> 25;
+
+  const auto accept = [&](OpKind kind, std::int32_t imm) {
+    d.kind = kind;
+    d.rd = rd;
+    d.rs1 = rs1;
+    d.rs2 = rs2;
+    d.imm = imm;
+  };
+  const std::int32_t i_imm = sign_extend(inst >> 20, 12);
+
+  switch (opcode) {
+    case 0x37:
+      accept(OpKind::kLui, static_cast<std::int32_t>(inst & 0xfffff000u));
+      break;
+    case 0x17:
+      accept(OpKind::kAuipc, static_cast<std::int32_t>(inst & 0xfffff000u));
+      break;
+    case 0x6f: {
+      const std::uint32_t imm = ((inst >> 31) << 20) |
+                                (((inst >> 12) & 0xff) << 12) |
+                                (((inst >> 20) & 1) << 11) |
+                                (((inst >> 21) & 0x3ff) << 1);
+      accept(OpKind::kJal, sign_extend(imm, 21));
+      break;
+    }
+    case 0x67:
+      accept(OpKind::kJalr, i_imm);
+      break;
+    case 0x63: {
+      const std::uint32_t imm = ((inst >> 31) << 12) |
+                                (((inst >> 7) & 1) << 11) |
+                                (((inst >> 25) & 0x3f) << 5) |
+                                (((inst >> 8) & 0xf) << 1);
+      const std::int32_t offset = sign_extend(imm, 13);
+      switch (funct3) {
+        case 0: accept(OpKind::kBeq, offset); break;
+        case 1: accept(OpKind::kBne, offset); break;
+        case 4: accept(OpKind::kBlt, offset); break;
+        case 5: accept(OpKind::kBge, offset); break;
+        case 6: accept(OpKind::kBltu, offset); break;
+        case 7: accept(OpKind::kBgeu, offset); break;
+        default: break;  // kIllegal
+      }
+      break;
+    }
+    case 0x03:
+      switch (funct3) {
+        case 0: accept(OpKind::kLb, i_imm); break;
+        case 1: accept(OpKind::kLh, i_imm); break;
+        case 2: accept(OpKind::kLw, i_imm); break;
+        case 4: accept(OpKind::kLbu, i_imm); break;
+        case 5: accept(OpKind::kLhu, i_imm); break;
+        default: break;
+      }
+      break;
+    case 0x23: {
+      const std::uint32_t imm = ((inst >> 25) << 5) | ((inst >> 7) & 0x1f);
+      const std::int32_t offset = sign_extend(imm, 12);
+      switch (funct3) {
+        case 0: accept(OpKind::kSb, offset); break;
+        case 1: accept(OpKind::kSh, offset); break;
+        case 2: accept(OpKind::kSw, offset); break;
+        default: break;
+      }
+      break;
+    }
+    case 0x13: {
+      const std::int32_t shamt = static_cast<std::int32_t>((inst >> 20) & 0x1f);
+      switch (funct3) {
+        case 0: accept(OpKind::kAddi, i_imm); break;
+        case 2: accept(OpKind::kSlti, i_imm); break;
+        case 3: accept(OpKind::kSltiu, i_imm); break;
+        case 4: accept(OpKind::kXori, i_imm); break;
+        case 6: accept(OpKind::kOri, i_imm); break;
+        case 7: accept(OpKind::kAndi, i_imm); break;
+        case 1:
+          if (funct7 == 0) accept(OpKind::kSlli, shamt);
+          break;
+        case 5:
+          if (funct7 == 0) accept(OpKind::kSrli, shamt);
+          else if (funct7 == 0x20) accept(OpKind::kSrai, shamt);
+          break;
+        default: break;
+      }
+      break;
+    }
+    case 0x33:
+      if (funct7 == 0x01) {  // M extension
+        switch (funct3) {
+          case 0: accept(OpKind::kMul, 0); break;
+          case 1: accept(OpKind::kMulh, 0); break;
+          case 2: accept(OpKind::kMulhsu, 0); break;
+          case 3: accept(OpKind::kMulhu, 0); break;
+          case 4: accept(OpKind::kDiv, 0); break;
+          case 5: accept(OpKind::kDivu, 0); break;
+          case 6: accept(OpKind::kRem, 0); break;
+          case 7: accept(OpKind::kRemu, 0); break;
+          default: break;
+        }
+      } else if (funct7 == 0x00) {
+        switch (funct3) {
+          case 0: accept(OpKind::kAdd, 0); break;
+          case 1: accept(OpKind::kSll, 0); break;
+          case 2: accept(OpKind::kSlt, 0); break;
+          case 3: accept(OpKind::kSltu, 0); break;
+          case 4: accept(OpKind::kXor, 0); break;
+          case 5: accept(OpKind::kSrl, 0); break;
+          case 6: accept(OpKind::kOr, 0); break;
+          case 7: accept(OpKind::kAnd, 0); break;
+          default: break;
+        }
+      } else if (funct7 == 0x20) {
+        // Only SUB and SRA carry the 0x20 bit; everything else is a
+        // reserved encoding (matches the strict step() decoder).
+        if (funct3 == 0) accept(OpKind::kSub, 0);
+        else if (funct3 == 5) accept(OpKind::kSra, 0);
+      }
+      break;
+    case 0x0f:
+      accept(OpKind::kFence, 0);
+      break;
+    case 0x73: {
+      const std::uint32_t imm = inst >> 20;
+      if (funct3 == 0 && rd == 0 && rs1 == 0 && imm <= 1) {
+        accept(imm == 0 ? OpKind::kEcall : OpKind::kEbreak, 0);
+        d.rs2 = 0;  // imm field overlaps rs2; not a register operand
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return d;
+}
+
+const Rv32Cpu::DecodedPage* Rv32Cpu::decoded_page(std::uint64_t page_base) {
+  DecodedPage& slot =
+      (*dcache_)[(page_base >> Machine::kPageShift) % kCacheSlots];
+  const std::uint32_t version = machine_.page_version(page_base);
+  if (slot.base == page_base && slot.version == version) return &slot;
+
+  // (Re-)decode the page's words straight from memory. This caches code
+  // *bytes*, not permissions: the execute-permission check still happens
+  // per fetch against the live PMP state.
+  const std::uint8_t* bytes = machine_.page_data(page_base);
+  const std::uint64_t page_bytes =
+      std::min<std::uint64_t>(Machine::kPageBytes,
+                              machine_.memory_size() - page_base);
+  const std::size_t n_insts = static_cast<std::size_t>(page_bytes / 4);
+  for (std::size_t i = 0; i < n_insts; ++i) {
+    slot.insts[i] = decode_rv32(load_le32(bytes + 4 * i));
+  }
+  for (std::size_t i = n_insts; i < kPageInsts; ++i) {
+    slot.insts[i] = DecodedInsn{};  // unreachable: fetch bounds-faults first
+  }
+  slot.base = page_base;
+  slot.version = version;
+  return &slot;
+}
+
+Rv32Cpu::RunResult Rv32Cpu::run(std::uint64_t max_steps) {
+  if (!dcache_) dcache_ = std::make_unique<std::array<DecodedPage, kCacheSlots>>();
+  RunResult result;
+
+  const DecodedPage* page = nullptr;
+  std::uint64_t page_base = ~0ull;
+
+  while (result.steps < max_steps) {
+    const std::uint32_t pc = pc_;
+    if (pc % 4 != 0) {
+      result.trap = Trap{TrapCause::kMisalignedFetch, pc, pc};
+      ++result.steps;
+      return result;
+    }
+    // Execute-permission + bounds check through the memoized PMP window
+    // (a handful of compares on the hot path).
+    if (!machine_.access_ok(pc, 4, mode_, AccessType::kExecute)) {
+      result.trap = Trap{TrapCause::kInstructionAccessFault, pc, pc};
+      ++result.steps;
+      return result;
+    }
+    const std::uint64_t base = pc & ~(Machine::kPageBytes - 1);
+    // Revalidate the decoded page when crossing a page boundary or when
+    // a store bumped the page's version (self-modifying code).
+    if (base != page_base || page == nullptr ||
+        page->version != machine_.page_version(base)) {
+      page = decoded_page(base);
+      page_base = base;
+    }
+    const DecodedInsn& di =
+        page->insts[(pc & (Machine::kPageBytes - 1)) >> 2];
+
+    const std::uint32_t a = x_[di.rs1];
+    const std::uint32_t b = x_[di.rs2];
+    const std::uint32_t ui = static_cast<std::uint32_t>(di.imm);
+    std::uint32_t next_pc = pc + 4;
+    std::uint32_t value = 0;  // rd write staging for loads
+
+    switch (di.kind) {
+      case OpKind::kLui: value = ui; goto write_rd;
+      case OpKind::kAuipc: value = pc + ui; goto write_rd;
+      case OpKind::kJal:
+        value = pc + 4;
+        next_pc = pc + ui;
+        goto write_rd;
+      case OpKind::kJalr:
+        value = pc + 4;
+        next_pc = (a + ui) & ~1u;
+        goto write_rd;
+      case OpKind::kBeq: if (a == b) next_pc = pc + ui; break;
+      case OpKind::kBne: if (a != b) next_pc = pc + ui; break;
+      case OpKind::kBlt:
+        if (static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b))
+          next_pc = pc + ui;
+        break;
+      case OpKind::kBge:
+        if (static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b))
+          next_pc = pc + ui;
+        break;
+      case OpKind::kBltu: if (a < b) next_pc = pc + ui; break;
+      case OpKind::kBgeu: if (a >= b) next_pc = pc + ui; break;
+
+      case OpKind::kLb: {
+        std::uint8_t v;
+        if (!machine_.read8(a + ui, mode_, v)) goto load_fault;
+        value = static_cast<std::uint32_t>(sign_extend(v, 8));
+        goto write_rd;
+      }
+      case OpKind::kLh: {
+        std::uint16_t v;
+        if (!machine_.read16(a + ui, mode_, v)) goto load_fault;
+        value = static_cast<std::uint32_t>(sign_extend(v, 16));
+        goto write_rd;
+      }
+      case OpKind::kLw:
+        if (!machine_.read32(a + ui, mode_, value)) goto load_fault;
+        goto write_rd;
+      case OpKind::kLbu: {
+        std::uint8_t v;
+        if (!machine_.read8(a + ui, mode_, v)) goto load_fault;
+        value = v;
+        goto write_rd;
+      }
+      case OpKind::kLhu: {
+        std::uint16_t v;
+        if (!machine_.read16(a + ui, mode_, v)) goto load_fault;
+        value = v;
+        goto write_rd;
+      }
+
+      case OpKind::kSb:
+        if (!machine_.write8(a + ui, static_cast<std::uint8_t>(b), mode_))
+          goto store_fault;
+        break;
+      case OpKind::kSh:
+        if (!machine_.write16(a + ui, static_cast<std::uint16_t>(b), mode_))
+          goto store_fault;
+        break;
+      case OpKind::kSw:
+        if (!machine_.write32(a + ui, b, mode_)) goto store_fault;
+        break;
+
+      case OpKind::kAddi: value = a + ui; goto write_rd;
+      case OpKind::kSlti:
+        value = static_cast<std::int32_t>(a) < di.imm ? 1 : 0;
+        goto write_rd;
+      case OpKind::kSltiu: value = a < ui ? 1 : 0; goto write_rd;
+      case OpKind::kXori: value = a ^ ui; goto write_rd;
+      case OpKind::kOri: value = a | ui; goto write_rd;
+      case OpKind::kAndi: value = a & ui; goto write_rd;
+      case OpKind::kSlli: value = a << di.imm; goto write_rd;
+      case OpKind::kSrli: value = a >> di.imm; goto write_rd;
+      case OpKind::kSrai:
+        value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a) >> di.imm);
+        goto write_rd;
+
+      case OpKind::kAdd: value = a + b; goto write_rd;
+      case OpKind::kSub: value = a - b; goto write_rd;
+      case OpKind::kSll: value = a << (b & 31); goto write_rd;
+      case OpKind::kSlt:
+        value = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b)
+                    ? 1 : 0;
+        goto write_rd;
+      case OpKind::kSltu: value = a < b ? 1 : 0; goto write_rd;
+      case OpKind::kXor: value = a ^ b; goto write_rd;
+      case OpKind::kSrl: value = a >> (b & 31); goto write_rd;
+      case OpKind::kSra:
+        value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a) >> (b & 31));
+        goto write_rd;
+      case OpKind::kOr: value = a | b; goto write_rd;
+      case OpKind::kAnd: value = a & b; goto write_rd;
+
+      case OpKind::kMul:
+        value = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+            static_cast<std::int64_t>(static_cast<std::int32_t>(b)));
+        goto write_rd;
+      case OpKind::kMulh:
+        value = static_cast<std::uint32_t>(
+            (static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+             static_cast<std::int64_t>(static_cast<std::int32_t>(b))) >> 32);
+        goto write_rd;
+      case OpKind::kMulhsu:
+        value = static_cast<std::uint32_t>(
+            (static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+             static_cast<std::int64_t>(static_cast<std::uint64_t>(b))) >> 32);
+        goto write_rd;
+      case OpKind::kMulhu:
+        value = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b))
+            >> 32);
+        goto write_rd;
+      case OpKind::kDiv:
+        if (b == 0) value = 0xffffffffu;
+        else if (a == 0x80000000u && b == 0xffffffffu) value = 0x80000000u;
+        else value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a) / static_cast<std::int32_t>(b));
+        goto write_rd;
+      case OpKind::kDivu: value = b == 0 ? 0xffffffffu : a / b; goto write_rd;
+      case OpKind::kRem:
+        if (b == 0) value = a;
+        else if (a == 0x80000000u && b == 0xffffffffu) value = 0;
+        else value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a) % static_cast<std::int32_t>(b));
+        goto write_rd;
+      case OpKind::kRemu: value = b == 0 ? a : a % b; goto write_rd;
+
+      case OpKind::kFence:
+        break;
+
+      case OpKind::kEcall:
+      case OpKind::kEbreak:
+        pc_ = pc + 4;
+        ++retired_;
+        ++result.steps;
+        result.trap = Trap{di.kind == OpKind::kEcall ? TrapCause::kEcall
+                                                     : TrapCause::kEbreak,
+                           pc, 0};
+        return result;
+
+      case OpKind::kIllegal:
+      default:
+        result.trap = Trap{TrapCause::kIllegalInstruction, pc,
+                           static_cast<std::uint32_t>(di.imm)};
+        ++result.steps;
+        return result;
+    }
+    goto retire;
+
+  write_rd:
+    if (di.rd != 0) x_[di.rd] = value;
+    goto retire;
+
+  load_fault:
+    result.trap = Trap{TrapCause::kLoadAccessFault, pc, a + ui};
+    ++result.steps;
+    return result;
+
+  store_fault:
+    result.trap = Trap{TrapCause::kStoreAccessFault, pc, a + ui};
+    ++result.steps;
+    return result;
+
+  retire:
+    pc_ = next_pc;
+    ++retired_;
+    ++result.steps;
   }
   return result;
 }

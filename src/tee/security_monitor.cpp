@@ -98,9 +98,9 @@ const SecurityMonitor::Enclave& SecurityMonitor::enclave(int id) const {
 void SecurityMonitor::destroy_enclave(int id) {
   Enclave& e = enclave_mut(id);
   if (!e.alive) return;
-  // Wipe the enclave's memory before releasing it to the OS.
-  const Bytes zeros(e.size, 0);
-  machine_.store(e.base, zeros, PrivMode::kMachine);
+  // Wipe the enclave's memory before releasing it to the OS
+  // (allocation-free: no scratch zero-buffer the size of the region).
+  machine_.fill(e.base, e.size, 0, PrivMode::kMachine);
   e.alive = false;
   enter_os();
 }

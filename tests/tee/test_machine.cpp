@@ -47,6 +47,105 @@ TEST(Machine, AccessFaultCarriesDetails) {
   }
 }
 
+TEST(Machine, OutOfBoundsFaultsCarryRealAccessType) {
+  // Regression: bounds faults used to be attributed to kRead regardless
+  // of the access, mislabeling store/fetch trap causes in SM logs.
+  Machine m(4096);
+  try {
+    m.store(4096, Bytes{1}, PrivMode::kMachine);
+    FAIL() << "expected AccessFault";
+  } catch (const AccessFault& fault) {
+    EXPECT_EQ(fault.access, AccessType::kWrite);
+  }
+  try {
+    m.fetch32(4094, PrivMode::kMachine);
+    FAIL() << "expected AccessFault";
+  } catch (const AccessFault& fault) {
+    EXPECT_EQ(fault.access, AccessType::kExecute);
+  }
+  try {
+    m.load(4095, 2, PrivMode::kMachine);
+    FAIL() << "expected AccessFault";
+  } catch (const AccessFault& fault) {
+    EXPECT_EQ(fault.access, AccessType::kRead);
+  }
+  try {
+    m.fill(4000, 200, 0, PrivMode::kMachine);
+    FAIL() << "expected AccessFault";
+  } catch (const AccessFault& fault) {
+    EXPECT_EQ(fault.access, AccessType::kWrite);
+  }
+}
+
+TEST(Machine, FillMatchesStoreSemantics) {
+  Machine m(64 * 1024);
+  m.fill(0x200, 64, 0xAB, PrivMode::kMachine);
+  EXPECT_EQ(m.load(0x200, 64, PrivMode::kMachine), Bytes(64, 0xAB));
+  // Same PMP gating as store: U-mode without a matching entry is denied.
+  EXPECT_THROW(m.fill(0x200, 64, 0, PrivMode::kUser), AccessFault);
+}
+
+TEST(Machine, FastAccessorsRoundTrip) {
+  Machine m(64 * 1024);
+  ASSERT_TRUE(m.write32(0x100, 0xdeadbeefu, PrivMode::kMachine));
+  std::uint32_t w = 0;
+  ASSERT_TRUE(m.read32(0x100, PrivMode::kMachine, w));
+  EXPECT_EQ(w, 0xdeadbeefu);
+  std::uint16_t h = 0;
+  ASSERT_TRUE(m.read16(0x102, PrivMode::kMachine, h));
+  EXPECT_EQ(h, 0xdeadu);
+  std::uint8_t b = 0;
+  ASSERT_TRUE(m.read8(0x103, PrivMode::kMachine, b));
+  EXPECT_EQ(b, 0xdeu);
+  // Fast path agrees with the legacy throwing path.
+  EXPECT_EQ(m.load(0x100, 4, PrivMode::kMachine), (Bytes{0xef, 0xbe, 0xad, 0xde}));
+  // Out of bounds / denied: status false, no throw.
+  EXPECT_FALSE(m.read32(64 * 1024 - 2, PrivMode::kMachine, w));
+  EXPECT_FALSE(m.read32(0x100, PrivMode::kUser, w));
+  EXPECT_FALSE(m.write8(0x100, 1, PrivMode::kUser));
+}
+
+TEST(Machine, PmpMemoInvalidatedByReprogramming) {
+  Machine m(64 * 1024);
+  PmpEntry e;
+  e.mode = PmpAddressMode::kNapot;
+  e.address = PmpUnit::encode_napot(0x1000, 0x1000);
+  e.read = true;
+  m.pmp().set_entry(0, e);
+  std::uint32_t w = 0;
+  ASSERT_TRUE(m.read32(0x1000, PrivMode::kUser, w));  // memoizes the window
+  ASSERT_TRUE(m.read32(0x1ffc, PrivMode::kUser, w));  // memo hit
+  e.read = false;
+  m.pmp().set_entry(0, e);  // bumps the PMP epoch
+  EXPECT_FALSE(m.read32(0x1000, PrivMode::kUser, w));
+  // And the memo must not leak across privilege modes either.
+  e.read = true;
+  m.pmp().set_entry(0, e);
+  ASSERT_TRUE(m.read32(0x1000, PrivMode::kUser, w));
+  e.read = false;
+  e.locked = false;
+  m.pmp().set_entry(1, PmpEntry{});  // unrelated entry: epoch still bumps
+  ASSERT_TRUE(m.read32(0x1000, PrivMode::kUser, w));
+}
+
+TEST(Machine, PageVersionBumpsOnStores) {
+  Machine m(64 * 1024);
+  const auto v0 = m.page_version(0x1000);
+  m.store(0x1000, Bytes{1, 2, 3, 4}, PrivMode::kMachine);
+  const auto v1 = m.page_version(0x1000);
+  EXPECT_NE(v0, v1);
+  ASSERT_TRUE(m.write8(0x1fff, 7, PrivMode::kMachine));
+  EXPECT_NE(v1, m.page_version(0x1000));
+  // A write straddling two pages bumps both.
+  const auto p2 = m.page_version(0x2000);
+  ASSERT_TRUE(m.write32(0x1ffe, 0x11223344u, PrivMode::kMachine));
+  EXPECT_NE(p2, m.page_version(0x2000));
+  // Writes elsewhere leave the page untouched.
+  const auto v2 = m.page_version(0x1000);
+  m.fill(0x8000, 16, 0xFF, PrivMode::kMachine);
+  EXPECT_EQ(v2, m.page_version(0x1000));
+}
+
 TEST(Machine, ExecutePermissionIsSeparate) {
   Machine m(64 * 1024);
   PmpEntry e;
