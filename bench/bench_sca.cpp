@@ -1,0 +1,237 @@
+// Side-channel lab acceptance harness: TVLA and CPA against the gate-level
+// AES S-box at masking orders 0 and 1, under moderate Gaussian noise.
+//
+// Four scenarios, each timed and reported:
+//   tvla_unmasked - order 0 must fail first-order TVLA (max |t1| > 4.5)
+//                   within --min-unmasked-fail traces
+//   cpa_unmasked  - CPA must recover the key byte (rank 0)
+//   tvla_order1   - order-1 DOM must hold first order for at least
+//                   --min-masked-ratio x the unmasked failure count, and
+//                   must still fail second-order TVLA
+//   determinism   - one TVLA run repeated at 1/4/7 threads must produce
+//                   bit-identical t statistics
+//
+// The exit code gates all four, so the bench doubles as the ISSUE
+// acceptance check. --threads=N shards trace capture (results are
+// thread-count-invariant by construction; N only changes wall time).
+//
+// Output: a text table by default; --json emits the same schema as the
+// google-benchmark binaries (bench_crypto_micro --benchmark_format=json),
+// so both feed the same tooling.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "convolve/analysis/aes_sbox.hpp"
+#include "convolve/common/parallel.hpp"
+#include "convolve/sca/cpa.hpp"
+#include "convolve/sca/tvla.hpp"
+
+using namespace convolve;
+using namespace convolve::sca;
+
+namespace {
+
+constexpr std::uint8_t kKey = 0x3C;
+constexpr std::uint32_t kFixedInput = 0x52;
+
+MaskedTraceTarget sbox_target(unsigned order, double sigma) {
+  auto masked = masking::mask_circuit(analysis::aes_sbox_circuit(), order);
+  return MaskedTraceTarget(std::move(masked), 8,
+                           {PowerModel::kHammingWeight, sigma},
+                           BitOrder::kMsbFirst);
+}
+
+struct Scenario {
+  const char* name;
+  double seconds = 0;
+  std::uint64_t traces = 0;
+  double metric_a = 0;  // max |t1|, or best |rho|
+  double metric_b = 0;  // max |t2|, or true-key |rho|
+  bool pass = false;
+  std::string detail;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void emit_json_entry(bool first, const Scenario& s) {
+  if (!first) std::printf(",\n");
+  const double ns_per_trace =
+      s.traces > 0 ? s.seconds * 1e9 / static_cast<double>(s.traces) : 0;
+  std::printf("    {\n");
+  std::printf("      \"name\": \"sca/%s\",\n", s.name);
+  std::printf("      \"run_name\": \"sca/%s\",\n", s.name);
+  std::printf("      \"run_type\": \"iteration\",\n");
+  std::printf("      \"repetitions\": 1,\n");
+  std::printf("      \"repetition_index\": 0,\n");
+  std::printf("      \"threads\": %d,\n", par::thread_count());
+  std::printf("      \"iterations\": %llu,\n",
+              static_cast<unsigned long long>(s.traces));
+  std::printf("      \"real_time\": %.6f,\n", ns_per_trace);
+  std::printf("      \"cpu_time\": %.6f,\n", ns_per_trace);
+  std::printf("      \"time_unit\": \"ns\",\n");
+  std::printf("      \"metric_a\": %.4f,\n", s.metric_a);
+  std::printf("      \"metric_b\": %.4f,\n", s.metric_b);
+  std::printf("      \"pass\": %s\n", s.pass ? "true" : "false");
+  std::printf("    }");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  par::init_threads_from_cli(argc, argv);
+  bool json = false;
+  double sigma = 1.0;
+  int unmasked_traces = 4096;
+  int min_unmasked_fail = 5000;
+  int min_masked_ratio = 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--sigma=", 0) == 0) {
+      sigma = std::stod(arg.substr(8));
+    } else if (arg.rfind("--unmasked-traces=", 0) == 0) {
+      unmasked_traces = std::stoi(arg.substr(18));
+    } else if (arg.rfind("--min-unmasked-fail=", 0) == 0) {
+      min_unmasked_fail = std::stoi(arg.substr(20));
+    } else if (arg.rfind("--min-masked-ratio=", 0) == 0) {
+      min_masked_ratio = std::stoi(arg.substr(19));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--sigma=X] [--unmasked-traces=N]\n"
+                   "          [--min-unmasked-fail=N] [--min-masked-ratio=N]\n"
+                   "          [--threads=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+
+  // --- Scenario 1: unmasked S-box vs first-order TVLA --------------------
+  const auto unmasked = sbox_target(0, sigma);
+  auto t0 = std::chrono::steady_clock::now();
+  const TvlaReport tvla0 =
+      tvla_fixed_vs_random(unmasked, kFixedInput, unmasked_traces);
+  {
+    Scenario s;
+    s.name = "tvla_unmasked";
+    s.seconds = seconds_since(t0);
+    s.traces = static_cast<std::uint64_t>(unmasked_traces);
+    s.metric_a = tvla0.max_abs_t1;
+    s.metric_b = tvla0.max_abs_t2;
+    s.pass = tvla0.traces_to_first_order_fail >= 0 &&
+             tvla0.traces_to_first_order_fail <= min_unmasked_fail;
+    s.detail = "t1 fail @ " + std::to_string(tvla0.traces_to_first_order_fail);
+    scenarios.push_back(std::move(s));
+  }
+
+  // --- Scenario 2: unmasked S-box vs CPA key recovery --------------------
+  t0 = std::chrono::steady_clock::now();
+  const CpaReport cpa0 = cpa_sbox_attack(unmasked, kKey, unmasked_traces);
+  {
+    Scenario s;
+    s.name = "cpa_unmasked";
+    s.seconds = seconds_since(t0);
+    s.traces = static_cast<std::uint64_t>(unmasked_traces);
+    s.metric_a = cpa0.curve.back().best_corr;
+    s.metric_b = cpa0.curve.back().true_key_corr;
+    s.pass = cpa0.rank == 0 && cpa0.recovered_key == kKey &&
+             cpa0.traces_to_rank0 >= 0;
+    s.detail = "rank 0 @ " + std::to_string(cpa0.traces_to_rank0);
+    scenarios.push_back(std::move(s));
+  }
+
+  // --- Scenario 3: order-1 DOM at >= ratio x the unmasked budget ---------
+  // The masked run must hold first order for min_masked_ratio times the
+  // trace count that broke the unmasked target, and still fail second
+  // order (the order-1 transition, measured).
+  const int fail1 =
+      tvla0.traces_to_first_order_fail > 0 ? tvla0.traces_to_first_order_fail
+                                           : unmasked_traces;
+  const int masked_traces = fail1 * min_masked_ratio;
+  const auto order1 = sbox_target(1, sigma);
+  t0 = std::chrono::steady_clock::now();
+  const TvlaReport tvla1 =
+      tvla_fixed_vs_random(order1, kFixedInput, masked_traces);
+  {
+    Scenario s;
+    s.name = "tvla_order1";
+    s.seconds = seconds_since(t0);
+    s.traces = static_cast<std::uint64_t>(masked_traces);
+    s.metric_a = tvla1.max_abs_t1;
+    s.metric_b = tvla1.max_abs_t2;
+    s.pass = !tvla1.first_order_leak &&
+             tvla1.traces_to_first_order_fail == -1 &&
+             tvla1.second_order_leak;
+    s.detail = "t1 clean @ " + std::to_string(masked_traces) +
+               ", t2 fail @ " +
+               std::to_string(tvla1.traces_to_second_order_fail);
+    scenarios.push_back(std::move(s));
+  }
+
+  // --- Scenario 4: thread-count determinism self-check -------------------
+  t0 = std::chrono::steady_clock::now();
+  TvlaConfig small;
+  small.checkpoints = {1024};
+  TvlaReport reference;
+  {
+    par::ScopedThreadCount one(1);
+    reference = tvla_fixed_vs_random(order1, kFixedInput, 1024, small);
+  }
+  bool identical = true;
+  for (int threads : {4, 7}) {
+    par::ScopedThreadCount scope(threads);
+    const TvlaReport rerun =
+        tvla_fixed_vs_random(order1, kFixedInput, 1024, small);
+    identical &= rerun.t1 == reference.t1 && rerun.t2 == reference.t2;
+  }
+  {
+    Scenario s;
+    s.name = "determinism";
+    s.seconds = seconds_since(t0);
+    s.traces = 3 * 1024;
+    s.metric_a = reference.max_abs_t1;
+    s.metric_b = reference.max_abs_t2;
+    s.pass = identical;
+    s.detail = identical ? "bit-identical @ threads 1/4/7" : "DIVERGED";
+    scenarios.push_back(std::move(s));
+  }
+
+  bool all_pass = true;
+  for (const Scenario& s : scenarios) all_pass &= s.pass;
+
+  if (json) {
+    std::printf("{\n  \"context\": {\n");
+    std::printf("    \"executable\": \"%s\",\n", argv[0]);
+    std::printf("    \"num_cpus\": %u,\n",
+                std::thread::hardware_concurrency());
+    std::printf("    \"library_build_type\": \"release\"\n");
+    std::printf("  },\n  \"benchmarks\": [\n");
+    bool first = true;
+    for (const Scenario& s : scenarios) {
+      emit_json_entry(first, s);
+      first = false;
+    }
+    std::printf("\n  ]\n}\n");
+  } else {
+    std::printf("=== sca lab: TVLA + CPA vs the gate-level AES S-box ===\n");
+    std::printf("sigma=%.2f threads=%d\n\n", sigma, par::thread_count());
+    std::printf("%-14s %9s %9s %9s %6s  %s\n", "scenario", "traces", "t1|rho",
+                "t2|rho_k", "gate", "detail");
+    for (const Scenario& s : scenarios) {
+      std::printf("%-14s %9llu %9.2f %9.2f %6s  %s\n", s.name,
+                  static_cast<unsigned long long>(s.traces), s.metric_a,
+                  s.metric_b, s.pass ? "pass" : "FAIL", s.detail.c_str());
+    }
+    std::printf("\nall gates passed: %s\n", all_pass ? "yes" : "NO");
+  }
+  return all_pass ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Static-vs-empirical cross-check: the symbolic probing verifier and the
+// sca TVLA engine grading the same netlist.
+//
+// Following the verification-stack framing (static and dynamic leakage
+// analysis should cross-check each other), this bridge takes one masked
+// circuit and asks both oracles the same question at order d:
+//
+//   static    -- verify_probing_symbolic at probe order d;
+//   empirical -- noiseless fixed-vs-random TVLA at statistical order d
+//                (d = 1: t-test on means; d = 2: on centered squares).
+//
+// For a *leaky* circuit |t| grows with the trace count; for a secure one
+// it stays below the 4.5 threshold. `agree` records whether the two
+// verdicts coincide -- the property tests/sca/test_cross_check.cpp pins
+// down for DOM-AND at masking orders 0, 1 and 2.
+#pragma once
+
+#include <cstdint>
+
+#include "convolve/analysis/leakage_verify.hpp"
+#include "convolve/sca/tvla.hpp"
+
+namespace convolve::analysis {
+
+struct CrossCheckOptions {
+  int n_traces = 20000;     // empirical trace budget (total, both classes)
+  double threshold = 4.5;   // TVLA pass/fail bar
+  std::uint64_t seed = 0xCC05;
+  /// Fixed-class plain value; ~0 selects all-ones (maximal activation).
+  std::uint32_t fixed_value = ~0u;
+  SymbolicOptions symbolic;
+};
+
+struct CrossCheckReport {
+  // Static side.
+  Verdict static_verdict = Verdict::kSecure;
+  bool static_secure = true;
+  // Empirical side.
+  sca::TvlaReport tvla;
+  double max_abs_t = 0.0;  // at the requested statistical order
+  bool empirical_leak = false;
+  // Do the two oracles agree? (kPotentialLeak counts as not-secure.)
+  bool agree = false;
+};
+
+/// Cross-check `masked` at order `order` (1 or 2): run the symbolic
+/// verifier with `order` probes and a noiseless TVLA judged at statistical
+/// order `order`.
+CrossCheckReport cross_check_probing_vs_tvla(
+    const masking::MaskedCircuit& masked, int plain_inputs, unsigned order,
+    const CrossCheckOptions& options = {});
+
+}  // namespace convolve::analysis

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "convolve/common/bytes.hpp"
+#include "convolve/common/leakage_model.hpp"
 
 namespace convolve::cim {
 
@@ -37,22 +37,17 @@ AdderTree::Result AdderTree::step(std::span<const int> leaf_values) {
   Result r;
   // Level 0: leaf registers.
   for (int i = 0; i < n_leaves_; ++i) {
-    const std::int64_t next = leaf_values[static_cast<std::size_t>(i)];
-    r.switching_energy += hamming_distance(
-        static_cast<std::uint64_t>(levels_[0][static_cast<std::size_t>(i)]),
-        static_cast<std::uint64_t>(next));
-    levels_[0][static_cast<std::size_t>(i)] = next;
+    r.switching_energy += leakage::reg_update(
+        levels_[0][static_cast<std::size_t>(i)],
+        static_cast<std::int64_t>(leaf_values[static_cast<std::size_t>(i)]));
   }
   // Adder levels.
   for (int k = 1; k <= depth_; ++k) {
     auto& prev = levels_[static_cast<std::size_t>(k - 1)];
     auto& cur = levels_[static_cast<std::size_t>(k)];
     for (std::size_t i = 0; i < cur.size(); ++i) {
-      const std::int64_t next = prev[2 * i] + prev[2 * i + 1];
       r.switching_energy +=
-          hamming_distance(static_cast<std::uint64_t>(cur[i]),
-                           static_cast<std::uint64_t>(next));
-      cur[i] = next;
+          leakage::reg_update(cur[i], prev[2 * i] + prev[2 * i + 1]);
     }
   }
   r.sum = levels_[static_cast<std::size_t>(depth_)][0];
@@ -85,7 +80,7 @@ double AdderTree::predict_from_reset(
   for (auto [idx, val] : active_leaves) cur.emplace_back(idx, val);
   double energy = 0.0;
   for (auto& [pos, val] : cur) {
-    energy += hamming_weight(static_cast<std::uint64_t>(val));
+    energy += leakage::settle_energy(static_cast<std::uint64_t>(val));
   }
   for (int k = 1; k <= tree.depth(); ++k) {
     std::vector<std::pair<int, std::int64_t>> next;
@@ -102,7 +97,7 @@ double AdderTree::predict_from_reset(
       if (!merged) next.emplace_back(parent, val);
     }
     for (auto& [pos, val] : next) {
-      energy += hamming_weight(static_cast<std::uint64_t>(val));
+      energy += leakage::settle_energy(static_cast<std::uint64_t>(val));
     }
     cur = std::move(next);
   }

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "convolve/common/bytes.hpp"
+#include "convolve/common/capture.hpp"
+#include "convolve/common/leakage_model.hpp"
 #include "convolve/common/parallel.hpp"
 #include "convolve/common/stats.hpp"
 
@@ -29,20 +31,20 @@ std::uint64_t phase2_stream(int n_rows, int row) {
 }
 
 // Average power of the first MAC cycle after reset, with the given rows
-// active, over `traces` repetitions. Stateful: draws from `macro`'s rng.
+// active, over `traces` repetitions. Stateful: draws from `macro`'s rng;
+// the repetition-ordered averaging contract lives in capture::mean_of,
+// shared with the sca lab's trace measurements.
 double measure_on(CimMacro& macro, const std::vector<int>& active_rows,
                   int traces) {
   std::vector<std::uint8_t> inputs(static_cast<std::size_t>(macro.n_rows()),
                                    0);
   for (int row : active_rows) inputs[static_cast<std::size_t>(row)] = 1;
-  double sum = 0.0;
-  for (int t = 0; t < traces; ++t) {
+  return capture::mean_of(traces, [&](int) {
     macro.reset();
     macro.clear_trace();
     macro.mac_cycle(inputs);
-    sum += macro.trace().back();
-  }
-  return sum / traces;
+    return macro.trace().back();
+  });
 }
 
 // Same measurement on a private fork: the result depends only on (macro
@@ -62,7 +64,7 @@ double predict(const CimMacro& macro, double baseline,
   // Accumulator register switches from 0 to the sum.
   std::int64_t sum = 0;
   for (auto [row, value] : active) sum += value;
-  energy += hamming_weight(static_cast<std::uint64_t>(sum));
+  energy += leakage::settle_energy(static_cast<std::uint64_t>(sum));
   return baseline + energy;
 }
 

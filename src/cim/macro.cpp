@@ -4,7 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "convolve/common/bytes.hpp"
+#include "convolve/common/leakage_model.hpp"
 
 namespace convolve::cim {
 
@@ -78,11 +78,8 @@ std::int64_t CimMacro::mac_cycle(const std::vector<std::uint8_t>& inputs) {
   const AdderTree::Result r = tree_.step(leaves);
 
   // Accumulator register switching.
-  const std::int64_t next_acc = accumulator_ + r.sum;
   const double acc_energy =
-      hamming_distance(static_cast<std::uint64_t>(accumulator_),
-                       static_cast<std::uint64_t>(next_acc));
-  accumulator_ = next_acc;
+      leakage::reg_update(accumulator_, accumulator_ + r.sum);
 
   double power = config_.static_power + r.switching_energy + acc_energy;
   if (config_.noise_sigma > 0.0) {

@@ -1,0 +1,44 @@
+// Seeded-fork measurement averaging shared by the CIM attack path and the
+// sca lab.
+//
+// A "measurement" everywhere in this project is the average of N repeated
+// samples of a forked, privately-seeded device (CimMacro::fork,
+// Xoshiro256::split). These helpers fix the accumulation contract: samples
+// are summed in repetition order on the calling thread, so a measurement
+// is a pure function of (device state, fork stream, repetition count) --
+// never of thread count, call order, or how many other measurements ran.
+#pragma once
+
+#include <vector>
+
+namespace convolve::capture {
+
+/// Mean of `repetitions` scalar samples; `sample(t)` is called with
+/// t = 0..repetitions-1 in order. Returns 0 for zero repetitions.
+template <typename SampleFn>
+double mean_of(int repetitions, SampleFn&& sample) {
+  double sum = 0.0;
+  for (int t = 0; t < repetitions; ++t) sum += sample(t);
+  return repetitions > 0 ? sum / repetitions : 0.0;
+}
+
+/// Element-wise mean of `repetitions` vector samples of length `samples`;
+/// `fill(t, out)` writes repetition t into `out`.
+template <typename FillFn>
+std::vector<double> mean_trace_of(int repetitions, int samples,
+                                  FillFn&& fill) {
+  std::vector<double> acc(static_cast<std::size_t>(samples), 0.0);
+  std::vector<double> one(static_cast<std::size_t>(samples), 0.0);
+  for (int t = 0; t < repetitions; ++t) {
+    fill(t, one);
+    for (int s = 0; s < samples; ++s) {
+      acc[static_cast<std::size_t>(s)] += one[static_cast<std::size_t>(s)];
+    }
+  }
+  if (repetitions > 0) {
+    for (double& a : acc) a /= repetitions;
+  }
+  return acc;
+}
+
+}  // namespace convolve::capture

@@ -1,0 +1,40 @@
+// Shared Hamming leakage model: the switching-energy accounting used by
+// every power side channel in the project.
+//
+// The CIM macro (adder tree + MAC accumulator), its chosen-input attack
+// templates and the gate-level sca power-trace simulator all model dynamic
+// power the same way: a register edge costs the Hamming distance between
+// its old and new state, and a register settling from the precharged
+// all-zero state costs the Hamming weight of the value. This header is the
+// single home of that accounting so the device models and the attacker
+// templates cannot drift apart.
+#pragma once
+
+#include <cstdint>
+
+#include "convolve/common/bytes.hpp"
+
+namespace convolve::leakage {
+
+/// Dynamic energy of a register settling from the precharged all-zero
+/// state (the first cycle after reset): HW(value).
+constexpr double settle_energy(std::uint64_t value) {
+  return hamming_weight(value);
+}
+
+/// Dynamic energy of a register edge: HD(prev, next).
+constexpr double switch_energy(std::uint64_t prev, std::uint64_t next) {
+  return hamming_distance(prev, next);
+}
+
+/// Clock a register: store `next` into `reg` and return the switching
+/// energy of the edge.
+template <typename Int>
+double reg_update(Int& reg, Int next) {
+  const double energy = switch_energy(static_cast<std::uint64_t>(reg),
+                                      static_cast<std::uint64_t>(next));
+  reg = next;
+  return energy;
+}
+
+}  // namespace convolve::leakage

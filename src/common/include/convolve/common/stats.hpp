@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -26,5 +27,45 @@ double pearson(std::span<const double> xs, std::span<const double> ys);
 /// Welch's t-statistic between two samples (used for TVLA-style leakage
 /// assessment in the CIM module). Returns 0 if either sample has < 2 points.
 double welch_t(std::span<const double> a, std::span<const double> b);
+
+/// Numerically stable one-pass accumulator of the first four central
+/// moments (Welford/Pébay updates). Two accumulators over disjoint data
+/// can be combined with merge() (Chan's pairwise formulas); merging in a
+/// fixed order yields a deterministic result, which is what the sca TVLA
+/// engine relies on for bit-identical verdicts at any thread count.
+class Welford {
+ public:
+  void add(double x);
+  void merge(const Welford& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance M2/n (the TVLA centered-square preprocessing
+  /// uses population moments); 0 for n < 1.
+  double variance_population() const;
+  /// Unbiased sample variance M2/(n-1); 0 for n < 2.
+  double variance_sample() const;
+  /// k-th central moment sum(x - mean)^k / n, k = 2, 3, 4.
+  double central_moment2() const { return variance_population(); }
+  double central_moment3() const;
+  double central_moment4() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum (x - mean)^2
+  double m3_ = 0.0;  // sum (x - mean)^3
+  double m4_ = 0.0;  // sum (x - mean)^4
+};
+
+/// First-order Welch t from two accumulators (same statistic as the span
+/// overload). Returns 0 if either side has < 2 points or both variances
+/// vanish.
+double welch_t(const Welford& a, const Welford& b);
+
+/// Second-order (TVLA) Welch t: the t-statistic of the centered squares
+/// y = (x - mean)^2, computed from central moments -- mean(y) = CM2 and
+/// var(y) = CM4 - CM2^2 (Schneider-Moradi leakage assessment methodology).
+double welch_t_centered_square(const Welford& a, const Welford& b);
 
 }  // namespace convolve

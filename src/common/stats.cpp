@@ -87,4 +87,89 @@ double welch_t(std::span<const double> a, std::span<const double> b) {
   return (mean(a) - mean(b)) / denom;
 }
 
+void Welford::add(double x) {
+  // Pébay's single-pass update of the first four moment sums.
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan / Terriberry pairwise combination.
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ +
+                    delta * delta2 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 =
+      m4_ + other.m4_ +
+      delta2 * delta2 * na * nb * (na * na - na * nb + nb * nb) /
+          (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ += delta * nb / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+}
+
+double Welford::variance_population() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Welford::variance_sample() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Welford::central_moment3() const {
+  return n_ > 0 ? m3_ / static_cast<double>(n_) : 0.0;
+}
+
+double Welford::central_moment4() const {
+  return n_ > 0 ? m4_ / static_cast<double>(n_) : 0.0;
+}
+
+double welch_t(const Welford& a, const Welford& b) {
+  if (a.count() < 2 || b.count() < 2) return 0.0;
+  const double denom =
+      std::sqrt(a.variance_sample() / static_cast<double>(a.count()) +
+                b.variance_sample() / static_cast<double>(b.count()));
+  if (denom == 0.0) return 0.0;
+  return (a.mean() - b.mean()) / denom;
+}
+
+double welch_t_centered_square(const Welford& a, const Welford& b) {
+  if (a.count() < 2 || b.count() < 2) return 0.0;
+  // For y = (x - mean)^2: mean(y) = CM2 and var(y) = CM4 - CM2^2.
+  const double cm2a = a.central_moment2();
+  const double cm2b = b.central_moment2();
+  const double var_ya = a.central_moment4() - cm2a * cm2a;
+  const double var_yb = b.central_moment4() - cm2b * cm2b;
+  const double denom = std::sqrt(var_ya / static_cast<double>(a.count()) +
+                                 var_yb / static_cast<double>(b.count()));
+  if (denom <= 0.0 || !std::isfinite(denom)) return 0.0;
+  return (cm2a - cm2b) / denom;
+}
+
 }  // namespace convolve

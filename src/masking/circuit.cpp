@@ -77,13 +77,23 @@ int Circuit::reg_count() const {
 std::vector<std::uint8_t> Circuit::evaluate_all(
     const std::vector<std::uint8_t>& inputs,
     const std::vector<std::uint8_t>& randoms) const {
+  std::vector<std::uint8_t> wire(gates_.size(), 0);
+  evaluate_all_into(inputs, randoms, wire);
+  return wire;
+}
+
+void Circuit::evaluate_all_into(std::span<const std::uint8_t> inputs,
+                                std::span<const std::uint8_t> randoms,
+                                std::span<std::uint8_t> wire) const {
   if (static_cast<int>(inputs.size()) != num_inputs_) {
     throw std::invalid_argument("Circuit::evaluate: wrong input count");
   }
   if (static_cast<int>(randoms.size()) != num_randoms_) {
     throw std::invalid_argument("Circuit::evaluate: wrong randomness count");
   }
-  std::vector<std::uint8_t> wire(gates_.size(), 0);
+  if (wire.size() != gates_.size()) {
+    throw std::invalid_argument("Circuit::evaluate: wrong wire buffer size");
+  }
   for (std::size_t i = 0; i < gates_.size(); ++i) {
     const Gate& g = gates_[i];
     switch (g.kind) {
@@ -112,7 +122,6 @@ std::vector<std::uint8_t> Circuit::evaluate_all(
         break;
     }
   }
-  return wire;
 }
 
 std::vector<std::uint8_t> Circuit::evaluate(

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,14 @@ class Circuit {
   std::vector<std::uint8_t> evaluate_all(
       const std::vector<std::uint8_t>& inputs,
       const std::vector<std::uint8_t>& randoms) const;
+
+  /// Allocation-free evaluation hook for instrumented consumers (the sca
+  /// power-trace simulator captures millions of traces through this):
+  /// writes the value of every gate into `wire`, which must have size
+  /// num_gates().
+  void evaluate_all_into(std::span<const std::uint8_t> inputs,
+                         std::span<const std::uint8_t> randoms,
+                         std::span<std::uint8_t> wire) const;
 
   /// Evaluate and return only the outputs.
   std::vector<std::uint8_t> evaluate(

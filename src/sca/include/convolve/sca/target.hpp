@@ -1,0 +1,93 @@
+// A masked netlist as a device under side-channel test.
+//
+// MaskedTraceTarget wraps a MaskedCircuit (as produced by mask_circuit or
+// hpc2_and_gadget) and presents the *unmasked* interface an evaluation lab
+// sees: feed it a plain input value, it draws a fresh uniform sharing of
+// every input bit plus the gadget randomness, evaluates the netlist and
+// emits one power trace. At order 0 the sharing is trivial and the target
+// degenerates to the unprotected implementation.
+//
+// capture_batch shards trace acquisition through src/common/parallel with
+// one derived RNG stream per trace index (Xoshiro256::split), so a batch
+// is bit-identical for every --threads N.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "convolve/common/rng.hpp"
+#include "convolve/sca/trace.hpp"
+
+namespace convolve::sca {
+
+/// How plain-value bit j maps to plain input i of the circuit.
+enum class BitOrder : std::uint8_t {
+  kLsbFirst,  // input i carries bit i (natural for adders, DOM-AND a/b)
+  kMsbFirst,  // input i carries bit (n-1-i) (the AES S-box convention)
+};
+
+class MaskedTraceTarget {
+ public:
+  /// `plain_inputs` is the number of original unmasked inputs of the
+  /// circuit that was masked (each maps to order+1 shares).
+  MaskedTraceTarget(masking::MaskedCircuit masked, int plain_inputs,
+                    TraceConfig config,
+                    BitOrder bit_order = BitOrder::kLsbFirst);
+
+  MaskedTraceTarget(const MaskedTraceTarget&) = delete;
+  MaskedTraceTarget& operator=(const MaskedTraceTarget&) = delete;
+
+  int samples() const { return simulator_.samples_per_trace(); }
+  unsigned masking_order() const { return masked_.order; }
+  int plain_inputs() const { return plain_inputs_; }
+  const PowerTraceSimulator& simulator() const { return simulator_; }
+
+  TraceScratch make_scratch() const { return simulator_.make_scratch(); }
+
+  /// Capture one trace of the masked evaluation of `plain_value`: sharing
+  /// randomness, gadget randomness and noise are all drawn from `rng` in a
+  /// fixed order.
+  void capture(std::uint32_t plain_value, Xoshiro256& rng,
+               TraceScratch& scratch, std::span<double> out) const;
+
+  /// Noise-suppressed measurement: the element-wise mean of `repetitions`
+  /// captures of the same plain value (fresh sharing per repetition),
+  /// routed through the shared capture::mean_trace_of path.
+  std::vector<double> capture_averaged(std::uint32_t plain_value,
+                                       Xoshiro256& rng, TraceScratch& scratch,
+                                       int repetitions) const;
+
+ private:
+  masking::MaskedCircuit masked_;
+  int plain_inputs_;
+  BitOrder bit_order_;
+  PowerTraceSimulator simulator_;  // references masked_.circuit
+};
+
+/// Row-major trace matrix: n traces x samples.
+struct TraceBatch {
+  int samples = 0;
+  std::uint64_t n = 0;
+  std::vector<double> data;
+
+  std::span<const double> row(std::uint64_t i) const {
+    return {data.data() + i * static_cast<std::uint64_t>(samples),
+            static_cast<std::size_t>(samples)};
+  }
+};
+
+/// Plain value of trace `index`; may consume `rng` (already split per
+/// trace) to draw random inputs.
+using PlainValueFn =
+    std::function<std::uint32_t(std::uint64_t index, Xoshiro256& rng)>;
+
+/// Deterministic parallel batch capture: trace i draws everything from
+/// base_rng.split(i), rows are written independently, so the batch depends
+/// only on (target, n_traces, plain, base_rng) -- never the thread count.
+TraceBatch capture_batch(const MaskedTraceTarget& target,
+                         std::uint64_t n_traces, const PlainValueFn& plain,
+                         const Xoshiro256& base_rng);
+
+}  // namespace convolve::sca

@@ -1,0 +1,90 @@
+// Gate-level power-trace simulation over the masking Circuit IR.
+//
+// The empirical half of the leakage story: where src/analysis proves
+// probing security symbolically, this module *measures* a netlist. Every
+// gate is assigned to a sample group by its combinational depth (inputs,
+// randoms and constants at depth 0; a gate one past its deepest fan-in),
+// and one evaluation emits one power sample per depth group:
+//
+//   * Hamming-weight model  -- sample[d] = sum of wire values at depth d
+//     (registers settling from a precharged all-zero state);
+//   * Hamming-distance model -- sample[d] = sum of wire toggles between
+//     two consecutive evaluations (capture_transition).
+//
+// Optional Gaussian noise is added per sample. All randomness (gadget
+// randoms, noise) is drawn from a caller-provided Xoshiro256, so a trace
+// is a pure function of (circuit, inputs, rng state) -- the property the
+// deterministic parallel capture path builds on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "convolve/common/rng.hpp"
+#include "convolve/masking/circuit.hpp"
+
+namespace convolve::sca {
+
+enum class PowerModel : std::uint8_t {
+  kHammingWeight,    // value leakage (settle from precharge)
+  kHammingDistance,  // toggle leakage between consecutive evaluations
+};
+
+struct TraceConfig {
+  PowerModel model = PowerModel::kHammingWeight;
+  double noise_sigma = 0.0;  // Gaussian noise added to every sample
+};
+
+/// Reusable per-worker buffers so the hot capture loop is allocation-free.
+struct TraceScratch {
+  std::vector<std::uint8_t> inputs;
+  std::vector<std::uint8_t> randoms;
+  std::vector<std::uint8_t> wire;       // current evaluation
+  std::vector<std::uint8_t> wire_prev;  // previous evaluation (HD model)
+};
+
+/// Simulates power traces of one combinational circuit. The circuit must
+/// outlive the simulator (it is held by reference).
+class PowerTraceSimulator {
+ public:
+  PowerTraceSimulator(const masking::Circuit& circuit, TraceConfig config);
+
+  /// One sample per combinational depth group.
+  int samples_per_trace() const { return samples_; }
+  const TraceConfig& config() const { return config_; }
+  const masking::Circuit& circuit() const { return circuit_; }
+  /// Depth group of gate g (for tests and pointwise diagnostics).
+  int depth_of(int gate) const {
+    return depth_[static_cast<std::size_t>(gate)];
+  }
+
+  TraceScratch make_scratch() const;
+
+  /// Capture one trace: draw the circuit's fresh randomness from `rng`,
+  /// evaluate on `inputs`, emit Hamming-weight samples plus noise into
+  /// `out` (size samples_per_trace()).
+  void capture(std::span<const std::uint8_t> inputs, Xoshiro256& rng,
+               TraceScratch& scratch, std::span<double> out) const;
+
+  /// Capture the transition `from` -> `to` under the Hamming-distance
+  /// model: both evaluations draw fresh randomness from `rng`; sample[d]
+  /// counts the wires of depth d that toggled.
+  void capture_transition(std::span<const std::uint8_t> from,
+                          std::span<const std::uint8_t> to, Xoshiro256& rng,
+                          TraceScratch& scratch,
+                          std::span<double> out) const;
+
+ private:
+  void fill_randoms(Xoshiro256& rng, TraceScratch& scratch) const;
+  void accumulate(std::span<const std::uint8_t> wire,
+                  std::span<double> out) const;
+  void add_noise(Xoshiro256& rng, std::span<double> out) const;
+
+  const masking::Circuit& circuit_;
+  TraceConfig config_;
+  std::vector<int> depth_;  // per-gate depth group
+  int samples_ = 0;
+};
+
+}  // namespace convolve::sca

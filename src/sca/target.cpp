@@ -1,0 +1,84 @@
+#include "convolve/sca/target.hpp"
+
+#include <stdexcept>
+
+#include "convolve/common/capture.hpp"
+#include "convolve/common/parallel.hpp"
+
+namespace convolve::sca {
+
+MaskedTraceTarget::MaskedTraceTarget(masking::MaskedCircuit masked,
+                                     int plain_inputs, TraceConfig config,
+                                     BitOrder bit_order)
+    : masked_(std::move(masked)),
+      plain_inputs_(plain_inputs),
+      bit_order_(bit_order),
+      simulator_(masked_.circuit, config) {
+  if (plain_inputs <= 0 || plain_inputs > 32) {
+    throw std::invalid_argument("MaskedTraceTarget: plain_inputs not in 1..32");
+  }
+  if (static_cast<std::size_t>(plain_inputs) !=
+      masked_.input_share_base.size()) {
+    throw std::invalid_argument(
+        "MaskedTraceTarget: plain_inputs != masked input count");
+  }
+}
+
+void MaskedTraceTarget::capture(std::uint32_t plain_value, Xoshiro256& rng,
+                                TraceScratch& scratch,
+                                std::span<double> out) const {
+  const unsigned order = masked_.order;
+  for (int i = 0; i < plain_inputs_; ++i) {
+    const int pos =
+        bit_order_ == BitOrder::kLsbFirst ? i : plain_inputs_ - 1 - i;
+    std::uint8_t bit = static_cast<std::uint8_t>((plain_value >> pos) & 1u);
+    const std::size_t base = static_cast<std::size_t>(
+        masked_.input_share_base[static_cast<std::size_t>(i)]);
+    // Fresh uniform sharing: the first `order` shares are random, the last
+    // one completes the XOR to the plain bit.
+    for (unsigned s = 0; s < order; ++s) {
+      const std::uint8_t m = static_cast<std::uint8_t>(rng.next_bit());
+      scratch.inputs[base + s] = m;
+      bit ^= m;
+    }
+    scratch.inputs[base + order] = bit;
+  }
+  simulator_.capture(scratch.inputs, rng, scratch, out);
+}
+
+std::vector<double> MaskedTraceTarget::capture_averaged(
+    std::uint32_t plain_value, Xoshiro256& rng, TraceScratch& scratch,
+    int repetitions) const {
+  return capture::mean_trace_of(
+      repetitions, samples(), [&](int, std::vector<double>& out) {
+        capture(plain_value, rng, scratch, out);
+      });
+}
+
+TraceBatch capture_batch(const MaskedTraceTarget& target,
+                         std::uint64_t n_traces, const PlainValueFn& plain,
+                         const Xoshiro256& base_rng) {
+  TraceBatch batch;
+  batch.samples = target.samples();
+  batch.n = n_traces;
+  batch.data.assign(n_traces * static_cast<std::uint64_t>(batch.samples),
+                    0.0);
+
+  const std::uint64_t grain = 32;
+  const std::uint64_t n_chunks = par::chunk_count(n_traces, grain);
+  par::for_each_chunk(n_chunks, [&](std::uint64_t c) {
+    const par::Range r = par::chunk_range(n_traces, n_chunks, c);
+    TraceScratch scratch = target.make_scratch();
+    for (std::uint64_t i = r.begin; i < r.end; ++i) {
+      Xoshiro256 rng = base_rng.split(i);
+      const std::uint32_t value = plain(i, rng);
+      std::span<double> out{
+          batch.data.data() + i * static_cast<std::uint64_t>(batch.samples),
+          static_cast<std::size_t>(batch.samples)};
+      target.capture(value, rng, scratch, out);
+    }
+  });
+  return batch;
+}
+
+}  // namespace convolve::sca

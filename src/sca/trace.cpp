@@ -1,0 +1,107 @@
+#include "convolve/sca/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "convolve/common/leakage_model.hpp"
+
+namespace convolve::sca {
+
+using masking::Gate;
+using masking::GateKind;
+
+PowerTraceSimulator::PowerTraceSimulator(const masking::Circuit& circuit,
+                                         TraceConfig config)
+    : circuit_(circuit), config_(config) {
+  depth_.resize(circuit.num_gates(), 0);
+  const auto& gates = circuit.gates();
+  int max_depth = 0;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    int d = 0;
+    switch (g.kind) {
+      case GateKind::kInput:
+      case GateKind::kRandom:
+      case GateKind::kConst:
+        d = 0;
+        break;
+      case GateKind::kNot:
+      case GateKind::kReg:
+        d = depth_[static_cast<std::size_t>(g.a)] + 1;
+        break;
+      case GateKind::kAnd:
+      case GateKind::kXor:
+        d = std::max(depth_[static_cast<std::size_t>(g.a)],
+                     depth_[static_cast<std::size_t>(g.b)]) +
+            1;
+        break;
+    }
+    depth_[i] = d;
+    max_depth = std::max(max_depth, d);
+  }
+  samples_ = max_depth + 1;
+}
+
+TraceScratch PowerTraceSimulator::make_scratch() const {
+  TraceScratch s;
+  s.inputs.resize(static_cast<std::size_t>(circuit_.num_inputs()), 0);
+  s.randoms.resize(static_cast<std::size_t>(circuit_.num_randoms()), 0);
+  s.wire.resize(circuit_.num_gates(), 0);
+  s.wire_prev.resize(circuit_.num_gates(), 0);
+  return s;
+}
+
+void PowerTraceSimulator::fill_randoms(Xoshiro256& rng,
+                                       TraceScratch& scratch) const {
+  std::uint64_t word = 0;
+  for (std::size_t j = 0; j < scratch.randoms.size(); ++j) {
+    if (j % 64 == 0) word = rng.next_u64();
+    scratch.randoms[j] = static_cast<std::uint8_t>((word >> (j % 64)) & 1u);
+  }
+}
+
+void PowerTraceSimulator::accumulate(std::span<const std::uint8_t> wire,
+                                     std::span<double> out) const {
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    out[static_cast<std::size_t>(depth_[i])] += leakage::settle_energy(wire[i]);
+  }
+}
+
+void PowerTraceSimulator::add_noise(Xoshiro256& rng,
+                                    std::span<double> out) const {
+  if (config_.noise_sigma <= 0.0) return;
+  for (double& s : out) s += rng.normal(0.0, config_.noise_sigma);
+}
+
+void PowerTraceSimulator::capture(std::span<const std::uint8_t> inputs,
+                                  Xoshiro256& rng, TraceScratch& scratch,
+                                  std::span<double> out) const {
+  if (static_cast<int>(out.size()) != samples_) {
+    throw std::invalid_argument("capture: wrong trace length");
+  }
+  fill_randoms(rng, scratch);
+  circuit_.evaluate_all_into(inputs, scratch.randoms, scratch.wire);
+  std::fill(out.begin(), out.end(), 0.0);
+  accumulate(scratch.wire, out);
+  add_noise(rng, out);
+}
+
+void PowerTraceSimulator::capture_transition(
+    std::span<const std::uint8_t> from, std::span<const std::uint8_t> to,
+    Xoshiro256& rng, TraceScratch& scratch, std::span<double> out) const {
+  if (static_cast<int>(out.size()) != samples_) {
+    throw std::invalid_argument("capture_transition: wrong trace length");
+  }
+  fill_randoms(rng, scratch);
+  circuit_.evaluate_all_into(from, scratch.randoms, scratch.wire_prev);
+  fill_randoms(rng, scratch);
+  circuit_.evaluate_all_into(to, scratch.randoms, scratch.wire);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t i = 0; i < scratch.wire.size(); ++i) {
+    out[static_cast<std::size_t>(depth_[i])] +=
+        leakage::switch_energy(scratch.wire_prev[i], scratch.wire[i]);
+  }
+  add_noise(rng, out);
+}
+
+}  // namespace convolve::sca

@@ -1,0 +1,133 @@
+#include "convolve/sca/tvla.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "convolve/common/parallel.hpp"
+
+namespace convolve::sca {
+
+namespace {
+
+// Per-class, per-sample moment accumulators for one shard of traces.
+struct Moments {
+  std::vector<Welford> fixed;
+  std::vector<Welford> random;
+
+  explicit Moments(int samples)
+      : fixed(static_cast<std::size_t>(samples)),
+        random(static_cast<std::size_t>(samples)) {}
+
+  void merge(const Moments& other) {
+    for (std::size_t s = 0; s < fixed.size(); ++s) {
+      fixed[s].merge(other.fixed[s]);
+      random[s].merge(other.random[s]);
+    }
+  }
+};
+
+std::vector<int> default_checkpoints(int n_traces) {
+  std::vector<int> cps;
+  for (int c = 256; c < n_traces; c *= 2) cps.push_back(c);
+  cps.push_back(n_traces);
+  return cps;
+}
+
+}  // namespace
+
+TvlaReport tvla_fixed_vs_random(const MaskedTraceTarget& target,
+                                std::uint32_t fixed_value, int n_traces,
+                                const TvlaConfig& config) {
+  if (n_traces < 4) throw std::invalid_argument("tvla: need >= 4 traces");
+  const int samples = target.samples();
+  const std::uint32_t value_mask =
+      target.plain_inputs() >= 32
+          ? 0xFFFFFFFFu
+          : (1u << target.plain_inputs()) - 1u;
+
+  std::vector<int> checkpoints = config.checkpoints.empty()
+                                     ? default_checkpoints(n_traces)
+                                     : config.checkpoints;
+
+  TvlaReport report;
+  report.samples = samples;
+  report.threshold = config.threshold;
+
+  const Xoshiro256 base(config.seed);
+  Moments total(samples);
+  int done = 0;
+  for (int checkpoint : checkpoints) {
+    if (checkpoint <= done || checkpoint > n_traces) continue;
+    // Capture the segment [done, checkpoint) and fold it into the running
+    // accumulators: parallel_reduce merges the per-chunk moments in
+    // ascending chunk order, and segments merge in schedule order, so the
+    // whole curve is thread-count invariant.
+    const std::uint64_t seg = static_cast<std::uint64_t>(checkpoint - done);
+    const std::uint64_t offset = static_cast<std::uint64_t>(done);
+    Moments segment = par::parallel_reduce(
+        seg, config.grain, Moments(samples),
+        [&](std::uint64_t, par::Range r) {
+          Moments local(samples);
+          TraceScratch scratch = target.make_scratch();
+          std::vector<double> trace(static_cast<std::size_t>(samples));
+          for (std::uint64_t k = r.begin; k < r.end; ++k) {
+            const std::uint64_t i = offset + k;
+            Xoshiro256 rng = base.split(i);
+            const bool is_fixed = (i % 2 == 0);
+            const std::uint32_t value =
+                is_fixed
+                    ? fixed_value
+                    : static_cast<std::uint32_t>(rng.next_u64()) & value_mask;
+            target.capture(value, rng, scratch, trace);
+            auto& cls = is_fixed ? local.fixed : local.random;
+            for (int s = 0; s < samples; ++s) {
+              cls[static_cast<std::size_t>(s)].add(
+                  trace[static_cast<std::size_t>(s)]);
+            }
+          }
+          return local;
+        },
+        [](Moments acc, Moments part) {
+          acc.merge(part);
+          return acc;
+        });
+    total.merge(segment);
+    done = checkpoint;
+
+    TvlaCheckpoint cp;
+    cp.traces = done;
+    report.t1.assign(static_cast<std::size_t>(samples), 0.0);
+    report.t2.assign(static_cast<std::size_t>(samples), 0.0);
+    for (int s = 0; s < samples; ++s) {
+      const auto& f = total.fixed[static_cast<std::size_t>(s)];
+      const auto& r = total.random[static_cast<std::size_t>(s)];
+      const double t1 = welch_t(f, r);
+      const double t2 = welch_t_centered_square(f, r);
+      report.t1[static_cast<std::size_t>(s)] = t1;
+      report.t2[static_cast<std::size_t>(s)] = t2;
+      cp.max_abs_t1 = std::max(cp.max_abs_t1, std::abs(t1));
+      cp.max_abs_t2 = std::max(cp.max_abs_t2, std::abs(t2));
+    }
+    if (cp.max_abs_t1 > config.threshold &&
+        report.traces_to_first_order_fail < 0) {
+      report.traces_to_first_order_fail = done;
+    }
+    if (cp.max_abs_t2 > config.threshold &&
+        report.traces_to_second_order_fail < 0) {
+      report.traces_to_second_order_fail = done;
+    }
+    report.curve.push_back(cp);
+  }
+
+  if (report.curve.empty()) {
+    throw std::invalid_argument("tvla: no checkpoint within n_traces");
+  }
+  const TvlaCheckpoint& last = report.curve.back();
+  report.max_abs_t1 = last.max_abs_t1;
+  report.max_abs_t2 = last.max_abs_t2;
+  report.first_order_leak = last.max_abs_t1 > config.threshold;
+  report.second_order_leak = last.max_abs_t2 > config.threshold;
+  return report;
+}
+
+}  // namespace convolve::sca

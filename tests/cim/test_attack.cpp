@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "convolve/common/bytes.hpp"
+#include "convolve/common/capture.hpp"
 
 namespace convolve::cim {
 namespace {
@@ -227,6 +228,44 @@ TEST(Attack, DummyRowCountermeasureDegradesAccuracy) {
   auto result = run_attack(macro, attack);
   evaluate_against_ground_truth(result, macro.secret_weights());
   EXPECT_LT(result.accuracy, 0.9);
+}
+
+TEST(Attack, SharedCapturePathMatchesNaiveAveraging) {
+  // The attack's measure_on now routes through capture::mean_of; this
+  // differential test pins the refactor to the original accumulation
+  // contract -- same fork stream, repetition-ordered sum, then divide --
+  // on a noisy, countermeasure-enabled macro where the rng draw order
+  // actually shows in the result.
+  MacroConfig config;
+  config.n_rows = 64;
+  config.noise_sigma = 0.3;
+  config.shuffle_rows = true;
+  for (std::uint64_t seed : {3u, 17u, 99u}) {
+    const CimMacro parent = random_macro(config, seed);
+    std::vector<std::uint8_t> inputs(64, 0);
+    inputs[5] = 1;
+    inputs[40] = 1;
+    constexpr int kTraces = 16;
+
+    CimMacro naive_macro = parent.fork(12);
+    double sum = 0.0;
+    for (int t = 0; t < kTraces; ++t) {
+      naive_macro.reset();
+      naive_macro.clear_trace();
+      naive_macro.mac_cycle(inputs);
+      sum += naive_macro.trace().back();
+    }
+    const double naive = sum / kTraces;
+
+    CimMacro shared_macro = parent.fork(12);
+    const double shared = capture::mean_of(kTraces, [&](int) {
+      shared_macro.reset();
+      shared_macro.clear_trace();
+      shared_macro.mac_cycle(inputs);
+      return shared_macro.trace().back();
+    });
+    EXPECT_DOUBLE_EQ(shared, naive) << "seed=" << seed;
+  }
 }
 
 TEST(Attack, MeasurementBudgetIsCounted) {

@@ -2,10 +2,34 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
+
+#include "convolve/common/rng.hpp"
 
 namespace convolve {
 namespace {
+
+// Naive two-pass reference for the one-pass Welford accumulator: compute
+// the mean first, then the central moment sums directly.
+struct TwoPass {
+  double mean = 0.0;
+  double cm2 = 0.0, cm3 = 0.0, cm4 = 0.0;
+  explicit TwoPass(const std::vector<double>& xs) {
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    for (double x : xs) {
+      const double d = x - mean;
+      cm2 += d * d;
+      cm3 += d * d * d;
+      cm4 += d * d * d * d;
+    }
+    const auto n = static_cast<double>(xs.size());
+    cm2 /= n;
+    cm3 /= n;
+    cm4 /= n;
+  }
+};
 
 TEST(Stats, Mean) {
   const std::vector<double> xs = {1, 2, 3, 4};
@@ -63,6 +87,101 @@ TEST(Stats, WelchTSeparatedSamples) {
 TEST(Stats, WelchTIdenticalSamplesNearZero) {
   const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(welch_t(a, a), 0.0);
+}
+
+TEST(Welford, MatchesTwoPassOnAdversarialData) {
+  // Large common mean, tiny variance: the textbook catastrophic-
+  // cancellation case a naive sum-of-squares accumulator fails on.
+  Xoshiro256 rng(0x5EED);
+  std::vector<double> xs;
+  Welford acc;
+  for (int i = 0; i < 4096; ++i) {
+    const double x =
+        1.0e6 + 1.0e-3 * static_cast<double>(rng.next_u64() & 0xFFFF) / 65536.0;
+    xs.push_back(x);
+    acc.add(x);
+  }
+  const TwoPass ref(xs);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), ref.mean, std::abs(ref.mean) * 1e-12);
+  ASSERT_GT(ref.cm2, 0.0);
+  EXPECT_NEAR(acc.central_moment2(), ref.cm2, ref.cm2 * 1e-5);
+  EXPECT_NEAR(acc.central_moment4(), ref.cm4, ref.cm4 * 1e-5);
+  // cm3 of near-uniform data hovers around zero; bound the discrepancy by
+  // the characteristic cube scale instead of a relative tolerance.
+  EXPECT_NEAR(acc.central_moment3(), ref.cm3,
+              ref.cm2 * std::sqrt(ref.cm2) * 1e-2);
+  EXPECT_NEAR(acc.variance_sample(),
+              ref.cm2 * static_cast<double>(xs.size()) /
+                  static_cast<double>(xs.size() - 1),
+              ref.cm2 * 1e-5);
+}
+
+TEST(Welford, PairwiseMergeEqualsSequentialAccumulation) {
+  Xoshiro256 rng(0xACC);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(static_cast<double>(rng.next_u64() % 1000) - 500.0);
+  }
+  Welford sequential;
+  for (double x : xs) sequential.add(x);
+
+  // Rank-ordered merge of uneven chunks -- the shape parallel_reduce
+  // produces.
+  Welford merged;
+  std::size_t pos = 0;
+  for (std::size_t chunk : {137u, 1u, 450u, 412u}) {
+    Welford part;
+    for (std::size_t i = 0; i < chunk; ++i) part.add(xs[pos++]);
+    merged.merge(part);
+  }
+  ASSERT_EQ(pos, xs.size());
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(merged.central_moment2(), sequential.central_moment2(), 1e-9);
+  EXPECT_NEAR(merged.central_moment3(), sequential.central_moment3(), 1e-6);
+  EXPECT_NEAR(merged.central_moment4(), sequential.central_moment4(), 1e-4);
+}
+
+TEST(Welford, MergeWithEmptySideIsIdentity) {
+  Welford a;
+  a.add(1.0);
+  a.add(3.0);
+  Welford empty;
+  Welford merged = a;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.mean(), 2.0);
+  Welford other = empty;
+  other.merge(a);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(other.central_moment2(), a.central_moment2());
+}
+
+TEST(Welford, AccumulatorWelchTMatchesSpanOverload) {
+  const std::vector<double> a = {10.0, 10.1, 9.9, 10.05, 9.95};
+  const std::vector<double> b = {20.0, 20.1, 19.9, 20.05, 19.95};
+  Welford wa, wb;
+  for (double x : a) wa.add(x);
+  for (double x : b) wb.add(x);
+  EXPECT_NEAR(welch_t(wa, wb), welch_t(a, b), 1e-9);
+  EXPECT_DOUBLE_EQ(welch_t(wa, wa), 0.0);
+}
+
+TEST(Welford, SecondOrderTSeparatesEqualMeanDifferentSpread) {
+  // Same mean, different variance: invisible to the first-order t,
+  // flagged by the centered-square (second-order TVLA) statistic.
+  Xoshiro256 rng(0x22D);
+  Welford narrow, wide;
+  for (int i = 0; i < 20000; ++i) {
+    const double u =
+        static_cast<double>(rng.next_u64() >> 11) / 9007199254740992.0 - 0.5;
+    narrow.add(u);
+    wide.add(3.0 * u);
+  }
+  EXPECT_LT(std::abs(welch_t(narrow, wide)), 4.5);
+  EXPECT_GT(std::abs(welch_t_centered_square(narrow, wide)), 4.5);
 }
 
 }  // namespace

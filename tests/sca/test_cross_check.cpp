@@ -1,0 +1,66 @@
+// Static-vs-empirical agreement matrix: the PR-1 symbolic probing verifier
+// and a noiseless TVLA must grade DOM-AND identically at masking orders
+// 0, 1 and 2 -- each oracle independently, then `agree` ties them together.
+#include "convolve/analysis/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace convolve::analysis {
+namespace {
+
+CrossCheckReport check(unsigned masking_order, unsigned statistical_order) {
+  const auto masked =
+      masking::mask_circuit(masking::single_and_circuit(), masking_order);
+  return cross_check_probing_vs_tvla(masked, 2, statistical_order, {});
+}
+
+TEST(CrossCheck, UnmaskedAndLeaksAndBothOraclesSeeIt) {
+  const CrossCheckReport report = check(0, 1);
+  EXPECT_FALSE(report.static_secure);
+  EXPECT_TRUE(report.empirical_leak);
+  EXPECT_GT(report.max_abs_t, 4.5);
+  EXPECT_TRUE(report.agree);
+}
+
+TEST(CrossCheck, Order1DomSecureAtFirstOrderBothOracles) {
+  const CrossCheckReport report = check(1, 1);
+  EXPECT_TRUE(report.static_secure);
+  EXPECT_FALSE(report.empirical_leak);
+  EXPECT_LT(report.max_abs_t, 4.5);
+  EXPECT_TRUE(report.agree);
+}
+
+TEST(CrossCheck, Order1DomLeaksAtSecondOrderBothOracles) {
+  const CrossCheckReport report = check(1, 2);
+  EXPECT_FALSE(report.static_secure);
+  EXPECT_TRUE(report.empirical_leak);
+  EXPECT_TRUE(report.agree);
+}
+
+TEST(CrossCheck, Order2DomSecureAtSecondOrderBothOracles) {
+  const CrossCheckReport report = check(2, 2);
+  EXPECT_TRUE(report.static_secure);
+  EXPECT_FALSE(report.empirical_leak);
+  EXPECT_TRUE(report.agree);
+}
+
+TEST(CrossCheck, Hpc2GadgetAgreesToo) {
+  const auto hpc2 = masking::hpc2_and_gadget(1);
+  const CrossCheckReport report = cross_check_probing_vs_tvla(hpc2, 2, 1, {});
+  EXPECT_TRUE(report.static_secure);
+  EXPECT_FALSE(report.empirical_leak);
+  EXPECT_TRUE(report.agree);
+}
+
+TEST(CrossCheck, RejectsUnsupportedStatisticalOrder) {
+  const auto masked = masking::mask_circuit(masking::single_and_circuit(), 1);
+  EXPECT_THROW(cross_check_probing_vs_tvla(masked, 2, 0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(cross_check_probing_vs_tvla(masked, 2, 3, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace convolve::analysis
