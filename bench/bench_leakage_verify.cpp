@@ -3,9 +3,15 @@
 // 1-2), with the per-stage discharge counters that explain where probe
 // sets die. The S-box rows are the ISSUE acceptance gate (< 60 s at
 // order 2).
+//
+// --json emits the shared bench_report.hpp schema; --trace-out and
+// --metrics-out write chrome://tracing and metric-snapshot files.
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_report.hpp"
 #include "convolve/analysis/aes_sbox.hpp"
 #include "convolve/analysis/leakage_verify.hpp"
 #include "convolve/masking/circuit.hpp"
@@ -42,36 +48,77 @@ const char* verdict_name(Verdict v) {
   return "?";
 }
 
-void run(const char* label, const masking::Circuit& plain, int plain_inputs,
-         unsigned order, unsigned probe_order) {
+void run(convolve::bench::Report& report, bool text, const char* label,
+         const masking::Circuit& plain, int plain_inputs, unsigned order,
+         unsigned probe_order) {
   const auto masked = masking::mask_circuit(plain, order);
   const auto start = std::chrono::steady_clock::now();
-  const auto report = verify_probing_symbolic(masked, plain_inputs,
-                                              probe_order);
+  const auto r = verify_probing_symbolic(masked, plain_inputs, probe_order);
   const auto stop = std::chrono::steady_clock::now();
   const double ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
-  std::printf(
-      "%-14s d=%u p=%u %6zu gates %10.1f ms  %-9s sets=%llu cov=%llu "
-      "simp=%llu exact=%llu\n",
-      label, order, probe_order, masked.circuit.num_gates(), ms,
-      verdict_name(report.verdict),
-      static_cast<unsigned long long>(report.probe_sets_checked),
-      static_cast<unsigned long long>(report.coverage_rejected),
-      static_cast<unsigned long long>(report.simplified_away),
-      static_cast<unsigned long long>(report.fallback_checked));
+  if (text) {
+    std::printf(
+        "%-14s d=%u p=%u %6zu gates %10.1f ms  %-9s sets=%llu cov=%llu "
+        "simp=%llu exact=%llu\n",
+        label, order, probe_order, masked.circuit.num_gates(), ms,
+        verdict_name(r.verdict),
+        static_cast<unsigned long long>(r.probe_sets_checked),
+        static_cast<unsigned long long>(r.coverage_rejected),
+        static_cast<unsigned long long>(r.simplified_away),
+        static_cast<unsigned long long>(r.fallback_checked));
+  }
+  const double ns_per_set =
+      r.probe_sets_checked > 0
+          ? ms * 1e6 / static_cast<double>(r.probe_sets_checked)
+          : 0;
+  auto& e = report.add(std::string(label) + "/d" + std::to_string(order) +
+                       "p" + std::to_string(probe_order));
+  e.iterations = r.probe_sets_checked;
+  e.real_time_ns = ns_per_set;
+  e.cpu_time_ns = ns_per_set;
+  e.counter("wall_ms", ms);
+  e.counter("gates", static_cast<double>(masked.circuit.num_gates()));
+  e.counter("probe_sets", static_cast<double>(r.probe_sets_checked));
+  e.counter("coverage_rejected", static_cast<double>(r.coverage_rejected));
+  e.counter("simplified_away", static_cast<double>(r.simplified_away));
+  e.counter("fallback_checked", static_cast<double>(r.fallback_checked));
+  e.counter("secure", r.verdict == Verdict::kSecure ? 1.0 : 0.0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  convolve::par::init_threads_from_cli(argc, argv);
-  std::printf("=== Symbolic probing verifier throughput ===\n");
+  const int threads = convolve::par::init_threads_from_cli(argc, argv);
+  convolve::bench::ReportOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!convolve::bench::consume_report_flag(arg, opts)) {
+      std::fprintf(stderr, "usage: %s %s [--threads=N]\n", argv[0],
+                   convolve::bench::report_flags_usage());
+      return 2;
+    }
+  }
+
+  convolve::bench::Report report;
+  report.executable = argv[0];
+  report.threads = threads;
+  const bool text = !opts.json;
+
+  if (text) std::printf("=== Symbolic probing verifier throughput ===\n");
   const auto chain = dom_and_chain();
-  for (unsigned d = 1; d <= 3; ++d) run("dom-and-chain", chain, 4, d, d);
+  for (unsigned d = 1; d <= 3; ++d) {
+    run(report, text, "dom-and-chain", chain, 4, d, d);
+  }
 
   const auto sbox = aes_sbox_circuit();
-  run("aes-sbox", sbox, 8, 1, 1);
-  run("aes-sbox", sbox, 8, 2, 2);
+  run(report, text, "aes-sbox", sbox, 8, 1, 1);
+  run(report, text, "aes-sbox", sbox, 8, 2, 2);
+
+  if (!convolve::bench::finish_report(report, opts)) {
+    std::fprintf(stderr,
+                 "bench_leakage_verify: failed to write report file(s)\n");
+    return 2;
+  }
   return 0;
 }

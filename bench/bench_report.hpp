@@ -1,0 +1,160 @@
+// Shared bench reporting: every hand-rolled bench (bench_rv32, bench_sca,
+// bench_leakage_verify, bench_table1_dse) routes its --json output through
+// this header so all of them emit the same google-benchmark-style schema as
+// the real google-benchmark binaries (bench_crypto_micro
+// --benchmark_format=json), extended with a top-level "telemetry" object
+// holding the metric-registry snapshot. The shape is pinned by
+// tools/check_bench_json.
+//
+// Also owns the common report flags:
+//   --json            print the JSON report to stdout
+//   --trace-out=FILE  write a chrome://tracing span file
+//   --metrics-out=FILE  write the metric snapshot JSON
+// In CONVOLVE_TELEMETRY=OFF builds the flags stay accepted and the files
+// are still written (as empty stubs), so scripts don't fork on build type.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "convolve/common/telemetry.hpp"
+
+namespace convolve::bench {
+
+struct Entry {
+  std::string name;
+  std::uint64_t iterations = 1;
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+  int threads = 1;
+  // Bench-specific numeric extras (insns_per_second, traps, max_t, ...),
+  // emitted as additional fields like google-benchmark UserCounters.
+  std::vector<std::pair<std::string, double>> counters;
+
+  Entry& counter(std::string key, double value) {
+    counters.emplace_back(std::move(key), value);
+    return *this;
+  }
+};
+
+struct Report {
+  std::string executable;
+  int threads = 1;
+  std::vector<Entry> entries;
+
+  Entry& add(std::string name) {
+    entries.push_back(Entry{});
+    entries.back().name = std::move(name);
+    entries.back().threads = threads;
+    return entries.back();
+  }
+
+  std::string to_json() const {
+    std::string out = "{\n  \"context\": {\n";
+    out += "    \"executable\": \"" + executable + "\",\n";
+    out += "    \"num_cpus\": " +
+           std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    out += "    \"threads\": " + std::to_string(threads) + ",\n";
+    out += "    \"library_build_type\": \"release\"\n";
+    out += "  },\n  \"benchmarks\": [\n";
+    char buf[64];
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const Entry& e = entries[i];
+      if (i) out += ",\n";
+      out += "    {\n";
+      out += "      \"name\": \"" + e.name + "\",\n";
+      out += "      \"run_name\": \"" + e.name + "\",\n";
+      out += "      \"run_type\": \"iteration\",\n";
+      out += "      \"repetitions\": 1,\n";
+      out += "      \"repetition_index\": 0,\n";
+      out += "      \"threads\": " + std::to_string(e.threads) + ",\n";
+      out += "      \"iterations\": " + std::to_string(e.iterations) + ",\n";
+      std::snprintf(buf, sizeof(buf), "%.6f", e.real_time_ns);
+      out += std::string("      \"real_time\": ") + buf + ",\n";
+      std::snprintf(buf, sizeof(buf), "%.6f", e.cpu_time_ns);
+      out += std::string("      \"cpu_time\": ") + buf + ",\n";
+      out += "      \"time_unit\": \"ns\"";
+      for (const auto& [key, value] : e.counters) {
+        std::snprintf(buf, sizeof(buf), "%.6f", value);
+        out += ",\n      \"" + key + "\": " + buf;
+      }
+      out += "\n    }";
+    }
+    out += "\n  ],\n  \"telemetry\": ";
+#if CONVOLVE_TELEMETRY_ENABLED
+    out += telemetry::snapshot().to_json();
+#else
+    out += "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}";
+#endif
+    out += "\n}\n";
+    return out;
+  }
+};
+
+struct ReportOptions {
+  bool json = false;
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+/// Claim `arg` if it is one of the shared report flags. Returns true when
+/// consumed (the bench's own flag parsing should skip it).
+inline bool consume_report_flag(const std::string& arg, ReportOptions& opts) {
+  if (arg == "--json") {
+    opts.json = true;
+    return true;
+  }
+  if (arg.rfind("--trace-out=", 0) == 0) {
+    opts.trace_out = arg.substr(12);
+    return true;
+  }
+  if (arg.rfind("--metrics-out=", 0) == 0) {
+    opts.metrics_out = arg.substr(14);
+    return true;
+  }
+  return false;
+}
+
+inline const char* report_flags_usage() {
+  return "[--json] [--trace-out=FILE] [--metrics-out=FILE]";
+}
+
+namespace detail {
+inline bool write_stub(const std::string& path, const char* body) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << body;
+  return f.good();
+}
+}  // namespace detail
+
+/// Emit the report per `opts`: JSON to stdout when --json, plus the trace
+/// and metrics files when requested. Returns false on I/O failure.
+inline bool finish_report(const Report& report, const ReportOptions& opts) {
+  if (opts.json) std::fputs(report.to_json().c_str(), stdout);
+  bool ok = true;
+  if (!opts.trace_out.empty()) {
+#if CONVOLVE_TELEMETRY_ENABLED
+    ok &= telemetry::write_chrome_trace(opts.trace_out);
+#else
+    ok &= detail::write_stub(opts.trace_out, "{\"traceEvents\": []}\n");
+#endif
+  }
+  if (!opts.metrics_out.empty()) {
+#if CONVOLVE_TELEMETRY_ENABLED
+    ok &= telemetry::write_metrics_json(opts.metrics_out);
+#else
+    ok &= detail::write_stub(
+        opts.metrics_out,
+        "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n");
+#endif
+  }
+  return ok;
+}
+
+}  // namespace convolve::bench

@@ -12,9 +12,16 @@
 // --min-speedup (default 3x). The ecall storm is reported but not gated:
 // its cost is the trap boundary itself, which both engines share.
 //
-// Output: a text table by default; --json emits the same schema as the
-// google-benchmark binaries (bench_crypto_micro --benchmark_format=json),
-// so both feed the same tooling.
+// A fourth scenario, rv32_parallel, runs 64 unevenly-sized hart slices
+// through the work-stealing pool (one Machine+Rv32Cpu per slice): with
+// --threads >= 2 the uneven loads force steals, so a single --json run
+// exercises every counter the acceptance gate asks for (decode-cache, PMP
+// memo, pool.steals) and puts per-worker spans in the --trace-out file.
+//
+// Output: a text table by default; --json emits the shared
+// bench_report.hpp schema (same shape as bench_crypto_micro
+// --benchmark_format=json plus a "telemetry" snapshot), and
+// --trace-out/--metrics-out write chrome://tracing and metric files.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -23,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "convolve/common/parallel.hpp"
 #include "convolve/tee/rv32.hpp"
 
@@ -142,74 +150,128 @@ bool same_state(const EngineRun& a, const EngineRun& b) {
          std::memcmp(a.regs, b.regs, sizeof(a.regs)) == 0;
 }
 
-void emit_json_entry(bool first, const char* name, const char* engine,
-                     const EngineRun& r) {
-  if (!first) std::printf(",\n");
+void add_engine_entry(convolve::bench::Report& report, const char* name,
+                      const char* engine, const EngineRun& r) {
   const double ns_per_insn =
       r.steps > 0 ? r.seconds * 1e9 / static_cast<double>(r.steps) : 0;
-  std::printf("    {\n");
-  std::printf("      \"name\": \"%s/%s\",\n", name, engine);
-  std::printf("      \"run_name\": \"%s/%s\",\n", name, engine);
-  std::printf("      \"run_type\": \"iteration\",\n");
-  std::printf("      \"repetitions\": 1,\n");
-  std::printf("      \"repetition_index\": 0,\n");
-  std::printf("      \"threads\": 1,\n");
-  std::printf("      \"iterations\": %llu,\n",
-              static_cast<unsigned long long>(r.steps));
-  std::printf("      \"real_time\": %.6f,\n", ns_per_insn);
-  std::printf("      \"cpu_time\": %.6f,\n", ns_per_insn);
-  std::printf("      \"time_unit\": \"ns\",\n");
-  std::printf("      \"insns_per_second\": %.1f,\n", r.insns_per_sec());
-  std::printf("      \"traps\": %llu\n",
-              static_cast<unsigned long long>(r.traps));
-  std::printf("    }");
+  auto& e = report.add(std::string(name) + "/" + engine);
+  e.iterations = r.steps;
+  e.real_time_ns = ns_per_insn;
+  e.cpu_time_ns = ns_per_insn;
+  e.counter("insns_per_second", r.insns_per_sec());
+  e.counter("traps", static_cast<double>(r.traps));
+}
+
+// Scenario 4: 64 hart slices with quadratically uneven instruction budgets
+// sharded through the pool (grain 1 => one chunk per slice). The uneven
+// loads leave early-finishing participants idle, so they steal -- which is
+// exactly what pool.steals and the per-worker spans in --trace-out need a
+// run to contain. Aggregate fast-engine throughput is reported; the
+// workload is not speedup-gated (slices are tiny by design).
+struct ParallelRun {
+  double seconds = 0;
+  std::uint64_t steps = 0;
+  bool clean = true;
+};
+
+ParallelRun run_parallel_slices(std::uint64_t budget) {
+  constexpr std::uint64_t kSlices = 64;
+  const Workload w = alu_workload();
+  std::vector<std::uint64_t> slice_steps(kSlices, 0);
+  std::vector<std::uint8_t> slice_clean(kSlices, 1);
+  // Quadratic ramp: slice i gets ~3x the average at the top end, so chunk
+  // runtimes differ enough to trigger stealing at any --threads >= 2.
+  const std::uint64_t unit =
+      budget / (kSlices * (kSlices + 1) * (2 * kSlices + 1) / 6 / kSlices + 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  par::parallel_for(
+      kSlices,
+      [&](std::uint64_t i) {
+        Machine machine(kMemBytes);
+        machine.store(kCodeBase, rv32asm::assemble(w.program),
+                      PrivMode::kMachine);
+        Rv32Cpu cpu(machine, kCodeBase, PrivMode::kMachine);
+        std::uint64_t left = unit * (i + 1) * (i + 1) / kSlices + 1024;
+        while (left > 0) {
+          const auto r = cpu.run(left);
+          left -= r.steps;
+          slice_steps[i] += r.steps;
+          if (r.trap.has_value()) {
+            slice_clean[i] = 0;  // the ALU loop never traps
+            break;
+          }
+        }
+      },
+      /*grain=*/1);
+  const auto t1 = std::chrono::steady_clock::now();
+  ParallelRun out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (std::uint64_t i = 0; i < kSlices; ++i) {
+    out.steps += slice_steps[i];
+    out.clean &= slice_clean[i] != 0;
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  convolve::par::init_threads_from_cli(argc, argv);
-  bool json = false;
+  // rv32_parallel only exercises work stealing with >= 2 workers, so when
+  // the user didn't size the pool explicitly, don't let a single-core host
+  // collapse the default to 1 (results are thread-count-invariant anyway).
+  bool threads_explicit = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads", 9) == 0) threads_explicit = true;
+  }
+  int threads = convolve::par::init_threads_from_cli(argc, argv);
+  if (!threads_explicit && threads < 4) {
+    convolve::par::set_thread_count(4);
+    threads = 4;
+  }
+  convolve::bench::ReportOptions opts;
   double min_speedup = 3.0;
   std::uint64_t steps = 4'000'000;
+  std::string only;  // substring filter over scenario names; empty = all
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
+    if (convolve::bench::consume_report_flag(arg, opts)) {
+      continue;
     } else if (arg.rfind("--min-speedup=", 0) == 0) {
       min_speedup = std::stod(arg.substr(14));
     } else if (arg.rfind("--steps=", 0) == 0) {
       steps = std::stoull(arg.substr(8));
+    } else if (arg.rfind("--only=", 0) == 0) {
+      only = arg.substr(7);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--steps=N] [--min-speedup=X]\n",
-                   argv[0]);
+                   "usage: %s %s [--steps=N] [--min-speedup=X] [--only=SUB]\n",
+                   argv[0], convolve::bench::report_flags_usage());
       return 2;
     }
   }
+  const auto selected = [&](const char* name) {
+    return only.empty() || std::string(name).find(only) != std::string::npos;
+  };
 
   const Workload workloads[] = {alu_workload(), memcpy_workload(),
                                 ecall_workload()};
   bool all_match = true;
   bool gate_ok = true;
 
-  if (!json) {
+  convolve::bench::Report report;
+  report.executable = argv[0];
+  report.threads = threads;
+
+  if (!opts.json) {
     std::printf("=== RV32 engine: legacy interpreter vs decode-cache ===\n");
     std::printf("%llu instructions per workload per engine\n\n",
                 static_cast<unsigned long long>(steps));
-    std::printf("%-12s %14s %14s %9s %7s\n", "workload", "legacy MIPS",
+    std::printf("%-14s %14s %14s %9s %7s\n", "workload", "legacy MIPS",
                 "fast MIPS", "speedup", "state");
-  } else {
-    std::printf("{\n  \"context\": {\n");
-    std::printf("    \"executable\": \"%s\",\n", argv[0]);
-    std::printf("    \"num_cpus\": %u,\n",
-                std::thread::hardware_concurrency());
-    std::printf("    \"library_build_type\": \"release\"\n");
-    std::printf("  },\n  \"benchmarks\": [\n");
   }
 
-  bool first_entry = true;
   for (const Workload& w : workloads) {
+    if (!selected(w.name)) continue;
     // Warm-up pass so first-touch page faults and cache fills don't skew
     // the shorter legacy/fast comparison runs.
     (void)run_engine(w, true, steps / 16 + 1);
@@ -221,20 +283,45 @@ int main(int argc, char** argv) {
         legacy.seconds > 0 ? fast.insns_per_sec() / legacy.insns_per_sec()
                            : 0;
     if (w.gated && speedup < min_speedup) gate_ok = false;
-    if (json) {
-      emit_json_entry(first_entry, w.name, "legacy", legacy);
-      first_entry = false;
-      emit_json_entry(false, w.name, "fast", fast);
+    if (opts.json) {
+      add_engine_entry(report, w.name, "legacy", legacy);
+      add_engine_entry(report, w.name, "fast", fast);
     } else {
-      std::printf("%-12s %14.2f %14.2f %8.2fx %7s\n", w.name,
+      std::printf("%-14s %14.2f %14.2f %8.2fx %7s\n", w.name,
                   legacy.insns_per_sec() / 1e6, fast.insns_per_sec() / 1e6,
                   speedup, match ? "match" : "DIFF");
     }
   }
 
-  if (json) {
-    std::printf("\n  ]\n}\n");
-  } else {
+  // Pool-sharded slices: not engine-compared or gated, but this is the run
+  // that makes pool.steals and the per-worker trace spans nonzero.
+  if (selected("rv32_parallel")) {
+    const ParallelRun par_run = run_parallel_slices(steps);
+    all_match &= par_run.clean;
+    const double ns_per_insn =
+        par_run.steps > 0
+            ? par_run.seconds * 1e9 / static_cast<double>(par_run.steps)
+            : 0;
+    auto& e = report.add("rv32_parallel/fast");
+    e.iterations = par_run.steps;
+    e.real_time_ns = ns_per_insn;
+    e.cpu_time_ns = ns_per_insn;
+    e.counter("insns_per_second",
+              par_run.seconds > 0
+                  ? static_cast<double>(par_run.steps) / par_run.seconds
+                  : 0);
+    if (!opts.json) {
+      std::printf("%-14s %14s %14.2f %9s %7s\n", "rv32_parallel", "-",
+                  static_cast<double>(par_run.steps) / par_run.seconds / 1e6,
+                  "-", par_run.clean ? "match" : "DIFF");
+    }
+  }
+
+  if (!convolve::bench::finish_report(report, opts)) {
+    std::fprintf(stderr, "bench_rv32: failed to write report file(s)\n");
+    return 2;
+  }
+  if (!opts.json) {
     std::printf("\narchitectural state identical across engines: %s\n",
                 all_match ? "yes" : "NO");
     std::printf("gated workloads reached %.2fx: %s\n", min_speedup,

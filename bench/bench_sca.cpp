@@ -15,9 +15,10 @@
 // acceptance check. --threads=N shards trace capture (results are
 // thread-count-invariant by construction; N only changes wall time).
 //
-// Output: a text table by default; --json emits the same schema as the
-// google-benchmark binaries (bench_crypto_micro --benchmark_format=json),
-// so both feed the same tooling.
+// Output: a text table by default; --json emits the shared
+// bench_report.hpp schema (same shape as bench_crypto_micro
+// --benchmark_format=json plus a "telemetry" snapshot), and
+// --trace-out/--metrics-out write chrome://tracing and metric files.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "convolve/analysis/aes_sbox.hpp"
 #include "convolve/common/parallel.hpp"
 #include "convolve/sca/cpa.hpp"
@@ -60,41 +62,31 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-void emit_json_entry(bool first, const Scenario& s) {
-  if (!first) std::printf(",\n");
+void add_scenario_entry(convolve::bench::Report& report, const Scenario& s) {
   const double ns_per_trace =
       s.traces > 0 ? s.seconds * 1e9 / static_cast<double>(s.traces) : 0;
-  std::printf("    {\n");
-  std::printf("      \"name\": \"sca/%s\",\n", s.name);
-  std::printf("      \"run_name\": \"sca/%s\",\n", s.name);
-  std::printf("      \"run_type\": \"iteration\",\n");
-  std::printf("      \"repetitions\": 1,\n");
-  std::printf("      \"repetition_index\": 0,\n");
-  std::printf("      \"threads\": %d,\n", par::thread_count());
-  std::printf("      \"iterations\": %llu,\n",
-              static_cast<unsigned long long>(s.traces));
-  std::printf("      \"real_time\": %.6f,\n", ns_per_trace);
-  std::printf("      \"cpu_time\": %.6f,\n", ns_per_trace);
-  std::printf("      \"time_unit\": \"ns\",\n");
-  std::printf("      \"metric_a\": %.4f,\n", s.metric_a);
-  std::printf("      \"metric_b\": %.4f,\n", s.metric_b);
-  std::printf("      \"pass\": %s\n", s.pass ? "true" : "false");
-  std::printf("    }");
+  auto& e = report.add(std::string("sca/") + s.name);
+  e.iterations = s.traces;
+  e.real_time_ns = ns_per_trace;
+  e.cpu_time_ns = ns_per_trace;
+  e.counter("metric_a", s.metric_a);
+  e.counter("metric_b", s.metric_b);
+  e.counter("pass", s.pass ? 1.0 : 0.0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  par::init_threads_from_cli(argc, argv);
-  bool json = false;
+  const int threads = par::init_threads_from_cli(argc, argv);
+  convolve::bench::ReportOptions opts;
   double sigma = 1.0;
   int unmasked_traces = 4096;
   int min_unmasked_fail = 5000;
   int min_masked_ratio = 20;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
+    if (convolve::bench::consume_report_flag(arg, opts)) {
+      continue;
     } else if (arg.rfind("--sigma=", 0) == 0) {
       sigma = std::stod(arg.substr(8));
     } else if (arg.rfind("--unmasked-traces=", 0) == 0) {
@@ -105,10 +97,11 @@ int main(int argc, char** argv) {
       min_masked_ratio = std::stoi(arg.substr(19));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--sigma=X] [--unmasked-traces=N]\n"
+                   "usage: %s %s\n"
+                   "          [--sigma=X] [--unmasked-traces=N]\n"
                    "          [--min-unmasked-fail=N] [--min-masked-ratio=N]\n"
                    "          [--threads=N]\n",
-                   argv[0]);
+                   argv[0], convolve::bench::report_flags_usage());
       return 2;
     }
   }
@@ -208,20 +201,15 @@ int main(int argc, char** argv) {
   bool all_pass = true;
   for (const Scenario& s : scenarios) all_pass &= s.pass;
 
-  if (json) {
-    std::printf("{\n  \"context\": {\n");
-    std::printf("    \"executable\": \"%s\",\n", argv[0]);
-    std::printf("    \"num_cpus\": %u,\n",
-                std::thread::hardware_concurrency());
-    std::printf("    \"library_build_type\": \"release\"\n");
-    std::printf("  },\n  \"benchmarks\": [\n");
-    bool first = true;
-    for (const Scenario& s : scenarios) {
-      emit_json_entry(first, s);
-      first = false;
-    }
-    std::printf("\n  ]\n}\n");
-  } else {
+  convolve::bench::Report report;
+  report.executable = argv[0];
+  report.threads = threads;
+  for (const Scenario& s : scenarios) add_scenario_entry(report, s);
+  if (!convolve::bench::finish_report(report, opts)) {
+    std::fprintf(stderr, "bench_sca: failed to write report file(s)\n");
+    return 2;
+  }
+  if (!opts.json) {
     std::printf("=== sca lab: TVLA + CPA vs the gate-level AES S-box ===\n");
     std::printf("sigma=%.2f threads=%d\n\n", sigma, par::thread_count());
     std::printf("%-14s %9s %9s %9s %6s  %s\n", "scenario", "traces", "t1|rho",

@@ -8,9 +8,14 @@
 // the reproduced shape is the monotone growth of exhaustive-DSE runtime
 // with the size of the design space, ending in the same Kyber-CPA <<
 // Kyber-CCA blowup.
+//
+// --json emits the shared bench_report.hpp schema; --trace-out and
+// --metrics-out write chrome://tracing and metric-snapshot files.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "bench_report.hpp"
 #include "convolve/hades/library.hpp"
 #include "convolve/hades/search.hpp"
 #include "convolve/common/parallel.hpp"
@@ -18,10 +23,27 @@
 using namespace convolve::hades;
 
 int main(int argc, char** argv) {
-  convolve::par::init_threads_from_cli(argc, argv);
-  std::printf("=== Table I: runtime of exhaustive DSE ===\n");
-  std::printf("%-36s %14s %12s %12s\n", "Algorithm", "#Configurations",
-              "Time [s]", "Paper");
+  const int threads = convolve::par::init_threads_from_cli(argc, argv);
+  convolve::bench::ReportOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!convolve::bench::consume_report_flag(arg, opts)) {
+      std::fprintf(stderr, "usage: %s %s [--threads=N]\n", argv[0],
+                   convolve::bench::report_flags_usage());
+      return 2;
+    }
+  }
+
+  convolve::bench::Report report;
+  report.executable = argv[0];
+  report.threads = threads;
+  const bool text = !opts.json;
+
+  if (text) {
+    std::printf("=== Table I: runtime of exhaustive DSE ===\n");
+    std::printf("%-36s %14s %12s %12s\n", "Algorithm", "#Configurations",
+                "Time [s]", "Paper");
+  }
   const char* paper_times[] = {"0.5 s", "0.7 s", "1.2 s",  "3.2 s",
                                "5.4 s", "7.9 s", "196.5 s", "36 h"};
   int row = 0;
@@ -32,18 +54,41 @@ int main(int argc, char** argv) {
     const auto stop = std::chrono::steady_clock::now();
     const double seconds =
         std::chrono::duration<double>(stop - start).count();
-    std::printf("%-36s %14llu %12.4f %12s\n", entry.name,
-                static_cast<unsigned long long>(result.evaluations), seconds,
-                paper_times[row++]);
+    if (text) {
+      std::printf("%-36s %14llu %12.4f %12s\n", entry.name,
+                  static_cast<unsigned long long>(result.evaluations), seconds,
+                  paper_times[row]);
+    }
+    const double ns_per_config =
+        result.evaluations > 0
+            ? seconds * 1e9 / static_cast<double>(result.evaluations)
+            : 0;
+    auto& e = report.add(std::string("dse/") + entry.name);
+    e.iterations = result.evaluations;
+    e.real_time_ns = ns_per_config;
+    e.cpu_time_ns = ns_per_config;
+    e.counter("configurations", static_cast<double>(result.evaluations));
+    e.counter("wall_seconds", seconds);
+    ++row;
     if (result.evaluations != entry.expected_configs) {
-      std::printf("  !! configuration count mismatch (expected %llu)\n",
-                  static_cast<unsigned long long>(entry.expected_configs));
+      std::fprintf(stderr,
+                   "%s: configuration count mismatch (got %llu expected "
+                   "%llu)\n",
+                   entry.name,
+                   static_cast<unsigned long long>(result.evaluations),
+                   static_cast<unsigned long long>(entry.expected_configs));
       return 1;
     }
   }
-  std::printf(
-      "\nCounts are exact per the paper; times use our analytic cost fold\n"
-      "per design point instead of the authors' synthesis-backed "
-      "evaluation.\n");
+  if (text) {
+    std::printf(
+        "\nCounts are exact per the paper; times use our analytic cost fold\n"
+        "per design point instead of the authors' synthesis-backed "
+        "evaluation.\n");
+  }
+  if (!convolve::bench::finish_report(report, opts)) {
+    std::fprintf(stderr, "bench_table1_dse: failed to write report file(s)\n");
+    return 2;
+  }
   return 0;
 }

@@ -6,10 +6,21 @@
 #include <stdexcept>
 
 #include "convolve/common/parallel.hpp"
+#include "convolve/common/telemetry.hpp"
 
 namespace convolve::analysis {
 
 namespace {
+
+#if CONVOLVE_TELEMETRY_ENABLED
+telemetry::Counter t_probe_sets{"verifier.probe_sets"};
+telemetry::Counter t_coverage_rejected{"verifier.coverage_rejected"};
+telemetry::Counter t_simplified{"verifier.simplified_away"};
+telemetry::Counter t_fallbacks{"verifier.fallback_checked"};
+telemetry::Counter t_glitch_sets{"verifier.glitch_extended_sets"};
+telemetry::Counter t_budget_spent{"verifier.fallback_budget_spent"};
+telemetry::Histogram t_fallback_bits{"verifier.fallback_work_bits"};
+#endif
 
 using masking::Circuit;
 using masking::Gate;
@@ -422,6 +433,10 @@ class Worker {
     } while (!budget_spent_.compare_exchange_weak(
         spent, spent + work_bound, std::memory_order_relaxed));
     ++stats.fallback_checked;
+    // Fallbacks are rare (that is the point of the symbolic filters), so a
+    // direct histogram record here is off the common path.
+    CONVOLVE_TELEMETRY_ONLY(
+        t_fallback_bits.record(static_cast<std::uint64_t>(work_bits));)
 
     // Exact distribution of the observation tuple: a flat histogram over
     // the 2^|obs| outcome keys (obs.size() <= 20 guards the allocation).
@@ -559,6 +574,7 @@ SymbolicReport verify_probing_symbolic(const MaskedCircuit& masked,
     throw std::invalid_argument(
         "verify_probing_symbolic: input_share_base shorter than plain_inputs");
   }
+  CONVOLVE_TRACE_SPAN("verifier.probing");
   const VerifyContext ctx = build_context(masked, plain_inputs, options);
 
   SymbolicReport report;
@@ -658,6 +674,15 @@ SymbolicReport verify_probing_symbolic(const MaskedCircuit& masked,
       break;
     }
   }
+#if CONVOLVE_TELEMETRY_ENABLED
+  // One bulk flush per verification run, mirroring the report counters.
+  t_probe_sets.add(report.probe_sets_checked);
+  t_coverage_rejected.add(report.coverage_rejected);
+  t_simplified.add(report.simplified_away);
+  t_fallbacks.add(report.fallback_checked);
+  if (options.glitch_extended) t_glitch_sets.add(report.probe_sets_checked);
+  t_budget_spent.add(budget_spent.load(std::memory_order_relaxed));
+#endif
   return report;
 }
 

@@ -1,0 +1,240 @@
+// Process-wide telemetry: a lock-free metric registry (counters, gauges,
+// log2 histograms) plus scoped trace spans recorded into per-thread ring
+// buffers and exportable as a chrome://tracing (trace_event) JSON file.
+//
+// Design rules:
+//  * Hot-path cost of a counter is ONE relaxed atomic add. Metrics are
+//    static handles (namespace-scope or function-local statics) that
+//    register themselves into an intrusive lock-free list at construction;
+//    snapshot() walks the list without ever blocking a writer.
+//  * Spans are chunk/phase granularity, never per-item. A span costs two
+//    steady_clock reads and one ring-buffer slot; buffers are append-only
+//    per epoch (events drop, not wrap, when full) so an exporter can read a
+//    buffer prefix concurrently with the owning thread appending -- the
+//    published count is release-stored / acquire-loaded.
+//  * Thread identity in exported traces is deterministic: the pool names
+//    its workers "worker-<index>" and the CLI entry point names the caller
+//    "main", so traces from --threads N runs line up run-over-run
+//    regardless of OS thread ids.
+//  * Compile-time kill switch: building with CONVOLVE_TELEMETRY_ENABLED=0
+//    (cmake -DCONVOLVE_TELEMETRY=OFF) removes the entire namespace; every
+//    macro below expands to nothing (or a no-op expression), so the OFF
+//    build carries no telemetry code or symbols at all. Instrumentation
+//    sites that need more than a macro (handle definitions, local tallies)
+//    wrap themselves in CONVOLVE_TELEMETRY_ONLY(...).
+#pragma once
+
+#ifndef CONVOLVE_TELEMETRY_ENABLED
+#define CONVOLVE_TELEMETRY_ENABLED 1
+#endif
+
+#if CONVOLVE_TELEMETRY_ENABLED
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace convolve::telemetry {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Base of every registered metric. Construction pushes the metric onto a
+/// global intrusive list (lock-free CAS); metrics are never unregistered,
+/// so handles must have static storage duration.
+class Metric {
+ public:
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  const char* name() const { return name_; }
+  MetricKind kind() const { return kind_; }
+  Metric* registry_next() const { return next_; }
+
+ protected:
+  Metric(const char* name, MetricKind kind);
+  ~Metric() = default;
+
+ private:
+  const char* name_;
+  MetricKind kind_;
+  Metric* next_ = nullptr;
+};
+
+/// Monotonic counter. add() is a single relaxed atomic add.
+class Counter : public Metric {
+ public:
+  explicit Counter(const char* name) : Metric(name, MetricKind::kCounter) {}
+
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value gauge (e.g. "threads in the current parallel region").
+class Gauge : public Metric {
+ public:
+  explicit Gauge(const char* name) : Metric(name, MetricKind::kGauge) {}
+
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket log2 histogram: bucket b holds values v with
+/// std::bit_width(v) == b, i.e. bucket 0 is exactly {0} and bucket b >= 1
+/// covers [2^(b-1), 2^b). record() is three relaxed atomic adds, so keep it
+/// off per-item hot paths (chunk/phase granularity).
+class Histogram : public Metric {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width of uint64 is 0..64
+
+  explicit Histogram(const char* name) : Metric(name, MetricKind::kHistogram) {}
+
+  static int bucket_index(std::uint64_t v) { return std::bit_width(v); }
+  /// Inclusive lower bound of bucket b.
+  static std::uint64_t bucket_lo(int b) {
+    return b == 0 ? 0 : (1ull << (b - 1));
+  }
+  /// Inclusive upper bound of bucket b.
+  static std::uint64_t bucket_hi(int b) {
+    if (b == 0) return 0;
+    if (b == 64) return ~0ull;
+    return (1ull << b) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  struct HistogramBucket {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    std::uint64_t count = 0;
+  };
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;                  // kCounter
+    std::int64_t gauge = 0;                     // kGauge
+    std::uint64_t count = 0;                    // kHistogram
+    std::uint64_t sum = 0;                      // kHistogram
+    std::vector<HistogramBucket> buckets;       // kHistogram, nonzero only
+  };
+  std::vector<Entry> entries;
+
+  const Entry* find(const std::string& name) const;
+  /// Counter value by name, 0 when absent.
+  std::uint64_t counter_value(const std::string& name) const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} -- the object the
+  /// benches embed under the top-level "telemetry" key of their
+  /// google-benchmark-style report.
+  std::string to_json() const;
+};
+
+MetricsSnapshot snapshot();
+/// Zero every registered counter/gauge/histogram (tests and benches only;
+/// concurrent adds during a reset may survive it).
+void reset_all_metrics();
+
+// --- Trace spans -------------------------------------------------------
+
+/// Nanoseconds since the process trace epoch (first telemetry use).
+std::uint64_t trace_now_ns();
+
+/// Deterministic name for the calling thread in exported traces. The pool
+/// calls this with "worker-<i>"; init_threads_from_cli names the CLI
+/// thread "main". Unnamed threads appear as "thread-<registration order>".
+void set_thread_name(const char* name);
+
+/// Record one complete span on the calling thread's ring buffer. `name`
+/// must be a string literal (stored by pointer).
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns);
+
+/// RAII span: records [construction, destruction) via record_span.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(name), start_ns_(trace_now_ns()) {}
+  ~ScopedSpan() { record_span(name_, start_ns_, trace_now_ns() - start_ns_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+};
+
+/// Spans dropped because a thread's ring buffer was full.
+std::uint64_t dropped_span_count();
+
+/// Clear every thread's span buffer (start a fresh trace epoch). Only call
+/// while no parallel region is in flight.
+void reset_trace();
+
+/// chrome://tracing / Perfetto "trace_event" JSON: thread-name metadata
+/// events (sorted deterministically: main, then worker-<i> by index, then
+/// everything else by name), one "X" event per recorded span, and one "C"
+/// counter-sample event per registered counter/gauge at export time.
+std::string chrome_trace_json();
+
+/// Write chrome_trace_json() (or snapshot().to_json()) to `path`.
+/// Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+bool write_metrics_json(const std::string& path);
+
+}  // namespace convolve::telemetry
+
+// Statement/declaration that only exists in telemetry-enabled builds.
+#define CONVOLVE_TELEMETRY_ONLY(...) __VA_ARGS__
+#define CONVOLVE_COUNTER_ADD(counter, ...) (counter).add(__VA_ARGS__)
+#define CONVOLVE_GAUGE_SET(gauge, v) (gauge).set(v)
+#define CONVOLVE_HISTOGRAM_RECORD(hist, v) (hist).record(v)
+
+#define CONVOLVE_TELEMETRY_CONCAT_(a, b) a##b
+#define CONVOLVE_TELEMETRY_CONCAT(a, b) CONVOLVE_TELEMETRY_CONCAT_(a, b)
+/// Scoped trace span covering the rest of the enclosing block.
+#define CONVOLVE_TRACE_SPAN(name_literal)                        \
+  const ::convolve::telemetry::ScopedSpan CONVOLVE_TELEMETRY_CONCAT( \
+      convolve_trace_span_, __LINE__) {                          \
+    name_literal                                                 \
+  }
+
+#else  // !CONVOLVE_TELEMETRY_ENABLED
+
+// Kill switch: every macro vanishes. No convolve::telemetry namespace is
+// declared at all, so an OFF build cannot even accidentally reference a
+// telemetry symbol (pinned by the no-symbol check in telemetry_off_smoke).
+#define CONVOLVE_TELEMETRY_ONLY(...)
+#define CONVOLVE_COUNTER_ADD(counter, ...) ((void)0)
+#define CONVOLVE_GAUGE_SET(gauge, v) ((void)0)
+#define CONVOLVE_HISTOGRAM_RECORD(hist, v) ((void)0)
+#define CONVOLVE_TRACE_SPAN(name_literal) ((void)0)
+
+#endif  // CONVOLVE_TELEMETRY_ENABLED

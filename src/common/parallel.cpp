@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -11,9 +12,24 @@
 #include <string>
 #include <thread>
 
+#include "convolve/common/telemetry.hpp"
+
 namespace convolve::par {
 
 namespace {
+
+#if CONVOLVE_TELEMETRY_ENABLED
+// pool.tasks is deterministic for a given (n, grain, input) workload:
+// chunking is schedule-independent, and the serial path counts the same
+// chunks the pool would. pool.steals and pool.worker_wait_ns depend on OS
+// scheduling and are expected to vary run-over-run.
+telemetry::Counter t_tasks{"pool.tasks"};
+telemetry::Counter t_steals{"pool.steals"};
+telemetry::Counter t_jobs{"pool.jobs"};
+telemetry::Counter t_wait_ns{"pool.worker_wait_ns"};
+telemetry::Gauge t_threads{"pool.threads"};
+telemetry::Histogram t_task_ns{"pool.task_ns"};
+#endif
 
 // Set while a thread is executing chunks of a parallel region; nested
 // parallel regions then run inline on that thread instead of deadlocking on
@@ -42,8 +58,10 @@ struct Job {
   };
 
   // Pop from the back of our own deque, else steal from the front of the
-  // first non-empty victim. Returns false when no work is left anywhere.
-  bool take(int self, std::uint64_t& out) {
+  // first non-empty victim (sets `stolen`). Returns false when no work is
+  // left anywhere.
+  bool take(int self, std::uint64_t& out, bool& stolen) {
+    stolen = false;
     auto& own = queues[static_cast<std::size_t>(self)];
     {
       std::lock_guard<std::mutex> lock(own.mu);
@@ -60,6 +78,7 @@ struct Job {
       if (!victim.items.empty()) {
         out = victim.items.front();  // steal the oldest chunk
         victim.items.pop_front();
+        stolen = true;
         return true;
       }
     }
@@ -69,7 +88,11 @@ struct Job {
   void work(int self) {
     g_in_parallel_region = true;
     std::uint64_t chunk = 0;
-    while (take(self, chunk)) {
+    bool stolen = false;
+    CONVOLVE_TELEMETRY_ONLY(std::uint64_t my_tasks = 0; std::uint64_t my_steals = 0;)
+    while (take(self, chunk, stolen)) {
+      CONVOLVE_TELEMETRY_ONLY(++my_tasks; my_steals += stolen ? 1 : 0;
+                              const std::uint64_t t0 = telemetry::trace_now_ns();)
       if (!failed.load(std::memory_order_acquire)) {
         try {
           fn(chunk);
@@ -81,11 +104,17 @@ struct Job {
           }
         }
       }
+      CONVOLVE_TELEMETRY_ONLY(
+          const std::uint64_t dur = telemetry::trace_now_ns() - t0;
+          t_task_ns.record(dur);
+          telemetry::record_span("pool.task", t0, dur);)
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(done_mu);
         done_cv.notify_all();
       }
     }
+    // Flush per-participant tallies once per job, not per chunk.
+    CONVOLVE_TELEMETRY_ONLY(t_tasks.add(my_tasks); t_steals.add(my_steals);)
     g_in_parallel_region = false;
   }
 
@@ -112,6 +141,7 @@ class Pool {
            const std::function<void(std::uint64_t)>& fn) {
     std::lock_guard<std::mutex> run_lock(run_mu_);
     ensure_workers(total_threads - 1);
+    CONVOLVE_TELEMETRY_ONLY(t_jobs.add(1); t_threads.set(total_threads);)
     Job job(n_chunks, total_threads, fn);
     {
       std::lock_guard<std::mutex> lock(job_mu_);
@@ -163,15 +193,27 @@ class Pool {
   }
 
   void worker_loop(int index) {
+#if CONVOLVE_TELEMETRY_ENABLED
+    // Deterministic thread identity in exported traces: pool index, not OS
+    // thread id, so traces from equal --threads N runs line up.
+    {
+      char name[32];
+      std::snprintf(name, sizeof(name), "worker-%d", index);
+      telemetry::set_thread_name(name);
+    }
+#endif
     std::uint64_t seen_epoch = 0;
     while (true) {
       Job* job = nullptr;
       {
+        CONVOLVE_TELEMETRY_ONLY(const std::uint64_t w0 = telemetry::trace_now_ns();)
         std::unique_lock<std::mutex> lock(job_mu_);
         job_cv_.wait(lock, [&] {
           return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch &&
                                index < wanted_workers_);
         });
+        // Idle time between jobs (includes the pre-shutdown wait).
+        CONVOLVE_TELEMETRY_ONLY(t_wait_ns.add(telemetry::trace_now_ns() - w0);)
         if (shutdown_) return;
         seen_epoch = job_epoch_;
         job = job_;
@@ -233,6 +275,8 @@ void set_thread_count(int n) {
 }
 
 int init_threads_from_cli(int& argc, char** argv) {
+  // The CLI entry thread gets a stable name in exported traces.
+  CONVOLVE_TELEMETRY_ONLY(telemetry::set_thread_name("main");)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const int n = std::atoi(argv[i + 1]);
@@ -265,8 +309,27 @@ void for_each_chunk(std::uint64_t n_chunks,
   if (n_chunks == 0) return;
   const int threads = thread_count();
   // Serial fallback: one thread, a nested region, or nothing to overlap.
+  // Counts the same pool.tasks the pool would (chunking is schedule-
+  // independent), which is what makes that counter deterministic across
+  // --threads N. Nested regions don't re-count: their chunks execute
+  // inside a counted outer task.
   if (threads <= 1 || n_chunks == 1 || g_in_parallel_region) {
-    for (std::uint64_t c = 0; c < n_chunks; ++c) fn(c);
+    CONVOLVE_TELEMETRY_ONLY(if (!g_in_parallel_region) {
+      t_jobs.add(1);
+      t_threads.set(1);
+      t_tasks.add(n_chunks);
+    })
+    for (std::uint64_t c = 0; c < n_chunks; ++c) {
+      CONVOLVE_TELEMETRY_ONLY(
+          const std::uint64_t t0 =
+              g_in_parallel_region ? 0 : telemetry::trace_now_ns();)
+      fn(c);
+      CONVOLVE_TELEMETRY_ONLY(if (!g_in_parallel_region) {
+        const std::uint64_t dur = telemetry::trace_now_ns() - t0;
+        t_task_ns.record(dur);
+        telemetry::record_span("pool.task", t0, dur);
+      })
+    }
     return;
   }
   const int participants =

@@ -1,0 +1,391 @@
+#include "convolve/common/telemetry.hpp"
+
+#if CONVOLVE_TELEMETRY_ENABLED
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace convolve::telemetry {
+
+namespace {
+
+// Registry head. A function-local static would be tidier but metrics may be
+// constructed during static initialization of other TUs, so the head must be
+// constant-initialized (no dynamic-init ordering hazard).
+constinit std::atomic<Metric*> g_registry_head{nullptr};
+
+// --- span ring buffers -------------------------------------------------
+
+struct SpanEvent {
+  const char* name;        // string literal, stored by pointer
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+// One per thread that ever records a span (or names itself). Heap-allocated
+// and owned by the global registry below, so a buffer outlives its thread
+// and the exporter can read it after the thread exits. Appends publish via
+// release on `count`; the exporter acquires `count` and reads only the
+// prefix, which is immutable once published (events never wrap in an epoch).
+struct ThreadTrace {
+  static constexpr std::size_t kCapacity = 16384;
+
+  char name[32] = {0};
+  std::atomic<std::uint32_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::array<SpanEvent, kCapacity> events;
+
+  void append(const char* span_name, std::uint64_t start_ns,
+              std::uint64_t dur_ns) {
+    std::uint32_t n = count.load(std::memory_order_relaxed);
+    if (n >= kCapacity) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events[n] = SpanEvent{span_name, start_ns, dur_ns};
+    count.store(n + 1, std::memory_order_release);
+  }
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadTrace>> threads;
+};
+
+TraceRegistry& trace_registry() {
+  static TraceRegistry reg;
+  return reg;
+}
+
+ThreadTrace& this_thread_trace() {
+  thread_local ThreadTrace* t = [] {
+    auto owned = std::make_unique<ThreadTrace>();
+    ThreadTrace* raw = owned.get();
+    TraceRegistry& reg = trace_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::snprintf(raw->name, sizeof(raw->name), "thread-%zu",
+                  reg.threads.size());
+    reg.threads.push_back(std::move(owned));
+    return raw;
+  }();
+  return *t;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// --- JSON helpers ------------------------------------------------------
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Sort key for deterministic thread ids in exports: main first, then
+// worker-<i> by index, then other names lexicographically.
+struct ThreadSortKey {
+  int group;   // 0 = main, 1 = worker-N, 2 = other
+  long index;  // worker index within group 1
+  std::string name;
+
+  static ThreadSortKey of(const char* name) {
+    ThreadSortKey k{2, 0, name};
+    if (k.name == "main") {
+      k.group = 0;
+    } else if (k.name.rfind("worker-", 0) == 0) {
+      char* end = nullptr;
+      long idx = std::strtol(name + 7, &end, 10);
+      if (end && *end == '\0') {
+        k.group = 1;
+        k.index = idx;
+      }
+    }
+    return k;
+  }
+  bool operator<(const ThreadSortKey& o) const {
+    if (group != o.group) return group < o.group;
+    if (index != o.index) return index < o.index;
+    return name < o.name;
+  }
+};
+
+}  // namespace
+
+Metric::Metric(const char* name, MetricKind kind) : name_(name), kind_(kind) {
+  Metric* head = g_registry_head.load(std::memory_order_relaxed);
+  do {
+    next_ = head;
+  } while (!g_registry_head.compare_exchange_weak(
+      head, this, std::memory_order_release, std::memory_order_relaxed));
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    const std::string& name) const {
+  for (const Entry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  const Entry* e = find(name);
+  return (e && e->kind == MetricKind::kCounter) ? e->counter : 0;
+}
+
+MetricsSnapshot snapshot() {
+  MetricsSnapshot snap;
+  for (Metric* m = g_registry_head.load(std::memory_order_acquire); m;
+       m = m->registry_next()) {
+    MetricsSnapshot::Entry e;
+    e.name = m->name();
+    e.kind = m->kind();
+    switch (m->kind()) {
+      case MetricKind::kCounter:
+        e.counter = static_cast<Counter*>(m)->value();
+        break;
+      case MetricKind::kGauge:
+        e.gauge = static_cast<Gauge*>(m)->value();
+        break;
+      case MetricKind::kHistogram: {
+        auto* h = static_cast<Histogram*>(m);
+        e.count = h->count();
+        e.sum = h->sum();
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          std::uint64_t c = h->bucket(b);
+          if (c != 0) {
+            e.buckets.push_back({Histogram::bucket_lo(b),
+                                 Histogram::bucket_hi(b), c});
+          }
+        }
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+void reset_all_metrics() {
+  for (Metric* m = g_registry_head.load(std::memory_order_acquire); m;
+       m = m->registry_next()) {
+    switch (m->kind()) {
+      case MetricKind::kCounter: static_cast<Counter*>(m)->reset(); break;
+      case MetricKind::kGauge: static_cast<Gauge*>(m)->reset(); break;
+      case MetricKind::kHistogram: static_cast<Histogram*>(m)->reset(); break;
+    }
+  }
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (e.kind != MetricKind::kCounter) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_json_escaped(out, e.name.c_str());
+    out += "\": " + std::to_string(e.counter);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const Entry& e : entries) {
+    if (e.kind != MetricKind::kGauge) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_json_escaped(out, e.name.c_str());
+    out += "\": " + std::to_string(e.gauge);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const Entry& e : entries) {
+    if (e.kind != MetricKind::kHistogram) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_json_escaped(out, e.name.c_str());
+    out += "\": {\"count\": " + std::to_string(e.count) +
+           ", \"sum\": " + std::to_string(e.sum) + ", \"buckets\": [";
+    for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+      if (i) out += ", ";
+      out += "[" + std::to_string(e.buckets[i].lo) + ", " +
+             std::to_string(e.buckets[i].hi) + ", " +
+             std::to_string(e.buckets[i].count) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void set_thread_name(const char* name) {
+  ThreadTrace& t = this_thread_trace();
+  TraceRegistry& reg = trace_registry();
+  // The exporter reads names under the same lock, so renames can't tear.
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::snprintf(t.name, sizeof(t.name), "%s", name);
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) {
+  this_thread_trace().append(name, start_ns, dur_ns);
+}
+
+std::uint64_t dropped_span_count() {
+  TraceRegistry& reg = trace_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t total = 0;
+  for (const auto& t : reg.threads) {
+    total += t->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void reset_trace() {
+  TraceRegistry& reg = trace_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& t : reg.threads) {
+    t->count.store(0, std::memory_order_release);
+    t->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string chrome_trace_json() {
+  // Copy out thread names + event prefixes under the lock, then format.
+  struct ThreadCopy {
+    std::string name;
+    std::vector<SpanEvent> events;
+  };
+  std::vector<ThreadCopy> threads;
+  {
+    TraceRegistry& reg = trace_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    threads.reserve(reg.threads.size());
+    for (const auto& t : reg.threads) {
+      ThreadCopy c;
+      c.name = t->name;
+      std::uint32_t n = t->count.load(std::memory_order_acquire);
+      c.events.assign(t->events.begin(), t->events.begin() + n);
+      threads.push_back(std::move(c));
+    }
+  }
+  std::sort(threads.begin(), threads.end(),
+            [](const ThreadCopy& a, const ThreadCopy& b) {
+              return ThreadSortKey::of(a.name.c_str()) <
+                     ThreadSortKey::of(b.name.c_str());
+            });
+
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& ev) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  " + ev;
+  };
+  emit("{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"tid\": 0, "
+       "\"args\": {\"name\": \"convolve\"}}");
+  for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+    std::string ev =
+        "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": " +
+        std::to_string(tid) + ", \"args\": {\"name\": \"";
+    append_json_escaped(ev, threads[tid].name.c_str());
+    ev += "\"}}";
+    emit(ev);
+  }
+  char buf[64];
+  for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+    for (const SpanEvent& s : threads[tid].events) {
+      std::string ev = "{\"ph\": \"X\", \"pid\": 1, \"tid\": " +
+                       std::to_string(tid) + ", \"name\": \"";
+      append_json_escaped(ev, s.name);
+      // trace_event ts/dur are microseconds; keep sub-µs precision.
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(s.start_ns) / 1000.0);
+      ev += std::string("\", \"ts\": ") + buf;
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(s.dur_ns) / 1000.0);
+      ev += std::string(", \"dur\": ") + buf + "}";
+      emit(ev);
+    }
+  }
+  // One counter sample per counter/gauge at export time, so the trace file
+  // is self-contained even without the metrics JSON next to it.
+  const std::uint64_t now_us_x1000 = trace_now_ns() / 1000;
+  MetricsSnapshot snap = snapshot();
+  for (const auto& e : snap.entries) {
+    if (e.kind == MetricKind::kHistogram) continue;
+    std::string ev = "{\"ph\": \"C\", \"pid\": 1, \"tid\": 0, \"name\": \"";
+    append_json_escaped(ev, e.name.c_str());
+    ev += "\", \"ts\": " + std::to_string(now_us_x1000) +
+          ", \"args\": {\"value\": " +
+          (e.kind == MetricKind::kCounter ? std::to_string(e.counter)
+                                          : std::to_string(e.gauge)) +
+          "}}";
+    emit(ev);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << body;
+  return f.good();
+}
+}  // namespace
+
+bool write_chrome_trace(const std::string& path) {
+  return write_file(path, chrome_trace_json());
+}
+
+bool write_metrics_json(const std::string& path) {
+  return write_file(path, snapshot().to_json() + "\n");
+}
+
+}  // namespace convolve::telemetry
+
+#endif  // CONVOLVE_TELEMETRY_ENABLED

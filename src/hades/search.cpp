@@ -5,10 +5,18 @@
 #include <tuple>
 
 #include "convolve/common/parallel.hpp"
+#include "convolve/common/telemetry.hpp"
 
 namespace convolve::hades {
 
 namespace {
+
+#if CONVOLVE_TELEMETRY_ENABLED
+telemetry::Counter t_explored{"hades.configs_explored"};
+telemetry::Counter t_pruned{"hades.configs_pruned"};
+telemetry::Counter t_folds{"hades.fold_invocations"};
+telemetry::Counter t_restarts{"hades.local_search.restarts"};
+#endif
 
 // Mixed-radix odometer over the configuration tree. Children are the least
 // significant digits; when all children wrap, the variant advances (and the
@@ -73,6 +81,10 @@ constexpr std::uint64_t kEnumGrain = 1024;
 template <typename Fn>
 void walk_shard(const Component& c, unsigned d, par::Range r, Fn&& fn) {
   if (r.begin >= r.end) return;
+  // One flush per shard, not per config: the enumeration loop stays free
+  // of atomics.
+  CONVOLVE_TELEMETRY_ONLY(t_explored.add(r.end - r.begin);
+                          t_folds.add(r.end - r.begin);)
   Choice ch = choice_for_index(c, r.begin);
   for (std::uint64_t i = r.begin; i < r.end; ++i) {
     fn(i, ch, evaluate(c, ch, d));
@@ -182,6 +194,7 @@ std::uint64_t for_each_config_indexed(
 
 std::vector<SearchResult> exhaustive_search_multi(
     const Component& c, unsigned d, std::span<const Goal> goals) {
+  CONVOLVE_TRACE_SPAN("hades.exhaustive_search");
   const std::uint64_t total = c.config_count();
 
   using Frontier = std::vector<SearchResult>;
@@ -232,16 +245,21 @@ SearchResult exhaustive_search(const Component& c, unsigned d, Goal goal) {
 
 SearchResult constrained_search(const Component& c, unsigned d, Goal goal,
                                 const Constraints& budget) {
+  CONVOLVE_TRACE_SPAN("hades.constrained_search");
   const std::uint64_t total = c.config_count();
 
   SearchResult best = par::parallel_reduce(
       total, kEnumGrain, unexplored_result(),
       [&](std::uint64_t, par::Range r) {
         SearchResult local = unexplored_result();
+        CONVOLVE_TELEMETRY_ONLY(std::uint64_t pruned = 0;)
         walk_shard(c, d, r,
                    [&](std::uint64_t index, const Choice& ch,
                        const Metrics& m) {
-                     if (!satisfies(m, budget)) return;
+                     if (!satisfies(m, budget)) {
+                       CONVOLVE_TELEMETRY_ONLY(++pruned;)
+                       return;
+                     }
                      const double s = score(m, goal);
                      // Feasible designs keep the legacy first-wins rule:
                      // strictly better cost, or equal cost with a lower
@@ -254,6 +272,7 @@ SearchResult constrained_search(const Component& c, unsigned d, Goal goal,
                        local.config_index = index;
                      }
                    });
+        CONVOLVE_TELEMETRY_ONLY(t_pruned.add(pruned);)
         return local;
       },
       [](SearchResult acc, SearchResult part) {
@@ -357,6 +376,9 @@ StartOutcome climb(const Component& c, unsigned d, Goal goal,
 SearchResult local_search(const Component& c, unsigned d, Goal goal,
                           int n_starts, Xoshiro256& rng) {
   if (n_starts <= 0) throw std::invalid_argument("local_search: n_starts<=0");
+  CONVOLVE_TRACE_SPAN("hades.local_search");
+  CONVOLVE_TELEMETRY_ONLY(
+      t_restarts.add(static_cast<std::uint64_t>(n_starts));)
 
   // Each start climbs from its own rng.split(start) stream, so the starts
   // are order- and thread-count-independent.
@@ -381,6 +403,7 @@ SearchResult local_search(const Component& c, unsigned d, Goal goal,
       best.choice = std::move(out.choice);
     }
   }
+  CONVOLVE_TELEMETRY_ONLY(t_folds.add(evals);)
   best.evaluations = evals;
   best.config_index = config_index_of(c, best.choice);
   return best;
@@ -419,6 +442,7 @@ void prune_within_variant(std::vector<ParetoEntry>& entries) {
 
 std::vector<ParetoEntry> pareto_fold(const Component& c, unsigned d) {
   std::vector<ParetoEntry> result;
+  CONVOLVE_TELEMETRY_ONLY(std::uint64_t combines = 0;)
   const auto& variants = c.variants();
   for (std::size_t vi = 0; vi < variants.size(); ++vi) {
     const Variant& v = variants[vi];
@@ -439,6 +463,7 @@ std::vector<ParetoEntry> pareto_fold(const Component& c, unsigned d) {
       }
       result.push_back(
           ParetoEntry{static_cast<int>(vi), v.combine(evals, d)});
+      CONVOLVE_TELEMETRY_ONLY(++combines;)
       // Advance product index.
       std::size_t pos = 0;
       while (pos < fronts.size()) {
@@ -450,11 +475,13 @@ std::vector<ParetoEntry> pareto_fold(const Component& c, unsigned d) {
       if (fronts.empty()) break;
     }
   }
+  CONVOLVE_TELEMETRY_ONLY(if (combines != 0) t_folds.add(combines);)
   prune_within_variant(result);
   return result;
 }
 
 double pareto_optimal_cost(const Component& c, unsigned d, Goal goal) {
+  CONVOLVE_TRACE_SPAN("hades.fold");
   const auto frontier = pareto_fold(c, d);
   double best = std::numeric_limits<double>::infinity();
   for (const auto& e : frontier) best = std::min(best, score(e.metrics, goal));

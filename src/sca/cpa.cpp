@@ -8,6 +8,7 @@
 #include "convolve/common/bytes.hpp"
 #include "convolve/common/parallel.hpp"
 #include "convolve/common/stats.hpp"
+#include "convolve/common/telemetry.hpp"
 #include "convolve/masking/gf256.hpp"
 
 namespace convolve::sca {
@@ -59,6 +60,7 @@ CpaReport cpa_sbox_attack(const MaskedTraceTarget& target, std::uint8_t key,
     throw std::invalid_argument("cpa_sbox_attack: target is not an 8-bit box");
   }
   if (n_traces < 8) throw std::invalid_argument("cpa: need >= 8 traces");
+  CONVOLVE_TRACE_SPAN("sca.cpa");
   const int samples = target.samples();
 
   // Hypothesis table: HW(S(v)) for every S-box input v.

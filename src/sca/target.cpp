@@ -4,8 +4,16 @@
 
 #include "convolve/common/capture.hpp"
 #include "convolve/common/parallel.hpp"
+#include "convolve/common/telemetry.hpp"
 
 namespace convolve::sca {
+
+#if CONVOLVE_TELEMETRY_ENABLED
+namespace {
+telemetry::Counter t_traces{"sca.traces_captured"};
+telemetry::Counter t_samples{"sca.samples"};
+}  // namespace
+#endif
 
 MaskedTraceTarget::MaskedTraceTarget(masking::MaskedCircuit masked,
                                      int plain_inputs, TraceConfig config,
@@ -44,6 +52,10 @@ void MaskedTraceTarget::capture(std::uint32_t plain_value, Xoshiro256& rng,
     scratch.inputs[base + order] = bit;
   }
   simulator_.capture(scratch.inputs, rng, scratch, out);
+  // Counted here, at the single choke-point every capture path funnels
+  // through (tvla, cpa, capture_batch, capture_averaged). Two relaxed adds
+  // per trace are noise next to the gate-level simulation above.
+  CONVOLVE_TELEMETRY_ONLY(t_traces.add(1); t_samples.add(out.size());)
 }
 
 std::vector<double> MaskedTraceTarget::capture_averaged(
@@ -58,6 +70,7 @@ std::vector<double> MaskedTraceTarget::capture_averaged(
 TraceBatch capture_batch(const MaskedTraceTarget& target,
                          std::uint64_t n_traces, const PlainValueFn& plain,
                          const Xoshiro256& base_rng) {
+  CONVOLVE_TRACE_SPAN("sca.capture_batch");
   TraceBatch batch;
   batch.samples = target.samples();
   batch.n = n_traces;

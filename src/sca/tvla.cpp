@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "convolve/common/parallel.hpp"
+#include "convolve/common/telemetry.hpp"
 
 namespace convolve::sca {
 
@@ -39,6 +40,7 @@ TvlaReport tvla_fixed_vs_random(const MaskedTraceTarget& target,
                                 std::uint32_t fixed_value, int n_traces,
                                 const TvlaConfig& config) {
   if (n_traces < 4) throw std::invalid_argument("tvla: need >= 4 traces");
+  CONVOLVE_TRACE_SPAN("sca.tvla");
   const int samples = target.samples();
   const std::uint32_t value_mask =
       target.plain_inputs() >= 32

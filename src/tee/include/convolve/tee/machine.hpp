@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "convolve/common/bytes.hpp"
+#include "convolve/common/telemetry.hpp"
 #include "convolve/tee/pmp.hpp"
 
 namespace convolve::tee {
@@ -79,6 +80,26 @@ class Machine {
   static constexpr std::uint64_t kPageBytes = 1ull << kPageShift;
 
   explicit Machine(std::size_t memory_bytes);
+#if CONVOLVE_TELEMETRY_ENABLED
+  ~Machine() { flush_telemetry(); }
+#endif
+
+  /// Publish the PMP-memo hit/miss tallies to the global telemetry
+  /// counters (rv32.pmp_memo.hits / rv32.pmp_memo.misses) and zero them.
+  /// Called from the destructor; call explicitly before snapshotting when
+  /// the Machine is still alive. No-op in CONVOLVE_TELEMETRY=OFF builds.
+  void flush_telemetry() const;
+
+  /// Credit `n` PMP-memo hits in batch. The hit path of access_ok is too
+  /// hot to tally per call, so clients that know their access count credit
+  /// it wholesale: the RV32 fast engine credits one hit per retired
+  /// instruction (each did exactly one memoized execute check; the refill
+  /// misses counted above are a vanishing fraction, and data-access window
+  /// hits are deliberately not tallied).
+  void credit_memo_hits(std::uint64_t n) const {
+    CONVOLVE_TELEMETRY_ONLY(memo_hits_ += n;)
+    (void)n;
+  }
 
   PmpUnit& pmp() { return pmp_; }
   const PmpUnit& pmp() const { return pmp_; }
@@ -163,8 +184,13 @@ class Machine {
     PmpMemo& m = memo_[static_cast<std::size_t>(type)];
     if (m.epoch == pmp_.epoch() && m.mode == mode && addr >= m.lo &&
         end <= m.hi) {
+      // No tallying on the hit path: access_ok runs once per emulated
+      // instruction fetch, and even a plain increment there costs ~3% of
+      // fast-engine throughput. Hits are credited in batch instead (see
+      // credit_memo_hits); only the cold refill path below counts.
       return true;
     }
+    CONVOLVE_TELEMETRY_ONLY(++memo_misses_;)
     const auto r = pmp_.check_region(addr, len, mode, type, memory_.size());
     if (!r.allowed) return false;
     m.lo = r.lo;
@@ -202,6 +228,10 @@ class Machine {
   std::vector<std::uint32_t> page_version_;
   PmpUnit pmp_;
   mutable std::array<PmpMemo, 3> memo_{};
+#if CONVOLVE_TELEMETRY_ENABLED
+  mutable std::uint64_t memo_hits_ = 0;
+  mutable std::uint64_t memo_misses_ = 0;
+#endif
 
   void bounds_check(std::uint64_t addr, std::size_t len,
                     AccessType type) const;

@@ -42,6 +42,22 @@ Machine::Machine(std::size_t memory_bytes)
     : memory_(memory_bytes, 0),
       page_version_((memory_bytes + kPageBytes - 1) >> kPageShift, 0) {}
 
+#if CONVOLVE_TELEMETRY_ENABLED
+namespace {
+telemetry::Counter t_pmp_memo_hits{"rv32.pmp_memo.hits"};
+telemetry::Counter t_pmp_memo_misses{"rv32.pmp_memo.misses"};
+}  // namespace
+
+void Machine::flush_telemetry() const {
+  if (memo_hits_ != 0) t_pmp_memo_hits.add(memo_hits_);
+  if (memo_misses_ != 0) t_pmp_memo_misses.add(memo_misses_);
+  memo_hits_ = 0;
+  memo_misses_ = 0;
+}
+#else
+void Machine::flush_telemetry() const {}
+#endif
+
 void Machine::bounds_check(std::uint64_t addr, std::size_t len,
                            AccessType type) const {
   if (addr + len > memory_.size() || addr + len < addr) {

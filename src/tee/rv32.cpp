@@ -16,6 +16,38 @@ std::int32_t sign_extend(std::uint32_t value, int bits) {
 Rv32Cpu::Rv32Cpu(Machine& machine, std::uint32_t entry_pc, PrivMode mode)
     : machine_(machine), pc_(entry_pc), mode_(mode) {}
 
+#if CONVOLVE_TELEMETRY_ENABLED
+namespace {
+telemetry::Counter t_retired{"rv32.instructions_retired"};
+telemetry::Counter t_dc_hits{"rv32.decode_cache.hits"};
+telemetry::Counter t_dc_misses{"rv32.decode_cache.misses"};
+telemetry::Counter t_dc_invalidations{"rv32.decode_cache.invalidations"};
+}  // namespace
+
+Rv32Cpu::~Rv32Cpu() { flush_telemetry(); }
+
+void Rv32Cpu::flush_telemetry() {
+  t_retired.add(retired_ - flushed_retired_);
+  flushed_retired_ = retired_;
+  // A "hit" is a fast-engine instruction served from an already-decoded
+  // page; each decoded_page() decode corresponds to the one instruction
+  // that forced it (a miss), everything else executed cached decodes.
+  t_dc_hits.add(fast_steps_ > dc_decodes_ ? fast_steps_ - dc_decodes_ : 0);
+  t_dc_misses.add(dc_decodes_);
+  t_dc_invalidations.add(dc_invalidations_);
+  // Each fast-engine retired instruction performed one memoized PMP
+  // execute check; credit those hits wholesale (access_ok's hit path is
+  // too hot to count per call).
+  machine_.credit_memo_hits(fast_steps_);
+  fast_steps_ = 0;
+  dc_decodes_ = 0;
+  dc_invalidations_ = 0;
+}
+#else
+Rv32Cpu::~Rv32Cpu() = default;
+void Rv32Cpu::flush_telemetry() {}
+#endif
+
 std::uint32_t Rv32Cpu::reg(int index) const {
   if (index < 0 || index > 31) throw std::out_of_range("Rv32Cpu::reg");
   return x_[static_cast<std::size_t>(index)];
@@ -445,6 +477,10 @@ const Rv32Cpu::DecodedPage* Rv32Cpu::decoded_page(std::uint64_t page_base) {
   const std::uint32_t version = machine_.page_version(page_base);
   if (slot.base == page_base && slot.version == version) return &slot;
 
+  CONVOLVE_TELEMETRY_ONLY(
+      ++dc_decodes_;
+      if (slot.base == page_base) ++dc_invalidations_;)
+
   // (Re-)decode the page's words straight from memory. This caches code
   // *bytes*, not permissions: the execute-permission check still happens
   // per fetch against the live PMP state.
@@ -464,7 +500,7 @@ const Rv32Cpu::DecodedPage* Rv32Cpu::decoded_page(std::uint64_t page_base) {
   return &slot;
 }
 
-Rv32Cpu::RunResult Rv32Cpu::run(std::uint64_t max_steps) {
+Rv32Cpu::RunResult Rv32Cpu::run_fast(std::uint64_t max_steps) {
   if (!dcache_) dcache_ = std::make_unique<std::array<DecodedPage, kCacheSlots>>();
   RunResult result;
 

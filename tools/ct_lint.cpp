@@ -10,14 +10,18 @@
 //   suite...   restrict to the named suites (default: all).
 //   --threads N  worker threads for the parallel suites (also settable via
 //              CONVOLVE_THREADS; default: hardware concurrency).
+//   --trace-out=FILE    write a chrome://tracing span file for the run.
+//   --metrics-out=FILE  write the telemetry metric snapshot as JSON.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "convolve/analysis/ct_taint.hpp"
 #include "convolve/common/parallel.hpp"
+#include "convolve/common/telemetry.hpp"
 
 namespace {
 
@@ -26,6 +30,21 @@ using convolve::analysis::LintResult;
 bool required_clean(const std::string& suite) {
   return suite == "aes256" || suite == "chacha20" || suite == "keccak" ||
          suite == "hmac";
+}
+
+// In CONVOLVE_TELEMETRY=OFF builds the flags stay accepted and write empty
+// stub files, so scripts don't have to fork on build configuration.
+bool write_telemetry_file(const std::string& path, bool trace) {
+#if CONVOLVE_TELEMETRY_ENABLED
+  return trace ? convolve::telemetry::write_chrome_trace(path)
+               : convolve::telemetry::write_metrics_json(path);
+#else
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << (trace ? "{\"traceEvents\": []}\n"
+              : "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n");
+  return f.good();
+#endif
 }
 
 void print_result(const LintResult& r) {
@@ -47,13 +66,22 @@ void print_result(const LintResult& r) {
 int main(int argc, char** argv) {
   convolve::par::init_threads_from_cli(argc, argv);
   bool strict = false;
+  std::string trace_out;
+  std::string metrics_out;
   std::set<std::string> only;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--strict") == 0) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
       strict = true;
-    } else if (argv[i][0] == '-') {
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg[0] == '-') {
       std::fprintf(stderr, "ct_lint: unknown option '%s'\n", argv[i]);
-      std::fprintf(stderr, "usage: ct_lint [--strict] [--threads N] [suite...]\n");
+      std::fprintf(stderr,
+                   "usage: ct_lint [--strict] [--threads N] "
+                   "[--trace-out=FILE] [--metrics-out=FILE] [suite...]\n");
       return 2;
     } else {
       only.insert(argv[i]);
@@ -76,6 +104,15 @@ int main(int argc, char** argv) {
     print_result(r);
     if (!r.output_matches) ++failures;
     if (required_clean(r.suite) && r.hazard_count != 0) ++failures;
+  }
+
+  if (!trace_out.empty() && !write_telemetry_file(trace_out, true)) {
+    std::fprintf(stderr, "ct_lint: cannot write '%s'\n", trace_out.c_str());
+    return 2;
+  }
+  if (!metrics_out.empty() && !write_telemetry_file(metrics_out, false)) {
+    std::fprintf(stderr, "ct_lint: cannot write '%s'\n", metrics_out.c_str());
+    return 2;
   }
 
   if (failures != 0) {
