@@ -2,7 +2,7 @@
 # Collect one JSON report per bench into an output directory:
 #   scripts/collect_bench.sh <build-dir> [out-dir]
 #
-# Writes BENCH_<name>.json for every bench with --json support (the four
+# Writes BENCH_<name>.json for every bench with --json support (the
 # hand-rolled benches via the shared bench_report.hpp schema, plus
 # bench_crypto_micro via google-benchmark's native emitter) and
 # TRACE_<name>.json chrome://tracing span files for the telemetry-
@@ -46,6 +46,7 @@ run() {
 run bench_rv32 --steps=200000 --min-speedup=0
 run bench_sca --unmasked-traces=1024 --min-masked-ratio=4 --sigma=0.5
 run bench_leakage_verify
+run bench_rv32static
 run bench_table1_dse
 
 # google-benchmark bench: native JSON emitter, no telemetry flags.

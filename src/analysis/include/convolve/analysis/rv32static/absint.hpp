@@ -1,0 +1,91 @@
+// Fixpoint abstract interpretation over the RV32 image.
+//
+// The engine runs a worklist at instruction granularity (the image sizes
+// under analysis are enclave-scale, a few thousand instructions, so the
+// simplicity of per-instruction states beats basic-block batching). Each
+// program point holds a RegState (interval x taint per register); memory
+// taint is flow-insensitive: a monotone set of address ranges that may
+// hold secret bytes, seeded with the ImageSpec's secret ranges and grown
+// by stores of tainted values. Widening kicks in after `widen_after`
+// visits of a point, so loops terminate with bounds at the domain
+// extremes instead of iterating 2^32 times.
+//
+// Indirect jumps (jalr) are resolved from the abstract target interval:
+// a set of <= max_indirect_candidates concrete targets is enumerated and
+// becomes CFG edges; anything wider marks the site unresolved and makes
+// EVERY instruction reachable (the sound over-approximation; the lint
+// also emits kUnresolvedJump so the imprecision is visible, not silent).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "convolve/analysis/rv32static/domain.hpp"
+#include "convolve/analysis/rv32static/image.hpp"
+
+namespace convolve::analysis::rv32static {
+
+struct AbsIntConfig {
+  /// Visits of one program point before widening applies.
+  unsigned widen_after = 8;
+  /// Max concrete jalr targets enumerated from the abstract interval
+  /// before the site is declared unresolved.
+  std::uint64_t max_indirect_candidates = 64;
+  /// Cap on tracked tainted-store ranges; overflow collapses to
+  /// "all memory may be tainted" (sound, imprecise).
+  std::size_t max_tainted_ranges = 16;
+  /// Hard iteration cap (defense in depth; widening already guarantees
+  /// termination). Exceeding it clears `converged` in the result.
+  std::uint64_t max_iterations = 1u << 20;
+};
+
+/// Everything the fixpoint learned about one jalr site, recorded at the
+/// site's final (fixpoint) in-state.
+struct IndirectSite {
+  std::uint32_t pc = 0;
+  /// Enumerated concrete targets (bit 0 cleared), in-image or not.
+  std::vector<std::uint32_t> targets;
+  /// Target interval wider than max_indirect_candidates.
+  bool unresolved = false;
+  /// Some candidate target is in-image but not 4-byte aligned.
+  bool may_misalign = false;
+  /// Some candidate target falls outside the image.
+  bool may_escape = false;
+  /// The target depends on a secret-tainted register.
+  bool secret_target = false;
+};
+
+struct AbsIntResult {
+  /// Fixpoint in-state per instruction index (valid where reachable).
+  std::vector<RegState> in_state;
+  /// Instruction indices the fixpoint visited.
+  std::vector<bool> reachable;
+  /// Per-site indirect-jump record, keyed by jalr pc.
+  std::map<std::uint32_t, IndirectSite> indirect;
+  /// Resolved jalr target pc sets, keyed by jalr pc (projection of
+  /// `indirect` for CFG recovery).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> indirect_targets;
+  /// jalr sites whose target interval could not be bounded.
+  std::vector<std::uint32_t> unresolved_sites;
+  /// Memory ranges that may hold secret bytes at any time (includes the
+  /// ImageSpec seed ranges).
+  std::vector<AddrRange> tainted_memory;
+  /// All memory may be tainted (range cap overflowed or a tainted store
+  /// had an unbounded address).
+  bool all_memory_tainted = false;
+  std::uint64_t iterations = 0;
+  bool converged = true;
+
+  bool memory_may_be_tainted(std::uint32_t addr, std::uint64_t len) const {
+    if (all_memory_tainted) return true;
+    for (const auto& r : tainted_memory) {
+      if (r.overlaps(addr, len)) return true;
+    }
+    return false;
+  }
+};
+
+AbsIntResult interpret(const ImageSpec& image, const AbsIntConfig& config);
+
+}  // namespace convolve::analysis::rv32static

@@ -1,0 +1,55 @@
+// Top-level entry point of the static RV32 enclave analyzer: linear
+// sweep + CFG recovery + fixpoint abstract interpretation + finding
+// extraction, with an optional PMP policy lint.
+//
+// This is the "assurance before execution" leg of the CONVOLVE security
+// story: the secure-boot flow measures an image, this pass proves
+// properties of the measured bytes -- no secret-dependent control flow,
+// no secret-indexed memory access, no access that can violate the PMP
+// policy the security monitor will program -- before the enclave ever
+// runs. Its verdicts are cross-checked against dynamic execution by the
+// differential harness (every dynamically observed hazard must have been
+// flagged; precision is tracked as a ratio, soundness is a hard gate).
+#pragma once
+
+#include <optional>
+
+#include "convolve/analysis/rv32static/absint.hpp"
+#include "convolve/analysis/rv32static/cfg.hpp"
+#include "convolve/analysis/rv32static/findings.hpp"
+#include "convolve/tee/pmp.hpp"
+
+namespace convolve::analysis::rv32static {
+
+struct AnalyzeOptions {
+  AbsIntConfig absint;
+  /// When set, every reachable memory access and fetch is checked against
+  /// this PMP configuration at the image's privilege mode; accesses that
+  /// may be denied (or fall outside memory_size) yield kPmp* findings.
+  const tee::PmpUnit* pmp_policy = nullptr;
+};
+
+struct AnalysisResult {
+  StaticReport report;
+  Cfg cfg;
+  AbsIntResult absint;
+};
+
+AnalysisResult analyze(const ImageSpec& image, const AnalyzeOptions& options);
+
+/// Convenience overload with default options and no PMP policy.
+inline AnalysisResult analyze(const ImageSpec& image) {
+  return analyze(image, AnalyzeOptions{});
+}
+
+/// Can every access of `len` bytes starting anywhere in [lo, hi] be
+/// proven allowed by `pmp` for (mode, type), within `memory_size`?
+/// Walks the uniform-decision windows from PmpUnit::check_region, so the
+/// cost is proportional to the number of distinct policy windows, not to
+/// the interval width. Used by the PMP lint and exposed for tests.
+bool interval_access_allowed(const tee::PmpUnit& pmp, std::uint64_t lo,
+                             std::uint64_t hi, std::uint64_t len,
+                             tee::PrivMode mode, tee::AccessType type,
+                             std::uint64_t memory_size);
+
+}  // namespace convolve::analysis::rv32static

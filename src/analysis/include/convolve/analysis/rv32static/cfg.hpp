@@ -1,0 +1,77 @@
+// CFG recovery over a linearly-swept RV32 image.
+//
+// The sweep decodes every 4-byte slot of the image with the SAME decoder
+// the execution engines use (convolve/tee/rv32_decode.hpp), then forms
+// basic blocks from leaders: the entry, every direct branch/jump target,
+// every instruction after a terminator, and every resolved indirect
+// (jalr) target the abstract interpretation discovered. Edges carry a
+// kind so callers can distinguish fallthrough/branch/call/return/
+// indirect flow; jal with rd=ra is classified as a call, jalr rd=x0
+// rs1=ra as a return (the RISC-V ABI hint encodings).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "convolve/analysis/rv32static/image.hpp"
+
+namespace convolve::analysis::rv32static {
+
+enum class EdgeKind : std::uint8_t {
+  kFallthrough,   // straight-line successor
+  kBranchTaken,   // conditional branch, taken side
+  kJump,          // jal that is not a call (plain goto)
+  kCall,          // jal/jalr writing ra
+  kReturn,        // jalr x0, ra, 0 to a resolved return site
+  kIndirect,      // resolved jalr target that is neither call nor return
+  kResume,        // ecall/ebreak fallthrough (embedder resumes at pc+4)
+};
+
+struct CfgEdge {
+  std::uint32_t from_pc = 0;  // pc of the transferring instruction
+  std::uint32_t to_pc = 0;    // target block leader
+  EdgeKind kind = EdgeKind::kFallthrough;
+};
+
+struct BasicBlock {
+  std::uint32_t first_pc = 0;
+  std::uint32_t last_pc = 0;  // pc of the final instruction in the block
+  bool reachable = false;
+  std::size_t insn_count() const { return (last_pc - first_pc) / 4 + 1; }
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;          // sorted by first_pc
+  std::vector<CfgEdge> edges;
+  /// Resolved jalr target sets, keyed by the jalr pc. A site missing from
+  /// the map but present in unresolved_sites had an unbounded target set.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> indirect_targets;
+  std::vector<std::uint32_t> unresolved_sites;
+
+  const BasicBlock* block_at(std::uint32_t leader_pc) const {
+    for (const auto& b : blocks) {
+      if (b.first_pc == leader_pc) return &b;
+    }
+    return nullptr;
+  }
+  /// The block containing `pc`, if any.
+  const BasicBlock* block_of(std::uint32_t pc) const {
+    for (const auto& b : blocks) {
+      if (pc >= b.first_pc && pc <= b.last_pc) return &b;
+    }
+    return nullptr;
+  }
+};
+
+/// Recover the CFG. `indirect_targets`/`unresolved_sites` come from the
+/// abstract interpretation (empty maps are fine: indirect flow is then
+/// simply absent from the graph); `reachable` marks instruction indices
+/// the fixpoint visited and is projected onto blocks.
+Cfg recover_cfg(
+    const ImageSpec& image,
+    const std::map<std::uint32_t, std::vector<std::uint32_t>>& indirect_targets,
+    const std::vector<std::uint32_t>& unresolved_sites,
+    const std::vector<bool>& reachable);
+
+}  // namespace convolve::analysis::rv32static

@@ -1,0 +1,142 @@
+// Abstract domains for the RV32 static analyzer: an unsigned 32-bit
+// interval domain for address/value ranges, and a may-taint bit for
+// secret propagation. The product of the two is the per-register AbsVal;
+// a RegState is the 32-register abstract machine state at one program
+// point.
+//
+// Soundness contract (relied on by the differential harness in
+// tests/analysis/test_rv32static_differential.cpp): for every concrete
+// execution, the concrete value of register r at pc P lies inside the
+// fixpoint interval of r at P, and if the dynamic taint oracle marks r
+// tainted then the static taint bit is set. Transfer functions therefore
+// only ever OVER-approximate: when an exact result is not cheaply
+// representable they return top / keep the taint, never the reverse.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace convolve::analysis::rv32static {
+
+/// Closed unsigned interval [lo, hi] (lo <= hi always; wrap-around is
+/// approximated by top). Top is [0, 2^32-1].
+struct Interval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0xffffffffu;
+
+  static constexpr Interval top() { return {0, 0xffffffffu}; }
+  static constexpr Interval constant(std::uint32_t v) { return {v, v}; }
+
+  bool is_top() const { return lo == 0 && hi == 0xffffffffu; }
+  bool singleton() const { return lo == hi; }
+  bool contains(std::uint32_t v) const { return v >= lo && v <= hi; }
+  std::uint64_t width() const {
+    return static_cast<std::uint64_t>(hi) - lo + 1;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  static Interval join(const Interval& a, const Interval& b) {
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+  }
+
+  /// Standard widening: any bound that moved since `prev` jumps to the
+  /// domain extreme, guaranteeing fixpoint termination on loops.
+  static Interval widen(const Interval& prev, const Interval& next) {
+    return {next.lo < prev.lo ? 0u : prev.lo,
+            next.hi > prev.hi ? 0xffffffffu : prev.hi};
+  }
+
+  /// Intersection for branch-edge refinement; `empty` reports an
+  /// infeasible edge (the caller then suppresses propagation).
+  static Interval intersect(const Interval& a, const Interval& b,
+                            bool& empty) {
+    const std::uint32_t lo = std::max(a.lo, b.lo);
+    const std::uint32_t hi = std::min(a.hi, b.hi);
+    empty = lo > hi;
+    return empty ? constant(0) : Interval{lo, hi};
+  }
+
+  // --- transfer helpers (all over-approximating) ---
+
+  static Interval add(const Interval& a, const Interval& b) {
+    const std::uint64_t lo = static_cast<std::uint64_t>(a.lo) + b.lo;
+    const std::uint64_t hi = static_cast<std::uint64_t>(a.hi) + b.hi;
+    if (hi > 0xffffffffull) return top();  // may wrap
+    return {static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)};
+  }
+  static Interval sub(const Interval& a, const Interval& b) {
+    const std::int64_t lo = static_cast<std::int64_t>(a.lo) - b.hi;
+    const std::int64_t hi = static_cast<std::int64_t>(a.hi) - b.lo;
+    if (lo < 0) return top();  // may wrap
+    return {static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)};
+  }
+  /// x + signed immediate (the LOAD/STORE/ADDI address form).
+  static Interval add_imm(const Interval& a, std::int32_t imm) {
+    return imm >= 0 ? add(a, constant(static_cast<std::uint32_t>(imm)))
+                    : sub(a, constant(static_cast<std::uint32_t>(-static_cast<std::int64_t>(imm))));
+  }
+  /// x & mask for a constant mask: [0, mask] always contains the result.
+  static Interval and_mask(std::uint32_t mask) { return {0, mask}; }
+  static Interval shift_left(const Interval& a, unsigned s) {
+    if (s == 0) return a;
+    if (static_cast<std::uint64_t>(a.hi) << s > 0xffffffffull) return top();
+    return {a.lo << s, a.hi << s};
+  }
+  static Interval shift_right(const Interval& a, unsigned s) {
+    return {a.lo >> s, a.hi >> s};  // monotone on unsigned
+  }
+};
+
+/// Product value: interval x may-taint.
+struct AbsVal {
+  Interval iv = Interval::top();
+  bool taint = false;
+
+  static AbsVal constant(std::uint32_t v) { return {Interval::constant(v), false}; }
+  static AbsVal top(bool taint = false) { return {Interval::top(), taint}; }
+
+  friend bool operator==(const AbsVal& a, const AbsVal& b) {
+    return a.iv == b.iv && a.taint == b.taint;
+  }
+};
+
+/// 32-register abstract state. x0 is pinned to {0, untainted}.
+struct RegState {
+  std::array<AbsVal, 32> x{};
+
+  RegState() { x[0] = AbsVal::constant(0); }
+
+  const AbsVal& reg(unsigned i) const { return x[i]; }
+  void set_reg(unsigned i, const AbsVal& v) {
+    if (i != 0) x[i] = v;
+  }
+
+  friend bool operator==(const RegState& a, const RegState& b) {
+    return a.x == b.x;
+  }
+
+  /// Pointwise join (interval join, taint OR).
+  static RegState join(const RegState& a, const RegState& b) {
+    RegState r;
+    for (unsigned i = 1; i < 32; ++i) {
+      r.x[i] = {Interval::join(a.x[i].iv, b.x[i].iv),
+                a.x[i].taint || b.x[i].taint};
+    }
+    return r;
+  }
+
+  /// Pointwise widening against the previous fixpoint state.
+  static RegState widen(const RegState& prev, const RegState& next) {
+    RegState r;
+    for (unsigned i = 1; i < 32; ++i) {
+      r.x[i] = {Interval::widen(prev.x[i].iv, next.x[i].iv), next.x[i].taint};
+    }
+    return r;
+  }
+};
+
+}  // namespace convolve::analysis::rv32static

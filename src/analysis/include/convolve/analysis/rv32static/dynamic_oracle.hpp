@@ -1,0 +1,69 @@
+// Dynamic taint oracle for the differential soundness harness.
+//
+// Runs an image on the reference interpreter (Rv32Cpu::step) with a
+// shadow state: one taint bit per register and per memory byte, seeded
+// from the ImageSpec's secret ranges. Every retired instruction updates
+// the shadow exactly as the dataflow executes it (loads OR over the
+// shadow bytes read, stores strong-update the bytes written, ALU results
+// inherit the OR of the operands actually read -- using the decoder's
+// reads_rs1/reads_rs2 predicates, NOT the raw bit-fields, which hold
+// immediate fragments for U/J-format instructions).
+//
+// The oracle emits an event stream: each secret-dependent branch /
+// access / jump observed at runtime, plus the terminating trap if any.
+// The harness asserts every event was flagged by the static analyzer at
+// the corresponding pc (soundness); events never flagged statically are
+// soundness violations, static findings never confirmed dynamically are
+// imprecision (reported as a ratio, not a failure).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "convolve/analysis/rv32static/image.hpp"
+#include "convolve/tee/machine.hpp"
+#include "convolve/tee/rv32.hpp"
+
+namespace convolve::analysis::rv32static {
+
+enum class EventKind : std::uint8_t {
+  kSecretBranch,  // retired conditional branch with a tainted operand
+  kSecretLoad,    // retired load with a tainted address register
+  kSecretStore,   // retired store with a tainted address register
+  kSecretJump,    // retired jalr with a tainted target register
+  kFault,         // terminating trap (cause in `cause`)
+};
+
+struct OracleEvent {
+  EventKind kind = EventKind::kFault;
+  /// pc of the instruction (for kFault: the trapping pc, which for fetch
+  /// faults is the *target* of the transfer).
+  std::uint32_t pc = 0;
+  /// pc of the most recently retired instruction -- for fetch faults this
+  /// is the control transfer that produced the bad target.
+  std::uint32_t from_pc = 0;
+  tee::TrapCause cause = tee::TrapCause::kEcall;  // valid for kFault only
+};
+
+struct OracleResult {
+  std::vector<OracleEvent> events;
+  /// In-image pcs of retired instructions (deduplicated, sorted).
+  std::vector<std::uint32_t> visited;
+  std::uint64_t steps = 0;
+  /// The terminating trap, if the run did not exhaust max_steps.
+  /// ecall/ebreak do NOT terminate the oracle (the embedder resumes).
+  std::optional<tee::Trap> trap;
+};
+
+/// Execute `image` on `machine` (which must already hold the code bytes
+/// at image.base and have its PMP programmed) for at most `max_steps`
+/// retired instructions, tracking shadow taint. Tracking stops early if
+/// execution leaves the image without faulting or a store mutates image
+/// bytes (self-modifying code): both are outside the static model, whose
+/// soundness contract assumes immutable code (W^X, PMP-enforced in
+/// deployment).
+OracleResult run_oracle(tee::Machine& machine, const ImageSpec& image,
+                        std::uint64_t max_steps);
+
+}  // namespace convolve::analysis::rv32static

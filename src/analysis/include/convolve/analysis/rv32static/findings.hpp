@@ -1,0 +1,87 @@
+// Findings emitted by the static RV32 analyzer, and the report that
+// carries them together with the recovered CFG statistics.
+//
+// Every finding is anchored at the pc of the instruction it concerns.
+// The soundness contract of the analyzer is phrased in terms of clean():
+// if clean(pc) holds for every pc a dynamic execution visits, that
+// execution exhibits no secret-dependent branch/access and no PMP fault
+// (checked by the differential harness over fuzzed programs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace convolve::analysis::rv32static {
+
+enum class FindingKind : std::uint8_t {
+  kSecretBranch,      // conditional branch on a secret-tainted operand
+  kSecretLoad,        // load whose address depends on a secret
+  kSecretStore,       // store whose address depends on a secret
+  kSecretJump,        // jalr whose target depends on a secret
+  kPmpLoad,           // load that may violate the PMP policy / bounds
+  kPmpStore,          // store that may violate the PMP policy / bounds
+  kPmpFetch,          // reachable pc not executable under the policy
+  kMisalignedTarget,  // control transfer to a pc % 4 != 0 (overlapping code)
+  kOutOfImageTarget,  // control transfer that may leave the image
+  kUnresolvedJump,    // jalr target set could not be bounded
+  kIllegalInsn,       // reachable instruction decodes as illegal
+  kUnreachableCode,   // basic block never reachable from the entry
+};
+
+const char* finding_name(FindingKind kind);
+
+struct Finding {
+  FindingKind kind = FindingKind::kSecretBranch;
+  std::uint32_t pc = 0;
+  /// For access findings: the abstract address range [lo, hi] involved.
+  std::uint32_t addr_lo = 0;
+  std::uint32_t addr_hi = 0;
+  std::string detail;
+};
+
+/// CFG statistics for reporting/telemetry (structure lives in cfg.hpp).
+struct CfgStats {
+  std::size_t blocks = 0;
+  std::size_t edges = 0;
+  std::size_t reachable_blocks = 0;
+  std::size_t indirect_sites = 0;
+  std::size_t resolved_indirect_targets = 0;
+};
+
+struct StaticReport {
+  std::vector<Finding> findings;
+  CfgStats cfg;
+  std::uint64_t fixpoint_iterations = 0;
+  bool converged = true;
+  /// Set when some jalr target set could not be bounded; reachability is
+  /// then the sound over-approximation "every instruction".
+  bool has_unresolved_indirect = false;
+
+  bool any(FindingKind kind) const {
+    for (const auto& f : findings) {
+      if (f.kind == kind) return true;
+    }
+    return false;
+  }
+  bool flagged(std::uint32_t pc, FindingKind kind) const {
+    for (const auto& f : findings) {
+      if (f.pc == pc && f.kind == kind) return true;
+    }
+    return false;
+  }
+  /// No finding of any kind anchored at `pc`.
+  bool clean(std::uint32_t pc) const {
+    for (const auto& f : findings) {
+      if (f.pc == pc && f.kind != FindingKind::kUnreachableCode) return false;
+    }
+    return true;
+  }
+  std::size_t count(FindingKind kind) const {
+    std::size_t n = 0;
+    for (const auto& f : findings) n += (f.kind == kind) ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace convolve::analysis::rv32static

@@ -1,0 +1,75 @@
+// Input model for the static RV32 enclave binary analyzer.
+//
+// An ImageSpec is everything the analyzer may assume about an enclave
+// before it runs: the code bytes and where they are loaded, the entry
+// point and privilege mode, which data ranges hold secrets (the taint
+// seed -- in the secure-boot flow this is the sealed key / model-weight
+// region the measured image is provisioned with), and the physical
+// memory size of the target machine. The analyzer never executes the
+// image; everything else is derived by linear sweep + abstract
+// interpretation (see absint.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "convolve/common/bytes.hpp"
+#include "convolve/tee/pmp.hpp"
+#include "convolve/tee/rv32_decode.hpp"
+
+namespace convolve::analysis::rv32static {
+
+/// Half-open address range [lo, hi).
+struct AddrRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  bool contains(std::uint32_t addr) const { return addr >= lo && addr < hi; }
+  bool empty() const { return hi <= lo; }
+  /// Does [a, a+len) overlap this range? Saturating, len >= 1.
+  bool overlaps(std::uint32_t a, std::uint64_t len) const {
+    const std::uint64_t a_hi = static_cast<std::uint64_t>(a) + len;
+    return !empty() && a < hi && a_hi > lo;
+  }
+};
+
+struct ImageSpec {
+  /// Raw little-endian code bytes; length must be a multiple of 4 (the
+  /// analyzer models the RV32IM 4-byte instruction grid).
+  Bytes code;
+  /// Physical load address of code[0]; must be 4-byte aligned.
+  std::uint32_t base = 0;
+  /// Entry pc (absolute address).
+  std::uint32_t entry = 0;
+  /// Privilege the image executes at (decides the PMP policy view).
+  tee::PrivMode mode = tee::PrivMode::kUser;
+  /// Secret data ranges (absolute addresses): the taint seed. Loads that
+  /// may read these bytes produce secret-tainted values.
+  std::vector<AddrRange> secret;
+  /// Physical memory size of the target machine (bounds every access).
+  std::uint64_t memory_size = 1ull << 20;
+
+  bool in_image(std::uint32_t pc) const {
+    return pc >= base && pc < base + code.size();
+  }
+  bool aligned(std::uint32_t pc) const { return pc % 4 == 0; }
+  std::size_t insn_count() const { return code.size() / 4; }
+  /// Instruction index of an in-image, aligned pc.
+  std::size_t index_of(std::uint32_t pc) const {
+    return static_cast<std::size_t>(pc - base) / 4;
+  }
+  std::uint32_t pc_of(std::size_t index) const {
+    return base + static_cast<std::uint32_t>(index * 4);
+  }
+  std::uint32_t word_at(std::size_t index) const {
+    return load_le32(code.data() + index * 4);
+  }
+  bool secret_overlaps(std::uint32_t addr, std::uint64_t len) const {
+    for (const auto& r : secret) {
+      if (r.overlaps(addr, len)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace convolve::analysis::rv32static

@@ -1,0 +1,451 @@
+#include "convolve/analysis/rv32static/absint.hpp"
+
+#include <deque>
+
+#include "convolve/tee/rv32_decode.hpp"
+
+namespace convolve::analysis::rv32static {
+
+namespace {
+
+using tee::DecodedInsn;
+using tee::OpKind;
+
+// Exact RV32M semantics for singleton operands (must match the engines
+// bit-for-bit, including the division edge cases, or the interval would
+// exclude the value the hardware computes).
+std::uint32_t exact_op(OpKind k, std::uint32_t a, std::uint32_t b) {
+  const auto sa = static_cast<std::int32_t>(a);
+  const auto sb = static_cast<std::int32_t>(b);
+  switch (k) {
+    case OpKind::kAdd: return a + b;
+    case OpKind::kSub: return a - b;
+    case OpKind::kSll: return a << (b & 31);
+    case OpKind::kSlt: return sa < sb ? 1 : 0;
+    case OpKind::kSltu: return a < b ? 1 : 0;
+    case OpKind::kXor: return a ^ b;
+    case OpKind::kSrl: return a >> (b & 31);
+    case OpKind::kSra:
+      return static_cast<std::uint32_t>(sa >> (b & 31));
+    case OpKind::kOr: return a | b;
+    case OpKind::kAnd: return a & b;
+    case OpKind::kMul:
+      return static_cast<std::uint32_t>(static_cast<std::int64_t>(sa) *
+                                        static_cast<std::int64_t>(sb));
+    case OpKind::kMulh:
+      return static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(sa) * static_cast<std::int64_t>(sb)) >>
+          32);
+    case OpKind::kMulhsu:
+      return static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(sa) *
+           static_cast<std::int64_t>(static_cast<std::uint64_t>(b))) >>
+          32);
+    case OpKind::kMulhu:
+      return static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)) >>
+          32);
+    case OpKind::kDiv:
+      if (b == 0) return 0xffffffffu;
+      if (a == 0x80000000u && b == 0xffffffffu) return 0x80000000u;
+      return static_cast<std::uint32_t>(sa / sb);
+    case OpKind::kDivu: return b == 0 ? 0xffffffffu : a / b;
+    case OpKind::kRem:
+      if (b == 0) return a;
+      if (a == 0x80000000u && b == 0xffffffffu) return 0;
+      return static_cast<std::uint32_t>(sa % sb);
+    case OpKind::kRemu: return b == 0 ? a : a % b;
+    default: return 0;
+  }
+}
+
+/// Interval transfer for the register-register OP group.
+Interval op_interval(OpKind k, const Interval& a, const Interval& b) {
+  if (a.singleton() && b.singleton()) {
+    return Interval::constant(exact_op(k, a.lo, b.lo));
+  }
+  switch (k) {
+    case OpKind::kAdd: return Interval::add(a, b);
+    case OpKind::kSub: return Interval::sub(a, b);
+    case OpKind::kSlt:
+    case OpKind::kSltu: return {0, 1};
+    case OpKind::kAnd:
+      // x & y <= min(x_hi, y_hi): the result clears bits, never sets.
+      return {0, std::min(a.hi, b.hi)};
+    case OpKind::kSll:
+      if (b.singleton()) return Interval::shift_left(a, b.lo & 31);
+      return Interval::top();
+    case OpKind::kSrl:
+      if (b.singleton()) return Interval::shift_right(a, b.lo & 31);
+      return {0, a.hi};  // logical right shift never grows the value
+    case OpKind::kSra:
+      // Arithmetic shift is monotone only while the interval stays on one
+      // side of the sign boundary.
+      if (b.singleton() && a.hi < 0x80000000u) {
+        return Interval::shift_right(a, b.lo & 31);
+      }
+      return Interval::top();
+    case OpKind::kOr:
+    case OpKind::kXor: {
+      // x|y and x^y are both <= x+y; lower bound 0 (OR's max(lo) bound
+      // would be valid but OR/XOR share this path for simplicity).
+      const std::uint64_t hi =
+          static_cast<std::uint64_t>(a.hi) + static_cast<std::uint64_t>(b.hi);
+      if (hi > 0xffffffffull) return Interval::top();
+      return {0, static_cast<std::uint32_t>(hi)};
+    }
+    default: return Interval::top();
+  }
+}
+
+/// Interval transfer for the OP-IMM group (imm is the decoded immediate,
+/// shamt for shifts).
+Interval op_imm_interval(OpKind k, const Interval& a, std::int32_t imm) {
+  const auto ui = static_cast<std::uint32_t>(imm);
+  if (a.singleton()) {
+    switch (k) {
+      case OpKind::kAddi: return Interval::constant(a.lo + ui);
+      case OpKind::kSlti:
+        return Interval::constant(
+            static_cast<std::int32_t>(a.lo) < imm ? 1 : 0);
+      case OpKind::kSltiu: return Interval::constant(a.lo < ui ? 1 : 0);
+      case OpKind::kXori: return Interval::constant(a.lo ^ ui);
+      case OpKind::kOri: return Interval::constant(a.lo | ui);
+      case OpKind::kAndi: return Interval::constant(a.lo & ui);
+      case OpKind::kSlli: return Interval::constant(a.lo << imm);
+      case OpKind::kSrli: return Interval::constant(a.lo >> imm);
+      case OpKind::kSrai:
+        return Interval::constant(static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a.lo) >> imm));
+      default: return Interval::top();
+    }
+  }
+  switch (k) {
+    case OpKind::kAddi: return Interval::add_imm(a, imm);
+    case OpKind::kSlti:
+    case OpKind::kSltiu: return {0, 1};
+    case OpKind::kAndi:
+      // Negative immediates have high bits set; only a non-negative mask
+      // gives the cheap [0, mask] bound.
+      if (imm >= 0) return {0, std::min(a.hi, ui)};
+      return Interval::top();
+    case OpKind::kSlli:
+      return Interval::shift_left(a, static_cast<unsigned>(imm));
+    case OpKind::kSrli:
+      return Interval::shift_right(a, static_cast<unsigned>(imm));
+    case OpKind::kSrai:
+      if (a.hi < 0x80000000u) {
+        return Interval::shift_right(a, static_cast<unsigned>(imm));
+      }
+      return Interval::top();
+    case OpKind::kOri: {
+      const std::uint64_t hi = static_cast<std::uint64_t>(a.hi) + ui;
+      if (imm < 0 || hi > 0xffffffffull) return Interval::top();
+      return {std::max(a.lo, ui), static_cast<std::uint32_t>(hi)};
+    }
+    default: return Interval::top();
+  }
+}
+
+struct Engine {
+  const ImageSpec& image;
+  const AbsIntConfig& config;
+  std::vector<DecodedInsn> insns;
+  std::vector<std::size_t> load_indices;
+
+  AbsIntResult res;
+  std::vector<bool> has_state;
+  std::vector<unsigned> visits;
+  std::vector<bool> queued;
+  std::deque<std::size_t> worklist;
+
+  Engine(const ImageSpec& img, const AbsIntConfig& cfg)
+      : image(img), config(cfg) {
+    const std::size_t n = image.insn_count();
+    insns.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      insns.push_back(tee::decode_rv32(image.word_at(i)));
+      if (tee::is_load(insns.back().kind)) load_indices.push_back(i);
+    }
+    res.in_state.assign(n, RegState{});
+    res.reachable.assign(n, false);
+    res.tainted_memory = image.secret;
+    has_state.assign(n, false);
+    visits.assign(n, 0);
+    queued.assign(n, false);
+  }
+
+  void enqueue(std::size_t idx) {
+    if (!queued[idx]) {
+      queued[idx] = true;
+      worklist.push_back(idx);
+    }
+  }
+
+  void propagate(std::size_t idx, const RegState& state) {
+    if (!has_state[idx]) {
+      res.in_state[idx] = state;
+      has_state[idx] = true;
+      res.reachable[idx] = true;
+      enqueue(idx);
+      return;
+    }
+    RegState joined = RegState::join(res.in_state[idx], state);
+    if (joined == res.in_state[idx]) return;
+    ++visits[idx];
+    if (visits[idx] >= config.widen_after) {
+      joined = RegState::widen(res.in_state[idx], joined);
+      if (joined == res.in_state[idx]) return;
+    }
+    res.in_state[idx] = joined;
+    enqueue(idx);
+  }
+
+  void propagate_pc(std::uint32_t pc, const RegState& state) {
+    if (image.in_image(pc) && image.aligned(pc)) {
+      propagate(image.index_of(pc), state);
+    }
+    // Out-of-image / misaligned targets end abstract execution here; the
+    // finding extraction reports them from the final states.
+  }
+
+  void grow_tainted_memory(std::uint32_t lo, std::uint64_t span) {
+    if (res.all_memory_tainted) return;
+    const std::uint64_t hi64 = static_cast<std::uint64_t>(lo) + span;
+    const auto hi =
+        hi64 > 0xffffffffull ? 0xffffffffu : static_cast<std::uint32_t>(hi64);
+    // Already covered by an existing range: no growth, no re-propagation.
+    for (const auto& r : res.tainted_memory) {
+      if (r.lo <= lo && r.hi >= hi) return;
+    }
+    if (res.tainted_memory.size() >= config.max_tainted_ranges) {
+      res.all_memory_tainted = true;
+    } else {
+      res.tainted_memory.push_back({lo, hi});
+    }
+    // Memory taint grew: every reachable load may now read tainted bytes,
+    // so their program points must be re-evaluated.
+    for (const std::size_t li : load_indices) {
+      if (res.reachable[li]) enqueue(li);
+    }
+  }
+
+  /// Branch-edge refinement. Returns false when the refined interval is
+  /// empty (edge infeasible). Only unsigned comparisons and equality are
+  /// refined; signed branches propagate unrefined (still sound).
+  static bool refine_edge(OpKind kind, bool taken, AbsVal& a, AbsVal& b) {
+    const bool eq_side = (kind == OpKind::kBeq && taken) ||
+                         (kind == OpKind::kBne && !taken);
+    if (eq_side) {
+      bool empty = false;
+      const Interval both = Interval::intersect(a.iv, b.iv, empty);
+      if (empty) return false;
+      a.iv = both;
+      b.iv = both;
+      return true;
+    }
+    const bool ne_side = (kind == OpKind::kBeq && !taken) ||
+                         (kind == OpKind::kBne && taken);
+    if (ne_side) {
+      // Only the singleton-vs-interval case is worth refining: shave the
+      // matching endpoint off the other interval.
+      const auto shave = [](const Interval& single, Interval& other) {
+        if (!single.singleton()) return true;
+        if (other.singleton()) return other.lo != single.lo;
+        if (other.lo == single.lo) other.lo += 1;
+        else if (other.hi == single.lo) other.hi -= 1;
+        return true;
+      };
+      return shave(a.iv, b.iv) && shave(b.iv, a.iv);
+    }
+    const bool ltu_side = (kind == OpKind::kBltu && taken) ||
+                          (kind == OpKind::kBgeu && !taken);
+    if (ltu_side) {  // a < b unsigned
+      if (b.iv.hi == 0) return false;  // nothing is < 0
+      a.iv.hi = std::min(a.iv.hi, b.iv.hi - 1);
+      b.iv.lo = std::max(b.iv.lo, a.iv.lo == 0xffffffffu ? a.iv.lo
+                                                         : a.iv.lo + 1);
+      return a.iv.lo <= a.iv.hi && b.iv.lo <= b.iv.hi;
+    }
+    const bool geu_side = (kind == OpKind::kBgeu && taken) ||
+                          (kind == OpKind::kBltu && !taken);
+    if (geu_side) {  // a >= b unsigned
+      a.iv.lo = std::max(a.iv.lo, b.iv.lo);
+      b.iv.hi = std::min(b.iv.hi, a.iv.hi);
+      return a.iv.lo <= a.iv.hi && b.iv.lo <= b.iv.hi;
+    }
+    return true;  // signed branches: no refinement
+  }
+
+  void transfer(std::size_t idx) {
+    const DecodedInsn& d = insns[idx];
+    const std::uint32_t pc = image.pc_of(idx);
+    const RegState in = res.in_state[idx];  // copy: propagate may mutate
+    const AbsVal a = in.reg(d.rs1);
+    const AbsVal b = in.reg(d.rs2);
+    const auto ui = static_cast<std::uint32_t>(d.imm);
+
+    RegState out = in;
+
+    switch (d.kind) {
+      case OpKind::kLui:
+        out.set_reg(d.rd, AbsVal::constant(ui));
+        break;
+      case OpKind::kAuipc:
+        out.set_reg(d.rd, AbsVal::constant(pc + ui));
+        break;
+      case OpKind::kJal:
+        out.set_reg(d.rd, AbsVal::constant(pc + 4));
+        propagate_pc(pc + ui, out);
+        return;
+      case OpKind::kJalr: {
+        out.set_reg(d.rd, AbsVal::constant(pc + 4));
+        const Interval t = Interval::add_imm(a.iv, d.imm);
+        // Bit 0 is cleared architecturally; x & ~1 is monotone.
+        const Interval targets{t.lo & ~1u, t.hi & ~1u};
+        IndirectSite site;
+        site.pc = pc;
+        site.secret_target = a.taint;
+        if (targets.width() > config.max_indirect_candidates) {
+          site.unresolved = true;
+          res.indirect[pc] = site;
+          make_everything_reachable();
+          return;
+        }
+        for (std::uint64_t v = targets.lo; v <= targets.hi; v += 1) {
+          const auto cand = static_cast<std::uint32_t>(v) & ~1u;
+          if (!site.targets.empty() && site.targets.back() == cand) continue;
+          site.targets.push_back(cand);
+          if (!image.in_image(cand)) {
+            site.may_escape = true;
+          } else if (cand % 4 != 0) {
+            site.may_misalign = true;
+          } else {
+            propagate_pc(cand, out);
+          }
+        }
+        res.indirect[pc] = site;
+        return;
+      }
+      case OpKind::kBeq: case OpKind::kBne: case OpKind::kBlt:
+      case OpKind::kBge: case OpKind::kBltu: case OpKind::kBgeu: {
+        for (const bool taken : {false, true}) {
+          RegState edge = out;
+          AbsVal ra = a;
+          AbsVal rb = b;
+          if (!refine_edge(d.kind, taken, ra, rb)) continue;
+          edge.set_reg(d.rs1, ra);
+          edge.set_reg(d.rs2, rb);
+          propagate_pc(taken ? pc + ui : pc + 4, edge);
+        }
+        return;
+      }
+      case OpKind::kLb: case OpKind::kLh: case OpKind::kLw:
+      case OpKind::kLbu: case OpKind::kLhu: {
+        const Interval addr = Interval::add_imm(a.iv, d.imm);
+        const std::uint64_t span =
+            addr.width() - 1 + tee::access_bytes(d.kind);
+        const bool value_taint =
+            res.memory_may_be_tainted(addr.lo, span);
+        Interval value = Interval::top();
+        if (d.kind == OpKind::kLbu) value = {0, 0xff};
+        if (d.kind == OpKind::kLhu) value = {0, 0xffff};
+        out.set_reg(d.rd, {value, value_taint});
+        break;
+      }
+      case OpKind::kSb: case OpKind::kSh: case OpKind::kSw: {
+        if (b.taint) {
+          const Interval addr = Interval::add_imm(a.iv, d.imm);
+          if (addr.is_top()) {
+            res.all_memory_tainted = true;
+            for (const std::size_t li : load_indices) {
+              if (res.reachable[li]) enqueue(li);
+            }
+          } else {
+            grow_tainted_memory(
+                addr.lo, addr.width() - 1 + tee::access_bytes(d.kind));
+          }
+        }
+        break;
+      }
+      case OpKind::kAddi: case OpKind::kSlti: case OpKind::kSltiu:
+      case OpKind::kXori: case OpKind::kOri: case OpKind::kAndi:
+      case OpKind::kSlli: case OpKind::kSrli: case OpKind::kSrai:
+        out.set_reg(d.rd, {op_imm_interval(d.kind, a.iv, d.imm), a.taint});
+        break;
+      case OpKind::kAdd: case OpKind::kSub: case OpKind::kSll:
+      case OpKind::kSlt: case OpKind::kSltu: case OpKind::kXor:
+      case OpKind::kSrl: case OpKind::kSra: case OpKind::kOr:
+      case OpKind::kAnd: case OpKind::kMul: case OpKind::kMulh:
+      case OpKind::kMulhsu: case OpKind::kMulhu: case OpKind::kDiv:
+      case OpKind::kDivu: case OpKind::kRem: case OpKind::kRemu:
+        out.set_reg(d.rd,
+                    {op_interval(d.kind, a.iv, b.iv), a.taint || b.taint});
+        break;
+      case OpKind::kFence:
+        break;
+      case OpKind::kEcall:
+      case OpKind::kEbreak:
+        // The embedder resumes at pc + 4 with registers preserved (the
+        // harness and the SM service loop both behave this way; a
+        // register-clobbering embedder is documented imprecision).
+        propagate_pc(pc + 4, out);
+        return;
+      case OpKind::kIllegal:
+      default:
+        return;  // execution stops: illegal-instruction trap
+    }
+    propagate_pc(pc + 4, out);
+  }
+
+  /// Sound fallback for an unresolved indirect jump: every instruction
+  /// becomes reachable with a fully-unknown, fully-tainted state.
+  void make_everything_reachable() {
+    RegState all_top;
+    for (unsigned r = 1; r < 32; ++r) all_top.x[r] = AbsVal::top(true);
+    res.all_memory_tainted = true;
+    for (std::size_t i = 0; i < insns.size(); ++i) {
+      propagate(i, all_top);
+    }
+  }
+
+  AbsIntResult run() {
+    if (!image.in_image(image.entry) || !image.aligned(image.entry) ||
+        image.code.size() % 4 != 0) {
+      return std::move(res);  // nothing reachable; analyze() reports why
+    }
+    propagate(image.index_of(image.entry), RegState{});
+    while (!worklist.empty()) {
+      if (res.iterations >= config.max_iterations) {
+        res.converged = false;
+        break;
+      }
+      const std::size_t idx = worklist.front();
+      worklist.pop_front();
+      queued[idx] = false;
+      ++res.iterations;
+      transfer(idx);
+    }
+    for (const auto& [site_pc, site] : res.indirect) {
+      if (site.unresolved) {
+        res.unresolved_sites.push_back(site_pc);
+        continue;
+      }
+      std::vector<std::uint32_t> in_image;
+      for (const std::uint32_t t : site.targets) {
+        if (image.in_image(t) && t % 4 == 0) in_image.push_back(t);
+      }
+      res.indirect_targets[site_pc] = std::move(in_image);
+    }
+    return std::move(res);
+  }
+};
+
+}  // namespace
+
+AbsIntResult interpret(const ImageSpec& image, const AbsIntConfig& config) {
+  Engine engine(image, config);
+  return engine.run();
+}
+
+}  // namespace convolve::analysis::rv32static

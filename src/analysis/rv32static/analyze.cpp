@@ -1,0 +1,267 @@
+#include "convolve/analysis/rv32static/analyze.hpp"
+
+#include <algorithm>
+
+#include "convolve/common/telemetry.hpp"
+#include "convolve/tee/rv32_decode.hpp"
+
+namespace convolve::analysis::rv32static {
+
+namespace {
+
+#if CONVOLVE_TELEMETRY_ENABLED
+telemetry::Counter t_blocks{"rv32static.blocks"};
+telemetry::Counter t_edges{"rv32static.edges"};
+telemetry::Counter t_iterations{"rv32static.fixpoint_iterations"};
+telemetry::Counter t_findings{"rv32static.findings"};
+#endif
+
+using tee::DecodedInsn;
+using tee::OpKind;
+
+struct Extractor {
+  const ImageSpec& image;
+  const AnalyzeOptions& options;
+  const AbsIntResult& absint;
+  StaticReport& report;
+
+  void add(FindingKind kind, std::uint32_t pc, std::string detail,
+           std::uint32_t addr_lo = 0, std::uint32_t addr_hi = 0) {
+    report.findings.push_back(
+        {kind, pc, addr_lo, addr_hi, std::move(detail)});
+  }
+
+  /// Direct-target sanity for jal/branches: the target must stay on the
+  /// in-image 4-byte grid or the transfer traps / escapes at runtime.
+  void check_direct_target(std::uint32_t pc, std::uint32_t target,
+                           const char* what) {
+    if (!image.in_image(target)) {
+      add(FindingKind::kOutOfImageTarget, pc,
+          std::string(what) + " target leaves the image", target, target);
+    } else if (target % 4 != 0) {
+      add(FindingKind::kMisalignedTarget, pc,
+          std::string(what) + " target is misaligned", target, target);
+    }
+  }
+
+  void check_access(std::uint32_t pc, const Interval& addr,
+                    std::uint32_t len, bool is_store) {
+    const FindingKind kind =
+        is_store ? FindingKind::kPmpStore : FindingKind::kPmpLoad;
+    const tee::AccessType type =
+        is_store ? tee::AccessType::kWrite : tee::AccessType::kRead;
+    if (options.pmp_policy != nullptr) {
+      if (!interval_access_allowed(*options.pmp_policy, addr.lo, addr.hi,
+                                   len, image.mode, type,
+                                   image.memory_size)) {
+        add(kind, pc, "access may be denied by the PMP policy", addr.lo,
+            addr.hi);
+      }
+    } else if (static_cast<std::uint64_t>(addr.hi) + len >
+               image.memory_size) {
+      add(kind, pc, "access may fall outside physical memory", addr.lo,
+          addr.hi);
+    }
+  }
+
+  void run() {
+    if (!image.in_image(image.entry)) {
+      add(FindingKind::kOutOfImageTarget, image.entry,
+          "entry point outside the image");
+      return;
+    }
+    if (!image.aligned(image.entry)) {
+      add(FindingKind::kMisalignedTarget, image.entry,
+          "entry point is misaligned");
+      return;
+    }
+
+    const std::size_t n = image.insn_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!absint.reachable[i]) continue;
+      const std::uint32_t pc = image.pc_of(i);
+      const DecodedInsn d = tee::decode_rv32(image.word_at(i));
+      const RegState& in = absint.in_state[i];
+      const AbsVal& a = in.reg(d.rs1);
+      const AbsVal& b = in.reg(d.rs2);
+
+      if (options.pmp_policy != nullptr &&
+          !interval_access_allowed(*options.pmp_policy, pc, pc, 4,
+                                   image.mode, tee::AccessType::kExecute,
+                                   image.memory_size)) {
+        add(FindingKind::kPmpFetch, pc,
+            "pc not executable under the PMP policy", pc, pc);
+      }
+
+      switch (d.kind) {
+        case OpKind::kIllegal:
+          add(FindingKind::kIllegalInsn, pc,
+              "reachable word does not decode");
+          break;
+        case OpKind::kBeq: case OpKind::kBne: case OpKind::kBlt:
+        case OpKind::kBge: case OpKind::kBltu: case OpKind::kBgeu:
+          if (a.taint || b.taint) {
+            add(FindingKind::kSecretBranch, pc,
+                "branch condition depends on a secret");
+          }
+          check_direct_target(pc, pc + static_cast<std::uint32_t>(d.imm),
+                              "branch");
+          if (i + 1 >= n) {
+            add(FindingKind::kOutOfImageTarget, pc,
+                "branch fallthrough leaves the image", pc + 4, pc + 4);
+          }
+          break;
+        case OpKind::kJal:
+          check_direct_target(pc, pc + static_cast<std::uint32_t>(d.imm),
+                              "jal");
+          break;
+        case OpKind::kJalr: {
+          const auto it = absint.indirect.find(pc);
+          if (it == absint.indirect.end()) break;
+          const IndirectSite& site = it->second;
+          if (site.secret_target) {
+            add(FindingKind::kSecretJump, pc,
+                "indirect target depends on a secret");
+          }
+          if (site.unresolved) {
+            add(FindingKind::kUnresolvedJump, pc,
+                "indirect target set could not be bounded");
+          }
+          if (site.may_escape) {
+            add(FindingKind::kOutOfImageTarget, pc,
+                "indirect target may leave the image");
+          }
+          if (site.may_misalign) {
+            add(FindingKind::kMisalignedTarget, pc,
+                "indirect target may be misaligned");
+          }
+          break;
+        }
+        case OpKind::kLb: case OpKind::kLh: case OpKind::kLw:
+        case OpKind::kLbu: case OpKind::kLhu: {
+          const Interval addr = Interval::add_imm(a.iv, d.imm);
+          if (a.taint) {
+            add(FindingKind::kSecretLoad, pc,
+                "load address depends on a secret", addr.lo, addr.hi);
+          }
+          check_access(pc, addr, tee::access_bytes(d.kind), false);
+          break;
+        }
+        case OpKind::kSb: case OpKind::kSh: case OpKind::kSw: {
+          const Interval addr = Interval::add_imm(a.iv, d.imm);
+          if (a.taint) {
+            add(FindingKind::kSecretStore, pc,
+                "store address depends on a secret", addr.lo, addr.hi);
+          }
+          check_access(pc, addr, tee::access_bytes(d.kind), true);
+          break;
+        }
+        default:
+          break;
+      }
+
+      // Any instruction with an implicit pc+4 successor (straight-line
+      // code, but also ecall/ebreak resume) at the last slot lets
+      // execution fall off the end of the image. Branches carry their own
+      // fallthrough check above; jal/jalr/illegal never fall through.
+      const bool falls_through = !tee::is_branch(d.kind) &&
+                                 d.kind != OpKind::kJal &&
+                                 d.kind != OpKind::kJalr &&
+                                 d.kind != OpKind::kIllegal;
+      if (falls_through && i + 1 >= n) {
+        add(FindingKind::kOutOfImageTarget, pc,
+            "fallthrough leaves the image", pc + 4, pc + 4);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const char* finding_name(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kSecretBranch: return "secret-branch";
+    case FindingKind::kSecretLoad: return "secret-load";
+    case FindingKind::kSecretStore: return "secret-store";
+    case FindingKind::kSecretJump: return "secret-jump";
+    case FindingKind::kPmpLoad: return "pmp-load";
+    case FindingKind::kPmpStore: return "pmp-store";
+    case FindingKind::kPmpFetch: return "pmp-fetch";
+    case FindingKind::kMisalignedTarget: return "misaligned-target";
+    case FindingKind::kOutOfImageTarget: return "out-of-image-target";
+    case FindingKind::kUnresolvedJump: return "unresolved-jump";
+    case FindingKind::kIllegalInsn: return "illegal-insn";
+    case FindingKind::kUnreachableCode: return "unreachable-code";
+  }
+  return "unknown";
+}
+
+bool interval_access_allowed(const tee::PmpUnit& pmp, std::uint64_t lo,
+                             std::uint64_t hi, std::uint64_t len,
+                             tee::PrivMode mode, tee::AccessType type,
+                             std::uint64_t memory_size) {
+  if (len == 0 || lo > hi) return true;
+  std::uint64_t probe = lo;
+  while (true) {
+    if (probe + len > memory_size) return false;
+    const auto rc = pmp.check_region(probe, len, mode, type, memory_size);
+    if (!rc.allowed) return false;
+    // Every access fully inside [rc.lo, rc.hi) is decided identically, so
+    // the next start worth probing is the first one not fully covered.
+    std::uint64_t next = rc.hi >= len ? rc.hi - len + 1 : probe + 1;
+    if (next <= probe) next = probe + 1;  // progress even on odd windows
+    if (next > hi) return true;
+    probe = next;
+  }
+}
+
+AnalysisResult analyze(const ImageSpec& image, const AnalyzeOptions& options) {
+  AnalysisResult result;
+  result.absint = interpret(image, options.absint);
+  result.cfg = recover_cfg(image, result.absint.indirect_targets,
+                           result.absint.unresolved_sites,
+                           result.absint.reachable);
+
+  Extractor extractor{image, options, result.absint, result.report};
+  extractor.run();
+
+  for (const auto& block : result.cfg.blocks) {
+    if (!block.reachable) {
+      result.report.findings.push_back(
+          {FindingKind::kUnreachableCode, block.first_pc, block.first_pc,
+           block.last_pc, "block never reachable from the entry"});
+    }
+  }
+
+  std::sort(result.report.findings.begin(), result.report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.pc != b.pc) return a.pc < b.pc;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+
+  auto& stats = result.report.cfg;
+  stats.blocks = result.cfg.blocks.size();
+  stats.edges = result.cfg.edges.size();
+  stats.reachable_blocks = static_cast<std::size_t>(
+      std::count_if(result.cfg.blocks.begin(), result.cfg.blocks.end(),
+                    [](const BasicBlock& b) { return b.reachable; }));
+  stats.indirect_sites = result.absint.indirect.size();
+  for (const auto& [pc, targets] : result.absint.indirect_targets) {
+    (void)pc;
+    stats.resolved_indirect_targets += targets.size();
+  }
+  result.report.fixpoint_iterations = result.absint.iterations;
+  result.report.converged = result.absint.converged;
+  result.report.has_unresolved_indirect =
+      !result.absint.unresolved_sites.empty();
+
+  CONVOLVE_TELEMETRY_ONLY({
+    t_blocks.add(stats.blocks);
+    t_edges.add(stats.edges);
+    t_iterations.add(result.report.fixpoint_iterations);
+    t_findings.add(result.report.findings.size());
+  })
+  return result;
+}
+
+}  // namespace convolve::analysis::rv32static

@@ -1,0 +1,138 @@
+#include "convolve/analysis/rv32static/cfg.hpp"
+
+#include <algorithm>
+
+#include "convolve/tee/rv32_decode.hpp"
+
+namespace convolve::analysis::rv32static {
+
+namespace {
+
+using tee::DecodedInsn;
+using tee::OpKind;
+
+constexpr unsigned kRa = 1;  // ABI link register (x1)
+
+bool is_call(const DecodedInsn& d) {
+  return (d.kind == OpKind::kJal || d.kind == OpKind::kJalr) && d.rd == kRa;
+}
+
+bool is_return(const DecodedInsn& d) {
+  return d.kind == OpKind::kJalr && d.rd == 0 && d.rs1 == kRa;
+}
+
+}  // namespace
+
+Cfg recover_cfg(
+    const ImageSpec& image,
+    const std::map<std::uint32_t, std::vector<std::uint32_t>>& indirect_targets,
+    const std::vector<std::uint32_t>& unresolved_sites,
+    const std::vector<bool>& reachable) {
+  Cfg cfg;
+  cfg.indirect_targets = indirect_targets;
+  cfg.unresolved_sites = unresolved_sites;
+
+  const std::size_t n = image.insn_count();
+  if (n == 0) return cfg;
+
+  std::vector<DecodedInsn> insns;
+  insns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    insns.push_back(tee::decode_rv32(image.word_at(i)));
+  }
+
+  const auto in_grid = [&](std::uint32_t pc) {
+    return image.in_image(pc) && pc % 4 == 0;
+  };
+
+  // Leaders: entry, direct targets, post-terminator slots, resolved
+  // indirect targets.
+  std::vector<bool> leader(n, false);
+  if (in_grid(image.entry)) leader[image.index_of(image.entry)] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DecodedInsn& d = insns[i];
+    const std::uint32_t pc = image.pc_of(i);
+    if (tee::is_branch(d.kind) || d.kind == OpKind::kJal) {
+      const std::uint32_t target = pc + static_cast<std::uint32_t>(d.imm);
+      if (in_grid(target)) leader[image.index_of(target)] = true;
+    }
+    if (tee::is_terminator(d.kind) && i + 1 < n) leader[i + 1] = true;
+  }
+  for (const auto& [site_pc, targets] : indirect_targets) {
+    (void)site_pc;
+    for (const std::uint32_t t : targets) {
+      if (in_grid(t)) leader[image.index_of(t)] = true;
+    }
+  }
+  if (n > 0 && !in_grid(image.entry)) leader[0] = true;  // degenerate sweep
+
+  // Blocks: runs from one leader up to (and including) the next
+  // terminator or the slot before the next leader.
+  std::vector<std::size_t> block_start;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader[i]) block_start.push_back(i);
+  }
+  for (std::size_t bi = 0; bi < block_start.size(); ++bi) {
+    const std::size_t first = block_start[bi];
+    std::size_t last = (bi + 1 < block_start.size()) ? block_start[bi + 1] - 1
+                                                     : n - 1;
+    for (std::size_t i = first; i <= last; ++i) {
+      if (tee::is_terminator(insns[i].kind)) {
+        last = i;
+        break;
+      }
+    }
+    BasicBlock block;
+    block.first_pc = image.pc_of(first);
+    block.last_pc = image.pc_of(last);
+    for (std::size_t i = first; i <= last; ++i) {
+      if (i < reachable.size() && reachable[i]) block.reachable = true;
+    }
+    cfg.blocks.push_back(block);
+  }
+
+  // Edges, classified. Emitted from the pc that transfers control.
+  const auto add_edge = [&](std::uint32_t from, std::uint32_t to,
+                            EdgeKind kind) {
+    if (in_grid(to)) cfg.edges.push_back({from, to, kind});
+  };
+  for (const auto& block : cfg.blocks) {
+    const std::size_t li = image.index_of(block.last_pc);
+    const DecodedInsn& d = insns[li];
+    const std::uint32_t pc = block.last_pc;
+    if (tee::is_branch(d.kind)) {
+      add_edge(pc, pc + static_cast<std::uint32_t>(d.imm),
+               EdgeKind::kBranchTaken);
+      add_edge(pc, pc + 4, EdgeKind::kFallthrough);
+    } else if (d.kind == OpKind::kJal) {
+      add_edge(pc, pc + static_cast<std::uint32_t>(d.imm),
+               is_call(d) ? EdgeKind::kCall : EdgeKind::kJump);
+    } else if (d.kind == OpKind::kJalr) {
+      const auto it = indirect_targets.find(pc);
+      if (it != indirect_targets.end()) {
+        for (const std::uint32_t t : it->second) {
+          add_edge(pc, t,
+                   is_call(d)     ? EdgeKind::kCall
+                   : is_return(d) ? EdgeKind::kReturn
+                                  : EdgeKind::kIndirect);
+        }
+      }
+    } else if (d.kind == OpKind::kEcall || d.kind == OpKind::kEbreak) {
+      add_edge(pc, pc + 4, EdgeKind::kResume);
+    } else if (d.kind != OpKind::kIllegal) {
+      // Block ended because the next slot is a leader, not at a
+      // terminator: plain fallthrough.
+      add_edge(pc, pc + 4, EdgeKind::kFallthrough);
+    }
+  }
+
+  std::sort(cfg.edges.begin(), cfg.edges.end(),
+            [](const CfgEdge& a, const CfgEdge& b) {
+              if (a.from_pc != b.from_pc) return a.from_pc < b.from_pc;
+              if (a.to_pc != b.to_pc) return a.to_pc < b.to_pc;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return cfg;
+}
+
+}  // namespace convolve::analysis::rv32static

@@ -1,0 +1,138 @@
+#include "convolve/analysis/rv32static/dynamic_oracle.hpp"
+
+#include <algorithm>
+
+#include "convolve/common/bytes.hpp"
+#include "convolve/tee/rv32_decode.hpp"
+
+namespace convolve::analysis::rv32static {
+
+namespace {
+
+using tee::DecodedInsn;
+using tee::OpKind;
+
+}  // namespace
+
+OracleResult run_oracle(tee::Machine& machine, const ImageSpec& image,
+                        std::uint64_t max_steps) {
+  OracleResult result;
+  tee::Rv32Cpu cpu(machine, image.entry, image.mode);
+
+  std::array<bool, 32> reg_taint{};
+  std::vector<bool> mem_taint(machine.memory_size(), false);
+  for (const auto& r : image.secret) {
+    for (std::uint64_t a = r.lo; a < r.hi && a < mem_taint.size(); ++a) {
+      mem_taint[static_cast<std::size_t>(a)] = true;
+    }
+  }
+
+  const auto mem_range_tainted = [&](std::uint64_t addr, std::uint32_t len) {
+    for (std::uint64_t a = addr; a < addr + len; ++a) {
+      if (a < mem_taint.size() && mem_taint[static_cast<std::size_t>(a)]) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::uint32_t last_retired_pc = image.entry;
+  const std::span<std::uint8_t> ram = machine.raw_memory();
+
+  while (result.steps < max_steps) {
+    const std::uint32_t pc = cpu.pc();
+
+    // Peek the instruction the interpreter is about to fetch, so operand
+    // taint can be sampled before architectural state changes. A pc the
+    // fetch will fault on yields a dummy illegal decode; no shadow update
+    // happens because step() retires nothing.
+    DecodedInsn d{};
+    const bool fetchable =
+        pc % 4 == 0 && static_cast<std::uint64_t>(pc) + 4 <= ram.size();
+    if (fetchable) d = tee::decode_rv32(load_le32(ram.data() + pc));
+
+    const std::uint32_t rs1_val = cpu.reg(d.rs1);
+    const bool t1 = tee::reads_rs1(d.kind) && reg_taint[d.rs1];
+    const bool t2 = tee::reads_rs2(d.kind) && reg_taint[d.rs2];
+
+    const std::optional<tee::Trap> trap = cpu.step();
+
+    if (trap.has_value() && trap->cause != tee::TrapCause::kEcall &&
+        trap->cause != tee::TrapCause::kEbreak) {
+      result.events.push_back(
+          {EventKind::kFault, trap->pc, last_retired_pc, trap->cause});
+      result.trap = trap;
+      break;
+    }
+
+    // The instruction retired (ecall/ebreak count: pc advanced).
+    ++result.steps;
+    last_retired_pc = pc;
+    if (!image.in_image(pc)) {
+      // Execution left the image without faulting: out of the static
+      // model. The escaping transfer itself was statically flagged
+      // (kOutOfImageTarget / unresolved), so stop tracking here.
+      break;
+    }
+    result.visited.push_back(pc);
+
+    if (tee::is_branch(d.kind) && (t1 || t2)) {
+      result.events.push_back({EventKind::kSecretBranch, pc, pc, {}});
+    }
+    if (d.kind == OpKind::kJalr && t1) {
+      result.events.push_back({EventKind::kSecretJump, pc, pc, {}});
+    }
+
+    if (tee::is_load(d.kind)) {
+      if (t1) {
+        result.events.push_back({EventKind::kSecretLoad, pc, pc, {}});
+      }
+      const std::uint64_t addr =
+          (rs1_val + static_cast<std::uint32_t>(d.imm)) & 0xffffffffull;
+      reg_taint[d.rd] = mem_range_tainted(addr, tee::access_bytes(d.kind));
+      if (d.rd == 0) reg_taint[0] = false;
+    } else if (tee::is_store(d.kind)) {
+      if (t1) {
+        result.events.push_back({EventKind::kSecretStore, pc, pc, {}});
+      }
+      const std::uint64_t addr =
+          (rs1_val + static_cast<std::uint32_t>(d.imm)) & 0xffffffffull;
+      const std::uint32_t len = tee::access_bytes(d.kind);
+      const bool value_taint = reg_taint[d.rs2];
+      for (std::uint64_t a = addr; a < addr + len && a < mem_taint.size();
+           ++a) {
+        mem_taint[static_cast<std::size_t>(a)] = value_taint;
+      }
+      if (addr < static_cast<std::uint64_t>(image.base) + image.code.size() &&
+          addr + len > image.base) {
+        // The store mutated image bytes: self-modifying code is outside
+        // the static model (the analyzer assumes W^X, which the PMP
+        // enforces in deployment). Stop tracking; events up to and
+        // including this store remain valid.
+        break;
+      }
+    } else if (tee::writes_rd(d.kind) && d.rd != 0) {
+      // lui/auipc/jal/jalr produce pc- or immediate-derived values (jalr
+      // writes pc+4, NOT a function of rs1's value); ALU results inherit
+      // the OR of the operands actually read.
+      const bool link_like =
+          d.kind == OpKind::kLui || d.kind == OpKind::kAuipc ||
+          d.kind == OpKind::kJal || d.kind == OpKind::kJalr;
+      reg_taint[d.rd] = link_like ? false : (t1 || t2);
+    }
+
+    if (trap.has_value()) {
+      // ecall/ebreak: embedder resume semantics -- keep executing at the
+      // already-advanced pc with registers (and shadow) preserved.
+      continue;
+    }
+  }
+
+  std::sort(result.visited.begin(), result.visited.end());
+  result.visited.erase(
+      std::unique(result.visited.begin(), result.visited.end()),
+      result.visited.end());
+  return result;
+}
+
+}  // namespace convolve::analysis::rv32static

@@ -25,6 +25,7 @@
 #include <optional>
 
 #include "convolve/tee/machine.hpp"
+#include "convolve/tee/rv32_decode.hpp"
 
 namespace convolve::tee {
 
@@ -43,37 +44,6 @@ struct Trap {
   std::uint32_t pc;    // pc of the trapping instruction
   std::uint32_t tval;  // faulting address or raw instruction
 };
-
-/// Pre-decoded instruction: a flat handler index plus register/immediate
-/// operands, so the fast engine dispatches on one byte instead of
-/// re-extracting bit fields on every execution.
-enum class OpKind : std::uint8_t {
-  kIllegal = 0,
-  kLui, kAuipc, kJal, kJalr,
-  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
-  kLb, kLh, kLw, kLbu, kLhu,
-  kSb, kSh, kSw,
-  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
-  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
-  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
-  kFence, kEcall, kEbreak,
-};
-
-struct DecodedInsn {
-  OpKind kind = OpKind::kIllegal;
-  std::uint8_t rd = 0;
-  std::uint8_t rs1 = 0;
-  std::uint8_t rs2 = 0;
-  // Sign-extended immediate (I/S/B/J forms, pre-shifted for branches and
-  // jumps), upper immediate for LUI/AUIPC, shamt for immediate shifts, or
-  // the raw instruction word for kIllegal (trap tval).
-  std::int32_t imm = 0;
-};
-
-/// Decode one RV32IM instruction word. Strict: reserved funct7/funct3
-/// combinations (e.g. the SUB bit on AND, CSR-class SYSTEM encodings)
-/// decode to kIllegal rather than aliasing onto a nearby instruction.
-DecodedInsn decode_rv32(std::uint32_t inst);
 
 class Rv32Cpu {
  public:

@@ -325,152 +325,6 @@ Rv32Cpu::RunResult Rv32Cpu::run_interpreted(std::uint64_t max_steps) {
 // Fast engine: decoded-instruction cache + allocation-free memory path
 // ---------------------------------------------------------------------
 
-DecodedInsn decode_rv32(std::uint32_t inst) {
-  DecodedInsn d;
-  d.kind = OpKind::kIllegal;
-  d.imm = static_cast<std::int32_t>(inst);  // trap tval for kIllegal
-
-  const std::uint32_t opcode = inst & 0x7f;
-  const auto rd = static_cast<std::uint8_t>((inst >> 7) & 0x1f);
-  const auto rs1 = static_cast<std::uint8_t>((inst >> 15) & 0x1f);
-  const auto rs2 = static_cast<std::uint8_t>((inst >> 20) & 0x1f);
-  const std::uint32_t funct3 = (inst >> 12) & 0x7;
-  const std::uint32_t funct7 = inst >> 25;
-
-  const auto accept = [&](OpKind kind, std::int32_t imm) {
-    d.kind = kind;
-    d.rd = rd;
-    d.rs1 = rs1;
-    d.rs2 = rs2;
-    d.imm = imm;
-  };
-  const std::int32_t i_imm = sign_extend(inst >> 20, 12);
-
-  switch (opcode) {
-    case 0x37:
-      accept(OpKind::kLui, static_cast<std::int32_t>(inst & 0xfffff000u));
-      break;
-    case 0x17:
-      accept(OpKind::kAuipc, static_cast<std::int32_t>(inst & 0xfffff000u));
-      break;
-    case 0x6f: {
-      const std::uint32_t imm = ((inst >> 31) << 20) |
-                                (((inst >> 12) & 0xff) << 12) |
-                                (((inst >> 20) & 1) << 11) |
-                                (((inst >> 21) & 0x3ff) << 1);
-      accept(OpKind::kJal, sign_extend(imm, 21));
-      break;
-    }
-    case 0x67:
-      accept(OpKind::kJalr, i_imm);
-      break;
-    case 0x63: {
-      const std::uint32_t imm = ((inst >> 31) << 12) |
-                                (((inst >> 7) & 1) << 11) |
-                                (((inst >> 25) & 0x3f) << 5) |
-                                (((inst >> 8) & 0xf) << 1);
-      const std::int32_t offset = sign_extend(imm, 13);
-      switch (funct3) {
-        case 0: accept(OpKind::kBeq, offset); break;
-        case 1: accept(OpKind::kBne, offset); break;
-        case 4: accept(OpKind::kBlt, offset); break;
-        case 5: accept(OpKind::kBge, offset); break;
-        case 6: accept(OpKind::kBltu, offset); break;
-        case 7: accept(OpKind::kBgeu, offset); break;
-        default: break;  // kIllegal
-      }
-      break;
-    }
-    case 0x03:
-      switch (funct3) {
-        case 0: accept(OpKind::kLb, i_imm); break;
-        case 1: accept(OpKind::kLh, i_imm); break;
-        case 2: accept(OpKind::kLw, i_imm); break;
-        case 4: accept(OpKind::kLbu, i_imm); break;
-        case 5: accept(OpKind::kLhu, i_imm); break;
-        default: break;
-      }
-      break;
-    case 0x23: {
-      const std::uint32_t imm = ((inst >> 25) << 5) | ((inst >> 7) & 0x1f);
-      const std::int32_t offset = sign_extend(imm, 12);
-      switch (funct3) {
-        case 0: accept(OpKind::kSb, offset); break;
-        case 1: accept(OpKind::kSh, offset); break;
-        case 2: accept(OpKind::kSw, offset); break;
-        default: break;
-      }
-      break;
-    }
-    case 0x13: {
-      const std::int32_t shamt = static_cast<std::int32_t>((inst >> 20) & 0x1f);
-      switch (funct3) {
-        case 0: accept(OpKind::kAddi, i_imm); break;
-        case 2: accept(OpKind::kSlti, i_imm); break;
-        case 3: accept(OpKind::kSltiu, i_imm); break;
-        case 4: accept(OpKind::kXori, i_imm); break;
-        case 6: accept(OpKind::kOri, i_imm); break;
-        case 7: accept(OpKind::kAndi, i_imm); break;
-        case 1:
-          if (funct7 == 0) accept(OpKind::kSlli, shamt);
-          break;
-        case 5:
-          if (funct7 == 0) accept(OpKind::kSrli, shamt);
-          else if (funct7 == 0x20) accept(OpKind::kSrai, shamt);
-          break;
-        default: break;
-      }
-      break;
-    }
-    case 0x33:
-      if (funct7 == 0x01) {  // M extension
-        switch (funct3) {
-          case 0: accept(OpKind::kMul, 0); break;
-          case 1: accept(OpKind::kMulh, 0); break;
-          case 2: accept(OpKind::kMulhsu, 0); break;
-          case 3: accept(OpKind::kMulhu, 0); break;
-          case 4: accept(OpKind::kDiv, 0); break;
-          case 5: accept(OpKind::kDivu, 0); break;
-          case 6: accept(OpKind::kRem, 0); break;
-          case 7: accept(OpKind::kRemu, 0); break;
-          default: break;
-        }
-      } else if (funct7 == 0x00) {
-        switch (funct3) {
-          case 0: accept(OpKind::kAdd, 0); break;
-          case 1: accept(OpKind::kSll, 0); break;
-          case 2: accept(OpKind::kSlt, 0); break;
-          case 3: accept(OpKind::kSltu, 0); break;
-          case 4: accept(OpKind::kXor, 0); break;
-          case 5: accept(OpKind::kSrl, 0); break;
-          case 6: accept(OpKind::kOr, 0); break;
-          case 7: accept(OpKind::kAnd, 0); break;
-          default: break;
-        }
-      } else if (funct7 == 0x20) {
-        // Only SUB and SRA carry the 0x20 bit; everything else is a
-        // reserved encoding (matches the strict step() decoder).
-        if (funct3 == 0) accept(OpKind::kSub, 0);
-        else if (funct3 == 5) accept(OpKind::kSra, 0);
-      }
-      break;
-    case 0x0f:
-      accept(OpKind::kFence, 0);
-      break;
-    case 0x73: {
-      const std::uint32_t imm = inst >> 20;
-      if (funct3 == 0 && rd == 0 && rs1 == 0 && imm <= 1) {
-        accept(imm == 0 ? OpKind::kEcall : OpKind::kEbreak, 0);
-        d.rs2 = 0;  // imm field overlaps rs2; not a register operand
-      }
-      break;
-    }
-    default:
-      break;
-  }
-  return d;
-}
-
 const Rv32Cpu::DecodedPage* Rv32Cpu::decoded_page(std::uint64_t page_base) {
   DecodedPage& slot =
       (*dcache_)[(page_base >> Machine::kPageShift) % kCacheSlots];

@@ -1,0 +1,360 @@
+// Unit tests for the static RV32 analyzer: interval domain algebra, CFG
+// recovery (blocks, edge kinds, call/return classification), finding
+// extraction (secret-dependent control flow and accesses, PMP lint,
+// unreachable code) and the PMP interval walk.
+#include <gtest/gtest.h>
+
+#include "convolve/analysis/rv32static/analyze.hpp"
+#include "convolve/tee/rv32.hpp"
+
+namespace {
+
+using namespace convolve;
+using namespace convolve::analysis::rv32static;
+namespace rv = tee::rv32asm;
+
+ImageSpec make_image(const std::vector<std::uint32_t>& words,
+                     std::vector<AddrRange> secret = {},
+                     std::uint32_t base = 0) {
+  ImageSpec image;
+  image.code = rv::assemble(words);
+  image.base = base;
+  image.entry = base;
+  image.secret = std::move(secret);
+  image.memory_size = 1 << 16;
+  return image;
+}
+
+// --- Interval domain ---
+
+TEST(Rv32StaticDomain, JoinAndWiden) {
+  const Interval a{4, 10};
+  const Interval b{8, 20};
+  const Interval j = Interval::join(a, b);
+  EXPECT_EQ(j.lo, 4u);
+  EXPECT_EQ(j.hi, 20u);
+
+  const Interval w = Interval::widen(a, j);
+  EXPECT_EQ(w.lo, 4u);             // lower bound unchanged -> kept
+  EXPECT_EQ(w.hi, 0xffffffffu);    // upper bound moved -> extreme
+  EXPECT_EQ(Interval::widen(a, a), a);
+}
+
+TEST(Rv32StaticDomain, ArithmeticOverApproximates) {
+  const Interval a{10, 20};
+  const Interval b{1, 5};
+  const Interval sum = Interval::add(a, b);
+  EXPECT_EQ(sum.lo, 11u);
+  EXPECT_EQ(sum.hi, 25u);
+  const Interval diff = Interval::sub(a, b);
+  EXPECT_EQ(diff.lo, 5u);
+  EXPECT_EQ(diff.hi, 19u);
+  // Potential wrap in either direction degrades to top, never to a lie.
+  EXPECT_TRUE(Interval::add({0xfffffffe, 0xffffffff}, {1, 2}).is_top());
+  EXPECT_TRUE(Interval::sub({0, 1}, {2, 2}).is_top());
+  EXPECT_TRUE(Interval::shift_left({0x10000000, 0x20000000}, 4).is_top());
+  const Interval sr = Interval::shift_right({0x100, 0x1ff}, 4);
+  EXPECT_EQ(sr.lo, 0x10u);
+  EXPECT_EQ(sr.hi, 0x1fu);
+}
+
+TEST(Rv32StaticDomain, IntersectReportsEmpty) {
+  bool empty = false;
+  const Interval i = Interval::intersect({0, 10}, {5, 20}, empty);
+  EXPECT_FALSE(empty);
+  EXPECT_EQ(i.lo, 5u);
+  EXPECT_EQ(i.hi, 10u);
+  (void)Interval::intersect({0, 4}, {5, 20}, empty);
+  EXPECT_TRUE(empty);
+}
+
+TEST(Rv32StaticDomain, RegStatePinsX0) {
+  RegState s;
+  s.set_reg(0, AbsVal::top(true));
+  EXPECT_TRUE(s.reg(0).iv.singleton());
+  EXPECT_EQ(s.reg(0).iv.lo, 0u);
+  EXPECT_FALSE(s.reg(0).taint);
+}
+
+// --- CFG recovery ---
+
+TEST(Rv32StaticCfg, BlocksEdgesAndCallReturn) {
+  // 0x00 jal ra, +12   -> call the "function" at 0x0c
+  // 0x04 nop           <- return site
+  // 0x08 ecall
+  // 0x0c jalr x0, ra   -> return (ra = 4, resolved by the fixpoint)
+  const ImageSpec image = make_image({
+      rv::jal(1, 12),
+      rv::nop(),
+      rv::ecall(),
+      rv::jalr(0, 1, 0),
+  });
+  const AnalysisResult r = analyze(image);
+
+  EXPECT_TRUE(r.report.converged);
+  ASSERT_EQ(r.cfg.blocks.size(), 3u);
+  EXPECT_EQ(r.report.cfg.reachable_blocks, 3u);
+
+  ASSERT_NE(r.cfg.block_at(0x0c), nullptr);
+  EXPECT_TRUE(r.cfg.block_at(0x0c)->reachable);
+
+  bool saw_call = false;
+  bool saw_return = false;
+  bool saw_resume = false;
+  for (const auto& e : r.cfg.edges) {
+    if (e.from_pc == 0x00 && e.to_pc == 0x0c && e.kind == EdgeKind::kCall) {
+      saw_call = true;
+    }
+    if (e.from_pc == 0x0c && e.to_pc == 0x04 && e.kind == EdgeKind::kReturn) {
+      saw_return = true;
+    }
+    if (e.from_pc == 0x08 && e.to_pc == 0x0c && e.kind == EdgeKind::kResume) {
+      saw_resume = true;
+    }
+  }
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_return);
+  EXPECT_TRUE(saw_resume);
+
+  const auto it = r.cfg.indirect_targets.find(0x0c);
+  ASSERT_NE(it, r.cfg.indirect_targets.end());
+  ASSERT_EQ(it->second.size(), 1u);
+  EXPECT_EQ(it->second[0], 0x04u);
+}
+
+TEST(Rv32StaticCfg, UnreachableBlockIsFlagged) {
+  // jal jumps over the middle instruction.
+  const ImageSpec image = make_image({
+      rv::jal(0, 8),
+      rv::addi(5, 0, 1),  // dead
+      rv::ecall(),
+  });
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.flagged(0x04, FindingKind::kUnreachableCode));
+  // Informational: the image still counts as clean at other pcs.
+  EXPECT_TRUE(r.report.clean(0x00));
+}
+
+TEST(Rv32StaticCfg, UnresolvedIndirectMakesEverythingReachable) {
+  const ImageSpec image = make_image({
+      rv::lw(5, 0, 0x100),  // unknown value
+      rv::jalr(0, 5, 0),    // unbounded target
+      rv::addi(6, 0, 1),    // only reachable via the sound fallback
+      rv::ecall(),
+  });
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.has_unresolved_indirect);
+  EXPECT_TRUE(r.report.flagged(0x04, FindingKind::kUnresolvedJump));
+  for (const auto& block : r.cfg.blocks) EXPECT_TRUE(block.reachable);
+}
+
+// --- Abstract interpretation precision ---
+
+TEST(Rv32StaticAbsint, EqualityRefinementNarrowsTakenEdge) {
+  // x6 unknown; the beq-taken edge must know x6 == 7. The not-taken
+  // path parks in a self-loop so no unrefined state joins the target.
+  const ImageSpec image = make_image({
+      rv::addi(5, 0, 7),
+      rv::lw(6, 0, 0x100),
+      rv::beq(6, 5, 12),  // taken -> 0x14
+      rv::nop(),
+      rv::jal(0, 0),      // not-taken path spins here
+      rv::addi(7, 6, 0),  // taken target @0x14: x7 = x6 = 7
+      rv::ecall(),
+  });
+  const AnalysisResult r = analyze(image);
+  ASSERT_TRUE(r.absint.reachable[5]);
+  const Interval x6 = r.absint.in_state[5].reg(6).iv;
+  EXPECT_EQ(x6.lo, 7u);
+  EXPECT_EQ(x6.hi, 7u);
+}
+
+TEST(Rv32StaticAbsint, LoopWidensAndExitRefines) {
+  // for (x5 = 0; x5 < 100; ++x5) {}  -- exit knows x5 >= 100.
+  const ImageSpec image = make_image({
+      rv::addi(6, 0, 100),
+      rv::addi(5, 0, 0),
+      rv::addi(5, 5, 1),
+      rv::bltu(5, 6, -4),
+      rv::ecall(),
+  });
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.converged);
+  EXPECT_LT(r.report.fixpoint_iterations, 1000u);
+  ASSERT_TRUE(r.absint.reachable[4]);
+  EXPECT_GE(r.absint.in_state[4].reg(5).iv.lo, 100u);
+}
+
+// --- Secret findings ---
+
+TEST(Rv32StaticFindings, SecretBranchAndLoad) {
+  // x6 <- secret byte; table lookup indexed by it; branch on it.
+  const ImageSpec image = make_image(
+      {
+          rv::addi(5, 0, 0x600),  // secret base
+          rv::lbu(6, 5, 0),       // tainted
+          rv::addi(7, 0, 0x400),  // public table
+          rv::add(8, 7, 6),
+          rv::lbu(9, 8, 0),       // secret-indexed load @0x10
+          rv::beq(6, 0, 8),       // secret branch        @0x14
+          rv::nop(),
+          rv::ecall(),
+      },
+      {{0x600, 0x610}});
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.flagged(0x10, FindingKind::kSecretLoad));
+  EXPECT_TRUE(r.report.flagged(0x14, FindingKind::kSecretBranch));
+  // The public accesses stay clean.
+  EXPECT_TRUE(r.report.clean(0x04));
+  EXPECT_FALSE(r.report.any(FindingKind::kSecretStore));
+}
+
+TEST(Rv32StaticFindings, TaintFlowsThroughMemory) {
+  // Secret -> store to public scratch -> reload -> branch: the
+  // flow-insensitive memory taint must carry it.
+  const ImageSpec image = make_image(
+      {
+          rv::addi(5, 0, 0x600),
+          rv::lw(6, 5, 0),       // tainted
+          rv::addi(7, 0, 0x400),
+          rv::sw(6, 7, 0),       // taints [0x400, 0x404)
+          rv::lw(8, 7, 0),       // reload: tainted again
+          rv::bne(8, 0, 8),      // secret branch @0x14
+          rv::nop(),
+          rv::ecall(),
+      },
+      {{0x600, 0x604}});
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.flagged(0x14, FindingKind::kSecretBranch));
+}
+
+TEST(Rv32StaticFindings, SecretJumpFlagged) {
+  const ImageSpec image = make_image(
+      {
+          rv::addi(5, 0, 0x600),
+          rv::lw(6, 5, 0),    // tainted
+          rv::jalr(0, 6, 0),  // secret-dependent target @0x08
+          rv::ecall(),
+      },
+      {{0x600, 0x604}});
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.flagged(0x08, FindingKind::kSecretJump));
+  EXPECT_TRUE(r.report.flagged(0x08, FindingKind::kUnresolvedJump));
+}
+
+TEST(Rv32StaticFindings, MisalignedAndOutOfImageTargets) {
+  // x5/x6 are unknown at entry, so both branch edges stay feasible.
+  const ImageSpec image = make_image({
+      rv::beq(5, 6, 6),   // in-image but misaligned target (pc + 6)
+      rv::jal(0, 0x400),  // far outside the image
+      rv::ecall(),
+  });
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.flagged(0x00, FindingKind::kMisalignedTarget));
+  EXPECT_TRUE(r.report.flagged(0x04, FindingKind::kOutOfImageTarget));
+}
+
+TEST(Rv32StaticFindings, FallthroughOffImageEnd) {
+  // The last slot is a plain addi: execution runs off the end.
+  const ImageSpec image = make_image({
+      rv::addi(5, 0, 1),
+      rv::addi(6, 0, 2),
+  });
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.flagged(0x04, FindingKind::kOutOfImageTarget));
+}
+
+TEST(Rv32StaticFindings, ReachableIllegalFlagged) {
+  const ImageSpec image = make_image({
+      rv::addi(5, 0, 1),
+      0x00000000u,  // illegal
+      rv::ecall(),  // unreachable: execution traps at 0x04
+  });
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.flagged(0x04, FindingKind::kIllegalInsn));
+  EXPECT_TRUE(r.report.flagged(0x08, FindingKind::kUnreachableCode));
+}
+
+// --- PMP lint ---
+
+tee::PmpUnit rwx_policy() {
+  // [0, 0x1000) rx ; [0x1000, 0x2000) rw
+  tee::PmpUnit pmp;
+  tee::PmpEntry e;
+  e.mode = tee::PmpAddressMode::kOff;
+  e.address = 0;
+  pmp.set_entry(0, e);
+  e.mode = tee::PmpAddressMode::kTor;
+  e.address = 0x1000 >> 2;
+  e.read = e.execute = true;
+  e.write = false;
+  pmp.set_entry(1, e);
+  e.mode = tee::PmpAddressMode::kOff;
+  e.address = 0x1000 >> 2;
+  e.read = e.write = e.execute = false;
+  pmp.set_entry(2, e);
+  e.mode = tee::PmpAddressMode::kTor;
+  e.address = 0x2000 >> 2;
+  e.read = e.write = true;
+  e.execute = false;
+  pmp.set_entry(3, e);
+  return pmp;
+}
+
+TEST(Rv32StaticPmp, IntervalWalkMatchesPolicy) {
+  const tee::PmpUnit pmp = rwx_policy();
+  const auto mode = tee::PrivMode::kUser;
+  EXPECT_TRUE(interval_access_allowed(pmp, 0x1000, 0x1ffc, 4, mode,
+                                      tee::AccessType::kWrite, 1 << 16));
+  // Crossing the rx/rw boundary: some access straddles both regions.
+  EXPECT_FALSE(interval_access_allowed(pmp, 0xff0, 0x1010, 4, mode,
+                                       tee::AccessType::kWrite, 1 << 16));
+  // No matching entry at all in U-mode: denied.
+  EXPECT_FALSE(interval_access_allowed(pmp, 0x3000, 0x3000, 4, mode,
+                                       tee::AccessType::kRead, 1 << 16));
+  // Out of physical memory even though the policy would allow it.
+  EXPECT_FALSE(interval_access_allowed(pmp, 0x1ff0, 0x1ffe, 4, mode,
+                                       tee::AccessType::kWrite, 0x2000));
+  EXPECT_TRUE(interval_access_allowed(pmp, 0x1ff0, 0x1ffc, 4, mode,
+                                      tee::AccessType::kWrite, 0x2000));
+}
+
+TEST(Rv32StaticPmp, PolicyViolationsBecomeFindings) {
+  const tee::PmpUnit pmp = rwx_policy();
+  ImageSpec image = make_image({
+      rv::lui(5, 1),       // x5 = 0x1000
+      rv::sw(0, 5, 16),    // write inside rw region: allowed
+      rv::lui(6, 3),       // x6 = 0x3000
+      rv::lw(7, 6, 0),     // read with no matching entry @0x0c: denied
+      rv::ecall(),
+  });
+  AnalyzeOptions options;
+  options.pmp_policy = &pmp;
+  const AnalysisResult r = analyze(image, options);
+  EXPECT_FALSE(r.report.any(FindingKind::kPmpStore));
+  EXPECT_TRUE(r.report.flagged(0x0c, FindingKind::kPmpLoad));
+  // Code runs at [0, 0x14) inside the rx region: no fetch findings.
+  EXPECT_FALSE(r.report.any(FindingKind::kPmpFetch));
+}
+
+TEST(Rv32StaticPmp, FetchOutsideExecutableRegionFlagged) {
+  const tee::PmpUnit pmp = rwx_policy();
+  // Image loaded at 0x1000 (the rw, non-x region).
+  ImageSpec image = make_image({rv::ecall()}, {}, 0x1000);
+  AnalyzeOptions options;
+  options.pmp_policy = &pmp;
+  const AnalysisResult r = analyze(image, options);
+  EXPECT_TRUE(r.report.flagged(0x1000, FindingKind::kPmpFetch));
+}
+
+TEST(Rv32StaticPmp, NoPolicyStillBoundsPhysicalMemory) {
+  ImageSpec image = make_image({
+      rv::lui(5, 0x10),  // x5 = 0x10000 = memory_size
+      rv::lw(6, 5, 0),   // reads past the end of physical memory @0x04
+      rv::ecall(),
+  });
+  const AnalysisResult r = analyze(image);
+  EXPECT_TRUE(r.report.flagged(0x04, FindingKind::kPmpLoad));
+}
+
+}  // namespace
