@@ -25,11 +25,28 @@ mkdir -p "$out_dir" || exit 2
 
 status=0
 
-# run <name> <args...>: BENCH_<name>.json + TRACE_<name>.json
-run() {
+# validate <report-file>: schema-check through tools/check_bench_json
+# (skipped with a note when the validator is not built).
+validate() {
+    checker="$build_dir/tools/check_bench_json"
+    if [ ! -x "$checker" ]; then
+        echo "collect_bench: NOTE $1 not schema-checked (check_bench_json not built)" >&2
+        return
+    fi
+    if ! "$checker" < "$1"; then
+        echo "collect_bench: $1 failed schema validation" >&2
+        status=1
+    fi
+}
+
+# run_as <report-name> <bench-binary> <args...>: BENCH_<report-name>.json +
+# TRACE_<report-name>.json, schema-validated. The two names differ when one
+# binary is collected under several configurations (bench_sca lanes below).
+run_as() {
     name=$1
-    shift
-    bin="$build_dir/bench/$name"
+    binname=$2
+    shift 2
+    bin="$build_dir/bench/$binname"
     if [ ! -x "$bin" ]; then
         echo "collect_bench: SKIP $name (not built)" >&2
         return
@@ -41,10 +58,24 @@ run() {
         echo "collect_bench: $name gate FAILED (report still written)" >&2
         status=1
     fi
+    validate "$out_dir/BENCH_$name.json"
+}
+
+# run <name> <args...>: shorthand when report name == binary name.
+run() {
+    name=$1
+    shift
+    run_as "$name" "$name" "$@"
 }
 
 run bench_rv32 --steps=200000 --min-speedup=0
 run bench_sca --unmasked-traces=1024 --min-masked-ratio=4 --sigma=0.5
+# The same sca campaign on both evaluation engines: BENCH_bench_sca.json
+# (bitsliced, lanes=64 default) vs BENCH_bench_sca_scalar.json (the scalar
+# differential oracle) -- diffing the two reports is the recorded
+# lane-speedup evidence, and both must pass the same schema gate.
+run_as bench_sca_scalar bench_sca --lanes=1 \
+    --unmasked-traces=1024 --min-masked-ratio=4 --sigma=0.5
 run bench_leakage_verify
 run bench_rv32static
 run bench_table1_dse

@@ -11,16 +11,45 @@
 #include <cstdint>
 #include <span>
 
+#include "convolve/common/bytes.hpp"
+
 namespace convolve {
+
+namespace rng_detail {
+/// SplitMix64 step: advances `x` and returns the mixed output. Part of the
+/// frozen stream-derivation contract (see Xoshiro256::split); the constants
+/// are the canonical Steele-Lea-Flood ones and must not change.
+inline std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace rng_detail
 
 /// xoshiro256** by Blackman & Vigna; state seeded via SplitMix64.
 class Xoshiro256 {
  public:
   explicit Xoshiro256(std::uint64_t seed = 0xC0111001DEu) { reseed(seed); }
 
+  /// Re-key the state from `seed` via SplitMix64 (same as construction).
   void reseed(std::uint64_t seed);
 
-  std::uint64_t next_u64();
+  // next_u64 and split are defined inline: they sit on the per-trace hot
+  // path of the sca capture engines (one split + a handful of draws per
+  // trace at tens of ns per trace).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl64(state_[3], 45);
+    return result;
+  }
 
   /// Uniform value in [0, bound) without modulo bias (rejection sampling).
   std::uint64_t uniform(std::uint64_t bound);
@@ -51,7 +80,23 @@ class Xoshiro256 {
   /// Distinct i give statistically independent, non-overlapping streams
   /// (overlap within any realistic draw count has probability ~2^-192);
   /// use jump() instead when an algebraic disjointness guarantee is needed.
-  Xoshiro256 split(std::uint64_t i) const;
+  ///
+  /// FROZEN: this derivation (SplitMix64 chained over the four state words
+  /// after keying with 0x5EEDC0DE5EEDC0DE ^ i) is a compatibility
+  /// contract. Every per-trace stream in the sca lab -- sharing bits,
+  /// gadget randomness, noise -- derives from split(i), and golden-vector
+  /// regression tests pin its outputs; changing it silently re-randomizes
+  /// every recorded TVLA/CPA result.
+  Xoshiro256 split(std::uint64_t i) const {
+    std::uint64_t x = 0x5EEDC0DE5EEDC0DEull ^ i;
+    for (const std::uint64_t word : state_) {
+      x ^= word;
+      (void)rng_detail::splitmix64(x);
+    }
+    Xoshiro256 child(kNoSeed{});
+    for (auto& word : child.state_) word = rng_detail::splitmix64(x);
+    return child;
+  }
 
   // Satisfy std::uniform_random_bit_generator so <algorithm> shuffles work.
   using result_type = std::uint64_t;
@@ -60,6 +105,9 @@ class Xoshiro256 {
   result_type operator()() { return next_u64(); }
 
  private:
+  struct kNoSeed {};  // tag: leave the state for the caller to fill
+  explicit Xoshiro256(kNoSeed) {}
+
   std::uint64_t state_[4] = {};
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;

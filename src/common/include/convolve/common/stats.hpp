@@ -38,6 +38,31 @@ class Welford {
   void add(double x);
   void merge(const Welford& other);
 
+  /// Fold one contiguous block of values into the accumulator as a single
+  /// Chan merge: the block's mean and central moments are computed in two
+  /// index-order passes (tight, division-free loops the compiler can
+  /// vectorize), then merged. The result depends only on the values and
+  /// the block boundaries -- the scalar-oracle and bitsliced sca paths
+  /// fold identical 64-trace blocks through this, which is what makes
+  /// their TVLA statistics bit-identical rather than merely close.
+  void add_block(std::span<const double> xs);
+
+  /// Build an accumulator directly from precomputed moments: n points with
+  /// the given mean and central moment *sums* mk = sum (x - mean)^k. This
+  /// is the bridge from exact integer power-sum accumulation (see the sca
+  /// TVLA exact fold): callers that can compute the moments of a batch
+  /// exactly convert once and merge, instead of folding value by value.
+  static Welford from_moments(std::uint64_t n, double mean, double m2,
+                              double m3, double m4) {
+    Welford w;
+    w.n_ = n;
+    w.mean_ = mean;
+    w.m2_ = m2;
+    w.m3_ = m3;
+    w.m4_ = m4;
+    return w;
+  }
+
   std::uint64_t count() const { return n_; }
   double mean() const { return mean_; }
   /// Population variance M2/n (the TVLA centered-square preprocessing

@@ -7,32 +7,12 @@
 
 namespace convolve {
 
-namespace {
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9E3779B97F4A7C15ull;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-}  // namespace
+using rng_detail::splitmix64;
 
 void Xoshiro256::reseed(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);
   have_cached_normal_ = false;
-}
-
-std::uint64_t Xoshiro256::next_u64() {
-  const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl64(state_[3], 45);
-  return result;
 }
 
 std::uint64_t Xoshiro256::uniform(std::uint64_t bound) {
@@ -84,21 +64,6 @@ void Xoshiro256::jump() {
   state_[2] = s2;
   state_[3] = s3;
   have_cached_normal_ = false;
-}
-
-Xoshiro256 Xoshiro256::split(std::uint64_t i) const {
-  // Re-key through SplitMix64 over (state, stream index). The chain makes
-  // every output word depend on every state word and on i; a stream index
-  // is additionally domain-separated from plain seeds by the constant.
-  std::uint64_t x = 0x5EEDC0DE5EEDC0DEull ^ i;
-  for (const std::uint64_t word : state_) {
-    x ^= word;
-    (void)splitmix64(x);
-  }
-  Xoshiro256 child;
-  for (auto& word : child.state_) word = splitmix64(x);
-  child.have_cached_normal_ = false;
-  return child;
 }
 
 void Xoshiro256::fill_bytes(std::span<std::uint8_t> out) {

@@ -103,6 +103,66 @@ void Welford::add(double x) {
   m2_ += term1;
 }
 
+void Welford::add_block(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n == 0) return;
+  // Both passes accumulate into four interleaved partials (element i goes
+  // to partial i&3) combined as (p0+p1)+(p2+p3). The interleave breaks the
+  // serial FP dependency chain -- ~4x ILP on the per-block hot path -- and
+  // the accumulation order is still a pure function of the block contents,
+  // so every caller sees bit-identical moments for identical blocks.
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s[0] += xs[i];
+    s[1] += xs[i + 1];
+    s[2] += xs[i + 2];
+    s[3] += xs[i + 3];
+  }
+  for (; i < n; ++i) s[i & 3] += xs[i];
+  const double block_mean =
+      ((s[0] + s[1]) + (s[2] + s[3])) / static_cast<double>(n);
+  double p2[4] = {0.0, 0.0, 0.0, 0.0};
+  double p3[4] = {0.0, 0.0, 0.0, 0.0};
+  double p4[4] = {0.0, 0.0, 0.0, 0.0};
+  for (i = 0; i + 4 <= n; i += 4) {
+    const double d0 = xs[i] - block_mean;
+    const double d1 = xs[i + 1] - block_mean;
+    const double d2 = xs[i + 2] - block_mean;
+    const double d3 = xs[i + 3] - block_mean;
+    const double q0 = d0 * d0;
+    const double q1 = d1 * d1;
+    const double q2 = d2 * d2;
+    const double q3 = d3 * d3;
+    p2[0] += q0;
+    p2[1] += q1;
+    p2[2] += q2;
+    p2[3] += q3;
+    p3[0] += q0 * d0;
+    p3[1] += q1 * d1;
+    p3[2] += q2 * d2;
+    p3[3] += q3 * d3;
+    p4[0] += q0 * q0;
+    p4[1] += q1 * q1;
+    p4[2] += q2 * q2;
+    p4[3] += q3 * q3;
+  }
+  for (; i < n; ++i) {
+    const double d = xs[i] - block_mean;
+    const double d2 = d * d;
+    p2[i & 3] += d2;
+    p3[i & 3] += d2 * d;
+    p4[i & 3] += d2 * d2;
+  }
+  Welford block;
+  block.n_ = n;
+  block.mean_ = block_mean;
+  block.m2_ = (p2[0] + p2[1]) + (p2[2] + p2[3]);
+  block.m3_ = (p3[0] + p3[1]) + (p3[2] + p3[3]);
+  block.m4_ = (p4[0] + p4[1]) + (p4[2] + p4[3]);
+  merge(block);
+}
+
 void Welford::merge(const Welford& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -62,8 +62,12 @@ struct TraceRegistry {
 };
 
 TraceRegistry& trace_registry() {
-  static TraceRegistry reg;
-  return reg;
+  // Leaked on purpose: pool workers are detached, so a late-spawned
+  // worker can still be registering its ring while the main thread runs
+  // atexit destructors. The dtor would only free memory the OS reclaims
+  // anyway, and skipping it removes that shutdown race (seen by TSan).
+  static TraceRegistry* reg = new TraceRegistry;
+  return *reg;
 }
 
 ThreadTrace& this_thread_trace() {

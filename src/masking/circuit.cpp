@@ -85,6 +85,14 @@ std::vector<std::uint8_t> Circuit::evaluate_all(
 void Circuit::evaluate_all_into(std::span<const std::uint8_t> inputs,
                                 std::span<const std::uint8_t> randoms,
                                 std::span<std::uint8_t> wire) const {
+  evaluate_all_lanes_into<std::uint8_t>(inputs, randoms, wire);
+}
+
+template <typename Word>
+void Circuit::evaluate_all_lanes_into(std::span<const Word> inputs,
+                                      std::span<const Word> randoms,
+                                      std::span<Word> wire) const {
+  using Traits = LaneTraits<Word>;
   if (static_cast<int>(inputs.size()) != num_inputs_) {
     throw std::invalid_argument("Circuit::evaluate: wrong input count");
   }
@@ -98,13 +106,13 @@ void Circuit::evaluate_all_into(std::span<const std::uint8_t> inputs,
     const Gate& g = gates_[i];
     switch (g.kind) {
       case GateKind::kInput:
-        wire[i] = inputs[static_cast<std::size_t>(g.aux)] & 1;
+        wire[i] = Traits::normalize(inputs[static_cast<std::size_t>(g.aux)]);
         break;
       case GateKind::kRandom:
-        wire[i] = randoms[static_cast<std::size_t>(g.aux)] & 1;
+        wire[i] = Traits::normalize(randoms[static_cast<std::size_t>(g.aux)]);
         break;
       case GateKind::kConst:
-        wire[i] = static_cast<std::uint8_t>(g.aux & 1);
+        wire[i] = Traits::broadcast(g.aux);
         break;
       case GateKind::kAnd:
         wire[i] = wire[static_cast<std::size_t>(g.a)] &
@@ -115,7 +123,7 @@ void Circuit::evaluate_all_into(std::span<const std::uint8_t> inputs,
                   wire[static_cast<std::size_t>(g.b)];
         break;
       case GateKind::kNot:
-        wire[i] = wire[static_cast<std::size_t>(g.a)] ^ 1;
+        wire[i] = wire[static_cast<std::size_t>(g.a)] ^ Traits::ones();
         break;
       case GateKind::kReg:
         wire[i] = wire[static_cast<std::size_t>(g.a)];
@@ -123,6 +131,13 @@ void Circuit::evaluate_all_into(std::span<const std::uint8_t> inputs,
     }
   }
 }
+
+template void Circuit::evaluate_all_lanes_into<std::uint8_t>(
+    std::span<const std::uint8_t>, std::span<const std::uint8_t>,
+    std::span<std::uint8_t>) const;
+template void Circuit::evaluate_all_lanes_into<std::uint64_t>(
+    std::span<const std::uint64_t>, std::span<const std::uint64_t>,
+    std::span<std::uint64_t>) const;
 
 std::vector<std::uint8_t> Circuit::evaluate(
     const std::vector<std::uint8_t>& inputs,

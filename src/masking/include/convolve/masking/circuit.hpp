@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "convolve/common/rng.hpp"
+#include "convolve/masking/lane.hpp"
 
 namespace convolve::masking {
 
@@ -69,10 +70,23 @@ class Circuit {
   /// Allocation-free evaluation hook for instrumented consumers (the sca
   /// power-trace simulator captures millions of traces through this):
   /// writes the value of every gate into `wire`, which must have size
-  /// num_gates().
+  /// num_gates(). This is the scalar (one-lane) instantiation of
+  /// evaluate_all_lanes_into and serves as the differential oracle for the
+  /// bitsliced path.
   void evaluate_all_into(std::span<const std::uint8_t> inputs,
                          std::span<const std::uint8_t> randoms,
                          std::span<std::uint8_t> wire) const;
+
+  /// Lane-parallel evaluation (see lane.hpp): every input, random and wire
+  /// is a bit plane carrying LaneTraits<Word>::kLanes independent
+  /// assignments; one pass evaluates them all. Instantiated for
+  /// std::uint8_t (scalar, 1 lane) and std::uint64_t (bitsliced, 64
+  /// lanes); both instantiations run the identical gate loop, so the
+  /// scalar one is a bit-exact oracle for the wide one.
+  template <typename Word>
+  void evaluate_all_lanes_into(std::span<const Word> inputs,
+                               std::span<const Word> randoms,
+                               std::span<Word> wire) const;
 
   /// Evaluate and return only the outputs.
   std::vector<std::uint8_t> evaluate(

@@ -1,0 +1,59 @@
+// Lane model for circuit evaluation: one boolean per gate pass (scalar
+// oracle) or 64 independent booleans packed into a uint64_t bit plane
+// (bitsliced evaluation).
+//
+// The bitsliced convention: lane j of a logical value lives in bit j of
+// every word. Inputs, randomness, every wire and every output are bit
+// planes, so one pass over the gate list evaluates 64 independent
+// trace/probe assignments -- the gate ops themselves (AND/XOR/NOT) are the
+// same word operations in both models, which is what lets a single
+// templated evaluator serve both paths and keeps the scalar instantiation
+// available as the differential oracle for the bitsliced one.
+//
+// The traits keep the two value domains honest: the scalar lane normalises
+// to {0,1} (inputs are historically passed as whole bytes and masked with
+// &1), the bitsliced lane is the full word. kNot must flip only lane bits,
+// so it is XOR with ones(): 0x01 for the scalar lane, ~0 for the wide one.
+#pragma once
+
+#include <cstdint>
+
+namespace convolve::masking {
+
+template <typename Word>
+struct LaneTraits;
+
+/// Scalar lane: the original one-boolean-per-gate evaluation. Survives as
+/// the differential oracle for the bitsliced path.
+template <>
+struct LaneTraits<std::uint8_t> {
+  using word_type = std::uint8_t;
+  static constexpr int kLanes = 1;
+  static constexpr std::uint8_t zeros() { return 0; }
+  static constexpr std::uint8_t ones() { return 1; }
+  /// Clamp an externally supplied value into the lane domain.
+  static constexpr std::uint8_t normalize(std::uint8_t v) { return v & 1; }
+  /// Broadcast a single bit to every lane.
+  static constexpr std::uint8_t broadcast(int bit) {
+    return static_cast<std::uint8_t>(bit & 1);
+  }
+};
+
+/// Bitsliced lane: 64 independent assignments per word, lane j in bit j.
+template <>
+struct LaneTraits<std::uint64_t> {
+  using word_type = std::uint64_t;
+  static constexpr int kLanes = 64;
+  static constexpr std::uint64_t zeros() { return 0; }
+  static constexpr std::uint64_t ones() { return ~0ull; }
+  static constexpr std::uint64_t normalize(std::uint64_t v) { return v; }
+  static constexpr std::uint64_t broadcast(int bit) {
+    return (bit & 1) ? ~0ull : 0ull;
+  }
+};
+
+/// Number of bitsliced lanes per word (the block size every 64-trace
+/// capture/probe path is built around).
+inline constexpr int kBitsliceLanes = LaneTraits<std::uint64_t>::kLanes;
+
+}  // namespace convolve::masking

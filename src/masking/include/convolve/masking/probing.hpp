@@ -47,7 +47,16 @@ ProbingReport check_probing_security(const MaskedCircuit& masked,
 /// Distribution of the probed tuple for one secret assignment, enumerating
 /// every input-mask and randomness assignment. Exposed so counterexamples
 /// can be replayed and so the symbolic verifier can be cross-checked.
+/// Bitsliced: each gate pass discharges 64 probe assignments (low 6 free
+/// bits as lane patterns, higher bits block-constant).
 ProbeDistribution probe_value_distribution(
+    const MaskedCircuit& masked, const std::vector<std::uint8_t>& plain_secret,
+    const std::vector<int>& probes);
+
+/// One-assignment-per-pass reference enumeration of the same distribution:
+/// the differential oracle the bitsliced path is tested against. Always
+/// returns exactly what probe_value_distribution returns.
+ProbeDistribution probe_value_distribution_scalar(
     const MaskedCircuit& masked, const std::vector<std::uint8_t>& plain_secret,
     const std::vector<int>& probes);
 

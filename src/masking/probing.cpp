@@ -10,21 +10,25 @@ namespace {
 // Distribution over probe-value tuples, keyed by the packed tuple bits.
 using Distribution = ProbeDistribution;
 
-Distribution probe_distribution(const Circuit& c,
-                                const std::vector<std::uint8_t>& plain_secret,
-                                const std::vector<int>& input_share_base,
-                                unsigned n_shares,
-                                const std::vector<int>& probes) {
-  const int n_random = c.num_randoms();
+int checked_free_bits(const Circuit& c, int n_plain, unsigned n_shares) {
   // Free bits: for every plain input, n_shares-1 mask bits; plus circuit
   // randomness.
-  const int n_plain = static_cast<int>(plain_secret.size());
   const int mask_bits = n_plain * static_cast<int>(n_shares - 1);
-  const int free_bits = mask_bits + n_random;
+  const int free_bits = mask_bits + c.num_randoms();
   if (free_bits > 26) {
     throw std::invalid_argument(
         "probing check: circuit too large for exhaustive enumeration");
   }
+  return free_bits;
+}
+
+Distribution probe_distribution_scalar(
+    const Circuit& c, const std::vector<std::uint8_t>& plain_secret,
+    const std::vector<int>& input_share_base, unsigned n_shares,
+    const std::vector<int>& probes) {
+  const int n_random = c.num_randoms();
+  const int n_plain = static_cast<int>(plain_secret.size());
+  const int free_bits = checked_free_bits(c, n_plain, n_shares);
 
   Distribution dist;
   std::vector<std::uint8_t> inputs(
@@ -61,6 +65,73 @@ Distribution probe_distribution(const Circuit& c,
              << p;
     }
     ++dist[key];
+  }
+  return dist;
+}
+
+// Bit plane of free bit f within a 64-assignment block: assignment
+// block*64+j puts its low 6 free bits in the lane index j, so the first
+// six free bits are fixed lane patterns (bit f of j across j = 0..63) and
+// every higher free bit is a block-constant broadcast.
+constexpr std::uint64_t kLanePattern[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull,
+};
+
+// Bitsliced enumeration: one gate pass discharges 64 probe assignments.
+// Produces the identical Distribution as probe_distribution_scalar (the
+// multiset of probed tuples does not depend on enumeration order); the
+// scalar version stays as the differential oracle.
+Distribution probe_distribution(const Circuit& c,
+                                const std::vector<std::uint8_t>& plain_secret,
+                                const std::vector<int>& input_share_base,
+                                unsigned n_shares,
+                                const std::vector<int>& probes) {
+  const int n_random = c.num_randoms();
+  const int n_plain = static_cast<int>(plain_secret.size());
+  const int free_bits = checked_free_bits(c, n_plain, n_shares);
+
+  const std::uint64_t total = 1ull << free_bits;
+  const std::uint64_t n_blocks = (total + 63) / 64;
+  const std::uint64_t active = total < 64 ? total : 64;
+
+  Distribution dist;
+  std::vector<std::uint64_t> inputs(
+      static_cast<std::size_t>(c.num_inputs()), 0);
+  std::vector<std::uint64_t> randoms(static_cast<std::size_t>(n_random), 0);
+  std::vector<std::uint64_t> wire(c.num_gates(), 0);
+
+  for (std::uint64_t block = 0; block < n_blocks; ++block) {
+    int f = 0;
+    const auto free_word = [&]() -> std::uint64_t {
+      const int bit = f++;
+      if (bit < 6) return kLanePattern[bit];
+      return ((block >> (bit - 6)) & 1ull) != 0 ? ~0ull : 0ull;
+    };
+    // Same share construction as the scalar oracle, on bit planes.
+    for (int i = 0; i < n_plain; ++i) {
+      std::uint64_t acc =
+          (plain_secret[static_cast<std::size_t>(i)] & 1) != 0 ? ~0ull : 0ull;
+      const int base = input_share_base[static_cast<std::size_t>(i)];
+      for (unsigned s = 1; s < n_shares; ++s) {
+        const std::uint64_t m = free_word();
+        inputs[static_cast<std::size_t>(base) + s] = m;
+        acc ^= m;
+      }
+      inputs[static_cast<std::size_t>(base)] = acc;
+    }
+    for (int r = 0; r < n_random; ++r) {
+      randoms[static_cast<std::size_t>(r)] = free_word();
+    }
+
+    c.evaluate_all_lanes_into<std::uint64_t>(inputs, randoms, wire);
+    for (std::uint64_t j = 0; j < active; ++j) {
+      std::uint64_t key = 0;
+      for (std::size_t p = 0; p < probes.size(); ++p) {
+        key |= ((wire[static_cast<std::size_t>(probes[p])] >> j) & 1ull) << p;
+      }
+      ++dist[key];
+    }
   }
   return dist;
 }
@@ -141,6 +212,14 @@ ProbeDistribution probe_value_distribution(
     const std::vector<int>& probes) {
   return probe_distribution(masked.circuit, plain_secret,
                             masked.input_share_base, masked.order + 1, probes);
+}
+
+ProbeDistribution probe_value_distribution_scalar(
+    const MaskedCircuit& masked, const std::vector<std::uint8_t>& plain_secret,
+    const std::vector<int>& probes) {
+  return probe_distribution_scalar(masked.circuit, plain_secret,
+                                   masked.input_share_base, masked.order + 1,
+                                   probes);
 }
 
 bool replay_counterexample(const MaskedCircuit& masked,

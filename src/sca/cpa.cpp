@@ -60,7 +60,12 @@ CpaReport cpa_sbox_attack(const MaskedTraceTarget& target, std::uint8_t key,
     throw std::invalid_argument("cpa_sbox_attack: target is not an 8-bit box");
   }
   if (n_traces < 8) throw std::invalid_argument("cpa: need >= 8 traces");
+  if (config.lanes != 1 && config.lanes != PowerTraceSimulator::kLanes) {
+    throw std::invalid_argument("cpa: lanes must be 1 or 64");
+  }
   CONVOLVE_TRACE_SPAN("sca.cpa");
+  const bool use_block =
+      config.lanes != 1 && target.supports_block_capture();
   const int samples = target.samples();
 
   // Hypothesis table: HW(S(v)) for every S-box input v.
@@ -89,30 +94,66 @@ CpaReport cpa_sbox_attack(const MaskedTraceTarget& target, std::uint8_t key,
     CpaSums segment = par::parallel_reduce(
         seg, config.grain, CpaSums(samples),
         [&](std::uint64_t, par::Range r) {
+          // The sums are accumulated strictly per trace in ascending index
+          // order in both engines; the bitsliced one only batches the
+          // *capture* (64 traces per gate pass), so the two engines'
+          // reports are bit-identical.
+          constexpr std::uint64_t kL =
+              static_cast<std::uint64_t>(PowerTraceSimulator::kLanes);
           CpaSums local(samples);
-          TraceScratch scratch = target.make_scratch();
-          std::vector<double> trace(static_cast<std::size_t>(samples));
-          for (std::uint64_t k = r.begin; k < r.end; ++k) {
-            const std::uint64_t i = offset + k;
-            Xoshiro256 rng = base.split(i);
-            const std::uint8_t p =
-                static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
-            target.capture(static_cast<std::uint32_t>(p ^ key), rng, scratch,
-                           trace);
+          const std::size_t samp = static_cast<std::size_t>(samples);
+          std::vector<double> rows(static_cast<std::size_t>(kL) * samp);
+          std::array<Xoshiro256, kL> rngs;
+          std::array<std::uint32_t, kL> values;
+          std::array<std::uint8_t, kL> plains;
+
+          const auto accumulate_trace = [&](std::uint8_t p,
+                                            const double* trace) {
             local.n += 1.0;
-            for (int s = 0; s < samples; ++s) {
-              const double x = trace[static_cast<std::size_t>(s)];
-              local.sx[static_cast<std::size_t>(s)] += x;
-              local.sxx[static_cast<std::size_t>(s)] += x * x;
+            for (std::size_t s = 0; s < samp; ++s) {
+              const double x = trace[s];
+              local.sx[s] += x;
+              local.sxx[s] += x * x;
             }
             for (int g = 0; g < kGuesses; ++g) {
               const double h = hw_sbox[static_cast<std::size_t>(p ^ g)];
               local.sh[static_cast<std::size_t>(g)] += h;
               local.shh[static_cast<std::size_t>(g)] += h * h;
               double* row = &local.shx[static_cast<std::size_t>(g * samples)];
-              for (int s = 0; s < samples; ++s) {
-                row[s] += h * trace[static_cast<std::size_t>(s)];
+              for (std::size_t s = 0; s < samp; ++s) {
+                row[s] += h * trace[s];
               }
+            }
+          };
+
+          TraceScratch scratch;
+          BlockScratch block_scratch;
+          if (use_block) {
+            block_scratch = target.make_block_scratch();
+          } else {
+            scratch = target.make_scratch();
+          }
+          for (std::uint64_t k = r.begin; k < r.end; k += kL) {
+            const std::size_t n_act =
+                static_cast<std::size_t>(std::min(kL, r.end - k));
+            for (std::size_t j = 0; j < n_act; ++j) {
+              rngs[j] = base.split(offset + k + j);
+              plains[j] =
+                  static_cast<std::uint8_t>(rngs[j].next_u64() & 0xFF);
+              values[j] = static_cast<std::uint32_t>(plains[j] ^ key);
+            }
+            if (use_block) {
+              target.capture_block({values.data(), n_act},
+                                   {rngs.data(), n_act}, block_scratch,
+                                   {rows.data(), n_act * samp});
+            } else {
+              for (std::size_t j = 0; j < n_act; ++j) {
+                target.capture(values[j], rngs[j], scratch,
+                               {rows.data() + j * samp, samp});
+              }
+            }
+            for (std::size_t j = 0; j < n_act; ++j) {
+              accumulate_trace(plains[j], rows.data() + j * samp);
             }
           }
           return local;

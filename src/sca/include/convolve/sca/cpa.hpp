@@ -26,7 +26,15 @@ struct CpaConfig {
   /// Trace counts (ascending) at which the key ranking is recorded;
   /// auto-generated geometrically when empty.
   std::vector<int> checkpoints;
-  std::uint64_t grain = 32;  // traces per parallel chunk
+  /// Traces per parallel chunk (multiple of 64 keeps bitsliced blocks
+  /// full).
+  std::uint64_t grain = 256;
+  /// Evaluation engine: 64 = bitsliced block capture, 1 = scalar oracle.
+  /// The correlation sums are accumulated per trace in ascending index
+  /// order in both modes, so reports are bit-identical between them (and
+  /// at any thread count). Falls back to scalar when the target cannot
+  /// block-capture.
+  int lanes = PowerTraceSimulator::kLanes;
 };
 
 struct CpaCheckpoint {

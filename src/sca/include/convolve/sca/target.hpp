@@ -52,6 +52,57 @@ class MaskedTraceTarget {
   void capture(std::uint32_t plain_value, Xoshiro256& rng,
                TraceScratch& scratch, std::span<double> out) const;
 
+  /// True when the bitsliced capture_block path applies (Hamming-weight
+  /// model; the HD model stays on the scalar path).
+  bool supports_block_capture() const {
+    return simulator_.supports_block_capture();
+  }
+
+  BlockScratch make_block_scratch() const {
+    return simulator_.make_block_scratch();
+  }
+
+  /// Bitsliced capture of up to PowerTraceSimulator::kLanes traces in one
+  /// gate pass: trace j evaluates plain_values[j], drawing its sharing
+  /// randomness, gadget randomness and noise from rngs[j] in exactly the
+  /// order capture() would -- trace j of `out` is bit-identical to a
+  /// scalar capture of the same value with the same rng state, laid out
+  /// per `layout` (trace-major rows by default; sample-major columns for
+  /// the vectorized statistics folds). plain_values.size() == rngs.size()
+  /// is the active lane count (1..kLanes; short tail blocks are fine).
+  void capture_block(std::span<const std::uint32_t> plain_values,
+                     std::span<Xoshiro256> rngs, BlockScratch& scratch,
+                     std::span<double> out,
+                     BlockLayout layout = BlockLayout::kTraceMajor) const;
+
+  /// Noiseless capture_block variant emitting raw sample-major Hamming
+  /// counts as bytes (see PowerTraceSimulator::capture_block_counts);
+  /// feeds the exact integer TVLA fold. Throws when noise_sigma > 0 or
+  /// when counts do not fit a byte (counter_planes > 8).
+  void capture_block_counts(std::span<const std::uint32_t> plain_values,
+                            std::span<Xoshiro256> rngs, BlockScratch& scratch,
+                            std::span<std::uint8_t> out) const;
+
+  BlockSumsAccum make_block_sums_accum() const {
+    return simulator_.make_block_sums_accum();
+  }
+
+  /// Noiseless moment accumulation that never leaves the bitsliced domain
+  /// (see PowerTraceSimulator::accumulate_block_sums): evaluates one block
+  /// of plain values and folds the per-lane Hamming counts of the
+  /// class_mask lanes and of all active lanes into `accum` via subset
+  /// popcounts. Drain with finalize_block_sums.
+  void accumulate_block_sums(std::span<const std::uint32_t> plain_values,
+                             std::span<Xoshiro256> rngs, BlockScratch& scratch,
+                             std::uint64_t class_mask,
+                             BlockSumsAccum& accum) const;
+
+  void finalize_block_sums(BlockSumsAccum& accum,
+                           std::span<PackedMoments> in_class,
+                           std::span<PackedMoments> out_class) const {
+    simulator_.finalize_block_sums(accum, in_class, out_class);
+  }
+
   /// Noise-suppressed measurement: the element-wise mean of `repetitions`
   /// captures of the same plain value (fresh sharing per repetition),
   /// routed through the shared capture::mean_trace_of path.
@@ -60,6 +111,10 @@ class MaskedTraceTarget {
                                        int repetitions) const;
 
  private:
+  void fill_input_planes(std::span<const std::uint32_t> plain_values,
+                         std::span<Xoshiro256> rngs,
+                         BlockScratch& scratch) const;
+
   masking::MaskedCircuit masked_;
   int plain_inputs_;
   BitOrder bit_order_;
@@ -85,9 +140,15 @@ using PlainValueFn =
 
 /// Deterministic parallel batch capture: trace i draws everything from
 /// base_rng.split(i), rows are written independently, so the batch depends
-/// only on (target, n_traces, plain, base_rng) -- never the thread count.
+/// only on (target, n_traces, plain, base_rng) -- never the thread count
+/// and never the lane width. `lanes` selects the evaluation engine: 64
+/// shards the batch into aligned 64-trace blocks captured bitsliced (one
+/// gate pass per block), 1 is the scalar differential oracle. Both produce
+/// bit-identical batches; 64 silently falls back to 1 when the target
+/// cannot block-capture (Hamming-distance model).
 TraceBatch capture_batch(const MaskedTraceTarget& target,
                          std::uint64_t n_traces, const PlainValueFn& plain,
-                         const Xoshiro256& base_rng);
+                         const Xoshiro256& base_rng,
+                         int lanes = PowerTraceSimulator::kLanes);
 
 }  // namespace convolve::sca

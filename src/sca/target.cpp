@@ -1,5 +1,8 @@
 #include "convolve/sca/target.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cstring>
 #include <stdexcept>
 
 #include "convolve/common/capture.hpp"
@@ -12,6 +15,12 @@ namespace convolve::sca {
 namespace {
 telemetry::Counter t_traces{"sca.traces_captured"};
 telemetry::Counter t_samples{"sca.samples"};
+// Lane utilization of the bitsliced path: blocks evaluated, lane slots
+// those blocks provided (blocks * 64) and slots actually carrying a trace.
+// active/slots < 1 only on tail blocks, so a healthy campaign sits at ~1.
+telemetry::Counter t_lane_blocks{"sca.lane_blocks"};
+telemetry::Counter t_lane_slots{"sca.lane_slots"};
+telemetry::Counter t_lanes_active{"sca.lanes_active"};
 }  // namespace
 #endif
 
@@ -58,6 +67,99 @@ void MaskedTraceTarget::capture(std::uint32_t plain_value, Xoshiro256& rng,
   CONVOLVE_TELEMETRY_ONLY(t_traces.add(1); t_samples.add(out.size());)
 }
 
+void MaskedTraceTarget::fill_input_planes(
+    std::span<const std::uint32_t> plain_values, std::span<Xoshiro256> rngs,
+    BlockScratch& scratch) const {
+  if (plain_values.size() != rngs.size()) {
+    throw std::invalid_argument("capture_block: values/rngs size mismatch");
+  }
+  const unsigned order = masked_.order;
+  // Build the input bit planes, drawing lane j's sharing bits from rngs[j]
+  // in the scalar capture() order (share s of input i before input i+1).
+  std::fill(scratch.inputs.begin(), scratch.inputs.end(), 0ull);
+  if (order == 0 && plain_inputs_ <= 8 &&
+      plain_values.size() == static_cast<std::size_t>(PowerTraceSimulator::kLanes)) {
+    // Unshared full block: the plane build is a pure 8x64 bit transpose.
+    // Gather bit `pos` of 8 byte-narrowed values at once: mask it to the
+    // byte LSBs, then one multiply packs those LSBs into 8 adjacent bits
+    // (all partial products land on distinct bit positions, so no carry).
+    std::uint8_t b[PowerTraceSimulator::kLanes];
+    for (int j = 0; j < PowerTraceSimulator::kLanes; ++j) {
+      b[j] = static_cast<std::uint8_t>(plain_values[static_cast<std::size_t>(j)]);
+    }
+    std::uint64_t w[8];
+    std::memcpy(w, b, sizeof(w));
+    for (int i = 0; i < plain_inputs_; ++i) {
+      const int pos =
+          bit_order_ == BitOrder::kLsbFirst ? i : plain_inputs_ - 1 - i;
+      std::uint64_t plane = 0;
+      for (int g = 0; g < 8; ++g) {
+        const std::uint64_t t = (w[g] >> pos) & 0x0101010101010101ull;
+        plane |= ((t * 0x0102040810204080ull) >> 56) << (8 * g);
+      }
+      scratch.inputs[static_cast<std::size_t>(
+          masked_.input_share_base[static_cast<std::size_t>(i)])] = plane;
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < plain_values.size(); ++j) {
+    for (int i = 0; i < plain_inputs_; ++i) {
+      const int pos =
+          bit_order_ == BitOrder::kLsbFirst ? i : plain_inputs_ - 1 - i;
+      std::uint64_t bit = (plain_values[j] >> pos) & 1u;
+      const std::size_t base = static_cast<std::size_t>(
+          masked_.input_share_base[static_cast<std::size_t>(i)]);
+      for (unsigned s = 0; s < order; ++s) {
+        const std::uint64_t m = rngs[j].next_bit();
+        scratch.inputs[base + s] |= m << j;
+        bit ^= m;
+      }
+      scratch.inputs[base + order] |= bit << j;
+    }
+  }
+}
+
+void MaskedTraceTarget::capture_block(
+    std::span<const std::uint32_t> plain_values, std::span<Xoshiro256> rngs,
+    BlockScratch& scratch, std::span<double> out, BlockLayout layout) const {
+  const std::size_t n_active = plain_values.size();
+  fill_input_planes(plain_values, rngs, scratch);
+  simulator_.capture_block(rngs, scratch, out, layout);
+  CONVOLVE_TELEMETRY_ONLY(
+      t_traces.add(n_active); t_samples.add(out.size());
+      t_lane_blocks.add(1);
+      t_lane_slots.add(static_cast<std::uint64_t>(PowerTraceSimulator::kLanes));
+      t_lanes_active.add(n_active);)
+}
+
+void MaskedTraceTarget::capture_block_counts(
+    std::span<const std::uint32_t> plain_values, std::span<Xoshiro256> rngs,
+    BlockScratch& scratch, std::span<std::uint8_t> out) const {
+  const std::size_t n_active = plain_values.size();
+  fill_input_planes(plain_values, rngs, scratch);
+  simulator_.capture_block_counts(rngs, scratch, out);
+  CONVOLVE_TELEMETRY_ONLY(
+      t_traces.add(n_active); t_samples.add(out.size());
+      t_lane_blocks.add(1);
+      t_lane_slots.add(static_cast<std::uint64_t>(PowerTraceSimulator::kLanes));
+      t_lanes_active.add(n_active);)
+}
+
+void MaskedTraceTarget::accumulate_block_sums(
+    std::span<const std::uint32_t> plain_values, std::span<Xoshiro256> rngs,
+    BlockScratch& scratch, std::uint64_t class_mask,
+    BlockSumsAccum& accum) const {
+  const std::size_t n_active = plain_values.size();
+  fill_input_planes(plain_values, rngs, scratch);
+  simulator_.accumulate_block_sums(rngs, scratch, class_mask, accum);
+  CONVOLVE_TELEMETRY_ONLY(
+      t_traces.add(n_active);
+      t_samples.add(n_active * static_cast<std::uint64_t>(samples()));
+      t_lane_blocks.add(1);
+      t_lane_slots.add(static_cast<std::uint64_t>(PowerTraceSimulator::kLanes));
+      t_lanes_active.add(n_active);)
+}
+
 std::vector<double> MaskedTraceTarget::capture_averaged(
     std::uint32_t plain_value, Xoshiro256& rng, TraceScratch& scratch,
     int repetitions) const {
@@ -69,13 +171,47 @@ std::vector<double> MaskedTraceTarget::capture_averaged(
 
 TraceBatch capture_batch(const MaskedTraceTarget& target,
                          std::uint64_t n_traces, const PlainValueFn& plain,
-                         const Xoshiro256& base_rng) {
+                         const Xoshiro256& base_rng, int lanes) {
   CONVOLVE_TRACE_SPAN("sca.capture_batch");
+  constexpr std::uint64_t kL =
+      static_cast<std::uint64_t>(PowerTraceSimulator::kLanes);
+  if (lanes != 1 && lanes != PowerTraceSimulator::kLanes) {
+    throw std::invalid_argument("capture_batch: lanes must be 1 or 64");
+  }
   TraceBatch batch;
   batch.samples = target.samples();
   batch.n = n_traces;
   batch.data.assign(n_traces * static_cast<std::uint64_t>(batch.samples),
                     0.0);
+  const std::uint64_t samples = static_cast<std::uint64_t>(batch.samples);
+
+  if (lanes != 1 && target.supports_block_capture()) {
+    // Bitsliced: shard over aligned 64-trace blocks. Row i still depends
+    // only on base_rng.split(i), so the batch matches the scalar path
+    // bit-for-bit at any thread count.
+    const std::uint64_t n_blocks = (n_traces + kL - 1) / kL;
+    const std::uint64_t n_chunks = par::chunk_count(n_blocks, 4);
+    par::for_each_chunk(n_chunks, [&](std::uint64_t c) {
+      const par::Range r = par::chunk_range(n_blocks, n_chunks, c);
+      BlockScratch scratch = target.make_block_scratch();
+      std::array<Xoshiro256, kL> rngs;
+      std::array<std::uint32_t, kL> values;
+      for (std::uint64_t b = r.begin; b < r.end; ++b) {
+        const std::uint64_t i0 = b * kL;
+        const std::size_t n_act =
+            static_cast<std::size_t>(std::min(kL, n_traces - i0));
+        for (std::size_t j = 0; j < n_act; ++j) {
+          rngs[j] = base_rng.split(i0 + j);
+          values[j] = plain(i0 + j, rngs[j]);
+        }
+        target.capture_block({values.data(), n_act}, {rngs.data(), n_act},
+                             scratch,
+                             {batch.data.data() + i0 * samples,
+                              n_act * static_cast<std::size_t>(samples)});
+      }
+    });
+    return batch;
+  }
 
   const std::uint64_t grain = 32;
   const std::uint64_t n_chunks = par::chunk_count(n_traces, grain);
@@ -85,9 +221,8 @@ TraceBatch capture_batch(const MaskedTraceTarget& target,
     for (std::uint64_t i = r.begin; i < r.end; ++i) {
       Xoshiro256 rng = base_rng.split(i);
       const std::uint32_t value = plain(i, rng);
-      std::span<double> out{
-          batch.data.data() + i * static_cast<std::uint64_t>(batch.samples),
-          static_cast<std::size_t>(batch.samples)};
+      std::span<double> out{batch.data.data() + i * samples,
+                            static_cast<std::size_t>(samples)};
       target.capture(value, rng, scratch, out);
     }
   });

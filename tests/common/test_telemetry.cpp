@@ -60,7 +60,8 @@ TEST(TelemetryRegistry, CounterAddAndSnapshot) {
 TEST(TelemetryRegistry, GaugeHoldsLastValue) {
   t_test_gauge.set(-7);
   t_test_gauge.set(1234);
-  const auto* entry = telemetry::snapshot().find("test.gauge");
+  const auto snap = telemetry::snapshot();
+  const auto* entry = snap.find("test.gauge");
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->kind, telemetry::MetricKind::kGauge);
   EXPECT_EQ(entry->gauge, 1234);
@@ -107,7 +108,8 @@ TEST(TelemetryHistogram, RecordAccumulatesCountSumBuckets) {
   EXPECT_EQ(t_test_hist.bucket(3), 2u);   // [4,8)
   EXPECT_EQ(t_test_hist.bucket(11), 1u);  // [1024,2048)
 
-  const auto* entry = telemetry::snapshot().find("test.histogram");
+  const auto snap = telemetry::snapshot();
+  const auto* entry = snap.find("test.histogram");
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->count, 5u);
   EXPECT_EQ(entry->sum, 1035u);
