@@ -1,16 +1,20 @@
 // RV32 execution-engine microbenchmark: legacy interpreter (fetch/decode
-// every step, exception-based memory path) vs the decode-cache fast engine.
+// every step, exception-based memory path) vs the decode-cache engine vs
+// the threaded bytecode+fusion engine.
 //
 // Three workloads, each run for the same instruction budget on both engines:
 //   alu    - Keccak-style rotate/xor/add mix, no memory traffic
 //   memcpy - word-copy loop, load/store dominated
 //   ecalls - ecall storm, one trap + resume per loop iteration
 //
-// The harness checks the two engines end in bit-identical architectural
+// The harness checks all three engines end in bit-identical architectural
 // state (registers, pc, retired count) before reporting throughput, and the
-// exit code gates the ISSUE acceptance criterion: alu and memcpy must reach
-// --min-speedup (default 3x). The ecall storm is reported but not gated:
-// its cost is the trap boundary itself, which both engines share.
+// exit code gates the ISSUE acceptance criteria: on alu and memcpy the
+// decode-cache engine must reach --min-speedup (default 3x) over the
+// interpreter, and the bytecode engine must reach --min-bytecode-speedup
+// (default 2x) over the decode-cache engine. The ecall storm is reported
+// but not gated: its cost is the trap boundary itself, which all engines
+// share.
 //
 // A fourth scenario, rv32_parallel, runs 64 unevenly-sized hart slices
 // through the work-stealing pool (one Machine+Rv32Cpu per slice): with
@@ -110,7 +114,26 @@ struct EngineRun {
   }
 };
 
-EngineRun run_engine(const Workload& w, bool fast, std::uint64_t budget) {
+EngineRun run_engine_once(const Workload& w, Rv32Engine engine,
+                          std::uint64_t budget);
+
+// Best-of-`reps` timing: each rep rebuilds the machine and runs the full
+// budget, so the architectural result is identical across reps and the
+// fastest wall-clock is the least noise-polluted measurement (the CI
+// hosts are shared single-core boxes where a single rep can be slowed
+// 2x by a neighbour).
+EngineRun run_engine(const Workload& w, Rv32Engine engine,
+                     std::uint64_t budget, int reps = 3) {
+  EngineRun best;
+  for (int rep = 0; rep < reps; ++rep) {
+    EngineRun out = run_engine_once(w, engine, budget);
+    if (rep == 0 || out.seconds < best.seconds) best = out;
+  }
+  return best;
+}
+
+EngineRun run_engine_once(const Workload& w, Rv32Engine engine,
+                          std::uint64_t budget) {
   Machine machine(kMemBytes);
   machine.store(kCodeBase, rv::assemble(w.program), PrivMode::kMachine);
   Bytes src(4 * kCopyWords);
@@ -119,12 +142,13 @@ EngineRun run_engine(const Workload& w, bool fast, std::uint64_t budget) {
   }
   machine.store(kSrcBase, src, PrivMode::kMachine);
   Rv32Cpu cpu(machine, kCodeBase, PrivMode::kMachine);
+  cpu.set_engine(engine);
 
   EngineRun out;
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t left = budget;
   while (left > 0) {
-    const auto r = fast ? cpu.run(left) : cpu.run_interpreted(left);
+    const auto r = cpu.run(left);
     left -= r.steps;
     if (r.trap.has_value()) {
       ++out.traps;
@@ -229,7 +253,8 @@ int main(int argc, char** argv) {
     threads = 4;
   }
   convolve::bench::ReportOptions opts;
-  double min_speedup = 3.0;
+  double min_speedup = 3.0;           // decode-cache over interpreter
+  double min_bytecode_speedup = 2.0;  // bytecode+fusion over decode-cache
   std::uint64_t steps = 4'000'000;
   std::string only;  // substring filter over scenario names; empty = all
   for (int i = 1; i < argc; ++i) {
@@ -238,13 +263,16 @@ int main(int argc, char** argv) {
       continue;
     } else if (arg.rfind("--min-speedup=", 0) == 0) {
       min_speedup = std::stod(arg.substr(14));
+    } else if (arg.rfind("--min-bytecode-speedup=", 0) == 0) {
+      min_bytecode_speedup = std::stod(arg.substr(23));
     } else if (arg.rfind("--steps=", 0) == 0) {
       steps = std::stoull(arg.substr(8));
     } else if (arg.rfind("--only=", 0) == 0) {
       only = arg.substr(7);
     } else {
       std::fprintf(stderr,
-                   "usage: %s %s [--steps=N] [--min-speedup=X] [--only=SUB]\n",
+                   "usage: %s %s [--steps=N] [--min-speedup=X] "
+                   "[--min-bytecode-speedup=X] [--only=SUB]\n",
                    argv[0], convolve::bench::report_flags_usage());
       return 2;
     }
@@ -263,33 +291,41 @@ int main(int argc, char** argv) {
   report.threads = threads;
 
   if (!opts.json) {
-    std::printf("=== RV32 engine: legacy interpreter vs decode-cache ===\n");
+    std::printf(
+        "=== RV32 engine: interpreter vs decode-cache vs bytecode ===\n");
     std::printf("%llu instructions per workload per engine\n\n",
                 static_cast<unsigned long long>(steps));
-    std::printf("%-14s %14s %14s %9s %7s\n", "workload", "legacy MIPS",
-                "fast MIPS", "speedup", "state");
+    std::printf("%-14s %12s %12s %12s %8s %8s %6s\n", "workload",
+                "legacy MIPS", "dcache MIPS", "bytecd MIPS", "dc x", "bc x",
+                "state");
   }
 
   for (const Workload& w : workloads) {
     if (!selected(w.name)) continue;
     // Warm-up pass so first-touch page faults and cache fills don't skew
-    // the shorter legacy/fast comparison runs.
-    (void)run_engine(w, true, steps / 16 + 1);
-    const EngineRun legacy = run_engine(w, false, steps);
-    const EngineRun fast = run_engine(w, true, steps);
-    const bool match = same_state(legacy, fast);
+    // the shorter comparison runs.
+    (void)run_engine(w, Rv32Engine::kBytecode, steps / 16 + 1, 1);
+    const EngineRun legacy = run_engine(w, Rv32Engine::kInterpreted, steps);
+    const EngineRun fast = run_engine(w, Rv32Engine::kDecodeCache, steps);
+    const EngineRun bc = run_engine(w, Rv32Engine::kBytecode, steps);
+    const bool match = same_state(legacy, fast) && same_state(fast, bc);
     all_match &= match;
     const double speedup =
         legacy.seconds > 0 ? fast.insns_per_sec() / legacy.insns_per_sec()
                            : 0;
+    const double bc_speedup =
+        fast.seconds > 0 ? bc.insns_per_sec() / fast.insns_per_sec() : 0;
     if (w.gated && speedup < min_speedup) gate_ok = false;
+    if (w.gated && bc_speedup < min_bytecode_speedup) gate_ok = false;
     if (opts.json) {
       add_engine_entry(report, w.name, "legacy", legacy);
       add_engine_entry(report, w.name, "fast", fast);
+      add_engine_entry(report, w.name, "bytecode", bc);
     } else {
-      std::printf("%-14s %14.2f %14.2f %8.2fx %7s\n", w.name,
+      std::printf("%-14s %12.2f %12.2f %12.2f %7.2fx %7.2fx %6s\n", w.name,
                   legacy.insns_per_sec() / 1e6, fast.insns_per_sec() / 1e6,
-                  speedup, match ? "match" : "DIFF");
+                  bc.insns_per_sec() / 1e6, speedup, bc_speedup,
+                  match ? "match" : "DIFF");
     }
   }
 
@@ -302,7 +338,7 @@ int main(int argc, char** argv) {
         par_run.steps > 0
             ? par_run.seconds * 1e9 / static_cast<double>(par_run.steps)
             : 0;
-    auto& e = report.add("rv32_parallel/fast");
+    auto& e = report.add("rv32_parallel/bytecode");
     e.iterations = par_run.steps;
     e.real_time_ns = ns_per_insn;
     e.cpu_time_ns = ns_per_insn;
@@ -311,9 +347,10 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(par_run.steps) / par_run.seconds
                   : 0);
     if (!opts.json) {
-      std::printf("%-14s %14s %14.2f %9s %7s\n", "rv32_parallel", "-",
+      std::printf("%-14s %12s %12s %12.2f %8s %8s %6s\n", "rv32_parallel",
+                  "-", "-",
                   static_cast<double>(par_run.steps) / par_run.seconds / 1e6,
-                  "-", par_run.clean ? "match" : "DIFF");
+                  "-", "-", par_run.clean ? "match" : "DIFF");
     }
   }
 
@@ -324,8 +361,9 @@ int main(int argc, char** argv) {
   if (!opts.json) {
     std::printf("\narchitectural state identical across engines: %s\n",
                 all_match ? "yes" : "NO");
-    std::printf("gated workloads reached %.2fx: %s\n", min_speedup,
-                gate_ok ? "yes" : "NO");
+    std::printf(
+        "gated workloads reached %.2fx (dcache) and %.2fx (bytecode): %s\n",
+        min_speedup, min_bytecode_speedup, gate_ok ? "yes" : "NO");
   }
   return (all_match && gate_ok) ? 0 : 1;
 }

@@ -200,6 +200,25 @@ class Machine {
     return true;
   }
 
+  /// Execute-permission check for [addr, addr+4) that also hands back the
+  /// memoized uniform-decision window [lo, hi): every 4-byte fetch with
+  /// lo <= pc && pc + 4 <= hi under the same mode and PMP epoch is allowed
+  /// without further checks. The bytecode engine hoists the per-instruction
+  /// access_ok out of its dispatch loop with this: within one run() the PMP
+  /// epoch cannot change (no CSR instructions; ecall exits the loop), so
+  /// the window stays valid until the pc leaves it.
+  bool execute_window(std::uint64_t addr, PrivMode mode, std::uint64_t& lo,
+                      std::uint64_t& hi) const {
+    if (!access_ok(addr, 4, mode, AccessType::kExecute)) return false;
+    const PmpMemo& m = memo_[static_cast<std::size_t>(AccessType::kExecute)];
+    // Valid on both the hit and the refill path: access_ok either matched
+    // this memo or just refilled it. hi is already clamped to memory_size()
+    // by check_region's limit argument.
+    lo = m.lo;
+    hi = m.hi;
+    return true;
+  }
+
   /// Version counter of the page containing `addr` (bumped on stores).
   std::uint32_t page_version(std::uint64_t addr) const {
     return page_version_[addr >> kPageShift];

@@ -12,11 +12,17 @@
 // and are reported to the embedder -- the security monitor or kernel
 // decides whether to kill, restart or service the hart.
 //
-// Two execution engines share the architectural state: step() is the
-// straightforward fetch-decode-execute reference interpreter, and run()
-// is a libriscv-style fast engine (per-page decoded-instruction cache +
+// Three execution engines share the architectural state: step() is the
+// straightforward fetch-decode-execute reference interpreter; the
+// decode-cache engine (per-page decoded-instruction cache +
 // allocation-free, exception-free memory path with memoized PMP lookups)
-// that is differentially tested to be bit-identical to the reference.
+// is the middle tier; and the default bytecode engine rewrites each
+// decoded page into a compact bytecode stream (handler byte + packed
+// operands, macro-op fusion of lui+addi / auipc+addi / auipc+lw /
+// cmp+branch pairs) run by a threaded dispatch loop — computed-goto under
+// GCC/Clang, dense switch elsewhere. All tiers are differentially tested
+// to be bit-identical to the reference, including trap cause/pc/tval and
+// step accounting.
 #pragma once
 
 #include <array>
@@ -45,6 +51,15 @@ struct Trap {
   std::uint32_t tval;  // faulting address or raw instruction
 };
 
+/// Execution tier used by Rv32Cpu::run(). All tiers are architecturally
+/// bit-identical (registers, memory, pc, retired count, trap
+/// cause/pc/tval, step counts); they differ only in speed.
+enum class Rv32Engine : std::uint8_t {
+  kInterpreted = 0,  // step() in a loop — the reference oracle
+  kDecodeCache = 1,  // per-page DecodedInsn cache, switch dispatch
+  kBytecode = 2,     // threaded bytecode dispatch + macro-op fusion
+};
+
 class Rv32Cpu {
  public:
   Rv32Cpu(Machine& machine, std::uint32_t entry_pc, PrivMode mode);
@@ -68,24 +83,20 @@ class Rv32Cpu {
     std::optional<Trap> trap;  // set when stopped by a trap
   };
 
-  /// Run until a trap or `max_steps` instructions on the fast engine:
-  /// decoded-instruction pages (validated against the machine's per-page
-  /// store versions, so self-modifying code re-decodes), allocation-free
-  /// memory accesses with memoized PMP windows, and no exceptions on the
-  /// per-instruction path. Architectural state (registers, pc, retired
-  /// count, trap cause/pc/tval) is bit-identical to run_interpreted.
-#if CONVOLVE_TELEMETRY_ENABLED
-  // Thin wrapper so the fast-engine telemetry tally stays entirely out of
-  // run_fast's hot loop (even an RAII reference to the result forces the
-  // step counter into memory and costs double-digit throughput).
-  RunResult run(std::uint64_t max_steps) {
-    RunResult r = run_fast(max_steps);
-    fast_steps_ += r.steps;
-    return r;
-  }
-#else
-  RunResult run(std::uint64_t max_steps) { return run_fast(max_steps); }
-#endif
+  /// Run until a trap or `max_steps` instructions on the selected engine
+  /// (default: the bytecode tier). Decoded-instruction pages are validated
+  /// against the machine's per-page store versions, so self-modifying code
+  /// re-decodes; memory accesses are allocation-free with memoized PMP
+  /// windows; nothing throws on the per-instruction path. Architectural
+  /// state (registers, pc, retired count, trap cause/pc/tval) is
+  /// bit-identical to run_interpreted on every tier.
+  RunResult run(std::uint64_t max_steps);
+
+  /// Select the execution tier used by run(). Takes effect on the next
+  /// run() call; architectural state carries over between tiers.
+  void set_engine(Rv32Engine engine) { engine_ = engine; }
+  Rv32Engine engine() const { return engine_; }
+  static constexpr Rv32Engine kDefaultEngine = Rv32Engine::kBytecode;
 
   /// Run the same contract on the legacy step() interpreter. Kept as the
   /// reference implementation for differential testing and benchmarking.
@@ -100,33 +111,51 @@ class Rv32Cpu {
   std::uint64_t instructions_retired() const { return retired_; }
 
  private:
-  // Decoded-instruction cache: direct-mapped over PC pages. A slot holds
-  // one fully decoded 4 KB page; it is valid while the machine's store
+  // Decoded-instruction cache: 2-way set-associative over PC pages with a
+  // per-set 1-bit LRU. A way holds one fully decoded 4 KB page (both the
+  // DecodedInsn array used by the decode-cache tier and the BcOp bytecode
+  // used by the threaded tier); it is valid while the machine's store
   // version of that page is unchanged (stores to executable regions bump
-  // it, invalidating stale decodes).
+  // it, invalidating stale decodes). Two ways per set so a pair of hot
+  // pages whose bases alias to the same set (e.g. call sites 32 KB apart)
+  // coexist instead of ping-ponging through full re-decodes.
   static constexpr std::size_t kPageInsts =
       Machine::kPageBytes / 4;  // 32-bit instructions only
   struct DecodedPage {
     std::uint64_t base = ~0ull;  // page base address; all-ones = empty
     std::uint32_t version = 0;   // Machine::page_version at decode time
+    bool bc_linked = false;      // bytecode[].target linked to handler labels
     std::array<DecodedInsn, kPageInsts> insts{};
+    std::array<BcOp, kPageInsts> bytecode{};
   };
-  static constexpr std::size_t kCacheSlots = 8;  // 8 x 4 KB of code
+  static constexpr std::size_t kCacheSets = 8;  // power of two
+  static constexpr std::size_t kCacheWays = 2;  // 16 x 4 KB of code total
+  struct CacheSet {
+    std::array<DecodedPage, kCacheWays> way{};
+    std::uint8_t mru = 0;  // most-recently-used way; miss evicts the other
+  };
 
-  const DecodedPage* decoded_page(std::uint64_t page_base);
+  DecodedPage* decoded_page(std::uint64_t page_base);
+  void decode_page_into(DecodedPage& slot, std::uint64_t page_base,
+                        std::uint32_t version);
   RunResult run_fast(std::uint64_t max_steps);
+  RunResult run_bytecode(std::uint64_t max_steps);
 
   Machine& machine_;
   std::uint32_t pc_;
   PrivMode mode_;
+  Rv32Engine engine_ = kDefaultEngine;
   std::array<std::uint32_t, 32> x_{};
   std::uint64_t retired_ = 0;
-  std::unique_ptr<std::array<DecodedPage, kCacheSlots>> dcache_;
+  std::unique_ptr<std::array<CacheSet, kCacheSets>> dcache_;
 #if CONVOLVE_TELEMETRY_ENABLED
   // Plain per-hart tallies, flushed in bulk by flush_telemetry(): the run()
   // loop must not touch an atomic per instruction (the telemetry-ON build
   // is gated to within 2% of OFF on the ALU workload).
-  std::uint64_t fast_steps_ = 0;        // instructions retired via run()
+  std::uint64_t fast_steps_ = 0;        // instructions retired via run_fast
+  std::uint64_t bc_steps_ = 0;          // instructions retired via bytecode
+  std::uint64_t fused_exec_ = 0;        // fused pairs executed fused
+  std::uint64_t fused_emitted_ = 0;     // fused pairs emitted at decode time
   std::uint64_t flushed_retired_ = 0;   // retired_ already published
   std::uint64_t dc_decodes_ = 0;        // decoded_page() actually decoding
   std::uint64_t dc_invalidations_ = 0;  // decodes caused by version bumps

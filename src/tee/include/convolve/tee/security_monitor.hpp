@@ -73,9 +73,11 @@ class SecurityMonitor {
   /// under the enclave PMP view, starting at `entry_offset` into the
   /// region. Execution ends at a trap (ecall = clean exit request, PMP
   /// faults = contained violations) or after `max_steps` instructions.
-  /// The OS PMP view is restored before returning.
-  Rv32Cpu::RunResult run_enclave_program(int id, std::uint64_t max_steps,
-                                         std::uint32_t entry_offset = 0);
+  /// The OS PMP view is restored before returning. `engine` selects the
+  /// execution tier (all tiers are architecturally bit-identical).
+  Rv32Cpu::RunResult run_enclave_program(
+      int id, std::uint64_t max_steps, std::uint32_t entry_offset = 0,
+      Rv32Engine engine = Rv32Cpu::kDefaultEngine);
 
   /// Generate a signed attestation report for an enclave. Consumes SM
   /// stack (throws StackOverflow if the configured stack cannot hold the

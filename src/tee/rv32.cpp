@@ -22,6 +22,9 @@ telemetry::Counter t_retired{"rv32.instructions_retired"};
 telemetry::Counter t_dc_hits{"rv32.decode_cache.hits"};
 telemetry::Counter t_dc_misses{"rv32.decode_cache.misses"};
 telemetry::Counter t_dc_invalidations{"rv32.decode_cache.invalidations"};
+telemetry::Counter t_bc_insns{"rv32.bytecode.instructions"};
+telemetry::Counter t_fusion_pairs{"rv32.fusion.pairs"};
+telemetry::Counter t_fusion_emitted{"rv32.fusion.emitted"};
 }  // namespace
 
 Rv32Cpu::~Rv32Cpu() { flush_telemetry(); }
@@ -29,17 +32,26 @@ Rv32Cpu::~Rv32Cpu() { flush_telemetry(); }
 void Rv32Cpu::flush_telemetry() {
   t_retired.add(retired_ - flushed_retired_);
   flushed_retired_ = retired_;
-  // A "hit" is a fast-engine instruction served from an already-decoded
-  // page; each decoded_page() decode corresponds to the one instruction
-  // that forced it (a miss), everything else executed cached decodes.
-  t_dc_hits.add(fast_steps_ > dc_decodes_ ? fast_steps_ - dc_decodes_ : 0);
+  // A "hit" is an instruction served from an already-decoded page (either
+  // fast tier); each decoded_page() decode corresponds to the one
+  // instruction that forced it (a miss), everything else executed cached
+  // decodes.
+  const std::uint64_t cached_steps = fast_steps_ + bc_steps_;
+  t_dc_hits.add(cached_steps > dc_decodes_ ? cached_steps - dc_decodes_ : 0);
   t_dc_misses.add(dc_decodes_);
   t_dc_invalidations.add(dc_invalidations_);
-  // Each fast-engine retired instruction performed one memoized PMP
+  t_bc_insns.add(bc_steps_);
+  t_fusion_pairs.add(fused_exec_);
+  t_fusion_emitted.add(fused_emitted_);
+  // Each decode-cache-tier retired instruction performed one memoized PMP
   // execute check; credit those hits wholesale (access_ok's hit path is
-  // too hot to count per call).
+  // too hot to count per call). The bytecode tier hoists the check out of
+  // the loop entirely, so its steps are deliberately NOT credited.
   machine_.credit_memo_hits(fast_steps_);
   fast_steps_ = 0;
+  bc_steps_ = 0;
+  fused_exec_ = 0;
+  fused_emitted_ = 0;
   dc_decodes_ = 0;
   dc_invalidations_ = 0;
 }
@@ -322,19 +334,40 @@ Rv32Cpu::RunResult Rv32Cpu::run_interpreted(std::uint64_t max_steps) {
 }
 
 // ---------------------------------------------------------------------
-// Fast engine: decoded-instruction cache + allocation-free memory path
+// Fast engines: decoded-instruction cache + allocation-free memory path
 // ---------------------------------------------------------------------
 
-const Rv32Cpu::DecodedPage* Rv32Cpu::decoded_page(std::uint64_t page_base) {
-  DecodedPage& slot =
-      (*dcache_)[(page_base >> Machine::kPageShift) % kCacheSlots];
-  const std::uint32_t version = machine_.page_version(page_base);
-  if (slot.base == page_base && slot.version == version) return &slot;
+Rv32Cpu::RunResult Rv32Cpu::run(std::uint64_t max_steps) {
+  switch (engine_) {
+    case Rv32Engine::kInterpreted:
+      return run_interpreted(max_steps);
+    case Rv32Engine::kDecodeCache: {
+#if CONVOLVE_TELEMETRY_ENABLED
+      // Tally outside run_fast so the hot loop never touches the member
+      // (even an RAII reference to the result forces the step counter
+      // into memory and costs double-digit throughput).
+      RunResult r = run_fast(max_steps);
+      fast_steps_ += r.steps;
+      return r;
+#else
+      return run_fast(max_steps);
+#endif
+    }
+    case Rv32Engine::kBytecode:
+    default: {
+#if CONVOLVE_TELEMETRY_ENABLED
+      RunResult r = run_bytecode(max_steps);
+      bc_steps_ += r.steps;
+      return r;
+#else
+      return run_bytecode(max_steps);
+#endif
+    }
+  }
+}
 
-  CONVOLVE_TELEMETRY_ONLY(
-      ++dc_decodes_;
-      if (slot.base == page_base) ++dc_invalidations_;)
-
+void Rv32Cpu::decode_page_into(DecodedPage& slot, std::uint64_t page_base,
+                               std::uint32_t version) {
   // (Re-)decode the page's words straight from memory. This caches code
   // *bytes*, not permissions: the execute-permission check still happens
   // per fetch against the live PMP state.
@@ -349,13 +382,52 @@ const Rv32Cpu::DecodedPage* Rv32Cpu::decoded_page(std::uint64_t page_base) {
   for (std::size_t i = n_insts; i < kPageInsts; ++i) {
     slot.insts[i] = DecodedInsn{};  // unreachable: fetch bounds-faults first
   }
+  // Bytecode rewrite + fusion pass. A fused handler lives in the FIRST
+  // slot of its pair; the second slot keeps its own unfused bytecode so a
+  // jump into the middle of the pair executes the plain instruction. No
+  // fusion across the page edge: the second component must be decoded
+  // (and version-tracked) in this same page.
+  for (std::size_t i = 0; i < n_insts; ++i) {
+    BcOp op;
+    if (i + 1 < n_insts && fuse_rv32(slot.insts[i], slot.insts[i + 1], op)) {
+      CONVOLVE_TELEMETRY_ONLY(++fused_emitted_;)
+    } else {
+      op = bytecode_single(slot.insts[i]);
+    }
+    slot.bytecode[i] = op;
+  }
+  for (std::size_t i = n_insts; i < kPageInsts; ++i) {
+    slot.bytecode[i] = BcOp{};  // kIllegal, tval 0 — unreachable (see above)
+  }
   slot.base = page_base;
   slot.version = version;
-  return &slot;
+  slot.bc_linked = false;
+}
+
+Rv32Cpu::DecodedPage* Rv32Cpu::decoded_page(std::uint64_t page_base) {
+  CacheSet& set =
+      (*dcache_)[(page_base >> Machine::kPageShift) & (kCacheSets - 1)];
+  const std::uint32_t version = machine_.page_version(page_base);
+  for (std::size_t w = 0; w < kCacheWays; ++w) {
+    DecodedPage& p = set.way[w];
+    if (p.base != page_base) continue;
+    set.mru = static_cast<std::uint8_t>(w);
+    if (p.version == version) return &p;
+    // Stale decode of this page (self-modifying code): refresh in place.
+    CONVOLVE_TELEMETRY_ONLY(++dc_decodes_; ++dc_invalidations_;)
+    decode_page_into(p, page_base, version);
+    return &p;
+  }
+  // Miss: evict the least-recently-used way of the set.
+  DecodedPage& victim = set.way[set.mru ^ 1u];
+  CONVOLVE_TELEMETRY_ONLY(++dc_decodes_;)
+  decode_page_into(victim, page_base, version);
+  set.mru ^= 1u;
+  return &victim;
 }
 
 Rv32Cpu::RunResult Rv32Cpu::run_fast(std::uint64_t max_steps) {
-  if (!dcache_) dcache_ = std::make_unique<std::array<DecodedPage, kCacheSlots>>();
+  if (!dcache_) dcache_ = std::make_unique<std::array<CacheSet, kCacheSets>>();
   RunResult result;
 
   const DecodedPage* page = nullptr;
@@ -566,6 +638,768 @@ Rv32Cpu::RunResult Rv32Cpu::run_fast(std::uint64_t max_steps) {
   }
   return result;
 }
+
+// ---------------------------------------------------------------------
+// Bytecode engine: threaded dispatch + macro-op fusion
+// ---------------------------------------------------------------------
+//
+// The loop dispatches one BcOp per emulated instruction (or per fused
+// pair) with no per-instruction PMP/alignment/page-version checks: those
+// are hoisted into the outer resync path, which is only re-entered when
+// the pc leaves the validated execute window, a store bumps the current
+// page's version, or a fused pair cannot run whole. Hoisting is sound
+// because within one run() the PMP epoch cannot change (no CSR
+// instructions are implemented and ecall exits the loop), so the
+// execute window returned by Machine::execute_window stays valid until
+// the pc leaves it, and only stores can invalidate the current page's
+// decode.
+//
+// Accounting contract (identical to run_interpreted / run_fast):
+//   - every attempted instruction, including a trapping one, consumes
+//     one step; steps and pending retires are carried as a fuel
+//     countdown and reconstructed at the exits.
+//   - Non-retiring traps (misaligned fetch, fetch fault, illegal,
+//     load/store fault) leave pc_ at the trapping instruction.
+//   - ecall/ebreak retire and advance pc_ past themselves.
+//   - A fused pair retires as TWO steps; if its second component faults,
+//     the first has committed (pc_ = pair pc + 4) and the trap carries
+//     the component's pc/tval.
+
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(CONVOLVE_BC_FORCE_SWITCH)
+#define CONVOLVE_BC_THREADED 1
+#else
+#define CONVOLVE_BC_THREADED 0
+#endif
+
+#if CONVOLVE_BC_THREADED
+#define BC_CASE(name) lab_##name:
+#define BC_DISPATCH() goto* op->target
+#else
+#define BC_CASE(name) case BcHandler::k##name:
+#define BC_DISPATCH() goto dispatch_top
+#endif
+
+// Budget is a fuel countdown: fuel = max_steps - steps consumed so far,
+// so the per-retire budget check is a single dec-and-test. steps and the
+// pending retired-count delta are derived at the exits:
+//   steps consumed = max_steps - fuel
+//   retires pending = pub_fuel - fuel   (pub_fuel = fuel at last publish)
+// Every dispatch point has fuel >= 1.
+
+// Retire the current op and fall through to the next slot. Straight-line
+// flow only moves forward, so the window check is one-sided (wlo was
+// checked when the window was entered).
+#define BC_NEXT()                                            \
+  do {                                                       \
+    pc += 4;                                                 \
+    ++op;                                                    \
+    if (--fuel == 0) goto budget_exit;                       \
+    if (static_cast<std::uint64_t>(pc) >= whi)               \
+      goto sync_outer;                                       \
+    BC_DISPATCH();                                           \
+  } while (0)
+
+// Retire the current op and transfer control. A misaligned target is NOT
+// a fault of this instruction: it retires, and the next fetch traps
+// (deferred, tval = target) — the outer path reproduces that exactly.
+#define BC_JUMP(target)                                          \
+  do {                                                           \
+    pc = (target);                                               \
+    if (--fuel == 0) goto budget_exit;                           \
+    if ((pc & 3u) != 0) goto sync_outer;                         \
+    if (static_cast<std::uint64_t>(pc) - wlo >= wspan)           \
+      goto sync_outer;                                           \
+    op = ops + ((pc & (Machine::kPageBytes - 1)) >> 2);          \
+    BC_DISPATCH();                                               \
+  } while (0)
+
+// Retire a store, then resync if it bumped the current page's version
+// (self-modifying code): the outer path re-decodes before the next
+// dispatch, so a store that patches upcoming code — including the second
+// half of a fused pair — is observed exactly as the oracle observes it.
+#define BC_STORE_TAIL()                                          \
+  do {                                                           \
+    pc += 4;                                                     \
+    ++op;                                                        \
+    if (--fuel == 0) goto budget_exit;                           \
+    if (m.page_version(page_base) != version) goto sync_outer;   \
+    if (static_cast<std::uint64_t>(pc) >= whi)                   \
+      goto sync_outer;                                           \
+    BC_DISPATCH();                                               \
+  } while (0)
+
+// Fused pairs only run whole: both halves inside the validated window and
+// at least two steps of budget. Otherwise split — scalar_one executes the
+// first component through the oracle and resyncs.
+#define BC_FUSED_GUARD()                                              \
+  do {                                                                \
+    if (fuel < 2 || static_cast<std::uint64_t>(pc) + 8 > whi)         \
+      goto scalar_one;                                                \
+  } while (0)
+
+// Retire a fused pair that falls through to the slot after the pair.
+#define BC_FUSED_TAIL()                                      \
+  do {                                                       \
+    pc += 8;                                                 \
+    op += 2;                                                 \
+    fuel -= 2;                                               \
+    if (fuel == 0) goto budget_exit;                         \
+    if (static_cast<std::uint64_t>(pc) >= whi)               \
+      goto sync_outer;                                       \
+    BC_DISPATCH();                                           \
+  } while (0)
+
+// Retire a fused cmp+branch pair. Budget is checked before the deferred
+// misaligned-target trap: if the pair consumed the last fuel, the run
+// ends cleanly and the trap (if any) surfaces on the next call, exactly
+// like the oracle.
+#define BC_FUSED_BRANCH_TAIL(taken_expr)                         \
+  do {                                                           \
+    fuel -= 2;                                                   \
+    if (taken_expr) {                                            \
+      pc += static_cast<std::uint32_t>(op->imm2);                \
+      if (fuel == 0) goto budget_exit;                           \
+      if ((pc & 3u) != 0) goto sync_outer;                       \
+      if (static_cast<std::uint64_t>(pc) - wlo >= wspan)         \
+        goto sync_outer;                                         \
+      op = ops + ((pc & (Machine::kPageBytes - 1)) >> 2);        \
+      BC_DISPATCH();                                             \
+    }                                                            \
+    pc += 8;                                                     \
+    op += 2;                                                     \
+    if (fuel == 0) goto budget_exit;                             \
+    if (static_cast<std::uint64_t>(pc) >= whi)                   \
+      goto sync_outer;                                           \
+    BC_DISPATCH();                                               \
+  } while (0)
+
+// cmp+branch super-ops: compute the comparison, commit it to rd, then
+// branch on (rd == 0) / (rd != 0). imm2 is pre-biased so the taken
+// target is pair-pc + imm2.
+#define BC_FUSED_CMP_BRANCH(cond_expr, taken_on_nonzero)  \
+  do {                                                    \
+    BC_FUSED_GUARD();                                     \
+    const std::uint32_t c = (cond_expr) ? 1u : 0u;        \
+    xr[op->rd] = c;                                       \
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)                   \
+    BC_FUSED_BRANCH_TAIL((c != 0) == (taken_on_nonzero)); \
+  } while (0)
+
+// GCSE and cross-jumping would factor the per-handler computed gotos into
+// one shared indirect jump, serializing branch prediction across the whole
+// emulated instruction stream (the GCC manual recommends -fno-gcse for
+// computed-goto interpreters). Scoped here so the other engines in this
+// translation unit keep the default pipeline.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-gcse", "no-crossjumping")))
+#endif
+Rv32Cpu::RunResult Rv32Cpu::run_bytecode(std::uint64_t max_steps) {
+  if (!dcache_) dcache_ = std::make_unique<std::array<CacheSet, kCacheSets>>();
+  RunResult result;
+
+  Machine& m = machine_;
+  const PrivMode mode = mode_;
+  std::uint32_t* const xr = x_.data();
+  std::uint32_t pc = pc_;
+  std::uint64_t fuel = max_steps;      // remaining step budget
+  std::uint64_t pub_fuel = max_steps;  // fuel at the last retired_ publish
+  std::uint64_t fused_n = 0;
+
+  const BcOp* ops = nullptr;
+  const BcOp* op = nullptr;
+  std::uint64_t page_base = 0;
+  std::uint64_t wlo = 0, whi = 0, wspan = 0;
+  std::uint32_t version = 0;
+
+#if CONVOLVE_BC_THREADED
+  // Handler table in exact BcHandler order (see static_assert below).
+  static const void* const kLabels[] = {
+      &&lab_Illegal, &&lab_Lui, &&lab_Auipc, &&lab_Jal, &&lab_Jalr,
+      &&lab_Beq, &&lab_Bne, &&lab_Blt, &&lab_Bge, &&lab_Bltu, &&lab_Bgeu,
+      &&lab_Lb, &&lab_Lh, &&lab_Lw, &&lab_Lbu, &&lab_Lhu,
+      &&lab_Sb, &&lab_Sh, &&lab_Sw,
+      &&lab_Addi, &&lab_Slti, &&lab_Sltiu, &&lab_Xori, &&lab_Ori,
+      &&lab_Andi, &&lab_Slli, &&lab_Srli, &&lab_Srai,
+      &&lab_Add, &&lab_Sub, &&lab_Sll, &&lab_Slt, &&lab_Sltu, &&lab_Xor,
+      &&lab_Srl, &&lab_Sra, &&lab_Or, &&lab_And,
+      &&lab_Mul, &&lab_Mulh, &&lab_Mulhsu, &&lab_Mulhu,
+      &&lab_Div, &&lab_Divu, &&lab_Rem, &&lab_Remu,
+      &&lab_Fence, &&lab_Ecall, &&lab_Ebreak,
+      &&lab_Nop,
+      &&lab_FusedLuiAddi, &&lab_FusedAuipcAddi, &&lab_FusedAuipcLw,
+      &&lab_FusedSltBeqz, &&lab_FusedSltBnez,
+      &&lab_FusedSltuBeqz, &&lab_FusedSltuBnez,
+      &&lab_FusedSltiBeqz, &&lab_FusedSltiBnez,
+      &&lab_FusedSltiuBeqz, &&lab_FusedSltiuBnez,
+      &&lab_FusedAddiBeqz, &&lab_FusedAddiBnez,
+      &&lab_FusedSlliSrli, &&lab_FusedSrliSlli, &&lab_FusedAddiAddi,
+      &&lab_FusedOrXor, &&lab_FusedOrXori,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kBcHandlerCount,
+                "dispatch table must cover every BcHandler");
+#endif
+
+outer:
+  // Full resync: alignment, execute permission, decoded page, validated
+  // window. Everything the dispatch loop skips per instruction happens
+  // here once per (re-)entry.
+  if (fuel == 0) goto budget_exit;
+  if ((pc & 3u) != 0) {
+    result.trap = Trap{TrapCause::kMisalignedFetch, pc, pc};
+    goto trap_at_pc;
+  }
+  {
+    std::uint64_t lo, hi;
+    if (!m.execute_window(pc, mode, lo, hi)) {
+      result.trap = Trap{TrapCause::kInstructionAccessFault, pc, pc};
+      goto trap_at_pc;
+    }
+    page_base = pc & ~static_cast<std::uint64_t>(Machine::kPageBytes - 1);
+    DecodedPage* page = decoded_page(page_base);
+#if CONVOLVE_BC_THREADED
+    if (!page->bc_linked) {
+      // Link handler bytes to label addresses; decode itself is
+      // engine-agnostic and the addresses only exist in this function.
+      for (BcOp& b : page->bytecode) b.target = kLabels[b.handler];
+      page->bc_linked = true;
+    }
+#endif
+    ops = page->bytecode.data();
+    version = page->version;
+    // Clamp the window to this page and round inward to whole words. Only
+    // 4-byte-aligned slots fully inside [wlo, whi) are dispatched, which
+    // also keeps the partial-tail filler slots of a non-4-byte-aligned
+    // memory_size() unreachable, exactly like the reference fetch path
+    // (a fetch needs pc + 4 <= memory_size()). The cap just below 2^32
+    // keeps pc + 4 from wrapping inside the window; the corner it cuts
+    // off falls back to the oracle below.
+    wlo = lo < page_base ? page_base : lo;
+    std::uint64_t end = page_base + Machine::kPageBytes;
+    if (hi < end) end = hi;
+    wlo = (wlo + 3) & ~3ull;
+    end &= ~3ull;
+    if (end > 0xfffffffcull) end = 0xfffffffcull;
+    whi = end;
+    wspan = end > wlo ? end - wlo : 0;
+  }
+  if (pc < wlo || static_cast<std::uint64_t>(pc) + 4 > whi) {
+    // Degenerate window (e.g. the very last word of the 32-bit address
+    // space): execute one instruction with reference semantics instead.
+    goto scalar_one;
+  }
+  op = ops + ((pc & (Machine::kPageBytes - 1)) >> 2);
+  BC_DISPATCH();
+
+#if !CONVOLVE_BC_THREADED
+dispatch_top:
+  switch (static_cast<BcHandler>(op->handler)) {
+#endif
+
+  BC_CASE(Illegal) {
+    result.trap = Trap{TrapCause::kIllegalInstruction, pc,
+                       static_cast<std::uint32_t>(op->imm)};
+    goto trap_at_pc;
+  }
+  BC_CASE(Lui) {  // rd != 0 guaranteed (rd == 0 is rewritten to kNop)
+    xr[op->rd] = static_cast<std::uint32_t>(op->imm);
+    BC_NEXT();
+  }
+  BC_CASE(Auipc) {
+    xr[op->rd] = pc + static_cast<std::uint32_t>(op->imm);
+    BC_NEXT();
+  }
+  BC_CASE(Jal) {
+    const std::uint32_t t = pc + static_cast<std::uint32_t>(op->imm);
+    if (op->rd != 0) xr[op->rd] = pc + 4;
+    BC_JUMP(t);
+  }
+  BC_CASE(Jalr) {
+    // Target from rs1 BEFORE the rd write (rd == rs1 must use the old
+    // value), low bit cleared per the ISA.
+    const std::uint32_t t =
+        (xr[op->rs1] + static_cast<std::uint32_t>(op->imm)) & ~1u;
+    if (op->rd != 0) xr[op->rd] = pc + 4;
+    BC_JUMP(t);
+  }
+  BC_CASE(Beq) {
+    if (xr[op->rs1] == xr[op->rs2])
+      BC_JUMP(pc + static_cast<std::uint32_t>(op->imm));
+    BC_NEXT();
+  }
+  BC_CASE(Bne) {
+    if (xr[op->rs1] != xr[op->rs2])
+      BC_JUMP(pc + static_cast<std::uint32_t>(op->imm));
+    BC_NEXT();
+  }
+  BC_CASE(Blt) {
+    if (static_cast<std::int32_t>(xr[op->rs1]) <
+        static_cast<std::int32_t>(xr[op->rs2]))
+      BC_JUMP(pc + static_cast<std::uint32_t>(op->imm));
+    BC_NEXT();
+  }
+  BC_CASE(Bge) {
+    if (static_cast<std::int32_t>(xr[op->rs1]) >=
+        static_cast<std::int32_t>(xr[op->rs2]))
+      BC_JUMP(pc + static_cast<std::uint32_t>(op->imm));
+    BC_NEXT();
+  }
+  BC_CASE(Bltu) {
+    if (xr[op->rs1] < xr[op->rs2])
+      BC_JUMP(pc + static_cast<std::uint32_t>(op->imm));
+    BC_NEXT();
+  }
+  BC_CASE(Bgeu) {
+    if (xr[op->rs1] >= xr[op->rs2])
+      BC_JUMP(pc + static_cast<std::uint32_t>(op->imm));
+    BC_NEXT();
+  }
+
+  BC_CASE(Lb) {
+    const std::uint32_t addr =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    std::uint8_t v;
+    if (!m.read8(addr, mode, v)) {
+      result.trap = Trap{TrapCause::kLoadAccessFault, pc, addr};
+      goto trap_at_pc;
+    }
+    if (op->rd != 0)
+      xr[op->rd] = static_cast<std::uint32_t>(sign_extend(v, 8));
+    BC_NEXT();
+  }
+  BC_CASE(Lh) {
+    const std::uint32_t addr =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    std::uint16_t v;
+    if (!m.read16(addr, mode, v)) {
+      result.trap = Trap{TrapCause::kLoadAccessFault, pc, addr};
+      goto trap_at_pc;
+    }
+    if (op->rd != 0)
+      xr[op->rd] = static_cast<std::uint32_t>(sign_extend(v, 16));
+    BC_NEXT();
+  }
+  BC_CASE(Lw) {
+    const std::uint32_t addr =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    std::uint32_t v;
+    if (!m.read32(addr, mode, v)) {
+      result.trap = Trap{TrapCause::kLoadAccessFault, pc, addr};
+      goto trap_at_pc;
+    }
+    if (op->rd != 0) xr[op->rd] = v;
+    BC_NEXT();
+  }
+  BC_CASE(Lbu) {
+    const std::uint32_t addr =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    std::uint8_t v;
+    if (!m.read8(addr, mode, v)) {
+      result.trap = Trap{TrapCause::kLoadAccessFault, pc, addr};
+      goto trap_at_pc;
+    }
+    if (op->rd != 0) xr[op->rd] = v;
+    BC_NEXT();
+  }
+  BC_CASE(Lhu) {
+    const std::uint32_t addr =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    std::uint16_t v;
+    if (!m.read16(addr, mode, v)) {
+      result.trap = Trap{TrapCause::kLoadAccessFault, pc, addr};
+      goto trap_at_pc;
+    }
+    if (op->rd != 0) xr[op->rd] = v;
+    BC_NEXT();
+  }
+
+  BC_CASE(Sb) {
+    const std::uint32_t addr =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    if (!m.write8(addr, static_cast<std::uint8_t>(xr[op->rs2]), mode)) {
+      result.trap = Trap{TrapCause::kStoreAccessFault, pc, addr};
+      goto trap_at_pc;
+    }
+    BC_STORE_TAIL();
+  }
+  BC_CASE(Sh) {
+    const std::uint32_t addr =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    if (!m.write16(addr, static_cast<std::uint16_t>(xr[op->rs2]), mode)) {
+      result.trap = Trap{TrapCause::kStoreAccessFault, pc, addr};
+      goto trap_at_pc;
+    }
+    BC_STORE_TAIL();
+  }
+  BC_CASE(Sw) {
+    const std::uint32_t addr =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    if (!m.write32(addr, xr[op->rs2], mode)) {
+      result.trap = Trap{TrapCause::kStoreAccessFault, pc, addr};
+      goto trap_at_pc;
+    }
+    BC_STORE_TAIL();
+  }
+
+  BC_CASE(Addi) {
+    xr[op->rd] = xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    BC_NEXT();
+  }
+  BC_CASE(Slti) {
+    xr[op->rd] =
+        static_cast<std::int32_t>(xr[op->rs1]) < op->imm ? 1u : 0u;
+    BC_NEXT();
+  }
+  BC_CASE(Sltiu) {
+    xr[op->rd] =
+        xr[op->rs1] < static_cast<std::uint32_t>(op->imm) ? 1u : 0u;
+    BC_NEXT();
+  }
+  BC_CASE(Xori) {
+    xr[op->rd] = xr[op->rs1] ^ static_cast<std::uint32_t>(op->imm);
+    BC_NEXT();
+  }
+  BC_CASE(Ori) {
+    xr[op->rd] = xr[op->rs1] | static_cast<std::uint32_t>(op->imm);
+    BC_NEXT();
+  }
+  BC_CASE(Andi) {
+    xr[op->rd] = xr[op->rs1] & static_cast<std::uint32_t>(op->imm);
+    BC_NEXT();
+  }
+  BC_CASE(Slli) {
+    xr[op->rd] = xr[op->rs1] << op->imm;
+    BC_NEXT();
+  }
+  BC_CASE(Srli) {
+    xr[op->rd] = xr[op->rs1] >> op->imm;
+    BC_NEXT();
+  }
+  BC_CASE(Srai) {
+    xr[op->rd] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(xr[op->rs1]) >> op->imm);
+    BC_NEXT();
+  }
+
+  BC_CASE(Add) {
+    xr[op->rd] = xr[op->rs1] + xr[op->rs2];
+    BC_NEXT();
+  }
+  BC_CASE(Sub) {
+    xr[op->rd] = xr[op->rs1] - xr[op->rs2];
+    BC_NEXT();
+  }
+  BC_CASE(Sll) {
+    xr[op->rd] = xr[op->rs1] << (xr[op->rs2] & 31u);
+    BC_NEXT();
+  }
+  BC_CASE(Slt) {
+    xr[op->rd] = static_cast<std::int32_t>(xr[op->rs1]) <
+                         static_cast<std::int32_t>(xr[op->rs2])
+                     ? 1u
+                     : 0u;
+    BC_NEXT();
+  }
+  BC_CASE(Sltu) {
+    xr[op->rd] = xr[op->rs1] < xr[op->rs2] ? 1u : 0u;
+    BC_NEXT();
+  }
+  BC_CASE(Xor) {
+    xr[op->rd] = xr[op->rs1] ^ xr[op->rs2];
+    BC_NEXT();
+  }
+  BC_CASE(Srl) {
+    xr[op->rd] = xr[op->rs1] >> (xr[op->rs2] & 31u);
+    BC_NEXT();
+  }
+  BC_CASE(Sra) {
+    xr[op->rd] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(xr[op->rs1]) >> (xr[op->rs2] & 31u));
+    BC_NEXT();
+  }
+  BC_CASE(Or) {
+    xr[op->rd] = xr[op->rs1] | xr[op->rs2];
+    BC_NEXT();
+  }
+  BC_CASE(And) {
+    xr[op->rd] = xr[op->rs1] & xr[op->rs2];
+    BC_NEXT();
+  }
+
+  BC_CASE(Mul) {
+    xr[op->rd] = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(xr[op->rs1])) *
+        static_cast<std::int64_t>(static_cast<std::int32_t>(xr[op->rs2])));
+    BC_NEXT();
+  }
+  BC_CASE(Mulh) {
+    xr[op->rd] = static_cast<std::uint32_t>(
+        (static_cast<std::int64_t>(static_cast<std::int32_t>(xr[op->rs1])) *
+         static_cast<std::int64_t>(static_cast<std::int32_t>(xr[op->rs2])))
+        >> 32);
+    BC_NEXT();
+  }
+  BC_CASE(Mulhsu) {
+    xr[op->rd] = static_cast<std::uint32_t>(
+        (static_cast<std::int64_t>(static_cast<std::int32_t>(xr[op->rs1])) *
+         static_cast<std::int64_t>(
+             static_cast<std::uint64_t>(xr[op->rs2]))) >> 32);
+    BC_NEXT();
+  }
+  BC_CASE(Mulhu) {
+    xr[op->rd] = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(xr[op->rs1]) *
+         static_cast<std::uint64_t>(xr[op->rs2])) >> 32);
+    BC_NEXT();
+  }
+  BC_CASE(Div) {
+    const std::uint32_t a = xr[op->rs1];
+    const std::uint32_t b = xr[op->rs2];
+    if (b == 0) xr[op->rd] = 0xffffffffu;
+    else if (a == 0x80000000u && b == 0xffffffffu) xr[op->rd] = 0x80000000u;
+    else
+      xr[op->rd] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(a) / static_cast<std::int32_t>(b));
+    BC_NEXT();
+  }
+  BC_CASE(Divu) {
+    const std::uint32_t b = xr[op->rs2];
+    xr[op->rd] = b == 0 ? 0xffffffffu : xr[op->rs1] / b;
+    BC_NEXT();
+  }
+  BC_CASE(Rem) {
+    const std::uint32_t a = xr[op->rs1];
+    const std::uint32_t b = xr[op->rs2];
+    if (b == 0) xr[op->rd] = a;
+    else if (a == 0x80000000u && b == 0xffffffffu) xr[op->rd] = 0;
+    else
+      xr[op->rd] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(a) % static_cast<std::int32_t>(b));
+    BC_NEXT();
+  }
+  BC_CASE(Remu) {
+    const std::uint32_t b = xr[op->rs2];
+    xr[op->rd] = b == 0 ? xr[op->rs1] : xr[op->rs1] % b;
+    BC_NEXT();
+  }
+
+  BC_CASE(Fence) { BC_NEXT(); }
+  BC_CASE(Ecall) {
+    result.trap = Trap{TrapCause::kEcall, pc, 0};
+    goto env_exit;
+  }
+  BC_CASE(Ebreak) {
+    result.trap = Trap{TrapCause::kEbreak, pc, 0};
+    goto env_exit;
+  }
+  BC_CASE(Nop) { BC_NEXT(); }
+
+  BC_CASE(FusedLuiAddi) {
+    BC_FUSED_GUARD();
+    // Write order handles rd == rd2: the second component's result wins.
+    xr[op->rd] = static_cast<std::uint32_t>(op->imm);
+    if (op->rs2 != 0) xr[op->rs2] = static_cast<std::uint32_t>(op->imm2);
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_TAIL();
+  }
+  BC_CASE(FusedAuipcAddi) {
+    BC_FUSED_GUARD();
+    xr[op->rd] = pc + static_cast<std::uint32_t>(op->imm);
+    if (op->rs2 != 0)
+      xr[op->rs2] = pc + static_cast<std::uint32_t>(op->imm2);
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_TAIL();
+  }
+  BC_CASE(FusedAuipcLw) {
+    BC_FUSED_GUARD();
+    // auipc commits first; the load address is pc + imm + lw-offset
+    // = pc + imm2 (identical to reading the freshly written rd).
+    const std::uint32_t addr = pc + static_cast<std::uint32_t>(op->imm2);
+    xr[op->rd] = pc + static_cast<std::uint32_t>(op->imm);
+    std::uint32_t v;
+    if (!m.read32(addr, mode, v)) {
+      // Second component faults: the auipc has retired, the trap is the
+      // lw's own (pc + 4, faulting address), pc_ rests on the lw.
+      pc_ = pc + 4;
+      retired_ += pub_fuel - fuel + 1;
+      result.steps = max_steps - fuel + 2;
+      result.trap = Trap{TrapCause::kLoadAccessFault, pc + 4, addr};
+      goto tally;
+    }
+    if (op->rs2 != 0) xr[op->rs2] = v;
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_TAIL();
+  }
+
+  BC_CASE(FusedSltBeqz) {
+    BC_FUSED_CMP_BRANCH(static_cast<std::int32_t>(xr[op->rs1]) <
+                            static_cast<std::int32_t>(xr[op->rs2]),
+                        false);
+  }
+  BC_CASE(FusedSltBnez) {
+    BC_FUSED_CMP_BRANCH(static_cast<std::int32_t>(xr[op->rs1]) <
+                            static_cast<std::int32_t>(xr[op->rs2]),
+                        true);
+  }
+  BC_CASE(FusedSltuBeqz) {
+    BC_FUSED_CMP_BRANCH(xr[op->rs1] < xr[op->rs2], false);
+  }
+  BC_CASE(FusedSltuBnez) {
+    BC_FUSED_CMP_BRANCH(xr[op->rs1] < xr[op->rs2], true);
+  }
+  BC_CASE(FusedSltiBeqz) {
+    BC_FUSED_CMP_BRANCH(
+        static_cast<std::int32_t>(xr[op->rs1]) < op->imm, false);
+  }
+  BC_CASE(FusedSltiBnez) {
+    BC_FUSED_CMP_BRANCH(
+        static_cast<std::int32_t>(xr[op->rs1]) < op->imm, true);
+  }
+  BC_CASE(FusedSltiuBeqz) {
+    BC_FUSED_CMP_BRANCH(
+        xr[op->rs1] < static_cast<std::uint32_t>(op->imm), false);
+  }
+  BC_CASE(FusedSltiuBnez) {
+    BC_FUSED_CMP_BRANCH(
+        xr[op->rs1] < static_cast<std::uint32_t>(op->imm), true);
+  }
+
+  // addi+beqz/bnez: the decrement-and-loop idiom. The sum commits to rd
+  // and the branch tests the fresh value against zero.
+  BC_CASE(FusedAddiBeqz) {
+    BC_FUSED_GUARD();
+    const std::uint32_t t =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    xr[op->rd] = t;
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_BRANCH_TAIL(t == 0);
+  }
+  BC_CASE(FusedAddiBnez) {
+    BC_FUSED_GUARD();
+    const std::uint32_t t =
+        xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    xr[op->rd] = t;
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_BRANCH_TAIL(t != 0);
+  }
+
+  // Rotate halves: both shifts of the shared, un-clobbered source. The
+  // second destination may be x0 (skip) or alias rd (last write wins).
+  BC_CASE(FusedSlliSrli) {
+    BC_FUSED_GUARD();
+    const std::uint32_t x = xr[op->rs1];
+    xr[op->rd] = x << op->imm;
+    if (op->rs2 != 0) xr[op->rs2] = x >> op->imm2;
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_TAIL();
+  }
+  BC_CASE(FusedSrliSlli) {
+    BC_FUSED_GUARD();
+    const std::uint32_t x = xr[op->rs1];
+    xr[op->rd] = x >> op->imm;
+    if (op->rs2 != 0) xr[op->rs2] = x << op->imm2;
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_TAIL();
+  }
+  // Paired pointer bumps: independent addis (fusion requires the second
+  // to self-update a register the first does not write, and rd != x0).
+  BC_CASE(FusedAddiAddi) {
+    BC_FUSED_GUARD();
+    xr[op->rd] = xr[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    xr[op->rs2] += static_cast<std::uint32_t>(op->imm2);
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_TAIL();
+  }
+
+  // ARX rotate-then-mix: commit the or, forward its value to the xor in a
+  // host register (no round trip through the register file). imm is the
+  // xor's other source (read AFTER the rd commit, so aliasing is exact);
+  // imm2 is the xor's destination, x0 = skip.
+  BC_CASE(FusedOrXor) {
+    BC_FUSED_GUARD();
+    const std::uint32_t t = xr[op->rs1] | xr[op->rs2];
+    xr[op->rd] = t;
+    if (op->imm2 != 0) xr[op->imm2] = t ^ xr[op->imm];
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_TAIL();
+  }
+  BC_CASE(FusedOrXori) {
+    BC_FUSED_GUARD();
+    const std::uint32_t t = xr[op->rs1] | xr[op->rs2];
+    xr[op->rd] = t;
+    if (op->imm2 != 0)
+      xr[op->imm2] = t ^ static_cast<std::uint32_t>(op->imm);
+    CONVOLVE_TELEMETRY_ONLY(++fused_n;)
+    BC_FUSED_TAIL();
+  }
+
+#if !CONVOLVE_BC_THREADED
+    default:
+      result.trap = Trap{TrapCause::kIllegalInstruction, pc, 0};
+      goto trap_at_pc;
+  }
+#endif
+
+scalar_one:
+  // Split path: run exactly one instruction through the reference
+  // interpreter (publishing pending retires first so step() sees a
+  // consistent retired_), then resync. Used when a fused pair cannot run
+  // whole; the oracle executes the first component with its own
+  // semantics, and the next outer entry handles whatever follows —
+  // including the second component faulting on its own.
+  pc_ = pc;
+  retired_ += pub_fuel - fuel;
+  pub_fuel = fuel;
+  {
+    const auto trap = step();
+    if (trap) {
+      result.trap = *trap;
+      result.steps = max_steps - fuel + 1;
+      goto tally;
+    }
+  }
+  --fuel;
+  pub_fuel = fuel;
+  pc = pc_;
+  goto outer;
+
+env_exit:  // ecall/ebreak: retire, advance past the instruction
+  pc_ = pc + 4;
+  retired_ += pub_fuel - fuel + 1;
+  result.steps = max_steps - fuel + 1;
+  goto tally;
+
+trap_at_pc:  // non-retiring trap: pc_ stays on the trapping instruction
+  pc_ = pc;
+  retired_ += pub_fuel - fuel;
+  result.steps = max_steps - fuel + 1;
+  goto tally;
+
+sync_outer:  // leave the dispatch loop, keep executing via a fresh window
+  pc_ = pc;
+  goto outer;
+
+budget_exit:
+  pc_ = pc;
+  retired_ += pub_fuel - fuel;
+  result.steps = max_steps - fuel;
+  goto tally;
+
+tally:
+  CONVOLVE_TELEMETRY_ONLY(fused_exec_ += fused_n;)
+  (void)fused_n;
+  return result;
+}
+
+#undef BC_CASE
+#undef BC_DISPATCH
+#undef BC_NEXT
+#undef BC_JUMP
+#undef BC_STORE_TAIL
+#undef BC_FUSED_GUARD
+#undef BC_FUSED_TAIL
+#undef BC_FUSED_BRANCH_TAIL
+#undef BC_FUSED_CMP_BRANCH
 
 // ---------------------------------------------------------------------
 // Encoders

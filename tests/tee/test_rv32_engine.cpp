@@ -1,9 +1,12 @@
-// Fast-engine validation: the decode-cache engine (Rv32Cpu::run) must be
-// bit-identical in architectural state to the reference interpreter
-// (Rv32Cpu::step / run_interpreted) — registers, pc, retired count, trap
-// cause/pc/tval and memory — under random instruction streams (valid and
-// mutated), PMP-restricted U-mode execution, self-modifying code, and PMP
-// reprogramming between runs.
+// Tri-engine validation: the decode-cache engine and the threaded
+// bytecode engine (Rv32Cpu::run) must both be bit-identical in
+// architectural state to the reference interpreter (Rv32Cpu::step /
+// run_interpreted) — registers, pc, retired count, trap cause/pc/tval and
+// memory — under random instruction streams (valid, mutated, and
+// fusion-pattern-seeded), PMP-restricted U-mode execution, self-modifying
+// code (including patches that land on the second half of a fused pair),
+// PMP reprogramming between runs, step budgets that end between fused-pair
+// halves, and code images that end on a non-4-byte-aligned tail.
 #include "convolve/tee/rv32.hpp"
 
 #include <gtest/gtest.h>
@@ -11,6 +14,7 @@
 #include <algorithm>
 
 #include "convolve/common/rng.hpp"
+#include "convolve/common/telemetry.hpp"
 
 namespace convolve::tee {
 namespace {
@@ -19,37 +23,63 @@ namespace rv = rv32asm;
 
 constexpr std::size_t kMemBytes = 1 << 16;
 
-// A reference machine/cpu and a fast machine/cpu kept in lock-step:
-// identical memory images, PMP programs and register files.
-struct DualCpu {
-  Machine ref_machine{kMemBytes};
-  Machine fast_machine{kMemBytes};
+// A reference machine/cpu plus one machine/cpu per fast tier, kept in
+// lock-step: identical memory images, PMP programs and register files.
+struct TriCpu {
+  Machine ref_machine;
+  Machine dc_machine;
+  Machine bc_machine;
   std::unique_ptr<Rv32Cpu> ref;
-  std::unique_ptr<Rv32Cpu> fast;
+  std::unique_ptr<Rv32Cpu> dc;
+  std::unique_ptr<Rv32Cpu> bc;
 
-  DualCpu(const Bytes& program, std::uint32_t load_addr, std::uint32_t entry,
-          PrivMode mode) {
+  TriCpu(const Bytes& program, std::uint32_t load_addr, std::uint32_t entry,
+         PrivMode mode, std::size_t mem_bytes = kMemBytes)
+      : ref_machine(mem_bytes), dc_machine(mem_bytes), bc_machine(mem_bytes) {
     ref_machine.store(load_addr, program, PrivMode::kMachine);
-    fast_machine.store(load_addr, program, PrivMode::kMachine);
+    dc_machine.store(load_addr, program, PrivMode::kMachine);
+    bc_machine.store(load_addr, program, PrivMode::kMachine);
     ref = std::make_unique<Rv32Cpu>(ref_machine, entry, mode);
-    fast = std::make_unique<Rv32Cpu>(fast_machine, entry, mode);
+    dc = std::make_unique<Rv32Cpu>(dc_machine, entry, mode);
+    bc = std::make_unique<Rv32Cpu>(bc_machine, entry, mode);
+    dc->set_engine(Rv32Engine::kDecodeCache);
+    bc->set_engine(Rv32Engine::kBytecode);
   }
 
   void set_pmp(int index, const PmpEntry& e) {
     ref_machine.pmp().set_entry(index, e);
-    fast_machine.pmp().set_entry(index, e);
+    dc_machine.pmp().set_entry(index, e);
+    bc_machine.pmp().set_entry(index, e);
   }
 
   void set_reg(int index, std::uint32_t value) {
     ref->set_reg(index, value);
-    fast->set_reg(index, value);
+    dc->set_reg(index, value);
+    bc->set_reg(index, value);
   }
 
-  // Run both engines with the same step budget and assert identical
+  void store_all(std::uint32_t addr, const Bytes& data) {
+    ref_machine.store(addr, data, PrivMode::kMachine);
+    dc_machine.store(addr, data, PrivMode::kMachine);
+    bc_machine.store(addr, data, PrivMode::kMachine);
+  }
+
+  // Run all three engines with the same step budget and assert identical
   // architectural state. Returns the (common) trap, if any.
-  std::optional<Trap> run_both(std::uint64_t max_steps) {
+  std::optional<Trap> run_all(std::uint64_t max_steps) {
     const auto r_ref = ref->run_interpreted(max_steps);
-    const auto r_fast = fast->run(max_steps);
+    const auto r_dc = dc->run(max_steps);
+    const auto r_bc = bc->run(max_steps);
+    compare("decode-cache", r_ref, r_dc, *dc, dc_machine);
+    compare("bytecode", r_ref, r_bc, *bc, bc_machine);
+    return r_ref.trap;
+  }
+
+ private:
+  void compare(const char* tier, const Rv32Cpu::RunResult& r_ref,
+               const Rv32Cpu::RunResult& r_fast, const Rv32Cpu& fast,
+               Machine& fast_machine) {
+    SCOPED_TRACE(tier);
     EXPECT_EQ(r_ref.steps, r_fast.steps);
     EXPECT_EQ(r_ref.trap.has_value(), r_fast.trap.has_value());
     if (r_ref.trap && r_fast.trap) {
@@ -58,30 +88,36 @@ struct DualCpu {
       EXPECT_EQ(r_ref.trap->pc, r_fast.trap->pc);
       EXPECT_EQ(r_ref.trap->tval, r_fast.trap->tval);
     }
-    EXPECT_EQ(ref->pc(), fast->pc());
-    EXPECT_EQ(ref->instructions_retired(), fast->instructions_retired());
+    EXPECT_EQ(ref->pc(), fast.pc());
+    EXPECT_EQ(ref->instructions_retired(), fast.instructions_retired());
     for (int i = 0; i < 32; ++i) {
-      EXPECT_EQ(ref->reg(i), fast->reg(i)) << "x" << i;
+      EXPECT_EQ(ref->reg(i), fast.reg(i)) << "x" << i;
     }
     const auto mem_ref = ref_machine.raw_memory();
     const auto mem_fast = fast_machine.raw_memory();
     EXPECT_TRUE(std::equal(mem_ref.begin(), mem_ref.end(), mem_fast.begin(),
                            mem_fast.end()))
         << "memory images diverged";
-    return r_ref.trap;
   }
 };
 
 // Random RV32IM instruction word generator: mostly-valid encodings with
-// random fields, a slice of fully random words, and a bit-flip mutator,
-// so both legal execution and illegal-encoding trap paths are exercised.
+// random fields, a slice of fully random words, a slice of fusible-pair
+// idioms (so the fuzz actually drives the fused handlers and their split
+// paths), and a bit-flip mutator, so legal execution, macro-op fusion and
+// illegal-encoding trap paths are all exercised.
 class InsnFuzzer {
  public:
   explicit InsnFuzzer(std::uint64_t seed) : rng_(seed) {}
 
   std::uint32_t next() {
+    if (pending_) {
+      const std::uint32_t second = *pending_;
+      pending_.reset();
+      return second;
+    }
     std::uint32_t word = 0;
-    switch (rng_.uniform(10)) {
+    switch (rng_.uniform(12)) {
       case 0: case 1: case 2: {  // R-type ALU / M (funct7 incl. reserved)
         const std::uint32_t funct7s[] = {0, 0, 0x20, 0x01, 0x05, 0x40};
         word = r_type(funct7s[rng_.uniform(6)], reg(), reg(),
@@ -121,6 +157,9 @@ class InsnFuzzer {
                (static_cast<std::uint32_t>(reg()) << 7) |
                (rng_.next_bit() ? 0x37u : 0x17u);
         break;
+      case 9: case 10:  // fusible-pair idioms (second word queued)
+        word = fusion_pair();
+        break;
       default:  // raw random word (usually illegal)
         word = static_cast<std::uint32_t>(rng_.next_u64());
         break;
@@ -130,6 +169,48 @@ class InsnFuzzer {
   }
 
  private:
+  // Emit the first word of a fused-pair idiom and queue the second. The
+  // register fields are random, so a slice of these pairs deliberately
+  // violates the fusion preconditions (rd == x0, rd aliasing rs1, second
+  // addi not a self-update, ...) and must be rejected by the recognizer
+  // yet still execute identically.
+  std::uint32_t fusion_pair() {
+    namespace rv = rv32asm;
+    const int a = reg(), b = reg(), c = reg(), d = reg();
+    const int sh1 = static_cast<int>(rng_.uniform(32));
+    const int sh2 = static_cast<int>(rng_.uniform(32));
+    const std::int32_t k1 = imm12(), k2 = imm12();
+    switch (rng_.uniform(8)) {
+      case 0:
+        pending_ = rv::addi(b, a, k2);
+        return rv::lui(a, static_cast<std::uint32_t>(rng_.uniform(1 << 20)));
+      case 1:  // pc-relative load via the data window
+        pending_ = rv::lw(b, a, static_cast<std::int32_t>(rng_.uniform(64)));
+        return rv::auipc(a, rng_.next_bit() ? 2u : 1u);
+      case 2:
+        pending_ = rv::srli(c, b, sh2);
+        return rv::slli(a, b, sh1);
+      case 3:
+        pending_ = rv::slli(c, b, sh2);
+        return rv::srli(a, b, sh1);
+      case 4:
+        pending_ = rv::addi(b, b, k2);
+        return rv::addi(a, c, k1);
+      case 5:
+        pending_ = rv::xor_(d, a, c);
+        return rv::or_(a, b, c);
+      case 6:
+        pending_ = rv::xori(d, a, k2);
+        return rv::or_(a, b, c);
+      default: {
+        const std::uint32_t cmp =
+            rng_.next_bit() ? rv::slti(a, b, k1) : rv::sltu(a, b, c);
+        pending_ = rng_.next_bit() ? rv::bne(a, 0, 8) : rv::beq(0, a, -4);
+        return cmp;
+      }
+    }
+  }
+
   int reg() { return static_cast<int>(rng_.uniform(32)); }
   int base_reg() { return rng_.next_bit() ? 1 : 2; }
   std::int32_t imm12() {
@@ -158,24 +239,27 @@ class InsnFuzzer {
   }
 
   Xoshiro256 rng_;
+  std::optional<std::uint32_t> pending_;
 };
+
+// --- Differential fuzz matrix (tentpole acceptance: >= 1k programs) ----
 
 TEST(Rv32Engine, DifferentialFuzzMachineMode) {
   Xoshiro256 seeds(0xF00DCAFEu);
-  for (int stream = 0; stream < 150; ++stream) {
+  for (int stream = 0; stream < 700; ++stream) {
     SCOPED_TRACE(stream);
     InsnFuzzer fuzz(seeds.next_u64());
     std::vector<std::uint32_t> program;
     for (int i = 0; i < 64; ++i) program.push_back(fuzz.next());
     program.push_back(rv::ebreak());
 
-    DualCpu d(rv::assemble(program), 0x1000, 0x1000, PrivMode::kMachine);
-    d.set_reg(1, 0x3000);  // data pointers for the load/store slices
-    d.set_reg(2, 0x3800);
+    TriCpu t(rv::assemble(program), 0x1000, 0x1000, PrivMode::kMachine);
+    t.set_reg(1, 0x3000);  // data pointers for the load/store slices
+    t.set_reg(2, 0x3800);
     // Resume across resumable traps so streams with early ecalls still
     // exercise deep instruction counts.
     for (int resumes = 0; resumes < 4; ++resumes) {
-      const auto trap = d.run_both(400);
+      const auto trap = t.run_all(400);
       if (!trap || (trap->cause != TrapCause::kEcall &&
                     trap->cause != TrapCause::kEbreak)) {
         break;
@@ -187,84 +271,391 @@ TEST(Rv32Engine, DifferentialFuzzMachineMode) {
 
 TEST(Rv32Engine, DifferentialFuzzUserModeUnderPmp) {
   Xoshiro256 seeds(0xBADF00Du);
-  for (int stream = 0; stream < 100; ++stream) {
+  for (int stream = 0; stream < 400; ++stream) {
     SCOPED_TRACE(stream);
     InsnFuzzer fuzz(seeds.next_u64());
     std::vector<std::uint32_t> program;
     for (int i = 0; i < 48; ++i) program.push_back(fuzz.next());
     program.push_back(rv::ebreak());
 
-    DualCpu d(rv::assemble(program), 0x1000, 0x1000, PrivMode::kUser);
+    TriCpu t(rv::assemble(program), 0x1000, 0x1000, PrivMode::kUser);
     // U-mode window [0x1000, 0x4000) RWX; x2 points outside it so a slice
     // of the loads/stores hits the PMP deny path.
     PmpEntry e;
     e.mode = PmpAddressMode::kNapot;
     e.address = PmpUnit::encode_napot(0, 0x4000);
     e.read = e.write = e.execute = true;
-    d.set_pmp(0, e);
-    d.set_reg(1, 0x3000);
-    d.set_reg(2, 0x8000);  // outside the PMP window: faults
-    d.run_both(400);
+    t.set_pmp(0, e);
+    t.set_reg(1, 0x3000);
+    t.set_reg(2, 0x8000);  // outside the PMP window: faults
+    t.run_all(400);
     if (::testing::Test::HasFailure()) break;
   }
 }
 
+// --- Trap-attribution parity (directed) --------------------------------
+
+TEST(Rv32Engine, BranchToMisalignedTargetTrapsAtTarget) {
+  // Taken branch to pc+6: the branch itself retires, the trap is deferred
+  // to the next fetch and attributed to the (misaligned) target address.
+  TriCpu t(rv::assemble({rv::beq(0, 0, 6), rv::ebreak()}), 0x1000, 0x1000,
+           PrivMode::kMachine);
+  const auto trap = t.run_all(10);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kMisalignedFetch);
+  EXPECT_EQ(trap->pc, 0x1006u);
+  EXPECT_EQ(t.bc->instructions_retired(), 1u);
+}
+
+TEST(Rv32Engine, JalToMisalignedTargetTrapsAtTarget) {
+  TriCpu t(rv::assemble({rv::jal(1, 6), rv::ebreak()}), 0x1000, 0x1000,
+           PrivMode::kMachine);
+  const auto trap = t.run_all(10);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kMisalignedFetch);
+  EXPECT_EQ(trap->pc, 0x1006u);
+  EXPECT_EQ(t.bc->reg(1), 0x1004u);  // link register still written
+}
+
+TEST(Rv32Engine, JalrClearsBit0ButTrapsOnBit1) {
+  // JALR zeroes bit 0 of the computed target (spec) but bit 1 survives
+  // and must produce a misaligned-fetch trap attributed to the target.
+  TriCpu t(rv::assemble({rv::jalr(5, 6, 0), rv::ebreak()}), 0x1000, 0x1000,
+           PrivMode::kMachine);
+  t.set_reg(6, 0x1007);  // target = 0x1007 & ~1 = 0x1006
+  const auto trap = t.run_all(10);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kMisalignedFetch);
+  EXPECT_EQ(trap->pc, 0x1006u);
+  EXPECT_EQ(t.bc->reg(5), 0x1004u);
+}
+
+TEST(Rv32Engine, JalrWithRdEqualRs1UsesOldValueForTarget) {
+  // jalr x1, x1, 0x20: the target must be computed from the OLD x1 before
+  // the link address overwrites it.
+  std::vector<std::uint32_t> program(16, rv::nop());
+  program[0] = rv::jalr(1, 1, 0x20);
+  program[8] = rv::ebreak();  // 0x1000 + 0x20
+  TriCpu t(rv::assemble(program), 0x1000, 0x1000, PrivMode::kMachine);
+  t.set_reg(1, 0x1000);
+  const auto trap = t.run_all(10);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kEbreak);
+  EXPECT_EQ(trap->pc, 0x1020u);
+  EXPECT_EQ(t.bc->reg(1), 0x1004u);
+}
+
+// --- Fused-pair semantics (directed) -----------------------------------
+
+TEST(Rv32Engine, FusedLuiAddiVariants) {
+  // Distinct destination, aliasing destination (addi rd == lui rd), and
+  // discarded second destination (addi rd == x0) — all must match the
+  // two-instruction reference exactly.
+  TriCpu t(rv::assemble({
+               rv::lui(1, 0x12345), rv::addi(2, 1, 0x678),   // x2 = 12345678
+               rv::lui(3, 0x0dead), rv::addi(3, 3, -0x111),  // alias rd
+               rv::lui(4, 0x0beef), rv::addi(0, 4, 0x0ff),   // rd2 == x0
+               rv::ebreak(),
+           }),
+           0x1000, 0x1000, PrivMode::kMachine);
+  const auto trap = t.run_all(100);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kEbreak);
+  EXPECT_EQ(t.bc->reg(2), 0x12345678u);
+  EXPECT_EQ(t.bc->reg(3), 0x0deacEEFu);
+  EXPECT_EQ(t.bc->reg(0), 0u);
+  EXPECT_EQ(t.bc->instructions_retired(), 7u);
+}
+
+TEST(Rv32Engine, FusedAuipcLwFaultAttributesSecondComponent) {
+  // auipc x1 commits and retires; the fused lw faults. The trap must name
+  // the lw's pc (pair pc + 4) and the faulting data address, and the step
+  // count must include the faulting attempt.
+  TriCpu t(rv::assemble({rv::auipc(1, 0x20), rv::lw(2, 1, 0), rv::ebreak()}),
+           0x1000, 0x1000, PrivMode::kMachine);
+  const auto trap = t.run_all(10);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kLoadAccessFault);
+  EXPECT_EQ(trap->pc, 0x1004u);
+  EXPECT_EQ(trap->tval, 0x21000u);       // beyond the 64 KB machine
+  EXPECT_EQ(t.bc->reg(1), 0x21000u);     // first component committed
+  EXPECT_EQ(t.bc->instructions_retired(), 1u);
+}
+
+TEST(Rv32Engine, FusedCmpBranchTakenNotTakenAndMisaligned) {
+  // slti+bnez taken and not-taken legs, then a fused pair whose branch
+  // target is misaligned: the pair retires and the trap lands on the
+  // target address, exactly like the unfused reference.
+  TriCpu t(rv::assemble({
+               rv::slti(1, 0, 1),   // x1 = (0 < 1) = 1
+               rv::bne(1, 0, 12),   // taken -> 0x1010
+               rv::ebreak(),        // skipped
+               rv::ebreak(),        // skipped
+               rv::slti(2, 0, 0),   // 0x1010: x2 = 0
+               rv::bne(2, 0, 8),    // not taken
+               rv::slti(3, 0, 1),   // 0x1018: x3 = 1
+               rv::bne(3, 0, 6),    // taken -> 0x1022 (misaligned)
+               rv::ebreak(),
+           }),
+           0x1000, 0x1000, PrivMode::kMachine);
+  const auto trap = t.run_all(100);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kMisalignedFetch);
+  EXPECT_EQ(trap->pc, 0x1022u);
+  EXPECT_EQ(t.bc->reg(1), 1u);
+  EXPECT_EQ(t.bc->reg(2), 0u);
+  EXPECT_EQ(t.bc->reg(3), 1u);
+}
+
+TEST(Rv32Engine, FusedPairSplitAtBudgetBoundary) {
+  // An odd step budget that expires between the two halves of a fused
+  // pair: the engine must retire exactly the first half and leave pc on
+  // the second component, like the single-stepping reference.
+  std::vector<std::uint32_t> program;
+  for (int i = 0; i < 8; ++i) {
+    program.push_back(rv::slli(1, 8, 3));
+    program.push_back(rv::srli(2, 8, 29));
+  }
+  program.push_back(rv::ebreak());
+  TriCpu t(rv::assemble(program), 0x1000, 0x1000, PrivMode::kMachine);
+  t.set_reg(8, 0x80000001u);
+  t.run_all(5);  // ends after the first half of the third pair
+  EXPECT_EQ(t.bc->pc(), 0x1014u);
+  EXPECT_EQ(t.bc->instructions_retired(), 5u);
+  t.run_all(100);  // resume mid-pair and finish
+  EXPECT_EQ(t.bc->reg(1), 0x80000001u << 3);
+  EXPECT_EQ(t.bc->reg(2), 0x80000001u >> 29);
+}
+
+TEST(Rv32Engine, SmcPatchesSecondHalfOfFusedPair) {
+  // The loop executes a fused lui+addi pair, then stores a new addi word
+  // over the pair's second half (bumping the page version mid-run) and
+  // re-executes it: the engine must re-decode and apply the patched
+  // immediate instead of replaying the stale fused pair.
+  TriCpu t(rv::assemble({
+               rv::auipc(1, 0),       // 0x1000: x1 = 0x1000
+               rv::lw(3, 1, 0x100),   // 0x1004: x3 = patch word
+               rv::jal(0, 0x28),      // 0x1008: -> 0x1030
+               rv::nop(), rv::nop(), rv::nop(), rv::nop(),
+               rv::nop(), rv::nop(), rv::nop(), rv::nop(), rv::nop(),
+               rv::lui(5, 1),         // 0x1030: fused pair, first half
+               rv::addi(6, 5, 0x100), // 0x1034: patched to addi(6,5,0x200)
+               rv::bne(7, 0, 0x10),   // 0x1038: second pass -> 0x1048
+               rv::addi(7, 0, 1),     // 0x103c
+               rv::sw(3, 1, 0x34),    // 0x1040: patch [0x1034]
+               rv::jal(0, -0x14),     // 0x1044: -> 0x1030
+               rv::ebreak(),          // 0x1048
+           }),
+           0x1000, 0x1000, PrivMode::kMachine);
+  t.store_all(0x1100, rv::assemble({rv::addi(6, 5, 0x200)}));
+  const auto trap = t.run_all(100);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kEbreak);
+  EXPECT_EQ(t.bc->reg(6), 0x1200u);  // patched immediate, not 0x1100
+}
+
+TEST(Rv32Engine, FusiblePairAtPageEdgeIsNotFused) {
+  // lui at 0x1ffc and addi at 0x2000 sit in different decoded pages, so
+  // the pair must execute unfused (no cross-page fusion) and still match.
+#if CONVOLVE_TELEMETRY_ENABLED
+  const std::uint64_t emitted0 =
+      telemetry::snapshot().counter_value("rv32.fusion.emitted");
+#endif
+  {
+    TriCpu t(rv::assemble({
+                 rv::addi(3, 0, 7),      // 0x1ff8
+                 rv::lui(1, 0x12345),    // 0x1ffc: last slot of page 0x1000
+                 rv::addi(2, 1, 0x678),  // 0x2000: first slot of page 0x2000
+                 rv::ebreak(),           // 0x2004
+             }),
+             0x1ff8, 0x1ff8, PrivMode::kMachine);
+    const auto trap = t.run_all(100);
+    ASSERT_TRUE(trap.has_value());
+    EXPECT_EQ(trap->cause, TrapCause::kEbreak);
+    EXPECT_EQ(t.bc->reg(2), 0x12345678u);
+    t.bc->flush_telemetry();
+  }
+#if CONVOLVE_TELEMETRY_ENABLED
+  const std::uint64_t emitted1 =
+      telemetry::snapshot().counter_value("rv32.fusion.emitted");
+  EXPECT_EQ(emitted1, emitted0) << "pair straddling the page edge was fused";
+#endif
+}
+
+TEST(Rv32Engine, PmpExecuteWindowEndsBetweenFusedPairHalves) {
+  // U-mode execute permission covers [0x1000, 0x1800). The pair halves at
+  // 0x17fc / 0x1800 share a decoded page (so they fuse at decode time),
+  // but the second fetch is outside the window: the first half must
+  // commit and retire, and the trap must name 0x1800.
+  std::vector<std::uint32_t> program(513, rv::nop());  // 0x17f8..0x2000
+  program[0] = rv::addi(3, 0, 9);      // 0x17f8
+  program[1] = rv::lui(1, 2);          // 0x17fc
+  program[2] = rv::addi(2, 1, 4);      // 0x1800 (outside exec window)
+  TriCpu t(rv::assemble(program), 0x17f8, 0x17f8, PrivMode::kUser);
+  PmpEntry code;
+  code.mode = PmpAddressMode::kNapot;
+  code.address = PmpUnit::encode_napot(0x1000, 0x800);
+  code.read = code.write = code.execute = true;
+  t.set_pmp(0, code);
+  const auto trap = t.run_all(10);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kInstructionAccessFault);
+  EXPECT_EQ(trap->pc, 0x1800u);
+  EXPECT_EQ(t.bc->reg(1), 0x2000u);  // lui committed
+  EXPECT_EQ(t.bc->instructions_retired(), 2u);
+}
+
+TEST(Rv32Engine, FusedAndUnfusedRetireIdenticalCounts) {
+  // The Keccak-style rotate/mix loop is fusion-dense; retired counts and
+  // state must match the reference exactly, and (telemetry builds) the
+  // bytecode tier must actually have executed fused pairs.
+#if CONVOLVE_TELEMETRY_ENABLED
+  const std::uint64_t fused0 =
+      telemetry::snapshot().counter_value("rv32.fusion.pairs");
+#endif
+  {
+    TriCpu t(rv::assemble({
+                 rv::addi(4, 0, 100),    // loop counter
+                 rv::slli(1, 8, 7),      // 0x1004: rotate halves
+                 rv::srli(2, 8, 25),
+                 rv::or_(3, 1, 2),       // combine
+                 rv::xori(8, 3, 0x55),   // mix back into source
+                 rv::addi(4, 4, -1),
+                 rv::bne(4, 0, -20),     // -> 0x1004
+                 rv::ebreak(),
+             }),
+             0x1000, 0x1000, PrivMode::kMachine);
+    t.set_reg(8, 0xdeadbeefu);
+    const auto trap = t.run_all(10000);
+    ASSERT_TRUE(trap.has_value());
+    EXPECT_EQ(trap->cause, TrapCause::kEbreak);
+    EXPECT_EQ(t.bc->instructions_retired(), t.ref->instructions_retired());
+    t.bc->flush_telemetry();
+  }
+#if CONVOLVE_TELEMETRY_ENABLED
+  const std::uint64_t fused1 =
+      telemetry::snapshot().counter_value("rv32.fusion.pairs");
+  EXPECT_GT(fused1, fused0) << "bytecode tier executed no fused pairs";
+#endif
+}
+
+// --- Decode-cache associativity (directed regression) ------------------
+
+TEST(Rv32Engine, AliasingPagesCoexistInTwoWaySet) {
+  // Pages 0x1000 and 0x9000 map to the same cache set (8 sets x 4 KB).
+  // A call loop ping-ponging between them must decode each page exactly
+  // once — the direct-mapped cache this regression pins against evicted
+  // on every transfer and re-decoded ~2N times.
+  Machine m(kMemBytes);
+  m.store(0x1000,
+          rv::assemble({
+              rv::addi(5, 5, -1),   // 0x1000
+              rv::jal(1, 0x7ffc),   // 0x1004: -> 0x9000
+              rv::bne(5, 0, -8),    // 0x1008: -> 0x1000
+              rv::ebreak(),         // 0x100c
+          }),
+          PrivMode::kMachine);
+  m.store(0x9000, rv::assemble({rv::jalr(0, 1, 0)}), PrivMode::kMachine);
+#if CONVOLVE_TELEMETRY_ENABLED
+  const std::uint64_t misses0 =
+      telemetry::snapshot().counter_value("rv32.decode_cache.misses");
+#endif
+  Rv32Cpu cpu(m, 0x1000, PrivMode::kMachine);
+  cpu.set_reg(5, 50);
+  const auto result = cpu.run(10000);
+  ASSERT_TRUE(result.trap.has_value());
+  EXPECT_EQ(result.trap->cause, TrapCause::kEbreak);
+  EXPECT_EQ(cpu.reg(5), 0u);
+  cpu.flush_telemetry();
+#if CONVOLVE_TELEMETRY_ENABLED
+  const std::uint64_t misses1 =
+      telemetry::snapshot().counter_value("rv32.decode_cache.misses");
+  EXPECT_EQ(misses1 - misses0, 2u)
+      << "aliasing pages should decode once each, not ping-pong";
+#endif
+}
+
+// --- Non-4-byte-aligned memory tail ------------------------------------
+
+TEST(Rv32Engine, TruncatedTailWordFaultsNotDecodes) {
+  // A machine whose memory ends mid-instruction (0x1806 bytes): executing
+  // into the 2-byte tail must raise an access fault on every tier, never
+  // decode a partial word.
+  TriCpu t(rv::assemble({rv::addi(1, 1, 1)}), 0x1800, 0x1800,
+           PrivMode::kMachine, 0x1806);
+  const auto trap = t.run_all(10);
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->cause, TrapCause::kInstructionAccessFault);
+  EXPECT_EQ(trap->pc, 0x1804u);
+  EXPECT_EQ(t.bc->reg(1), 1u);
+  EXPECT_EQ(t.bc->instructions_retired(), 1u);
+}
+
+TEST(Rv32Engine, DefaultDecodedSlotsTrapIllegal) {
+  // The filler slots past a truncated tail are default-constructed; both
+  // decoded representations must denote an illegal instruction so a
+  // stray fetch into them traps instead of executing garbage.
+  EXPECT_EQ(DecodedInsn{}.kind, OpKind::kIllegal);
+  EXPECT_EQ(BcOp{}.handler, static_cast<std::uint8_t>(BcHandler::kIllegal));
+}
+
+// --- Carried-over engine/system tests ----------------------------------
+
 TEST(Rv32Engine, SelfModifyingCodeInvalidatesDecodeCache) {
   // The program patches a nop four instructions ahead with
-  // `addi x5, x0, 42` and then executes it: the fast engine must detect
+  // `addi x5, x0, 42` and then executes it: the fast engines must detect
   // the store to the executable page and re-decode instead of running
   // the stale cached nop.
   const std::uint32_t patch = rv::addi(5, 0, 42);
   ASSERT_EQ(patch, 0x02a00293u);
-  DualCpu d(rv::assemble({
-                rv::auipc(1, 0),          // 0x1000: x1 = 0x1000
-                rv::lui(3, 0x02a00),      // 0x1004: x3 = patch word
-                rv::addi(3, 3, 0x293),    // 0x1008
-                rv::sw(3, 1, 0x14),       // 0x100c: patch [0x1014]
-                rv::nop(),                // 0x1010
-                rv::nop(),                // 0x1014 <- becomes addi x5,x0,42
-                rv::ebreak(),             // 0x1018
-            }),
-            0x1000, 0x1000, PrivMode::kMachine);
-  // Warm the decode cache with the pre-patch page image first.
-  const auto trap = d.run_both(100);
+  TriCpu t(rv::assemble({
+               rv::auipc(1, 0),          // 0x1000: x1 = 0x1000
+               rv::lui(3, 0x02a00),      // 0x1004: x3 = patch word
+               rv::addi(3, 3, 0x293),    // 0x1008
+               rv::sw(3, 1, 0x14),       // 0x100c: patch [0x1014]
+               rv::nop(),                // 0x1010
+               rv::nop(),                // 0x1014 <- becomes addi x5,x0,42
+               rv::ebreak(),             // 0x1018
+           }),
+           0x1000, 0x1000, PrivMode::kMachine);
+  const auto trap = t.run_all(100);
   ASSERT_TRUE(trap.has_value());
   EXPECT_EQ(trap->cause, TrapCause::kEbreak);
-  EXPECT_EQ(d.fast->reg(5), 42u);
+  EXPECT_EQ(t.bc->reg(5), 42u);
 }
 
 TEST(Rv32Engine, ExecutionAcrossPageBoundary) {
   // A straight-line program whose body crosses the 0x2000 page boundary:
-  // the fast engine must chain decoded pages without losing state.
+  // the fast engines must chain decoded pages without losing state.
   std::vector<std::uint32_t> program;
   for (int i = 0; i < 8; ++i) program.push_back(rv::addi(6, 6, 1));
   program.push_back(rv::ebreak());
-  DualCpu d(rv::assemble(program), 0x1fe8, 0x1fe8, PrivMode::kMachine);
-  const auto trap = d.run_both(100);
+  TriCpu t(rv::assemble(program), 0x1fe8, 0x1fe8, PrivMode::kMachine);
+  const auto trap = t.run_all(100);
   ASSERT_TRUE(trap.has_value());
   EXPECT_EQ(trap->cause, TrapCause::kEbreak);
-  EXPECT_EQ(d.fast->reg(6), 8u);
+  EXPECT_EQ(t.bc->reg(6), 8u);
 }
 
 TEST(Rv32Engine, PmpReprogramBetweenRunsIsRespected) {
   // The memoized PMP windows are keyed by the PMP epoch: revoking execute
   // permission between run() calls must fault the very next fetch.
-  DualCpu d(rv::assemble({rv::addi(1, 1, 1), rv::ecall(),
-                          rv::addi(1, 1, 1), rv::ebreak()}),
-            0x1000, 0x1000, PrivMode::kUser);
+  TriCpu t(rv::assemble({rv::addi(1, 1, 1), rv::ecall(),
+                         rv::addi(1, 1, 1), rv::ebreak()}),
+           0x1000, 0x1000, PrivMode::kUser);
   PmpEntry e;
   e.mode = PmpAddressMode::kNapot;
   e.address = PmpUnit::encode_napot(0x1000, 0x1000);
   e.read = e.write = e.execute = true;
-  d.set_pmp(0, e);
+  t.set_pmp(0, e);
 
-  auto trap = d.run_both(100);
+  auto trap = t.run_all(100);
   ASSERT_TRUE(trap.has_value());
   EXPECT_EQ(trap->cause, TrapCause::kEcall);
 
   e.execute = false;  // revoke X, keep RW
-  d.set_pmp(0, e);
-  trap = d.run_both(100);
+  t.set_pmp(0, e);
+  trap = t.run_all(100);
   ASSERT_TRUE(trap.has_value());
   EXPECT_EQ(trap->cause, TrapCause::kInstructionAccessFault);
   EXPECT_EQ(trap->pc, 0x1008u);
@@ -273,9 +664,9 @@ TEST(Rv32Engine, PmpReprogramBetweenRunsIsRespected) {
 TEST(Rv32Engine, MemoizedDataWindowInvalidatedOnReprogram) {
   // Load succeeds through the memoized read window, then read permission
   // is revoked: the next load must fault, not hit a stale memo.
-  DualCpu d(rv::assemble({rv::lw(3, 1, 0), rv::ecall(),
-                          rv::lw(4, 1, 0), rv::ebreak()}),
-            0x1000, 0x1000, PrivMode::kUser);
+  TriCpu t(rv::assemble({rv::lw(3, 1, 0), rv::ecall(),
+                         rv::lw(4, 1, 0), rv::ebreak()}),
+           0x1000, 0x1000, PrivMode::kUser);
   PmpEntry code;
   code.mode = PmpAddressMode::kNapot;
   code.address = PmpUnit::encode_napot(0x1000, 0x1000);
@@ -284,25 +675,25 @@ TEST(Rv32Engine, MemoizedDataWindowInvalidatedOnReprogram) {
   data.mode = PmpAddressMode::kNapot;
   data.address = PmpUnit::encode_napot(0x3000, 0x1000);
   data.read = true;
-  d.set_pmp(0, code);
-  d.set_pmp(1, data);
-  d.set_reg(1, 0x3000);
+  t.set_pmp(0, code);
+  t.set_pmp(1, data);
+  t.set_reg(1, 0x3000);
 
-  auto trap = d.run_both(100);
+  auto trap = t.run_all(100);
   ASSERT_TRUE(trap.has_value());
   EXPECT_EQ(trap->cause, TrapCause::kEcall);
 
   data.read = false;
-  d.set_pmp(1, data);
-  trap = d.run_both(100);
+  t.set_pmp(1, data);
+  trap = t.run_all(100);
   ASSERT_TRUE(trap.has_value());
   EXPECT_EQ(trap->cause, TrapCause::kLoadAccessFault);
   EXPECT_EQ(trap->tval, 0x3000u);
 }
 
-TEST(Rv32Engine, FastEngineMatchesLegacyOnStructuredLoop) {
+TEST(Rv32Engine, FastEnginesMatchLegacyOnStructuredLoop) {
   // The memcpy-style loop from the interpreter suite, with byte-level
-  // loads/stores: identical final state on both engines.
+  // loads/stores: identical final state on all engines.
   const auto program = rv::assemble({
       rv::lui(1, 0x3), rv::lui(2, 0x3), rv::addi(2, 2, 0x7ff),
       rv::addi(2, 2, 1), rv::addi(3, 0, 64),
@@ -310,17 +701,16 @@ TEST(Rv32Engine, FastEngineMatchesLegacyOnStructuredLoop) {
       rv::addi(2, 2, 1), rv::addi(3, 3, -1), rv::bne(3, 0, -20),
       rv::ebreak(),
   });
-  DualCpu d(program, 0x1000, 0x1000, PrivMode::kMachine);
+  TriCpu t(program, 0x1000, 0x1000, PrivMode::kMachine);
   Bytes src(64);
   for (std::size_t i = 0; i < src.size(); ++i) {
     src[i] = static_cast<std::uint8_t>(i * 7 + 3);
   }
-  d.ref_machine.store(0x3000, src, PrivMode::kMachine);
-  d.fast_machine.store(0x3000, src, PrivMode::kMachine);
-  const auto trap = d.run_both(10000);
+  t.store_all(0x3000, src);
+  const auto trap = t.run_all(10000);
   ASSERT_TRUE(trap.has_value());
   EXPECT_EQ(trap->cause, TrapCause::kEbreak);
-  EXPECT_EQ(d.fast_machine.load(0x3800, 64, PrivMode::kMachine), src);
+  EXPECT_EQ(t.bc_machine.load(0x3800, 64, PrivMode::kMachine), src);
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Macro-op fusion recognizer unit tests: fuse_rv32() must accept exactly
+// the documented adjacent-pair idioms, pack the operand fields the
+// handlers expect (including the pre-biased branch offset), and reject
+// every precondition violation — rd == x0, source aliasing that would
+// change semantics, second components that read the wrong register, and
+// non-zero-test branches. bytecode_single() is covered for its kNop and
+// illegal-slot rewrites.
+#include <gtest/gtest.h>
+
+#include "convolve/tee/rv32.hpp"  // rv32asm encoders + rv32_decode.hpp
+
+namespace convolve::tee {
+namespace {
+
+namespace rv = rv32asm;
+
+// Decode two assembled words and run the fusion recognizer on them.
+bool try_fuse(std::uint32_t first, std::uint32_t second, BcOp& out) {
+  return fuse_rv32(decode_rv32(first), decode_rv32(second), out);
+}
+
+BcHandler handler(const BcOp& op) { return static_cast<BcHandler>(op.handler); }
+
+// --- Constant/address generation pairs ---------------------------------
+
+TEST(Rv32Fusion, LuiAddiFoldsBothConstants) {
+  BcOp op;
+  ASSERT_TRUE(try_fuse(rv::lui(1, 0x12345), rv::addi(2, 1, 0x678), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedLuiAddi);
+  EXPECT_EQ(op.rd, 1);
+  EXPECT_EQ(op.rs2, 2);  // second component's destination
+  EXPECT_EQ(op.imm, static_cast<std::int32_t>(0x12345000));
+  EXPECT_EQ(op.imm2, static_cast<std::int32_t>(0x12345678));
+}
+
+TEST(Rv32Fusion, AuipcAddiAndAuipcLw) {
+  BcOp op;
+  ASSERT_TRUE(try_fuse(rv::auipc(3, 0x1), rv::addi(4, 3, -8), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedAuipcAddi);
+  EXPECT_EQ(op.imm2, 0x1000 - 8);
+  ASSERT_TRUE(try_fuse(rv::auipc(3, 0x2), rv::lw(5, 3, 0x40), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedAuipcLw);
+  EXPECT_EQ(op.rs2, 5);
+  EXPECT_EQ(op.imm2, 0x2040);
+}
+
+TEST(Rv32Fusion, RejectsWhenSecondReadsDifferentRegister) {
+  BcOp op;
+  EXPECT_FALSE(try_fuse(rv::lui(1, 0x1), rv::addi(2, 3, 4), op));
+  EXPECT_FALSE(try_fuse(rv::auipc(1, 0x1), rv::lw(2, 3, 4), op));
+}
+
+TEST(Rv32Fusion, RejectsWhenFirstWritesX0) {
+  // a.rd == x0: the second component would read 0, not the produced
+  // value, so no pair may fuse.
+  BcOp op;
+  EXPECT_FALSE(try_fuse(rv::lui(0, 0x1), rv::addi(2, 0, 4), op));
+  EXPECT_FALSE(try_fuse(rv::or_(0, 1, 2), rv::xori(3, 0, 4), op));
+  EXPECT_FALSE(try_fuse(rv::slti(0, 1, 2), rv::bne(0, 0, 8), op));
+}
+
+// --- Compare-and-branch pairs ------------------------------------------
+
+TEST(Rv32Fusion, CmpBranchPacksPreBiasedOffset) {
+  // imm2 is the branch offset + 4 so the handler computes target =
+  // pair_pc + imm2 without re-reading the branch slot.
+  BcOp op;
+  ASSERT_TRUE(try_fuse(rv::slti(1, 2, 7), rv::bne(1, 0, -12), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedSltiBnez);
+  EXPECT_EQ(op.imm, 7);
+  EXPECT_EQ(op.imm2, -12 + 4);
+  ASSERT_TRUE(try_fuse(rv::sltu(5, 6, 7), rv::beq(0, 5, 16), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedSltuBeqz);
+  EXPECT_EQ(op.imm2, 16 + 4);
+}
+
+TEST(Rv32Fusion, AllCmpBranchVariantsRecognized) {
+  const struct {
+    std::uint32_t cmp;
+    BcHandler beqz, bnez;
+  } rows[] = {
+      {rv::slt(1, 2, 3), BcHandler::kFusedSltBeqz, BcHandler::kFusedSltBnez},
+      {rv::sltu(1, 2, 3), BcHandler::kFusedSltuBeqz, BcHandler::kFusedSltuBnez},
+      {rv::slti(1, 2, 3), BcHandler::kFusedSltiBeqz, BcHandler::kFusedSltiBnez},
+      {rv::sltiu(1, 2, 3), BcHandler::kFusedSltiuBeqz,
+       BcHandler::kFusedSltiuBnez},
+      {rv::addi(1, 2, 3), BcHandler::kFusedAddiBeqz, BcHandler::kFusedAddiBnez},
+  };
+  for (const auto& row : rows) {
+    BcOp op;
+    ASSERT_TRUE(try_fuse(row.cmp, rv::beq(1, 0, 8), op));
+    EXPECT_EQ(handler(op), row.beqz);
+    ASSERT_TRUE(try_fuse(row.cmp, rv::bne(1, 0, 8), op));
+    EXPECT_EQ(handler(op), row.bnez);
+  }
+}
+
+TEST(Rv32Fusion, RejectsBranchThatIsNotAZeroTest) {
+  BcOp op;
+  // Compares rd against a non-zero register, or a different register
+  // against zero: not a zero test of the produced flag.
+  EXPECT_FALSE(try_fuse(rv::slti(1, 2, 3), rv::bne(1, 4, 8), op));
+  EXPECT_FALSE(try_fuse(rv::slti(1, 2, 3), rv::beq(5, 0, 8), op));
+  // blt/bge are not fusible zero tests even against x0.
+  EXPECT_FALSE(try_fuse(rv::slti(1, 2, 3), rv::blt(1, 0, 8), op));
+}
+
+// --- Shift-pair (rotate) idioms ----------------------------------------
+
+TEST(Rv32Fusion, ShiftPairsPackBothShamts) {
+  BcOp op;
+  ASSERT_TRUE(try_fuse(rv::slli(1, 8, 3), rv::srli(2, 8, 29), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedSlliSrli);
+  EXPECT_EQ(op.rs1, 8);
+  EXPECT_EQ(op.rs2, 2);
+  EXPECT_EQ(op.imm, 3);
+  EXPECT_EQ(op.imm2, 29);
+  ASSERT_TRUE(try_fuse(rv::srli(1, 8, 7), rv::slli(2, 8, 25), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedSrliSlli);
+}
+
+TEST(Rv32Fusion, ShiftPairRejectsClobberedSource) {
+  // a.rd == a.rs1: the first shift overwrites the shared source, so the
+  // second shift would read the wrong value if fused.
+  BcOp op;
+  EXPECT_FALSE(try_fuse(rv::slli(8, 8, 3), rv::srli(2, 8, 29), op));
+  EXPECT_FALSE(try_fuse(rv::srli(8, 8, 3), rv::slli(2, 8, 29), op));
+  // Second shift reads a different source register entirely.
+  EXPECT_FALSE(try_fuse(rv::slli(1, 8, 3), rv::srli(2, 9, 29), op));
+}
+
+// --- Paired pointer bumps ----------------------------------------------
+
+TEST(Rv32Fusion, AddiAddiRequiresIndependentSelfUpdate)
+{
+  BcOp op;
+  ASSERT_TRUE(try_fuse(rv::addi(1, 2, 4), rv::addi(3, 3, -4), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedAddiAddi);
+  EXPECT_EQ(op.rs2, 3);  // the self-updating register
+  EXPECT_EQ(op.imm, 4);
+  EXPECT_EQ(op.imm2, -4);
+  // Second addi is not a self-update.
+  EXPECT_FALSE(try_fuse(rv::addi(1, 2, 4), rv::addi(3, 5, -4), op));
+  // Second addi self-updates the FIRST's destination (dependent).
+  EXPECT_FALSE(try_fuse(rv::addi(1, 2, 4), rv::addi(1, 1, -4), op));
+  // Second addi writes x0.
+  EXPECT_FALSE(try_fuse(rv::addi(1, 2, 4), rv::addi(0, 0, -4), op));
+}
+
+// --- ARX rotate-then-mix pairs -----------------------------------------
+
+TEST(Rv32Fusion, OrXorAcceptsEitherOperandOrder) {
+  BcOp op;
+  ASSERT_TRUE(try_fuse(rv::or_(1, 2, 3), rv::xor_(4, 1, 5), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedOrXor);
+  EXPECT_EQ(op.imm, 5);   // the xor's other source
+  EXPECT_EQ(op.imm2, 4);  // the xor's destination
+  ASSERT_TRUE(try_fuse(rv::or_(1, 2, 3), rv::xor_(4, 5, 1), op));
+  EXPECT_EQ(op.imm, 5);
+  // Both xor sources alias the or result: other source is rd itself.
+  ASSERT_TRUE(try_fuse(rv::or_(1, 2, 3), rv::xor_(4, 1, 1), op));
+  EXPECT_EQ(op.imm, 1);
+}
+
+TEST(Rv32Fusion, OrXoriPacksImmediate) {
+  BcOp op;
+  ASSERT_TRUE(try_fuse(rv::or_(1, 2, 3), rv::xori(4, 1, -0x123), op));
+  EXPECT_EQ(handler(op), BcHandler::kFusedOrXori);
+  EXPECT_EQ(op.imm, -0x123);
+  EXPECT_EQ(op.imm2, 4);
+  // The xori reads some other register: no forwarding possible.
+  EXPECT_FALSE(try_fuse(rv::or_(1, 2, 3), rv::xori(4, 5, 6), op));
+}
+
+// --- Single-slot rewrite -----------------------------------------------
+
+TEST(Rv32Fusion, BytecodeSingleRewritesX0WritesToNop) {
+  EXPECT_EQ(static_cast<BcHandler>(bytecode_single(decode_rv32(
+                rv::addi(0, 5, 42))).handler),
+            BcHandler::kNop);
+  EXPECT_EQ(static_cast<BcHandler>(bytecode_single(decode_rv32(
+                rv::lui(0, 0x123))).handler),
+            BcHandler::kNop);
+  // Loads with rd == x0 keep their access (fault semantics).
+  EXPECT_EQ(static_cast<BcHandler>(bytecode_single(decode_rv32(
+                rv::lw(0, 1, 0))).handler),
+            BcHandler::kLw);
+  // Jumps with rd == x0 keep their control transfer.
+  EXPECT_EQ(static_cast<BcHandler>(bytecode_single(decode_rv32(
+                rv::jal(0, 8))).handler),
+            BcHandler::kJal);
+}
+
+TEST(Rv32Fusion, IllegalWordKeepsRawEncodingAsTval) {
+  const std::uint32_t garbage = 0xffffffffu;
+  const BcOp op = bytecode_single(decode_rv32(garbage));
+  EXPECT_EQ(static_cast<BcHandler>(op.handler), BcHandler::kIllegal);
+  EXPECT_EQ(static_cast<std::uint32_t>(op.imm), garbage);
+}
+
+}  // namespace
+}  // namespace convolve::tee
