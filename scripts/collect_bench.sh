@@ -76,6 +76,9 @@ run bench_sca --unmasked-traces=1024 --min-masked-ratio=4 --sigma=0.5
 # lane-speedup evidence, and both must pass the same schema gate.
 run_as bench_sca_scalar bench_sca --lanes=1 \
     --unmasked-traces=1024 --min-masked-ratio=4 --sigma=0.5
+# Scaling gate auto-skips on hosts with fewer than 8 hardware threads;
+# the fork-speedup gate always applies.
+run bench_enclave_service --requests=128 --spawn-reps=32
 run bench_leakage_verify
 run bench_rv32static
 run bench_table1_dse

@@ -2,6 +2,8 @@
 // benchmark harnesses (trace averaging, separability measures, summaries).
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -92,5 +94,68 @@ double welch_t(const Welford& a, const Welford& b);
 /// y = (x - mean)^2, computed from central moments -- mean(y) = CM2 and
 /// var(y) = CM4 - CM2^2 (Schneider-Moradi leakage assessment methodology).
 double welch_t_centered_square(const Welford& a, const Welford& b);
+
+// Log2-histogram percentiles ---------------------------------------------
+//
+// The telemetry layer and the service latency tracking both bucket
+// unsigned values by std::bit_width: bucket 0 is exactly {0}, bucket
+// b >= 1 covers [2^(b-1), 2^b). A percentile over such buckets is defined
+// by the nearest-rank method with a conservative (upper-bound) answer:
+//
+//  * count == 0 -> 0 (no data);
+//  * rank = clamp(ceil(pct/100 * count), 1, count) -- so p0 is the rank-1
+//    sample and p100 the rank-count sample;
+//  * the result is the INCLUSIVE UPPER BOUND of the first bucket whose
+//    cumulative count reaches rank: 0 for bucket 0, 2^b - 1 for buckets
+//    1..63, and UINT64_MAX for bucket 64.
+//
+// Returning the bucket's upper bound makes the estimate a guaranteed
+// over-approximation of the true percentile (never "p99 looks fine" while
+// the real p99 is a bucket-width worse), at the cost of up to 2x
+// granularity error inherent to log2 bucketing.
+
+/// Inclusive upper bound of log2 bucket b (see above).
+constexpr std::uint64_t log2_bucket_upper_bound(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return ~0ull;
+  return (1ull << b) - 1;
+}
+
+/// Nearest-rank percentile (upper bucket bound) over 65 log2 buckets.
+/// `count` must equal the sum of `buckets` (callers that track the total
+/// separately pass it to avoid a re-sum); pct is in [0, 100].
+std::uint64_t log2_buckets_percentile(std::span<const std::uint64_t> buckets,
+                                      std::uint64_t count, double pct);
+
+/// Plain (non-atomic, non-registered) log2 histogram for code that wants
+/// percentile summaries without the telemetry registry -- e.g. per-request
+/// service latency folded serially after a parallel batch. Mirrors the
+/// telemetry::Histogram bucketing exactly so values can be compared across
+/// the two.
+struct Log2Histogram {
+  static constexpr int kBuckets = 65;  // bit_width of uint64 is 0..64
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  void record(std::uint64_t v) {
+    ++buckets[static_cast<std::size_t>(std::bit_width(v))];
+    ++count;
+    sum += v;
+  }
+  void merge(const Log2Histogram& other) {
+    for (int b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+    count += other.count;
+    sum += other.sum;
+  }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  std::uint64_t percentile(double pct) const {
+    return log2_buckets_percentile({buckets.data(), buckets.size()}, count,
+                                   pct);
+  }
+};
 
 }  // namespace convolve

@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "convolve/common/stats.hpp"
+
 namespace convolve::telemetry {
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
@@ -122,6 +124,20 @@ class Histogram : public Metric {
   }
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Nearest-rank percentile (inclusive upper bucket bound) -- the shared
+  /// log2_buckets_percentile contract from stats.hpp. Reads the buckets
+  /// relaxed, so concurrent record() calls may or may not be included.
+  std::uint64_t percentile(double pct) const {
+    std::array<std::uint64_t, kBuckets> copy;
+    std::uint64_t total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      copy[static_cast<std::size_t>(b)] = bucket(b);
+      total += copy[static_cast<std::size_t>(b)];
+    }
+    return log2_buckets_percentile({copy.data(), copy.size()}, total, pct);
+  }
+
   void reset();
 
  private:
@@ -151,6 +167,11 @@ struct MetricsSnapshot {
   const Entry* find(const std::string& name) const;
   /// Counter value by name, 0 when absent.
   std::uint64_t counter_value(const std::string& name) const;
+  /// Nearest-rank percentile (upper bucket bound, log2_buckets_percentile
+  /// contract) of a snapshotted histogram; 0 when the metric is absent,
+  /// not a histogram, or empty.
+  std::uint64_t histogram_percentile(const std::string& name,
+                                     double pct) const;
   /// {"counters":{...},"gauges":{...},"histograms":{...}} -- the object the
   /// benches embed under the top-level "telemetry" key of their
   /// google-benchmark-style report.

@@ -6,6 +6,27 @@
 
 namespace convolve {
 
+std::uint64_t log2_buckets_percentile(std::span<const std::uint64_t> buckets,
+                                      std::uint64_t count, double pct) {
+  if (count == 0) return 0;
+  // Nearest rank: ceil(pct/100 * count), clamped into [1, count] so that
+  // pct <= 0 degenerates to the minimum sample and pct >= 100 to the max.
+  const double raw = std::ceil(pct / 100.0 * static_cast<double>(count));
+  std::uint64_t rank = raw < 1.0 ? 1 : static_cast<std::uint64_t>(raw);
+  rank = std::min(rank, count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) return log2_bucket_upper_bound(static_cast<int>(b));
+  }
+  // count overstated the bucket total; answer with the largest populated
+  // bucket rather than inventing data.
+  for (std::size_t b = buckets.size(); b-- > 0;) {
+    if (buckets[b] != 0) return log2_bucket_upper_bound(static_cast<int>(b));
+  }
+  return 0;
+}
+
 double mean(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
   double s = 0.0;

@@ -168,6 +168,22 @@ std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
   return (e && e->kind == MetricKind::kCounter) ? e->counter : 0;
 }
 
+std::uint64_t MetricsSnapshot::histogram_percentile(const std::string& name,
+                                                    double pct) const {
+  const Entry* e = find(name);
+  if (!e || e->kind != MetricKind::kHistogram) return 0;
+  // Entries keep only the nonzero buckets; rebuild the dense 65-bucket
+  // array so the shared nearest-rank core applies unchanged.
+  std::array<std::uint64_t, Histogram::kBuckets> dense{};
+  std::uint64_t total = 0;
+  for (const HistogramBucket& b : e->buckets) {
+    const int idx = Histogram::bucket_index(b.hi);
+    dense[static_cast<std::size_t>(idx)] += b.count;
+    total += b.count;
+  }
+  return log2_buckets_percentile({dense.data(), dense.size()}, total, pct);
+}
+
 MetricsSnapshot snapshot() {
   MetricsSnapshot snap;
   for (Metric* m = g_registry_head.load(std::memory_order_acquire); m;

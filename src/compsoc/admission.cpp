@@ -1,0 +1,62 @@
+#include "convolve/compsoc/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace convolve::compsoc {
+
+TdmAdmission::TdmAdmission(const Config& config) : config_(config) {
+  if (config_.period <= 0) {
+    throw std::invalid_argument("TdmAdmission: period must be positive");
+  }
+  if (config_.max_wait <= 0) {
+    throw std::invalid_argument("TdmAdmission: max_wait must be positive");
+  }
+  slot_owner_.assign(static_cast<std::size_t>(config_.period), -1);
+}
+
+int TdmAdmission::add_tenant(const std::vector<int>& slots) {
+  if (slots.empty()) {
+    throw std::invalid_argument("TdmAdmission: tenant needs >= 1 slot");
+  }
+  for (int s : slots) {
+    if (s < 0 || s >= config_.period) {
+      throw std::invalid_argument("TdmAdmission: slot " + std::to_string(s) +
+                                  " outside wheel");
+    }
+    if (slot_owner_[static_cast<std::size_t>(s)] != -1) {
+      throw std::invalid_argument("TdmAdmission: slot " + std::to_string(s) +
+                                  " already owned");
+    }
+  }
+  const int id = tenant_count_++;
+  for (int s : slots) slot_owner_[static_cast<std::size_t>(s)] = id;
+  return id;
+}
+
+TdmAdmission::Decision TdmAdmission::admit(int tenant) {
+  if (tenant < 0 || tenant >= tenant_count_) {
+    throw std::out_of_range("TdmAdmission: unknown tenant");
+  }
+  const int scan = std::min(config_.max_wait, config_.period);
+  for (int d = 0; d < scan; ++d) {
+    const int slot = (cursor_ + d) % config_.period;
+    if (slot_owner_[static_cast<std::size_t>(slot)] == tenant) {
+      cursor_ = (cursor_ + d + 1) % config_.period;
+      ++admitted_;
+      return {true, d};
+    }
+  }
+  ++rejected_;
+  return {false, scan};
+}
+
+double TdmAdmission::admitted_fraction() const {
+  const std::uint64_t total = admitted_ + rejected_;
+  return total == 0
+             ? 1.0
+             : static_cast<double>(admitted_) / static_cast<double>(total);
+}
+
+}  // namespace convolve::compsoc

@@ -1,0 +1,69 @@
+// TDM admission control for request-serving layers.
+//
+// The CompSOC platform arbitrates hardware resources with per-resource TDM
+// wheels (platform.hpp); this header reuses the same composability idea one
+// level up, as the admission/QoS layer of a request service: a wheel of
+// `period` slots is statically partitioned among tenants, and a request is
+// admitted only when its tenant owns a slot within the next `max_wait`
+// positions of the wheel. A tenant flooding the service can therefore only
+// ever consume its own slots -- other tenants' admission latency is bounded
+// by construction, the same guarantee TDM gives NoC traffic in the paper.
+//
+// Deliberately NOT thread-safe: the service serializes admission decisions
+// at submit() time (one wheel, one cursor), which both matches real TDM
+// hardware (a single arbiter scanning a wheel) and keeps decisions
+// deterministic for a given submission order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace convolve::compsoc {
+
+class TdmAdmission {
+ public:
+  struct Config {
+    int period = 8;    // slots on the wheel
+    int max_wait = 8;  // furthest slot ahead a request may wait for
+  };
+
+  struct Decision {
+    bool admitted = false;
+    // Slots the wheel advanced past before the tenant's slot came up
+    // (0 = the current slot was the tenant's). On rejection: the number of
+    // slots scanned without finding one, i.e. min(max_wait, period).
+    int wait_slots = 0;
+  };
+
+  explicit TdmAdmission(const Config& config);
+
+  /// Assign `slots` (wheel indices, 0 <= slot < period) to a new tenant
+  /// and return its id. Throws std::invalid_argument on out-of-range or
+  /// already-owned slots.
+  int add_tenant(const std::vector<int>& slots);
+
+  int tenant_count() const { return tenant_count_; }
+
+  /// Admission decision for one request from `tenant`. Scans the wheel
+  /// from the cursor, at most max_wait slots ahead: if one of them is the
+  /// tenant's, the wheel advances just past it and the request is
+  /// admitted; otherwise the cursor stays put (a rejected request consumes
+  /// no wheel time -- backpressure is free) and the caller should shed the
+  /// request. Throws std::out_of_range for an unknown tenant.
+  Decision admit(int tenant);
+
+  std::uint64_t admitted_count() const { return admitted_; }
+  std::uint64_t rejected_count() const { return rejected_; }
+  /// Admitted fraction of all decisions, 1.0 before any decision.
+  double admitted_fraction() const;
+
+ private:
+  Config config_;
+  std::vector<int> slot_owner_;  // -1 = unowned
+  int tenant_count_ = 0;
+  int cursor_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace convolve::compsoc

@@ -7,10 +7,19 @@
 // operates. The SimStack reproduces the paper's SM stack-size finding: the
 // ML-DSA signing working set overflows Keystone's default 8 KB per-core
 // stack, which the authors fixed by raising it to 128 KB.
+//
+// Copy-on-write forking: memory is addressed through per-page pointer
+// tables, so a Machine can be stamped out of a frozen MachineImage with
+// every page aliasing the image's bytes. The first write to a page copies
+// it into the fork's private backing store (see materialize_page); reads
+// and decode caches keep working on the shared bytes until then. A
+// non-forked Machine owns all of its pages from construction and pays no
+// extra cost beyond the one pointer indirection per access.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -71,23 +80,54 @@ class StackFrame {
   std::size_t bytes_;
 };
 
+/// Immutable frozen machine state (memory bytes, per-page store versions,
+/// PMP configuration) shared read-only by any number of CoW forks. Created
+/// via Machine::freeze(); forks alias its pages until their first write.
+/// The byte payload must never be mutated once forks exist -- forks read
+/// it concurrently without synchronization.
+struct MachineImage {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::uint32_t> page_versions;
+  PmpUnit pmp;
+};
+
 class Machine {
  public:
-  /// Memory page granule for decode-cache invalidation: every store bumps
-  /// the version counter of the page(s) it touches, so instruction caches
-  /// built over a page can be validated with one compare.
+  /// Memory page granule for decode-cache invalidation and CoW forking:
+  /// every store bumps the version counter of the page(s) it touches, so
+  /// instruction caches built over a page can be validated with one
+  /// compare, and forks copy pages at this granule on first write.
   static constexpr std::uint64_t kPageShift = 12;
   static constexpr std::uint64_t kPageBytes = 1ull << kPageShift;
+  static constexpr std::uint64_t kPageMask = kPageBytes - 1;
 
   explicit Machine(std::size_t memory_bytes);
+
+  /// Copy-on-write fork of a frozen image: every page aliases the image
+  /// until first write, page versions and the PMP configuration are
+  /// inherited, so decode caches keyed by (page, version) stay valid and
+  /// the fork starts in exactly the PMP view the image was frozen in.
+  explicit Machine(std::shared_ptr<const MachineImage> image);
+
 #if CONVOLVE_TELEMETRY_ENABLED
   ~Machine() { flush_telemetry(); }
 #endif
 
-  /// Publish the PMP-memo hit/miss tallies to the global telemetry
-  /// counters (rv32.pmp_memo.hits / rv32.pmp_memo.misses) and zero them.
-  /// Called from the destructor; call explicitly before snapshotting when
-  /// the Machine is still alive. No-op in CONVOLVE_TELEMETRY=OFF builds.
+  /// Freeze the current memory/versions/PMP into an immutable image that
+  /// CoW forks can be constructed from. Copies the memory once.
+  std::shared_ptr<const MachineImage> freeze() const;
+
+  /// True when this machine was forked from a MachineImage.
+  bool is_fork() const { return image_ != nullptr; }
+
+  /// Pages copied out of the shared image so far (0 for non-forks).
+  std::uint64_t cow_pages_materialized() const { return cow_materialized_; }
+
+  /// Publish the PMP-memo hit/miss and CoW tallies to the global telemetry
+  /// counters (rv32.pmp_memo.hits / rv32.pmp_memo.misses /
+  /// tee.cow.pages_materialized) and zero them. Called from the
+  /// destructor; call explicitly before snapshotting when the Machine is
+  /// still alive. No-op in CONVOLVE_TELEMETRY=OFF builds.
   void flush_telemetry() const;
 
   /// Credit `n` PMP-memo hits in batch. The hit path of access_ok is too
@@ -103,7 +143,7 @@ class Machine {
 
   PmpUnit& pmp() { return pmp_; }
   const PmpUnit& pmp() const { return pmp_; }
-  std::size_t memory_size() const { return memory_.size(); }
+  std::size_t memory_size() const { return size_; }
 
   /// PMP-checked accesses. Throw AccessFault on denial or out-of-range.
   void store(std::uint64_t addr, ByteView data, PrivMode mode);
@@ -132,39 +172,64 @@ class Machine {
   // case (same region, same mode) is a few compares instead of a 16-entry
   // scan. The memo is keyed by the PMP epoch and is therefore coherent
   // across PMP reprogramming (enter_os/enter_enclave context switches).
+  //
+  // Multi-byte accesses whose bytes stay within one page (the overwhelming
+  // majority) go straight through the page pointer; the rare page-crossing
+  // access splices bytes from both pages, which is also what makes the
+  // accessors correct on CoW forks where adjacent pages need not be
+  // adjacent in host memory.
 
   bool read8(std::uint64_t addr, PrivMode mode, std::uint8_t& out) const {
     if (!access_ok(addr, 1, mode, AccessType::kRead)) return false;
-    out = memory_[addr];
+    out = *rptr(addr);
     return true;
   }
   bool read16(std::uint64_t addr, PrivMode mode, std::uint16_t& out) const {
     if (!access_ok(addr, 2, mode, AccessType::kRead)) return false;
-    out = static_cast<std::uint16_t>(
-        memory_[addr] | (static_cast<std::uint16_t>(memory_[addr + 1]) << 8));
+    if ((addr & kPageMask) <= kPageBytes - 2) {
+      const std::uint8_t* p = rptr(addr);
+      out = static_cast<std::uint16_t>(p[0] |
+                                       (static_cast<std::uint16_t>(p[1]) << 8));
+    } else {
+      out = static_cast<std::uint16_t>(
+          *rptr(addr) | (static_cast<std::uint16_t>(*rptr(addr + 1)) << 8));
+    }
     return true;
   }
   bool read32(std::uint64_t addr, PrivMode mode, std::uint32_t& out) const {
     if (!access_ok(addr, 4, mode, AccessType::kRead)) return false;
-    out = load_le32(memory_.data() + addr);
+    out = read_u32_raw(addr);
     return true;
   }
   bool write8(std::uint64_t addr, std::uint8_t value, PrivMode mode) {
     if (!access_ok(addr, 1, mode, AccessType::kWrite)) return false;
-    memory_[addr] = value;
+    *wptr(addr) = value;
     touch_pages(addr, 1);
     return true;
   }
   bool write16(std::uint64_t addr, std::uint16_t value, PrivMode mode) {
     if (!access_ok(addr, 2, mode, AccessType::kWrite)) return false;
-    memory_[addr] = static_cast<std::uint8_t>(value);
-    memory_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    if ((addr & kPageMask) <= kPageBytes - 2) {
+      std::uint8_t* p = wptr(addr);
+      p[0] = static_cast<std::uint8_t>(value);
+      p[1] = static_cast<std::uint8_t>(value >> 8);
+    } else {
+      *wptr(addr) = static_cast<std::uint8_t>(value);
+      *wptr(addr + 1) = static_cast<std::uint8_t>(value >> 8);
+    }
     touch_pages(addr, 2);
     return true;
   }
   bool write32(std::uint64_t addr, std::uint32_t value, PrivMode mode) {
     if (!access_ok(addr, 4, mode, AccessType::kWrite)) return false;
-    store_le32(memory_.data() + addr, value);
+    if ((addr & kPageMask) <= kPageBytes - 4) {
+      store_le32(wptr(addr), value);
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        *wptr(addr + static_cast<std::uint64_t>(i)) =
+            static_cast<std::uint8_t>(value >> (8 * i));
+      }
+    }
     touch_pages(addr, 4);
     return true;
   }
@@ -172,7 +237,7 @@ class Machine {
   bool fetch32_fast(std::uint64_t addr, PrivMode mode,
                     std::uint32_t& out) const {
     if (!access_ok(addr, 4, mode, AccessType::kExecute)) return false;
-    out = load_le32(memory_.data() + addr);
+    out = read_u32_raw(addr);
     return true;
   }
 
@@ -180,7 +245,7 @@ class Machine {
   bool access_ok(std::uint64_t addr, std::size_t len, PrivMode mode,
                  AccessType type) const {
     const std::uint64_t end = addr + len;
-    if (end > memory_.size() || end < addr) return false;
+    if (end > size_ || end < addr) return false;
     PmpMemo& m = memo_[static_cast<std::size_t>(type)];
     if (m.epoch == pmp_.epoch() && m.mode == mode && addr >= m.lo &&
         end <= m.hi) {
@@ -191,7 +256,7 @@ class Machine {
       return true;
     }
     CONVOLVE_TELEMETRY_ONLY(++memo_misses_;)
-    const auto r = pmp_.check_region(addr, len, mode, type, memory_.size());
+    const auto r = pmp_.check_region(addr, len, mode, type, size_);
     if (!r.allowed) return false;
     m.lo = r.lo;
     m.hi = r.hi;
@@ -226,14 +291,22 @@ class Machine {
 
   /// Direct read-only view of a page's bytes for decode caching; the
   /// caller is responsible for the execute-permission check per fetch.
+  /// On a fork this points into the shared image until the page is
+  /// materialized by a write (which bumps the page version, so decode
+  /// caches revalidate and pick up the new pointer).
   const std::uint8_t* page_data(std::uint64_t page_base) const {
-    return memory_.data() + page_base;
+    return rpage_[page_base >> kPageShift];
   }
 
   /// Unchecked debug access for test setup/inspection only. Writes made
   /// through this span bypass page versioning and therefore do NOT
-  /// invalidate decoded-instruction caches.
-  std::span<std::uint8_t> raw_memory() { return memory_; }
+  /// invalidate decoded-instruction caches. On a CoW fork this
+  /// materializes every page first (the span must be private and
+  /// contiguous); the shared image is never written through it.
+  std::span<std::uint8_t> raw_memory() {
+    if (image_) materialize_all();
+    return {own_.get(), size_};
+  }
 
  private:
   struct PmpMemo {
@@ -243,14 +316,59 @@ class Machine {
     std::uint64_t epoch = ~0ull;  // never matches a real epoch initially
   };
 
-  std::vector<std::uint8_t> memory_;
+  // Shared frozen image (null unless forked). Holding the shared_ptr
+  // keeps the aliased pages alive for this fork's lifetime.
+  std::shared_ptr<const MachineImage> image_;
+  // Private backing store for the full address space. Non-forks own every
+  // page here from construction (zero-initialized); forks allocate it
+  // uninitialized and copy pages in on first write.
+  std::unique_ptr<std::uint8_t[]> own_;
+  std::size_t size_ = 0;
+  // Per-page views: rpage_[p] is where page p's bytes currently live
+  // (image or own_); wpage_[p] is null while the page still aliases the
+  // image and must be materialized before writing.
+  std::vector<const std::uint8_t*> rpage_;
+  std::vector<std::uint8_t*> wpage_;
   std::vector<std::uint32_t> page_version_;
   PmpUnit pmp_;
   mutable std::array<PmpMemo, 3> memo_{};
+  std::uint64_t cow_materialized_ = 0;
 #if CONVOLVE_TELEMETRY_ENABLED
   mutable std::uint64_t memo_hits_ = 0;
   mutable std::uint64_t memo_misses_ = 0;
+  mutable std::uint64_t cow_flushed_ = 0;  // cow_materialized_ published
 #endif
+
+  /// Bytes page p actually covers (the last page may be partial).
+  std::size_t page_bytes_of(std::uint64_t p) const {
+    const std::uint64_t base = p << kPageShift;
+    return static_cast<std::size_t>(
+        base + kPageBytes <= size_ ? kPageBytes : size_ - base);
+  }
+
+  const std::uint8_t* rptr(std::uint64_t addr) const {
+    return rpage_[addr >> kPageShift] + (addr & kPageMask);
+  }
+  std::uint8_t* wptr(std::uint64_t addr) {
+    const std::uint64_t p = addr >> kPageShift;
+    std::uint8_t* q = wpage_[p];
+    if (q == nullptr) q = materialize_page(p);
+    return q + (addr & kPageMask);
+  }
+  std::uint32_t read_u32_raw(std::uint64_t addr) const {
+    if ((addr & kPageMask) <= kPageBytes - 4) return load_le32(rptr(addr));
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(*rptr(addr + static_cast<std::uint64_t>(i)))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  /// Copy page p out of the shared image into the private backing store
+  /// and repoint both views at it. Cold path of wptr.
+  std::uint8_t* materialize_page(std::uint64_t p);
+  void materialize_all();
 
   void bounds_check(std::uint64_t addr, std::size_t len,
                     AccessType type) const;

@@ -29,6 +29,8 @@ struct SmConfig {
   std::size_t stack_bytes = 8 * 1024;       // Keystone default (Table III)
 };
 
+struct SmSnapshot;
+
 // Modeled stack frames of the SM's signing paths (bytes). The ML-DSA
 // working set (matrix A, vectors y/z/w, hint buffers) mirrors the
 // reference implementation's ~50 KB stack appetite, which overflows the
@@ -45,11 +47,31 @@ class SecurityMonitor {
     std::uint64_t size = 0;
     Bytes measurement;  // SHA3-512 of the loaded binary
     bool alive = true;
+    // Hoisted per-enclave engine selection: run_enclave_program used to
+    // take (and re-apply) the engine on every call; the choice is a
+    // property of the enclave, made once and inherited by forks.
+    Rv32Engine engine = Rv32Cpu::kDefaultEngine;
   };
 
   /// Install the SM: locks down its own region and the enclave PMP plan.
   SecurityMonitor(Machine& machine, const BootRecord& boot,
                   const SmConfig& config = {});
+
+  /// Resume from a snapshot onto a (typically CoW-forked) machine whose
+  /// PMP already carries the snapshotted plan -- the constructor adopts
+  /// the enclave table and allocator state without reprogramming anything,
+  /// so forked machines keep their inherited PMP epoch and decode caches.
+  /// `fork_id` disambiguates seal nonces across forks sharing one
+  /// snapshot: each fork's nonce space is (counter, fork_id), so two
+  /// forks sealing concurrently can never collide (fork_id 0 is the
+  /// master and byte-compatible with blobs sealed before forking).
+  SecurityMonitor(Machine& machine, const SmSnapshot& snap,
+                  std::uint32_t fork_id);
+
+  /// Freeze the SM's logical state (boot record, config, enclave table,
+  /// allocator cursor, seal counter) for later resume on a forked
+  /// machine. Pair with Machine::freeze(), which captures memory + PMP.
+  SmSnapshot snapshot() const;
 
   /// Load a binary into a fresh region, measure it, isolate it.
   /// Throws std::runtime_error when out of memory or PMP entries.
@@ -73,11 +95,19 @@ class SecurityMonitor {
   /// under the enclave PMP view, starting at `entry_offset` into the
   /// region. Execution ends at a trap (ecall = clean exit request, PMP
   /// faults = contained violations) or after `max_steps` instructions.
-  /// The OS PMP view is restored before returning. `engine` selects the
-  /// execution tier (all tiers are architecturally bit-identical).
-  Rv32Cpu::RunResult run_enclave_program(
-      int id, std::uint64_t max_steps, std::uint32_t entry_offset = 0,
-      Rv32Engine engine = Rv32Cpu::kDefaultEngine);
+  /// The OS PMP view is restored before returning. The execution tier is
+  /// the enclave's hoisted engine selection (see set_enclave_engine); the
+  /// explicit-engine overload below pins a tier for this call only (all
+  /// tiers are architecturally bit-identical).
+  Rv32Cpu::RunResult run_enclave_program(int id, std::uint64_t max_steps,
+                                         std::uint32_t entry_offset = 0);
+  Rv32Cpu::RunResult run_enclave_program(int id, std::uint64_t max_steps,
+                                         std::uint32_t entry_offset,
+                                         Rv32Engine engine);
+
+  /// Choose the execution tier for an enclave once; subsequent runs (and
+  /// forks resumed from a snapshot) inherit it.
+  void set_enclave_engine(int id, Rv32Engine engine);
 
   /// Generate a signed attestation report for an enclave. Consumes SM
   /// stack (throws StackOverflow if the configured stack cannot hold the
@@ -115,9 +145,22 @@ class SecurityMonitor {
   std::vector<Enclave> enclaves_;
   std::uint64_t next_free_ = 0;
   std::uint64_t seal_nonce_counter_ = 0;
+  std::uint32_t fork_id_ = 0;
 
+  friend struct SmSnapshot;
   Enclave& enclave_mut(int id);
   Bytes sealing_key(const Enclave& e) const;
+};
+
+/// Frozen logical SM state for fork/resume (see SecurityMonitor::snapshot).
+/// Machine memory and the PMP plan live in the paired MachineImage; this
+/// holds only what the SM tracks on the side.
+struct SmSnapshot {
+  BootRecord boot;
+  SmConfig config;
+  std::vector<SecurityMonitor::Enclave> enclaves;
+  std::uint64_t next_free = 0;
+  std::uint64_t seal_nonce_counter = 0;
 };
 
 }  // namespace convolve::tee

@@ -1,6 +1,7 @@
 #include "convolve/tee/machine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 
 namespace convolve::tee {
@@ -13,6 +14,10 @@ const char* access_name(AccessType t) {
     case AccessType::kExecute: return "execute";
   }
   return "?";
+}
+
+std::size_t page_count_of(std::size_t bytes) {
+  return (bytes + Machine::kPageBytes - 1) >> Machine::kPageShift;
 }
 }  // namespace
 
@@ -39,13 +44,68 @@ void SimStack::pop(std::size_t bytes) {
 }
 
 Machine::Machine(std::size_t memory_bytes)
-    : memory_(memory_bytes, 0),
-      page_version_((memory_bytes + kPageBytes - 1) >> kPageShift, 0) {}
+    : own_(new std::uint8_t[memory_bytes]()),
+      size_(memory_bytes),
+      rpage_(page_count_of(memory_bytes)),
+      wpage_(page_count_of(memory_bytes)),
+      page_version_(page_count_of(memory_bytes), 0) {
+  for (std::size_t p = 0; p < rpage_.size(); ++p) {
+    std::uint8_t* q = own_.get() + (p << kPageShift);
+    rpage_[p] = q;
+    wpage_[p] = q;
+  }
+}
+
+Machine::Machine(std::shared_ptr<const MachineImage> image)
+    : image_(std::move(image)),
+      // Uninitialized on purpose: pages are filled from the image as they
+      // materialize; unmaterialized bytes are never read through own_.
+      own_(new std::uint8_t[image_->bytes.size()]),
+      size_(image_->bytes.size()),
+      rpage_(page_count_of(image_->bytes.size())),
+      wpage_(page_count_of(image_->bytes.size()), nullptr),
+      page_version_(image_->page_versions),
+      pmp_(image_->pmp) {
+  const std::uint8_t* base = image_->bytes.data();
+  for (std::size_t p = 0; p < rpage_.size(); ++p) {
+    rpage_[p] = base + (p << kPageShift);
+  }
+}
+
+std::shared_ptr<const MachineImage> Machine::freeze() const {
+  auto img = std::make_shared<MachineImage>();
+  img->bytes.resize(size_);
+  // Page-wise copy through the read views so freezing a fork also works
+  // (its unmaterialized pages still live in its parent image).
+  for (std::size_t p = 0; p < rpage_.size(); ++p) {
+    std::memcpy(img->bytes.data() + (p << kPageShift), rpage_[p],
+                page_bytes_of(p));
+  }
+  img->page_versions = page_version_;
+  img->pmp = pmp_;
+  return img;
+}
+
+std::uint8_t* Machine::materialize_page(std::uint64_t p) {
+  std::uint8_t* q = own_.get() + (p << kPageShift);
+  std::memcpy(q, rpage_[p], page_bytes_of(p));
+  rpage_[p] = q;
+  wpage_[p] = q;
+  ++cow_materialized_;
+  return q;
+}
+
+void Machine::materialize_all() {
+  for (std::size_t p = 0; p < wpage_.size(); ++p) {
+    if (wpage_[p] == nullptr) materialize_page(p);
+  }
+}
 
 #if CONVOLVE_TELEMETRY_ENABLED
 namespace {
 telemetry::Counter t_pmp_memo_hits{"rv32.pmp_memo.hits"};
 telemetry::Counter t_pmp_memo_misses{"rv32.pmp_memo.misses"};
+telemetry::Counter t_cow_materialized{"tee.cow.pages_materialized"};
 }  // namespace
 
 void Machine::flush_telemetry() const {
@@ -53,6 +113,10 @@ void Machine::flush_telemetry() const {
   if (memo_misses_ != 0) t_pmp_memo_misses.add(memo_misses_);
   memo_hits_ = 0;
   memo_misses_ = 0;
+  if (cow_materialized_ > cow_flushed_) {
+    t_cow_materialized.add(cow_materialized_ - cow_flushed_);
+    cow_flushed_ = cow_materialized_;
+  }
 }
 #else
 void Machine::flush_telemetry() const {}
@@ -60,7 +124,7 @@ void Machine::flush_telemetry() const {}
 
 void Machine::bounds_check(std::uint64_t addr, std::size_t len,
                            AccessType type) const {
-  if (addr + len > memory_.size() || addr + len < addr) {
+  if (addr + len > size_ || addr + len < addr) {
     throw AccessFault(addr, type);
   }
 }
@@ -70,8 +134,17 @@ void Machine::store(std::uint64_t addr, ByteView data, PrivMode mode) {
   if (!pmp_.check(addr, data.size(), mode, AccessType::kWrite)) {
     throw AccessFault(addr, AccessType::kWrite);
   }
-  std::copy(data.begin(), data.end(),
-            memory_.begin() + static_cast<std::ptrdiff_t>(addr));
+  std::uint64_t a = addr;
+  const std::uint8_t* src = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(left, kPageBytes - (a & kPageMask)));
+    std::memcpy(wptr(a), src, chunk);
+    a += chunk;
+    src += chunk;
+    left -= chunk;
+  }
   if (!data.empty()) touch_pages(addr, data.size());
 }
 
@@ -82,8 +155,15 @@ void Machine::fill(std::uint64_t addr, std::size_t len, std::uint8_t value,
   if (!pmp_.check(addr, len, mode, AccessType::kWrite)) {
     throw AccessFault(addr, AccessType::kWrite);
   }
-  std::fill(memory_.begin() + static_cast<std::ptrdiff_t>(addr),
-            memory_.begin() + static_cast<std::ptrdiff_t>(addr + len), value);
+  std::uint64_t a = addr;
+  std::size_t left = len;
+  while (left > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(left, kPageBytes - (a & kPageMask)));
+    std::memset(wptr(a), value, chunk);
+    a += chunk;
+    left -= chunk;
+  }
   touch_pages(addr, len);
 }
 
@@ -92,12 +172,27 @@ Bytes Machine::load(std::uint64_t addr, std::size_t len, PrivMode mode) const {
   if (!pmp_.check(addr, len, mode, AccessType::kRead)) {
     throw AccessFault(addr, AccessType::kRead);
   }
-  return Bytes(memory_.begin() + static_cast<std::ptrdiff_t>(addr),
-               memory_.begin() + static_cast<std::ptrdiff_t>(addr + len));
+  Bytes out(len);
+  std::uint64_t a = addr;
+  std::uint8_t* dst = out.data();
+  std::size_t left = len;
+  while (left > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(left, kPageBytes - (a & kPageMask)));
+    std::memcpy(dst, rptr(a), chunk);
+    a += chunk;
+    dst += chunk;
+    left -= chunk;
+  }
+  return out;
 }
 
 std::uint8_t Machine::load_byte(std::uint64_t addr, PrivMode mode) const {
-  return load(addr, 1, mode)[0];
+  bounds_check(addr, 1, AccessType::kRead);
+  if (!pmp_.check(addr, 1, mode, AccessType::kRead)) {
+    throw AccessFault(addr, AccessType::kRead);
+  }
+  return *rptr(addr);
 }
 
 std::uint32_t Machine::fetch32(std::uint64_t addr, PrivMode mode) const {
@@ -105,15 +200,12 @@ std::uint32_t Machine::fetch32(std::uint64_t addr, PrivMode mode) const {
   if (!pmp_.check(addr, 4, mode, AccessType::kExecute)) {
     throw AccessFault(addr, AccessType::kExecute);
   }
-  return static_cast<std::uint32_t>(memory_[addr]) |
-         (static_cast<std::uint32_t>(memory_[addr + 1]) << 8) |
-         (static_cast<std::uint32_t>(memory_[addr + 2]) << 16) |
-         (static_cast<std::uint32_t>(memory_[addr + 3]) << 24);
+  return read_u32_raw(addr);
 }
 
 bool Machine::can_execute(std::uint64_t addr, std::size_t len,
                           PrivMode mode) const {
-  if (addr + len > memory_.size()) return false;
+  if (addr + len > size_) return false;
   return pmp_.check(addr, len, mode, AccessType::kExecute);
 }
 

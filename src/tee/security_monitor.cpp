@@ -49,6 +49,32 @@ SecurityMonitor::SecurityMonitor(Machine& machine, const BootRecord& boot,
   enter_os();
 }
 
+SecurityMonitor::SecurityMonitor(Machine& machine, const SmSnapshot& snap,
+                                 std::uint32_t fork_id)
+    : machine_(machine),
+      boot_(snap.boot),
+      config_(snap.config),
+      stack_(snap.config.stack_bytes),
+      enclaves_(snap.enclaves),
+      next_free_(snap.next_free),
+      seal_nonce_counter_(snap.seal_nonce_counter),
+      fork_id_(fork_id) {
+  // Deliberately no PMP writes: the forked machine's PMP is a copy of the
+  // snapshotted plan already (Machine fork inherits it), and leaving it
+  // untouched keeps the inherited PMP epoch -- so decode caches and PMP
+  // memos carried over from the image stay valid.
+}
+
+SmSnapshot SecurityMonitor::snapshot() const {
+  SmSnapshot snap;
+  snap.boot = boot_;
+  snap.config = config_;
+  snap.enclaves = enclaves_;
+  snap.next_free = next_free_;
+  snap.seal_nonce_counter = seal_nonce_counter_;
+  return snap;
+}
+
 int SecurityMonitor::create_enclave(ByteView binary,
                                     std::uint64_t region_size) {
   const int entry_index =
@@ -157,6 +183,12 @@ void SecurityMonitor::run_enclave(int id, const std::function<void()>& body) {
 }
 
 Rv32Cpu::RunResult SecurityMonitor::run_enclave_program(
+    int id, std::uint64_t max_steps, std::uint32_t entry_offset) {
+  return run_enclave_program(id, max_steps, entry_offset,
+                             enclave(id).engine);
+}
+
+Rv32Cpu::RunResult SecurityMonitor::run_enclave_program(
     int id, std::uint64_t max_steps, std::uint32_t entry_offset,
     Rv32Engine engine) {
   const Enclave& e = enclave(id);
@@ -165,10 +197,14 @@ Rv32Cpu::RunResult SecurityMonitor::run_enclave_program(
   Rv32Cpu cpu(machine_,
               static_cast<std::uint32_t>(e.base) + entry_offset,
               PrivMode::kUser);
-  cpu.set_engine(engine);
+  if (engine != cpu.engine()) cpu.set_engine(engine);
   Rv32Cpu::RunResult result = cpu.run(max_steps);
   enter_os();
   return result;
+}
+
+void SecurityMonitor::set_enclave_engine(int id, Rv32Engine engine) {
+  enclave_mut(id).engine = engine;
 }
 
 AttestationReport SecurityMonitor::attest(int id, ByteView user_data) {
@@ -221,6 +257,10 @@ Bytes SecurityMonitor::seal(int id, ByteView plaintext) {
   const Enclave& e = enclave(id);
   Bytes nonce(12, 0);
   store_le64(nonce.data(), ++seal_nonce_counter_);
+  // Forks resumed from one snapshot share the counter's starting value;
+  // the fork id in the high nonce bytes keeps their nonce spaces disjoint
+  // (fork 0 = master, leaving pre-fork blobs byte-identical).
+  store_le32(nonce.data() + 8, fork_id_);
   const auto box =
       crypto::aead_seal(sealing_key(e), nonce, plaintext, e.measurement);
   return crypto::aead_serialize(box);

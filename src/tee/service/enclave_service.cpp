@@ -1,0 +1,225 @@
+#include "convolve/tee/service/enclave_service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "convolve/common/parallel.hpp"
+#include "convolve/common/telemetry.hpp"
+
+namespace convolve::tee::service {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+compsoc::TdmAdmission make_admission(const ServiceConfig& config) {
+  compsoc::TdmAdmission admission(
+      {config.tdm_period, config.tdm_max_wait});
+  if (config.tenant_slots.empty()) {
+    // Single-tenant service: tenant 0 owns the whole wheel, so admission
+    // only ever sheds on the pending-queue cap.
+    std::vector<int> all(static_cast<std::size_t>(config.tdm_period));
+    for (int s = 0; s < config.tdm_period; ++s) {
+      all[static_cast<std::size_t>(s)] = s;
+    }
+    admission.add_tenant(all);
+  } else {
+    for (const auto& slots : config.tenant_slots) admission.add_tenant(slots);
+  }
+  return admission;
+}
+
+#if CONVOLVE_TELEMETRY_ENABLED
+telemetry::Counter t_req_run{"service.requests.run"};
+telemetry::Counter t_req_attest{"service.requests.attest"};
+telemetry::Counter t_req_seal{"service.requests.seal"};
+telemetry::Counter t_req_unseal{"service.requests.unseal"};
+telemetry::Counter t_rejected{"service.rejected"};
+telemetry::Counter t_forks{"service.forks"};
+telemetry::Histogram t_latency{"service.latency_ns"};
+telemetry::Histogram t_fork{"service.fork_ns"};
+
+telemetry::Counter& kind_counter(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kRun: return t_req_run;
+    case RequestKind::kAttest: return t_req_attest;
+    case RequestKind::kSeal: return t_req_seal;
+    case RequestKind::kUnseal: return t_req_unseal;
+  }
+  return t_req_run;
+}
+#endif
+
+}  // namespace
+
+EnclaveService::EnclaveService(MachineSnapshot snapshot,
+                               const ServiceConfig& config)
+    : snapshot_(std::move(snapshot)),
+      config_(config),
+      admission_(make_admission(config)),
+      rng_(config.seed) {}
+
+std::uint64_t EnclaveService::submit(const Request& request) {
+  const std::uint64_t seq = next_seq_++;
+  ++stats_.submitted;
+  CONVOLVE_TELEMETRY_ONLY(kind_counter(request.kind).add();)
+
+  auto reject = [&](Status status, int wait_slots, const char* why) {
+    Response r;
+    r.status = status;
+    r.seq = seq;
+    r.wait_slots = wait_slots;
+    r.error = why;
+    rejected_.push_back(std::move(r));
+    ++stats_.rejected;
+    CONVOLVE_COUNTER_ADD(t_rejected);
+  };
+
+  if (request.tenant < 0 || request.tenant >= admission_.tenant_count()) {
+    reject(Status::kError, 0, "unknown tenant");
+    return seq;
+  }
+  if (pending_.size() >= config_.max_pending) {
+    reject(Status::kRejected, 0, "pending queue full");
+    return seq;
+  }
+  const auto decision = admission_.admit(request.tenant);
+  if (!decision.admitted) {
+    reject(Status::kRejected, decision.wait_slots, "no TDM slot in window");
+    return seq;
+  }
+  ++stats_.admitted;
+  stats_.wait_slots_total +=
+      static_cast<std::uint64_t>(decision.wait_slots);
+  pending_.push_back({request, seq, decision.wait_slots});
+  return seq;
+}
+
+Response EnclaveService::execute(const PendingRequest& item) const {
+  const Request& req = item.request;
+  Response r;
+  r.seq = item.seq;
+  r.wait_slots = item.wait_slots;
+  const std::uint64_t t0 = now_ns();
+  try {
+    // Fork id seq+1: unique per request, 0 stays reserved for the master.
+    EnclaveWorld world =
+        snapshot_.fork(static_cast<std::uint32_t>(item.seq + 1));
+    r.fork_ns = now_ns() - t0;
+    const auto& enclave = world.sm->enclave(req.enclave);  // throws if bad
+    switch (req.kind) {
+      case RequestKind::kRun: {
+        if (std::uint64_t(req.input_offset) + req.input_len > enclave.size ||
+            std::uint64_t(req.result_offset) + req.result_len >
+                enclave.size) {
+          throw std::invalid_argument("run: window outside enclave region");
+        }
+        if (req.input_len > 0) {
+          // Deterministic per-request input: the split(seq) stream, staged
+          // by the SM (M-mode) before the enclave starts.
+          Bytes input(req.input_len);
+          rng_.split(item.seq).fill_bytes(input);
+          world.machine->store(enclave.base + req.input_offset, input,
+                               PrivMode::kMachine);
+        }
+        const Rv32Cpu::RunResult run = world.sm->run_enclave_program(
+            req.enclave, req.max_steps, req.entry_offset);
+        r.steps = run.steps;
+        r.trap = run.trap;
+        if (!run.trap) {
+          r.status = Status::kStepLimit;
+        } else if (run.trap->cause == TrapCause::kEcall) {
+          r.status = Status::kOk;
+        } else {
+          r.status = Status::kTrap;
+        }
+        if (req.result_len > 0) {
+          r.data = world.machine->load(enclave.base + req.result_offset,
+                                       req.result_len, PrivMode::kMachine);
+        }
+        break;
+      }
+      case RequestKind::kAttest:
+        r.report = world.sm->attest(req.enclave, req.payload);
+        r.status = Status::kOk;
+        break;
+      case RequestKind::kSeal:
+        r.data = world.sm->seal(req.enclave, req.payload);
+        r.status = Status::kOk;
+        break;
+      case RequestKind::kUnseal: {
+        auto plain = world.sm->unseal(req.enclave, req.payload);
+        if (plain) {
+          r.data = std::move(*plain);
+          r.status = Status::kOk;
+        } else {
+          r.status = Status::kError;
+          r.error = "unseal: authentication failed";
+        }
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    r.status = Status::kError;
+    r.error = e.what();
+  }
+  r.latency_ns = now_ns() - t0;
+  return r;
+}
+
+std::vector<Response> EnclaveService::drain() {
+  std::vector<Response> executed(pending_.size());
+  par::parallel_for(pending_.size(), [&](std::uint64_t i) {
+    executed[i] = execute(pending_[i]);
+  });
+
+  // Serial stats fold in submission order: deterministic counts, and the
+  // histograms see every sample exactly once without contention.
+  for (const Response& r : executed) {
+    ++stats_.completed;
+    ++stats_.forks;
+    switch (r.status) {
+      case Status::kOk: ++stats_.ok; break;
+      case Status::kTrap: ++stats_.traps; break;
+      case Status::kStepLimit: ++stats_.step_limited; break;
+      case Status::kError: ++stats_.errors; break;
+      case Status::kRejected: break;  // not produced by execute()
+    }
+    stats_.latency_ns.record(r.latency_ns);
+    stats_.fork_ns.record(r.fork_ns);
+    CONVOLVE_COUNTER_ADD(t_forks);
+    CONVOLVE_HISTOGRAM_RECORD(t_latency, r.latency_ns);
+    CONVOLVE_HISTOGRAM_RECORD(t_fork, r.fork_ns);
+  }
+
+  // Merge executed + rejected into submission order (both already sorted
+  // by seq -- submit appends monotonically to each).
+  std::vector<Response> out;
+  out.reserve(executed.size() + rejected_.size());
+  std::size_t e = 0, j = 0;
+  while (e < executed.size() || j < rejected_.size()) {
+    if (j >= rejected_.size() ||
+        (e < executed.size() && executed[e].seq < rejected_[j].seq)) {
+      out.push_back(std::move(executed[e++]));
+    } else {
+      out.push_back(std::move(rejected_[j++]));
+    }
+  }
+  pending_.clear();
+  rejected_.clear();
+  return out;
+}
+
+std::vector<Response> EnclaveService::run_batch(
+    const std::vector<Request>& requests) {
+  for (const Request& r : requests) submit(r);
+  return drain();
+}
+
+}  // namespace convolve::tee::service

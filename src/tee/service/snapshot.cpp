@@ -1,0 +1,17 @@
+#include "convolve/tee/service/snapshot.hpp"
+
+namespace convolve::tee::service {
+
+MachineSnapshot MachineSnapshot::freeze(const Machine& machine,
+                                        const SecurityMonitor& sm) {
+  return MachineSnapshot(machine.freeze(), sm.snapshot());
+}
+
+EnclaveWorld MachineSnapshot::fork(std::uint32_t fork_id) const {
+  EnclaveWorld world;
+  world.machine = std::make_unique<Machine>(image_);
+  world.sm = std::make_unique<SecurityMonitor>(*world.machine, sm_, fork_id);
+  return world;
+}
+
+}  // namespace convolve::tee::service

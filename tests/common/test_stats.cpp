@@ -184,5 +184,86 @@ TEST(Welford, SecondOrderTSeparatesEqualMeanDifferentSpread) {
   EXPECT_GT(std::abs(welch_t_centered_square(narrow, wide)), 4.5);
 }
 
+// --- Log2-histogram percentiles -----------------------------------------
+
+TEST(Log2Percentile, EmptyHistogramIsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+  EXPECT_EQ(h.count, 0u);
+}
+
+TEST(Log2Percentile, BucketBoundaryRounding) {
+  // This test PINS the percentile contract (nearest rank, inclusive
+  // upper bucket bound): 10 samples, one per value 1..10, so the rank-r
+  // sample is the value r and every answer is that value's bucket hi.
+  Log2Histogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  ASSERT_EQ(h.count, 10u);
+  // p50 -> rank ceil(5) = 5 -> value 5 lives in [4,8) -> hi = 7.
+  EXPECT_EQ(h.percentile(50), 7u);
+  // p10 -> rank 1 -> value 1 -> bucket {1} -> hi = 1.
+  EXPECT_EQ(h.percentile(10), 1u);
+  // p11 -> rank ceil(1.1) = 2 -> value 2 -> [2,4) -> hi = 3.
+  EXPECT_EQ(h.percentile(11), 3u);
+  // p99/p100 -> rank 10 -> value 10 -> [8,16) -> hi = 15.
+  EXPECT_EQ(h.percentile(99), 15u);
+  EXPECT_EQ(h.percentile(100), 15u);
+  // p0 and negative clamp to rank 1; pct > 100 clamps to rank count.
+  EXPECT_EQ(h.percentile(0), 1u);
+  EXPECT_EQ(h.percentile(-5), 1u);
+  EXPECT_EQ(h.percentile(250), 15u);
+}
+
+TEST(Log2Percentile, ExactRankBoundaries) {
+  // 4 samples in bucket {1} and 6 in [8,16): the cumulative count hits
+  // rank 4 exactly at the first bucket, so p40 must stay in it, while
+  // p41 (rank 5) crosses into the second.
+  Log2Histogram h;
+  for (int i = 0; i < 4; ++i) h.record(1);
+  for (int i = 0; i < 6; ++i) h.record(9);
+  EXPECT_EQ(h.percentile(40), 1u);
+  EXPECT_EQ(h.percentile(41), 15u);
+}
+
+TEST(Log2Percentile, ZeroAndMaxBuckets) {
+  Log2Histogram h;
+  h.record(0);
+  EXPECT_EQ(h.percentile(50), 0u);
+  h.record(~0ull);
+  // Two samples: p50 -> rank 1 -> bucket 0 -> 0; p99 -> rank 2 ->
+  // bucket 64 -> UINT64_MAX.
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99), ~0ull);
+  EXPECT_EQ(log2_bucket_upper_bound(64), ~0ull);
+  EXPECT_EQ(log2_bucket_upper_bound(0), 0u);
+  EXPECT_EQ(log2_bucket_upper_bound(10), 1023u);
+}
+
+TEST(Log2Percentile, MergeMatchesCombinedRecording) {
+  Log2Histogram a, b, combined;
+  for (std::uint64_t v : {3ull, 300ull, 12ull}) {
+    a.record(v);
+    combined.record(v);
+  }
+  for (std::uint64_t v : {90000ull, 5ull}) {
+    b.record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count, combined.count);
+  EXPECT_EQ(a.sum, combined.sum);
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), combined.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(Log2Percentile, MeanTracksSumOverCount) {
+  Log2Histogram h;
+  h.record(10);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
 }  // namespace
 }  // namespace convolve

@@ -270,6 +270,37 @@ TEST(TelemetryRv32, RetiredCounterFlushedOnDestruction) {
   EXPECT_GE(after - before, steps);
 }
 
+// --- Histogram percentiles ---------------------------------------------
+
+telemetry::Histogram t_pct_hist{"test.percentile.histogram"};
+
+TEST(TelemetryHistogram, PercentileMatchesStatsContract) {
+  t_pct_hist.reset();
+  // Live-handle and snapshot percentiles must agree with the shared
+  // log2_buckets_percentile contract (nearest rank, upper bucket bound):
+  // same fixture as the stats unit test -- values 1..10.
+  Log2Histogram reference;
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    t_pct_hist.record(v);
+    reference.record(v);
+  }
+  for (double p : {0.0, 10.0, 11.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(t_pct_hist.percentile(p), reference.percentile(p)) << "p" << p;
+  }
+  EXPECT_EQ(t_pct_hist.percentile(50), 7u);
+  EXPECT_EQ(t_pct_hist.percentile(99), 15u);
+
+  const auto snap = telemetry::snapshot();
+  for (double p : {10.0, 50.0, 99.0}) {
+    EXPECT_EQ(snap.histogram_percentile("test.percentile.histogram", p),
+              reference.percentile(p))
+        << "p" << p;
+  }
+  // Absent or non-histogram names answer 0.
+  EXPECT_EQ(snap.histogram_percentile("no.such.metric", 50), 0u);
+  EXPECT_EQ(snap.histogram_percentile("rv32.instructions_retired", 50), 0u);
+}
+
 #endif  // CONVOLVE_TELEMETRY_ENABLED
 
 }  // namespace

@@ -1,0 +1,133 @@
+#include "convolve/compsoc/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace convolve::compsoc {
+namespace {
+
+TEST(TdmAdmission, ConfigValidation) {
+  EXPECT_THROW(TdmAdmission({0, 8}), std::invalid_argument);
+  EXPECT_THROW(TdmAdmission({8, 0}), std::invalid_argument);
+  EXPECT_NO_THROW(TdmAdmission({8, 8}));
+}
+
+TEST(TdmAdmission, TenantSlotValidation) {
+  TdmAdmission adm({8, 8});
+  EXPECT_THROW(adm.add_tenant({}), std::invalid_argument);
+  EXPECT_THROW(adm.add_tenant({8}), std::invalid_argument);
+  EXPECT_THROW(adm.add_tenant({-1}), std::invalid_argument);
+  EXPECT_EQ(adm.add_tenant({0, 1}), 0);
+  // Collision with tenant 0's slots.
+  EXPECT_THROW(adm.add_tenant({1, 2}), std::invalid_argument);
+  EXPECT_EQ(adm.add_tenant({2, 3}), 1);
+  EXPECT_EQ(adm.tenant_count(), 2);
+}
+
+TEST(TdmAdmission, UnknownTenantThrows) {
+  TdmAdmission adm({8, 8});
+  adm.add_tenant({0});
+  EXPECT_THROW(adm.admit(1), std::out_of_range);
+  EXPECT_THROW(adm.admit(-1), std::out_of_range);
+}
+
+TEST(TdmAdmission, SingleTenantOwningWholeWheelNeverWaits) {
+  TdmAdmission adm({4, 4});
+  const int t = adm.add_tenant({0, 1, 2, 3});
+  for (int i = 0; i < 100; ++i) {
+    const auto d = adm.admit(t);
+    EXPECT_TRUE(d.admitted);
+    EXPECT_EQ(d.wait_slots, 0);
+  }
+  EXPECT_EQ(adm.admitted_count(), 100u);
+  EXPECT_EQ(adm.rejected_count(), 0u);
+  EXPECT_DOUBLE_EQ(adm.admitted_fraction(), 1.0);
+}
+
+TEST(TdmAdmission, WaitSlotsCountSkippedForeignSlots) {
+  // Wheel: [A, B, B, B] -- after A consumes slot 0, its next admission
+  // must wait past B's three slots.
+  TdmAdmission adm({4, 4});
+  const int a = adm.add_tenant({0});
+  adm.add_tenant({1, 2, 3});
+  auto d = adm.admit(a);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.wait_slots, 0);
+  d = adm.admit(a);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.wait_slots, 3);
+}
+
+TEST(TdmAdmission, RejectionLeavesCursorUntouched) {
+  // Wheel: [A, A, B, B], max_wait 1: from slot 2, A is not reachable.
+  TdmAdmission adm({4, 1});
+  const int a = adm.add_tenant({0, 1});
+  const int b = adm.add_tenant({2, 3});
+  EXPECT_TRUE(adm.admit(a).admitted);  // consumes slot 0, cursor -> 1
+  EXPECT_TRUE(adm.admit(a).admitted);  // consumes slot 1, cursor -> 2
+  const auto rej = adm.admit(a);
+  EXPECT_FALSE(rej.admitted);
+  EXPECT_EQ(rej.wait_slots, 1);
+  // The rejection consumed no wheel time: B's slot 2 is still current.
+  const auto ok = adm.admit(b);
+  EXPECT_TRUE(ok.admitted);
+  EXPECT_EQ(ok.wait_slots, 0);
+  EXPECT_EQ(adm.rejected_count(), 1u);
+}
+
+TEST(TdmAdmission, FloodingTenantCannotStarveTheOther) {
+  // A owns 2 of 8 slots, B owns 6, and max_wait (2) is shorter than the
+  // wheel, so admission only looks a little ahead. A floods; every B
+  // request must still be admitted within max_wait slots -- the
+  // composability property -- while A's extra requests bounce.
+  TdmAdmission adm({8, 2});
+  const int a = adm.add_tenant({0, 4});
+  const int b = adm.add_tenant({1, 2, 3, 5, 6, 7});
+  int a_admitted = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int burst = 0; burst < 10; ++burst) {
+      if (adm.admit(a).admitted) ++a_admitted;
+    }
+    const auto d = adm.admit(b);
+    EXPECT_TRUE(d.admitted);
+    EXPECT_LT(d.wait_slots, 2);
+  }
+  // A got admissions too (its own slots), but far fewer than requested.
+  EXPECT_GT(a_admitted, 0);
+  EXPECT_LT(a_admitted, 500);
+}
+
+TEST(TdmAdmission, MaxWaitBoundsRejectionScan) {
+  // max_wait larger than the period scans at most one full wheel.
+  TdmAdmission adm({4, 100});
+  adm.add_tenant({0});
+  TdmAdmission::Config c{4, 100};
+  TdmAdmission adm2(c);
+  const int t = adm2.add_tenant({0});
+  EXPECT_TRUE(adm2.admit(t).admitted);
+  // Tenant 1 owns nothing... cannot exist; instead check rejection scan
+  // via a second tenant-less wheel position: consume slot 0, then ask
+  // again -- slot 0 is reachable after wrapping, within min(100, 4).
+  const auto d = adm2.admit(t);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.wait_slots, 3);
+}
+
+TEST(TdmAdmission, DeterministicForFixedSubmissionOrder) {
+  auto run = [] {
+    TdmAdmission adm({8, 4});
+    const int a = adm.add_tenant({0, 2, 4, 6});
+    const int b = adm.add_tenant({1, 5});
+    std::vector<int> waits;
+    for (int i = 0; i < 64; ++i) {
+      const auto d = adm.admit(i % 3 == 0 ? b : a);
+      waits.push_back(d.admitted ? d.wait_slots : -1);
+    }
+    return waits;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace convolve::compsoc

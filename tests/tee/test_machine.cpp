@@ -193,5 +193,148 @@ TEST(SimStack, WatermarkSurvivesPop) {
   EXPECT_EQ(stack.high_watermark(), 0u);
 }
 
+// --- Copy-on-write forking ----------------------------------------------
+
+TEST(MachineCow, ForkSeesFrozenBytesWithoutCopying) {
+  Machine master(64 * 1024);
+  master.store(0x100, Bytes{1, 2, 3, 4}, PrivMode::kMachine);
+  master.store(0x5000, Bytes{9, 8, 7}, PrivMode::kMachine);
+  const auto image = master.freeze();
+  Machine fork(image);
+  EXPECT_TRUE(fork.is_fork());
+  EXPECT_FALSE(master.is_fork());
+  EXPECT_EQ(fork.cow_pages_materialized(), 0u);
+  EXPECT_EQ(fork.load(0x100, 4, PrivMode::kMachine), (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(fork.load(0x5000, 3, PrivMode::kMachine), (Bytes{9, 8, 7}));
+  // Reads alone never materialize.
+  EXPECT_EQ(fork.cow_pages_materialized(), 0u);
+  // The fork's pages literally alias the image until first write.
+  EXPECT_EQ(fork.page_data(0), image->bytes.data());
+}
+
+TEST(MachineCow, WriteMaterializesOnlyTheTouchedPage) {
+  Machine master(64 * 1024);
+  master.store(0x100, Bytes{0xAA}, PrivMode::kMachine);
+  const auto image = master.freeze();
+  Machine fork(image);
+  fork.store(0x2004, Bytes{0x55}, PrivMode::kMachine);
+  EXPECT_EQ(fork.cow_pages_materialized(), 1u);
+  // The touched page is private now; untouched pages still alias.
+  EXPECT_NE(fork.page_data(0x2000), image->bytes.data() + 0x2000);
+  EXPECT_EQ(fork.page_data(0), image->bytes.data());
+  // Fork sees its write plus the inherited bytes around it.
+  EXPECT_EQ(fork.load_byte(0x2004, PrivMode::kMachine), 0x55);
+  EXPECT_EQ(fork.load_byte(0x100, PrivMode::kMachine), 0xAA);
+  // The image and the master never change.
+  EXPECT_EQ(image->bytes[0x2004], 0);
+  EXPECT_EQ(master.load_byte(0x2004, PrivMode::kMachine), 0);
+}
+
+TEST(MachineCow, ForksAreMutuallyIndependent) {
+  Machine master(32 * 1024);
+  master.store(0, Bytes{1, 1, 1, 1}, PrivMode::kMachine);
+  const auto image = master.freeze();
+  Machine a(image);
+  Machine b(image);
+  a.store(0, Bytes{2}, PrivMode::kMachine);
+  b.store(1, Bytes{3}, PrivMode::kMachine);
+  EXPECT_EQ(a.load(0, 4, PrivMode::kMachine), (Bytes{2, 1, 1, 1}));
+  EXPECT_EQ(b.load(0, 4, PrivMode::kMachine), (Bytes{1, 3, 1, 1}));
+  EXPECT_EQ(image->bytes[0], 1);
+  EXPECT_EQ(image->bytes[1], 1);
+}
+
+TEST(MachineCow, ForkInheritsPmpAndPageVersions) {
+  Machine master(64 * 1024);
+  PmpEntry e;
+  e.mode = PmpAddressMode::kNapot;
+  e.address = PmpUnit::encode_napot(0x1000, 0x1000);
+  e.read = true;
+  e.write = true;
+  master.pmp().set_entry(0, e);
+  master.store(0x1000, Bytes{5}, PrivMode::kSupervisor);  // bumps version
+  const std::uint32_t v = master.page_version(0x1000);
+  Machine fork(master.freeze());
+  // PMP plan carried over: S-mode read allowed without reprogramming.
+  EXPECT_EQ(fork.load_byte(0x1000, PrivMode::kSupervisor), 5);
+  EXPECT_THROW(fork.load(0x8000, 1, PrivMode::kSupervisor), AccessFault);
+  // Page versions carried over, and keep advancing independently.
+  EXPECT_EQ(fork.page_version(0x1000), v);
+  fork.store(0x1000, Bytes{6}, PrivMode::kSupervisor);
+  EXPECT_EQ(fork.page_version(0x1000), v + 1);
+  EXPECT_EQ(master.page_version(0x1000), v);
+}
+
+TEST(MachineCow, PageCrossingAccessesSpliceAcrossMixedPages) {
+  Machine master(16 * 1024);
+  master.store(0x0FFE, Bytes{0x11, 0x22, 0x33, 0x44}, PrivMode::kMachine);
+  Machine fork(master.freeze());
+  // Materialize only the second page, leaving the first aliased: the
+  // crossing read must splice one aliased and one private page.
+  fork.store(0x1800, Bytes{0xEE}, PrivMode::kMachine);
+  EXPECT_EQ(fork.cow_pages_materialized(), 1u);
+  std::uint32_t v = 0;
+  ASSERT_TRUE(fork.read32(0x0FFE, PrivMode::kMachine, v));
+  EXPECT_EQ(v, 0x44332211u);
+  // A crossing write materializes both pages and lands in both.
+  ASSERT_TRUE(fork.write32(0x0FFE, 0xAABBCCDD, PrivMode::kMachine));
+  EXPECT_EQ(fork.cow_pages_materialized(), 2u);
+  ASSERT_TRUE(fork.read32(0x0FFE, PrivMode::kMachine, v));
+  EXPECT_EQ(v, 0xAABBCCDDu);
+  EXPECT_EQ(master.load_byte(0x0FFE, PrivMode::kMachine), 0x11);
+}
+
+TEST(MachineCow, StoreAndFillSpanManyPages) {
+  Machine master(64 * 1024);
+  Machine fork(master.freeze());
+  const Bytes big(3 * 4096 + 123, 0x5C);
+  fork.store(0x0800, big, PrivMode::kMachine);
+  EXPECT_EQ(fork.load(0x0800, big.size(), PrivMode::kMachine), big);
+  fork.fill(0x3000, 8192, 0x7F, PrivMode::kMachine);
+  EXPECT_EQ(fork.load_byte(0x3000, PrivMode::kMachine), 0x7F);
+  EXPECT_EQ(fork.load_byte(0x4FFF, PrivMode::kMachine), 0x7F);
+  // Master untouched throughout.
+  EXPECT_EQ(master.load_byte(0x3000, PrivMode::kMachine), 0);
+}
+
+TEST(MachineCow, RawMemoryMaterializesEverything) {
+  Machine master(32 * 1024);
+  master.store(0x100, Bytes{0xA1, 0xA2}, PrivMode::kMachine);
+  const auto image = master.freeze();
+  Machine fork(image);
+  auto ram = fork.raw_memory();
+  ASSERT_EQ(ram.size(), 32u * 1024);
+  EXPECT_EQ(ram[0x100], 0xA1);
+  EXPECT_EQ(fork.cow_pages_materialized(), 32u * 1024 / 4096);
+  // The span is private: writing through it never reaches the image.
+  ram[0x100] = 0xB1;
+  EXPECT_EQ(image->bytes[0x100], 0xA1);
+}
+
+TEST(MachineCow, FreezingAForkCapturesItsDivergedState) {
+  Machine master(32 * 1024);
+  master.store(0, Bytes{1}, PrivMode::kMachine);
+  Machine fork(master.freeze());
+  fork.store(0, Bytes{2}, PrivMode::kMachine);
+  fork.store(0x4000, Bytes{3}, PrivMode::kMachine);
+  // Re-freeze the fork (mix of materialized and aliased pages).
+  Machine grandchild(fork.freeze());
+  EXPECT_EQ(grandchild.load_byte(0, PrivMode::kMachine), 2);
+  EXPECT_EQ(grandchild.load_byte(0x4000, PrivMode::kMachine), 3);
+}
+
+TEST(MachineCow, PartialLastPageRoundTrips) {
+  // A memory size that is not a page multiple: the tail page is partial
+  // and must freeze/fork/materialize without reading past the end.
+  const std::size_t size = 2 * 4096 + 100;
+  Machine master(size);
+  master.store(size - 4, Bytes{1, 2, 3, 4}, PrivMode::kMachine);
+  Machine fork(master.freeze());
+  EXPECT_EQ(fork.load(size - 4, 4, PrivMode::kMachine), (Bytes{1, 2, 3, 4}));
+  fork.store(size - 1, Bytes{9}, PrivMode::kMachine);
+  EXPECT_EQ(fork.load_byte(size - 1, PrivMode::kMachine), 9);
+  EXPECT_EQ(master.load_byte(size - 1, PrivMode::kMachine), 4);
+}
+
 }  // namespace
 }  // namespace convolve::tee
