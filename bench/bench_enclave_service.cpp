@@ -130,18 +130,34 @@ struct SweepPoint {
   std::uint64_t p50_ns = 0;
   std::uint64_t p99_ns = 0;
   std::uint64_t ok = 0;
+  std::vector<std::uint64_t> ok_by_tenant;
+  std::vector<std::uint64_t> shed_by_tenant;
   Bytes payload_digest;  // concatenated response data, determinism check
 };
 
 SweepPoint run_sweep_point(const BenchWorld& world, int threads,
-                           int requests) {
+                           int requests, int tenants) {
   par::ScopedThreadCount guard(threads);
   ServiceConfig config;
   config.max_pending = static_cast<std::size_t>(requests);
+  if (tenants > 1) {
+    // Partition the wheel round-robin: tenant k owns slots {s : s % N == k}.
+    // Every tenant owns a slot within the default max_wait window, so the
+    // multi-tenant sweep admits everything (sheds would skew throughput).
+    config.tenant_slots.assign(static_cast<std::size_t>(tenants), {});
+    for (int s = 0; s < config.tdm_period; ++s) {
+      config.tenant_slots[static_cast<std::size_t>(s % tenants)].push_back(s);
+    }
+  }
   EnclaveService service(MachineSnapshot::freeze(world.machine, *world.sm),
                          config);
-  std::vector<Request> batch(static_cast<std::size_t>(requests),
-                             run_request(world.enclave));
+  std::vector<Request> batch;
+  batch.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    Request r = run_request(world.enclave);
+    r.tenant = i % tenants;
+    batch.push_back(std::move(r));
+  }
   const double t0 = now_seconds();
   const auto responses = service.run_batch(batch);
   const double t1 = now_seconds();
@@ -155,7 +171,18 @@ SweepPoint run_sweep_point(const BenchWorld& world, int threads,
   out.p50_ns = stats.latency_ns.percentile(50);
   out.p99_ns = stats.latency_ns.percentile(99);
   out.ok = stats.ok;
+  out.ok_by_tenant.assign(static_cast<std::size_t>(tenants), 0);
+  out.shed_by_tenant.assign(static_cast<std::size_t>(tenants), 0);
   for (const Response& r : responses) {
+    // seq == batch index (fresh service), so the tenant round-robin maps
+    // responses back without carrying tenant ids through Response.
+    const auto tenant = static_cast<std::size_t>(r.seq) %
+                        static_cast<std::size_t>(tenants);
+    if (r.status == Status::kOk) {
+      ++out.ok_by_tenant[tenant];
+    } else if (r.status == Status::kRejected) {
+      ++out.shed_by_tenant[tenant];
+    }
     out.payload_digest.insert(out.payload_digest.end(), r.data.begin(),
                               r.data.end());
   }
@@ -173,6 +200,8 @@ int main(int argc, char** argv) {
   int scale_threads = 8;
   int requests = 256;
   int spawn_reps = 64;
+  int tenants = 4;
+  std::vector<int> sweep_threads = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (convolve::bench::consume_report_flag(arg, opts)) {
@@ -187,14 +216,32 @@ int main(int argc, char** argv) {
       requests = std::stoi(arg.substr(11));
     } else if (arg.rfind("--spawn-reps=", 0) == 0) {
       spawn_reps = std::stoi(arg.substr(13));
+    } else if (arg.rfind("--tenants=", 0) == 0) {
+      tenants = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--sweep=", 0) == 0) {
+      sweep_threads.clear();
+      std::string csv = arg.substr(8);
+      for (std::size_t pos = 0; pos < csv.size();) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos) comma = csv.size();
+        sweep_threads.push_back(std::stoi(csv.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s %s [--requests=N] [--spawn-reps=N] "
+                   "[--tenants=N] [--sweep=T1,T2,...] "
                    "[--min-fork-speedup=X] [--min-scale=X] "
                    "[--scale-threads=N]\n",
                    argv[0], convolve::bench::report_flags_usage());
       return 2;
     }
+  }
+  if (tenants < 1 || tenants > 8 || sweep_threads.empty()) {
+    std::fprintf(stderr,
+                 "bench_enclave_service: --tenants must be 1..8 (wheel has "
+                 "8 slots) and --sweep must be non-empty\n");
+    return 2;
   }
 
   BenchWorld world;
@@ -238,22 +285,30 @@ int main(int argc, char** argv) {
 
   // --- Phase 2: request-loop thread sweep --------------------------------
   if (!opts.json) {
-    std::printf("=== Request loop: %d run-requests per sweep point ===\n",
-                requests);
+    std::printf("=== Request loop: %d run-requests per sweep point, "
+                "%d tenant(s) ===\n",
+                requests, tenants);
     std::printf("%8s %12s %12s %12s %10s\n", "threads", "req/s", "p50 us",
                 "p99 us", "payloads");
   }
   std::vector<SweepPoint> sweep;
   bool deterministic = true;
+  bool swept_1 = false, swept_scale = false;
   double rate_at_1 = 0, rate_at_scale = 0;
-  for (int t : {1, 2, 4, 8}) {
-    const SweepPoint point = run_sweep_point(world, t, requests);
+  for (int t : sweep_threads) {
+    const SweepPoint point = run_sweep_point(world, t, requests, tenants);
     if (!sweep.empty() &&
         point.payload_digest != sweep.front().payload_digest) {
       deterministic = false;
     }
-    if (t == 1) rate_at_1 = point.requests_per_sec;
-    if (t == scale_threads) rate_at_scale = point.requests_per_sec;
+    if (t == 1) {
+      rate_at_1 = point.requests_per_sec;
+      swept_1 = true;
+    }
+    if (t == scale_threads) {
+      rate_at_scale = point.requests_per_sec;
+      swept_scale = true;
+    }
     auto& e = report.add("enclave_service/requests/threads:" +
                          std::to_string(t));
     e.threads = t;
@@ -264,6 +319,14 @@ int main(int argc, char** argv) {
     e.counter("p50_ns", static_cast<double>(point.p50_ns));
     e.counter("p99_ns", static_cast<double>(point.p99_ns));
     e.counter("ok", static_cast<double>(point.ok));
+    e.counter("tenants", static_cast<double>(tenants));
+    for (int k = 0; k < tenants; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      e.counter("tenant" + std::to_string(k) + "_ok",
+                static_cast<double>(point.ok_by_tenant[ks]));
+      e.counter("tenant" + std::to_string(k) + "_shed",
+                static_cast<double>(point.shed_by_tenant[ks]));
+    }
     if (!opts.json) {
       std::printf("%8d %12.0f %12.1f %12.1f %10s\n", t,
                   point.requests_per_sec,
@@ -274,10 +337,12 @@ int main(int argc, char** argv) {
     sweep.push_back(point);
   }
 
-  // Scaling gate, skipped on hosts that cannot express it: with fewer
-  // hardware threads than the sweep's top point, extra pool workers just
-  // time-slice one core and the "scaling" measured is scheduler noise.
-  const bool can_scale = par::hardware_threads() >= scale_threads;
+  // Scaling gate, skipped on hosts that cannot express it (or when the
+  // sweep doesn't include both endpoints): with fewer hardware threads
+  // than the sweep's top point, extra pool workers just time-slice one
+  // core and the "scaling" measured is scheduler noise.
+  const bool can_scale =
+      par::hardware_threads() >= scale_threads && swept_1 && swept_scale;
   bool scale_gate_ok = true;
   if (can_scale) {
     scale_gate_ok = rate_at_1 > 0 && rate_at_scale / rate_at_1 >= min_scale;

@@ -10,6 +10,7 @@
 //   --json            print the JSON report to stdout
 //   --trace-out=FILE  write a chrome://tracing span file
 //   --metrics-out=FILE  write the metric snapshot JSON
+//   --events-out=FILE write the flight-recorder event log (JSONL)
 // In CONVOLVE_TELEMETRY=OFF builds the flags stay accepted and the files
 // are still written (as empty stubs), so scripts don't fork on build type.
 #pragma once
@@ -91,6 +92,12 @@ struct Report {
 #else
     out += "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}";
 #endif
+    out += ",\n  \"events\": ";
+#if CONVOLVE_TELEMETRY_ENABLED
+    out += telemetry::event_log_stats().to_json();
+#else
+    out += "{\"recorded\": 0, \"dropped\": 0, \"by_kind\": {}}";
+#endif
     out += "\n}\n";
     return out;
   }
@@ -100,6 +107,7 @@ struct ReportOptions {
   bool json = false;
   std::string trace_out;
   std::string metrics_out;
+  std::string events_out;
 };
 
 /// Claim `arg` if it is one of the shared report flags. Returns true when
@@ -117,11 +125,16 @@ inline bool consume_report_flag(const std::string& arg, ReportOptions& opts) {
     opts.metrics_out = arg.substr(14);
     return true;
   }
+  if (arg.rfind("--events-out=", 0) == 0) {
+    opts.events_out = arg.substr(13);
+    return true;
+  }
   return false;
 }
 
 inline const char* report_flags_usage() {
-  return "[--json] [--trace-out=FILE] [--metrics-out=FILE]";
+  return "[--json] [--trace-out=FILE] [--metrics-out=FILE] "
+         "[--events-out=FILE]";
 }
 
 namespace detail {
@@ -152,6 +165,14 @@ inline bool finish_report(const Report& report, const ReportOptions& opts) {
     ok &= detail::write_stub(
         opts.metrics_out,
         "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n");
+#endif
+  }
+  if (!opts.events_out.empty()) {
+#if CONVOLVE_TELEMETRY_ENABLED
+    ok &= telemetry::write_events_jsonl(opts.events_out);
+#else
+    // Empty stub: JSONL with zero lines (obs_report reports "no events").
+    ok &= detail::write_stub(opts.events_out, "");
 #endif
   }
   return ok;

@@ -4,10 +4,21 @@
 #
 # Writes BENCH_<name>.json for every bench with --json support (the
 # hand-rolled benches via the shared bench_report.hpp schema, plus
-# bench_crypto_micro via google-benchmark's native emitter) and
-# TRACE_<name>.json chrome://tracing span files for the telemetry-
-# instrumented ones. A bench whose acceptance gate fails still has its
-# report collected; the combined gate status is the script's exit code.
+# bench_crypto_micro via google-benchmark's native emitter),
+# TRACE_<name>.json chrome://tracing span files and EVENTS_<name>.jsonl
+# flight-recorder logs for the telemetry-instrumented ones (empty stubs
+# in CONVOLVE_TELEMETRY=OFF builds). A bench whose acceptance gate fails
+# still has its report collected; the combined gate status is the
+# script's exit code.
+#
+# Diff a collected run against the committed snapshot with:
+#   build/tools/bench_diff bench/baseline/BENCH_enclave_service.json \
+#       <out-dir>/BENCH_bench_enclave_service.json \
+#       --counter=requests_per_second:higher
+# and join the service run's artifacts with:
+#   build/tools/obs_report --events=<out-dir>/EVENTS_bench_enclave_service.jsonl \
+#       --metrics=<out-dir>/METRICS_bench_enclave_service.json \
+#       --trace=<out-dir>/TRACE_bench_enclave_service.json
 set -u
 
 if [ $# -lt 1 ]; then
@@ -52,6 +63,8 @@ run_as() {
         return
     fi
     if "$bin" "$@" --json --trace-out="$out_dir/TRACE_$name.json" \
+        --metrics-out="$out_dir/METRICS_$name.json" \
+        --events-out="$out_dir/EVENTS_$name.jsonl" \
         > "$out_dir/BENCH_$name.json"; then
         echo "collect_bench: $name ok"
     else

@@ -1,0 +1,113 @@
+// Offline join of the three observability artifacts the enclave service
+// exports -- the flight-recorder event log (JSONL), the metrics snapshot
+// (--metrics-out) and the chrome trace (--trace-out) -- into one
+// per-tenant report: op mix, per-status counts, p50/p99 latency (via the
+// shared log2-percentile core), shed rate and fault taxonomy, plus
+// z-score flagging of outlier tenants. This is the runtime-detection
+// complement to the static rv32_lint vetting: rv32_lint decides what may
+// enter the fleet, obs_report shows what the fleet actually did.
+//
+// Join semantics (see DESIGN.md §5k):
+//  * The event log is the source of truth for attribution: request_done
+//    events carry {tenant, seq, op, status}; detail events (pmp_fault,
+//    tdm_shed, seal_reject, ...) attach the fault taxonomy.
+//  * The metrics snapshot supplies latency distributions: the service
+//    records the same latency samples into service.latency_ns and the
+//    per-tenant service.tenant.latency_ns.<t> histograms that its own
+//    stats fold sees, so percentiles computed here reproduce the
+//    service's stats() exactly (same buckets, same nearest-rank core).
+//  * The trace is corroboration: service.execute spans carry the seq as
+//    a chrome-trace arg, joined back to tenants through the event log.
+//
+// Header-only-friendly plain structs; parsing lives in obs_report.cpp and
+// depends only on common/json. Deliberately NOT gated on the telemetry
+// kill switch: an OFF build can still analyze artifacts produced
+// elsewhere (it just cannot produce its own).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace convolve::obs {
+
+// Decode tables for the request_done event code byte:
+// code = (op_kind << 4) | status, using the service's RequestKind/Status
+// enumerator values (pinned by a test in tests/tee/test_obs.cpp).
+inline constexpr int kStatusCount = 5;
+inline constexpr int kOpCount = 4;
+const char* status_name(int status);  // ok/rejected/trap/step_limit/error
+const char* op_name(int op);          // run/attest/seal/unseal
+
+/// Fault-taxonomy dimension: every event kind that indicts a request
+/// (order is the report's presentation order).
+inline constexpr std::array<const char*, 6> kFaultKinds = {
+    "pmp_fault",   "illegal_instruction",  "misaligned_fetch",
+    "step_limit",  "seal_reject",          "measurement_mismatch",
+};
+
+struct TenantReport {
+  int tenant = 0;
+
+  // From the event log.
+  std::uint64_t requests = 0;  // request_done events
+  std::array<std::uint64_t, kStatusCount> by_status{};
+  std::array<std::uint64_t, kOpCount> by_op{};
+  std::uint64_t sheds = 0;  // tdm_shed events
+  std::array<std::uint64_t, kFaultKinds.size()> fault_by_kind{};
+  std::uint64_t fault_events = 0;  // sum of fault_by_kind
+  std::uint64_t cow_pages = 0;     // sum of cow_burst values
+
+  // From the metrics snapshot (service.tenant.latency_ns.<t>).
+  std::uint64_t latency_count = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+
+  // From the trace join (service.execute spans whose seq maps here).
+  std::uint64_t spans = 0;
+
+  // Outlier analysis across the tenant population.
+  double shed_rate = 0.0;   // sheds / requests
+  double fault_rate = 0.0;  // fault_events / requests
+  double z_shed = 0.0;
+  double z_fault = 0.0;
+  bool outlier = false;
+};
+
+struct Report {
+  std::vector<TenantReport> tenants;  // sorted by tenant id
+
+  // Global fold (reproduces the service's own stats fold).
+  std::uint64_t events = 0;  // parsed event records
+  std::uint64_t requests = 0;
+  std::array<std::uint64_t, kStatusCount> by_status{};
+  std::uint64_t latency_count = 0;  // service.latency_ns histogram
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+
+  // Artifact health.
+  std::uint64_t events_dropped = 0;  // telemetry.events.dropped counter
+  std::uint64_t spans_dropped = 0;   // telemetry.spans.dropped counter
+  std::uint64_t spans_joined = 0;    // service.execute spans matched
+  std::uint64_t spans_unmatched = 0;
+
+  double z_threshold = 3.0;
+  bool has_outliers = false;
+  std::vector<std::string> notes;  // parse anomalies, join mismatches
+};
+
+/// Build the joined report from raw artifact contents. Empty inputs are
+/// legal (an OFF-build stub export yields an empty report plus a note);
+/// malformed lines/documents are skipped and noted, never fatal.
+Report build_report(std::string_view events_jsonl,
+                    std::string_view metrics_json,
+                    std::string_view trace_json, double z_threshold = 3.0);
+
+/// Human-readable per-tenant table + flags.
+std::string to_text(const Report& report);
+/// Machine-readable rendering of the same report.
+std::string to_json(const Report& report);
+
+}  // namespace convolve::obs

@@ -1,0 +1,25 @@
+// Request-scoped attribution context for the security flight recorder.
+//
+// The enclave service stamps one of these per request and threads it
+// through admission, fork spawning and the security monitor, so that any
+// security-relevant occurrence along the way (a PMP fault, a TDM shed, a
+// seal rejection, a CoW materialization burst) can be attributed to the
+// {tenant, seq} that caused it. The struct is deliberately independent of
+// the telemetry layer: carrying 16 bytes of attribution is not telemetry,
+// so CONVOLVE_TELEMETRY=OFF builds keep threading it (and the service API
+// stays identical) while every record_event call compiled against it
+// vanishes.
+#pragma once
+
+#include <cstdint>
+
+namespace convolve {
+
+struct RequestContext {
+  std::uint64_t seq = 0;      // submission order within the service batch
+  std::uint32_t fork_id = 0;  // CoW fork id (0 = master / not a fork)
+  std::uint8_t tenant = 0;    // TDM tenant slot (clamped to 255)
+  std::uint8_t enclave = 0;   // enclave table index (clamped to 255)
+};
+
+}  // namespace convolve

@@ -28,14 +28,19 @@
 #define CONVOLVE_TELEMETRY_ENABLED 1
 #endif
 
+// Outside the kill switch: RequestContext is telemetry-independent
+// plumbing (the service threads it in both build flavors), and OFF-build
+// call sites still name it around CONVOLVE_RECORD_EVENT.
+#include "convolve/common/request_context.hpp"
+
 #if CONVOLVE_TELEMETRY_ENABLED
 
+#include <array>
 #include <atomic>
 #include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
-
 #include "convolve/common/stats.hpp"
 
 namespace convolve::telemetry {
@@ -146,6 +151,59 @@ class Histogram : public Metric {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+/// Fixed-dimension labeled counter family: `base.<slot>` for slots
+/// 0..kSlots-1 plus a `base.overflow` member that absorbs out-of-range
+/// labels (so a hostile label value can never index out of bounds). The
+/// dimension is deliberately tiny and fixed -- tenant slots, not user ids.
+/// add() stays ONE relaxed atomic add: slot clamping is a branchless
+/// bounds check on the way to a plain Counter. Members are registered
+/// metrics and therefore leak (the registry requires static storage).
+class CounterFamily {
+ public:
+  static constexpr int kSlots = 8;
+
+  /// `base` must outlive the family (string literal in practice).
+  explicit CounterFamily(const char* base);
+
+  void add(int slot, std::uint64_t n = 1) { member(slot).add(n); }
+  Counter& member(int slot) {
+    return *members_[static_cast<std::size_t>(index(slot))];
+  }
+  const Counter& member(int slot) const {
+    return *members_[static_cast<std::size_t>(index(slot))];
+  }
+
+ private:
+  static int index(int slot) {
+    return (slot >= 0 && slot < kSlots) ? slot : kSlots;
+  }
+  std::array<Counter*, kSlots + 1> members_{};
+};
+
+/// Histogram analogue of CounterFamily (same slot/overflow scheme). Keep
+/// record() off per-item hot paths -- the service records these in its
+/// serial stats fold, not inside workers.
+class HistogramFamily {
+ public:
+  static constexpr int kSlots = CounterFamily::kSlots;
+
+  explicit HistogramFamily(const char* base);
+
+  void record(int slot, std::uint64_t v) { member(slot).record(v); }
+  Histogram& member(int slot) {
+    return *members_[static_cast<std::size_t>(index(slot))];
+  }
+  const Histogram& member(int slot) const {
+    return *members_[static_cast<std::size_t>(index(slot))];
+  }
+
+ private:
+  static int index(int slot) {
+    return (slot >= 0 && slot < kSlots) ? slot : kSlots;
+  }
+  std::array<Histogram*, kSlots + 1> members_{};
+};
+
 /// Point-in-time copy of every registered metric, sorted by name.
 struct MetricsSnapshot {
   struct HistogramBucket {
@@ -178,6 +236,11 @@ struct MetricsSnapshot {
   std::string to_json() const;
 };
 
+/// Snapshot of the registry plus synthesized ring-accounting counters:
+/// `telemetry.spans.dropped` / `telemetry.events.dropped` totals and a
+/// `telemetry.spans.dropped.<thread>` / `telemetry.events.dropped.<thread>`
+/// counter per thread ring that has dropped at least one record, so silent
+/// loss under overload is visible in every metrics export.
 MetricsSnapshot snapshot();
 /// Zero every registered counter/gauge/histogram (tests and benches only;
 /// concurrent adds during a reset may survive it).
@@ -194,21 +257,41 @@ std::uint64_t trace_now_ns();
 void set_thread_name(const char* name);
 
 /// Record one complete span on the calling thread's ring buffer. `name`
-/// must be a string literal (stored by pointer).
+/// must be a string literal (stored by pointer). The second overload
+/// attaches one numeric chrome-trace argument (`"args": {"<key>": v}`);
+/// `arg_key` must also be a string literal. The service uses this to stamp
+/// every request-scoped span with its submission seq.
 void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t dur_ns);
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns, const char* arg_key,
+                 std::uint64_t arg_value);
 
 /// RAII span: records [construction, destruction) via record_span.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name)
       : name_(name), start_ns_(trace_now_ns()) {}
-  ~ScopedSpan() { record_span(name_, start_ns_, trace_now_ns() - start_ns_); }
+  ScopedSpan(const char* name, const char* arg_key, std::uint64_t arg_value)
+      : name_(name),
+        arg_key_(arg_key),
+        arg_value_(arg_value),
+        start_ns_(trace_now_ns()) {}
+  ~ScopedSpan() {
+    if (arg_key_) {
+      record_span(name_, start_ns_, trace_now_ns() - start_ns_, arg_key_,
+                  arg_value_);
+    } else {
+      record_span(name_, start_ns_, trace_now_ns() - start_ns_);
+    }
+  }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
   const char* name_;
+  const char* arg_key_ = nullptr;
+  std::uint64_t arg_value_ = 0;
   std::uint64_t start_ns_;
 };
 
@@ -230,6 +313,98 @@ std::string chrome_trace_json();
 bool write_chrome_trace(const std::string& path);
 bool write_metrics_json(const std::string& path);
 
+// --- Security flight recorder (structured audit events) ----------------
+//
+// Typed, request-attributed audit records for security-relevant
+// occurrences in the enclave service path. Events share the span ring
+// discipline: per-thread append-only buffers, drop-on-full (never wrap),
+// release-published count, and the same compile-time kill switch -- an
+// OFF build contains no event code at all.
+
+/// What happened. Kept to one byte; the per-kind meaning of `code` and
+/// `value` is documented on each enumerator (and mirrored by obs_report).
+enum class EventKind : std::uint8_t {
+  /// A request reached a terminal status (emitted exactly once per
+  /// request, including rejected ones). code = (op_kind << 4) | status
+  /// using the service's RequestKind/Status enum values; value = executed
+  /// steps (0 for non-run ops and rejections).
+  kRequestDone = 0,
+  /// TDM admission shed. code: 0 = no wheel slot in window, 1 = pending
+  /// queue cap; value = wheel slots scanned before giving up.
+  kTdmShed = 1,
+  /// PMP access fault at enclave runtime. code: 0 = load, 1 = store,
+  /// 2 = instruction fetch; value = faulting address (mtval).
+  kPmpFault = 2,
+  /// Illegal instruction trap; value = the raw instruction word.
+  kIllegalInsn = 3,
+  /// Misaligned fetch trap; value = the misaligned target pc.
+  kMisalignedFetch = 4,
+  /// Enclave ran to its step budget without exiting; value = steps.
+  kStepLimit = 5,
+  /// seal()/unseal() rejected a blob. code: 0 = malformed blob,
+  /// 1 = authentication failure (wrong key, tampered ciphertext, or
+  /// measurement-AAD mismatch); value = blob size in bytes.
+  kSealReject = 6,
+  /// Local attestation token failed verification. code: 0 = malformed
+  /// token, 1 = MAC/measurement mismatch; value = the token's claimed
+  /// target enclave id.
+  kMeasurementMismatch = 7,
+  /// CoW fork materialized private pages while serving a request;
+  /// value = pages materialized (page count, not bytes).
+  kCowBurst = 8,
+};
+inline constexpr int kEventKindCount = 9;
+
+/// Stable lower_snake_case name of a kind (JSONL `"kind"` field).
+const char* event_kind_name(EventKind kind);
+
+/// One fixed-size flight-recorder record. 32 bytes so a ring slot is two
+/// cache-line quarters and a full ring stays cheap to copy out.
+struct Event {
+  std::uint64_t t_ns = 0;    // trace_now_ns() at record time
+  std::uint64_t seq = 0;     // RequestContext::seq
+  std::uint64_t value = 0;   // kind-specific payload (see EventKind)
+  std::uint32_t fork_id = 0; // RequestContext::fork_id
+  std::uint8_t tenant = 0;   // RequestContext::tenant
+  std::uint8_t enclave = 0;  // RequestContext::enclave
+  std::uint8_t kind = 0;     // EventKind
+  std::uint8_t code = 0;     // kind-specific discriminator (see EventKind)
+};
+static_assert(sizeof(Event) == 32, "flight-recorder records are 32 bytes");
+
+/// Append one event to the calling thread's event ring (drop-on-full).
+void record_event(EventKind kind, const RequestContext& ctx,
+                  std::uint8_t code, std::uint64_t value);
+
+/// Every published event across all thread rings, in deterministic thread
+/// order (main, worker-<i>, others) and ring order within a thread.
+/// Cross-thread interleaving is NOT temporal; sort by t_ns if needed.
+std::vector<Event> collect_events();
+
+/// Events dropped because a thread's event ring was full.
+std::uint64_t dropped_event_count();
+
+/// Clear every thread's event ring (and drop counts). Only call while no
+/// parallel region is in flight.
+void reset_events();
+
+/// Aggregate recorded/dropped totals and a per-kind breakdown -- the
+/// object benches embed under the top-level "events" key of their report.
+struct EventLogStats {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::array<std::uint64_t, kEventKindCount> by_kind{};
+
+  std::string to_json() const;
+};
+EventLogStats event_log_stats();
+
+/// JSONL export: one `{"t_ns":..,"kind":"..","tenant":..,"seq":..,
+/// "fork":..,"enclave":..,"code":..,"value":..}` object per line, in
+/// collect_events() order. Empty string when no events were recorded.
+std::string events_jsonl();
+bool write_events_jsonl(const std::string& path);
+
 }  // namespace convolve::telemetry
 
 // Statement/declaration that only exists in telemetry-enabled builds.
@@ -246,6 +421,20 @@ bool write_metrics_json(const std::string& path);
       convolve_trace_span_, __LINE__) {                          \
     name_literal                                                 \
   }
+/// Scoped span with one numeric chrome-trace arg, e.g.
+/// CONVOLVE_TRACE_SPAN_ARG("service.execute", "seq", item.seq).
+#define CONVOLVE_TRACE_SPAN_ARG(name_literal, key_literal, value)    \
+  const ::convolve::telemetry::ScopedSpan CONVOLVE_TELEMETRY_CONCAT( \
+      convolve_trace_span_, __LINE__) {                              \
+    name_literal, key_literal,                                       \
+        static_cast<std::uint64_t>(value)                            \
+  }
+/// Flight-recorder event: kind is a bare EventKind enumerator name.
+/// Arguments are NOT evaluated in OFF builds.
+#define CONVOLVE_RECORD_EVENT(kind, ctx, code, value)             \
+  ::convolve::telemetry::record_event(                            \
+      ::convolve::telemetry::EventKind::kind, (ctx),              \
+      static_cast<std::uint8_t>(code), static_cast<std::uint64_t>(value))
 
 #else  // !CONVOLVE_TELEMETRY_ENABLED
 
@@ -257,5 +446,7 @@ bool write_metrics_json(const std::string& path);
 #define CONVOLVE_GAUGE_SET(gauge, v) ((void)0)
 #define CONVOLVE_HISTOGRAM_RECORD(hist, v) ((void)0)
 #define CONVOLVE_TRACE_SPAN(name_literal) ((void)0)
+#define CONVOLVE_TRACE_SPAN_ARG(name_literal, key_literal, value) ((void)0)
+#define CONVOLVE_RECORD_EVENT(kind, ctx, code, value) ((void)0)
 
 #endif  // CONVOLVE_TELEMETRY_ENABLED

@@ -29,13 +29,17 @@ struct SpanEvent {
   const char* name;        // string literal, stored by pointer
   std::uint64_t start_ns;
   std::uint64_t dur_ns;
+  const char* arg_key;     // string literal or nullptr (no arg)
+  std::uint64_t arg_value;
 };
 
-// One per thread that ever records a span (or names itself). Heap-allocated
-// and owned by the global registry below, so a buffer outlives its thread
-// and the exporter can read it after the thread exits. Appends publish via
-// release on `count`; the exporter acquires `count` and reads only the
-// prefix, which is immutable once published (events never wrap in an epoch).
+// One per thread that ever records a span, an audit event, or a name.
+// Heap-allocated and owned by the global registry below, so a buffer
+// outlives its thread and the exporter can read it after the thread exits.
+// Appends publish via release on the count; the exporter acquires the
+// count and reads only the prefix, which is immutable once published
+// (records never wrap in an epoch). The flight-recorder event ring shares
+// the struct so one thread_local lookup serves both record paths.
 struct ThreadTrace {
   static constexpr std::size_t kCapacity = 16384;
 
@@ -43,16 +47,30 @@ struct ThreadTrace {
   std::atomic<std::uint32_t> count{0};
   std::atomic<std::uint64_t> dropped{0};
   std::array<SpanEvent, kCapacity> events;
+  std::atomic<std::uint32_t> audit_count{0};
+  std::atomic<std::uint64_t> audit_dropped{0};
+  std::array<Event, kCapacity> audit;
 
   void append(const char* span_name, std::uint64_t start_ns,
-              std::uint64_t dur_ns) {
+              std::uint64_t dur_ns, const char* arg_key,
+              std::uint64_t arg_value) {
     std::uint32_t n = count.load(std::memory_order_relaxed);
     if (n >= kCapacity) {
       dropped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    events[n] = SpanEvent{span_name, start_ns, dur_ns};
+    events[n] = SpanEvent{span_name, start_ns, dur_ns, arg_key, arg_value};
     count.store(n + 1, std::memory_order_release);
+  }
+
+  void append_audit(const Event& e) {
+    std::uint32_t n = audit_count.load(std::memory_order_relaxed);
+    if (n >= kCapacity) {
+      audit_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    audit[n] = e;
+    audit_count.store(n + 1, std::memory_order_release);
   }
 };
 
@@ -155,6 +173,60 @@ void Histogram::reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Registered metrics must have static storage, so family members (and
+// their composed names) are allocated once and never freed -- tell
+// LeakSanitizer the leak is the design, not a bug.
+#if defined(__SANITIZE_ADDRESS__)
+#define CONVOLVE_FAMILY_LEAK_OK 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CONVOLVE_FAMILY_LEAK_OK 1
+#endif
+#endif
+#if defined(CONVOLVE_FAMILY_LEAK_OK)
+#include <sanitizer/lsan_interface.h>
+template <typename T>
+T* adopt_leak(T* p) {
+  __lsan_ignore_object(p);
+  return p;
+}
+#else
+template <typename T>
+T* adopt_leak(T* p) {
+  return p;
+}
+#endif
+
+const char* leak_member_name(const char* base, int slot) {
+  std::string* s = adopt_leak(new std::string(base));
+  s->push_back('.');
+  if (slot < 0) {
+    s->append("overflow");
+  } else {
+    s->append(std::to_string(slot));
+  }
+  return s->c_str();
+}
+}  // namespace
+
+CounterFamily::CounterFamily(const char* base) {
+  for (int i = 0; i < kSlots; ++i) {
+    members_[static_cast<std::size_t>(i)] =
+        adopt_leak(new Counter(leak_member_name(base, i)));
+  }
+  members_[kSlots] = adopt_leak(new Counter(leak_member_name(base, -1)));
+}
+
+HistogramFamily::HistogramFamily(const char* base) {
+  for (int i = 0; i < kSlots; ++i) {
+    members_[static_cast<std::size_t>(i)] =
+        adopt_leak(new Histogram(leak_member_name(base, i)));
+  }
+  members_[kSlots] = adopt_leak(new Histogram(leak_member_name(base, -1)));
+}
+
 const MetricsSnapshot::Entry* MetricsSnapshot::find(
     const std::string& name) const {
   for (const Entry& e : entries) {
@@ -213,6 +285,37 @@ MetricsSnapshot snapshot() {
       }
     }
     snap.entries.push_back(std::move(e));
+  }
+  // Synthesized ring-accounting counters: totals always, plus one entry
+  // per thread ring that actually dropped (thread names are deterministic,
+  // so overloaded rings are attributable run-over-run).
+  {
+    auto add_counter = [&snap](std::string name, std::uint64_t v) {
+      MetricsSnapshot::Entry e;
+      e.name = std::move(name);
+      e.kind = MetricKind::kCounter;
+      e.counter = v;
+      snap.entries.push_back(std::move(e));
+    };
+    TraceRegistry& reg = trace_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::uint64_t span_drops = 0;
+    std::uint64_t event_drops = 0;
+    for (const auto& t : reg.threads) {
+      const std::uint64_t sd = t->dropped.load(std::memory_order_relaxed);
+      const std::uint64_t ed =
+          t->audit_dropped.load(std::memory_order_relaxed);
+      span_drops += sd;
+      event_drops += ed;
+      if (sd != 0) {
+        add_counter(std::string("telemetry.spans.dropped.") + t->name, sd);
+      }
+      if (ed != 0) {
+        add_counter(std::string("telemetry.events.dropped.") + t->name, ed);
+      }
+    }
+    add_counter("telemetry.spans.dropped", span_drops);
+    add_counter("telemetry.events.dropped", event_drops);
   }
   std::sort(snap.entries.begin(), snap.entries.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
@@ -290,7 +393,13 @@ void set_thread_name(const char* name) {
 
 void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t dur_ns) {
-  this_thread_trace().append(name, start_ns, dur_ns);
+  this_thread_trace().append(name, start_ns, dur_ns, nullptr, 0);
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns, const char* arg_key,
+                 std::uint64_t arg_value) {
+  this_thread_trace().append(name, start_ns, dur_ns, arg_key, arg_value);
 }
 
 std::uint64_t dropped_span_count() {
@@ -366,7 +475,13 @@ std::string chrome_trace_json() {
       ev += std::string("\", \"ts\": ") + buf;
       std::snprintf(buf, sizeof(buf), "%.3f",
                     static_cast<double>(s.dur_ns) / 1000.0);
-      ev += std::string(", \"dur\": ") + buf + "}";
+      ev += std::string(", \"dur\": ") + buf;
+      if (s.arg_key) {
+        ev += ", \"args\": {\"";
+        append_json_escaped(ev, s.arg_key);
+        ev += "\": " + std::to_string(s.arg_value) + "}";
+      }
+      ev += "}";
       emit(ev);
     }
   }
@@ -404,6 +519,141 @@ bool write_chrome_trace(const std::string& path) {
 
 bool write_metrics_json(const std::string& path) {
   return write_file(path, snapshot().to_json() + "\n");
+}
+
+// --- Security flight recorder ------------------------------------------
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRequestDone: return "request_done";
+    case EventKind::kTdmShed: return "tdm_shed";
+    case EventKind::kPmpFault: return "pmp_fault";
+    case EventKind::kIllegalInsn: return "illegal_instruction";
+    case EventKind::kMisalignedFetch: return "misaligned_fetch";
+    case EventKind::kStepLimit: return "step_limit";
+    case EventKind::kSealReject: return "seal_reject";
+    case EventKind::kMeasurementMismatch: return "measurement_mismatch";
+    case EventKind::kCowBurst: return "cow_burst";
+  }
+  return "unknown";
+}
+
+void record_event(EventKind kind, const RequestContext& ctx,
+                  std::uint8_t code, std::uint64_t value) {
+  Event e;
+  e.t_ns = trace_now_ns();
+  e.seq = ctx.seq;
+  e.value = value;
+  e.fork_id = ctx.fork_id;
+  e.tenant = ctx.tenant;
+  e.enclave = ctx.enclave;
+  e.kind = static_cast<std::uint8_t>(kind);
+  e.code = code;
+  this_thread_trace().append_audit(e);
+}
+
+std::vector<Event> collect_events() {
+  // Copy ring prefixes under the lock, ordered by the deterministic
+  // thread sort key so the result is stable across runs.
+  struct RingCopy {
+    std::string name;
+    std::vector<Event> events;
+  };
+  std::vector<RingCopy> rings;
+  {
+    TraceRegistry& reg = trace_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    rings.reserve(reg.threads.size());
+    for (const auto& t : reg.threads) {
+      RingCopy c;
+      c.name = t->name;
+      std::uint32_t n = t->audit_count.load(std::memory_order_acquire);
+      c.events.assign(t->audit.begin(), t->audit.begin() + n);
+      rings.push_back(std::move(c));
+    }
+  }
+  std::sort(rings.begin(), rings.end(),
+            [](const RingCopy& a, const RingCopy& b) {
+              return ThreadSortKey::of(a.name.c_str()) <
+                     ThreadSortKey::of(b.name.c_str());
+            });
+  std::vector<Event> all;
+  for (const RingCopy& r : rings) {
+    all.insert(all.end(), r.events.begin(), r.events.end());
+  }
+  return all;
+}
+
+std::uint64_t dropped_event_count() {
+  TraceRegistry& reg = trace_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t total = 0;
+  for (const auto& t : reg.threads) {
+    total += t->audit_dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void reset_events() {
+  TraceRegistry& reg = trace_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& t : reg.threads) {
+    t->audit_count.store(0, std::memory_order_release);
+    t->audit_dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+EventLogStats event_log_stats() {
+  EventLogStats stats;
+  for (const Event& e : collect_events()) {
+    ++stats.recorded;
+    if (e.kind < kEventKindCount) {
+      ++stats.by_kind[e.kind];
+    }
+  }
+  stats.dropped = dropped_event_count();
+  return stats;
+}
+
+std::string EventLogStats::to_json() const {
+  std::string out = "{\"recorded\": " + std::to_string(recorded) +
+                    ", \"dropped\": " + std::to_string(dropped) +
+                    ", \"by_kind\": {";
+  bool first = true;
+  for (int k = 0; k < kEventKindCount; ++k) {
+    if (by_kind[static_cast<std::size_t>(k)] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += std::string("\"") +
+           event_kind_name(static_cast<EventKind>(k)) + "\": " +
+           std::to_string(by_kind[static_cast<std::size_t>(k)]);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string events_jsonl() {
+  std::string out;
+  char line[256];
+  for (const Event& e : collect_events()) {
+    std::snprintf(line, sizeof(line),
+                  "{\"t_ns\": %llu, \"kind\": \"%s\", \"tenant\": %u, "
+                  "\"seq\": %llu, \"fork\": %u, \"enclave\": %u, "
+                  "\"code\": %u, \"value\": %llu}\n",
+                  static_cast<unsigned long long>(e.t_ns),
+                  event_kind_name(static_cast<EventKind>(e.kind)),
+                  static_cast<unsigned>(e.tenant),
+                  static_cast<unsigned long long>(e.seq), e.fork_id,
+                  static_cast<unsigned>(e.enclave),
+                  static_cast<unsigned>(e.code),
+                  static_cast<unsigned long long>(e.value));
+    out += line;
+  }
+  return out;
+}
+
+bool write_events_jsonl(const std::string& path) {
+  return write_file(path, events_jsonl());
 }
 
 }  // namespace convolve::telemetry

@@ -32,6 +32,7 @@ int TdmAdmission::add_tenant(const std::vector<int>& slots) {
   }
   const int id = tenant_count_++;
   for (int s : slots) slot_owner_[static_cast<std::size_t>(s)] = id;
+  per_tenant_.emplace_back();
   return id;
 }
 
@@ -45,11 +46,27 @@ TdmAdmission::Decision TdmAdmission::admit(int tenant) {
     if (slot_owner_[static_cast<std::size_t>(slot)] == tenant) {
       cursor_ = (cursor_ + d + 1) % config_.period;
       ++admitted_;
+      ++per_tenant_[static_cast<std::size_t>(tenant)].admitted;
       return {true, d};
     }
   }
   ++rejected_;
+  ++per_tenant_[static_cast<std::size_t>(tenant)].rejected;
   return {false, scan};
+}
+
+std::uint64_t TdmAdmission::admitted_count(int tenant) const {
+  if (tenant < 0 || tenant >= tenant_count_) {
+    throw std::out_of_range("TdmAdmission: unknown tenant");
+  }
+  return per_tenant_[static_cast<std::size_t>(tenant)].admitted;
+}
+
+std::uint64_t TdmAdmission::rejected_count(int tenant) const {
+  if (tenant < 0 || tenant >= tenant_count_) {
+    throw std::out_of_range("TdmAdmission: unknown tenant");
+  }
+  return per_tenant_[static_cast<std::size_t>(tenant)].rejected;
 }
 
 double TdmAdmission::admitted_fraction() const {

@@ -54,16 +54,27 @@ class TdmAdmission {
 
   std::uint64_t admitted_count() const { return admitted_; }
   std::uint64_t rejected_count() const { return rejected_; }
+  /// Per-tenant decision tallies, so a shed can be attributed to the
+  /// tenant that ate it (the service exports these as labeled counters).
+  /// Throws std::out_of_range for an unknown tenant.
+  std::uint64_t admitted_count(int tenant) const;
+  std::uint64_t rejected_count(int tenant) const;
   /// Admitted fraction of all decisions, 1.0 before any decision.
   double admitted_fraction() const;
 
  private:
+  struct TenantCounts {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+  };
+
   Config config_;
   std::vector<int> slot_owner_;  // -1 = unowned
   int tenant_count_ = 0;
   int cursor_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::vector<TenantCounts> per_tenant_;
 };
 
 }  // namespace convolve::compsoc

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "convolve/common/request_context.hpp"
 #include "convolve/tee/attestation.hpp"
 #include "convolve/tee/bootrom.hpp"
 #include "convolve/tee/machine.hpp"
@@ -131,6 +132,17 @@ class SecurityMonitor {
   LocalAttestation local_attest(int target);
   bool verify_local_attestation(const LocalAttestation& token) const;
 
+  /// Attribution context for the flight recorder: security-relevant
+  /// occurrences inside this SM (trap exits, seal/unseal rejections,
+  /// attestation verification failures) are emitted as telemetry events
+  /// stamped with this context. The service sets it right after forking a
+  /// world for a request; the default context (seq 0, this SM's fork id)
+  /// covers direct SM use outside the service. Kept a plain member --
+  /// carrying attribution is not telemetry, so the OFF build threads it
+  /// identically while the emission sites compile away.
+  void set_request_context(const RequestContext& ctx) { ctx_ = ctx; }
+  const RequestContext& request_context() const { return ctx_; }
+
   const SimStack& stack() const { return stack_; }
   const BootRecord& boot_record() const { return boot_; }
 
@@ -146,6 +158,7 @@ class SecurityMonitor {
   std::uint64_t next_free_ = 0;
   std::uint64_t seal_nonce_counter_ = 0;
   std::uint32_t fork_id_ = 0;
+  RequestContext ctx_{};
 
   friend struct SmSnapshot;
   Enclave& enclave_mut(int id);

@@ -41,6 +41,11 @@ class MachineSnapshot {
   /// pre-snapshot blobs). O(pages) pointer setup, no memory copies.
   EnclaveWorld fork(std::uint32_t fork_id) const;
 
+  /// Fork with flight-recorder attribution: the world's SM is stamped
+  /// with `ctx` so everything it records (trap exits, seal rejections)
+  /// carries the requesting {tenant, seq} from birth.
+  EnclaveWorld fork(std::uint32_t fork_id, const RequestContext& ctx) const;
+
   const MachineImage& image() const { return *image_; }
   const SmSnapshot& sm_state() const { return sm_; }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "convolve/common/telemetry.hpp"
 #include "convolve/crypto/aead.hpp"
 #include "convolve/crypto/hmac.hpp"
 #include "convolve/crypto/keccak.hpp"
@@ -9,6 +10,42 @@
 namespace convolve::tee {
 
 namespace {
+
+#if CONVOLVE_TELEMETRY_ENABLED
+// Flight-recorder taxonomy of an enclave run's exit: voluntary exits
+// (ecall/ebreak) are clean and emit nothing here -- the service's
+// request_done event carries their status; everything else is a
+// security-relevant occurrence attributed to the current context.
+void record_trap_exit(const RequestContext& ctx,
+                      const Rv32Cpu::RunResult& result) {
+  namespace tel = convolve::telemetry;
+  if (!result.trap) {
+    tel::record_event(tel::EventKind::kStepLimit, ctx, 0, result.steps);
+    return;
+  }
+  const Trap& trap = *result.trap;
+  switch (trap.cause) {
+    case TrapCause::kEcall:
+    case TrapCause::kEbreak:
+      return;
+    case TrapCause::kLoadAccessFault:
+      tel::record_event(tel::EventKind::kPmpFault, ctx, 0, trap.tval);
+      return;
+    case TrapCause::kStoreAccessFault:
+      tel::record_event(tel::EventKind::kPmpFault, ctx, 1, trap.tval);
+      return;
+    case TrapCause::kInstructionAccessFault:
+      tel::record_event(tel::EventKind::kPmpFault, ctx, 2, trap.tval);
+      return;
+    case TrapCause::kIllegalInstruction:
+      tel::record_event(tel::EventKind::kIllegalInsn, ctx, 0, trap.tval);
+      return;
+    case TrapCause::kMisalignedFetch:
+      tel::record_event(tel::EventKind::kMisalignedFetch, ctx, 0, trap.tval);
+      return;
+  }
+}
+#endif  // CONVOLVE_TELEMETRY_ENABLED
 
 std::uint64_t next_power_of_two(std::uint64_t x) {
   std::uint64_t p = 8;
@@ -200,6 +237,7 @@ Rv32Cpu::RunResult SecurityMonitor::run_enclave_program(
   if (engine != cpu.engine()) cpu.set_engine(engine);
   Rv32Cpu::RunResult result = cpu.run(max_steps);
   enter_os();
+  CONVOLVE_TELEMETRY_ONLY(record_trap_exit(ctx_, result);)
   return result;
 }
 
@@ -269,8 +307,17 @@ Bytes SecurityMonitor::seal(int id, ByteView plaintext) {
 std::optional<Bytes> SecurityMonitor::unseal(int id, ByteView sealed_blob) {
   const Enclave& e = enclave(id);
   const auto box = crypto::aead_deserialize(sealed_blob);
-  if (!box) return std::nullopt;
-  return crypto::aead_open(sealing_key(e), *box, e.measurement);
+  if (!box) {
+    CONVOLVE_RECORD_EVENT(kSealReject, ctx_, 0, sealed_blob.size());
+    return std::nullopt;
+  }
+  auto opened = crypto::aead_open(sealing_key(e), *box, e.measurement);
+  if (!opened) {
+    // Authentication failure: wrong key, tampered ciphertext, or a
+    // measurement-AAD mismatch (blob sealed for a different enclave).
+    CONVOLVE_RECORD_EVENT(kSealReject, ctx_, 1, sealed_blob.size());
+  }
+  return opened;
 }
 
 SecurityMonitor::LocalAttestation SecurityMonitor::local_attest(int target) {
@@ -295,6 +342,7 @@ SecurityMonitor::LocalAttestation SecurityMonitor::local_attest(int target) {
 bool SecurityMonitor::verify_local_attestation(
     const LocalAttestation& token) const {
   if (token.target_measurement.size() != 64 || token.mac.size() != 32) {
+    CONVOLVE_RECORD_EVENT(kMeasurementMismatch, ctx_, 0, token.target);
     return false;
   }
   const Bytes key = crypto::hkdf(boot_.sealing_root, {},
@@ -307,7 +355,11 @@ bool SecurityMonitor::verify_local_attestation(
              token.target_measurement.end());
   Bytes mac = crypto::hmac_sha512(key, msg);
   mac.resize(32);
-  return ct_equal(mac, token.mac);
+  const bool ok = ct_equal(mac, token.mac);
+  if (!ok) {
+    CONVOLVE_RECORD_EVENT(kMeasurementMismatch, ctx_, 1, token.target);
+  }
+  return ok;
 }
 
 VerifierTrustAnchor SecurityMonitor::trust_anchor() const {

@@ -35,6 +35,28 @@ compsoc::TdmAdmission make_admission(const ServiceConfig& config) {
   return admission;
 }
 
+// Fork id for request `seq`: unique per request, 0 stays reserved for the
+// master's pre-snapshot seal blobs.
+std::uint32_t fork_id_for(std::uint64_t seq) {
+  return static_cast<std::uint32_t>(seq + 1);
+}
+
+std::uint8_t clamp_u8(int v) {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+// Flight-recorder attribution for one request. Threaded through fork() ->
+// SM in ON and OFF builds alike (attribution is not telemetry).
+RequestContext request_ctx(const Request& req, std::uint64_t seq,
+                           std::uint32_t fork_id) {
+  RequestContext ctx;
+  ctx.seq = seq;
+  ctx.fork_id = fork_id;
+  ctx.tenant = clamp_u8(req.tenant);
+  ctx.enclave = clamp_u8(req.enclave);
+  return ctx;
+}
+
 #if CONVOLVE_TELEMETRY_ENABLED
 telemetry::Counter t_req_run{"service.requests.run"};
 telemetry::Counter t_req_attest{"service.requests.attest"};
@@ -44,6 +66,14 @@ telemetry::Counter t_rejected{"service.rejected"};
 telemetry::Counter t_forks{"service.forks"};
 telemetry::Histogram t_latency{"service.latency_ns"};
 telemetry::Histogram t_fork{"service.fork_ns"};
+// Per-tenant labeled families (tenant id -> slot; out-of-range tenants
+// land in the .overflow member). One relaxed add on the submit hot path;
+// the latency family is recorded in the serial drain fold only.
+telemetry::CounterFamily t_tenant_submitted{"service.tenant.submitted"};
+telemetry::CounterFamily t_tenant_shed{"service.tenant.shed"};
+telemetry::CounterFamily t_tenant_ok{"service.tenant.ok"};
+telemetry::CounterFamily t_tenant_fault{"service.tenant.fault"};
+telemetry::HistogramFamily t_tenant_latency{"service.tenant.latency_ns"};
 
 telemetry::Counter& kind_counter(RequestKind kind) {
   switch (kind) {
@@ -53,6 +83,13 @@ telemetry::Counter& kind_counter(RequestKind kind) {
     case RequestKind::kUnseal: return t_req_unseal;
   }
   return t_req_run;
+}
+
+// request_done event code: op kind in the high nibble, terminal status in
+// the low nibble (obs_report's decode table mirrors this).
+std::uint8_t request_done_code(RequestKind kind, Status status) {
+  return static_cast<std::uint8_t>((static_cast<unsigned>(kind) << 4) |
+                                   static_cast<unsigned>(status));
 }
 #endif
 
@@ -69,7 +106,11 @@ std::uint64_t EnclaveService::submit(const Request& request) {
   const std::uint64_t seq = next_seq_++;
   ++stats_.submitted;
   CONVOLVE_TELEMETRY_ONLY(kind_counter(request.kind).add();)
+  CONVOLVE_TELEMETRY_ONLY(t_tenant_submitted.add(request.tenant);)
 
+  // Rejections are terminal: they emit the request's request_done event
+  // here (drain() never sees them), so every submitted seq has exactly
+  // one terminal event.
   auto reject = [&](Status status, int wait_slots, const char* why) {
     Response r;
     r.status = status;
@@ -79,6 +120,11 @@ std::uint64_t EnclaveService::submit(const Request& request) {
     rejected_.push_back(std::move(r));
     ++stats_.rejected;
     CONVOLVE_COUNTER_ADD(t_rejected);
+    CONVOLVE_TELEMETRY_ONLY({
+      const RequestContext ctx = request_ctx(request, seq, 0);
+      telemetry::record_event(telemetry::EventKind::kRequestDone, ctx,
+                              request_done_code(request.kind, status), 0);
+    })
   };
 
   if (request.tenant < 0 || request.tenant >= admission_.tenant_count()) {
@@ -86,11 +132,16 @@ std::uint64_t EnclaveService::submit(const Request& request) {
     return seq;
   }
   if (pending_.size() >= config_.max_pending) {
+    CONVOLVE_RECORD_EVENT(kTdmShed, request_ctx(request, seq, 0), 1, 0);
+    CONVOLVE_TELEMETRY_ONLY(t_tenant_shed.add(request.tenant);)
     reject(Status::kRejected, 0, "pending queue full");
     return seq;
   }
   const auto decision = admission_.admit(request.tenant);
   if (!decision.admitted) {
+    CONVOLVE_RECORD_EVENT(kTdmShed, request_ctx(request, seq, 0), 0,
+                          decision.wait_slots);
+    CONVOLVE_TELEMETRY_ONLY(t_tenant_shed.add(request.tenant);)
     reject(Status::kRejected, decision.wait_slots, "no TDM slot in window");
     return seq;
   }
@@ -103,14 +154,15 @@ std::uint64_t EnclaveService::submit(const Request& request) {
 
 Response EnclaveService::execute(const PendingRequest& item) const {
   const Request& req = item.request;
+  const RequestContext ctx =
+      request_ctx(req, item.seq, fork_id_for(item.seq));
+  CONVOLVE_TRACE_SPAN_ARG("service.execute", "seq", item.seq);
   Response r;
   r.seq = item.seq;
   r.wait_slots = item.wait_slots;
   const std::uint64_t t0 = now_ns();
   try {
-    // Fork id seq+1: unique per request, 0 stays reserved for the master.
-    EnclaveWorld world =
-        snapshot_.fork(static_cast<std::uint32_t>(item.seq + 1));
+    EnclaveWorld world = snapshot_.fork(ctx.fork_id, ctx);
     r.fork_ns = now_ns() - t0;
     const auto& enclave = world.sm->enclave(req.enclave);  // throws if bad
     switch (req.kind) {
@@ -165,23 +217,37 @@ Response EnclaveService::execute(const PendingRequest& item) const {
         break;
       }
     }
+    CONVOLVE_TELEMETRY_ONLY({
+      const auto pages =
+          static_cast<std::uint64_t>(world.machine->cow_pages_materialized());
+      if (pages > 0) {
+        telemetry::record_event(telemetry::EventKind::kCowBurst, ctx, 0,
+                                pages);
+      }
+    })
   } catch (const std::exception& e) {
     r.status = Status::kError;
     r.error = e.what();
   }
   r.latency_ns = now_ns() - t0;
+  CONVOLVE_RECORD_EVENT(kRequestDone, ctx,
+                        request_done_code(req.kind, r.status), r.steps);
   return r;
 }
 
 std::vector<Response> EnclaveService::drain() {
+  CONVOLVE_TRACE_SPAN("service.drain");
   std::vector<Response> executed(pending_.size());
   par::parallel_for(pending_.size(), [&](std::uint64_t i) {
     executed[i] = execute(pending_[i]);
   });
 
   // Serial stats fold in submission order: deterministic counts, and the
-  // histograms see every sample exactly once without contention.
-  for (const Response& r : executed) {
+  // histograms see every sample exactly once without contention. The
+  // per-tenant telemetry families record the same samples as the global
+  // histograms, so obs_report can rebuild this fold from a metrics export.
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    const Response& r = executed[i];
     ++stats_.completed;
     ++stats_.forks;
     switch (r.status) {
@@ -196,6 +262,15 @@ std::vector<Response> EnclaveService::drain() {
     CONVOLVE_COUNTER_ADD(t_forks);
     CONVOLVE_HISTOGRAM_RECORD(t_latency, r.latency_ns);
     CONVOLVE_HISTOGRAM_RECORD(t_fork, r.fork_ns);
+    CONVOLVE_TELEMETRY_ONLY({
+      const int tenant = pending_[i].request.tenant;
+      if (r.status == Status::kOk) {
+        t_tenant_ok.add(tenant);
+      } else {
+        t_tenant_fault.add(tenant);
+      }
+      t_tenant_latency.record(tenant, r.latency_ns);
+    })
   }
 
   // Merge executed + rejected into submission order (both already sorted

@@ -14,4 +14,11 @@ EnclaveWorld MachineSnapshot::fork(std::uint32_t fork_id) const {
   return world;
 }
 
+EnclaveWorld MachineSnapshot::fork(std::uint32_t fork_id,
+                                   const RequestContext& ctx) const {
+  EnclaveWorld world = fork(fork_id);
+  world.sm->set_request_context(ctx);
+  return world;
+}
+
 }  // namespace convolve::tee::service

@@ -39,6 +39,27 @@ TEST(TelemetryMacros, CompileToNoOpsWhenDisabled) {
 #endif
 }
 
+// The event and span-arg macros follow the same discipline: in OFF
+// builds both expand to ((void)0) and their operands are never
+// evaluated (the side effect below must not fire).
+TEST(TelemetryMacros, EventMacrosCompileBothFlavors) {
+  RequestContext ctx;
+  ctx.tenant = 3;
+  ctx.seq = 41;
+  int evaluated = 0;
+  CONVOLVE_RECORD_EVENT(kCowBurst, ctx, 0, (evaluated += 1, 7));
+  {
+    CONVOLVE_TRACE_SPAN_ARG("test.macro_span_arg", "seq", ctx.seq);
+  }
+#if CONVOLVE_TELEMETRY_ENABLED
+  EXPECT_EQ(evaluated, 1);
+  telemetry::reset_events();
+  telemetry::reset_trace();
+#else
+  EXPECT_EQ(evaluated, 0);
+#endif
+}
+
 #if CONVOLVE_TELEMETRY_ENABLED
 
 telemetry::Counter t_test_counter{"test.counter"};
@@ -299,6 +320,186 @@ TEST(TelemetryHistogram, PercentileMatchesStatsContract) {
   // Absent or non-histogram names answer 0.
   EXPECT_EQ(snap.histogram_percentile("no.such.metric", 50), 0u);
   EXPECT_EQ(snap.histogram_percentile("rv32.instructions_retired", 50), 0u);
+}
+
+// --- Flight-recorder event log -----------------------------------------
+
+TEST(TelemetryEvents, RecordCollectRoundTrip) {
+  telemetry::reset_events();
+  RequestContext ctx;
+  ctx.tenant = 2;
+  ctx.seq = 77;
+  ctx.fork_id = 78;
+  ctx.enclave = 1;
+  telemetry::record_event(telemetry::EventKind::kPmpFault, ctx, 1,
+                          0xdeadbeefull);
+  CONVOLVE_RECORD_EVENT(kRequestDone, ctx, 0x02, 1234);
+
+  const auto events = telemetry::collect_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Same thread -> insertion order is preserved by the export.
+  EXPECT_EQ(events[0].kind,
+            static_cast<std::uint8_t>(telemetry::EventKind::kPmpFault));
+  EXPECT_EQ(events[0].tenant, 2);
+  EXPECT_EQ(events[0].seq, 77u);
+  EXPECT_EQ(events[0].fork_id, 78u);
+  EXPECT_EQ(events[0].enclave, 1);
+  EXPECT_EQ(events[0].code, 1);
+  EXPECT_EQ(events[0].value, 0xdeadbeefull);
+  EXPECT_EQ(events[1].kind,
+            static_cast<std::uint8_t>(telemetry::EventKind::kRequestDone));
+  EXPECT_EQ(events[1].code, 0x02);
+  EXPECT_EQ(events[1].value, 1234u);
+
+  const auto stats = telemetry::event_log_stats();
+  EXPECT_EQ(stats.recorded, 2u);
+  EXPECT_EQ(stats.by_kind[static_cast<int>(telemetry::EventKind::kPmpFault)],
+            1u);
+  EXPECT_EQ(
+      stats.by_kind[static_cast<int>(telemetry::EventKind::kRequestDone)],
+      1u);
+  telemetry::reset_events();
+}
+
+TEST(TelemetryEvents, JsonlLinesParse) {
+  telemetry::reset_events();
+  RequestContext ctx;
+  ctx.tenant = 5;
+  ctx.seq = 9;
+  telemetry::record_event(telemetry::EventKind::kTdmShed, ctx, 0, 3);
+  telemetry::record_event(telemetry::EventKind::kSealReject, ctx, 1, 64);
+
+  const std::string text = telemetry::events_jsonl();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    ++lines;
+    const auto root = json::parse(line);
+    ASSERT_TRUE(root.is_object());
+    for (const char* key :
+         {"t_ns", "tenant", "seq", "fork", "enclave", "code", "value"}) {
+      const auto* v = root.find(key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_TRUE(v->is_number()) << key;
+    }
+    const auto* kind = root.find("kind");
+    ASSERT_NE(kind, nullptr);
+    ASSERT_TRUE(kind->is_string());
+    EXPECT_TRUE(kind->str == "tdm_shed" || kind->str == "seal_reject");
+  }
+  EXPECT_EQ(lines, 2u);
+  telemetry::reset_events();
+}
+
+// Satellite gate: a ring that overflows must surface both the total and
+// the per-thread drop counter in the metrics snapshot (events here,
+// spans in the mirror test below).
+TEST(TelemetryEvents, FullRingDropsCountedInSnapshot) {
+  const std::uint64_t dropped_before = telemetry::dropped_event_count();
+  std::thread victim([] {
+    RequestContext ctx;
+    constexpr int kOverflow = 16384 + 100;
+    for (int i = 0; i < kOverflow; ++i) {
+      telemetry::record_event(telemetry::EventKind::kCowBurst, ctx, 0,
+                              static_cast<std::uint64_t>(i));
+    }
+  });
+  victim.join();
+  EXPECT_GE(telemetry::dropped_event_count(), dropped_before + 100);
+
+  const auto snap = telemetry::snapshot();
+  EXPECT_GE(snap.counter_value("telemetry.events.dropped"),
+            dropped_before + 100);
+  bool saw_ring = false;
+  for (const auto& entry : snap.entries) {
+    if (entry.name.rfind("telemetry.events.dropped.", 0) == 0 &&
+        entry.counter >= 100) {
+      saw_ring = true;
+    }
+  }
+  EXPECT_TRUE(saw_ring) << "no per-ring telemetry.events.dropped.<thread>";
+  telemetry::reset_events();
+}
+
+TEST(TelemetryTrace, FullSpanRingDropsCountedInSnapshot) {
+  const std::uint64_t dropped_before = telemetry::dropped_span_count();
+  std::thread victim([] {
+    constexpr int kOverflow = 16384 + 100;
+    for (int i = 0; i < kOverflow; ++i) {
+      telemetry::record_span("test.snapshot_overflow", 0, 1);
+    }
+  });
+  victim.join();
+  const auto snap = telemetry::snapshot();
+  EXPECT_GE(snap.counter_value("telemetry.spans.dropped"),
+            dropped_before + 100);
+  bool saw_ring = false;
+  for (const auto& entry : snap.entries) {
+    if (entry.name.rfind("telemetry.spans.dropped.", 0) == 0 &&
+        entry.counter >= 100) {
+      saw_ring = true;
+    }
+  }
+  EXPECT_TRUE(saw_ring) << "no per-ring telemetry.spans.dropped.<thread>";
+  telemetry::reset_trace();
+}
+
+TEST(TelemetryTrace, SpanArgExportedToChromeTrace) {
+  telemetry::reset_trace();
+  {
+    CONVOLVE_TRACE_SPAN_ARG("test.arg_span", "seq", 4242);
+  }
+  const auto root = json::parse(telemetry::chrome_trace_json());
+  const auto* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw = false;
+  for (const auto& ev : events->arr) {
+    const auto* name = ev.find("name");
+    if (name == nullptr || name->str != "test.arg_span") continue;
+    const auto* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_TRUE(args->is_object());
+    const auto* seq = args->find("seq");
+    ASSERT_NE(seq, nullptr);
+    ASSERT_TRUE(seq->is_number());
+    EXPECT_EQ(static_cast<std::uint64_t>(seq->number), 4242u);
+    saw = true;
+  }
+  EXPECT_TRUE(saw);
+  telemetry::reset_trace();
+}
+
+// --- Labeled metric families -------------------------------------------
+
+telemetry::CounterFamily t_fam_counter{"test.family.counter"};
+telemetry::HistogramFamily t_fam_hist{"test.family.hist"};
+
+TEST(TelemetryFamily, SlotsAndOverflowClamp) {
+  t_fam_counter.add(0);
+  t_fam_counter.add(3, 5);
+  t_fam_counter.add(12);   // past kSlots -> overflow member
+  t_fam_counter.add(-1);   // negative -> overflow member
+  const auto snap = telemetry::snapshot();
+  EXPECT_EQ(snap.counter_value("test.family.counter.0"), 1u);
+  EXPECT_EQ(snap.counter_value("test.family.counter.3"), 5u);
+  EXPECT_EQ(snap.counter_value("test.family.counter.overflow"), 2u);
+
+  t_fam_hist.record(1, 100);
+  t_fam_hist.record(telemetry::HistogramFamily::kSlots + 3, 50);
+  const auto snap2 = telemetry::snapshot();
+  const auto* member = snap2.find("test.family.hist.1");
+  ASSERT_NE(member, nullptr);
+  EXPECT_EQ(member->count, 1u);
+  EXPECT_EQ(member->sum, 100u);
+  const auto* overflow = snap2.find("test.family.hist.overflow");
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_EQ(overflow->count, 1u);
+  EXPECT_EQ(overflow->sum, 50u);
 }
 
 #endif  // CONVOLVE_TELEMETRY_ENABLED

@@ -114,6 +114,33 @@ TEST(TdmAdmission, MaxWaitBoundsRejectionScan) {
   EXPECT_EQ(d.wait_slots, 3);
 }
 
+TEST(TdmAdmission, PerTenantCountsPartitionTheTotals) {
+  // Wheel: [A, A, B, B], max_wait 1 -- drive both tenants through mixed
+  // admit/reject traffic and check the per-tenant ledgers sum to the
+  // global ones while attributing each decision to the right tenant.
+  TdmAdmission adm({4, 1});
+  const int a = adm.add_tenant({0, 1});
+  const int b = adm.add_tenant({2, 3});
+  EXPECT_TRUE(adm.admit(a).admitted);   // slot 0
+  EXPECT_TRUE(adm.admit(a).admitted);   // slot 1
+  EXPECT_FALSE(adm.admit(a).admitted);  // slot 2/3 are B's, out of reach
+  EXPECT_TRUE(adm.admit(b).admitted);   // slot 2
+  EXPECT_TRUE(adm.admit(b).admitted);   // slot 3
+  EXPECT_FALSE(adm.admit(b).admitted);  // back at A's slots
+
+  EXPECT_EQ(adm.admitted_count(a), 2u);
+  EXPECT_EQ(adm.rejected_count(a), 1u);
+  EXPECT_EQ(adm.admitted_count(b), 2u);
+  EXPECT_EQ(adm.rejected_count(b), 1u);
+  EXPECT_EQ(adm.admitted_count(a) + adm.admitted_count(b),
+            adm.admitted_count());
+  EXPECT_EQ(adm.rejected_count(a) + adm.rejected_count(b),
+            adm.rejected_count());
+  // Unknown tenant ids throw, same contract as admit().
+  EXPECT_THROW(adm.admitted_count(2), std::out_of_range);
+  EXPECT_THROW(adm.rejected_count(-1), std::out_of_range);
+}
+
 TEST(TdmAdmission, DeterministicForFixedSubmissionOrder) {
   auto run = [] {
     TdmAdmission adm({8, 4});

@@ -7,6 +7,7 @@
 //                repetition_index, threads, iterations, real_time,
 //                cpu_time, time_unit per entry
 //   telemetry.counters / gauges / histograms       (objects)
+//   events.recorded / dropped / by_kind            (numbers, object)
 //
 // Exit 0 when the shape holds, 1 with a diagnostic otherwise. Wired into
 // ctest as bench_*_json_schema so a bench refactor that silently changes
@@ -97,6 +98,25 @@ int main() {
     if (section == nullptr || !section->is_object()) {
       return fail(std::string("telemetry.") + key +
                   " missing or not an object");
+    }
+  }
+
+  const JsonValue* events = root.find("events");
+  if (events == nullptr || !events->is_object()) {
+    return fail("missing events object");
+  }
+  for (const char* key : {"recorded", "dropped"}) {
+    if (!has_number(*events, key)) {
+      return fail(std::string("events.") + key + " missing or not a number");
+    }
+  }
+  const JsonValue* by_kind = events->find("by_kind");
+  if (by_kind == nullptr || !by_kind->is_object()) {
+    return fail("events.by_kind missing or not an object");
+  }
+  for (std::size_t i = 0; i < by_kind->keys.size(); ++i) {
+    if (!by_kind->arr[i].is_number()) {
+      return fail("events.by_kind." + by_kind->keys[i] + " not a number");
     }
   }
 
